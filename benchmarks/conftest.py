@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``benchmarks/test_*.py`` file regenerates one artefact of the paper's
+evaluation (a table, a figure, or a case study) and doubles as a correctness
+check: every benchmark asserts the qualitative result the paper reports (who
+wins, what verifies, what is rejected) in addition to timing the work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.qasmbench import qasmbench_suite, small_suite
+
+
+@pytest.fixture(scope="session")
+def full_suite():
+    """The 48-circuit QASMBench-style suite (Figure 11 workload)."""
+    return qasmbench_suite()
+
+
+@pytest.fixture(scope="session")
+def trimmed_suite():
+    """The trimmed suite used to keep per-benchmark rounds short."""
+    return small_suite(max_qubits=12, max_gates=200)

@@ -1,0 +1,74 @@
+"""Ablation A2 — rewrite-rule equivalence checking vs. the dense-matrix oracle.
+
+Section 5's motivation: checking circuit equivalence through the denotational
+semantics costs ``O(4^n)`` space/time in the qubit count, which is infeasible
+inside an automated verifier, while the symbolic rewrite rules only reason
+about the qubits a rewrite touches.  The benchmark checks equivalence of a
+routed circuit against its original with both engines as the register grows:
+the dense oracle blows up (and refuses past its size limit) while the
+rewrite engine stays roughly flat per gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.qasmbench import ghz_state, qft
+from repro.circuit import QCircuit
+from repro.coupling import linear_device
+from repro.errors import CircuitError
+from repro.linalg import MAX_DENSE_QUBITS, circuits_equivalent
+from repro.passes import BasicSwap, CXCancellation
+from repro.symbolic import equivalent, equivalent_up_to_swaps
+
+QUBIT_COUNTS_DENSE = [4, 6, 8, 10]
+QUBIT_COUNTS_SYMBOLIC = [4, 8, 16, 32, 64]
+
+
+def _optimised_pair(num_qubits: int):
+    """A circuit and its CX-cancellation output (always equivalent)."""
+    circuit = ghz_state(num_qubits)
+    # Append a cancelling CX pair so the pass has work to do.
+    circuit.cx(0, 1)
+    circuit.cx(0, 1)
+    optimised = CXCancellation()(circuit.copy())
+    return circuit, optimised
+
+
+@pytest.mark.parametrize("num_qubits", QUBIT_COUNTS_SYMBOLIC)
+def test_rewrite_engine_scales_past_the_dense_limit(benchmark, num_qubits):
+    """The rewrite engine checks equivalence at any register width."""
+    circuit, optimised = _optimised_pair(num_qubits)
+
+    report = benchmark(lambda: equivalent(circuit.gates, optimised.gates))
+    assert report.equivalent
+
+
+@pytest.mark.parametrize("num_qubits", QUBIT_COUNTS_DENSE)
+def test_dense_oracle_cost_grows_exponentially(benchmark, num_qubits):
+    """The dense oracle works for small registers but its cost is O(4^n)."""
+    circuit, optimised = _optimised_pair(num_qubits)
+
+    assert benchmark(lambda: circuits_equivalent(circuit, optimised))
+
+
+def test_dense_oracle_refuses_large_registers():
+    """Past the size limit the oracle refuses outright (the paper's point)."""
+    circuit, optimised = _optimised_pair(MAX_DENSE_QUBITS + 4)
+    with pytest.raises(CircuitError):
+        circuits_equivalent(circuit, optimised)
+    # ... while the rewrite engine still answers.
+    assert equivalent(circuit.gates, optimised.gates).equivalent
+
+
+@pytest.mark.parametrize("num_qubits", [8, 16, 32])
+def test_routing_equivalence_with_rewrite_rules(benchmark, num_qubits):
+    """Swap-rule equivalence checking for routed circuits of growing width."""
+    coupling = linear_device(num_qubits)
+    circuit = qft(num_qubits)
+    routed = BasicSwap(coupling=coupling)(circuit.copy())
+
+    report = benchmark(
+        lambda: equivalent_up_to_swaps(circuit.gates, routed.gates, num_qubits)
+    )
+    assert report.equivalent

@@ -1,0 +1,110 @@
+"""Table 1 / Section 7.1 — the u1/u2/u3 gate algebra and 1-qubit merging.
+
+The paper's Table 1 lists the matrix representations of the IBM physical
+gates u1, u2 and u3, and Figure 8 shows the correct merge
+``u1(l1) ; u3(t2, p2, l2)  ->  u3(t2, l1 + p2, l2)``.  These benchmarks check
+the merge against the dense semantics and time the quaternion-based
+``merge_1q_gates`` utility on long runs of 1-qubit gates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.circuit import Gate, QCircuit
+from repro.linalg import circuits_equivalent
+from repro.utility.merge import merge_1q_gates
+
+
+def _random_1q_run(length: int, seed: int = 11) -> list:
+    rng = random.Random(seed)
+    gates = []
+    for _ in range(length):
+        kind = rng.choice(("u1", "u2", "u3"))
+        if kind == "u1":
+            gates.append(Gate("u1", (0,), (rng.uniform(0, 2 * math.pi),)))
+        elif kind == "u2":
+            gates.append(Gate("u2", (0,), (rng.uniform(0, 2 * math.pi),
+                                           rng.uniform(0, 2 * math.pi))))
+        else:
+            gates.append(Gate("u3", (0,), (rng.uniform(0, math.pi),
+                                           rng.uniform(0, 2 * math.pi),
+                                           rng.uniform(0, 2 * math.pi))))
+    return gates
+
+
+def _as_circuit(gates: list) -> QCircuit:
+    circuit = QCircuit(1)
+    for gate in gates:
+        circuit.append(gate)
+    return circuit
+
+
+def test_table1_merge_u1_u3_rule(benchmark):
+    """The Figure 8a merge rule, checked against the matrix semantics.
+
+    With circuit-order composition (u1 executed first) the Z-rotation angle of
+    the u1 folds into the *lambda* parameter of the following u3; the paper's
+    figure states the same rule with the opposite composition order.
+    """
+    lam1, theta2, phi2, lam2 = 0.3, 1.1, 0.7, 2.4
+    original = _as_circuit([
+        Gate("u1", (0,), (lam1,)),
+        Gate("u3", (0,), (theta2, phi2, lam2)),
+    ])
+    merged_gate = Gate("u3", (0,), (theta2, phi2, lam2 + lam1))
+
+    def merge():
+        return merge_1q_gates(list(original.gates))
+
+    merged = benchmark(merge)
+    assert len(merged) == 1
+    assert circuits_equivalent(original, _as_circuit(merged))
+    assert circuits_equivalent(original, _as_circuit([merged_gate]))
+
+
+@pytest.mark.parametrize("run_length", [4, 16, 64, 256])
+def test_table1_merge_long_runs(benchmark, run_length):
+    """Merging a long run of u1/u2/u3 gates collapses it to a single gate."""
+    gates = _random_1q_run(run_length)
+    original = _as_circuit(gates)
+
+    merged = benchmark(lambda: merge_1q_gates(list(gates)))
+    assert len(merged) <= 3
+    assert circuits_equivalent(original, _as_circuit(merged))
+
+
+def test_table1_matrices_match_definitions(benchmark):
+    """The registered u1/u2/u3 unitaries equal the closed forms of Table 1."""
+    import numpy as np
+
+    from repro.circuit.gates import gate_matrix
+
+    def build():  # noqa: ANN202 - benchmark payload
+        lam, phi, theta = 0.4, 1.3, 0.9
+        u1 = gate_matrix(Gate("u1", (0,), (lam,)))
+        u2 = gate_matrix(Gate("u2", (0,), (phi, lam)))
+        u3 = gate_matrix(Gate("u3", (0,), (theta, phi, lam)))
+        return lam, phi, theta, u1, u2, u3
+
+    lam, phi, theta, u1, u2, u3 = benchmark(build)
+
+    assert np.allclose(u1, np.array([[1, 0], [0, np.exp(1j * lam)]]))
+    assert np.allclose(
+        u2,
+        np.array([[1, -np.exp(1j * lam)], [np.exp(1j * phi), np.exp(1j * (lam + phi))]])
+        / math.sqrt(2),
+    )
+    assert np.allclose(
+        u3,
+        np.array(
+            [
+                [math.cos(theta / 2), -np.exp(1j * lam) * math.sin(theta / 2)],
+                [np.exp(1j * phi) * math.sin(theta / 2),
+                 np.exp(1j * (lam + phi)) * math.cos(theta / 2)],
+            ]
+        ),
+    )

@@ -1,0 +1,113 @@
+"""Write a brand-new compiler pass and verify it push-button.
+
+Run with::
+
+    python examples/write_and_verify_a_pass.py
+
+The example mirrors the workflow of Section 3 of the paper: a pass author
+
+* subclasses one of the virtual pass classes (here :class:`GeneralPass`),
+* writes ``run`` using the loop templates and the verified utility library,
+* calls ``verify_pass`` — no specification, loop invariant, or proof needed.
+
+Two versions of an "adjacent Hadamard cancellation" pass are verified: a
+correct one, and a sloppy one that forgets to check that the two H gates act
+on the *same* qubit.  The verifier accepts the first and rejects the second
+with a confirmed counterexample.
+"""
+
+from __future__ import annotations
+
+from repro import GeneralPass, verify_pass
+from repro.circuit import QCircuit
+from repro.linalg import circuits_equivalent
+from repro.utility.circuit_ops import next_gate
+from repro.verify.templates import while_gate_remaining
+
+
+class HCancellation(GeneralPass):
+    """Cancel pairs of adjacent Hadamard gates on the same qubit.
+
+    Note the ``is_conditioned`` checks: without them the pass would merge a
+    classically-conditioned H with an unconditioned one — exactly the family
+    of bugs Section 7.1 of the paper reports in ``optimize_1q_gates`` — and
+    the verifier would (rightly) reject it.
+    """
+
+    def run(self, circuit):
+        def body(output, remain):
+            gate = remain[0]
+            if gate.name_is("h") and not gate.is_conditioned():
+                partner = next_gate(remain, 0)
+                if partner is not None:
+                    other = remain[partner]
+                    if other.name_is("h") and not other.is_conditioned():
+                        if other.qubits == gate.qubits:
+                            remain.delete(partner)
+                            remain.delete(0)
+                            return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(circuit, body)
+
+
+class SloppyHCancellation(GeneralPass):
+    """BUGGY: cancels two "adjacent" H gates without checking their qubits.
+
+    ``next_gate`` returns the next gate *sharing a qubit* with the front gate,
+    but that is not enough to conclude the two H gates act on the same qubit —
+    this version skips the ``qubits ==`` check, so it can delete an H that
+    acts somewhere else entirely.
+    """
+
+    def run(self, circuit):
+        def body(output, remain):
+            gate = remain[0]
+            if gate.name_is("h") and not gate.is_conditioned():
+                partner = next_gate(remain, 0)
+                if partner is not None:
+                    other = remain[partner]
+                    if other.name_is("h") and not other.is_conditioned():
+                        # missing: other.qubits == gate.qubits
+                        remain.delete(partner)
+                        remain.delete(0)
+                        return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(circuit, body)
+
+
+def demo_concrete_behaviour() -> None:
+    """The correct pass at work on a concrete circuit."""
+    circuit = QCircuit(2, name="hh")
+    circuit.h(0)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.h(1)
+    optimised = HCancellation()(circuit.copy())
+    print(f"concrete run: {circuit.size()} gates -> {optimised.size()} gates, "
+          f"equivalent: {circuits_equivalent(circuit, optimised)}")
+
+
+def main() -> int:
+    demo_concrete_behaviour()
+
+    print("\nverifying the correct pass ...")
+    good = verify_pass(HCancellation)
+    print(f"  HCancellation: {'verified' if good.verified else 'REJECTED'} "
+          f"({good.num_subgoals} subgoals, {good.time_seconds:.2f}s)")
+
+    print("verifying the sloppy pass ...")
+    bad = verify_pass(SloppyHCancellation)
+    print(f"  SloppyHCancellation: {'verified' if bad.verified else 'REJECTED'}")
+    if bad.counterexample is not None:
+        print("  counterexample circuit (confirmed against the matrix semantics):")
+        for gate in bad.counterexample.input_circuit.gates:
+            print(f"    {gate}")
+    return 0 if good.verified and not bad.verified else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""Figure 11 driver: baseline vs. verified compilation time on QASMBench.
+
+Run as ``python -m repro.bench.figure11``; the pytest-benchmark wrapper lives
+in ``benchmarks/test_figure11_compilation.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bench.qasmbench import BenchmarkCircuit, qasmbench_suite, small_suite
+from repro.coupling.coupling_map import CouplingMap
+from repro.coupling.devices import grid_device
+from repro.errors import ReproError
+from repro.transpiler.presets import baseline_pipeline, verified_pipeline
+
+
+@dataclass
+class Figure11Row:
+    """Per-circuit compile times for both pipelines."""
+
+    name: str
+    num_qubits: int
+    num_gates: int
+    baseline_seconds: Optional[float]
+    verified_seconds: Optional[float]
+
+    @property
+    def overhead(self) -> Optional[float]:
+        if not self.baseline_seconds or self.verified_seconds is None:
+            return None
+        return self.verified_seconds / self.baseline_seconds
+
+
+def default_device(suite: Sequence[BenchmarkCircuit]) -> CouplingMap:
+    """A grid device large enough for the largest circuit in the suite."""
+    largest = max(entry.num_qubits for entry in suite)
+    columns = 7
+    rows = (largest + columns - 1) // columns + 1
+    return grid_device(rows, columns)
+
+
+def _time_pipeline(pipeline_factory, coupling, circuit) -> Optional[float]:
+    pipeline = pipeline_factory(coupling)
+    started = time.perf_counter()
+    try:
+        pipeline.run(circuit)
+    except ReproError:
+        return None
+    return time.perf_counter() - started
+
+
+def run_figure11(
+    suite: Optional[Sequence[BenchmarkCircuit]] = None,
+    coupling: Optional[CouplingMap] = None,
+    repeats: int = 1,
+) -> List[Figure11Row]:
+    """Compile every suite circuit with both pipelines and record wall times."""
+    suite = list(suite if suite is not None else qasmbench_suite())
+    coupling = coupling or default_device(suite)
+    rows: List[Figure11Row] = []
+    for entry in suite:
+        circuit = entry.circuit()
+        baseline_best: Optional[float] = None
+        verified_best: Optional[float] = None
+        for _ in range(repeats):
+            baseline_time = _time_pipeline(baseline_pipeline, coupling, circuit.copy())
+            verified_time = _time_pipeline(verified_pipeline, coupling, circuit.copy())
+            if baseline_time is not None:
+                baseline_best = min(baseline_best, baseline_time) if baseline_best else baseline_time
+            if verified_time is not None:
+                verified_best = min(verified_best, verified_time) if verified_best else verified_time
+        rows.append(
+            Figure11Row(
+                name=entry.name,
+                num_qubits=entry.num_qubits,
+                num_gates=entry.num_gates,
+                baseline_seconds=baseline_best,
+                verified_seconds=verified_best,
+            )
+        )
+    return rows
+
+
+def format_rows(rows: Sequence[Figure11Row]) -> str:
+    lines = [
+        f"{'circuit':24s} {'qubits':>6s} {'gates':>6s} {'Qiskit-style (s)':>17s} "
+        f"{'Giallar-style (s)':>18s} {'overhead':>9s}",
+        "-" * 86,
+    ]
+    overheads = []
+    for row in rows:
+        baseline = f"{row.baseline_seconds:.4f}" if row.baseline_seconds is not None else "failed"
+        verified = f"{row.verified_seconds:.4f}" if row.verified_seconds is not None else "failed"
+        overhead = f"{row.overhead:.2f}x" if row.overhead is not None else "-"
+        if row.overhead is not None:
+            overheads.append(row.overhead)
+        lines.append(
+            f"{row.name:24s} {row.num_qubits:6d} {row.num_gates:6d} {baseline:>17s} "
+            f"{verified:>18s} {overhead:>9s}"
+        )
+    lines.append("-" * 86)
+    if overheads:
+        lines.append(
+            f"compiled {len(overheads)}/{len(rows)} circuits with both pipelines; "
+            f"median overhead {sorted(overheads)[len(overheads) // 2]:.2f}x, "
+            f"max overhead {max(overheads):.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Reproduce Figure 11 of the Giallar paper")
+    parser.add_argument("--small", action="store_true", help="run the trimmed suite")
+    parser.add_argument("--repeats", type=int, default=1)
+    args = parser.parse_args(argv)
+    suite = small_suite() if args.small else qasmbench_suite()
+    rows = run_figure11(suite, repeats=args.repeats)
+    print(format_rows(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,437 @@
+"""The gate-list quantum circuit IR.
+
+This is the circuit representation the verified Giallar passes operate on: a
+quantum circuit is a list of :class:`~repro.circuit.gate.Gate` objects over a
+fixed quantum register (Section 4 of the paper: "Giallar's verified utility
+library implements a quantum circuit as a list of gates").
+
+The companion DAG representation used by the baseline transpiler lives in
+:mod:`repro.dag`; converters between the two are in
+:mod:`repro.dag.converters`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.circuit.gate import Gate, total_qubits
+from repro.circuit.gates import gate_spec, inverse_gate, is_known_gate
+from repro.errors import CircuitError
+
+
+class QCircuit:
+    """A quantum circuit as an ordered list of gates.
+
+    Parameters
+    ----------
+    num_qubits:
+        Size of the quantum register.  If omitted it is grown on demand as
+        gates are appended.
+    num_clbits:
+        Size of the classical register (used by ``measure`` and ``c_if``).
+    gates:
+        Optional initial gate list (copied).
+    name:
+        Optional circuit name, carried through QASM emission.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int = 0,
+        num_clbits: int = 0,
+        gates: Optional[Iterable[Gate]] = None,
+        name: str = "circuit",
+    ) -> None:
+        if num_qubits < 0 or num_clbits < 0:
+            raise CircuitError("register sizes must be non-negative")
+        self.name = name
+        self._num_qubits = int(num_qubits)
+        self.num_clbits = int(num_clbits)
+        self._gates: List[Gate] = []
+        if gates is not None:
+            for gate in gates:
+                self.append(gate)
+
+    # ------------------------------------------------------------------ #
+    # Register management
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Size of the quantum register."""
+        return self._num_qubits
+
+    @num_qubits.setter
+    def num_qubits(self, value: int) -> None:
+        if value < total_qubits(self._gates):
+            raise CircuitError("cannot shrink the register below the highest used qubit")
+        self._num_qubits = int(value)
+
+    def add_qubits(self, count: int) -> None:
+        """Enlarge the quantum register by ``count`` qubits (ancilla allocation)."""
+        if count < 0:
+            raise CircuitError("cannot add a negative number of qubits")
+        self._num_qubits += count
+
+    def add_clbits(self, count: int) -> None:
+        """Enlarge the classical register by ``count`` bits."""
+        if count < 0:
+            raise CircuitError("cannot add a negative number of clbits")
+        self.num_clbits += count
+
+    # ------------------------------------------------------------------ #
+    # Gate-list access (the interface used by verified passes)
+    # ------------------------------------------------------------------ #
+    def append(self, gate: Gate) -> "QCircuit":
+        """Append a gate, growing the registers if needed.  Returns ``self``."""
+        if not isinstance(gate, Gate):
+            raise CircuitError(f"expected a Gate, got {type(gate).__name__}")
+        highest = max(gate.all_qubits, default=-1)
+        if highest >= self._num_qubits:
+            self._num_qubits = highest + 1
+        highest_cl = max(gate.clbits, default=-1)
+        if gate.condition is not None:
+            highest_cl = max(highest_cl, gate.condition[0])
+        if highest_cl >= self.num_clbits:
+            self.num_clbits = highest_cl + 1
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "QCircuit":
+        """Append every gate from ``gates``.  Returns ``self``."""
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    def insert(self, index: int, gate: Gate) -> None:
+        """Insert a gate before position ``index``."""
+        self.append(gate)
+        self._gates.insert(index, self._gates.pop())
+
+    def delete(self, index: int) -> Gate:
+        """Remove and return the gate at ``index``."""
+        try:
+            return self._gates.pop(index)
+        except IndexError as exc:
+            raise CircuitError(f"gate index {index} out of range") from exc
+
+    def size(self) -> int:
+        """Number of gates in the circuit (including directives)."""
+        return len(self._gates)
+
+    def width(self) -> int:
+        """Total register width: qubits plus classical bits."""
+        return self._num_qubits + self.num_clbits
+
+    def copy(self) -> "QCircuit":
+        """Return a shallow copy (gates are immutable, so this is safe)."""
+        clone = QCircuit(self._num_qubits, self.num_clbits, name=self.name)
+        clone._gates = list(self._gates)
+        return clone
+
+    def clear(self) -> None:
+        """Remove every gate, keeping the registers."""
+        self._gates.clear()
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """The gate list as an immutable tuple."""
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[Gate, "QCircuit"]:
+        if isinstance(index, slice):
+            sub = QCircuit(self._num_qubits, self.num_clbits, name=self.name)
+            sub._gates = self._gates[index]
+            return sub
+        return self._gates[index]
+
+    def __setitem__(self, index: int, gate: Gate) -> None:
+        if not isinstance(gate, Gate):
+            raise CircuitError("circuit entries must be Gate objects")
+        self._gates[index] = gate
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, QCircuit):
+            return NotImplemented
+        return (
+            self._num_qubits == other._num_qubits
+            and self.num_clbits == other.num_clbits
+            and self._gates == other._gates
+        )
+
+    def __hash__(self):
+        return None  # mutable container
+
+    def __repr__(self) -> str:
+        return (
+            f"QCircuit(name={self.name!r}, qubits={self._num_qubits}, "
+            f"clbits={self.num_clbits}, gates={len(self._gates)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Builder helpers
+    # ------------------------------------------------------------------ #
+    def _add(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> "QCircuit":
+        return self.append(Gate(name, qubits, params))
+
+    def i(self, q: int) -> "QCircuit":
+        return self._add("id", (q,))
+
+    def x(self, q: int) -> "QCircuit":
+        return self._add("x", (q,))
+
+    def y(self, q: int) -> "QCircuit":
+        return self._add("y", (q,))
+
+    def z(self, q: int) -> "QCircuit":
+        return self._add("z", (q,))
+
+    def h(self, q: int) -> "QCircuit":
+        return self._add("h", (q,))
+
+    def s(self, q: int) -> "QCircuit":
+        return self._add("s", (q,))
+
+    def sdg(self, q: int) -> "QCircuit":
+        return self._add("sdg", (q,))
+
+    def t(self, q: int) -> "QCircuit":
+        return self._add("t", (q,))
+
+    def tdg(self, q: int) -> "QCircuit":
+        return self._add("tdg", (q,))
+
+    def sx(self, q: int) -> "QCircuit":
+        return self._add("sx", (q,))
+
+    def rx(self, theta: float, q: int) -> "QCircuit":
+        return self._add("rx", (q,), (theta,))
+
+    def ry(self, theta: float, q: int) -> "QCircuit":
+        return self._add("ry", (q,), (theta,))
+
+    def rz(self, phi: float, q: int) -> "QCircuit":
+        return self._add("rz", (q,), (phi,))
+
+    def u1(self, lam: float, q: int) -> "QCircuit":
+        return self._add("u1", (q,), (lam,))
+
+    def u2(self, phi: float, lam: float, q: int) -> "QCircuit":
+        return self._add("u2", (q,), (phi, lam))
+
+    def u3(self, theta: float, phi: float, lam: float, q: int) -> "QCircuit":
+        return self._add("u3", (q,), (theta, phi, lam))
+
+    def cx(self, control: int, target: int) -> "QCircuit":
+        return self._add("cx", (control, target))
+
+    def cy(self, control: int, target: int) -> "QCircuit":
+        return self._add("cy", (control, target))
+
+    def cz(self, control: int, target: int) -> "QCircuit":
+        return self._add("cz", (control, target))
+
+    def ch(self, control: int, target: int) -> "QCircuit":
+        return self._add("ch", (control, target))
+
+    def crz(self, lam: float, control: int, target: int) -> "QCircuit":
+        return self._add("crz", (control, target), (lam,))
+
+    def cu1(self, lam: float, control: int, target: int) -> "QCircuit":
+        return self._add("cu1", (control, target), (lam,))
+
+    def swap(self, a: int, b: int) -> "QCircuit":
+        return self._add("swap", (a, b))
+
+    def rzz(self, theta: float, a: int, b: int) -> "QCircuit":
+        return self._add("rzz", (a, b), (theta,))
+
+    def rxx(self, theta: float, a: int, b: int) -> "QCircuit":
+        return self._add("rxx", (a, b), (theta,))
+
+    def ccx(self, a: int, b: int, c: int) -> "QCircuit":
+        return self._add("ccx", (a, b, c))
+
+    def cswap(self, a: int, b: int, c: int) -> "QCircuit":
+        return self._add("cswap", (a, b, c))
+
+    def barrier(self, *qubits: int) -> "QCircuit":
+        targets = qubits if qubits else tuple(range(self._num_qubits))
+        return self.append(Gate("barrier", targets))
+
+    def measure(self, qubit: int, clbit: int) -> "QCircuit":
+        return self.append(Gate("measure", (qubit,), clbits=(clbit,)))
+
+    def measure_all(self) -> "QCircuit":
+        if self.num_clbits < self._num_qubits:
+            self.num_clbits = self._num_qubits
+        for q in range(self._num_qubits):
+            self.measure(q, q)
+        return self
+
+    def reset(self, qubit: int) -> "QCircuit":
+        return self.append(Gate("reset", (qubit,)))
+
+    # ------------------------------------------------------------------ #
+    # Circuit-level operations
+    # ------------------------------------------------------------------ #
+    def compose(self, other: "QCircuit") -> "QCircuit":
+        """Return a new circuit ``self ; other`` (sequential concatenation)."""
+        out = QCircuit(
+            max(self._num_qubits, other._num_qubits),
+            max(self.num_clbits, other.num_clbits),
+            name=self.name,
+        )
+        out._gates = list(self._gates) + list(other._gates)
+        return out
+
+    def __add__(self, other: "QCircuit") -> "QCircuit":
+        return self.compose(other)
+
+    def inverse(self) -> "QCircuit":
+        """Return the inverse circuit (gates inverted, order reversed)."""
+        out = QCircuit(self._num_qubits, self.num_clbits, name=self.name + "_dg")
+        for gate in reversed(self._gates):
+            if gate.is_directive():
+                out.append(gate)
+            else:
+                out.append(inverse_gate(gate))
+        return out
+
+    def remap_qubits(self, mapping) -> "QCircuit":
+        """Return a copy with every qubit index routed through ``mapping``."""
+        out = QCircuit(self._num_qubits, self.num_clbits, name=self.name)
+        for gate in self._gates:
+            out.append(gate.remap_qubits(mapping))
+        return out
+
+    def count_ops(self) -> Dict[str, int]:
+        """Return a name -> occurrence count dictionary."""
+        counts: Dict[str, int] = {}
+        for gate in self._gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """Circuit depth: length of the longest qubit/clbit dependency chain."""
+        frontier: Dict[int, int] = {}
+        depth = 0
+        for gate in self._gates:
+            if gate.is_barrier():
+                continue
+            wires = [("q", q) for q in gate.all_qubits] + [("c", c) for c in gate.clbits]
+            if gate.condition is not None:
+                wires.append(("c", gate.condition[0]))
+            level = max((frontier.get(w, 0) for w in wires), default=0) + 1
+            for w in wires:
+                frontier[w] = level
+            depth = max(depth, level)
+        return depth
+
+    def active_qubits(self) -> List[int]:
+        """Qubits touched by at least one non-barrier gate, ascending order."""
+        used = set()
+        for gate in self._gates:
+            if gate.is_barrier():
+                continue
+            used.update(gate.all_qubits)
+        return sorted(used)
+
+    def num_tensor_factors(self) -> int:
+        """Number of connected components of the qubit-interaction graph.
+
+        Idle qubits each count as their own factor, matching Qiskit's
+        ``num_tensor_factors`` analysis.
+        """
+        parent = list(range(self._num_qubits))
+
+        def find(a: int) -> int:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for gate in self._gates:
+            qubits = gate.all_qubits
+            for first, second in zip(qubits, qubits[1:]):
+                union(first, second)
+        return len({find(q) for q in range(self._num_qubits)})
+
+    def two_qubit_gates(self) -> List[Gate]:
+        """All gates acting on exactly two qubits (excluding directives)."""
+        return [g for g in self._gates if not g.is_directive() and len(g.all_qubits) == 2]
+
+    def filter(self, predicate: Callable[[Gate], bool]) -> "QCircuit":
+        """Return a copy containing only the gates satisfying ``predicate``."""
+        out = QCircuit(self._num_qubits, self.num_clbits, name=self.name)
+        out._gates = [g for g in self._gates if predicate(g)]
+        return out
+
+    def validate(self) -> None:
+        """Check every gate fits the registers and is a known operation."""
+        for index, gate in enumerate(self._gates):
+            for qubit in gate.all_qubits:
+                if qubit >= self._num_qubits:
+                    raise CircuitError(f"gate {index} uses qubit {qubit} outside the register")
+            for clbit in gate.clbits:
+                if clbit >= self.num_clbits:
+                    raise CircuitError(f"gate {index} uses clbit {clbit} outside the register")
+            if not gate.is_directive():
+                if not is_known_gate(gate.name):
+                    raise CircuitError(f"gate {index} has unknown operation {gate.name!r}")
+                spec = gate_spec(gate.name)
+                if len(gate.qubits) != spec.num_qubits:
+                    raise CircuitError(
+                        f"gate {index} ({gate.name}) expects {spec.num_qubits} qubits, "
+                        f"got {len(gate.qubits)}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Interop
+    # ------------------------------------------------------------------ #
+    def to_qasm(self) -> str:
+        """Serialise to OpenQASM 2.0 (see :mod:`repro.qasm.emitter`)."""
+        from repro.qasm.emitter import circuit_to_qasm
+
+        return circuit_to_qasm(self)
+
+    @staticmethod
+    def from_qasm(text: str) -> "QCircuit":
+        """Parse an OpenQASM 2.0 program into a circuit."""
+        from repro.qasm.parser import parse_qasm
+
+        return parse_qasm(text)
+
+    def to_dag(self):
+        """Convert to the DAG representation used by the baseline transpiler."""
+        from repro.dag.converters import circuit_to_dag
+
+        return circuit_to_dag(self)
+
+    def unitary(self):
+        """Dense unitary of the circuit (exponential in qubit count)."""
+        from repro.linalg.unitary import circuit_unitary
+
+        return circuit_unitary(self)
+
+
+def ghz_circuit(num_qubits: int) -> QCircuit:
+    """The GHZ-state preparation circuit from Figure 2 of the paper."""
+    if num_qubits < 1:
+        raise CircuitError("a GHZ circuit needs at least one qubit")
+    circ = QCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circ.h(0)
+    for q in range(num_qubits - 1):
+        circ.cx(q, q + 1)
+    return circ

@@ -1,0 +1,248 @@
+"""The gate object used by the gate-list circuit IR.
+
+A :class:`Gate` is an application of a named operation to a tuple of qubit
+indices, optionally parameterised by real angles, optionally conditioned on a
+classical bit (``c_if``) or on extra control qubits (``q_if``).  Gates are
+immutable value objects: every mutation-like method returns a new gate.
+
+This is the record type the paper describes in Section 4: "Giallar models a
+quantum gate as a record type with two fields - an operation name and a qubit
+list (analogous to the opcode and operands in classical computing)".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.errors import CircuitError
+
+#: Operation names that are directives rather than unitary operations.
+DIRECTIVE_NAMES = frozenset({"barrier", "measure", "reset", "snapshot", "delay"})
+
+
+class Gate:
+    """A single operation applied to one or more qubits.
+
+    Parameters
+    ----------
+    name:
+        Lower-case operation name (``"cx"``, ``"h"``, ``"u3"``, ...).
+    qubits:
+        Indices of the qubits the operation acts on, in operand order.
+    params:
+        Real parameters (rotation angles) of the operation.
+    clbits:
+        Classical bit operands (only used by ``measure``).
+    condition:
+        Either ``None`` or a ``(clbit, value)`` pair giving a classical
+        condition (the Qiskit ``c_if`` modifier).
+    q_controls:
+        Extra quantum control qubits added by the ``q_if`` modifier.
+    label:
+        Optional free-form label, ignored by all semantics.
+    """
+
+    __slots__ = ("name", "qubits", "params", "clbits", "condition", "q_controls", "label")
+
+    def __init__(
+        self,
+        name: str,
+        qubits: Sequence[int],
+        params: Sequence[float] = (),
+        clbits: Sequence[int] = (),
+        condition: Optional[Tuple[int, int]] = None,
+        q_controls: Sequence[int] = (),
+        label: Optional[str] = None,
+    ) -> None:
+        if not name:
+            raise CircuitError("gate name must be a non-empty string")
+        self.name = str(name)
+        self.qubits = tuple(int(q) for q in qubits)
+        self.params = tuple(float(p) for p in params)
+        self.clbits = tuple(int(c) for c in clbits)
+        self.condition = None if condition is None else (int(condition[0]), int(condition[1]))
+        self.q_controls = tuple(int(q) for q in q_controls)
+        self.label = label
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"duplicate qubit operands in gate {name}: {self.qubits}")
+        overlap = set(self.qubits) & set(self.q_controls)
+        if overlap:
+            raise CircuitError(f"q_if controls overlap gate operands: {sorted(overlap)}")
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubit operands (excluding ``q_if`` controls)."""
+        return len(self.qubits)
+
+    @property
+    def all_qubits(self) -> Tuple[int, ...]:
+        """All qubits touched by the gate, including ``q_if`` controls."""
+        return self.qubits + self.q_controls
+
+    def is_directive(self) -> bool:
+        """Return ``True`` for barrier/measure/reset style operations."""
+        return self.name in DIRECTIVE_NAMES
+
+    def is_barrier(self) -> bool:
+        return self.name == "barrier"
+
+    def is_measurement(self) -> bool:
+        return self.name == "measure"
+
+    def is_reset(self) -> bool:
+        return self.name == "reset"
+
+    def is_cx_gate(self) -> bool:
+        """Return ``True`` if this is an (unconditioned) CNOT gate."""
+        return self.name in ("cx", "cnot") and self.condition is None and not self.q_controls
+
+    def is_swap_gate(self) -> bool:
+        return self.name == "swap"
+
+    def is_conditioned(self) -> bool:
+        """Return ``True`` if the gate carries a ``c_if`` or ``q_if`` modifier."""
+        return self.condition is not None or bool(self.q_controls)
+
+    def is_self_inverse(self) -> bool:
+        """Return ``True`` when applying the gate twice is the identity."""
+        from repro.circuit.gates import is_known_gate, is_self_inverse
+
+        if self.is_directive() or self.params:
+            return False
+        return is_known_gate(self.name) and is_self_inverse(self.name)
+
+    def is_diagonal(self) -> bool:
+        """Return ``True`` when the gate is diagonal in the computational basis."""
+        from repro.circuit.gates import is_diagonal_gate, is_known_gate
+
+        return not self.is_directive() and is_known_gate(self.name) and is_diagonal_gate(self.name)
+
+    def is_two_qubit(self) -> bool:
+        """Return ``True`` when the gate acts on exactly two qubits."""
+        return not self.is_directive() and len(self.all_qubits) == 2
+
+    def name_is(self, name: str) -> bool:
+        """Return ``True`` when the gate's operation name equals ``name``."""
+        return self.name == name
+
+    def name_in(self, names) -> bool:
+        """Return ``True`` when the gate's operation name is one of ``names``."""
+        return self.name in set(names)
+
+    def in_basis(self, basis) -> bool:
+        """Return ``True`` when the gate is already expressed in ``basis``."""
+        return self.name in set(basis)
+
+    def same_qubits_as(self, other: "Gate") -> bool:
+        """Return ``True`` when both gates act on the same qubits in order."""
+        return self.qubits == other.qubits
+
+    def commutes_with(self, other: "Gate") -> bool:
+        """Return ``True`` when swapping this gate with ``other`` is sound."""
+        from repro.symbolic.commutation import gates_commute
+
+        return gates_commute(self, other)
+
+    def shares_qubit(self, other: "Gate") -> bool:
+        """Return ``True`` if ``self`` and ``other`` act on a common qubit."""
+        return bool(set(self.all_qubits) & set(other.all_qubits))
+
+    def qubits_disjoint(self, other: "Gate") -> bool:
+        """Return ``True`` if the gates act on disjoint qubit sets."""
+        return not self.shares_qubit(other)
+
+    # ------------------------------------------------------------------ #
+    # Functional updates
+    # ------------------------------------------------------------------ #
+    def replace(self, **changes) -> "Gate":
+        """Return a copy of the gate with the given fields replaced."""
+        fields = {
+            "name": self.name,
+            "qubits": self.qubits,
+            "params": self.params,
+            "clbits": self.clbits,
+            "condition": self.condition,
+            "q_controls": self.q_controls,
+            "label": self.label,
+        }
+        fields.update(changes)
+        return Gate(**fields)
+
+    def remap_qubits(self, mapping) -> "Gate":
+        """Return a copy with every qubit index sent through ``mapping``.
+
+        ``mapping`` may be a dict or any callable/indexable object.
+        """
+        if callable(mapping):
+            remap = mapping
+        else:
+            remap = mapping.__getitem__
+        return self.replace(
+            qubits=tuple(remap(q) for q in self.qubits),
+            q_controls=tuple(remap(q) for q in self.q_controls),
+        )
+
+    def c_if(self, clbit: int, value: int) -> "Gate":
+        """Return a copy conditioned on classical bit ``clbit`` == ``value``."""
+        return self.replace(condition=(clbit, value))
+
+    def q_if(self, *controls: int) -> "Gate":
+        """Return a copy controlled on the given extra qubits."""
+        return self.replace(q_controls=self.q_controls + tuple(controls))
+
+    # ------------------------------------------------------------------ #
+    # Value semantics
+    # ------------------------------------------------------------------ #
+    def _key(self):
+        rounded = tuple(round(p, 12) for p in self.params)
+        return (self.name, self.qubits, rounded, self.clbits, self.condition, self.q_controls)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Gate):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        parts = [self.name]
+        if self.params:
+            parts.append("(" + ", ".join(f"{p:g}" for p in self.params) + ")")
+        parts.append(" " + ", ".join(f"q{q}" for q in self.qubits))
+        if self.clbits:
+            parts.append(" -> " + ", ".join(f"c{c}" for c in self.clbits))
+        if self.condition is not None:
+            parts.append(f" if c{self.condition[0]}=={self.condition[1]}")
+        if self.q_controls:
+            parts.append(" ctrl " + ", ".join(f"q{q}" for q in self.q_controls))
+        return "Gate<" + "".join(parts) + ">"
+
+
+def gates_commute_trivially(a: Gate, b: Gate) -> bool:
+    """Return ``True`` when two gates commute because they share no qubits."""
+    return a.qubits_disjoint(b) and a.condition is None and b.condition is None
+
+
+def normalize_angle(theta: float) -> float:
+    """Normalise an angle into ``(-pi, pi]``; useful for merged rotations."""
+    theta = math.fmod(theta, 2.0 * math.pi)
+    if theta > math.pi:
+        theta -= 2.0 * math.pi
+    elif theta <= -math.pi:
+        theta += 2.0 * math.pi
+    return theta
+
+
+def total_qubits(gates: Iterable[Gate]) -> int:
+    """Return ``1 + max qubit index`` over the gates (0 for an empty list)."""
+    highest = -1
+    for gate in gates:
+        for qubit in gate.all_qubits:
+            if qubit > highest:
+                highest = qubit
+    return highest + 1

@@ -1,0 +1,75 @@
+"""Random circuit generation used by tests and property-based checks."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Sequence
+
+from repro.circuit.circuit import QCircuit
+from repro.circuit.gate import Gate
+
+#: Default gate alphabet for random circuits: 1- and 2-qubit gates that the
+#: rewrite rules and the optimisation passes know how to handle.
+DEFAULT_GATE_POOL = (
+    ("h", 1, 0),
+    ("x", 1, 0),
+    ("y", 1, 0),
+    ("z", 1, 0),
+    ("s", 1, 0),
+    ("sdg", 1, 0),
+    ("t", 1, 0),
+    ("tdg", 1, 0),
+    ("rx", 1, 1),
+    ("ry", 1, 1),
+    ("rz", 1, 1),
+    ("u1", 1, 1),
+    ("u2", 1, 2),
+    ("u3", 1, 3),
+    ("cx", 2, 0),
+    ("cz", 2, 0),
+    ("swap", 2, 0),
+)
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: Optional[int] = None,
+    gate_pool: Sequence = DEFAULT_GATE_POOL,
+    measure: bool = False,
+) -> QCircuit:
+    """Generate a random circuit over ``num_qubits`` qubits.
+
+    The distribution is uniform over the gate pool with uniformly random
+    operands and angles in ``[0, 2*pi)``; it is deterministic for a given
+    ``seed``, which is what the property-based tests rely on.
+    """
+    rng = random.Random(seed)
+    circ = QCircuit(num_qubits, name=f"random_{num_qubits}q_{num_gates}g")
+    pool = [entry for entry in gate_pool if entry[1] <= num_qubits]
+    if not pool:
+        return circ
+    for _ in range(num_gates):
+        name, arity, num_params = rng.choice(pool)
+        qubits = rng.sample(range(num_qubits), arity)
+        params = tuple(rng.uniform(0.0, 2.0 * math.pi) for _ in range(num_params))
+        circ.append(Gate(name, qubits, params))
+    if measure:
+        circ.measure_all()
+    return circ
+
+
+def random_clifford_circuit(num_qubits: int, num_gates: int, seed: Optional[int] = None) -> QCircuit:
+    """Random circuit restricted to Clifford gates (h, s, sdg, x, z, cx, cz, swap)."""
+    pool = [
+        ("h", 1, 0),
+        ("s", 1, 0),
+        ("sdg", 1, 0),
+        ("x", 1, 0),
+        ("z", 1, 0),
+        ("cx", 2, 0),
+        ("cz", 2, 0),
+        ("swap", 2, 0),
+    ]
+    return random_circuit(num_qubits, num_gates, seed=seed, gate_pool=pool)

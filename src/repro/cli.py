@@ -1,0 +1,234 @@
+"""Command-line interface for the Giallar reproduction.
+
+Invoked as ``python -m repro <command>``.  Commands:
+
+``verify``
+    Verify one, several, or all compiler passes and print a report
+    (text, Markdown, or JSON).
+
+``transpile``
+    Compile an OpenQASM 2 file for a named device with either the verified
+    (Giallar-style) or the baseline (unverified DAG-based) pipeline.
+
+``bench``
+    Run one of the paper's evaluation drivers (``table2``, ``figure11``,
+    ``case-studies``).
+
+``soundness``
+    Re-check every rewrite rule and the commutation table against the dense
+    matrix semantics (the role of the paper's Coq proofs).
+
+``list``
+    List the known passes, devices, or benchmark circuits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.bench.table2 import pass_kwargs_for
+from repro.coupling.devices import DEVICE_BUILDERS, device
+from repro.errors import ReproError
+from repro.passes import ALL_VERIFIED_PASSES, EXTENSION_PASSES, UNSUPPORTED_PASSES
+from repro.qasm import parse_qasm
+from repro.verify.report import to_json, to_markdown, to_text
+from repro.verify.verifier import verify_pass
+
+
+def _known_passes() -> Dict[str, Type]:
+    registry: Dict[str, Type] = {}
+    for pass_class in list(ALL_VERIFIED_PASSES) + list(EXTENSION_PASSES):
+        registry[pass_class.__name__] = pass_class
+    return registry
+
+
+# --------------------------------------------------------------------------- #
+# verify
+# --------------------------------------------------------------------------- #
+def _cmd_verify(args: argparse.Namespace) -> int:
+    registry = _known_passes()
+    if args.all:
+        selected = list(registry.values())
+    else:
+        missing = [name for name in args.passes if name not in registry]
+        if missing:
+            print(f"unknown pass(es): {', '.join(missing)}", file=sys.stderr)
+            print(f"known passes: {', '.join(sorted(registry))}", file=sys.stderr)
+            return 2
+        selected = [registry[name] for name in args.passes]
+    if not selected:
+        print("nothing to verify: give pass names or --all", file=sys.stderr)
+        return 2
+
+    results = []
+    for pass_class in selected:
+        results.append(verify_pass(pass_class, pass_kwargs=pass_kwargs_for(pass_class)))
+
+    if args.format == "json":
+        print(to_json(results))
+    elif args.format == "markdown":
+        print(to_markdown(results, title="Verification report"))
+    else:
+        print(to_text(results, title="Verification report"))
+    return 0 if all(result.verified for result in results) else 1
+
+
+# --------------------------------------------------------------------------- #
+# transpile
+# --------------------------------------------------------------------------- #
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_transpile(args: argparse.Namespace) -> int:
+    from repro.transpiler.presets import baseline_pipeline, verified_pipeline
+
+    try:
+        circuit = parse_qasm(_read_source(args.input))
+    except (OSError, ReproError) as exc:
+        print(f"cannot read input circuit: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        coupling = device(args.device)
+    except KeyError:
+        print(f"unknown device {args.device!r}; known devices: "
+              f"{', '.join(sorted(DEVICE_BUILDERS))}", file=sys.stderr)
+        return 2
+    if coupling.num_qubits < circuit.num_qubits:
+        print(
+            f"device {args.device} has {coupling.num_qubits} qubits but the circuit "
+            f"needs {circuit.num_qubits}",
+            file=sys.stderr,
+        )
+        return 2
+
+    factory = baseline_pipeline if args.pipeline == "baseline" else verified_pipeline
+    pipeline = factory(coupling)
+    compiled = pipeline.run(circuit)
+
+    qasm = compiled.to_qasm()
+    if args.output and args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(qasm)
+    else:
+        print(qasm)
+    if args.stats:
+        print(
+            f"# input: {circuit.num_qubits} qubits, {circuit.size()} gates; "
+            f"output: {compiled.num_qubits} qubits, {compiled.size()} gates; "
+            f"pipeline: {args.pipeline}; device: {args.device}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# bench / soundness / list
+# --------------------------------------------------------------------------- #
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.target == "table2":
+        from repro.bench.table2 import main as table2_main
+
+        return table2_main(["--new-passes-only"] if args.new_passes_only else [])
+    if args.target == "figure11":
+        from repro.bench.figure11 import main as figure11_main
+
+        return figure11_main(["--small"] if args.small else [])
+    from repro.bench.case_studies import main as case_studies_main
+
+    return case_studies_main([])
+
+
+def _cmd_soundness(args: argparse.Namespace) -> int:
+    from repro.symbolic import check_commutation_table, check_rules
+
+    rules_report = check_rules(embed_qubits=args.embed_qubits)
+    commutation_report = check_commutation_table()
+    print(f"rewrite rules checked    : {rules_report.checked}")
+    print(f"unsound rules            : {len(rules_report.failures)}")
+    for name in rules_report.failures:
+        print(f"  UNSOUND: {name}")
+    print(f"commutation pairs checked: {commutation_report.checked}")
+    print(f"unsound commutations     : {len(commutation_report.failures)}")
+    for name in commutation_report.failures:
+        print(f"  UNSOUND: {name}")
+    return 0 if rules_report.all_sound and commutation_report.all_sound else 1
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.what == "passes":
+        for pass_class in ALL_VERIFIED_PASSES:
+            print(f"{pass_class.__name__:34s} verified   {pass_class.pass_type}")
+        for pass_class in EXTENSION_PASSES:
+            print(f"{pass_class.__name__:34s} extension  {pass_class.pass_type}")
+        for pass_class in UNSUPPORTED_PASSES:
+            reason = getattr(pass_class, "unsupported_reason", "")
+            print(f"{pass_class.__name__:34s} unsupported ({reason})")
+    elif args.what == "devices":
+        for name in sorted(DEVICE_BUILDERS):
+            topology = device(name)
+            print(f"{name:20s} {topology.num_qubits:3d} qubits, {len(topology.edges)} edges")
+    else:
+        from repro.bench.qasmbench import qasmbench_suite
+
+        for entry in qasmbench_suite():
+            print(f"{entry.name:24s} {entry.num_qubits:3d} qubits, {entry.num_gates:5d} gates")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# argument parsing
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Giallar reproduction: verify and run quantum compiler passes"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify", help="verify compiler passes push-button")
+    verify.add_argument("passes", nargs="*", help="pass class names (e.g. CXCancellation)")
+    verify.add_argument("--all", action="store_true", help="verify every known pass")
+    verify.add_argument("--format", choices=("text", "markdown", "json"), default="text")
+    verify.set_defaults(handler=_cmd_verify)
+
+    transpile = sub.add_parser("transpile", help="compile an OpenQASM 2 file for a device")
+    transpile.add_argument("input", help="OpenQASM 2 file, or - for stdin")
+    transpile.add_argument("--device", default="ibm_16q", help="target device name")
+    transpile.add_argument("--pipeline", choices=("verified", "baseline"), default="verified")
+    transpile.add_argument("--output", "-o", default="-", help="output file, or - for stdout")
+    transpile.add_argument("--stats", action="store_true", help="print gate-count statistics")
+    transpile.set_defaults(handler=_cmd_transpile)
+
+    bench = sub.add_parser("bench", help="run one of the paper's evaluation drivers")
+    bench.add_argument("target", choices=("table2", "figure11", "case-studies"))
+    bench.add_argument("--small", action="store_true", help="figure11: use the trimmed suite")
+    bench.add_argument("--new-passes-only", action="store_true",
+                       help="table2: only the passes new in Qiskit 0.32")
+    bench.set_defaults(handler=_cmd_bench)
+
+    soundness = sub.add_parser("soundness", help="re-check the rewrite rules numerically")
+    soundness.add_argument("--embed-qubits", type=int, default=1,
+                           help="extra idle qubits when embedding each rule")
+    soundness.set_defaults(handler=_cmd_soundness)
+
+    listing = sub.add_parser("list", help="list passes, devices, or benchmark circuits")
+    listing.add_argument("what", choices=("passes", "devices", "circuits"))
+    listing.set_defaults(handler=_cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""Device coupling maps: which physical qubit pairs admit two-qubit gates."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import CouplingError
+
+
+class CouplingMap:
+    """An undirected (optionally directed) connectivity graph of physical qubits.
+
+    The map stores directed edges, mirroring real devices where the CNOT
+    direction matters; distance and neighbour queries treat the graph as
+    undirected because a swap/reversal can always fix direction (the paper's
+    Figure 10 caption makes the same observation).
+    """
+
+    def __init__(self, edges: Iterable[Tuple[int, int]] = (), num_qubits: Optional[int] = None):
+        self._edges: Set[Tuple[int, int]] = set()
+        self._num_qubits = 0
+        for edge in edges:
+            self.add_edge(*edge)
+        if num_qubits is not None:
+            if num_qubits < self._num_qubits:
+                raise CouplingError("num_qubits is smaller than the highest edge endpoint")
+            self._num_qubits = num_qubits
+        self._distance_cache: Optional[List[List[int]]] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_edge(self, source: int, target: int) -> None:
+        if source == target:
+            raise CouplingError("self-loop edges are not allowed in a coupling map")
+        self._edges.add((int(source), int(target)))
+        self._num_qubits = max(self._num_qubits, source + 1, target + 1)
+        self._distance_cache = None
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        """Directed edge list, sorted for determinism."""
+        return sorted(self._edges)
+
+    def undirected_edges(self) -> List[Tuple[int, int]]:
+        """Each connected pair exactly once, with the smaller qubit first."""
+        seen = {tuple(sorted(edge)) for edge in self._edges}
+        return sorted(seen)
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """Directed adjacency test."""
+        return (a, b) in self._edges
+
+    def connected(self, a: int, b: int) -> bool:
+        """Undirected adjacency test: a 2-qubit gate is allowed (maybe reversed)."""
+        return (a, b) in self._edges or (b, a) in self._edges
+
+    def neighbors(self, qubit: int) -> List[int]:
+        """Undirected neighbours of a physical qubit."""
+        out = {t for s, t in self._edges if s == qubit}
+        out |= {s for s, t in self._edges if t == qubit}
+        return sorted(out)
+
+    def _compute_distances(self) -> List[List[int]]:
+        n = self._num_qubits
+        infinity = n + 1
+        dist = [[infinity] * n for _ in range(n)]
+        adjacency: Dict[int, List[int]] = {q: self.neighbors(q) for q in range(n)}
+        for start in range(n):
+            dist[start][start] = 0
+            frontier = [start]
+            while frontier:
+                next_frontier = []
+                for node in frontier:
+                    for neighbor in adjacency[node]:
+                        if dist[start][neighbor] > dist[start][node] + 1:
+                            dist[start][neighbor] = dist[start][node] + 1
+                            next_frontier.append(neighbor)
+                frontier = next_frontier
+        return dist
+
+    def distance_matrix(self) -> List[List[int]]:
+        """All-pairs undirected shortest-path distances (BFS)."""
+        if self._distance_cache is None:
+            self._distance_cache = self._compute_distances()
+        return self._distance_cache
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path distance between two physical qubits."""
+        if a >= self._num_qubits or b >= self._num_qubits:
+            raise CouplingError(f"qubit index out of range for {self._num_qubits}-qubit device")
+        dist = self.distance_matrix()[a][b]
+        if dist > self._num_qubits:
+            raise CouplingError(f"qubits {a} and {b} are not connected")
+        return dist
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        """One shortest undirected path between two physical qubits (BFS)."""
+        if a == b:
+            return [a]
+        previous: Dict[int, int] = {}
+        visited = {a}
+        frontier = [a]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbor in self.neighbors(node):
+                    if neighbor in visited:
+                        continue
+                    visited.add(neighbor)
+                    previous[neighbor] = node
+                    if neighbor == b:
+                        path = [b]
+                        while path[-1] != a:
+                            path.append(previous[path[-1]])
+                        return list(reversed(path))
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        raise CouplingError(f"qubits {a} and {b} are not connected")
+
+    def is_connected(self) -> bool:
+        """True when every qubit can reach every other qubit."""
+        if self._num_qubits == 0:
+            return True
+        reachable = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in self.neighbors(node):
+                if neighbor not in reachable:
+                    reachable.add(neighbor)
+                    frontier.append(neighbor)
+        return len(reachable) == self._num_qubits
+
+    def subgraph(self, qubits: Sequence[int]) -> "CouplingMap":
+        """Coupling map induced on a subset of physical qubits (relabelled 0..k-1)."""
+        index = {q: i for i, q in enumerate(qubits)}
+        edges = [
+            (index[s], index[t])
+            for s, t in self._edges
+            if s in index and t in index
+        ]
+        return CouplingMap(edges, num_qubits=len(qubits))
+
+    def __repr__(self) -> str:
+        return f"CouplingMap({self.undirected_edges()!r}, num_qubits={self._num_qubits})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CouplingMap):
+            return NotImplemented
+        return self._edges == other._edges and self._num_qubits == other._num_qubits

@@ -1,0 +1,119 @@
+"""Layouts: bijective maps between logical (virtual) and physical qubits."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import CouplingError
+
+
+class Layout:
+    """A bijection between logical qubits and physical qubits.
+
+    ``layout[logical] = physical``.  Layout selection passes produce these;
+    routing passes update them as swaps move logical qubits around.
+    """
+
+    def __init__(self, mapping: Optional[Dict[int, int]] = None) -> None:
+        self._l2p: Dict[int, int] = {}
+        self._p2l: Dict[int, int] = {}
+        if mapping:
+            for logical, physical in mapping.items():
+                self.assign(logical, physical)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def trivial(num_qubits: int) -> "Layout":
+        """The identity layout: logical i -> physical i."""
+        return Layout({q: q for q in range(num_qubits)})
+
+    @staticmethod
+    def from_physical_order(physical_qubits: Sequence[int]) -> "Layout":
+        """Layout assigning logical ``i`` to ``physical_qubits[i]``."""
+        return Layout({i: p for i, p in enumerate(physical_qubits)})
+
+    def assign(self, logical: int, physical: int) -> None:
+        if logical in self._l2p:
+            raise CouplingError(f"logical qubit {logical} is already assigned")
+        if physical in self._p2l:
+            raise CouplingError(f"physical qubit {physical} is already occupied")
+        self._l2p[int(logical)] = int(physical)
+        self._p2l[int(physical)] = int(logical)
+
+    # ------------------------------------------------------------------ #
+    # Queries and updates
+    # ------------------------------------------------------------------ #
+    def physical(self, logical: int) -> int:
+        try:
+            return self._l2p[logical]
+        except KeyError as exc:
+            raise CouplingError(f"logical qubit {logical} has no assignment") from exc
+
+    def logical(self, physical: int) -> Optional[int]:
+        return self._p2l.get(physical)
+
+    def __getitem__(self, logical: int) -> int:
+        return self.physical(logical)
+
+    def __contains__(self, logical: int) -> bool:
+        return logical in self._l2p
+
+    def __len__(self) -> int:
+        return len(self._l2p)
+
+    def logical_qubits(self) -> List[int]:
+        return sorted(self._l2p)
+
+    def physical_qubits(self) -> List[int]:
+        return sorted(self._p2l)
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self._l2p)
+
+    def as_permutation(self, num_qubits: Optional[int] = None) -> List[int]:
+        """Return ``perm`` with ``perm[logical] = physical`` padded to a bijection."""
+        size = num_qubits if num_qubits is not None else (
+            max(list(self._l2p) + list(self._p2l), default=-1) + 1
+        )
+        perm = [-1] * size
+        for logical, physical in self._l2p.items():
+            if logical < size:
+                perm[logical] = physical
+        unused_physical = [p for p in range(size) if p not in self._p2l]
+        for logical in range(size):
+            if perm[logical] == -1:
+                perm[logical] = unused_physical.pop(0)
+        return perm
+
+    def swap(self, physical_a: int, physical_b: int) -> None:
+        """Record a swap of the logical contents of two physical qubits."""
+        logical_a = self._p2l.get(physical_a)
+        logical_b = self._p2l.get(physical_b)
+        if logical_a is not None:
+            self._l2p[logical_a] = physical_b
+        if logical_b is not None:
+            self._l2p[logical_b] = physical_a
+        self._p2l.pop(physical_a, None)
+        self._p2l.pop(physical_b, None)
+        if logical_a is not None:
+            self._p2l[physical_b] = logical_a
+        if logical_b is not None:
+            self._p2l[physical_a] = logical_b
+
+    def copy(self) -> "Layout":
+        return Layout(dict(self._l2p))
+
+    def compose_permutation(self, num_qubits: int) -> List[int]:
+        """Permutation sending initial physical positions to final ones."""
+        return self.as_permutation(num_qubits)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self._l2p == other._l2p
+
+    def __repr__(self) -> str:
+        entries = ", ".join(f"{l}->{p}" for l, p in sorted(self._l2p.items()))
+        return f"Layout({entries})"

@@ -1,0 +1,6 @@
+"""DAG circuit representation and converters."""
+
+from repro.dag.converters import circuit_to_dag, dag_to_circuit
+from repro.dag.dagcircuit import DAGCircuit, DAGNode
+
+__all__ = ["DAGCircuit", "DAGNode", "circuit_to_dag", "dag_to_circuit"]

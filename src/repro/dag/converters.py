@@ -1,0 +1,26 @@
+"""Converters between the gate-list and DAG circuit representations.
+
+These are the conversion functions the paper's Qiskit wrapper uses: the
+verified passes run on gate lists, the surrounding (baseline) compiler runs on
+DAGs, and the wrapper converts at the boundary (Section 4).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QCircuit
+from repro.dag.dagcircuit import DAGCircuit
+
+
+def circuit_to_dag(circuit: QCircuit) -> DAGCircuit:
+    """Build a DAG from a gate-list circuit, preserving gate order."""
+    dag = DAGCircuit(circuit.num_qubits, circuit.num_clbits, name=circuit.name)
+    dag.extend(circuit.gates)
+    return dag
+
+
+def dag_to_circuit(dag: DAGCircuit) -> QCircuit:
+    """Flatten a DAG back into a gate list in topological order."""
+    circuit = QCircuit(dag.num_qubits, dag.num_clbits, name=dag.name)
+    for gate in dag.gates():
+        circuit.append(gate)
+    return circuit

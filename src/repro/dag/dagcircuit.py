@@ -1,0 +1,239 @@
+"""DAG representation of quantum circuits, as used by the baseline transpiler.
+
+The original Qiskit compiler represents circuits as a directed acyclic graph
+whose nodes are operations and whose edges follow qubit/clbit wires.  The
+verified Giallar passes use the simpler gate-list representation instead; the
+paper's Qiskit wrapper converts between the two at pass boundaries
+(Section 4, "Utility function calls").  This module provides the DAG side of
+that story plus the graph queries the baseline passes need (layers,
+successors, longest path, ...).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.circuit.gate import Gate
+from repro.errors import DAGError
+
+
+@dataclass(eq=False)
+class DAGNode:
+    """One operation node in the DAG."""
+
+    node_id: int
+    gate: Gate
+
+    @property
+    def name(self) -> str:
+        return self.gate.name
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return self.gate.qubits
+
+    def __repr__(self) -> str:
+        return f"DAGNode({self.node_id}, {self.gate!r})"
+
+
+class DAGCircuit:
+    """A quantum circuit as a DAG of operation nodes over qubit/clbit wires."""
+
+    def __init__(self, num_qubits: int = 0, num_clbits: int = 0, name: str = "dag") -> None:
+        self.name = name
+        self.num_qubits = int(num_qubits)
+        self.num_clbits = int(num_clbits)
+        self._graph = nx.MultiDiGraph()
+        self._counter = itertools.count()
+        # Wire bookkeeping: the last node writing each wire (None = wire input).
+        self._wire_tail: Dict[Tuple[str, int], Optional[int]] = {}
+        for qubit in range(self.num_qubits):
+            self._wire_tail[("q", qubit)] = None
+        for clbit in range(self.num_clbits):
+            self._wire_tail[("c", clbit)] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _gate_wires(self, gate: Gate) -> List[Tuple[str, int]]:
+        wires: List[Tuple[str, int]] = [("q", q) for q in gate.all_qubits]
+        wires.extend(("c", c) for c in gate.clbits)
+        if gate.condition is not None:
+            wire = ("c", gate.condition[0])
+            if wire not in wires:
+                wires.append(wire)
+        return wires
+
+    def _ensure_wires(self, gate: Gate) -> None:
+        for kind, index in self._gate_wires(gate):
+            if (kind, index) not in self._wire_tail:
+                self._wire_tail[(kind, index)] = None
+                if kind == "q":
+                    self.num_qubits = max(self.num_qubits, index + 1)
+                else:
+                    self.num_clbits = max(self.num_clbits, index + 1)
+
+    def apply_gate(self, gate: Gate) -> DAGNode:
+        """Append an operation to the back of the DAG."""
+        self._ensure_wires(gate)
+        node = DAGNode(next(self._counter), gate)
+        self._graph.add_node(node.node_id, node=node)
+        for wire in self._gate_wires(gate):
+            tail = self._wire_tail[wire]
+            if tail is not None:
+                self._graph.add_edge(tail, node.node_id, wire=wire)
+            self._wire_tail[wire] = node.node_id
+        return node
+
+    def extend(self, gates: Iterable[Gate]) -> None:
+        for gate in gates:
+            self.apply_gate(gate)
+
+    def remove_node(self, node: DAGNode) -> None:
+        """Remove an operation, reconnecting its wires around it."""
+        if node.node_id not in self._graph:
+            raise DAGError(f"node {node.node_id} is not in the DAG")
+        in_by_wire: Dict[Tuple[str, int], int] = {}
+        out_by_wire: Dict[Tuple[str, int], int] = {}
+        for pred, _self, data in self._graph.in_edges(node.node_id, data=True):
+            in_by_wire[data["wire"]] = pred
+        for _self, succ, data in self._graph.out_edges(node.node_id, data=True):
+            out_by_wire[data["wire"]] = succ
+        self._graph.remove_node(node.node_id)
+        for wire in self._gate_wires(node.gate):
+            pred = in_by_wire.get(wire)
+            succ = out_by_wire.get(wire)
+            if succ is None:
+                self._wire_tail[wire] = pred
+            elif pred is not None:
+                self._graph.add_edge(pred, succ, wire=wire)
+
+    def substitute_node(self, node: DAGNode, gates: Sequence[Gate]) -> List[DAGNode]:
+        """Replace one operation by a sequence of gates on the same wires."""
+        for gate in gates:
+            extra = set(gate.all_qubits) - set(node.gate.all_qubits)
+            if extra:
+                raise DAGError(f"replacement gate touches new qubits {sorted(extra)}")
+        ordered = self.topological_nodes()
+        position = ordered.index(node)
+        new_gates = (
+            [n.gate for n in ordered[:position]]
+            + list(gates)
+            + [n.gate for n in ordered[position + 1 :]]
+        )
+        rebuilt = DAGCircuit(self.num_qubits, self.num_clbits, name=self.name)
+        rebuilt.extend(new_gates)
+        self._graph = rebuilt._graph
+        self._counter = rebuilt._counter
+        self._wire_tail = rebuilt._wire_tail
+        return self.topological_nodes()[position : position + len(gates)]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def size(self) -> int:
+        """Number of operation nodes."""
+        return self._graph.number_of_nodes()
+
+    def width(self) -> int:
+        return self.num_qubits + self.num_clbits
+
+    def node(self, node_id: int) -> DAGNode:
+        return self._graph.nodes[node_id]["node"]
+
+    def nodes(self) -> List[DAGNode]:
+        return [data["node"] for _nid, data in self._graph.nodes(data=True)]
+
+    def topological_nodes(self) -> List[DAGNode]:
+        """Operation nodes in a deterministic topological order."""
+        order = nx.lexicographical_topological_sort(self._graph, key=lambda nid: nid)
+        return [self._graph.nodes[nid]["node"] for nid in order]
+
+    def gates(self) -> List[Gate]:
+        """Gate list in topological order."""
+        return [node.gate for node in self.topological_nodes()]
+
+    def successors(self, node: DAGNode) -> List[DAGNode]:
+        return [self.node(succ) for succ in self._graph.successors(node.node_id)]
+
+    def predecessors(self, node: DAGNode) -> List[DAGNode]:
+        return [self.node(pred) for pred in self._graph.predecessors(node.node_id)]
+
+    def descendants(self, node: DAGNode) -> List[DAGNode]:
+        return [self.node(nid) for nid in nx.descendants(self._graph, node.node_id)]
+
+    def front_layer(self) -> List[DAGNode]:
+        """Operations with no predecessors (the executable frontier)."""
+        return [
+            self.node(nid) for nid in self._graph.nodes if self._graph.in_degree(nid) == 0
+        ]
+
+    def layers(self) -> Iterator[List[DAGNode]]:
+        """Yield lists of operations executable in the same time step."""
+        indegree = {nid: self._graph.in_degree(nid) for nid in self._graph.nodes}
+        frontier = [nid for nid, deg in indegree.items() if deg == 0]
+        while frontier:
+            yield [self.node(nid) for nid in sorted(frontier)]
+            next_frontier: List[int] = []
+            for nid in frontier:
+                for succ in self._graph.successors(nid):
+                    indegree[succ] -= self._graph.number_of_edges(nid, succ)
+                    if indegree[succ] == 0:
+                        next_frontier.append(succ)
+            frontier = next_frontier
+
+    def depth(self) -> int:
+        """Longest path length over operation nodes (barriers excluded)."""
+        longest = 0
+        level: Dict[int, int] = {}
+        for node in self.topological_nodes():
+            if node.gate.is_barrier():
+                level[node.node_id] = max(
+                    (level.get(p.node_id, 0) for p in self.predecessors(node)), default=0
+                )
+                continue
+            best = max((level.get(p.node_id, 0) for p in self.predecessors(node)), default=0)
+            level[node.node_id] = best + 1
+            longest = max(longest, best + 1)
+        return longest
+
+    def longest_path(self) -> List[DAGNode]:
+        """One maximal-length path of operation nodes."""
+        if self.size() == 0:
+            return []
+        path_ids = nx.dag_longest_path(self._graph)
+        return [self.node(nid) for nid in path_ids]
+
+    def count_ops(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for node in self.nodes():
+            counts[node.name] = counts.get(node.name, 0) + 1
+        return counts
+
+    def two_qubit_ops(self) -> List[DAGNode]:
+        return [
+            node
+            for node in self.topological_nodes()
+            if not node.gate.is_directive() and len(node.gate.all_qubits) == 2
+        ]
+
+    def copy(self) -> "DAGCircuit":
+        clone = DAGCircuit(self.num_qubits, self.num_clbits, name=self.name)
+        clone.extend(self.gates())
+        return clone
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DAGCircuit):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and self.num_clbits == other.num_clbits
+            and self.gates() == other.gates()
+        )
+
+    def __repr__(self) -> str:
+        return f"DAGCircuit(qubits={self.num_qubits}, clbits={self.num_clbits}, ops={self.size()})"

@@ -1,0 +1,36 @@
+"""Dense-matrix denotational semantics and rotation algebra."""
+
+from repro.linalg.quaternion import Quaternion, compose_zyz
+from repro.linalg.unitary import (
+    MAX_DENSE_QUBITS,
+    allclose_up_to_global_phase,
+    apply_gate_to_state,
+    circuit_apply,
+    circuit_unitary,
+    circuits_equivalent,
+    circuits_equivalent_under_relabelling,
+    circuits_equivalent_up_to_permutation,
+    gate_unitary_on_register,
+    global_phase_between,
+    permutation_unitary,
+    statevector,
+    unitary_distance,
+)
+
+__all__ = [
+    "MAX_DENSE_QUBITS",
+    "Quaternion",
+    "allclose_up_to_global_phase",
+    "apply_gate_to_state",
+    "circuit_apply",
+    "circuit_unitary",
+    "circuits_equivalent",
+    "circuits_equivalent_under_relabelling",
+    "circuits_equivalent_up_to_permutation",
+    "compose_zyz",
+    "gate_unitary_on_register",
+    "global_phase_between",
+    "permutation_unitary",
+    "statevector",
+    "unitary_distance",
+]

@@ -1,0 +1,176 @@
+"""Circuit-analysis passes (Table 2, "circuit analysis" group).
+
+Analysis passes never modify the circuit: they compute a property, store it in
+the shared property set, and return the circuit unchanged.  Their proof
+obligation is exactly that "unchanged" claim; the property computations are
+non-critical statements and are performed only on concrete circuits.
+"""
+
+from __future__ import annotations
+
+from repro.utility.analysis_ops import check_gate_direction, check_map, opaque_int
+from repro.utility.circuit_ops import (
+    circuit_depth,
+    circuit_size,
+    count_ops,
+    longest_path_length,
+    num_tensor_factors,
+)
+from repro.utility.layout_selection import layout_2q_distance_score
+from repro.verify.passes import AnalysisPass
+from repro.verify.symvalues import SymCircuit
+
+
+class Width(AnalysisPass):
+    """Store the total register width (qubits plus clbits)."""
+
+    def run(self, circuit):
+        self.property_set["width"] = circuit.num_qubits + circuit.num_clbits
+        return circuit
+
+
+class Depth(AnalysisPass):
+    """Store the circuit depth (longest wire-dependency chain)."""
+
+    def run(self, circuit):
+        self.property_set["depth"] = circuit_depth(circuit)
+        return circuit
+
+
+class Size(AnalysisPass):
+    """Store the total number of operations in the circuit."""
+
+    def run(self, circuit):
+        self.property_set["size"] = circuit_size(circuit)
+        return circuit
+
+
+class CountOps(AnalysisPass):
+    """Store the histogram of operation names."""
+
+    def run(self, circuit):
+        self.property_set["count_ops"] = count_ops(circuit)
+        return circuit
+
+
+class CountOpsLongestPath(AnalysisPass):
+    """Store the operation histogram restricted to one longest path."""
+
+    def run(self, circuit):
+        self.property_set["count_ops_longest_path"] = _count_ops_longest_path(circuit)
+        return circuit
+
+
+def _count_ops_longest_path(circuit):
+    from repro.circuit.circuit import QCircuit
+
+    if not isinstance(circuit, QCircuit):
+        return None
+    dag = circuit.to_dag()
+    counts = {}
+    for node in dag.longest_path():
+        counts[node.name] = counts.get(node.name, 0) + 1
+    return counts
+
+
+class NumTensorFactors(AnalysisPass):
+    """Store the number of tensor factors (independent qubit groups)."""
+
+    def run(self, circuit):
+        self.property_set["num_tensor_factors"] = num_tensor_factors(circuit)
+        return circuit
+
+
+class DAGLongestPath(AnalysisPass):
+    """Store the length of the longest dependency path of the circuit DAG."""
+
+    def run(self, circuit):
+        self.property_set["dag_longest_path"] = longest_path_length(circuit)
+        return circuit
+
+
+class CheckMap(AnalysisPass):
+    """Record whether every 2-qubit gate respects the coupling map."""
+
+    def __init__(self, coupling=None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+
+    def run(self, circuit):
+        self.property_set["is_swap_mapped"] = check_map(circuit, self.coupling)
+        return circuit
+
+
+class CheckCXDirection(AnalysisPass):
+    """Record whether every CX follows the directed coupling edges."""
+
+    def __init__(self, coupling=None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+
+    def run(self, circuit):
+        self.property_set["is_direction_mapped"] = check_gate_direction(
+            circuit, self.coupling, names=("cx",)
+        )
+        return circuit
+
+
+class CheckGateDirection(AnalysisPass):
+    """Record whether every directional 2-qubit gate follows the coupling edges."""
+
+    def __init__(self, coupling=None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+
+    def run(self, circuit):
+        self.property_set["is_direction_mapped"] = check_gate_direction(
+            circuit, self.coupling, names=("cx", "ecr")
+        )
+        return circuit
+
+
+class Layout2qDistance(AnalysisPass):
+    """Score the selected layout by the routing distance it would induce."""
+
+    def __init__(self, coupling=None, property_name="layout_score", **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+        self.property_name = property_name
+
+    def run(self, circuit):
+        layout = self.property_set["layout"]
+        score = None
+        if self.coupling is not None:
+            score = layout_2q_distance_score(circuit, self.coupling, layout)
+        self.property_set[self.property_name] = score
+        return circuit
+
+
+class DAGFixedPoint(AnalysisPass):
+    """Record whether the circuit stopped changing between pipeline iterations."""
+
+    def run(self, circuit):
+        snapshot = None if isinstance(circuit, SymCircuit) else tuple(circuit.gates)
+        previous = self.property_set["dag_fixed_point_snapshot"]
+        self.property_set["dag_fixed_point"] = (
+            previous is not None and snapshot is not None and previous == snapshot
+        )
+        self.property_set["dag_fixed_point_snapshot"] = snapshot
+        return circuit
+
+
+class FixedPoint(AnalysisPass):
+    """Record whether a named property stopped changing between iterations."""
+
+    def __init__(self, property_name="size", **kwargs):
+        super().__init__(**kwargs)
+        self.property_name = property_name
+
+    def run(self, circuit):
+        current = self.property_set[self.property_name]
+        previous = self.property_set[f"{self.property_name}_previous"]
+        self.property_set[f"{self.property_name}_fixed_point"] = (
+            previous is not None and current is not None and previous == current
+        )
+        self.property_set[f"{self.property_name}_previous"] = current
+        return circuit

@@ -1,0 +1,121 @@
+"""Assorted passes (Table 2, "additional assorted passes" group)."""
+
+from __future__ import annotations
+
+from repro.circuit.gate import Gate
+from repro.utility.circuit_ops import final_ops_on_qubits, next_gate
+from repro.utility.transforms import drop_final_measurement, reverse_direction
+from repro.verify.passes import GeneralPass
+from repro.verify.symvalues import SymCircuit
+from repro.verify.templates import iterate_all_gates, while_gate_remaining
+
+
+class CXDirection(GeneralPass):
+    """Flip CX gates whose direction disagrees with the directed coupling map."""
+
+    def __init__(self, coupling=None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+
+    def run(self, circuit):
+        coupling = self.coupling
+
+        def body(output, gate):
+            if gate.is_cx_gate():
+                output.extend(reverse_direction(gate, coupling))
+            else:
+                output.append(gate)
+
+        return iterate_all_gates(circuit, body)
+
+
+class GateDirection(GeneralPass):
+    """Flip any directional 2-qubit gate that disagrees with the coupling map."""
+
+    def __init__(self, coupling=None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+
+    def run(self, circuit):
+        coupling = self.coupling
+
+        def body(output, gate):
+            if gate.is_directive():
+                output.append(gate)
+            elif gate.is_conditioned():
+                output.append(gate)
+            elif gate.is_cx_gate():
+                output.extend(reverse_direction(gate, coupling))
+            elif gate.is_two_qubit():
+                output.extend(reverse_direction(gate, coupling))
+            else:
+                output.append(gate)
+
+        return iterate_all_gates(circuit, body)
+
+
+class MergeAdjacentBarriers(GeneralPass):
+    """Merge consecutive barrier directives into a single barrier."""
+
+    def run(self, circuit):
+        def body(output, remain):
+            gate = remain[0]
+            if gate.is_barrier():
+                successor = next_gate(remain, 0)
+                if successor is not None:
+                    other = remain[successor]
+                    if other.is_barrier():
+                        remain.delete(0)
+                        return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(circuit, body)
+
+
+class BarrierBeforeFinalMeasurements(GeneralPass):
+    """Insert a barrier in front of the final layer of measurements.
+
+    Barriers have no quantum semantics, so the output is trivially equivalent
+    to the input; the barrier only prevents later optimisation passes from
+    commuting gates across the final measurements.
+    """
+
+    def run(self, circuit):
+        if isinstance(circuit, SymCircuit):
+            barrier = Gate("barrier", ())
+            result = circuit.copy()
+            result.append(barrier)
+            return result
+        return _insert_barrier_before_final_measures(circuit)
+
+
+def _insert_barrier_before_final_measures(circuit):
+    final_indices = [
+        index for index in final_ops_on_qubits(circuit) if circuit[index].is_measurement()
+    ]
+    if not final_indices:
+        return circuit.copy()
+    insert_at = min(final_indices)
+    qubits = sorted({circuit[i].qubits[0] for i in final_indices})
+    rebuilt = circuit[: insert_at]
+    rebuilt.append(Gate("barrier", qubits))
+    for gate in circuit.gates[insert_at:]:
+        rebuilt.append(gate)
+    return rebuilt
+
+
+class RemoveFinalMeasurements(GeneralPass):
+    """Remove measurements (and only measurements) that end their qubit's wire."""
+
+    def run(self, circuit):
+        def body(output, remain):
+            gate = remain[0]
+            if gate.is_measurement():
+                if drop_final_measurement(remain, 0):
+                    remain.delete(0)
+                    return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(circuit, body)

@@ -1,0 +1,131 @@
+"""Basis-change passes (Table 2, "basis change" group).
+
+Each pass walks the circuit with the ``iterate_all_gates`` template and
+replaces gates by equivalent decompositions produced by the verified
+``expand_gate`` utility.  Conditioned gates are left untouched (decomposing
+under a classical control is only sound when the decomposition is exactly
+phase-equal, which the utility does not promise).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import IBM_NATIVE_BASIS
+from repro.utility.transforms import expand_gate
+from repro.verify.passes import GeneralPass
+from repro.verify.templates import iterate_all_gates
+
+
+class Unroller(GeneralPass):
+    """Unroll every gate into the target basis (default: u1/u2/u3 + cx)."""
+
+    def __init__(self, basis=IBM_NATIVE_BASIS, **kwargs):
+        super().__init__(**kwargs)
+        self.basis = tuple(basis)
+
+    def run(self, circuit):
+        basis = self.basis
+
+        def body(output, gate):
+            if gate.is_directive():
+                output.append(gate)
+            elif gate.is_conditioned():
+                output.append(gate)
+            elif gate.in_basis(basis):
+                output.append(gate)
+            else:
+                output.extend(expand_gate(gate, basis))
+
+        return iterate_all_gates(circuit, body)
+
+
+class Unroll3qOrMore(GeneralPass):
+    """Decompose every gate acting on three or more qubits into 1q/2q gates."""
+
+    def run(self, circuit):
+        def body(output, gate):
+            if gate.is_directive():
+                output.append(gate)
+            elif gate.is_conditioned():
+                output.append(gate)
+            elif gate.name_in(("ccx", "cswap")):
+                output.extend(expand_gate(gate, IBM_NATIVE_BASIS))
+            else:
+                output.append(gate)
+
+        return iterate_all_gates(circuit, body)
+
+
+class Decompose(GeneralPass):
+    """Decompose one level of the gates named in ``gates_to_decompose``."""
+
+    def __init__(self, gates_to_decompose=("swap", "ccx", "ch", "cz"), basis=IBM_NATIVE_BASIS, **kwargs):
+        super().__init__(**kwargs)
+        self.gates_to_decompose = tuple(gates_to_decompose)
+        self.basis = tuple(basis)
+
+    def run(self, circuit):
+        targets = self.gates_to_decompose
+        basis = self.basis
+
+        def body(output, gate):
+            if gate.is_directive():
+                output.append(gate)
+            elif gate.is_conditioned():
+                output.append(gate)
+            elif gate.name_in(targets):
+                output.extend(expand_gate(gate, basis))
+            else:
+                output.append(gate)
+
+        return iterate_all_gates(circuit, body)
+
+
+class UnrollCustomDefinitions(GeneralPass):
+    """Expand gates outside the equivalence library into the supported basis."""
+
+    def __init__(self, basis=IBM_NATIVE_BASIS, **kwargs):
+        super().__init__(**kwargs)
+        self.basis = tuple(basis)
+
+    def run(self, circuit):
+        basis = self.basis
+
+        def body(output, gate):
+            if gate.is_directive():
+                output.append(gate)
+            elif gate.is_conditioned():
+                output.append(gate)
+            elif gate.in_basis(basis):
+                output.append(gate)
+            else:
+                output.extend(expand_gate(gate, basis))
+
+        return iterate_all_gates(circuit, body)
+
+
+class BasisTranslator(GeneralPass):
+    """Translate the circuit into the target basis via the equivalence library.
+
+    The full Qiskit pass searches an equivalence graph; this verified version
+    uses the same search through ``expand_gate`` (which walks the standard
+    library's decompositions until it reaches the target basis).
+    """
+
+    def __init__(self, target_basis=IBM_NATIVE_BASIS, **kwargs):
+        super().__init__(**kwargs)
+        self.target_basis = tuple(target_basis)
+
+    def run(self, circuit):
+        basis = self.target_basis
+
+        def body(output, gate):
+            if gate.is_directive():
+                output.append(gate)
+            elif gate.is_conditioned():
+                output.append(gate)
+            elif gate.in_basis(basis):
+                output.append(gate)
+            else:
+                output.extend(expand_gate(gate, basis))
+
+        return iterate_all_gates(circuit, body)

@@ -1,0 +1,211 @@
+"""Buggy pass variants reproducing the three Qiskit bugs of Section 7.
+
+These are the *original* (pre-fix) behaviours: the verifier must reject each
+of them and produce a counterexample, while the fixed versions in the sibling
+modules verify cleanly.  They are excluded from the Table 2 pass list and are
+exercised by the case-study tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.circuit.circuit import QCircuit
+from repro.circuit.gate import Gate
+from repro.coupling.coupling_map import CouplingMap
+from repro.coupling.devices import ibm_16q
+from repro.utility.coupling_ops import swap_path, total_distance
+from repro.utility.merge import merge_1q_gates
+from repro.utility.transforms import next_cancellation_partner
+from repro.verify import facts as F
+from repro.verify.facts import Fact
+from repro.verify.passes import GeneralPass, RoutingPass
+from repro.verify.symvalues import SymCircuit, SymGate
+from repro.verify.templates import collect_runs, route_each_gate, while_gate_remaining
+
+
+class BuggyOptimize1qGates(GeneralPass):
+    """Section 7.1: merge u1/u2/u3 runs *without* checking ``c_if``/``q_if``.
+
+    The original Qiskit pass collapsed a run of one-qubit gates even when one
+    of them was conditioned on a classical bit, silently changing the
+    program's semantics (Figure 8b).
+    """
+
+    def run(self, circuit):
+        def transform(run):
+            # BUG: no is_conditioned() check before merging.
+            return _merge_ignoring_conditions(run)
+
+        return collect_runs(circuit, ("u1", "u2", "u3"), transform)
+
+    @staticmethod
+    def counterexample_hint() -> QCircuit:
+        """A conditioned u1 followed by a u3 on the same qubit (Figure 8b)."""
+        circuit = QCircuit(2, 1, name="conditioned_run")
+        circuit.append(Gate("u1", (1,), (0.7,), condition=(0, 1)))
+        circuit.append(Gate("u3", (1,), (0.3, 0.2, 0.1)))
+        return circuit
+
+
+def _merge_ignoring_conditions(run) -> List:
+    """The buggy merge: strips conditions and merges anyway."""
+    if any(isinstance(g, SymGate) for g in run):
+        # Symbolically the utility refuses to grant equivalence because the
+        # gates are not known to be unconditioned; the buggy pass uses the
+        # merged segment regardless.
+        return merge_1q_gates(run)
+    stripped = [g.replace(condition=None, q_controls=()) for g in run]
+    return merge_1q_gates(stripped)
+
+
+class BuggyCommutativeCancellation(GeneralPass):
+    """Section 7.2: cancel gates grouped by a non-transitive commutation relation.
+
+    The original pass formed commutation groups pairwise and then cancelled
+    equal self-inverse gates *within a group*, implicitly assuming the
+    relation is transitive; gates that do not commute with the cancelled pair
+    can sit in between, which changes the semantics (Figure 9).
+    """
+
+    def run(self, circuit):
+        def body(output, remain):
+            gate = remain[0]
+            if gate.is_self_inverse():
+                if not gate.is_conditioned():
+                    partner = _group_partner(remain, 0)
+                    if partner is not None:
+                        remain.delete(partner)
+                        remain.delete(0)
+                        return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(circuit, body)
+
+    @staticmethod
+    def counterexample_hint() -> QCircuit:
+        """An X pair "grouped" across a CZ it does not commute with (Figure 9).
+
+        ``X(1) ; Z(0) ; CZ(0,1) ; X(1)``: each neighbouring pair commutes, so
+        the buggy group-based search cancels the two X gates, but X(1) does
+        not commute with CZ(0,1), so the cancellation changes the semantics.
+        """
+        circuit = QCircuit(2, name="non_transitive_commutation")
+        circuit.x(1)
+        circuit.z(0)
+        circuit.cz(0, 1)
+        circuit.x(1)
+        return circuit
+
+
+def _group_partner(remaining, index):
+    """The buggy partner search: neighbour-wise commutation only.
+
+    Each in-between gate is only required to commute with its *neighbour*
+    (the group construction of ``commutation_analysis``), not with the gate
+    being cancelled — the missing transitivity is the bug.
+    """
+    if isinstance(remaining, SymCircuit):
+        session = remaining._session
+        gate = remaining[index]
+        skipped = session.fresh_segment("gates grouped with the candidate pair")
+        partner = session.fresh_gate("group cancellation partner")
+        # BUG: the group only guarantees neighbour-wise commutation, so no
+        # SEGMENT_COMMUTES_WITH fact relating `skipped` to `gate` is justified.
+        session.assume(Fact(F.SAME_GATE, (partner.uid, gate.uid)))
+        session.assume(Fact(F.SAME_QUBITS, (partner.uid, gate.uid)))
+        rest_elements = list(remaining._elements[index + 1 :])
+        rest = [session.fresh_segment("rest after the group")] if rest_elements else []
+        new_tail = [skipped, partner] + rest
+        session.assume(Fact(F.SEGMENT_EQUIVALENT_TO, (tuple(rest_elements), tuple(new_tail))))
+        remaining._elements[index + 1 :] = new_tail
+        from repro.verify.symvalues import SymIndex
+
+        return SymIndex(session, remaining, index + 2, description="group partner")
+
+    from repro.symbolic.commutation import gates_commute
+
+    gate = remaining[index]
+    if gate.is_conditioned() or not gate.is_self_inverse():
+        return None
+    previous = gate
+    for later in range(index + 1, remaining.size()):
+        candidate = remaining[later]
+        if candidate == gate:
+            return later
+        # BUG: only neighbour-wise commutation is checked.
+        if not gates_commute(previous, candidate):
+            return None
+        previous = candidate
+    return None
+
+
+class BuggyLookaheadSwap(RoutingPass):
+    """Section 7.3: lookahead routing with no progress guarantee.
+
+    When no single swap changes the total distance the original implementation
+    keeps inserting the same swap, which immediately cancels against the next
+    one and the pass never terminates (Figure 10).
+    """
+
+    progress_argument = "none"
+    lookahead_window = 4
+
+    def __init__(self, coupling: Optional[CouplingMap] = None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+
+    def choose_swaps(self, coupling, layout, gate, upcoming):
+        pairs = [tuple(gate.qubits)] + [tuple(g.qubits) for g in upcoming[: self.lookahead_window]]
+        current = total_distance(coupling, layout, pairs)
+        best_edge = None
+        best_distance = current
+        candidates = set()
+        for qubit in gate.qubits:
+            physical = layout.physical(qubit)
+            for neighbor in coupling.neighbors(physical):
+                candidates.add((min(physical, neighbor), max(physical, neighbor)))
+        for edge in sorted(candidates):
+            trial = layout.copy()
+            trial.swap(*edge)
+            distance = total_distance(coupling, trial, pairs)
+            if distance < best_distance:
+                best_distance = distance
+                best_edge = edge
+        if best_edge is not None:
+            return [best_edge]
+        # BUG: no improving swap exists, so fall back to a fixed swap that the
+        # next iteration will simply undo.
+        fallback = coupling.undirected_edges()[0]
+        return [fallback]
+
+    def run(self, circuit):
+        routed, final_layout = route_each_gate(
+            circuit,
+            self.coupling,
+            self.choose_swaps,
+            initial_layout=self.property_set["layout"],
+            progress_argument=self.progress_argument,
+        )
+        self.property_set["final_layout"] = final_layout
+        return routed
+
+    @staticmethod
+    def counterexample_hint() -> QCircuit:
+        """A Figure 10-style configuration on the IBM 16-qubit device.
+
+        Four CNOTs between distant qubits whose lookahead costs pull in
+        opposite directions: no single swap next to the gate being routed
+        lowers the total distance, so the buggy fallback oscillates forever.
+        """
+        circuit = QCircuit(16, name="ibm16_lookahead_livelock")
+        circuit.cx(0, 9)
+        circuit.cx(2, 11)
+        circuit.cx(5, 14)
+        circuit.cx(7, 12)
+        return circuit
+
+
+BUGGY_PASSES = [BuggyOptimize1qGates, BuggyCommutativeCancellation, BuggyLookaheadSwap]

@@ -1,0 +1,102 @@
+"""Extension passes beyond the paper's 44 (the "adding new passes" workflow).
+
+Section 8 of the paper reports that newly introduced Qiskit passes can
+usually be verified automatically as long as they stick to the loop
+templates, the verified utility library, and the existing rewrite rules.
+This module exercises that claim with passes that do *not* appear in
+Table 2 but are natural additions a compiler team would write next:
+
+* :class:`InverseCancellation` — cancel adjacent ``gate ; gate`` pairs for a
+  configurable list of self-inverse gates (the generalisation of
+  ``CXCancellation`` that newer Qiskit versions ship).
+* :class:`RemoveBarriers` — drop every barrier directive.
+* :class:`SwapCancellation` — cancel adjacent ``swap ; swap`` pairs on the
+  same physical qubits (useful after naive routing).
+
+All three are verified push-button by ``verify_pass`` with no additions to
+the rule set; they are exercised by ``tests/passes/test_extension_passes.py``
+and included in the extended verification benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.utility.circuit_ops import next_gate
+from repro.utility.transforms import next_cancellation_partner
+from repro.verify.passes import GeneralPass
+from repro.verify.templates import iterate_all_gates, while_gate_remaining
+
+#: Self-inverse 1- and 2-qubit gates cancelled by :class:`InverseCancellation`.
+DEFAULT_INVERSE_GATES = ("x", "y", "z", "h", "cx", "cy", "cz", "swap", "ch")
+
+
+class InverseCancellation(GeneralPass):
+    """Cancel adjacent pairs of identical self-inverse gates.
+
+    The pass scans the remaining gates; when the front gate is one of the
+    configured self-inverse gates (and not classically conditioned), the
+    verified ``next_cancellation_partner`` utility looks for a later identical
+    gate that can be commuted next to it, and the pair is removed.
+    """
+
+    def __init__(self, gates=DEFAULT_INVERSE_GATES, **kwargs):
+        super().__init__(**kwargs)
+        self.gates = tuple(gates)
+
+    def run(self, circuit):
+        names = self.gates
+
+        def body(output, remain):
+            gate = remain[0]
+            if gate.name_in(names) and gate.is_self_inverse():
+                if not gate.is_conditioned():
+                    partner = next_cancellation_partner(remain, 0)
+                    if partner is not None:
+                        remain.delete(partner)
+                        remain.delete(0)
+                        return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(circuit, body)
+
+
+class RemoveBarriers(GeneralPass):
+    """Remove every barrier directive from the circuit.
+
+    Barriers carry no quantum semantics (they only fence optimisations), so
+    dropping them preserves the circuit's denotation — which is exactly the
+    proof obligation discharged here.
+    """
+
+    def run(self, circuit):
+        def body(output, gate):
+            if gate.is_barrier():
+                return
+            output.append(gate)
+
+        return iterate_all_gates(circuit, body)
+
+
+class SwapCancellation(GeneralPass):
+    """Cancel adjacent pairs of swap gates on the same pair of qubits."""
+
+    def run(self, circuit):
+        def body(output, remain):
+            gate = remain[0]
+            if gate.is_swap_gate() and not gate.is_conditioned():
+                partner = next_gate(remain, 0)
+                if partner is not None:
+                    other = remain[partner]
+                    if other.is_swap_gate() and not other.is_conditioned():
+                        if other.qubits == gate.qubits:
+                            remain.delete(partner)
+                            remain.delete(0)
+                            return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(circuit, body)
+
+
+#: Extension passes verified on top of the paper's 44.
+EXTENSION_PASSES = [InverseCancellation, RemoveBarriers, SwapCancellation]

@@ -1,0 +1,140 @@
+"""Layout passes (Table 2, "layout selection" group).
+
+Layout *selection* passes only choose an assignment of logical qubits to
+physical qubits and store it in the property set — they are analysis passes
+for verification purposes.  ``ApplyLayout`` actually relabels the circuit
+(obligation: equivalence up to the layout permutation), and the two ancilla
+passes enlarge the register without touching any gate.
+"""
+
+from __future__ import annotations
+
+from repro.coupling.layout import Layout
+from repro.utility.analysis_ops import allocate_ancillas, apply_layout
+from repro.utility.layout_selection import (
+    select_csp_layout,
+    select_dense_layout,
+    select_noise_adaptive_layout,
+    select_sabre_layout,
+    select_trivial_layout,
+)
+from repro.verify.passes import AncillaAllocationPass, LayoutApplicationPass, LayoutSelectionPass
+
+
+class SetLayout(LayoutSelectionPass):
+    """Install a user-provided layout into the property set."""
+
+    def __init__(self, layout=None, **kwargs):
+        super().__init__(**kwargs)
+        self.layout = layout
+
+    def run(self, circuit):
+        self.property_set["layout"] = self.layout
+        return circuit
+
+
+class TrivialLayout(LayoutSelectionPass):
+    """Map logical qubit ``i`` to physical qubit ``i``."""
+
+    def __init__(self, coupling=None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+
+    def run(self, circuit):
+        self.property_set["layout"] = select_trivial_layout(circuit, self.coupling)
+        return circuit
+
+
+class DenseLayout(LayoutSelectionPass):
+    """Place the circuit on the most densely connected physical sub-graph."""
+
+    def __init__(self, coupling=None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+
+    def run(self, circuit):
+        layout = None
+        if self.coupling is not None:
+            layout = select_dense_layout(circuit, self.coupling)
+        self.property_set["layout"] = layout
+        return circuit
+
+
+class NoiseAdaptiveLayout(LayoutSelectionPass):
+    """Prefer physical edges with the lowest (simulated) two-qubit error rates."""
+
+    def __init__(self, coupling=None, error_rates=None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+        self.error_rates = error_rates
+
+    def run(self, circuit):
+        layout = None
+        if self.coupling is not None:
+            layout = select_noise_adaptive_layout(circuit, self.coupling, self.error_rates)
+        self.property_set["layout"] = layout
+        return circuit
+
+
+class SabreLayout(LayoutSelectionPass):
+    """SABRE-style iterative layout improvement."""
+
+    def __init__(self, coupling=None, seed=11, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+        self.seed = seed
+
+    def run(self, circuit):
+        layout = None
+        if self.coupling is not None:
+            layout = select_sabre_layout(circuit, self.coupling, seed=self.seed)
+        self.property_set["layout"] = layout
+        return circuit
+
+
+class CSPLayout(LayoutSelectionPass):
+    """Search for a layout that needs no routing at all (backtracking CSP)."""
+
+    def __init__(self, coupling=None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+
+    def run(self, circuit):
+        layout = None
+        if self.coupling is not None:
+            layout = select_csp_layout(circuit, self.coupling)
+        self.property_set["layout"] = layout
+        self.property_set["CSPLayout_stop_reason"] = (
+            "solution found" if layout is not None else "nonexistent solution or budget exhausted"
+        )
+        return circuit
+
+
+class ApplyLayout(LayoutApplicationPass):
+    """Relabel the circuit's qubits through the selected layout."""
+
+    def run(self, circuit):
+        layout = self.property_set["layout"]
+        return apply_layout(circuit, layout)
+
+
+class EnlargeWithAncilla(AncillaAllocationPass):
+    """Extend the quantum register with the ancillas recorded in the layout."""
+
+    def __init__(self, coupling=None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+
+    def run(self, circuit):
+        return allocate_ancillas(circuit, self.coupling)
+
+
+class FullAncillaAllocation(AncillaAllocationPass):
+    """Allocate every unused physical qubit of the device as an ancilla."""
+
+    def __init__(self, coupling=None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+
+    def run(self, circuit):
+        return allocate_ancillas(circuit, self.coupling)

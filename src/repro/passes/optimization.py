@@ -1,0 +1,247 @@
+"""Optimisation passes (Table 2, "optimizations" group).
+
+Every pass here inherits :class:`~repro.verify.passes.GeneralPass` (its output
+must be equivalent to its input) or :class:`AnalysisPass` (it must not touch
+the circuit), is written against the Giallar loop templates and the verified
+utility library, and is verified push-button by ``verify_pass``.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import TRANSITIVE_COMMUTATION_GATE_SET
+from repro.utility.circuit_ops import next_gate
+from repro.utility.merge import MERGEABLE_1Q_NAMES, merge_1q_gates
+from repro.utility.transforms import (
+    absorb_diagonal_before_measure,
+    consolidate_block,
+    drop_initial_reset,
+    next_cancellation_partner,
+)
+from repro.verify.passes import AnalysisPass, GeneralPass
+from repro.verify.templates import collect_runs, iterate_all_gates, while_gate_remaining
+
+#: Gate names treated as 1-qubit rotations by the merging optimisations.
+_RUN_NAMES_U = ("u1", "u2", "u3")
+_RUN_NAMES_EXTENDED = ("u1", "u2", "u3", "rz", "rx", "ry")
+
+
+class CXCancellation(GeneralPass):
+    """Cancel pairs of adjacent CNOT gates acting on the same qubit pair.
+
+    This is the running example of Sections 3 and 6: the pass scans the
+    remaining gates, and whenever the front gate is a CX whose next
+    qubit-sharing gate is an identical CX, both are removed.
+    """
+
+    def run(self, circuit):
+        def body(output, remain):
+            gate = remain[0]
+            if gate.is_cx_gate():
+                partner = next_gate(remain, 0)
+                if partner is not None:
+                    other = remain[partner]
+                    if other.is_cx_gate() and other.qubits == gate.qubits:
+                        remain.delete(partner)
+                        remain.delete(0)
+                        return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(circuit, body)
+
+
+class CommutationAnalysis(AnalysisPass):
+    """Group nearby commuting gates (the analysis half of Section 7.2).
+
+    The computed commutation groups are stored in the property set; the
+    circuit itself is returned untouched, which is the whole proof obligation
+    for an analysis pass.
+    """
+
+    def run(self, circuit):
+        self.property_set["commutation_groups"] = _commutation_groups(circuit)
+        return circuit
+
+
+def _commutation_groups(circuit):
+    """Concrete commutation-group computation (non-critical for verification)."""
+    from repro.circuit.circuit import QCircuit
+    from repro.symbolic.commutation import gates_commute
+
+    if not isinstance(circuit, QCircuit):
+        return None
+    groups = []
+    current = []
+    for gate in circuit:
+        if all(gates_commute(gate, member) for member in current):
+            current.append(gate)
+        else:
+            if current:
+                groups.append(current)
+            current = [gate]
+    if current:
+        groups.append(current)
+    return groups
+
+
+class CommutativeCancellation(GeneralPass):
+    """Cancel self-inverse gates across gates they commute with (Section 7.2).
+
+    The front gate is cancelled against a later identical gate only when every
+    gate in between is *directly* checked to commute with it (the fix for the
+    non-transitivity bug) — the check is part of the
+    ``next_cancellation_partner`` specification.
+    """
+
+    def run(self, circuit):
+        def body(output, remain):
+            gate = remain[0]
+            if gate.is_self_inverse():
+                if not gate.is_conditioned():
+                    if gate.name_in(TRANSITIVE_COMMUTATION_GATE_SET):
+                        partner = next_cancellation_partner(remain, 0)
+                        if partner is not None:
+                            remain.delete(partner)
+                            remain.delete(0)
+                            return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(circuit, body)
+
+
+class Optimize1qGates(GeneralPass):
+    """Merge runs of u1/u2/u3 gates into a single u3 gate (Section 7.1).
+
+    The merge is delegated to the verified ``merge_1q_gates`` utility; the
+    pass first checks that no gate in the run carries a ``c_if``/``q_if``
+    modifier (the missing check was the original Qiskit bug).
+    """
+
+    def run(self, circuit):
+        def transform(run):
+            if any(gate.is_conditioned() for gate in run):
+                return list(run)
+            return merge_1q_gates(run)
+
+        return collect_runs(circuit, _RUN_NAMES_U, transform)
+
+
+class Optimize1qGatesDecomposition(GeneralPass):
+    """Resynthesise runs of 1-qubit rotations (u and r families) into one u3."""
+
+    def run(self, circuit):
+        def transform(run):
+            if any(gate.is_conditioned() for gate in run):
+                return list(run)
+            return merge_1q_gates(run)
+
+        return collect_runs(circuit, _RUN_NAMES_EXTENDED, transform)
+
+
+class Collect2qBlocks(AnalysisPass):
+    """Collect maximal blocks of gates acting on the same qubit pair."""
+
+    def run(self, circuit):
+        self.property_set["block_list"] = _two_qubit_blocks(circuit)
+        return circuit
+
+
+def _two_qubit_blocks(circuit):
+    """Concrete block collection (non-critical for verification)."""
+    from repro.circuit.circuit import QCircuit
+
+    if not isinstance(circuit, QCircuit):
+        return None
+    blocks = []
+    current = []
+    current_pair = None
+    for index, gate in enumerate(circuit):
+        qubits = tuple(sorted(gate.all_qubits))
+        if gate.is_directive():
+            pair = None
+        elif len(qubits) == 1:
+            pair = current_pair if current_pair and qubits[0] in current_pair else None
+        elif len(qubits) == 2:
+            pair = qubits
+        else:
+            pair = None
+        if pair is not None and (current_pair is None or pair == current_pair):
+            current.append(index)
+            current_pair = pair if len(qubits) == 2 else current_pair
+        else:
+            if len(current) > 1:
+                blocks.append(current)
+            current = [index] if len(qubits) == 2 else []
+            current_pair = qubits if len(qubits) == 2 else None
+    if len(current) > 1:
+        blocks.append(current)
+    return blocks
+
+
+class ConsolidateBlocks(GeneralPass):
+    """Consolidate runs of 1-qubit gates and cancel redundant CX pairs.
+
+    The block-local simplification is delegated to the verified
+    ``consolidate_block`` utility; CX pairs are removed with the same scheme
+    as :class:`CXCancellation`.
+    """
+
+    def run(self, circuit):
+        def transform(run):
+            if run[0].is_conditioned():
+                return list(run)
+            return consolidate_block(run)
+
+        merged = collect_runs(circuit, _RUN_NAMES_U, transform)
+
+        def body(output, remain):
+            gate = remain[0]
+            if gate.is_cx_gate():
+                partner = next_gate(remain, 0)
+                if partner is not None:
+                    other = remain[partner]
+                    if other.is_cx_gate() and other.qubits == gate.qubits:
+                        remain.delete(partner)
+                        remain.delete(0)
+                        return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(merged, body)
+
+
+class RemoveDiagonalGatesBeforeMeasure(GeneralPass):
+    """Remove diagonal 1-qubit gates whose only effect precedes a measurement."""
+
+    def run(self, circuit):
+        def body(output, remain):
+            gate = remain[0]
+            if gate.is_diagonal():
+                if not gate.is_conditioned():
+                    successor = next_gate(remain, 0)
+                    if successor is not None:
+                        if remain[successor].is_measurement():
+                            if absorb_diagonal_before_measure(remain, 0, successor):
+                                remain.delete(0)
+                                return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(circuit, body)
+
+
+class RemoveResetInZeroState(GeneralPass):
+    """Remove reset operations acting on qubits still in the |0> state."""
+
+    def run(self, circuit):
+        def body(output, remain):
+            gate = remain[0]
+            if gate.is_reset():
+                if drop_initial_reset(output, gate):
+                    remain.delete(0)
+                    return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(circuit, body)

@@ -1,0 +1,186 @@
+"""Routing passes (Table 2, "routing" group) and their swap heuristics.
+
+All three passes are built on the verified ``route_each_gate`` template: the
+template owns swap insertion, layout tracking, adjacency enforcement, and the
+routing proof obligations; a pass only supplies the heuristic that picks the
+next swaps for a distant gate, plus a progress argument for the termination
+subgoal (Section 7.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.coupling.coupling_map import CouplingMap
+from repro.coupling.layout import Layout
+from repro.utility.coupling_ops import swap_path, total_distance
+from repro.verify.passes import RoutingPass
+from repro.verify.templates import route_each_gate
+
+
+class BasicSwap(RoutingPass):
+    """Swap along the shortest path until the gate's qubits are adjacent.
+
+    Progress argument: after applying the whole swap path the gate is
+    executable, so every gate is routed after one round of swaps.
+    """
+
+    progress_argument = "shortest_path_makes_gate_adjacent"
+
+    def __init__(self, coupling: Optional[CouplingMap] = None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+
+    def choose_swaps(self, coupling, layout, gate, upcoming):
+        physical_a = layout.physical(gate.qubits[0])
+        physical_b = layout.physical(gate.qubits[1])
+        return swap_path(coupling, physical_a, physical_b)
+
+    def run(self, circuit):
+        routed, final_layout = route_each_gate(
+            circuit,
+            self.coupling,
+            self.choose_swaps,
+            initial_layout=self.property_set["layout"],
+            progress_argument=self.progress_argument,
+        )
+        self.property_set["final_layout"] = final_layout
+        return routed
+
+
+def _candidate_swaps(coupling: CouplingMap, layout: Layout, gate) -> List[Tuple[int, int]]:
+    """Coupling edges touching the physical locations of the gate's qubits."""
+    physicals = {layout.physical(q) for q in gate.qubits}
+    frontier = set()
+    for physical in physicals:
+        for neighbor in coupling.neighbors(physical):
+            frontier.add((min(physical, neighbor), max(physical, neighbor)))
+    return sorted(frontier)
+
+
+def _distance_after_swap(coupling, layout, swap_edge, pairs) -> int:
+    trial = layout.copy()
+    trial.swap(*swap_edge)
+    return total_distance(coupling, trial, pairs)
+
+
+class LookaheadSwap(RoutingPass):
+    """Pick the single swap that most reduces the lookahead distance.
+
+    This is the *fixed* version of the Section 7.3 pass: when no single swap
+    reduces the total distance of the lookahead window, the pass falls back to
+    the first swap of the current gate's shortest path, which strictly reduces
+    that gate's distance — hence the loop terminates.  (The paper's fix uses a
+    random swap instead; the fallback used here gives the same verified
+    behaviour with a deterministic progress measure.)
+    """
+
+    progress_argument = "distance_decreases_or_shortest_path_fallback"
+    lookahead_window = 4
+
+    def __init__(self, coupling: Optional[CouplingMap] = None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+
+    def _lookahead_pairs(self, gate, upcoming) -> List[Tuple[int, int]]:
+        pairs = [tuple(gate.qubits)]
+        for later in upcoming[: self.lookahead_window]:
+            pairs.append(tuple(later.qubits))
+        return pairs
+
+    def choose_swaps(self, coupling, layout, gate, upcoming):
+        pairs = self._lookahead_pairs(gate, upcoming)
+        current = total_distance(coupling, layout, pairs)
+        best_edge = None
+        best_distance = current
+        for edge in _candidate_swaps(coupling, layout, gate):
+            trial_distance = _distance_after_swap(coupling, layout, edge, pairs)
+            if trial_distance < best_distance:
+                best_distance = trial_distance
+                best_edge = edge
+        if best_edge is not None:
+            return [best_edge]
+        # No single swap improves the lookahead cost (the Figure 10 situation):
+        # fall back to making progress on the gate being routed.
+        physical_a = layout.physical(gate.qubits[0])
+        physical_b = layout.physical(gate.qubits[1])
+        path_swaps = swap_path(coupling, physical_a, physical_b)
+        if path_swaps:
+            return [path_swaps[0]]
+        return []
+
+    def run(self, circuit):
+        routed, final_layout = route_each_gate(
+            circuit,
+            self.coupling,
+            self.choose_swaps,
+            initial_layout=self.property_set["layout"],
+            progress_argument=self.progress_argument,
+        )
+        self.property_set["final_layout"] = final_layout
+        return routed
+
+
+class SabreSwap(RoutingPass):
+    """SABRE-style heuristic: balance the front gate against an extended set.
+
+    The score of a candidate swap is the distance of the gate being routed
+    plus a discounted sum over the next few 2-qubit gates; ties fall back to
+    the shortest-path swap so the routing loop always makes progress.
+    """
+
+    progress_argument = "front_gate_distance_decreases_or_shortest_path_fallback"
+    extended_set_size = 8
+    extended_set_weight = 0.5
+
+    def __init__(self, coupling: Optional[CouplingMap] = None, **kwargs):
+        super().__init__(**kwargs)
+        self.coupling = coupling
+
+    def _score(self, coupling, layout, gate, upcoming) -> float:
+        front = coupling.distance(
+            layout.physical(gate.qubits[0]), layout.physical(gate.qubits[1])
+        )
+        extended = 0.0
+        for later in upcoming[: self.extended_set_size]:
+            extended += coupling.distance(
+                layout.physical(later.qubits[0]), layout.physical(later.qubits[1])
+            )
+        return front + self.extended_set_weight * extended
+
+    def choose_swaps(self, coupling, layout, gate, upcoming):
+        current = self._score(coupling, layout, gate, upcoming)
+        best_edge = None
+        best_score = current
+        for edge in _candidate_swaps(coupling, layout, gate):
+            trial = layout.copy()
+            trial.swap(*edge)
+            score = self._score(coupling, trial, gate, upcoming)
+            front_now = coupling.distance(
+                layout.physical(gate.qubits[0]), layout.physical(gate.qubits[1])
+            )
+            front_after = coupling.distance(
+                trial.physical(gate.qubits[0]), trial.physical(gate.qubits[1])
+            )
+            if score < best_score and front_after <= front_now:
+                best_score = score
+                best_edge = edge
+        if best_edge is not None:
+            return [best_edge]
+        physical_a = layout.physical(gate.qubits[0])
+        physical_b = layout.physical(gate.qubits[1])
+        path_swaps = swap_path(coupling, physical_a, physical_b)
+        if path_swaps:
+            return [path_swaps[0]]
+        return []
+
+    def run(self, circuit):
+        routed, final_layout = route_each_gate(
+            circuit,
+            self.coupling,
+            self.choose_swaps,
+            initial_layout=self.property_set["layout"],
+            progress_argument=self.progress_argument,
+        )
+        self.property_set["final_layout"] = final_layout
+        return routed

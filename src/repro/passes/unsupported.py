@@ -1,0 +1,115 @@
+"""The 12 Qiskit passes Giallar cannot verify (Section 8).
+
+Eight scheduling passes operate at the pulse level (below the gate
+abstraction the verifier reasons about), two passes delegate to external
+solvers (Z3 / CPLEX) whose behaviour has no formal semantics inside the
+verifier, one pass uses a randomised routing algorithm, and one produces an
+approximate circuit.  They are declared here with an ``unsupported_reason``
+so the Table 2 harness reports the same 44-out-of-56 breakdown as the paper;
+their ``run`` methods intentionally raise.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedPassError
+from repro.verify.passes import BasePass
+
+_PULSE = "operates on pulse-level instructions, below the quantum-gate abstraction"
+_SOLVER = "delegates circuit construction to an external solver with no formal semantics here"
+_RANDOM = "uses a randomised routing algorithm the verifier does not model"
+_APPROX = "produces an approximated circuit; verifying it needs error-bound reasoning"
+
+
+class _UnsupportedPass(BasePass):
+    unsupported_reason = "unsupported"
+
+    def run(self, circuit):
+        raise UnsupportedPassError(f"{type(self).__name__}: {self.unsupported_reason}")
+
+
+class ALAPSchedule(_UnsupportedPass):
+    """As-late-as-possible scheduling of pulse-level instruction timing."""
+
+    unsupported_reason = _PULSE
+
+
+class ASAPSchedule(_UnsupportedPass):
+    """As-soon-as-possible scheduling of pulse-level instruction timing."""
+
+    unsupported_reason = _PULSE
+
+
+class DynamicalDecoupling(_UnsupportedPass):
+    """Insert pulse-level dynamical-decoupling sequences on idle qubits."""
+
+    unsupported_reason = _PULSE
+
+
+class PulseGates(_UnsupportedPass):
+    """Attach pulse calibrations to gates."""
+
+    unsupported_reason = _PULSE
+
+
+class ValidatePulseGates(_UnsupportedPass):
+    """Validate pulse calibrations against hardware constraints."""
+
+    unsupported_reason = _PULSE
+
+
+class TimeUnitConversion(_UnsupportedPass):
+    """Convert instruction durations between time units."""
+
+    unsupported_reason = _PULSE
+
+
+class AlignMeasures(_UnsupportedPass):
+    """Align measurement timing to hardware acquisition boundaries."""
+
+    unsupported_reason = _PULSE
+
+
+class RZXCalibrationBuilder(_UnsupportedPass):
+    """Build pulse calibrations for RZX gates."""
+
+    unsupported_reason = _PULSE
+
+
+class StochasticSwap(_UnsupportedPass):
+    """Randomised swap routing."""
+
+    unsupported_reason = _RANDOM
+
+
+class CrosstalkAdaptiveSchedule(_UnsupportedPass):
+    """Crosstalk-aware scheduling via a Z3 optimisation model."""
+
+    unsupported_reason = _SOLVER
+
+
+class BIPMapping(_UnsupportedPass):
+    """Qubit mapping via binary integer programming (CPLEX)."""
+
+    unsupported_reason = _SOLVER
+
+
+class UnitarySynthesis(_UnsupportedPass):
+    """Approximate re-synthesis of unitary blocks."""
+
+    unsupported_reason = _APPROX
+
+
+UNSUPPORTED_PASSES = [
+    ALAPSchedule,
+    ASAPSchedule,
+    DynamicalDecoupling,
+    PulseGates,
+    ValidatePulseGates,
+    TimeUnitConversion,
+    AlignMeasures,
+    RZXCalibrationBuilder,
+    StochasticSwap,
+    CrosstalkAdaptiveSchedule,
+    BIPMapping,
+    UnitarySynthesis,
+]

@@ -1,0 +1,17 @@
+"""OpenQASM 2.0 front-end: lexer, parser, AST, and emitter."""
+
+from repro.qasm.emitter import circuit_to_qasm, gate_to_qasm_line
+from repro.qasm.lexer import Lexer, Token, tokenize
+from repro.qasm.parser import Parser, evaluate_expression, parse_program, parse_qasm
+
+__all__ = [
+    "Lexer",
+    "Parser",
+    "Token",
+    "circuit_to_qasm",
+    "evaluate_expression",
+    "gate_to_qasm_line",
+    "parse_program",
+    "parse_qasm",
+    "tokenize",
+]

@@ -1,0 +1,151 @@
+"""Abstract syntax tree for OpenQASM 2.0 programs.
+
+The AST mirrors the official grammar closely: a program is a version header,
+optional includes, register declarations, gate definitions, and a list of
+quantum operations.  Parameter expressions keep their symbolic structure so
+custom gate bodies can be instantiated with concrete arguments later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+# --------------------------------------------------------------------------- #
+# Parameter expressions
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Number:
+    """A numeric literal."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class Identifier:
+    """A reference to a gate parameter (inside a gate body) or ``pi``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary minus or a builtin function applied to a sub-expression."""
+
+    op: str  # '-', 'sin', 'cos', 'tan', 'exp', 'ln', 'sqrt'
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """A binary arithmetic expression."""
+
+    op: str  # '+', '-', '*', '/', '^'
+    left: "Expression"
+    right: "Expression"
+
+
+Expression = Union[Number, Identifier, UnaryOp, BinaryOp]
+
+
+# --------------------------------------------------------------------------- #
+# Operands
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RegisterRef:
+    """A reference to a whole register or to one element ``name[index]``."""
+
+    name: str
+    index: Optional[int] = None
+
+    def is_indexed(self) -> bool:
+        return self.index is not None
+
+
+# --------------------------------------------------------------------------- #
+# Statements
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RegDecl:
+    """``qreg name[size];`` or ``creg name[size];``"""
+
+    kind: str  # 'qreg' | 'creg'
+    name: str
+    size: int
+
+
+@dataclass(frozen=True)
+class Include:
+    """``include "filename";``"""
+
+    filename: str
+
+
+@dataclass(frozen=True)
+class GateCall:
+    """Application of a (builtin or user-defined) gate to operands."""
+
+    name: str
+    params: Tuple[Expression, ...]
+    operands: Tuple[RegisterRef, ...]
+    condition: Optional[Tuple[str, int]] = None  # (creg name, value) from `if`
+
+
+@dataclass(frozen=True)
+class Measure:
+    """``measure src -> dst;``"""
+
+    source: RegisterRef
+    target: RegisterRef
+    condition: Optional[Tuple[str, int]] = None
+
+
+@dataclass(frozen=True)
+class Reset:
+    """``reset operand;``"""
+
+    operand: RegisterRef
+    condition: Optional[Tuple[str, int]] = None
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """``barrier operands;``"""
+
+    operands: Tuple[RegisterRef, ...]
+
+
+@dataclass(frozen=True)
+class GateDefinition:
+    """``gate name(params) qubits { body }`` or an ``opaque`` declaration."""
+
+    name: str
+    params: Tuple[str, ...]
+    qubits: Tuple[str, ...]
+    body: Tuple[GateCall, ...]
+    opaque: bool = False
+
+
+Statement = Union[RegDecl, Include, GateCall, Measure, Reset, Barrier, GateDefinition]
+
+
+@dataclass
+class Program:
+    """A complete OpenQASM 2.0 program."""
+
+    version: str = "2.0"
+    statements: List[Statement] = field(default_factory=list)
+
+    def declarations(self) -> List[RegDecl]:
+        return [s for s in self.statements if isinstance(s, RegDecl)]
+
+    def gate_definitions(self) -> List[GateDefinition]:
+        return [s for s in self.statements if isinstance(s, GateDefinition)]
+
+    def operations(self) -> List[Statement]:
+        return [
+            s
+            for s in self.statements
+            if isinstance(s, (GateCall, Measure, Reset, Barrier))
+        ]

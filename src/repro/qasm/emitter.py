@@ -1,0 +1,72 @@
+"""Serialise :class:`~repro.circuit.circuit.QCircuit` objects to OpenQASM 2.0."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.circuit.circuit import QCircuit
+from repro.circuit.gate import Gate
+from repro.errors import QasmError
+
+#: Gates that ``qelib1.inc`` defines and therefore need no local definition.
+QELIB1_GATES = frozenset(
+    {
+        "u3", "u2", "u1", "cx", "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg",
+        "rx", "ry", "rz", "cz", "cy", "ch", "ccx", "crz", "cu1", "cu3", "swap",
+        "cswap", "u", "p", "sx", "sxdg", "rxx", "rzz", "iswap", "ecr",
+    }
+)
+
+
+def _format_param(value: float) -> str:
+    """Render an angle, preferring exact multiples of pi for readability."""
+    if value == 0:
+        return "0"
+    for denominator in (1, 2, 3, 4, 6, 8, 16):
+        for numerator in range(-16, 17):
+            if numerator == 0:
+                continue
+            if abs(value - numerator * math.pi / denominator) < 1e-12:
+                num = "" if abs(numerator) == 1 else str(abs(numerator)) + "*"
+                sign = "-" if numerator < 0 else ""
+                if denominator == 1:
+                    return f"{sign}{num}pi"
+                return f"{sign}{num}pi/{denominator}"
+    return repr(float(value))
+
+
+def gate_to_qasm_line(gate: Gate) -> str:
+    """Render one gate as an OpenQASM statement (without conditions)."""
+    if gate.is_barrier():
+        operands = ", ".join(f"q[{q}]" for q in gate.qubits)
+        return f"barrier {operands};"
+    if gate.is_measurement():
+        return f"measure q[{gate.qubits[0]}] -> c[{gate.clbits[0]}];"
+    if gate.is_reset():
+        return f"reset q[{gate.qubits[0]}];"
+    if gate.q_controls:
+        raise QasmError("q_if-modified gates cannot be serialised to OpenQASM 2.0")
+    name = gate.name
+    params = ""
+    if gate.params:
+        params = "(" + ", ".join(_format_param(p) for p in gate.params) + ")"
+    operands = ", ".join(f"q[{q}]" for q in gate.qubits)
+    return f"{name}{params} {operands};"
+
+
+def circuit_to_qasm(circuit: QCircuit) -> str:
+    """Serialise a circuit to an OpenQASM 2.0 program string."""
+    lines: List[str] = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{max(circuit.num_qubits, 1)}];",
+    ]
+    if circuit.num_clbits > 0:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for gate in circuit:
+        line = gate_to_qasm_line(gate)
+        if gate.condition is not None:
+            line = f"if(c=={gate.condition[1]}) " + line
+        lines.append(line)
+    return "\n".join(lines) + "\n"

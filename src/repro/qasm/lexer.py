@@ -1,0 +1,158 @@
+"""Tokenizer for OpenQASM 2.0 programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import QasmError
+
+#: Reserved words of the OpenQASM 2.0 grammar.
+KEYWORDS = frozenset(
+    {
+        "OPENQASM",
+        "include",
+        "qreg",
+        "creg",
+        "gate",
+        "opaque",
+        "measure",
+        "reset",
+        "barrier",
+        "if",
+        "pi",
+        "sin",
+        "cos",
+        "tan",
+        "exp",
+        "ln",
+        "sqrt",
+    }
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+SYMBOLS = ("==", "->", "(", ")", "[", "]", "{", "}", ",", ";", "+", "-", "*", "/", "^")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (1-based line/column)."""
+
+    kind: str  # 'keyword' | 'id' | 'int' | 'real' | 'string' | 'symbol' | 'eof'
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """A hand-written scanner producing :class:`Token` objects."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> QasmError:
+        return QasmError(f"lexical error at line {self.line}, column {self.column}: {message}")
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos : self.pos + count]
+        for char in chunk:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return chunk
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token in the input followed by a single EOF token."""
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.text):
+                yield Token("eof", "", self.line, self.column)
+                return
+            line, column = self.line, self.column
+            char = self._peek()
+            if char == '"':
+                yield Token("string", self._read_string(), line, column)
+            elif char.isdigit() or (char == "." and self._peek(1).isdigit()):
+                kind, value = self._read_number()
+                yield Token(kind, value, line, column)
+            elif char.isalpha() or char == "_":
+                word = self._read_word()
+                kind = "keyword" if word in KEYWORDS else "id"
+                yield Token(kind, word, line, column)
+            else:
+                symbol = self._read_symbol()
+                yield Token("symbol", symbol, line, column)
+
+    def _read_string(self) -> str:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            char = self._peek()
+            if char == "":
+                raise self._error("unterminated string literal")
+            if char == '"':
+                self._advance()
+                return "".join(chars)
+            chars.append(self._advance())
+
+    def _read_number(self):
+        chars: List[str] = []
+        is_real = False
+        while True:
+            char = self._peek()
+            if char.isdigit():
+                chars.append(self._advance())
+            elif char == "." and not is_real:
+                is_real = True
+                chars.append(self._advance())
+            elif char in "eE" and (self._peek(1).isdigit() or self._peek(1) in "+-"):
+                is_real = True
+                chars.append(self._advance())
+                if self._peek() in "+-":
+                    chars.append(self._advance())
+            else:
+                break
+        value = "".join(chars)
+        return ("real" if is_real else "int"), value
+
+    def _read_word(self) -> str:
+        chars: List[str] = []
+        while self._peek().isalnum() or self._peek() == "_":
+            chars.append(self._advance())
+        return "".join(chars)
+
+    def _read_symbol(self) -> str:
+        for symbol in SYMBOLS:
+            if self.text.startswith(symbol, self.pos):
+                self._advance(len(symbol))
+                return symbol
+        raise self._error(f"unexpected character {self._peek()!r}")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a whole OpenQASM program into a list ending with EOF."""
+    return list(Lexer(text).tokens())

@@ -1,0 +1,45 @@
+"""A small SMT-style prover: terms, congruence closure, E-matching, contexts."""
+
+from repro.smt.congruence import CongruenceClosure
+from repro.smt.ematch import instantiate_rules, match_pattern
+from repro.smt.solver import CheckResult, Context
+from repro.smt.terms import (
+    BOOL,
+    CIRCUIT,
+    GATE,
+    INT,
+    QUBIT,
+    Rule,
+    Term,
+    app,
+    conj,
+    eq,
+    false,
+    lit,
+    ne,
+    true,
+    var,
+)
+
+__all__ = [
+    "BOOL",
+    "CIRCUIT",
+    "CheckResult",
+    "CongruenceClosure",
+    "Context",
+    "GATE",
+    "INT",
+    "QUBIT",
+    "Rule",
+    "Term",
+    "app",
+    "conj",
+    "eq",
+    "false",
+    "instantiate_rules",
+    "lit",
+    "match_pattern",
+    "ne",
+    "true",
+    "var",
+]

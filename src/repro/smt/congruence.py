@@ -1,0 +1,150 @@
+"""Congruence closure over hash-consed terms.
+
+This is the classic union-find + congruence-table algorithm (Nelson-Oppen /
+Downey-Sethi-Tarjan style): ground equalities are merged into equivalence
+classes, and whenever two applications of the same function symbol have
+pairwise-congruent arguments their classes are merged as well.  Together with
+bounded quantifier instantiation (:mod:`repro.smt.ematch`) this decides the
+fragment of proof obligations the Giallar verifier emits.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.smt.terms import Term
+
+
+class CongruenceClosure:
+    """Maintain equivalence classes of terms closed under congruence."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Term, Term] = {}
+        self._rank: Dict[Term, int] = {}
+        # For each known term, the terms that use it as a direct argument.
+        self._uses: Dict[Term, Set[Term]] = defaultdict(set)
+        # Signature table: (op, arg representatives) -> a known application.
+        self._signatures: Dict[tuple, Term] = {}
+        # Asserted disequalities as pairs of representatives.
+        self._disequalities: List[Tuple[Term, Term]] = []
+        self._terms: Set[Term] = set()
+
+    # ------------------------------------------------------------------ #
+    # Union-find
+    # ------------------------------------------------------------------ #
+    def add_term(self, term: Term) -> None:
+        """Register a term and all of its sub-terms."""
+        if term in self._terms:
+            return
+        for arg in term.args:
+            self.add_term(arg)
+        self._terms.add(term)
+        self._parent[term] = term
+        self._rank[term] = 0
+        for arg in term.args:
+            self._uses[self.find(arg)].add(term)
+        self._insert_signature(term)
+
+    def find(self, term: Term) -> Term:
+        """Representative of the term's equivalence class."""
+        if term not in self._parent:
+            self.add_term(term)
+        root = term
+        while self._parent[root] is not root:
+            root = self._parent[root]
+        while self._parent[term] is not root:
+            self._parent[term], term = root, self._parent[term]
+        return root
+
+    def _signature(self, term: Term) -> Optional[tuple]:
+        if not term.args:
+            return None
+        return (term.op, term.payload, tuple(self.find(arg) for arg in term.args))
+
+    def _insert_signature(self, term: Term) -> None:
+        signature = self._signature(term)
+        if signature is None:
+            return
+        existing = self._signatures.get(signature)
+        if existing is None:
+            self._signatures[signature] = term
+        elif self.find(existing) is not self.find(term):
+            self._merge(existing, term)
+
+    # ------------------------------------------------------------------ #
+    # Assertions
+    # ------------------------------------------------------------------ #
+    def merge(self, left: Term, right: Term) -> None:
+        """Assert that two terms are equal."""
+        self.add_term(left)
+        self.add_term(right)
+        self._merge(left, right)
+
+    def _merge(self, left: Term, right: Term) -> None:
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left is root_right:
+            return
+        if self._rank[root_left] < self._rank[root_right]:
+            root_left, root_right = root_right, root_left
+        self._parent[root_right] = root_left
+        if self._rank[root_left] == self._rank[root_right]:
+            self._rank[root_left] += 1
+        # Users of the absorbed class may now be congruent to other terms.
+        pending = list(self._uses[root_right])
+        self._uses[root_left].update(self._uses[root_right])
+        self._uses[root_right].clear()
+        for user in pending:
+            signature = self._signature(user)
+            if signature is None:
+                continue
+            existing = self._signatures.get(signature)
+            if existing is None:
+                self._signatures[signature] = user
+            elif self.find(existing) is not self.find(user):
+                self._merge(existing, user)
+
+    def assert_disequal(self, left: Term, right: Term) -> None:
+        """Assert that two terms must differ (used for contradiction checks)."""
+        self.add_term(left)
+        self.add_term(right)
+        self._disequalities.append((left, right))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def equal(self, left: Term, right: Term) -> bool:
+        """Are the two terms known to be equal?"""
+        self.add_term(left)
+        self.add_term(right)
+        if self.find(left) is self.find(right):
+            return True
+        # Distinct literals of the same sort are never equal, but that is a
+        # *disequality* fact, not an equality, so it does not help here.
+        return False
+
+    def inconsistent(self) -> bool:
+        """Is some asserted disequality violated (or two literals merged)?"""
+        for left, right in self._disequalities:
+            if self.find(left) is self.find(right):
+                return True
+        literal_classes: Dict[Term, Term] = {}
+        for term in self._terms:
+            if term.is_literal():
+                root = self.find(term)
+                other = literal_classes.get(root)
+                if other is not None and other.payload != term.payload:
+                    return True
+                literal_classes[root] = term
+        return False
+
+    def terms(self) -> List[Term]:
+        """Every registered term (the E-matching term bank)."""
+        return list(self._terms)
+
+    def classes(self) -> Dict[Term, List[Term]]:
+        """Representative -> members mapping, mostly for debugging and tests."""
+        out: Dict[Term, List[Term]] = defaultdict(list)
+        for term in self._terms:
+            out[self.find(term)].append(term)
+        return dict(out)

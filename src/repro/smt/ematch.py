@@ -1,0 +1,129 @@
+"""E-matching: finding instances of quantified rewrite rules in a term bank.
+
+Patterns are ordinary terms containing variables.  A pattern matches a ground
+term modulo the current congruence: at each position the matched sub-term may
+be any member of the equivalence class of the corresponding ground sub-term.
+Matching is performed against per-round indexes of the term bank (class
+membership and head-symbol indexes) so that instantiation stays cheap even as
+rule applications grow the bank.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.smt.congruence import CongruenceClosure
+from repro.smt.terms import Rule, Term
+
+
+class _BankIndex:
+    """Snapshot indexes of the closure's term bank for one matching round."""
+
+    def __init__(self, closure: CongruenceClosure) -> None:
+        self.closure = closure
+        self.members: Dict[Term, List[Term]] = defaultdict(list)
+        self.by_head: Dict[Tuple[str, object, int], List[Term]] = defaultdict(list)
+        for term in closure.terms():
+            root = closure.find(term)
+            self.members[root].append(term)
+            self.by_head[(term.op, term.payload, len(term.args))].append(term)
+
+    def class_members(self, term: Term) -> List[Term]:
+        root = self.closure.find(term)
+        members = self.members.get(root)
+        return members if members else [term]
+
+    def candidates(self, pattern: Term) -> List[Term]:
+        return self.by_head.get((pattern.op, pattern.payload, len(pattern.args)), [])
+
+
+def _match(pattern: Term, target: Term, index: _BankIndex,
+           bindings: Dict[Term, Term]) -> Iterator[Dict[Term, Term]]:
+    closure = index.closure
+    if pattern.is_var():
+        bound = bindings.get(pattern)
+        if bound is not None:
+            if closure.equal(bound, target):
+                yield bindings
+            return
+        new_bindings = dict(bindings)
+        new_bindings[pattern] = target
+        yield new_bindings
+        return
+    if pattern.is_literal():
+        if target.is_literal() and target.payload == pattern.payload:
+            yield bindings
+            return
+        for member in index.class_members(target):
+            if member.is_literal() and member.payload == pattern.payload:
+                yield bindings
+                return
+        return
+    for member in index.class_members(target):
+        if (
+            member.op != pattern.op
+            or member.payload != pattern.payload
+            or len(member.args) != len(pattern.args)
+        ):
+            continue
+        yield from _match_args(pattern.args, member.args, index, bindings)
+
+
+def _match_args(pattern_args, target_args, index, bindings) -> Iterator[Dict[Term, Term]]:
+    if not pattern_args:
+        yield bindings
+        return
+    head_pattern, *rest_patterns = pattern_args
+    head_target, *rest_targets = target_args
+    for new_bindings in _match(head_pattern, head_target, index, bindings):
+        yield from _match_args(tuple(rest_patterns), tuple(rest_targets), index, new_bindings)
+
+
+def match_pattern(
+    pattern: Term,
+    target: Term,
+    closure: CongruenceClosure,
+    bindings: Optional[Dict[Term, Term]] = None,
+) -> Iterator[Dict[Term, Term]]:
+    """Yield every substitution making ``pattern`` equal to ``target``.
+
+    Kept as a public helper (used directly by tests); instantiation uses the
+    indexed fast path internally.
+    """
+    yield from _match(pattern, target, _BankIndex(closure), dict(bindings or {}))
+
+
+def instantiate_rules(
+    rules: List[Rule],
+    closure: CongruenceClosure,
+    max_rounds: int = 4,
+    max_instances: int = 5_000,
+) -> int:
+    """Repeatedly instantiate quantified rules against the term bank.
+
+    Each instantiation asserts ``lhs[sigma] = rhs[sigma]`` into the closure.
+    Rounds continue until a fixed point, the round bound, or the instance
+    budget is reached.  Returns the number of instantiations performed.
+    """
+    performed = 0
+    for _round in range(max_rounds):
+        changed = False
+        index = _BankIndex(closure)
+        for rule in rules:
+            for trigger in rule.triggers:
+                for target in index.candidates(trigger):
+                    for bindings in _match(trigger, target, index, {}):
+                        if any(v not in bindings for v in rule.lhs.variables()):
+                            continue
+                        lhs = rule.lhs.substitute(bindings)
+                        rhs = rule.rhs.substitute(bindings)
+                        if not closure.equal(lhs, rhs):
+                            closure.merge(lhs, rhs)
+                            changed = True
+                            performed += 1
+                            if performed >= max_instances:
+                                return performed
+        if not changed:
+            break
+    return performed

@@ -1,0 +1,103 @@
+"""Commutation relations between quantum gates.
+
+The commutativity rewrite rules of Figure 7 are represented here as a
+decision table over gate pairs: two gates commute when swapping their order
+leaves the circuit semantics unchanged.  The table is deliberately
+conservative (it may answer ``False`` for gates that do commute); every
+``True`` answer is validated against the dense-matrix semantics by the
+soundness tests, mirroring the paper's once-and-for-all Coq proofs.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.circuit.gate import Gate
+from repro.circuit.gates import is_diagonal_gate, is_known_gate
+
+#: 1-qubit gates that are diagonal in the computational (Z) basis.
+_Z_BASIS_1Q = frozenset({"z", "s", "sdg", "t", "tdg", "rz", "u1", "id"})
+
+#: 1-qubit gates that are diagonal in the X basis (commute through CX targets).
+_X_BASIS_1Q = frozenset({"x", "rx", "id", "sx", "sxdg"})
+
+#: 2-qubit gates diagonal in the Z basis.
+_Z_BASIS_2Q = frozenset({"cz", "cu1", "rzz", "crz"})
+
+
+def _is_z_diagonal(gate: Gate) -> bool:
+    return gate.name in _Z_BASIS_1Q or gate.name in _Z_BASIS_2Q or (
+        is_known_gate(gate.name) and is_diagonal_gate(gate.name)
+    )
+
+
+def gates_commute(first: Gate, second: Gate) -> bool:
+    """Return ``True`` when the two gates can be reordered without changing semantics.
+
+    Conditioned gates (``c_if``/``q_if``), measurements, resets and barriers
+    never commute with anything sharing a wire: this conservatism is exactly
+    what protects the verifier from the Section 7.1 conditional-gate bug.
+    """
+    if first.is_barrier() or second.is_barrier():
+        return False
+    if first.is_conditioned() or second.is_conditioned():
+        return not first.shares_qubit(second) and first.condition is None \
+            and second.condition is None
+    if not first.shares_qubit(second):
+        return True
+    if first.is_measurement() or second.is_measurement():
+        return False
+    if first.is_reset() or second.is_reset():
+        return False
+    # Both act on a common qubit: consult the structural rules.
+    if _is_z_diagonal(first) and _is_z_diagonal(second):
+        return True
+    if first.name == "cx" and second.name == "cx":
+        same_control = first.qubits[0] == second.qubits[0]
+        same_target = first.qubits[1] == second.qubits[1]
+        if same_control and same_target:
+            return True
+        overlap = set(first.qubits) & set(second.qubits)
+        if same_control and first.qubits[1] != second.qubits[1] and len(overlap) == 1:
+            return True
+        if same_target and first.qubits[0] != second.qubits[0] and len(overlap) == 1:
+            return True
+        return False
+    if first.name == "cx" or second.name == "cx":
+        cx_gate, other = (first, second) if first.name == "cx" else (second, first)
+        control, target = cx_gate.qubits
+        other_qubits = set(other.all_qubits)
+        touches_control = control in other_qubits
+        touches_target = target in other_qubits
+        if touches_control and touches_target:
+            return False
+        if touches_control:
+            return _is_z_diagonal(other)
+        if touches_target:
+            return other.name in _X_BASIS_1Q
+        return True
+    if first.name == second.name and first.qubits == second.qubits and first.params == second.params:
+        return True
+    if first.name == "x" and second.name == "x" and first.qubits == second.qubits:
+        return True
+    # X-basis gates commute among themselves on the same qubit.
+    if (
+        first.num_qubits == 1
+        and second.num_qubits == 1
+        and first.qubits == second.qubits
+        and first.name in _X_BASIS_1Q
+        and second.name in _X_BASIS_1Q
+    ):
+        return True
+    return False
+
+
+#: The gate set on which commutation is transitive (the Section 7.2 fix).
+TRANSITIVE_GATE_SET: FrozenSet[str] = frozenset(
+    {"cx", "x", "z", "h", "t", "u1", "u2", "u3", "s", "sdg", "tdg", "rz", "id"}
+)
+
+
+def commutation_is_transitive_on(names) -> bool:
+    """Check a gate-name set is within the fragment where ``~`` is transitive."""
+    return set(names) <= set(TRANSITIVE_GATE_SET)

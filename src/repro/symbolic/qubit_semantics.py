@@ -1,0 +1,194 @@
+"""Symbolic execution of quantum circuits at the qubit level (Section 5).
+
+A quantum register is represented as a tuple of symbolic qubit terms.
+Applying a 1-qubit gate ``U`` to qubit ``q`` produces the term
+``app1q(U, q)``; applying a 2-qubit gate produces ``app2q(U, q1, q2, k)`` for
+the ``k``-th output qubit.  A circuit is executed by folding its gates over
+the register.  The rewrite rules (swap reduction, cancellation of adjacent
+self-inverse gates, inverse pairs) are implemented as a terminating
+term rewriter; together with the register-level rules in
+:mod:`repro.symbolic.rules` this is the reproduction of the paper's symbolic
+representation for quantum circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.gate import Gate
+from repro.circuit.gates import inverse_gate, is_known_gate, is_self_inverse
+from repro.errors import CircuitError
+from repro.smt.terms import QUBIT, Term, app, lit, var
+
+
+def initial_register(num_qubits: int, prefix: str = "q") -> Tuple[Term, ...]:
+    """A register of fresh symbolic qubits ``(?q0, ..., ?q{n-1})``."""
+    return tuple(var(f"{prefix}{i}", QUBIT) for i in range(num_qubits))
+
+
+def _gate_label(gate: Gate) -> Term:
+    """The gate's identity as a term literal: name plus rounded parameters."""
+    return lit((gate.name, tuple(round(p, 12) for p in gate.params)), "Gate")
+
+
+def app1q(gate: Gate, qubit: Term) -> Term:
+    """Symbolic result of applying a 1-qubit gate to a qubit term."""
+    return app("app1q", _gate_label(gate), qubit, sort=QUBIT)
+
+
+def app2q(gate: Gate, first: Term, second: Term, index: int) -> Term:
+    """Symbolic ``index``-th output (1 or 2) of applying a 2-qubit gate."""
+    return app("app2q", _gate_label(gate), first, second, lit(index), sort=QUBIT)
+
+
+def apply_gate(gate: Gate, register: Sequence[Term]) -> Tuple[Term, ...]:
+    """One step of the symbolic execution relation of Section 5."""
+    register = tuple(register)
+    if gate.is_barrier():
+        return register
+    if gate.is_conditioned():
+        raise CircuitError("conditioned gates have no unconditional symbolic semantics")
+    if gate.num_qubits == 1:
+        (target,) = gate.qubits
+        updated = list(register)
+        updated[target] = app1q(gate, register[target])
+        return tuple(updated)
+    if gate.num_qubits == 2:
+        first, second = gate.qubits
+        updated = list(register)
+        updated[first] = app2q(gate, register[first], register[second], 1)
+        updated[second] = app2q(gate, register[first], register[second], 2)
+        return tuple(updated)
+    raise CircuitError(f"symbolic qubit semantics only covers 1- and 2-qubit gates, got {gate.name}")
+
+
+def apply_circuit(gates: Sequence[Gate], register: Sequence[Term]) -> Tuple[Term, ...]:
+    """Symbolically execute a whole circuit on a register of qubit terms."""
+    state = tuple(register)
+    for gate in gates:
+        state = apply_gate(gate, state)
+    return state
+
+
+# --------------------------------------------------------------------------- #
+# Rewriting
+# --------------------------------------------------------------------------- #
+def _decode_label(label: Term) -> Optional[Tuple[str, Tuple[float, ...]]]:
+    if label.is_literal() and isinstance(label.payload, tuple):
+        return label.payload
+    return None
+
+
+def _labels_inverse(first, second) -> bool:
+    """Do the two decoded gate labels form an inverse pair on the same qubits?"""
+    name_a, params_a = first
+    name_b, params_b = second
+    if name_a == name_b and not params_a and is_known_gate(name_a) and is_self_inverse(name_a):
+        return True
+    if not is_known_gate(name_a):
+        return False
+    from repro.circuit.gates import gate_spec
+
+    arity = gate_spec(name_a).num_qubits
+    try:
+        inverse = inverse_gate(Gate(name_a, tuple(range(arity)), params_a))
+    except Exception:  # pragma: no cover
+        return False
+    return inverse.name == name_b and all(
+        abs(a - b) < 1e-10 for a, b in zip(inverse.params, params_b)
+    ) and len(inverse.params) == len(params_b)
+
+
+def rewrite_qubit_term(term: Term, cache: Optional[Dict[Term, Term]] = None) -> Term:
+    """Normalise a qubit term using the swap / cancellation rewrite rules.
+
+    Rules applied (innermost-first, to a fixed point):
+
+    * ``app2q(SWAP, q1, q2, 1) -> q2`` and ``app2q(SWAP, q1, q2, 2) -> q1``
+    * ``app1q(U, app1q(U^-1, q)) -> q`` (1-qubit cancellation / inverse pairs)
+    * ``app2q(U, app2q(U, q1, q2, 1), app2q(U, q1, q2, 2), k) -> qk`` for
+      self-inverse 2-qubit gates (the CX cancellation rule of Section 3).
+
+    Qubit terms are hash-consed DAGs with heavy sharing (the two output
+    qubits of a 2-qubit gate share their input sub-terms), so the rewriter
+    memoises the normal form of every sub-term in ``cache``; without the memo
+    table a plain tree walk would be exponential in the circuit depth.
+    Callers normalising many related terms (a whole register) should pass a
+    shared ``cache``.
+    """
+    if cache is None:
+        cache = {}
+    return _normalise(term, cache)
+
+
+def _normalise(term: Term, cache: Dict[Term, Term]) -> Term:
+    cached = cache.get(term)
+    if cached is not None:
+        return cached
+    if not term.args:
+        cache[term] = term
+        return term
+    new_args = tuple(_normalise(arg, cache) for arg in term.args)
+    normalised = (
+        term if new_args == term.args else Term(term.op, new_args, term.sort, term.payload)
+    )
+    reduced = _reduce_head(normalised)
+    if reduced is not normalised:
+        reduced = _normalise(reduced, cache)
+    cache[term] = reduced
+    cache[normalised] = reduced
+    return reduced
+
+
+def _reduce_head(term: Term) -> Term:
+    """Apply one rewrite rule at the root of an argument-normalised term."""
+    if term.op == "app2q":
+        label, first, second, index = term.args
+        decoded = _decode_label(label)
+        if decoded is not None and decoded[0] == "swap":
+            return second if index.payload == 1 else first
+        # Cancellation of a self-inverse or inverse-pair 2-qubit gate.
+        if (
+            first.op == "app2q"
+            and second.op == "app2q"
+            and first.args[3].payload == 1
+            and second.args[3].payload == 2
+            and first.args[0:3] == second.args[0:3]
+        ):
+            inner_decoded = _decode_label(first.args[0])
+            if decoded is not None and inner_decoded is not None and _labels_inverse(inner_decoded, decoded):
+                inner_first, inner_second = first.args[1], first.args[2]
+                return inner_first if index.payload == 1 else inner_second
+    if term.op == "app1q":
+        label, operand = term.args
+        decoded = _decode_label(label)
+        if operand.op == "app1q" and decoded is not None:
+            inner_decoded = _decode_label(operand.args[0])
+            if inner_decoded is not None and _labels_inverse(inner_decoded, decoded):
+                return operand.args[1]
+    return term
+
+
+def registers_equal(left: Sequence[Term], right: Sequence[Term]) -> bool:
+    """Are two symbolic registers equal after rewriting every qubit term?"""
+    if len(left) != len(right):
+        return False
+    cache: Dict[Term, Term] = {}
+    return all(
+        rewrite_qubit_term(a, cache) is rewrite_qubit_term(b, cache)
+        for a, b in zip(left, right)
+    )
+
+
+def circuits_equivalent_symbolically(
+    left: Sequence[Gate], right: Sequence[Gate], num_qubits: int
+) -> bool:
+    """Qubit-term equivalence check: execute both circuits and compare registers.
+
+    This only proves equivalence for circuits whose difference is captured by
+    the local rewrite rules (cancellations and swap eliminations); it is the
+    faithful counterpart of the paper's Section 5 procedure and is used by the
+    ablation benchmarks against the dense-matrix oracle.
+    """
+    register = initial_register(num_qubits)
+    return registers_equal(apply_circuit(left, register), apply_circuit(right, register))

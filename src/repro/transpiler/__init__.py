@@ -1,0 +1,30 @@
+"""The baseline transpiler: pass manager, DAG passes, wrapper, presets."""
+
+from repro.transpiler.baseline_passes import (
+    BaselineApplyLayout,
+    BaselineBasicSwap,
+    BaselineCXCancellation,
+    BaselineLookaheadSwap,
+    BaselineOptimize1qGates,
+    BaselineTrivialLayout,
+    BaselineUnroller,
+)
+from repro.transpiler.passmanager import DAGPass, PassExecutionRecord, PassManager
+from repro.transpiler.presets import baseline_pipeline, verified_pipeline
+from repro.transpiler.wrapper import VerifiedPassWrapper
+
+__all__ = [
+    "BaselineApplyLayout",
+    "BaselineBasicSwap",
+    "BaselineCXCancellation",
+    "BaselineLookaheadSwap",
+    "BaselineOptimize1qGates",
+    "BaselineTrivialLayout",
+    "BaselineUnroller",
+    "DAGPass",
+    "PassExecutionRecord",
+    "PassManager",
+    "VerifiedPassWrapper",
+    "baseline_pipeline",
+    "verified_pipeline",
+]

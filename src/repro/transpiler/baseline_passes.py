@@ -1,0 +1,243 @@
+"""Baseline (unverified, DAG-based) transpiler passes.
+
+These play the role of the original Qiskit implementations in the Figure 11
+comparison: they operate directly on the DAG, without the Giallar library,
+its list representation, or the conversion wrapper.  They are deliberately
+written in the style of the original passes (mutating DAG traversals) so the
+performance comparison is meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.gate import Gate
+from repro.circuit.gates import IBM_NATIVE_BASIS, decompose_to_basis
+from repro.coupling.coupling_map import CouplingMap
+from repro.coupling.layout import Layout
+from repro.dag.dagcircuit import DAGCircuit
+from repro.errors import TranspilerError
+from repro.linalg.quaternion import compose_zyz
+from repro.transpiler.passmanager import DAGPass
+
+
+class BaselineTrivialLayout(DAGPass):
+    """Identity layout selection on the DAG."""
+
+    def __init__(self, coupling: Optional[CouplingMap] = None, **options):
+        super().__init__(**options)
+        self.coupling = coupling
+
+    def run(self, dag: DAGCircuit) -> None:
+        self.property_set["layout"] = Layout.trivial(dag.num_qubits)
+        return None
+
+
+class BaselineApplyLayout(DAGPass):
+    """Relabel DAG qubits through the selected layout."""
+
+    def run(self, dag: DAGCircuit) -> DAGCircuit:
+        layout: Optional[Layout] = self.property_set["layout"]
+        if layout is None:
+            return dag
+        permutation = layout.as_permutation(dag.num_qubits)
+        rebuilt = DAGCircuit(max(dag.num_qubits, len(permutation)), dag.num_clbits, name=dag.name)
+        for gate in dag.gates():
+            rebuilt.apply_gate(gate.remap_qubits(lambda q: permutation[q]))
+        return rebuilt
+
+
+class BaselineUnroller(DAGPass):
+    """Decompose every gate into the native basis, node by node."""
+
+    def __init__(self, basis=IBM_NATIVE_BASIS, **options):
+        super().__init__(**options)
+        self.basis = tuple(basis)
+
+    def run(self, dag: DAGCircuit) -> DAGCircuit:
+        rebuilt = DAGCircuit(dag.num_qubits, dag.num_clbits, name=dag.name)
+        for gate in dag.gates():
+            if gate.is_directive() or gate.is_conditioned() or gate.name in self.basis:
+                rebuilt.apply_gate(gate)
+            else:
+                for expanded in decompose_to_basis(gate, self.basis):
+                    rebuilt.apply_gate(expanded)
+        return rebuilt
+
+
+class BaselineCXCancellation(DAGPass):
+    """Cancel adjacent CX pairs by scanning DAG wires."""
+
+    def run(self, dag: DAGCircuit) -> DAGCircuit:
+        gates = dag.gates()
+        removed = set()
+        for index, gate in enumerate(gates):
+            if index in removed or not gate.is_cx_gate():
+                continue
+            for later in range(index + 1, len(gates)):
+                if later in removed:
+                    continue
+                other = gates[later]
+                if other.qubits == gate.qubits and other.is_cx_gate():
+                    removed.add(index)
+                    removed.add(later)
+                    break
+                if other.shares_qubit(gate):
+                    break
+        rebuilt = DAGCircuit(dag.num_qubits, dag.num_clbits, name=dag.name)
+        for index, gate in enumerate(gates):
+            if index not in removed:
+                rebuilt.apply_gate(gate)
+        return rebuilt
+
+
+class BaselineOptimize1qGates(DAGPass):
+    """Merge u1/u2/u3 runs using quaternions, directly on the DAG gate list."""
+
+    _NAMES = ("u1", "u2", "u3")
+
+    def run(self, dag: DAGCircuit) -> DAGCircuit:
+        gates = dag.gates()
+        rebuilt = DAGCircuit(dag.num_qubits, dag.num_clbits, name=dag.name)
+        run: List[Gate] = []
+        run_qubit: Optional[int] = None
+
+        def flush():
+            nonlocal run, run_qubit
+            if not run:
+                return
+            if len(run) == 1:
+                rebuilt.apply_gate(run[0])
+            else:
+                theta, phi, lam = _euler(run[0])
+                for gate in run[1:]:
+                    theta, phi, lam = compose_zyz((theta, phi, lam), _euler(gate))
+                rebuilt.apply_gate(Gate("u3", (run_qubit,), (theta, phi, lam)))
+            run = []
+            run_qubit = None
+
+        for gate in gates:
+            mergeable = (
+                gate.name in self._NAMES
+                and len(gate.all_qubits) == 1
+                and not gate.is_conditioned()
+            )
+            if mergeable and (run_qubit is None or gate.qubits[0] == run_qubit):
+                run.append(gate)
+                run_qubit = gate.qubits[0]
+                continue
+            if run_qubit is not None and run_qubit in gate.all_qubits:
+                flush()
+            elif mergeable:
+                flush()
+                run = [gate]
+                run_qubit = gate.qubits[0]
+                continue
+            rebuilt.apply_gate(gate)
+        flush()
+        return rebuilt
+
+
+def _euler(gate: Gate) -> Tuple[float, float, float]:
+    import math
+
+    if gate.name == "u1":
+        return (0.0, 0.0, gate.params[0])
+    if gate.name == "u2":
+        return (math.pi / 2.0, gate.params[0], gate.params[1])
+    return gate.params
+
+
+class BaselineLookaheadSwap(DAGPass):
+    """Lookahead swap routing working directly on the DAG front layer."""
+
+    lookahead_window = 4
+
+    def __init__(self, coupling: CouplingMap, max_swaps_per_gate: Optional[int] = None, **options):
+        super().__init__(**options)
+        self.coupling = coupling
+        self.max_swaps_per_gate = max_swaps_per_gate
+
+    def run(self, dag: DAGCircuit) -> DAGCircuit:
+        coupling = self.coupling
+        layout = (self.property_set["layout"] or Layout.trivial(dag.num_qubits)).copy()
+        gates = dag.gates()
+        two_qubit_positions = [
+            i for i, g in enumerate(gates) if not g.is_directive() and len(g.all_qubits) == 2
+        ]
+        output = DAGCircuit(max(dag.num_qubits, coupling.num_qubits), dag.num_clbits, name=dag.name)
+        cap = self.max_swaps_per_gate or 4 * coupling.num_qubits**2
+        for position, gate in enumerate(gates):
+            qubits = gate.all_qubits
+            if gate.is_directive() or len(qubits) != 2:
+                output.apply_gate(gate.remap_qubits(lambda q: layout.physical(q)))
+                continue
+            upcoming = [gates[i] for i in two_qubit_positions if i > position][: self.lookahead_window]
+            swaps_used = 0
+            while not coupling.connected(layout.physical(qubits[0]), layout.physical(qubits[1])):
+                edge = self._best_swap(coupling, layout, gate, upcoming)
+                output.apply_gate(Gate("swap", edge))
+                layout.swap(*edge)
+                swaps_used += 1
+                if swaps_used > cap:
+                    raise TranspilerError("baseline lookahead swap exceeded its swap budget")
+            output.apply_gate(gate.remap_qubits(lambda q: layout.physical(q)))
+        self.property_set["final_layout"] = layout
+        return output
+
+    def _best_swap(self, coupling, layout, gate, upcoming) -> Tuple[int, int]:
+        pairs = [tuple(gate.qubits)] + [tuple(g.qubits) for g in upcoming]
+
+        def cost(candidate_layout) -> int:
+            return sum(
+                coupling.distance(candidate_layout.physical(a), candidate_layout.physical(b))
+                for a, b in pairs
+            )
+
+        current = cost(layout)
+        best_edge = None
+        best_cost = current
+        candidates = set()
+        for qubit in gate.qubits:
+            physical = layout.physical(qubit)
+            for neighbor in coupling.neighbors(physical):
+                candidates.add((min(physical, neighbor), max(physical, neighbor)))
+        for edge in sorted(candidates):
+            trial = layout.copy()
+            trial.swap(*edge)
+            trial_cost = cost(trial)
+            if trial_cost < best_cost:
+                best_cost = trial_cost
+                best_edge = edge
+        if best_edge is not None:
+            return best_edge
+        path = coupling.shortest_path(
+            layout.physical(gate.qubits[0]), layout.physical(gate.qubits[1])
+        )
+        return (path[0], path[1])
+
+
+class BaselineBasicSwap(DAGPass):
+    """Shortest-path swap routing on the DAG."""
+
+    def __init__(self, coupling: CouplingMap, **options):
+        super().__init__(**options)
+        self.coupling = coupling
+
+    def run(self, dag: DAGCircuit) -> DAGCircuit:
+        coupling = self.coupling
+        layout = (self.property_set["layout"] or Layout.trivial(dag.num_qubits)).copy()
+        output = DAGCircuit(max(dag.num_qubits, coupling.num_qubits), dag.num_clbits, name=dag.name)
+        for gate in dag.gates():
+            qubits = gate.all_qubits
+            if gate.is_directive() or len(qubits) != 2:
+                output.apply_gate(gate.remap_qubits(lambda q: layout.physical(q)))
+                continue
+            path = coupling.shortest_path(layout.physical(qubits[0]), layout.physical(qubits[1]))
+            for i in range(len(path) - 2):
+                edge = (path[i], path[i + 1])
+                output.apply_gate(Gate("swap", edge))
+                layout.swap(*edge)
+            output.apply_gate(gate.remap_qubits(lambda q: layout.physical(q)))
+        self.property_set["final_layout"] = layout
+        return output

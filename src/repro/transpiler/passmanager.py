@@ -1,0 +1,101 @@
+"""A Qiskit-style pass manager for the baseline (unverified) transpiler.
+
+The pass manager runs a list of passes over the DAG representation, sharing a
+property set between them, exactly like the original compiler's pipeline.
+Verified (gate-list based) Giallar passes are plugged into the same pipeline
+through the :class:`~repro.transpiler.wrapper.VerifiedPassWrapper`, which
+performs the DAG <-> list conversions described in Section 4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.circuit.circuit import QCircuit
+from repro.dag.converters import circuit_to_dag, dag_to_circuit
+from repro.dag.dagcircuit import DAGCircuit
+from repro.errors import TranspilerError
+from repro.verify.passes import BasePass, PropertySet
+
+
+class DAGPass:
+    """Base class for baseline passes that transform the DAG directly."""
+
+    is_analysis = False
+
+    def __init__(self, **options) -> None:
+        self.options = options
+        self.property_set: PropertySet = PropertySet()
+
+    def run(self, dag: DAGCircuit) -> Optional[DAGCircuit]:
+        raise NotImplementedError
+
+    @classmethod
+    def name(cls) -> str:
+        return cls.__name__
+
+
+@dataclass
+class PassExecutionRecord:
+    """Timing and bookkeeping for one pass execution."""
+
+    pass_name: str
+    seconds: float
+    ops_before: int
+    ops_after: int
+
+
+class PassManager:
+    """Run a sequence of passes over a circuit, sharing one property set."""
+
+    def __init__(self, passes: Sequence = ()) -> None:
+        self._passes: List = list(passes)
+        self.property_set = PropertySet()
+        self.records: List[PassExecutionRecord] = []
+
+    def append(self, pass_instance) -> "PassManager":
+        self._passes.append(pass_instance)
+        return self
+
+    @property
+    def passes(self) -> List:
+        return list(self._passes)
+
+    def run(self, circuit: QCircuit) -> QCircuit:
+        """Run every pass in order and return the transformed circuit."""
+        self.records = []
+        dag = circuit_to_dag(circuit)
+        for pass_instance in self._passes:
+            pass_instance.property_set = self.property_set
+            started = time.perf_counter()
+            ops_before = dag.size()
+            dag = self._run_one(pass_instance, dag)
+            self.records.append(
+                PassExecutionRecord(
+                    pass_name=type(pass_instance).__name__,
+                    seconds=time.perf_counter() - started,
+                    ops_before=ops_before,
+                    ops_after=dag.size(),
+                )
+            )
+        return dag_to_circuit(dag)
+
+    def _run_one(self, pass_instance, dag: DAGCircuit) -> DAGCircuit:
+        if isinstance(pass_instance, DAGPass):
+            result = pass_instance.run(dag)
+            return dag if result is None else result
+        if isinstance(pass_instance, BasePass):
+            # A verified pass used directly: convert at the boundary.
+            circuit = dag_to_circuit(dag)
+            result = pass_instance.run(circuit)
+            produced = circuit if result is None else result
+            return circuit_to_dag(produced)
+        if hasattr(pass_instance, "run"):
+            result = pass_instance.run(dag)
+            return dag if result is None else result
+        raise TranspilerError(f"cannot execute pipeline entry {pass_instance!r}")
+
+    def total_time(self) -> float:
+        return sum(record.seconds for record in self.records)

@@ -1,0 +1,63 @@
+"""Preset compilation pipelines used by the Figure 11 benchmark.
+
+Two pipelines are provided for a given coupling map:
+
+* :func:`baseline_pipeline` — the unverified DAG-based passes (standing in
+  for the original Qiskit implementation);
+* :func:`verified_pipeline` — the same sequence of steps but using the
+  verified Giallar passes behind the conversion wrapper.
+
+Both apply a trivial layout, route with the (most expensive) lookahead swap
+pass, fix CX directions, unroll to the native basis, and run the 1-qubit and
+CX-cancellation optimisations — the pipeline shape the paper uses for its
+compilation-performance comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.coupling.coupling_map import CouplingMap
+from repro.passes.assorted import GateDirection
+from repro.passes.basis import Unroller
+from repro.passes.layout import ApplyLayout, TrivialLayout
+from repro.passes.optimization import CXCancellation, Optimize1qGates
+from repro.passes.routing import LookaheadSwap
+from repro.transpiler.baseline_passes import (
+    BaselineApplyLayout,
+    BaselineCXCancellation,
+    BaselineLookaheadSwap,
+    BaselineOptimize1qGates,
+    BaselineTrivialLayout,
+    BaselineUnroller,
+)
+from repro.transpiler.passmanager import PassManager
+from repro.transpiler.wrapper import VerifiedPassWrapper
+
+
+def baseline_pipeline(coupling: CouplingMap) -> PassManager:
+    """The unverified, DAG-based pipeline (the "Qiskit" series of Figure 11)."""
+    return PassManager(
+        [
+            BaselineTrivialLayout(coupling=coupling),
+            BaselineApplyLayout(),
+            BaselineUnroller(),
+            BaselineLookaheadSwap(coupling=coupling),
+            BaselineOptimize1qGates(),
+            BaselineCXCancellation(),
+        ]
+    )
+
+
+def verified_pipeline(coupling: CouplingMap) -> PassManager:
+    """The verified pipeline behind the wrapper (the "Giallar" series)."""
+    return PassManager(
+        [
+            VerifiedPassWrapper(TrivialLayout(coupling=coupling)),
+            VerifiedPassWrapper(ApplyLayout()),
+            VerifiedPassWrapper(Unroller()),
+            VerifiedPassWrapper(LookaheadSwap(coupling=coupling)),
+            VerifiedPassWrapper(Optimize1qGates()),
+            VerifiedPassWrapper(CXCancellation()),
+        ]
+    )

@@ -1,0 +1,42 @@
+"""The Qiskit wrapper around verified passes (Section 4).
+
+A verified pass works on the gate-list representation; the surrounding
+compiler works on DAGs.  The wrapper performs the three steps the paper
+describes: convert the incoming DAG to the list IR, run the verified pass,
+and convert the result back to a DAG.  Its cost is exactly the overhead
+Figure 11 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.dag.converters import circuit_to_dag, dag_to_circuit
+from repro.dag.dagcircuit import DAGCircuit
+from repro.transpiler.passmanager import DAGPass
+from repro.verify.passes import BasePass
+
+
+class VerifiedPassWrapper(DAGPass):
+    """Adapt a verified (gate-list) pass to the DAG-based pipeline."""
+
+    def __init__(self, verified_pass: BasePass, **options) -> None:
+        super().__init__(**options)
+        self.verified_pass = verified_pass
+
+    @classmethod
+    def wrap(cls, pass_class: Type[BasePass], **pass_kwargs) -> "VerifiedPassWrapper":
+        return cls(pass_class(**pass_kwargs))
+
+    def run(self, dag: DAGCircuit) -> DAGCircuit:
+        self.verified_pass.property_set = self.property_set
+        circuit = dag_to_circuit(dag)
+        result = self.verified_pass.run(circuit)
+        produced = circuit if result is None else result
+        return circuit_to_dag(produced)
+
+    def name(self) -> str:  # type: ignore[override]
+        return f"Verified({type(self.verified_pass).__name__})"
+
+    def __repr__(self) -> str:
+        return f"VerifiedPassWrapper({self.verified_pass!r})"

@@ -1,0 +1,76 @@
+"""Verified utility library: analysis helpers and register manipulations."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.circuit.circuit import QCircuit
+from repro.coupling.coupling_map import CouplingMap
+from repro.coupling.layout import Layout
+from repro.verify.symvalues import SymCircuit, SymInt
+
+
+def check_map(circuit: Union[QCircuit, SymCircuit], coupling: Optional[CouplingMap]):
+    """Does every 2-qubit gate act on a coupled pair?  Opaque when symbolic."""
+    if isinstance(circuit, SymCircuit):
+        return None
+    if coupling is None:
+        return True
+    for gate in circuit:
+        if gate.is_directive():
+            continue
+        qubits = gate.all_qubits
+        if len(qubits) == 2 and not coupling.connected(qubits[0], qubits[1]):
+            return False
+        if len(qubits) > 2:
+            return False
+    return True
+
+
+def check_gate_direction(circuit: Union[QCircuit, SymCircuit], coupling: Optional[CouplingMap],
+                         names=("cx", "ecr")):
+    """Does every directional 2-qubit gate follow the coupling edge direction?"""
+    if isinstance(circuit, SymCircuit):
+        return None
+    if coupling is None:
+        return True
+    for gate in circuit:
+        if gate.name in names and len(gate.qubits) == 2:
+            if not coupling.has_edge(gate.qubits[0], gate.qubits[1]):
+                return False
+    return True
+
+
+def apply_layout(circuit: Union[QCircuit, SymCircuit], layout: Optional[Layout]):
+    """Relabel the circuit's qubits through a layout.
+
+    Specification: the result is the input circuit with qubit ``l`` renamed to
+    ``layout[l]`` — semantics are preserved up to that (bijective) relabelling.
+    On symbolic circuits the relabelling is represented abstractly (the
+    layout-application obligation is discharged by the relabelling lemma).
+    """
+    if isinstance(circuit, SymCircuit) or layout is None:
+        return circuit
+    permutation = layout.as_permutation(max(circuit.num_qubits, len(layout)))
+    remapped = circuit.remap_qubits(lambda q: permutation[q])
+    target_size = max(remapped.num_qubits, len(permutation))
+    if remapped.num_qubits < target_size:
+        remapped.num_qubits = target_size
+    return remapped
+
+
+def allocate_ancillas(circuit: Union[QCircuit, SymCircuit], coupling: Optional[CouplingMap]):
+    """Grow the quantum register to the device size without touching any gate."""
+    if isinstance(circuit, SymCircuit) or coupling is None:
+        return circuit
+    enlarged = circuit.copy()
+    if coupling.num_qubits > enlarged.num_qubits:
+        enlarged.add_qubits(coupling.num_qubits - enlarged.num_qubits)
+    return enlarged
+
+
+def opaque_int(circuit: Union[QCircuit, SymCircuit], value):
+    """Return ``value`` for concrete circuits, an opaque integer when symbolic."""
+    if isinstance(circuit, SymCircuit):
+        return SymInt(circuit._session, description="analysis result")
+    return value

@@ -1,0 +1,165 @@
+"""Verified utility library: circuit-manipulation helpers (Section 4).
+
+Each function has two behaviours behind one entry point:
+
+* on a concrete :class:`~repro.circuit.circuit.QCircuit` it runs the real
+  algorithm (the implementation used when the pass compiles circuits);
+* on a :class:`~repro.verify.symvalues.SymCircuit` it applies its
+  *specification*: it refines the symbolic circuit structure and assumes the
+  facts the specification guarantees, without being re-verified at every call
+  site — exactly the paper's "replace utility functions with specifications".
+
+The concrete implementations are validated against their specifications by
+the property-based tests in ``tests/utility``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.circuit.circuit import QCircuit
+from repro.circuit.gate import Gate
+from repro.verify import facts as F
+from repro.verify.facts import Fact
+from repro.verify.symvalues import Segment, SymCircuit, SymGate, SymIndex
+
+
+def next_gate(circuit: Union[QCircuit, SymCircuit], index: int) -> Optional[Union[int, SymIndex]]:
+    """Index of the first later gate sharing a qubit with gate ``index``.
+
+    Specification (the four clauses of Section 3):
+
+    1. the returned index ``x`` is a valid index of ``circuit``;
+    2. ``x > index``;
+    3. no gate strictly between ``index`` and ``x`` shares a qubit with gate
+       ``index``;
+    4. gate ``x`` shares a qubit with gate ``index``.
+
+    Returns ``None`` when no such gate exists.
+    """
+    if isinstance(circuit, QCircuit):
+        current = circuit[index]
+        for position in range(index + 1, circuit.size()):
+            if circuit[position].shares_qubit(current):
+                return position
+        return None
+    return _next_gate_spec(circuit, index)
+
+
+def _next_gate_spec(circuit: SymCircuit, index: int) -> SymIndex:
+    """Symbolic behaviour of ``next_gate``: refine the circuit structure."""
+    session = circuit._session
+    current = circuit[index]
+    if not isinstance(current, SymGate):
+        raise TypeError("next_gate specification expects a symbolic gate at the given index")
+    skipped = session.fresh_segment("gates between the current gate and the next match")
+    match = session.fresh_gate("first later gate sharing a qubit with the current gate")
+    # Clause 3: the skipped segment commutes with the current gate because no
+    # gate inside it shares a qubit with it.
+    session.assume(Fact(F.SEGMENT_COMMUTES_WITH, (skipped.uid, current.uid)))
+    # Clause 4: the matched gate shares a qubit with the current gate.
+    session.assume(Fact(F.SHARES_QUBIT, (match.uid, current.uid)))
+    session.assume(Fact(F.SHARES_QUBIT, (current.uid, match.uid)))
+    # Refine the structure: everything after `index` becomes skipped ++ match ++ rest,
+    # and record that the refinement preserves the circuit's semantics.
+    rest_elements = list(circuit._elements[index + 1 :])
+    rest: List = []
+    if rest_elements:
+        rest = [session.fresh_segment("remainder after the matched gate")]
+    new_tail = [skipped, match] + rest
+    session.assume(Fact(F.SEGMENT_EQUIVALENT_TO, (tuple(rest_elements), tuple(new_tail))))
+    circuit._elements[index + 1 :] = new_tail
+    return SymIndex(session, circuit, index + 2, description="next_gate result")
+
+
+def gates_on_qubit(circuit: QCircuit, qubit: int) -> List[int]:
+    """Indices of all gates acting on ``qubit`` (concrete circuits only)."""
+    return [i for i, gate in enumerate(circuit) if qubit in gate.all_qubits]
+
+
+def first_gate_on_qubit(circuit: QCircuit, qubit: int) -> Optional[int]:
+    """Index of the first gate acting on ``qubit``, or ``None``."""
+    for i, gate in enumerate(circuit):
+        if qubit in gate.all_qubits:
+            return i
+    return None
+
+
+def final_ops_on_qubits(circuit: QCircuit) -> List[int]:
+    """Indices of gates that are the last operation on every qubit they touch."""
+    last_touch = {}
+    for i, gate in enumerate(circuit):
+        for qubit in gate.all_qubits:
+            last_touch[qubit] = i
+    out = []
+    for i, gate in enumerate(circuit):
+        if gate.all_qubits and all(last_touch[q] == i for q in gate.all_qubits):
+            out.append(i)
+    return out
+
+
+def collect_1q_runs(circuit: QCircuit, names: Sequence[str]) -> List[List[int]]:
+    """Maximal runs of consecutive 1-qubit gates (from ``names``) per qubit.
+
+    A *run* is a maximal list of gate indices acting on the same qubit, with
+    names from ``names``, such that no other gate on that qubit interleaves.
+    This is the concrete behaviour behind the ``collect_runs`` loop template.
+    """
+    runs: List[List[int]] = []
+    open_runs = {}
+    for index, gate in enumerate(circuit):
+        if (
+            len(gate.all_qubits) == 1
+            and gate.name in names
+            and not gate.is_directive()
+        ):
+            qubit = gate.qubits[0]
+            open_runs.setdefault(qubit, []).append(index)
+            continue
+        for qubit in gate.all_qubits:
+            if qubit in open_runs:
+                runs.append(open_runs.pop(qubit))
+    runs.extend(open_runs.values())
+    runs.sort(key=lambda run: run[0])
+    return [run for run in runs if run]
+
+
+def circuit_depth(circuit: Union[QCircuit, SymCircuit]):
+    """Depth of the circuit; opaque on symbolic circuits (non-critical)."""
+    if isinstance(circuit, QCircuit):
+        return circuit.depth()
+    from repro.verify.symvalues import SymInt
+
+    return SymInt(circuit._session, description="circuit depth")
+
+
+def circuit_size(circuit: Union[QCircuit, SymCircuit]):
+    """Gate count of the circuit; opaque on symbolic circuits."""
+    return circuit.size()
+
+
+def count_ops(circuit: Union[QCircuit, SymCircuit]):
+    """Operation histogram; opaque on symbolic circuits (non-critical)."""
+    if isinstance(circuit, QCircuit):
+        return circuit.count_ops()
+    from repro.verify.symvalues import SymInt
+
+    return {"<symbolic>": SymInt(circuit._session, description="op count")}
+
+
+def num_tensor_factors(circuit: Union[QCircuit, SymCircuit]):
+    """Number of tensor factors; opaque on symbolic circuits."""
+    if isinstance(circuit, QCircuit):
+        return circuit.num_tensor_factors()
+    from repro.verify.symvalues import SymInt
+
+    return SymInt(circuit._session, description="tensor factors")
+
+
+def longest_path_length(circuit: Union[QCircuit, SymCircuit]):
+    """Length of the longest dependency path; opaque on symbolic circuits."""
+    if isinstance(circuit, QCircuit):
+        return circuit.to_dag().depth()
+    from repro.verify.symvalues import SymInt
+
+    return SymInt(circuit._session, description="longest path")

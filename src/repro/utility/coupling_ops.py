@@ -1,0 +1,47 @@
+"""Verified utility library: coupling-map helpers used by routing passes."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.coupling.coupling_map import CouplingMap
+from repro.coupling.layout import Layout
+
+
+def shortest_path(coupling: CouplingMap, source: int, target: int) -> List[int]:
+    """Shortest physical path between two qubits.
+
+    Specification: the result starts at ``source``, ends at ``target``, every
+    consecutive pair is a coupling edge, and its length equals
+    ``coupling.distance(source, target) + 1``.
+    """
+    return coupling.shortest_path(source, target)
+
+
+def swap_path(coupling: CouplingMap, source: int, target: int) -> List[Tuple[int, int]]:
+    """The swap edges that bring ``source`` adjacent to ``target``.
+
+    Swapping along all but the last edge of the shortest path moves the
+    logical qubit at ``source`` next to ``target``; each returned pair is a
+    coupling edge (the specification routing passes rely on).
+    """
+    path = coupling.shortest_path(source, target)
+    return [(path[i], path[i + 1]) for i in range(len(path) - 2)]
+
+
+def total_distance(coupling: CouplingMap, layout: Layout, gate_qubit_pairs: Sequence[Tuple[int, int]]) -> int:
+    """Sum of physical distances of the given logical qubit pairs.
+
+    This is the cost function the lookahead routing heuristic minimises; the
+    non-termination bug of Section 7.3 arises when no single swap can reduce
+    it.
+    """
+    return sum(
+        coupling.distance(layout.physical(a), layout.physical(b))
+        for a, b in gate_qubit_pairs
+    )
+
+
+def is_adjacent(coupling: CouplingMap, layout: Layout, logical_a: int, logical_b: int) -> bool:
+    """Whether a 2-qubit gate on the two logical qubits is executable."""
+    return coupling.connected(layout.physical(logical_a), layout.physical(logical_b))

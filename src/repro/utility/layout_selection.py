@@ -1,0 +1,194 @@
+"""Verified utility library: layout-selection strategies.
+
+Layout selection is an *analysis*: it never modifies the circuit, it only
+chooses an assignment of logical qubits to physical qubits.  The verified
+layout passes therefore delegate the whole computation to these utilities,
+which are treated as non-critical during symbolic execution (Section 4,
+"Non-critical statements") and are exercised concretely by the transpiler
+benchmarks and the unit tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.circuit.circuit import QCircuit
+from repro.coupling.coupling_map import CouplingMap
+from repro.coupling.layout import Layout
+from repro.verify.symvalues import SymCircuit
+
+
+def _interaction_pairs(circuit: QCircuit) -> List[Tuple[int, int]]:
+    pairs = []
+    for gate in circuit:
+        if gate.is_directive():
+            continue
+        qubits = gate.all_qubits
+        if len(qubits) == 2:
+            pairs.append((qubits[0], qubits[1]))
+    return pairs
+
+
+def select_trivial_layout(circuit: Union[QCircuit, SymCircuit],
+                          coupling: Optional[CouplingMap] = None) -> Optional[Layout]:
+    """Logical qubit ``i`` goes to physical qubit ``i``."""
+    if isinstance(circuit, SymCircuit):
+        return None
+    return Layout.trivial(circuit.num_qubits)
+
+
+def select_dense_layout(circuit: Union[QCircuit, SymCircuit],
+                        coupling: CouplingMap) -> Optional[Layout]:
+    """Greedy densest-subgraph layout: prefer highly connected physical qubits."""
+    if isinstance(circuit, SymCircuit):
+        return None
+    needed = circuit.num_qubits
+    degree = {q: len(coupling.neighbors(q)) for q in range(coupling.num_qubits)}
+    start = max(degree, key=degree.get) if degree else 0
+    chosen: List[int] = [start]
+    frontier = set(coupling.neighbors(start))
+    while len(chosen) < needed and frontier:
+        best = max(frontier, key=lambda q: (len(set(coupling.neighbors(q)) & set(chosen)), degree.get(q, 0)))
+        chosen.append(best)
+        frontier.update(coupling.neighbors(best))
+        frontier -= set(chosen)
+    remaining = [q for q in range(coupling.num_qubits) if q not in chosen]
+    chosen.extend(remaining[: needed - len(chosen)])
+    return Layout.from_physical_order(chosen[:needed])
+
+
+def select_noise_adaptive_layout(circuit: Union[QCircuit, SymCircuit],
+                                 coupling: CouplingMap,
+                                 error_rates: Optional[Dict[Tuple[int, int], float]] = None,
+                                 ) -> Optional[Layout]:
+    """Prefer physical edges with the lowest (simulated) two-qubit error rate.
+
+    Real devices report calibration data; in this reproduction the error model
+    is synthetic: by default every edge gets a deterministic pseudo-random
+    error rate derived from its endpoints, which preserves the algorithmic
+    behaviour (greedy matching on the most-used logical pairs).
+    """
+    if isinstance(circuit, SymCircuit):
+        return None
+    if error_rates is None:
+        error_rates = {
+            edge: 0.01 + 0.04 * ((edge[0] * 31 + edge[1] * 17) % 97) / 97.0
+            for edge in coupling.undirected_edges()
+        }
+    usage: Dict[Tuple[int, int], int] = {}
+    for a, b in _interaction_pairs(circuit):
+        key = (min(a, b), max(a, b))
+        usage[key] = usage.get(key, 0) + 1
+    ordered_logical_pairs = sorted(usage, key=usage.get, reverse=True)
+    ordered_edges = sorted(error_rates, key=error_rates.get)
+    layout_map: Dict[int, int] = {}
+    used_physical = set()
+    for (la, lb), (pa, pb) in zip(ordered_logical_pairs, ordered_edges):
+        for logical, physical in ((la, pa), (lb, pb)):
+            if logical not in layout_map and physical not in used_physical:
+                layout_map[logical] = physical
+                used_physical.add(physical)
+    for logical in range(circuit.num_qubits):
+        if logical not in layout_map:
+            physical = next(p for p in range(coupling.num_qubits) if p not in used_physical)
+            layout_map[logical] = physical
+            used_physical.add(physical)
+    return Layout(layout_map)
+
+
+def select_sabre_layout(circuit: Union[QCircuit, SymCircuit], coupling: CouplingMap,
+                        seed: int = 11) -> Optional[Layout]:
+    """SABRE-style layout: start random, improve by forward/backward passes.
+
+    The score of a layout is the total coupling distance of all 2-qubit
+    interactions; a few rounds of pairwise improvement approximate the SABRE
+    iteration without the full routing feedback loop.
+    """
+    if isinstance(circuit, SymCircuit):
+        return None
+    rng = random.Random(seed)
+    physical = list(range(coupling.num_qubits))
+    rng.shuffle(physical)
+    assignment = physical[: circuit.num_qubits]
+    pairs = _interaction_pairs(circuit)
+
+    def score(candidate: Sequence[int]) -> int:
+        return sum(coupling.distance(candidate[a], candidate[b]) for a, b in pairs)
+
+    best = list(assignment)
+    best_score = score(best)
+    for _round in range(3):
+        improved = False
+        for i, j in itertools.combinations(range(len(best)), 2):
+            candidate = list(best)
+            candidate[i], candidate[j] = candidate[j], candidate[i]
+            candidate_score = score(candidate)
+            if candidate_score < best_score:
+                best, best_score = candidate, candidate_score
+                improved = True
+        if not improved:
+            break
+    return Layout.from_physical_order(best)
+
+
+def select_csp_layout(circuit: Union[QCircuit, SymCircuit], coupling: CouplingMap,
+                      time_limit_nodes: int = 20_000) -> Optional[Layout]:
+    """Constraint-satisfaction layout: find an assignment where every
+    interacting logical pair lands on a coupled physical pair, by backtracking.
+
+    Returns ``None`` (and the pass falls back to another strategy) when no
+    perfect embedding exists or the node budget runs out.
+    """
+    if isinstance(circuit, SymCircuit):
+        return None
+    pairs = sorted({(min(a, b), max(a, b)) for a, b in _interaction_pairs(circuit)})
+    adjacency = {
+        logical: {b for a, b in pairs if a == logical} | {a for a, b in pairs if b == logical}
+        for logical in range(circuit.num_qubits)
+    }
+    assignment: Dict[int, int] = {}
+    used = set()
+    budget = [time_limit_nodes]
+
+    def backtrack(logical: int) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        if logical == circuit.num_qubits:
+            return True
+        for physical in range(coupling.num_qubits):
+            if physical in used:
+                continue
+            if any(
+                other in assignment and not coupling.connected(physical, assignment[other])
+                for other in adjacency[logical]
+            ):
+                continue
+            assignment[logical] = physical
+            used.add(physical)
+            if backtrack(logical + 1):
+                return True
+            used.remove(physical)
+            del assignment[logical]
+        return False
+
+    if backtrack(0):
+        return Layout(dict(assignment))
+    return None
+
+
+def layout_2q_distance_score(circuit: Union[QCircuit, SymCircuit], coupling: CouplingMap,
+                             layout: Optional[Layout]) -> Optional[int]:
+    """Sum of (distance - 1) over all 2-qubit gates under a layout.
+
+    A score of 0 means the layout needs no routing at all; this is the value
+    the ``Layout2qDistance`` analysis pass stores in the property set.
+    """
+    if isinstance(circuit, SymCircuit) or layout is None:
+        return None
+    total = 0
+    for a, b in _interaction_pairs(circuit):
+        total += coupling.distance(layout.physical(a), layout.physical(b)) - 1
+    return total

@@ -1,0 +1,92 @@
+"""Verified utility library: 1-qubit gate merging (Section 7.1).
+
+``merge_1q_gates`` collapses a run of u1/u2/u3 gates on the same qubit into a
+single u3 gate, via the unit-quaternion representation of Bloch-sphere
+rotations.  Its specification is that the merged gate is equivalent to the
+run *provided no gate in the run is conditioned*; the symbolic behaviour only
+grants the equivalence fact when the pass has actually established that
+proviso, which is how the verifier catches the original Qiskit bug.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Union
+
+from repro.circuit.gate import Gate, normalize_angle
+from repro.errors import CircuitError
+from repro.linalg.quaternion import compose_zyz
+from repro.verify import facts as F
+from repro.verify.facts import Fact
+from repro.verify.symvalues import Segment, SymGate
+
+#: Gate names the merge utility knows how to interpret as Euler rotations.
+MERGEABLE_1Q_NAMES = ("u1", "u2", "u3", "rz", "p", "u")
+
+
+def _euler_angles(gate: Gate) -> tuple:
+    """ZYZ Euler angles (theta, phi, lam) of a u1/u2/u3-family gate."""
+    if gate.name in ("u1", "p", "rz"):
+        return (0.0, 0.0, gate.params[0])
+    if gate.name == "u2":
+        return (math.pi / 2.0, gate.params[0], gate.params[1])
+    if gate.name in ("u3", "u"):
+        return gate.params
+    raise CircuitError(f"cannot merge gate {gate.name}; supported: {MERGEABLE_1Q_NAMES}")
+
+
+def merge_1q_gates(gates: Sequence[Union[Gate, SymGate]], session=None) -> List:
+    """Merge a run of 1-qubit gates into at most one ``u3`` gate.
+
+    Concrete behaviour: compose the rotations with quaternions and return
+    ``[u3(theta, phi, lam)]`` on the run's qubit (or ``[]`` when the run
+    composes to the identity).  The result is equivalent to the run up to
+    global phase.
+
+    Symbolic behaviour (``session`` given, gates are symbolic): return one
+    opaque segment; the segment carries the "equivalent to the input run"
+    fact only if every gate in the run is known to be unconditioned on the
+    current path.
+    """
+    gates = list(gates)
+    if not gates:
+        return []
+    if session is not None or any(isinstance(g, SymGate) for g in gates):
+        return _merge_spec(gates, session)
+    qubit = gates[0].qubits[0]
+    for gate in gates:
+        if gate.qubits != (qubit,):
+            raise CircuitError("merge_1q_gates expects a run on a single qubit")
+        if gate.is_conditioned():
+            raise CircuitError(
+                "merge_1q_gates must not be applied to conditioned gates "
+                "(this is the Section 7.1 bug)"
+            )
+    theta, phi, lam = _euler_angles(gates[0])
+    for gate in gates[1:]:
+        theta, phi, lam = compose_zyz((theta, phi, lam), _euler_angles(gate))
+    if (
+        abs(normalize_angle(theta)) < 1e-10
+        and abs(normalize_angle(phi + lam)) < 1e-10
+    ):
+        return []
+    return [Gate("u3", (qubit,), (theta, phi, lam))]
+
+
+def _merge_spec(gates, session) -> List:
+    """Specification-level behaviour of the merge on symbolic gates."""
+    if session is None:
+        session = next(g._session for g in gates if isinstance(g, SymGate))
+    merged = session.fresh_segment("merged 1-qubit run")
+    all_unconditioned = True
+    for gate in gates:
+        if isinstance(gate, Gate):
+            if gate.is_conditioned():
+                all_unconditioned = False
+            continue
+        known = session.knows(Fact(F.IS_CONDITIONED, (gate.uid,)))
+        if known is not False:
+            all_unconditioned = False
+    if all_unconditioned:
+        session.assume(Fact(F.SEGMENT_EQUIVALENT_TO, (merged, tuple(gates))))
+    return [merged]

@@ -1,0 +1,227 @@
+"""Verified utility library: gate-level transformations used by passes.
+
+Each function is dual mode: the concrete branch performs the real
+transformation (and is validated against the matrix semantics by the tests);
+the symbolic branch applies the function's *specification* — it returns an
+opaque segment and records the equivalence facts the specification
+guarantees, but only when the guarantees' premises are known to hold on the
+current path (which is how conditioned-gate bugs are caught).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Union
+
+from repro.circuit.circuit import QCircuit
+from repro.circuit.gate import Gate
+from repro.circuit.gates import IBM_NATIVE_BASIS, decompose_to_basis, gate_spec, is_known_gate
+from repro.coupling.coupling_map import CouplingMap
+from repro.errors import CircuitError
+from repro.symbolic.commutation import gates_commute
+from repro.verify import facts as F
+from repro.verify.facts import Fact
+from repro.verify.symvalues import Segment, SymCircuit, SymGate, SymIndex
+
+
+def _session_of(value):
+    if isinstance(value, (SymGate, SymCircuit, Segment)):
+        return value._session
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Basis expansion
+# --------------------------------------------------------------------------- #
+def expand_gate(gate: Union[Gate, SymGate], basis: Sequence[str] = IBM_NATIVE_BASIS) -> List:
+    """Decompose one gate into the target basis.
+
+    Specification: the returned gate list is equivalent to ``[gate]``.
+    Conditioned gates are returned unchanged (decomposing them piecewise is
+    only sound up to a global phase, which becomes observable under a
+    control — the same subtlety as the Section 7.1 bug).
+    """
+    if isinstance(gate, Gate):
+        if gate.is_directive() or gate.is_conditioned() or gate.name in basis:
+            return [gate]
+        return decompose_to_basis(gate, basis)
+    session = _session_of(gate)
+    expanded = session.fresh_segment(f"expansion of {gate.uid} into {tuple(basis)}")
+    session.assume(Fact(F.SEGMENT_EQUIVALENT_TO, ((expanded,), (gate,))))
+    return [expanded]
+
+
+# --------------------------------------------------------------------------- #
+# Gate-direction fixing
+# --------------------------------------------------------------------------- #
+def reverse_direction(gate: Union[Gate, SymGate], coupling: Optional[CouplingMap] = None) -> List:
+    """Re-express a CX so its direction matches the coupling map.
+
+    Specification: the returned gate list is equivalent to ``[gate]``.  The
+    concrete implementation conjugates a reversed CNOT with Hadamards
+    (``cx a,b == h a; h b; cx b,a; h a; h b``).
+    """
+    if isinstance(gate, Gate):
+        if gate.name != "cx" or gate.is_conditioned():
+            return [gate]
+        control, target = gate.qubits
+        if coupling is None or coupling.has_edge(control, target):
+            return [gate]
+        if not coupling.has_edge(target, control):
+            return [gate]
+        return [
+            Gate("h", (control,)),
+            Gate("h", (target,)),
+            Gate("cx", (target, control)),
+            Gate("h", (control,)),
+            Gate("h", (target,)),
+        ]
+    session = _session_of(gate)
+    replaced = session.fresh_segment(f"direction-fixed version of {gate.uid}")
+    session.assume(Fact(F.SEGMENT_EQUIVALENT_TO, ((replaced,), (gate,))))
+    return [replaced]
+
+
+# --------------------------------------------------------------------------- #
+# Measurement / reset aware removals
+# --------------------------------------------------------------------------- #
+def absorb_diagonal_before_measure(remaining: Union[QCircuit, SymCircuit], index: int,
+                                    measure_index) -> bool:
+    """May the diagonal gate at ``index`` be dropped, given a later measurement?
+
+    Specification: returns ``True`` only when the gate at ``index`` is an
+    unconditioned 1-qubit diagonal gate, the gate at ``measure_index`` is a
+    measurement on the same qubit, and no gate in between touches that qubit;
+    under those premises ``gate ; measure`` has the same observable behaviour
+    as ``measure`` alone, so dropping the gate is sound.
+    """
+    if isinstance(remaining, QCircuit):
+        gate = remaining[index]
+        measure = remaining[measure_index]
+        from repro.circuit.gates import is_diagonal_gate
+
+        if not (is_known_gate(gate.name) and is_diagonal_gate(gate.name)):
+            return False
+        if gate.is_conditioned() or gate.num_qubits != 1:
+            return False
+        if not measure.is_measurement() or measure.qubits != gate.qubits:
+            return False
+        between = remaining.gates[index + 1 : measure_index]
+        return all(gate.qubits[0] not in g.all_qubits for g in between)
+    session = remaining._session
+    gate = remaining[index]
+    measure = remaining[measure_index] if not isinstance(measure_index, SymIndex) \
+        else remaining[measure_index.position]
+    premises_known = (
+        session.knows(Fact(F.IS_DIAGONAL, (gate.uid,))) is True
+        and session.knows(Fact(F.IS_CONDITIONED, (gate.uid,))) is False
+        and session.knows(Fact(F.IS_MEASURE, (measure.uid,))) is True
+    )
+    if premises_known:
+        session.assume(Fact(F.SEGMENT_EQUIVALENT_TO, ((gate, measure), (measure,))))
+        return True
+    return False
+
+
+def drop_final_measurement(circuit: Union[QCircuit, SymCircuit], index: int) -> bool:
+    """May the measurement at ``index`` be dropped because it is final?
+
+    Specification: returns ``True`` only when the gate is a measurement with
+    no later operation on its qubit; removing a final measurement preserves
+    the quantum state produced by the circuit (only the classical read-out is
+    dropped, which is the documented behaviour of ``RemoveFinalMeasurements``).
+    """
+    if isinstance(circuit, QCircuit):
+        gate = circuit[index]
+        if not gate.is_measurement():
+            return False
+        qubit = gate.qubits[0]
+        return all(qubit not in later.all_qubits for later in circuit.gates[index + 1 :])
+    session = circuit._session
+    gate = circuit[index]
+    if session.knows(Fact(F.IS_MEASURE, (gate.uid,))) is True:
+        session.assume(Fact(F.SEGMENT_EQUIVALENT_TO, ((gate,), ())))
+        return True
+    return False
+
+
+def drop_initial_reset(output: Union[QCircuit, SymCircuit], gate: Union[Gate, SymGate]) -> bool:
+    """May this reset be dropped because its qubit is still in ``|0>``?
+
+    Specification: returns ``True`` only for an unconditioned reset whose
+    qubit has not been touched by any gate already emitted to ``output``;
+    resetting a qubit that is still in the all-zero initial state is a no-op.
+    """
+    if isinstance(gate, Gate):
+        if not gate.is_reset() or gate.is_conditioned():
+            return False
+        qubit = gate.qubits[0]
+        return all(qubit not in emitted.all_qubits for emitted in output.gates)
+    session = gate._session
+    if (
+        session.knows(Fact(F.IS_RESET, (gate.uid,))) is True
+        and len(output.appended) == 0
+        and len(output.elements) == 0
+    ):
+        session.assume(Fact(F.SEGMENT_EQUIVALENT_TO, ((gate,), ())))
+        return True
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# Cancellation partners and block consolidation
+# --------------------------------------------------------------------------- #
+def next_cancellation_partner(remaining: Union[QCircuit, SymCircuit], index: int):
+    """Find a later copy of gate ``index`` it can cancel with.
+
+    Specification: the returned index ``j`` (or symbolic index) satisfies:
+    gate ``j`` equals gate ``index`` (same name, qubits, parameters, no
+    modifiers), every gate strictly between them commutes with gate ``index``,
+    and gate ``index`` is self-inverse.  Returns ``None`` when no partner is
+    found.
+    """
+    if isinstance(remaining, QCircuit):
+        gate = remaining[index]
+        from repro.circuit.gates import is_self_inverse
+
+        if gate.is_conditioned() or not is_known_gate(gate.name) or not is_self_inverse(gate.name):
+            return None
+        for later in range(index + 1, remaining.size()):
+            candidate = remaining[later]
+            if candidate == gate:
+                return later
+            if not gates_commute(gate, candidate):
+                return None
+        return None
+    session = remaining._session
+    gate = remaining[index]
+    if not isinstance(gate, SymGate):
+        return None
+    skipped = session.fresh_segment("gates between a gate and its cancellation partner")
+    partner = session.fresh_gate("cancellation partner")
+    session.assume(Fact(F.SEGMENT_COMMUTES_WITH, (skipped.uid, gate.uid)))
+    session.assume(Fact(F.SAME_GATE, (partner.uid, gate.uid)))
+    session.assume(Fact(F.SAME_QUBITS, (partner.uid, gate.uid)))
+    rest_elements = list(remaining._elements[index + 1 :])
+    rest = [session.fresh_segment("remainder after the cancellation partner")] if rest_elements else []
+    new_tail = [skipped, partner] + rest
+    session.assume(Fact(F.SEGMENT_EQUIVALENT_TO, (tuple(rest_elements), tuple(new_tail))))
+    remaining._elements[index + 1 :] = new_tail
+    return SymIndex(session, remaining, index + 2, description="cancellation partner")
+
+
+def consolidate_block(gates: Sequence[Union[Gate, SymGate]]) -> List:
+    """Consolidate a block of gates into a shorter equivalent block.
+
+    Specification: the result is equivalent to the input block.  The concrete
+    implementation repeatedly cancels adjacent self-inverse pairs and merges
+    adjacent same-axis rotations (the block-local normal form).
+    """
+    if all(isinstance(g, Gate) for g in gates):
+        from repro.symbolic.equivalence import normal_form
+
+        return normal_form(list(gates), drop_barriers=False)
+    session = next(g._session for g in gates if isinstance(g, SymGate))
+    block = session.fresh_segment("consolidated block")
+    session.assume(Fact(F.SEGMENT_EQUIVALENT_TO, ((block,), tuple(gates))))
+    return [block]

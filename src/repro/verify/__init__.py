@@ -1,0 +1,83 @@
+"""The Giallar verifier: push-button verification for compiler passes."""
+
+from repro.verify.bounded import (
+    BoundedTrial,
+    BoundedValidationReport,
+    sweep_bounded_validation,
+    validate_pass_bounded,
+)
+from repro.verify.counterexample import (
+    CounterExample,
+    conditional_circuits_equivalent,
+    confirm_counterexample,
+    search_counterexample,
+)
+from repro.verify.discharge import DischargeResult, discharge
+from repro.verify.facts import Fact
+from repro.verify.passes import (
+    AncillaAllocationPass,
+    AnalysisPass,
+    BasePass,
+    GeneralPass,
+    LayoutApplicationPass,
+    LayoutSelectionPass,
+    PropertySet,
+    RoutingPass,
+)
+from repro.verify.preprocessor import PassAnalysis, analyze_pass
+from repro.verify.session import PathExplorer, PathRecord, Subgoal, VerificationSession
+from repro.verify.symvalues import Segment, SymBool, SymCircuit, SymGate, SymIndex, SymInt
+from repro.verify.templates import (
+    collect_runs,
+    iterate_all_gates,
+    route_each_gate,
+    while_gate_remaining,
+)
+from repro.verify.verifier import (
+    SubgoalOutcome,
+    VerificationResult,
+    verify_pass,
+    verify_passes,
+)
+
+__all__ = [
+    "AncillaAllocationPass",
+    "AnalysisPass",
+    "BasePass",
+    "BoundedTrial",
+    "BoundedValidationReport",
+    "CounterExample",
+    "DischargeResult",
+    "Fact",
+    "GeneralPass",
+    "LayoutApplicationPass",
+    "LayoutSelectionPass",
+    "PassAnalysis",
+    "PathExplorer",
+    "PathRecord",
+    "PropertySet",
+    "RoutingPass",
+    "Segment",
+    "SubgoalOutcome",
+    "Subgoal",
+    "SymBool",
+    "SymCircuit",
+    "SymGate",
+    "SymIndex",
+    "SymInt",
+    "VerificationResult",
+    "VerificationSession",
+    "analyze_pass",
+    "collect_runs",
+    "conditional_circuits_equivalent",
+    "confirm_counterexample",
+    "discharge",
+    "iterate_all_gates",
+    "route_each_gate",
+    "search_counterexample",
+    "sweep_bounded_validation",
+    "validate_pass_bounded",
+    "verify_pass",
+    "verify_passes",
+    "while_gate_remaining",
+]

@@ -1,0 +1,97 @@
+"""Virtual pass classes (Section 6).
+
+Giallar does not ask pass authors for specifications: the proof obligation is
+fixed by the virtual class the pass inherits from.
+
+* :class:`GeneralPass` — the output circuit must be equivalent to the input
+  circuit (optimisation, basis-change, and assorted passes).
+* :class:`AnalysisPass` — the pass must not modify the circuit at all; it only
+  writes results into the property set.
+* :class:`LayoutSelectionPass` — an analysis pass whose result is a
+  :class:`~repro.coupling.layout.Layout` in the property set.
+* :class:`LayoutApplicationPass` — the output must be the input with its
+  qubits relabelled through the selected layout.
+* :class:`RoutingPass` — the output must be equivalent to the input up to the
+  permutation realised by the inserted swap gates and must respect the
+  coupling map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.circuit.circuit import QCircuit
+
+
+class PropertySet(dict):
+    """A dictionary of analysis results shared between passes in a pipeline."""
+
+    def __missing__(self, key):
+        return None
+
+
+class BasePass:
+    """Common machinery for every verified pass."""
+
+    #: Obligation family; overridden by the virtual subclasses.
+    pass_type = "general"
+    #: Progress argument for routing termination subgoals ("none" if unknown).
+    progress_argument = "none"
+    #: Names of gates the pass introduces beyond those already in the input.
+    introduces_gates: tuple = ()
+
+    def __init__(self, property_set: Optional[PropertySet] = None, **options) -> None:
+        self.property_set = property_set if property_set is not None else PropertySet()
+        self.options: Dict[str, object] = dict(options)
+
+    # -- pass protocol ------------------------------------------------------ #
+    def run(self, circuit):
+        """Transform (or analyse) the circuit.  Subclasses must override."""
+        raise NotImplementedError
+
+    def __call__(self, circuit: QCircuit) -> QCircuit:
+        result = self.run(circuit)
+        return circuit if result is None else result
+
+    @classmethod
+    def name(cls) -> str:
+        return cls.__name__
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class GeneralPass(BasePass):
+    """Obligation: the output circuit is equivalent to the input circuit."""
+
+    pass_type = "general"
+
+
+class AnalysisPass(BasePass):
+    """Obligation: the circuit is returned unchanged (results go to properties)."""
+
+    pass_type = "analysis"
+
+
+class LayoutSelectionPass(AnalysisPass):
+    """Obligation: circuit unchanged; a layout is stored in the property set."""
+
+    pass_type = "layout_selection"
+
+
+class LayoutApplicationPass(BasePass):
+    """Obligation: the output equals the input relabelled through the layout."""
+
+    pass_type = "layout_application"
+
+
+class RoutingPass(BasePass):
+    """Obligation: output equivalent to input up to inserted swaps + coupling."""
+
+    pass_type = "routing"
+
+
+class AncillaAllocationPass(BasePass):
+    """Obligation: gates unchanged; only idle qubits are added to the register."""
+
+    pass_type = "ancilla"

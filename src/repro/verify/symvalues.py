@@ -1,0 +1,335 @@
+"""Symbolic values used while executing a pass for verification.
+
+When a pass is verified, its ``run`` method is executed with symbolic stand-ins
+for gates, circuits, indices, and booleans.  The stand-ins expose the same API
+as their concrete counterparts (:class:`~repro.circuit.gate.Gate`,
+:class:`~repro.circuit.circuit.QCircuit`) so the *same* pass implementation
+runs in both modes; the difference is that boolean questions return
+:class:`SymBool` objects whose truth value is decided by the path explorer,
+forking the execution into one path per outcome (the branch expansion of
+Section 4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.circuit.gate import Gate
+from repro.errors import VerificationError
+from repro.verify import facts as F
+from repro.verify.facts import Fact
+
+_uid_counter = itertools.count()
+
+
+def _fresh_uid(prefix: str) -> str:
+    return f"{prefix}{next(_uid_counter)}"
+
+
+class SymBool:
+    """A symbolic boolean tied to a :class:`Fact`.
+
+    Taking its truth value (``if sym_bool:``) asks the active verification
+    session to decide the fact, which forks the path.
+    """
+
+    def __init__(self, session, fact: Fact, negated: bool = False) -> None:
+        self._session = session
+        self.fact = fact
+        self.negated = negated
+
+    def __bool__(self) -> bool:
+        value = self._session.decide(self.fact)
+        return (not value) if self.negated else value
+
+    def __invert__(self) -> "SymBool":
+        return SymBool(self._session, self.fact, not self.negated)
+
+    def __repr__(self) -> str:
+        prefix = "not " if self.negated else ""
+        return f"SymBool({prefix}{self.fact!r})"
+
+
+class SymInt:
+    """An opaque symbolic integer (e.g. a gate count or an analysis result)."""
+
+    def __init__(self, session, uid: Optional[str] = None, description: str = "") -> None:
+        self._session = session
+        self.uid = uid or _fresh_uid("int")
+        self.description = description
+
+    def _compare(self, kind: str, other) -> SymBool:
+        other_key = other.uid if isinstance(other, SymInt) else other
+        return SymBool(self._session, Fact(kind, (self.uid, other_key)))
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._compare(F.INT_EQ, other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return ~self._compare(F.INT_EQ, other)
+
+    def __lt__(self, other):
+        return self._compare(F.INT_LT, other)
+
+    def __gt__(self, other):
+        return self._compare(F.INT_GT, other)
+
+    def __le__(self, other):
+        return ~self._compare(F.INT_GT, other)
+
+    def __ge__(self, other):
+        return ~self._compare(F.INT_LT, other)
+
+    def _combine(self, op: str, other) -> "SymInt":
+        other_key = other.uid if isinstance(other, SymInt) else other
+        return SymInt(
+            self._session,
+            uid=f"({self.uid}{op}{other_key})",
+            description=f"{self.description}{op}{other_key}" if self.description else "",
+        )
+
+    def __add__(self, other):
+        return self._combine("+", other)
+
+    def __radd__(self, other):
+        return self._combine("+", other)
+
+    def __sub__(self, other):
+        return self._combine("-", other)
+
+    def __mul__(self, other):
+        return self._combine("*", other)
+
+    def __hash__(self):
+        return hash(self.uid)
+
+    def __repr__(self) -> str:
+        return f"SymInt({self.uid})"
+
+
+class SymQubits:
+    """The (unknown) qubit operand tuple of a symbolic gate."""
+
+    def __init__(self, session, gate: "SymGate") -> None:
+        self._session = session
+        self.gate = gate
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, SymQubits):
+            return SymBool(self._session, Fact(F.SAME_QUBITS, (self.gate.uid, other.gate.uid)))
+        return SymBool(self._session, Fact("qubits_literal_eq", (self.gate.uid, tuple(other))))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return ~(self == other)
+
+    def __hash__(self):
+        return hash(("symqubits", self.gate.uid))
+
+    def __repr__(self) -> str:
+        return f"SymQubits({self.gate.uid})"
+
+
+class SymGate:
+    """A symbolic gate: name, qubits and modifiers are unknown predicates."""
+
+    def __init__(self, session, uid: Optional[str] = None, description: str = "") -> None:
+        self._session = session
+        self.uid = uid or _fresh_uid("g")
+        self.description = description
+
+    # -- classification queries (mirror the Gate API) ---------------------- #
+    def _ask(self, kind: str, *extra) -> SymBool:
+        return SymBool(self._session, Fact(kind, (self.uid, *extra)))
+
+    def is_cx_gate(self) -> SymBool:
+        return self._ask(F.IS_CX)
+
+    def is_swap_gate(self) -> SymBool:
+        return self._ask(F.IS_SWAP)
+
+    def is_measurement(self) -> SymBool:
+        return self._ask(F.IS_MEASURE)
+
+    def is_reset(self) -> SymBool:
+        return self._ask(F.IS_RESET)
+
+    def is_barrier(self) -> SymBool:
+        return self._ask(F.IS_BARRIER)
+
+    def is_directive(self) -> SymBool:
+        return self._ask(F.IS_DIRECTIVE)
+
+    def is_conditioned(self) -> SymBool:
+        return self._ask(F.IS_CONDITIONED)
+
+    def is_self_inverse(self) -> SymBool:
+        return self._ask(F.IS_SELF_INVERSE)
+
+    def is_diagonal(self) -> SymBool:
+        return self._ask(F.IS_DIAGONAL)
+
+    def is_two_qubit(self) -> SymBool:
+        return self._ask(F.IS_TWO_QUBIT)
+
+    def name_is(self, name: str) -> SymBool:
+        return self._ask(F.NAME_IS, name)
+
+    def name_in(self, names: Iterable[str]) -> SymBool:
+        return self._ask(F.NAME_IN, tuple(sorted(names)))
+
+    def in_basis(self, basis: Iterable[str]) -> SymBool:
+        return self._ask(F.IN_BASIS, tuple(sorted(basis)))
+
+    def same_qubits_as(self, other: "SymGate") -> SymBool:
+        return self._ask(F.SAME_QUBITS, other.uid)
+
+    def shares_qubit(self, other: "SymGate") -> SymBool:
+        return self._ask(F.SHARES_QUBIT, other.uid)
+
+    def commutes_with(self, other: "SymGate") -> SymBool:
+        return self._ask(F.COMMUTES, other.uid)
+
+    @property
+    def qubits(self) -> SymQubits:
+        return SymQubits(self._session, self)
+
+    @property
+    def name(self) -> str:
+        raise VerificationError(
+            "the name of a symbolic gate is not a concrete string; "
+            "use name_is()/name_in() so the verifier can branch on it"
+        )
+
+    @property
+    def num_qubits(self) -> SymInt:
+        return SymInt(self._session, uid=f"nq_{self.uid}")
+
+    def __repr__(self) -> str:
+        return f"SymGate({self.uid})"
+
+
+class Segment:
+    """An opaque sub-circuit (an unknown, possibly empty, list of gates)."""
+
+    def __init__(self, session, uid: Optional[str] = None, description: str = "") -> None:
+        self._session = session
+        self.uid = uid or _fresh_uid("seg")
+        self.description = description
+
+    def __repr__(self) -> str:
+        return f"Segment({self.uid})"
+
+
+#: The element types a symbolic circuit may contain.
+CircuitElement = Union[Gate, SymGate, Segment]
+
+
+class SymCircuit:
+    """A symbolic circuit: an explicit list of gates, symbolic gates, segments.
+
+    The class exposes the mutating subset of the :class:`QCircuit` API the
+    verified passes use (``append``, ``delete``, ``size``, indexing, ``copy``)
+    plus bookkeeping the loop templates need (which elements were appended or
+    deleted during a loop body).
+    """
+
+    def __init__(self, session, elements: Optional[Sequence[CircuitElement]] = None,
+                 name: str = "circ") -> None:
+        self._session = session
+        self.name = name
+        self.uid = _fresh_uid("circ")
+        self._elements: List[CircuitElement] = list(elements or [])
+        self.appended: List[CircuitElement] = []
+        self.deleted: List[CircuitElement] = []
+        self.num_qubits = SymInt(session, uid=f"nq_{self.uid}")
+        self.num_clbits = SymInt(session, uid=f"nc_{self.uid}")
+
+    # -- structure ---------------------------------------------------------- #
+    @property
+    def elements(self) -> Tuple[CircuitElement, ...]:
+        return tuple(self._elements)
+
+    def copy(self) -> "SymCircuit":
+        clone = SymCircuit(self._session, self._elements, name=self.name + "_copy")
+        return clone
+
+    def size(self):
+        """Concrete element count when fully explicit, else a symbolic int."""
+        if any(isinstance(e, Segment) for e in self._elements):
+            return SymInt(self._session, uid=f"size_{self.uid}_{len(self._elements)}")
+        return len(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self):
+        raise VerificationError(
+            "cannot iterate a symbolic circuit directly; use one of the loop "
+            "templates (iterate_all_gates, while_gate_remaining, collect_runs)"
+        )
+
+    def __getitem__(self, index):
+        position = self._resolve_index(index)
+        return self._elements[position]
+
+    def _resolve_index(self, index) -> int:
+        if isinstance(index, SymIndex):
+            return index.position
+        if isinstance(index, int):
+            return index
+        raise VerificationError(f"unsupported circuit index {index!r}")
+
+    # -- mutation ------------------------------------------------------------ #
+    def append(self, element: CircuitElement) -> "SymCircuit":
+        self._elements.append(element)
+        self.appended.append(element)
+        return self
+
+    def extend(self, elements: Iterable[CircuitElement]) -> "SymCircuit":
+        for element in elements:
+            self.append(element)
+        return self
+
+    def delete(self, index) -> CircuitElement:
+        position = self._resolve_index(index)
+        element = self._elements.pop(position)
+        self.deleted.append(element)
+        return element
+
+    def clear_logs(self) -> None:
+        self.appended = []
+        self.deleted = []
+
+    def __repr__(self) -> str:
+        return f"SymCircuit({self.name}, {self._elements!r})"
+
+
+class SymIndex:
+    """A symbolic index into a symbolic circuit, resolved to a position.
+
+    Utility specifications (e.g. ``next_gate``) return these: the index is
+    symbolic from the pass's point of view, but the specification refines the
+    circuit structure so the index denotes a definite element position.
+    """
+
+    def __init__(self, session, circuit: SymCircuit, position: int, description: str = "") -> None:
+        self._session = session
+        self.circuit = circuit
+        self.position = position
+        self.description = description
+        self.uid = _fresh_uid("idx")
+
+    def is_found(self) -> SymBool:
+        return SymBool(self._session, Fact(F.INDEX_FOUND, (self.uid,)))
+
+    def __repr__(self) -> str:
+        return f"SymIndex({self.uid}@{self.position})"
+
+
+def element_uid(element: CircuitElement) -> Tuple:
+    """A stable identity key for a circuit element (used inside facts)."""
+    if isinstance(element, Gate):
+        return ("gate", element.name, element.qubits, element.params, element.condition,
+                element.q_controls)
+    return ("sym", element.uid)

@@ -1,0 +1,300 @@
+"""The Giallar loop templates (Section 4).
+
+Unbounded loops in compiler passes are written through one of three library
+functions whose loop invariants are fixed by the template shape:
+
+* :func:`iterate_all_gates` — transform every gate independently; invariant:
+  the output built so far is equivalent to the prefix of the input processed
+  so far.
+* :func:`while_gate_remaining` — scan a worklist of remaining gates; invariant:
+  ``output ; remaining`` is equivalent to the input circuit; termination:
+  every iteration removes at least one remaining gate.
+* :func:`collect_runs` — partition the circuit into runs of consecutive
+  1-qubit gates and transform each run; invariant: the output so far is
+  equivalent to the batches processed so far.
+
+On concrete circuits the templates simply execute the loop.  On symbolic
+circuits they *do not loop*: they run the body once on a symbolic iteration
+state, emit the invariant-preservation (and termination) subgoals for that
+body, and return a fresh circuit constrained by the invariant at loop exit —
+exactly the transformation described in Section 3.
+
+:func:`route_each_gate` is the routing-pass counterpart: it owns the swap
+insertion and layout bookkeeping so that individual routing passes only
+provide the swap-selection heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.circuit.circuit import QCircuit
+from repro.circuit.gate import Gate
+from repro.coupling.coupling_map import CouplingMap
+from repro.coupling.layout import Layout
+from repro.errors import TranspilerError
+from repro.verify import facts as F
+from repro.verify.facts import Fact
+from repro.verify.session import Subgoal
+from repro.verify.symvalues import Segment, SymCircuit, SymGate
+
+
+def _is_symbolic(circuit) -> bool:
+    return isinstance(circuit, SymCircuit)
+
+
+def _fresh_output_like(circuit: QCircuit) -> QCircuit:
+    return QCircuit(circuit.num_qubits, circuit.num_clbits, name=circuit.name)
+
+
+# --------------------------------------------------------------------------- #
+# iterate_all_gates
+# --------------------------------------------------------------------------- #
+def iterate_all_gates(circuit, func: Callable) -> Union[QCircuit, SymCircuit]:
+    """Apply ``func(output, gate)`` to every gate, building a new circuit.
+
+    ``func`` must append, to ``output``, gates that are equivalent to the
+    single gate it was given (this is the template's loop invariant).
+    """
+    if not _is_symbolic(circuit):
+        output = _fresh_output_like(circuit)
+        for gate in circuit:
+            func(output, gate)
+        return output
+
+    session = circuit._session
+    loop_gate = session.fresh_gate("gate handled by one iteration of iterate_all_gates")
+    body_output = SymCircuit(session, [], name="iterate_all_gates_body_output")
+    func(body_output, loop_gate)
+    session.add_subgoal(
+        Subgoal(
+            kind="equivalence",
+            description="iterate_all_gates body: the appended gates are equivalent "
+            "to the gate being processed",
+            lhs=tuple(body_output.appended),
+            rhs=(loop_gate,),
+            metadata={"template": "iterate_all_gates"},
+        )
+    )
+    result_segment = session.fresh_segment("result of iterate_all_gates")
+    session.assume(Fact(F.SEGMENT_EQUIVALENT_TO, ((result_segment,), tuple(circuit.elements))))
+    return SymCircuit(session, [result_segment], name="iterate_all_gates_result")
+
+
+# --------------------------------------------------------------------------- #
+# while_gate_remaining
+# --------------------------------------------------------------------------- #
+def while_gate_remaining(circuit, body: Callable, max_iterations: Optional[int] = None):
+    """Scan a worklist of remaining gates with ``body(output, remaining)``.
+
+    ``body`` must delete at least one gate from ``remaining`` per call and may
+    append gates to ``output``; the template's invariant is that
+    ``output ; remaining`` stays equivalent to the input circuit.
+    ``max_iterations`` bounds the concrete loop (used to surface
+    non-terminating passes such as the Section 7.3 counterexample instead of
+    hanging).
+    """
+    if not _is_symbolic(circuit):
+        remaining = circuit.copy()
+        output = _fresh_output_like(circuit)
+        iterations = 0
+        while remaining.size() != 0:
+            size_before = remaining.size()
+            body(output, remaining)
+            iterations += 1
+            if remaining.size() >= size_before:
+                raise TranspilerError(
+                    "while_gate_remaining body made no progress "
+                    "(the remaining gate list did not shrink)"
+                )
+            if max_iterations is not None and iterations > max_iterations:
+                raise TranspilerError(
+                    f"while_gate_remaining exceeded {max_iterations} iterations"
+                )
+        return output
+
+    session = circuit._session
+    front_gate = session.fresh_gate("gate at the front of the remaining list")
+    rest = session.fresh_segment("rest of the remaining list")
+    remaining = SymCircuit(session, [front_gate, rest], name="remaining")
+    output = SymCircuit(session, [], name="while_body_output")
+    old_elements = remaining.elements
+    body(output, remaining)
+    session.add_subgoal(
+        Subgoal(
+            kind="equivalence",
+            description="while_gate_remaining body: appended output plus the new "
+            "remaining list is equivalent to the old remaining list",
+            lhs=tuple(output.appended) + remaining.elements,
+            rhs=old_elements,
+            metadata={"template": "while_gate_remaining"},
+        )
+    )
+    session.add_subgoal(
+        Subgoal(
+            kind="termination",
+            description="while_gate_remaining body deletes at least one remaining gate",
+            metadata={
+                "template": "while_gate_remaining",
+                "deleted": len(remaining.deleted),
+            },
+        )
+    )
+    result_segment = session.fresh_segment("result of while_gate_remaining")
+    session.assume(Fact(F.SEGMENT_EQUIVALENT_TO, ((result_segment,), tuple(circuit.elements))))
+    return SymCircuit(session, [result_segment], name="while_gate_remaining_result")
+
+
+# --------------------------------------------------------------------------- #
+# collect_runs
+# --------------------------------------------------------------------------- #
+def collect_runs(circuit, names: Sequence[str], transform: Callable):
+    """Transform maximal runs of consecutive 1-qubit gates drawn from ``names``.
+
+    ``transform(run)`` receives the list of gates of one run (all on the same
+    qubit) and must return a list of gates equivalent to it; gates outside
+    runs are copied through unchanged.
+    """
+    if not _is_symbolic(circuit):
+        from repro.utility.circuit_ops import collect_1q_runs
+
+        runs = collect_1q_runs(circuit, names)
+        run_start = {run[0]: run for run in runs}
+        in_run = {index for run in runs for index in run}
+        output = _fresh_output_like(circuit)
+        for index in range(circuit.size()):
+            if index in run_start:
+                for gate in transform([circuit[i] for i in run_start[index]]):
+                    output.append(gate)
+            elif index in in_run:
+                continue
+            else:
+                output.append(circuit[index])
+        return output
+
+    session = circuit._session
+    first = session.fresh_gate("first gate of a collected run")
+    second = session.fresh_gate("second gate of a collected run")
+    for gate in (first, second):
+        session.assume(Fact(F.NAME_IN, (gate.uid, tuple(sorted(names)))))
+    session.assume(Fact(F.SAME_QUBITS, (first.uid, second.uid)))
+    transformed = list(transform([first, second]))
+    session.add_subgoal(
+        Subgoal(
+            kind="equivalence",
+            description="collect_runs body: the transformed run is equivalent to the "
+            "original run",
+            lhs=tuple(transformed),
+            rhs=(first, second),
+            metadata={"template": "collect_runs"},
+        )
+    )
+    result_segment = session.fresh_segment("result of collect_runs")
+    session.assume(Fact(F.SEGMENT_EQUIVALENT_TO, ((result_segment,), tuple(circuit.elements))))
+    return SymCircuit(session, [result_segment], name="collect_runs_result")
+
+
+# --------------------------------------------------------------------------- #
+# route_each_gate (the routing-pass template)
+# --------------------------------------------------------------------------- #
+def route_each_gate(
+    circuit,
+    coupling: CouplingMap,
+    choose_swaps: Callable,
+    initial_layout: Optional[Layout] = None,
+    progress_argument: str = "none",
+    max_swaps_per_gate: Optional[int] = None,
+):
+    """Insert swaps so every 2-qubit gate acts on coupled physical qubits.
+
+    ``choose_swaps(coupling, layout, gate, upcoming)`` returns the next swap
+    edges to apply (physical qubit pairs) when ``gate``'s operands are not yet
+    adjacent; ``upcoming`` is the list of later 2-qubit gates (the lookahead
+    window).  The template applies the swaps, updates the layout, and
+    re-checks adjacency, so the pass only supplies the heuristic.
+
+    Returns ``(routed_circuit, final_layout)`` on concrete circuits.  On
+    symbolic circuits it emits the routing proof obligations and returns a
+    circuit constrained to be equivalent to the input up to the inserted
+    swaps.
+    """
+    if not _is_symbolic(circuit):
+        layout = (initial_layout or Layout.trivial(circuit.num_qubits)).copy()
+        output = QCircuit(
+            max(circuit.num_qubits, coupling.num_qubits), circuit.num_clbits, name=circuit.name
+        )
+        cap = max_swaps_per_gate if max_swaps_per_gate is not None else 4 * coupling.num_qubits**2
+        gate_list = list(circuit)
+        two_qubit_positions = [
+            i for i, g in enumerate(gate_list) if not g.is_directive() and len(g.all_qubits) == 2
+        ]
+        for position, gate in enumerate(gate_list):
+            qubits = gate.all_qubits
+            if gate.is_directive() or len(qubits) != 2:
+                output.append(gate.remap_qubits(lambda q: layout.physical(q)))
+                continue
+            upcoming = [
+                gate_list[i] for i in two_qubit_positions if i > position
+            ]
+            swaps_used = 0
+            while not coupling.connected(layout.physical(qubits[0]), layout.physical(qubits[1])):
+                swaps = choose_swaps(coupling, layout, gate, upcoming)
+                if not swaps:
+                    raise TranspilerError("routing heuristic returned no swaps for a distant gate")
+                for physical_a, physical_b in swaps:
+                    if not coupling.connected(physical_a, physical_b):
+                        raise TranspilerError(
+                            f"routing heuristic proposed a non-adjacent swap ({physical_a}, {physical_b})"
+                        )
+                    output.append(Gate("swap", (physical_a, physical_b)))
+                    layout.swap(physical_a, physical_b)
+                    swaps_used += 1
+                if swaps_used > cap:
+                    raise TranspilerError(
+                        "routing pass exceeded the swap budget: the heuristic is not "
+                        "making progress (see the Section 7.3 non-termination bug)"
+                    )
+            output.append(gate.remap_qubits(lambda q: layout.physical(q)))
+        return output, layout
+
+    session = circuit._session
+    gate = session.fresh_gate("two-qubit gate being routed")
+    session.assume(Fact(F.IS_TWO_QUBIT, (gate.uid,)))
+    session.add_subgoal(
+        Subgoal(
+            kind="equivalence_up_to_swaps",
+            description="route_each_gate emits the original gate remapped through the "
+            "current layout, preceded only by swap gates",
+            lhs=(gate,),
+            rhs=(gate,),
+            metadata={"template": "route_each_gate"},
+        )
+    )
+    session.add_subgoal(
+        Subgoal(
+            kind="coupling",
+            description="every inserted swap and every emitted two-qubit gate acts on "
+            "a coupled pair of physical qubits",
+            metadata={
+                "template": "route_each_gate",
+                "adjacency_enforced_by_template": True,
+            },
+        )
+    )
+    session.add_subgoal(
+        Subgoal(
+            kind="termination",
+            description="the swap-insertion loop terminates (each round makes progress "
+            "towards adjacency of the gate being routed)",
+            metadata={
+                "template": "route_each_gate",
+                "progress_argument": progress_argument,
+            },
+        )
+    )
+    result_segment = session.fresh_segment("result of route_each_gate")
+    session.assume(
+        Fact("segment_routes", (result_segment, tuple(circuit.elements)))
+    )
+    routed = SymCircuit(session, [result_segment], name="route_each_gate_result")
+    return routed, initial_layout or Layout()

@@ -1,0 +1,143 @@
+"""The QASMBench-style workload generators behind Figure 11."""
+
+import pytest
+
+from repro.bench.qasmbench import (
+    DEFAULT_SUITE,
+    adder,
+    bell,
+    bernstein_vazirani,
+    build_circuit,
+    cat_state,
+    deutsch,
+    dnn,
+    ghz_state,
+    grover,
+    hidden_shift,
+    ising,
+    qaoa,
+    qasmbench_suite,
+    qft,
+    small_suite,
+    variational,
+    wstate,
+)
+from repro.linalg import MAX_DENSE_QUBITS, circuits_equivalent, statevector
+from repro.qasm import parse_qasm
+
+
+def test_suite_has_48_circuits_up_to_27_qubits(full_suite=None):
+    suite = qasmbench_suite()
+    assert len(suite) == 48
+    assert len(DEFAULT_SUITE) == 48
+    assert 2 <= min(entry.num_qubits for entry in suite)
+    assert max(entry.num_qubits for entry in suite) <= 27
+    assert max(entry.num_gates for entry in suite) >= 300
+
+
+def test_suite_entries_roundtrip_through_openqasm():
+    for entry in small_suite(max_qubits=10, max_gates=120):
+        circuit = entry.circuit()
+        assert circuit.num_qubits == entry.num_qubits
+        assert circuit.size() == entry.num_gates
+        reparsed = parse_qasm(circuit.to_qasm())
+        assert reparsed.size() == circuit.size()
+
+
+def test_small_suite_respects_the_filters():
+    trimmed = small_suite(max_qubits=8, max_gates=60)
+    assert trimmed
+    assert all(entry.num_qubits <= 8 and entry.num_gates <= 60 for entry in trimmed)
+
+
+def test_every_family_is_buildable():
+    for family, size in DEFAULT_SUITE:
+        circuit = build_circuit(family, size)
+        assert circuit.size() > 0
+        assert circuit.num_qubits > 0
+
+
+# --------------------------------------------------------------------------- #
+# Family-specific structure
+# --------------------------------------------------------------------------- #
+def test_bell_and_ghz_prepare_cat_states():
+    import numpy as np
+
+    state = statevector(bell())
+    assert abs(state[0]) == pytest.approx(1 / np.sqrt(2))
+    assert abs(state[-1]) == pytest.approx(1 / np.sqrt(2))
+
+    ghz = ghz_state(4)
+    state = statevector(ghz)
+    assert abs(state[0]) == pytest.approx(1 / np.sqrt(2))
+    assert abs(state[-1]) == pytest.approx(1 / np.sqrt(2))
+    assert sum(abs(a) > 1e-9 for a in state) == 2
+
+
+def test_cat_state_is_ghz_plus_measurements():
+    circuit = cat_state(5)
+    ops = circuit.count_ops()
+    assert ops["measure"] == 5
+    assert ops["cx"] == 4
+
+
+def test_wstate_generator_structure_and_normalisation():
+    import numpy as np
+
+    n = 5
+    circuit = wstate(n)
+    ops = circuit.count_ops()
+    assert ops["cx"] == 2 * (n - 1)
+    assert ops["ry"] == 2 * (n - 1) + 1
+    state = statevector(circuit)
+    assert np.linalg.norm(state) == pytest.approx(1.0)
+
+
+def test_bernstein_vazirani_width_tracks_the_secret():
+    circuit = bernstein_vazirani(6)
+    assert circuit.num_qubits == 7
+    assert circuit.count_ops()["cx"] == bin(0b1011011 & 0b111111).count("1")
+
+
+def test_qft_gate_count_is_quadratic():
+    n = 7
+    circuit = qft(n)
+    ops = circuit.count_ops()
+    assert ops["h"] == n
+    assert ops["cu1"] == n * (n - 1) // 2
+    assert ops["swap"] == n // 2
+
+
+def test_adder_produces_the_expected_register_width():
+    circuit = adder(3)
+    assert circuit.num_qubits == 2 * 3 + 2
+
+
+@pytest.mark.parametrize("family,builder", [
+    ("ising", ising), ("qaoa", qaoa), ("dnn", dnn),
+    ("variational", variational), ("hidden_shift", hidden_shift),
+    ("grover", grover), ("deutsch", deutsch),
+])
+def test_parametric_families_scale_with_size(family, builder):
+    small = builder(4)
+    assert small.num_qubits >= 2
+    assert small.size() > 0
+    if family in ("ising", "qaoa", "dnn", "variational"):
+        large = builder(8)
+        assert large.size() > small.size()
+
+
+def test_generators_are_deterministic():
+    first = dnn(6).to_qasm()
+    second = dnn(6).to_qasm()
+    assert first == second
+    assert qaoa(6).to_qasm() == qaoa(6).to_qasm()
+
+
+def test_small_circuits_survive_a_parse_and_compare():
+    for family, size in [("bell", 2), ("ghz_state", 3), ("qft", 4), ("adder", 2)]:
+        circuit = build_circuit(family, size)
+        if circuit.num_qubits <= MAX_DENSE_QUBITS and not any(
+            g.is_measurement() for g in circuit
+        ):
+            assert circuits_equivalent(circuit, parse_qasm(circuit.to_qasm()))

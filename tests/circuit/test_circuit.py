@@ -1,0 +1,154 @@
+"""Tests for the QCircuit gate-list IR."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit import Gate, QCircuit, ghz_circuit, random_circuit
+from repro.errors import CircuitError
+from repro.linalg import circuits_equivalent
+
+from tests.conftest import circuit_strategy
+
+
+def test_builder_methods_grow_registers():
+    circuit = QCircuit()
+    circuit.h(0).cx(0, 3)
+    assert circuit.num_qubits == 4
+    assert circuit.size() == 2
+    circuit.measure(3, 1)
+    assert circuit.num_clbits == 2
+
+
+def test_append_requires_gate():
+    with pytest.raises(CircuitError):
+        QCircuit(1).append("h")  # type: ignore[arg-type]
+
+
+def test_copy_is_independent(bell_circuit):
+    clone = bell_circuit.copy()
+    clone.x(0)
+    assert clone.size() == bell_circuit.size() + 1
+
+
+def test_indexing_slicing_and_iteration(ghz3):
+    assert ghz3[0].name == "h"
+    tail = ghz3[1:]
+    assert isinstance(tail, QCircuit)
+    assert tail.size() == 2
+    assert [g.name for g in ghz3] == ["h", "cx", "cx"]
+
+
+def test_insert_and_delete():
+    circuit = QCircuit(2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.insert(1, Gate("x", (1,)))
+    assert [g.name for g in circuit] == ["h", "x", "cx"]
+    removed = circuit.delete(1)
+    assert removed.name == "x"
+    with pytest.raises(CircuitError):
+        circuit.delete(10)
+
+
+def test_compose_and_add(bell_circuit):
+    combined = bell_circuit + bell_circuit
+    assert combined.size() == 4
+    assert combined.num_qubits == 2
+
+
+def test_inverse_undoes_the_circuit():
+    circuit = QCircuit(2)
+    circuit.h(0)
+    circuit.t(0)
+    circuit.cx(0, 1)
+    circuit.rz(0.3, 1)
+    roundtrip = circuit + circuit.inverse()
+    assert circuits_equivalent(roundtrip, QCircuit(2))
+
+
+def test_depth_and_width():
+    circuit = QCircuit(3)
+    circuit.h(0)
+    circuit.h(1)
+    circuit.cx(0, 1)
+    circuit.x(2)
+    assert circuit.depth() == 2
+    assert circuit.width() == 3
+    circuit.barrier()
+    assert circuit.depth() == 2  # barriers do not add depth
+
+
+def test_count_ops_and_tensor_factors():
+    circuit = QCircuit(4)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(2, 3)
+    counts = circuit.count_ops()
+    assert counts == {"h": 1, "cx": 2}
+    assert circuit.num_tensor_factors() == 2
+
+
+def test_num_tensor_factors_counts_idle_qubits():
+    circuit = QCircuit(5)
+    circuit.cx(0, 1)
+    assert circuit.num_tensor_factors() == 4
+
+
+def test_remap_qubits_relabels_gates(ghz3):
+    remapped = ghz3.remap_qubits({0: 2, 1: 1, 2: 0})
+    assert remapped[0].qubits == (2,)
+    assert remapped[1].qubits == (2, 1)
+
+
+def test_validate_catches_bad_circuits():
+    circuit = QCircuit(2)
+    circuit.h(0)
+    circuit.validate()
+    bad = QCircuit(2)
+    bad._gates.append(Gate("h", (5,)))
+    with pytest.raises(CircuitError):
+        bad.validate()
+
+
+def test_measure_all_and_active_qubits():
+    circuit = QCircuit(3)
+    circuit.h(1)
+    circuit.measure_all()
+    assert circuit.num_clbits == 3
+    assert circuit.count_ops()["measure"] == 3
+    assert circuit.active_qubits() == [0, 1, 2]
+
+
+def test_ghz_circuit_shape():
+    circuit = ghz_circuit(5)
+    assert circuit.size() == 5
+    assert circuit.count_ops() == {"h": 1, "cx": 4}
+    with pytest.raises(CircuitError):
+        ghz_circuit(0)
+
+
+def test_random_circuit_is_deterministic_per_seed():
+    a = random_circuit(4, 20, seed=3)
+    b = random_circuit(4, 20, seed=3)
+    assert list(a.gates) == list(b.gates)
+    assert random_circuit(4, 20, seed=4).gates != a.gates
+
+
+def test_two_qubit_gates_helper():
+    circuit = QCircuit(3)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.barrier()
+    assert [g.name for g in circuit.two_qubit_gates()] == ["cx"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit_strategy(num_qubits=3, max_gates=8))
+def test_inverse_is_involutive_semantically(circuit):
+    assert circuits_equivalent(circuit.inverse().inverse(), circuit)
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit_strategy(num_qubits=3, max_gates=8))
+def test_depth_bounded_by_size(circuit):
+    assert 0 <= circuit.depth() <= circuit.size()

@@ -1,0 +1,100 @@
+"""Unit tests for the Gate value object."""
+
+import math
+
+import pytest
+
+from repro.circuit import Gate, gates_commute_trivially, normalize_angle, total_qubits
+from repro.errors import CircuitError
+
+
+def test_gate_basic_fields():
+    gate = Gate("cx", (0, 1))
+    assert gate.name == "cx"
+    assert gate.qubits == (0, 1)
+    assert gate.num_qubits == 2
+    assert gate.params == ()
+    assert not gate.is_conditioned()
+
+
+def test_gate_is_cx_only_when_unconditioned():
+    assert Gate("cx", (0, 1)).is_cx_gate()
+    assert not Gate("cx", (0, 1)).c_if(0, 1).is_cx_gate()
+    assert not Gate("cx", (0, 1)).q_if(2).is_cx_gate()
+    assert not Gate("h", (0,)).is_cx_gate()
+
+
+def test_gate_directives():
+    assert Gate("barrier", (0, 1)).is_barrier()
+    assert Gate("measure", (0,), clbits=(0,)).is_measurement()
+    assert Gate("reset", (0,)).is_reset()
+    assert Gate("barrier", (0,)).is_directive()
+    assert not Gate("x", (0,)).is_directive()
+
+
+def test_duplicate_qubits_rejected():
+    with pytest.raises(CircuitError):
+        Gate("cx", (1, 1))
+
+
+def test_q_if_overlap_rejected():
+    with pytest.raises(CircuitError):
+        Gate("x", (0,), q_controls=(0,))
+
+
+def test_replace_and_remap():
+    gate = Gate("cx", (0, 1))
+    remapped = gate.remap_qubits({0: 3, 1: 2})
+    assert remapped.qubits == (3, 2)
+    renamed = gate.replace(name="cz")
+    assert renamed.name == "cz" and renamed.qubits == (0, 1)
+
+
+def test_c_if_and_q_if_builders():
+    gate = Gate("x", (0,)).c_if(2, 1)
+    assert gate.condition == (2, 1)
+    controlled = Gate("x", (0,)).q_if(1, 2)
+    assert controlled.q_controls == (1, 2)
+    assert controlled.all_qubits == (0, 1, 2)
+
+
+def test_equality_and_hash():
+    a = Gate("rz", (0,), (0.5,))
+    b = Gate("rz", (0,), (0.5,))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Gate("rz", (0,), (0.6,))
+
+
+def test_shares_qubit_and_trivial_commutation():
+    a = Gate("h", (0,))
+    b = Gate("x", (1,))
+    c = Gate("cx", (0, 1))
+    assert not a.shares_qubit(b)
+    assert a.shares_qubit(c)
+    assert gates_commute_trivially(a, b)
+    assert not gates_commute_trivially(a, c)
+
+
+def test_classification_helpers():
+    assert Gate("h", (0,)).is_self_inverse()
+    assert not Gate("s", (0,)).is_self_inverse()
+    assert Gate("rz", (0,), (0.2,)).is_diagonal()
+    assert not Gate("h", (0,)).is_diagonal()
+    assert Gate("cx", (0, 1)).is_two_qubit()
+    assert Gate("x", (0,)).name_in({"x", "y"})
+    assert Gate("u1", (0,), (0.1,)).in_basis(("u1", "u2", "u3", "cx"))
+    assert Gate("cx", (0, 1)).same_qubits_as(Gate("cz", (0, 1)))
+    assert Gate("z", (0,)).commutes_with(Gate("cx", (0, 1)))
+
+
+def test_normalize_angle():
+    assert abs(normalize_angle(2 * math.pi)) < 1e-12
+    assert abs(normalize_angle(3 * math.pi) - math.pi) < 1e-12
+    assert abs(normalize_angle(-0.1) + 0.1) < 1e-12
+
+
+def test_total_qubits():
+    gates = [Gate("cx", (0, 5)), Gate("h", (2,))]
+    assert total_qubits(gates) == 6
+    assert total_qubits([]) == 0

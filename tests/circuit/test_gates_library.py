@@ -1,0 +1,111 @@
+"""Tests for the standard gate library: matrices, inverses, decompositions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    Gate,
+    QCircuit,
+    decompose_to_basis,
+    gate_matrix,
+    gate_spec,
+    inverse_gate,
+    is_known_gate,
+    known_gate_names,
+)
+from repro.errors import CircuitError
+from repro.linalg import circuits_equivalent
+
+
+def test_registry_contains_standard_gates():
+    names = known_gate_names()
+    for expected in ["x", "y", "z", "h", "cx", "cz", "swap", "ccx", "u1", "u2", "u3", "ecr"]:
+        assert expected in names
+    assert is_known_gate("cnot")  # alias
+    assert gate_spec("cnot").name == "cx"
+
+
+@pytest.mark.parametrize("name", [n for n in known_gate_names()])
+def test_every_gate_matrix_is_unitary(name):
+    spec = gate_spec(name)
+    params = tuple(0.3 + 0.2 * i for i in range(spec.num_params))
+    matrix = spec.matrix(params)
+    dim = 2**spec.num_qubits
+    assert matrix.shape == (dim, dim)
+    assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-10)
+
+
+@pytest.mark.parametrize("name", [n for n in known_gate_names()])
+def test_inverse_gate_is_really_the_inverse(name):
+    spec = gate_spec(name)
+    params = tuple(0.4 + 0.1 * i for i in range(spec.num_params))
+    gate = Gate(name, tuple(range(spec.num_qubits)), params)
+    inverse = inverse_gate(gate)
+    product = gate_matrix(inverse) @ gate_matrix(gate)
+    assert np.allclose(product, np.eye(product.shape[0]), atol=1e-10)
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["x", "y", "z", "h", "s", "sdg", "t", "tdg", "cz", "cy", "ch", "swap", "ccx",
+     "cswap", "iswap", "crz", "cu1", "rzz", "rxx", "rx", "ry", "rz"],
+)
+def test_basis_decompositions_preserve_semantics(name):
+    spec = gate_spec(name)
+    params = tuple(0.7 + 0.3 * i for i in range(spec.num_params))
+    gate = Gate(name, tuple(range(spec.num_qubits)), params)
+    decomposed = decompose_to_basis(gate)
+    original = QCircuit(spec.num_qubits, gates=[gate])
+    expanded = QCircuit(spec.num_qubits, gates=decomposed)
+    assert circuits_equivalent(original, expanded)
+    for sub in decomposed:
+        assert sub.name in ("u1", "u2", "u3", "cx", "id") or sub.is_directive()
+
+
+def test_gate_matrix_rejects_conditioned_gates():
+    with pytest.raises(CircuitError):
+        gate_matrix(Gate("x", (0,)).c_if(0, 1))
+
+
+def test_gate_matrix_with_q_controls_builds_controlled_unitary():
+    controlled = gate_matrix(Gate("x", (1,), q_controls=(0,)))
+    plain_cx = gate_matrix(Gate("cx", (0, 1)))
+    assert np.allclose(controlled, plain_cx)
+
+
+def test_unknown_gate_raises():
+    with pytest.raises(CircuitError):
+        gate_spec("frobnicate")
+
+
+def test_table1_u_gate_matrices():
+    """The u1/u2/u3 matrices of Table 1."""
+    lam, phi, theta = 0.37, 1.1, 0.8
+    u1 = gate_matrix(Gate("u1", (0,), (lam,)))
+    assert np.allclose(u1, np.diag([1.0, np.exp(1j * lam)]))
+    u2 = gate_matrix(Gate("u2", (0,), (phi, lam)))
+    expected_u2 = (1 / math.sqrt(2)) * np.array(
+        [[1, -np.exp(1j * lam)], [np.exp(1j * phi), np.exp(1j * (phi + lam))]]
+    )
+    assert np.allclose(u2, expected_u2)
+    u3 = gate_matrix(Gate("u3", (0,), (theta, phi, lam)))
+    assert np.allclose(u3[0, 0], math.cos(theta / 2))
+    assert np.allclose(u3[1, 1], np.exp(1j * (phi + lam)) * math.cos(theta / 2))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(0.01, 6.0), st.floats(0.01, 6.0), st.floats(0.01, 6.0))
+def test_u3_special_cases_match_u1_u2(theta, phi, lam):
+    """u1(l) == u3(0,0,l) and u2(p,l) == u3(pi/2,p,l) up to global phase."""
+    from repro.linalg import allclose_up_to_global_phase
+
+    u1 = gate_matrix(Gate("u1", (0,), (lam,)))
+    u3_for_u1 = gate_matrix(Gate("u3", (0,), (0.0, 0.0, lam)))
+    assert allclose_up_to_global_phase(u1, u3_for_u1)
+    u2 = gate_matrix(Gate("u2", (0,), (phi, lam)))
+    u3_for_u2 = gate_matrix(Gate("u3", (0,), (math.pi / 2, phi, lam)))
+    assert allclose_up_to_global_phase(u2, u3_for_u2)

@@ -1,0 +1,138 @@
+"""The ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.qasm import parse_qasm
+
+
+BELL_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+cx q[0],q[3];
+cx q[1],q[2];
+"""
+
+
+@pytest.fixture
+def bell_file(tmp_path):
+    path = tmp_path / "bell.qasm"
+    path.write_text(BELL_QASM)
+    return str(path)
+
+
+# --------------------------------------------------------------------------- #
+# verify
+# --------------------------------------------------------------------------- #
+def test_verify_single_pass_text(capsys):
+    assert main(["verify", "CXCancellation"]) == 0
+    out = capsys.readouterr().out
+    assert "CXCancellation" in out
+    assert "verified" in out
+
+
+def test_verify_json_output(capsys):
+    assert main(["verify", "CXCancellation", "Width", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["total"] == 2
+    assert payload["summary"]["all_verified"] is True
+
+
+def test_verify_markdown_output(capsys):
+    assert main(["verify", "RemoveBarriers", "--format", "markdown"]) == 0
+    assert "| `RemoveBarriers` | verified" in capsys.readouterr().out
+
+
+def test_verify_unknown_pass_is_an_error(capsys):
+    assert main(["verify", "NotARealPass"]) == 2
+    assert "unknown pass" in capsys.readouterr().err
+
+
+def test_verify_requires_a_selection(capsys):
+    assert main(["verify"]) == 2
+    assert "nothing to verify" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# transpile
+# --------------------------------------------------------------------------- #
+def test_transpile_to_stdout(bell_file, capsys):
+    assert main(["transpile", bell_file, "--device", "ibm_5q_tenerife"]) == 0
+    out = capsys.readouterr().out
+    compiled = parse_qasm(out)
+    assert compiled.num_qubits == 5
+    assert compiled.size() >= 3
+
+
+def test_transpile_baseline_pipeline(bell_file, capsys):
+    assert main(["transpile", bell_file, "--device", "ibm_5q_tenerife",
+                 "--pipeline", "baseline"]) == 0
+    compiled = parse_qasm(capsys.readouterr().out)
+    assert compiled.size() >= 3
+
+
+def test_transpile_to_file(bell_file, tmp_path, capsys):
+    output = tmp_path / "out.qasm"
+    assert main(["transpile", bell_file, "--device", "ibm_16q",
+                 "--output", str(output), "--stats"]) == 0
+    err = capsys.readouterr().err
+    assert "pipeline: verified" in err
+    compiled = parse_qasm(output.read_text())
+    assert compiled.num_qubits == 16
+
+
+def test_transpile_unknown_device(bell_file, capsys):
+    assert main(["transpile", bell_file, "--device", "nonexistent"]) == 2
+    assert "unknown device" in capsys.readouterr().err
+
+
+def test_transpile_device_too_small(tmp_path, capsys):
+    wide = tmp_path / "wide.qasm"
+    wide.write_text('OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[30];\nh q[29];\n')
+    assert main(["transpile", str(wide), "--device", "ibm_16q"]) == 2
+    assert "needs 30" in capsys.readouterr().err
+
+
+def test_transpile_missing_file(capsys):
+    assert main(["transpile", "/nonexistent/file.qasm"]) == 2
+    assert "cannot read input" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# list / soundness / parser
+# --------------------------------------------------------------------------- #
+def test_list_passes(capsys):
+    assert main(["list", "passes"]) == 0
+    out = capsys.readouterr().out
+    assert "CXCancellation" in out
+    assert "StochasticSwap" in out and "unsupported" in out
+    assert "InverseCancellation" in out and "extension" in out
+
+
+def test_list_devices(capsys):
+    assert main(["list", "devices"]) == 0
+    out = capsys.readouterr().out
+    assert "ibm_16q" in out
+    assert "ibm_20q_tokyo" in out
+
+
+def test_list_circuits(capsys):
+    assert main(["list", "circuits"]) == 0
+    out = capsys.readouterr().out
+    assert "qft" in out
+    assert len(out.strip().splitlines()) == 48
+
+
+def test_soundness_command(capsys):
+    assert main(["soundness"]) == 0
+    out = capsys.readouterr().out
+    assert "unsound rules            : 0" in out
+
+
+def test_parser_rejects_missing_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

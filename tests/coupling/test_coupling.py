@@ -1,0 +1,131 @@
+"""Tests for coupling maps, layouts, and device topologies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coupling import (
+    CouplingMap,
+    Layout,
+    device,
+    fully_connected_device,
+    grid_device,
+    ibm_16q,
+    ibm_27q_falcon,
+    ibm_5q_tenerife,
+    linear_device,
+    ring_device,
+)
+from repro.errors import CouplingError
+
+
+def test_coupling_basics():
+    cm = CouplingMap([(0, 1), (1, 2)])
+    assert cm.num_qubits == 3
+    assert cm.connected(0, 1) and cm.connected(1, 0)
+    assert cm.has_edge(0, 1) and not cm.has_edge(1, 0)
+    assert not cm.connected(0, 2)
+    assert cm.neighbors(1) == [0, 2]
+
+
+def test_self_loops_rejected():
+    with pytest.raises(CouplingError):
+        CouplingMap([(1, 1)])
+
+
+def test_distance_and_shortest_path():
+    cm = linear_device(6)
+    assert cm.distance(0, 5) == 5
+    assert cm.shortest_path(0, 3) == [0, 1, 2, 3]
+    assert cm.distance(2, 2) == 0
+    with pytest.raises(CouplingError):
+        cm.distance(0, 10)
+
+
+def test_disconnected_map():
+    cm = CouplingMap([(0, 1), (2, 3)])
+    assert not cm.is_connected()
+    with pytest.raises(CouplingError):
+        cm.shortest_path(0, 3)
+
+
+def test_subgraph_relabels():
+    cm = linear_device(5)
+    sub = cm.subgraph([2, 3, 4])
+    assert sub.num_qubits == 3
+    assert sub.connected(0, 1) and sub.connected(1, 2) and not sub.connected(0, 2)
+
+
+def test_device_registry_and_topologies():
+    assert device("ibm_16q").num_qubits == 16
+    assert ibm_5q_tenerife().num_qubits == 5
+    assert ibm_27q_falcon().num_qubits == 27
+    with pytest.raises(KeyError):
+        device("does_not_exist")
+    assert ring_device(5).distance(0, 3) == 2
+    assert grid_device(3, 3).distance(0, 8) == 4
+    full = fully_connected_device(5)
+    assert all(full.connected(a, b) for a in range(5) for b in range(5) if a != b)
+
+
+def test_ibm16_is_the_figure10_topology():
+    cm = ibm_16q()
+    assert cm.num_qubits == 16
+    assert cm.is_connected()
+    # The four "corners" used in the counterexample are pairwise distant ...
+    assert cm.distance(0, 7) >= 4
+    assert cm.distance(8, 15) >= 4
+    # ... but adjacent around the ring ends.
+    assert cm.connected(0, 15)
+    assert cm.connected(7, 8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 12), st.integers(0, 11), st.integers(0, 11))
+def test_distance_is_a_metric_on_lines(n, a, b):
+    cm = linear_device(n)
+    a, b = a % n, b % n
+    assert cm.distance(a, b) == abs(a - b)
+    assert cm.distance(a, b) == cm.distance(b, a)
+
+
+# --------------------------------------------------------------------------- #
+# Layouts
+# --------------------------------------------------------------------------- #
+def test_layout_trivial_and_lookup():
+    layout = Layout.trivial(3)
+    assert layout.physical(2) == 2
+    assert layout.logical(1) == 1
+    assert len(layout) == 3
+    assert 2 in layout and 5 not in layout
+
+
+def test_layout_assign_conflicts():
+    layout = Layout({0: 1})
+    with pytest.raises(CouplingError):
+        layout.assign(0, 2)
+    with pytest.raises(CouplingError):
+        layout.assign(3, 1)
+
+
+def test_layout_swap_moves_contents():
+    layout = Layout.trivial(3)
+    layout.swap(0, 2)
+    assert layout.physical(0) == 2
+    assert layout.physical(2) == 0
+    assert layout.logical(2) == 0
+
+
+def test_layout_as_permutation_pads_missing():
+    layout = Layout({0: 2})
+    perm = layout.as_permutation(3)
+    assert perm[0] == 2
+    assert sorted(perm) == [0, 1, 2]
+
+
+def test_layout_from_physical_order_and_copy():
+    layout = Layout.from_physical_order([3, 1, 0])
+    assert layout.physical(0) == 3
+    clone = layout.copy()
+    clone.swap(3, 1)
+    assert layout.physical(0) == 3 and clone.physical(0) == 1

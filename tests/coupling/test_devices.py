@@ -1,0 +1,112 @@
+"""Device topologies and the device registry."""
+
+import pytest
+
+from repro.coupling import (
+    DEVICE_REGISTRY,
+    CouplingMap,
+    device,
+    fully_connected_device,
+    grid_device,
+    ibm_5q_tenerife,
+    ibm_16q,
+    ibm_20q_tokyo,
+    ibm_27q_falcon,
+    linear_device,
+    ring_device,
+)
+
+
+@pytest.mark.parametrize("name", sorted(DEVICE_REGISTRY))
+def test_registered_devices_are_connected(name):
+    topology = device(name)
+    assert isinstance(topology, CouplingMap)
+    assert topology.num_qubits >= 2
+    assert topology.is_connected()
+
+
+def test_unknown_device_raises_key_error():
+    with pytest.raises(KeyError):
+        device("not_a_device")
+
+
+def test_linear_device_distances_are_path_lengths():
+    line = linear_device(6)
+    assert line.distance(0, 5) == 5
+    assert line.distance(2, 3) == 1
+    assert line.shortest_path(0, 3) == [0, 1, 2, 3]
+
+
+def test_ring_device_wraps_around():
+    ring = ring_device(8)
+    assert ring.distance(0, 7) == 1
+    assert ring.distance(0, 4) == 4
+
+
+def test_grid_device_shape():
+    grid = grid_device(3, 4)
+    assert grid.num_qubits == 12
+    # Corner qubit has two neighbours, interior qubit has four.
+    assert len(grid.neighbors(0)) == 2
+    assert len(grid.neighbors(5)) == 4
+    assert grid.distance(0, 11) == (3 - 1) + (4 - 1)
+
+
+def test_fully_connected_device_has_distance_one_everywhere():
+    full = fully_connected_device(6)
+    assert all(full.distance(a, b) == 1 for a in range(6) for b in range(6) if a != b)
+
+
+def test_ibm_16q_matches_figure_10():
+    topology = ibm_16q()
+    assert topology.num_qubits == 16
+    # The four "corner" qubits of the paper's counterexample are pairwise
+    # non-adjacent, which is what makes the lookahead_swap loop possible.
+    corners = (0, 8, 7, 15)
+    adjacent_pairs = [
+        (a, b) for a in corners for b in corners if a < b and topology.connected(a, b)
+    ]
+    assert (7, 8) in adjacent_pairs or (8, 7) in adjacent_pairs
+    assert not topology.connected(0, 8)
+    assert not topology.connected(0, 7)
+    assert not topology.connected(8, 15)
+
+
+def test_ibm_5q_tenerife_bowtie():
+    topology = ibm_5q_tenerife()
+    assert topology.num_qubits == 5
+    assert topology.connected(2, 0) and topology.connected(2, 4)
+
+
+def test_ibm_20q_tokyo_has_diagonal_couplers():
+    topology = ibm_20q_tokyo()
+    assert topology.num_qubits == 20
+    assert topology.connected(1, 7)      # a diagonal coupler
+    assert topology.connected(0, 1)      # a grid edge
+    assert not topology.connected(0, 19)
+
+
+def test_ibm_27q_falcon_is_sparse():
+    topology = ibm_27q_falcon()
+    assert topology.num_qubits == 27
+    assert topology.is_connected()
+    average_degree = 2 * len(topology.undirected_edges()) / topology.num_qubits
+    assert average_degree < 3.0
+
+
+def test_subgraph_restricts_edges():
+    grid = grid_device(3, 3)
+    sub = grid.subgraph([0, 1, 2])
+    assert sub.num_qubits == 3
+    assert sub.connected(0, 1) and sub.connected(1, 2)
+    assert not sub.connected(0, 2)
+
+
+def test_distance_matrix_is_symmetric_for_undirected_reachability():
+    topology = ibm_16q()
+    matrix = topology.distance_matrix()
+    for a in range(16):
+        for b in range(16):
+            assert matrix[a][b] == matrix[b][a]
+            if a == b:
+                assert matrix[a][b] == 0

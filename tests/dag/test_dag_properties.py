@@ -1,0 +1,120 @@
+"""DAG circuit structure and the list<->DAG converters (property-based)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit import Gate, QCircuit, random_circuit
+from repro.dag import DAGCircuit, circuit_to_dag, dag_to_circuit
+from repro.linalg import circuits_equivalent
+
+from tests.conftest import circuit_strategy
+
+
+@pytest.fixture
+def diamond_circuit():
+    circuit = QCircuit(3)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(0, 2)
+    circuit.cx(1, 2)
+    circuit.t(2)
+    return circuit
+
+
+# --------------------------------------------------------------------------- #
+# Round trips
+# --------------------------------------------------------------------------- #
+@settings(max_examples=40, deadline=None)
+@given(circuit_strategy(num_qubits=4, max_gates=12))
+def test_roundtrip_preserves_per_qubit_gate_order(circuit):
+    """circuit -> DAG -> circuit keeps every wire's gate sequence intact."""
+    back = dag_to_circuit(circuit_to_dag(circuit))
+    assert back.size() == circuit.size()
+    for qubit in range(circuit.num_qubits):
+        original_wire = [g for g in circuit if qubit in g.all_qubits]
+        rebuilt_wire = [g for g in back if qubit in g.all_qubits]
+        assert original_wire == rebuilt_wire
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit_strategy(num_qubits=3, max_gates=10))
+def test_roundtrip_preserves_semantics(circuit):
+    back = dag_to_circuit(circuit_to_dag(circuit))
+    assert circuits_equivalent(circuit, back)
+
+
+# --------------------------------------------------------------------------- #
+# Structure
+# --------------------------------------------------------------------------- #
+def test_dag_dependencies_follow_shared_qubits(diamond_circuit):
+    dag = circuit_to_dag(diamond_circuit)
+    nodes = dag.topological_nodes()
+    names = [node.name for node in nodes]
+    # The Hadamard must come before both CNOTs that consume qubit 0.
+    assert names.index("h") < names.index("cx")
+    assert dag.size() == diamond_circuit.size()
+    assert dag.depth() == diamond_circuit.depth()
+
+
+def test_front_layer_contains_only_independent_gates(diamond_circuit):
+    dag = circuit_to_dag(diamond_circuit)
+    front = dag.front_layer()
+    assert len(front) == 1
+    assert front[0].name == "h"
+
+
+def test_layers_partition_the_nodes(diamond_circuit):
+    dag = circuit_to_dag(diamond_circuit)
+    layers = list(dag.layers())
+    assert sum(len(layer) for layer in layers) == dag.size()
+    assert len(layers) == dag.depth()
+
+
+def test_successors_and_predecessors(diamond_circuit):
+    dag = circuit_to_dag(diamond_circuit)
+    h_node = next(node for node in dag.nodes() if node.name == "h")
+    following = dag.descendants(h_node)
+    assert all(node.name in {"cx", "t"} for node in following)
+    assert dag.predecessors(h_node) == []
+    assert len(dag.successors(h_node)) >= 1
+
+
+def test_remove_node_shrinks_the_dag(diamond_circuit):
+    dag = circuit_to_dag(diamond_circuit)
+    size_before = dag.size()
+    target = next(node for node in dag.nodes() if node.name == "t")
+    dag.remove_node(target)
+    assert dag.size() == size_before - 1
+    assert "t" not in [node.name for node in dag.nodes()]
+
+
+def test_substitute_node_replaces_with_equivalent_gates(diamond_circuit):
+    dag = circuit_to_dag(diamond_circuit)
+    h_node = next(node for node in dag.nodes() if node.name == "h")
+    replacements = [
+        Gate("u2", (0,), (0.0, 3.141592653589793)),
+    ]
+    dag.substitute_node(h_node, replacements)
+    rebuilt = dag_to_circuit(dag)
+    assert circuits_equivalent(diamond_circuit, rebuilt)
+
+
+def test_count_ops_and_two_qubit_ops(diamond_circuit):
+    dag = circuit_to_dag(diamond_circuit)
+    assert dag.count_ops() == {"h": 1, "cx": 3, "t": 1}
+    assert len(dag.two_qubit_ops()) == 3
+
+
+def test_dag_copy_is_independent(diamond_circuit):
+    dag = circuit_to_dag(diamond_circuit)
+    clone = dag.copy()
+    target = next(node for node in clone.nodes() if node.name == "t")
+    clone.remove_node(target)
+    assert dag.size() == diamond_circuit.size()
+    assert clone.size() == diamond_circuit.size() - 1
+
+
+def test_longest_path_matches_depth():
+    circuit = random_circuit(4, 25, seed=5)
+    dag = circuit_to_dag(circuit)
+    assert len(dag.longest_path()) == dag.depth()

@@ -1,0 +1,110 @@
+"""Tests for the DAG circuit representation and converters."""
+
+import pytest
+
+from repro.circuit import Gate, QCircuit, ghz_circuit, random_circuit
+from repro.dag import DAGCircuit, circuit_to_dag, dag_to_circuit
+from repro.errors import DAGError
+from repro.linalg import circuits_equivalent
+
+
+def test_roundtrip_preserves_gate_order(ghz3):
+    dag = circuit_to_dag(ghz3)
+    back = dag_to_circuit(dag)
+    assert list(back.gates) == list(ghz3.gates)
+
+
+def test_roundtrip_random_circuits_semantically():
+    for seed in range(3):
+        circuit = random_circuit(4, 20, seed=seed)
+        assert circuits_equivalent(circuit, dag_to_circuit(circuit_to_dag(circuit)))
+
+
+def test_front_layer_and_layers():
+    circuit = QCircuit(3)
+    circuit.h(0)
+    circuit.x(2)
+    circuit.cx(0, 1)
+    dag = circuit_to_dag(circuit)
+    front_names = sorted(node.name for node in dag.front_layer())
+    assert front_names == ["h", "x"]
+    layers = list(dag.layers())
+    assert [sorted(n.name for n in layer) for layer in layers] == [["h", "x"], ["cx"]]
+
+
+def test_depth_and_size(ghz3):
+    dag = circuit_to_dag(ghz3)
+    assert dag.size() == 3
+    assert dag.depth() == 3
+    assert dag.width() == 3
+
+
+def test_successors_and_predecessors():
+    dag = circuit_to_dag(ghz_circuit(3))
+    nodes = dag.topological_nodes()
+    h_node, cx1, cx2 = nodes
+    assert dag.successors(h_node) == [cx1]
+    assert dag.predecessors(cx2) == [cx1]
+    assert cx2 in dag.descendants(h_node)
+
+
+def test_remove_node_reconnects_wires():
+    circuit = QCircuit(2)
+    circuit.h(0)
+    circuit.x(0)
+    circuit.cx(0, 1)
+    dag = circuit_to_dag(circuit)
+    x_node = dag.topological_nodes()[1]
+    dag.remove_node(x_node)
+    assert [g.name for g in dag.gates()] == ["h", "cx"]
+    with pytest.raises(DAGError):
+        dag.remove_node(x_node)
+
+
+def test_substitute_node_replaces_with_sequence():
+    circuit = QCircuit(2)
+    circuit.h(0)
+    circuit.swap(0, 1)
+    dag = circuit_to_dag(circuit)
+    swap_node = dag.topological_nodes()[1]
+    dag.substitute_node(swap_node, [Gate("cx", (0, 1)), Gate("cx", (1, 0)), Gate("cx", (0, 1))])
+    assert [g.name for g in dag.gates()] == ["h", "cx", "cx", "cx"]
+    assert circuits_equivalent(dag_to_circuit(dag), circuit)
+
+
+def test_substitute_rejects_new_qubits():
+    dag = circuit_to_dag(ghz_circuit(2))
+    node = dag.topological_nodes()[0]
+    with pytest.raises(DAGError):
+        dag.substitute_node(node, [Gate("cx", (0, 5))])
+
+
+def test_conditioned_gate_orders_after_measure():
+    circuit = QCircuit(2, 1)
+    circuit.measure(0, 0)
+    circuit.append(Gate("x", (1,), condition=(0, 1)))
+    dag = circuit_to_dag(circuit)
+    names = [node.name for node in dag.topological_nodes()]
+    assert names == ["measure", "x"]
+    # The classical wire forces the dependency even though qubits differ.
+    assert dag.successors(dag.topological_nodes()[0]) == [dag.topological_nodes()[1]]
+
+
+def test_count_ops_and_two_qubit_ops(ghz3):
+    dag = circuit_to_dag(ghz3)
+    assert dag.count_ops() == {"h": 1, "cx": 2}
+    assert len(dag.two_qubit_ops()) == 2
+
+
+def test_longest_path_length(ghz3):
+    dag = circuit_to_dag(ghz3)
+    assert len(dag.longest_path()) == 3
+    assert DAGCircuit(2).longest_path() == []
+
+
+def test_copy_and_equality(ghz3):
+    dag = circuit_to_dag(ghz3)
+    clone = dag.copy()
+    assert clone == dag
+    clone.apply_gate(Gate("x", (0,)))
+    assert clone != dag

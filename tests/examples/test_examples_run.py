@@ -1,0 +1,55 @@
+"""Every example script must run to completion (they are part of the API docs)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def _run(script, *args):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_quickstart_example():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "verify CXCancellation" in result.stdout
+    assert "semantics preserved (dense-matrix oracle): True" in result.stdout
+
+
+def test_write_and_verify_example():
+    result = _run("write_and_verify_a_pass.py")
+    assert result.returncode == 0, result.stderr
+    assert "HCancellation: verified" in result.stdout
+    assert "SloppyHCancellation: REJECTED" in result.stdout
+
+
+def test_catch_a_buggy_pass_example():
+    result = _run("catch_a_buggy_pass.py")
+    assert result.returncode == 0, result.stderr
+    assert "all three bugs rediscovered and all three fixes verified: True" in result.stdout
+
+
+def test_route_for_device_example():
+    result = _run("route_for_device.py")
+    assert result.returncode == 0, result.stderr
+    assert "coupling-conformant: True" in result.stdout
+    assert "equivalent up to swaps: True" in result.stdout
+
+
+def test_compile_qasmbench_example_default_and_list():
+    result = _run("compile_qasmbench.py", "--family", "ghz_state", "--size", "6")
+    assert result.returncode == 0, result.stderr
+    assert "overhead" in result.stdout
+
+    listing = _run("compile_qasmbench.py", "--list")
+    assert listing.returncode == 0
+    assert len(listing.stdout.strip().splitlines()) == 48

@@ -1,0 +1,142 @@
+"""Integration tests: pipelines, the wrapper, and the benchmark harnesses."""
+
+import pytest
+
+from repro.bench import (
+    build_circuit,
+    pass_kwargs_for,
+    qasmbench_suite,
+    rule_usage_report,
+    run_case_studies,
+    run_figure11,
+    run_table2,
+    small_suite,
+)
+from repro.bench.figure11 import default_device
+from repro.bench.table2 import format_table
+from repro.circuit import QCircuit, random_circuit
+from repro.coupling import grid_device, linear_device
+from repro.linalg import circuits_equivalent_up_to_permutation
+from repro.passes import CXCancellation, Optimize1qGates
+from repro.symbolic import conforms_to_coupling, equivalent_up_to_swaps
+from repro.transpiler import (
+    PassManager,
+    VerifiedPassWrapper,
+    baseline_pipeline,
+    verified_pipeline,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Pass manager and wrapper
+# --------------------------------------------------------------------------- #
+def test_pass_manager_runs_verified_passes_via_wrapper():
+    circuit = QCircuit(2)
+    circuit.u1(0.3, 0)
+    circuit.u1(0.4, 0)
+    circuit.cx(0, 1)
+    circuit.cx(0, 1)
+    manager = PassManager([
+        VerifiedPassWrapper(Optimize1qGates()),
+        VerifiedPassWrapper(CXCancellation()),
+    ])
+    output = manager.run(circuit)
+    assert output.count_ops().get("cx", 0) == 0
+    assert len(manager.records) == 2
+    assert manager.total_time() >= 0.0
+
+
+def test_property_set_is_shared_across_the_pipeline():
+    from repro.passes import TrivialLayout, ApplyLayout
+
+    circuit = QCircuit(3)
+    circuit.cx(0, 2)
+    manager = PassManager([
+        VerifiedPassWrapper(TrivialLayout()),
+        VerifiedPassWrapper(ApplyLayout()),
+    ])
+    manager.run(circuit)
+    assert manager.property_set["layout"] is not None
+
+
+@pytest.mark.parametrize("factory", [baseline_pipeline, verified_pipeline])
+def test_preset_pipelines_produce_coupling_conformant_circuits(factory):
+    coupling = linear_device(5)
+    circuit = random_circuit(5, 25, seed=11)
+    pipeline = factory(coupling)
+    output = pipeline.run(circuit)
+    assert conforms_to_coupling(output.gates, coupling)
+    assert set(output.count_ops()) <= {"u1", "u2", "u3", "cx", "id", "swap", "barrier", "measure"}
+
+
+def test_both_pipelines_preserve_semantics_up_to_routing_permutation():
+    coupling = linear_device(4)
+    circuit = random_circuit(4, 15, seed=3)
+    for factory in (baseline_pipeline, verified_pipeline):
+        output = factory(coupling).run(circuit)
+        report = equivalent_up_to_swaps(circuit.gates, output.gates, max(4, output.num_qubits))
+        # The pipelines unroll to u1/u2/u3, so compare with the matrix oracle.
+        assert circuits_equivalent_up_to_permutation(circuit, output, list(report.permutation))
+
+
+# --------------------------------------------------------------------------- #
+# QASMBench suite
+# --------------------------------------------------------------------------- #
+def test_qasmbench_suite_shape():
+    suite = qasmbench_suite()
+    assert len(suite) == 48
+    assert max(entry.num_qubits for entry in suite) >= 24
+    assert max(entry.num_gates for entry in suite) >= 300
+    families = {entry.family for entry in suite}
+    assert {"ghz_state", "qft", "adder", "ising", "qaoa", "dnn"} <= families
+
+
+def test_qasmbench_entries_roundtrip_through_qasm():
+    for entry in small_suite(max_qubits=8, max_gates=120)[:8]:
+        circuit = entry.circuit()
+        assert circuit.num_qubits == entry.num_qubits
+        assert circuit.size() == entry.num_gates
+
+
+def test_build_circuit_families_are_well_formed():
+    for family, size in [("qft", 5), ("adder", 3), ("grover", 4), ("wstate", 5)]:
+        circuit = build_circuit(family, size)
+        circuit.validate()
+
+
+# --------------------------------------------------------------------------- #
+# Benchmark drivers (small configurations)
+# --------------------------------------------------------------------------- #
+def test_table2_driver_reports_all_passes_verified():
+    rows = run_table2()
+    assert len(rows) == 44
+    assert all(row.verified for row in rows)
+    table_text = format_table(rows)
+    assert "44 / 44" in table_text
+    assert "12 passes are outside" in table_text
+
+
+def test_rule_usage_report_shows_reuse_across_passes():
+    from repro.passes import CXCancellation, CommutativeCancellation, Unroller, BasicSwap
+
+    usage = rule_usage_report([CXCancellation, CommutativeCancellation, Unroller, BasicSwap])
+    assert "cancellation" in usage["CXCancellation"]
+    assert "cancellation" in usage["CommutativeCancellation"]
+    assert "utility specification" in usage["Unroller"]
+    assert "swap" in usage["BasicSwap"]
+
+
+def test_figure11_driver_runs_on_a_small_suite():
+    suite = small_suite(max_qubits=8, max_gates=120)[:5]
+    rows = run_figure11(suite, coupling=default_device(suite))
+    assert len(rows) == 5
+    assert all(row.baseline_seconds is not None for row in rows)
+    assert all(row.verified_seconds is not None for row in rows)
+
+
+def test_case_study_driver_matches_the_paper_story():
+    results = run_case_studies()
+    assert len(results) == 3
+    assert all(result.buggy_rejected for result in results)
+    assert all(result.fixed_verified for result in results)
+    assert all(result.counterexample_kind is not None for result in results)

@@ -1,0 +1,85 @@
+"""Quaternion rotation algebra used by the 1-qubit merge utility."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Gate, QCircuit
+from repro.linalg import Quaternion, circuits_equivalent, compose_zyz
+
+angles = st.floats(min_value=-math.pi, max_value=math.pi,
+                   allow_nan=False, allow_infinity=False)
+
+
+def test_identity_quaternion():
+    identity = Quaternion.identity()
+    assert math.isclose(identity.norm(), 1.0)
+    assert np.allclose(identity.to_rotation_matrix(), np.eye(3))
+
+
+@pytest.mark.parametrize("axis", ["x", "y", "z"])
+def test_axis_rotations_have_unit_norm(axis):
+    q = Quaternion.from_axis_rotation(0.73, axis)
+    assert math.isclose(q.norm(), 1.0, rel_tol=1e-9)
+
+
+def test_conjugate_inverts_the_rotation():
+    q = Quaternion.from_euler_zyz(0.4, 1.1, -0.7)
+    product = q * q.conjugate()
+    assert np.allclose(product.normalized().to_rotation_matrix(), np.eye(3), atol=1e-9)
+
+
+def test_multiplication_is_associative():
+    a = Quaternion.from_axis_rotation(0.3, "x")
+    b = Quaternion.from_axis_rotation(1.2, "y")
+    c = Quaternion.from_axis_rotation(-0.8, "z")
+    left = (a * b) * c
+    right = a * (b * c)
+    assert np.allclose(left.to_rotation_matrix(), right.to_rotation_matrix(), atol=1e-9)
+
+
+def test_euler_roundtrip_preserves_the_rotation():
+    theta, phi, lam = 0.9, 0.5, -1.3
+    q = Quaternion.from_euler_zyz(theta, phi, lam)
+    recovered = Quaternion.from_euler_zyz(*q.to_zyz_angles())
+    assert np.allclose(q.to_rotation_matrix(), recovered.to_rotation_matrix(), atol=1e-8)
+
+
+def _u3_circuit(angles_triple) -> QCircuit:
+    circuit = QCircuit(1)
+    circuit.append(Gate("u3", (0,), tuple(angles_triple)))
+    return circuit
+
+
+def test_compose_zyz_matches_the_unitary_product():
+    first = (0.7, 0.2, 1.1)
+    second = (1.4, -0.6, 0.3)
+    composed = compose_zyz(first, second)
+    sequential = QCircuit(1)
+    sequential.append(Gate("u3", (0,), first))
+    sequential.append(Gate("u3", (0,), second))
+    assert circuits_equivalent(sequential, _u3_circuit(composed))
+
+
+@settings(max_examples=50, deadline=None)
+@given(angles, angles, angles, angles, angles, angles)
+def test_compose_zyz_is_correct_for_random_angles(t1, p1, l1, t2, p2, l2):
+    composed = compose_zyz((t1, p1, l1), (t2, p2, l2))
+    sequential = QCircuit(1)
+    sequential.append(Gate("u3", (0,), (t1, p1, l1)))
+    sequential.append(Gate("u3", (0,), (t2, p2, l2)))
+    # acos loses ~sqrt(eps) precision near theta = 0 / pi, hence the tolerance.
+    assert circuits_equivalent(sequential, _u3_circuit(composed), atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(angles, angles, angles)
+def test_zyz_angles_reproduce_the_u3_gate(theta, phi, lam):
+    """from_euler_zyz . to_zyz_angles is the identity on rotations (mod phase)."""
+    recovered = Quaternion.from_euler_zyz(theta, phi, lam).to_zyz_angles()
+    assert circuits_equivalent(
+        _u3_circuit((theta, phi, lam)), _u3_circuit(recovered), atol=1e-6
+    )

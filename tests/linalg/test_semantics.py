@@ -1,0 +1,159 @@
+"""Tests for the dense-matrix denotational semantics and quaternion algebra."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Gate, QCircuit, ghz_circuit
+from repro.errors import CircuitError
+from repro.linalg import (
+    MAX_DENSE_QUBITS,
+    Quaternion,
+    allclose_up_to_global_phase,
+    circuit_unitary,
+    circuits_equivalent,
+    circuits_equivalent_up_to_permutation,
+    compose_zyz,
+    permutation_unitary,
+    statevector,
+    unitary_distance,
+)
+
+from tests.conftest import circuit_strategy
+
+
+def test_empty_circuit_is_identity():
+    assert np.allclose(circuit_unitary(QCircuit(2)), np.eye(4))
+
+
+def test_ghz_statevector():
+    state = statevector(ghz_circuit(3))
+    expected = np.zeros(8, dtype=complex)
+    expected[0] = expected[7] = 1 / math.sqrt(2)
+    assert allclose_up_to_global_phase(state, expected)
+
+
+def test_gate_order_matters():
+    ab = QCircuit(1)
+    ab.h(0)
+    ab.t(0)
+    ba = QCircuit(1)
+    ba.t(0)
+    ba.h(0)
+    assert not circuits_equivalent(ab, ba)
+
+
+def test_concatenation_is_matrix_product():
+    circuit = QCircuit(2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    u_h = circuit_unitary(QCircuit(2, gates=[Gate("h", (0,))]))
+    u_cx = circuit_unitary(QCircuit(2, gates=[Gate("cx", (0, 1))]))
+    assert np.allclose(circuit_unitary(circuit), u_cx @ u_h)
+
+
+def test_global_phase_insensitivity():
+    # u1(pi) equals Z exactly, so the phase-sensitive check also passes.
+    z = QCircuit(1)
+    z.z(0)
+    u1_pi = QCircuit(1)
+    u1_pi.u1(math.pi, 0)
+    assert circuits_equivalent(z, u1_pi)
+    assert circuits_equivalent(z, u1_pi, up_to_global_phase=False)
+    # rz(pi) is -i * Z: equal only up to a global phase.
+    rz_pi = QCircuit(1)
+    rz_pi.rz(math.pi, 0)
+    assert circuits_equivalent(z, rz_pi)
+    assert not circuits_equivalent(z, rz_pi, up_to_global_phase=False)
+
+
+def test_barriers_are_skipped():
+    with_barrier = QCircuit(2)
+    with_barrier.h(0)
+    with_barrier.barrier()
+    with_barrier.cx(0, 1)
+    without = QCircuit(2)
+    without.h(0)
+    without.cx(0, 1)
+    assert circuits_equivalent(with_barrier, without)
+
+
+def test_measure_has_no_unitary():
+    circuit = QCircuit(1, 1)
+    circuit.measure(0, 0)
+    with pytest.raises(CircuitError):
+        circuit_unitary(circuit)
+
+
+def test_dense_size_limit():
+    with pytest.raises(CircuitError):
+        circuit_unitary(QCircuit(MAX_DENSE_QUBITS + 1))
+
+
+def test_permutation_unitary_swaps_qubits():
+    swap_circuit = QCircuit(2)
+    swap_circuit.swap(0, 1)
+    assert np.allclose(permutation_unitary([1, 0], 2), circuit_unitary(swap_circuit))
+    with pytest.raises(CircuitError):
+        permutation_unitary([0, 0], 2)
+
+
+def test_equivalence_up_to_permutation_routing_example():
+    original = QCircuit(3)
+    original.h(0)
+    original.cx(0, 2)
+    routed = QCircuit(3)
+    routed.h(0)
+    routed.swap(1, 2)
+    routed.cx(0, 1)
+    assert circuits_equivalent_up_to_permutation(original, routed, [0, 2, 1])
+    assert not circuits_equivalent_up_to_permutation(original, routed, [0, 1, 2])
+
+
+def test_unitary_distance_zero_for_equal():
+    circuit = ghz_circuit(2)
+    assert unitary_distance(circuit_unitary(circuit), circuit_unitary(circuit)) < 1e-12
+    other = QCircuit(2)
+    other.x(0)
+    assert unitary_distance(circuit_unitary(circuit), circuit_unitary(other)) > 0.1
+
+
+# --------------------------------------------------------------------------- #
+# Quaternions
+# --------------------------------------------------------------------------- #
+def test_quaternion_identity_and_norm():
+    q = Quaternion.identity()
+    assert q.norm() == pytest.approx(1.0)
+    assert np.allclose(q.to_rotation_matrix(), np.eye(3))
+
+
+def test_quaternion_axis_rotations_compose():
+    qz = Quaternion.from_axis_rotation(math.pi / 2, "z")
+    qz2 = qz * qz
+    assert np.allclose(qz2.to_rotation_matrix(), Quaternion.from_axis_rotation(math.pi, "z").to_rotation_matrix())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.tuples(st.floats(0.05, 3.0), st.floats(0.05, 3.0), st.floats(0.05, 3.0)),
+    st.tuples(st.floats(0.05, 3.0), st.floats(0.05, 3.0), st.floats(0.05, 3.0)),
+)
+def test_compose_zyz_matches_matrix_product(first, second):
+    """The quaternion composition of two u3 gates equals the matrix product."""
+    theta, phi, lam = compose_zyz(first, second)
+    two_gates = QCircuit(1)
+    two_gates.u3(*first, 0)
+    two_gates.u3(*second, 0)
+    merged = QCircuit(1)
+    merged.u3(theta, phi, lam, 0)
+    assert circuits_equivalent(two_gates, merged)
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit_strategy(num_qubits=3, max_gates=10))
+def test_unitarity_of_random_circuits(circuit):
+    unitary = circuit_unitary(circuit)
+    assert np.allclose(unitary @ unitary.conj().T, np.eye(unitary.shape[0]), atol=1e-8)

@@ -1,0 +1,165 @@
+"""Concrete behaviour of the analysis and layout-selection passes."""
+
+import pytest
+
+from repro.circuit import QCircuit, ghz_circuit, random_circuit
+from repro.coupling import Layout, ibm_16q, linear_device
+from repro.passes import (
+    CheckCXDirection,
+    CheckGateDirection,
+    CheckMap,
+    Collect2qBlocks,
+    CommutationAnalysis,
+    CountOps,
+    CountOpsLongestPath,
+    CSPLayout,
+    DAGFixedPoint,
+    DAGLongestPath,
+    DenseLayout,
+    Depth,
+    FixedPoint,
+    Layout2qDistance,
+    NoiseAdaptiveLayout,
+    NumTensorFactors,
+    SabreLayout,
+    Size,
+    Width,
+)
+
+
+@pytest.fixture
+def sample():
+    circuit = QCircuit(4, 2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    circuit.t(3)
+    circuit.measure(0, 0)
+    return circuit
+
+
+def test_analysis_passes_do_not_modify_the_circuit(sample):
+    for pass_class in [Width, Depth, Size, CountOps, CountOpsLongestPath,
+                       NumTensorFactors, DAGLongestPath, CommutationAnalysis, Collect2qBlocks]:
+        instance = pass_class()
+        output = instance(sample.copy())
+        assert list(output.gates) == list(sample.gates)
+
+
+def test_width_depth_size_values(sample):
+    width = Width()
+    width(sample)
+    assert width.property_set["width"] == 6
+    depth = Depth()
+    depth(sample)
+    assert depth.property_set["depth"] == sample.depth()
+    size = Size()
+    size(sample)
+    assert size.property_set["size"] == 5
+
+
+def test_count_ops_and_longest_path(sample):
+    count = CountOps()
+    count(sample)
+    assert count.property_set["count_ops"]["cx"] == 2
+    longest = DAGLongestPath()
+    longest(sample)
+    assert longest.property_set["dag_longest_path"] == sample.to_dag().depth()
+    per_path = CountOpsLongestPath()
+    per_path(sample)
+    assert sum(per_path.property_set["count_ops_longest_path"].values()) == sample.to_dag().depth()
+
+
+def test_num_tensor_factors(sample):
+    pass_instance = NumTensorFactors()
+    pass_instance(sample)
+    assert pass_instance.property_set["num_tensor_factors"] == 2
+
+
+def test_check_map_and_directions():
+    coupling = linear_device(3)
+    good = QCircuit(3)
+    good.cx(0, 1)
+    checker = CheckMap(coupling=coupling)
+    checker(good)
+    assert checker.property_set["is_swap_mapped"] is True
+    bad = QCircuit(3)
+    bad.cx(0, 2)
+    checker2 = CheckMap(coupling=coupling)
+    checker2(bad)
+    assert checker2.property_set["is_swap_mapped"] is False
+
+    directed = ibm_16q()
+    cx_check = CheckCXDirection(coupling=directed)
+    cx_check(QCircuit(16).cx(0, 1))
+    assert cx_check.property_set["is_direction_mapped"] is False
+    gate_check = CheckGateDirection(coupling=directed)
+    gate_check(QCircuit(16).cx(1, 0))
+    assert gate_check.property_set["is_direction_mapped"] is True
+
+
+def test_commutation_analysis_groups_commuting_gates():
+    circuit = QCircuit(2)
+    circuit.z(0)
+    circuit.cx(0, 1)
+    circuit.h(0)
+    analysis = CommutationAnalysis()
+    analysis(circuit)
+    groups = analysis.property_set["commutation_groups"]
+    assert [len(group) for group in groups] == [2, 1]
+
+
+def test_collect_2q_blocks_finds_blocks():
+    circuit = QCircuit(3)
+    circuit.cx(0, 1)
+    circuit.u1(0.3, 1)
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    blocks = Collect2qBlocks()
+    blocks(circuit)
+    assert blocks.property_set["block_list"]
+    assert blocks.property_set["block_list"][0] == [0, 1, 2]
+
+
+def test_layout_selection_passes_store_valid_layouts():
+    coupling = ibm_16q()
+    circuit = random_circuit(5, 25, seed=4)
+    for pass_class in [DenseLayout, NoiseAdaptiveLayout, SabreLayout]:
+        instance = pass_class(coupling=coupling)
+        instance(circuit.copy())
+        layout = instance.property_set["layout"]
+        physical = [layout.physical(q) for q in range(5)]
+        assert len(set(physical)) == 5
+
+
+def test_csp_layout_and_2q_distance_score():
+    coupling = linear_device(4)
+    circuit = QCircuit(3)
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    csp = CSPLayout(coupling=coupling)
+    csp(circuit)
+    layout = csp.property_set["layout"]
+    assert layout is not None
+    scorer = Layout2qDistance(coupling=coupling, property_set=csp.property_set)
+    scorer(circuit)
+    assert scorer.property_set["layout_score"] == 0
+
+
+def test_fixed_point_passes_detect_stabilisation():
+    circuit = ghz_circuit(3)
+    dag_fp = DAGFixedPoint()
+    dag_fp(circuit)
+    assert dag_fp.property_set["dag_fixed_point"] is False
+    dag_fp(circuit)
+    assert dag_fp.property_set["dag_fixed_point"] is True
+
+    fp = FixedPoint(property_name="size")
+    fp.property_set["size"] = 5
+    fp(circuit)
+    fp.property_set["size"] = 5
+    fp(circuit)
+    assert fp.property_set["size_fixed_point"] is True
+    fp.property_set["size"] = 4
+    fp(circuit)
+    assert fp.property_set["size_fixed_point"] is False

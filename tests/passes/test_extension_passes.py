@@ -1,0 +1,129 @@
+"""The extension passes (repro.passes.extensions) — concrete and verified."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit import Gate, QCircuit
+from repro.linalg import circuits_equivalent
+from repro.passes import (
+    EXTENSION_PASSES,
+    InverseCancellation,
+    RemoveBarriers,
+    SwapCancellation,
+)
+from repro.verify import verify_pass
+
+from tests.conftest import circuit_strategy
+
+
+# --------------------------------------------------------------------------- #
+# Push-button verification
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("pass_class", EXTENSION_PASSES,
+                         ids=[p.__name__ for p in EXTENSION_PASSES])
+def test_extension_pass_verifies(pass_class):
+    result = verify_pass(pass_class)
+    assert result.verified, result.failure_reasons
+    assert result.num_subgoals >= 1
+    assert result.time_seconds < 30.0
+
+
+# --------------------------------------------------------------------------- #
+# InverseCancellation
+# --------------------------------------------------------------------------- #
+def test_inverse_cancellation_removes_adjacent_pairs():
+    circuit = QCircuit(2)
+    circuit.x(0)
+    circuit.x(0)
+    circuit.h(1)
+    circuit.cz(0, 1)
+    circuit.cz(0, 1)
+    circuit.h(1)
+    output = InverseCancellation()(circuit.copy())
+    assert output.size() == 2
+    assert output.count_ops() == {"h": 2}
+    assert circuits_equivalent(circuit, output)
+
+
+def test_inverse_cancellation_cancels_across_commuting_gates():
+    circuit = QCircuit(2)
+    circuit.z(0)
+    circuit.cz(0, 1)     # commutes with z on qubit 0
+    circuit.z(0)
+    output = InverseCancellation()(circuit.copy())
+    assert output.count_ops().get("z", 0) == 0
+    assert circuits_equivalent(circuit, output)
+
+
+def test_inverse_cancellation_respects_the_gate_filter():
+    circuit = QCircuit(1)
+    circuit.h(0)
+    circuit.h(0)
+    output = InverseCancellation(gates=("x",))(circuit.copy())
+    assert output.size() == 2  # h not in the configured list
+
+
+def test_inverse_cancellation_skips_conditioned_gates():
+    circuit = QCircuit(1, 1)
+    circuit.append(Gate("x", (0,)).c_if(0, 1))
+    circuit.x(0)
+    output = InverseCancellation()(circuit.copy())
+    assert output.size() == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit_strategy(num_qubits=3, max_gates=10))
+def test_inverse_cancellation_preserves_semantics(circuit):
+    output = InverseCancellation()(circuit.copy())
+    assert circuits_equivalent(circuit, output)
+
+
+# --------------------------------------------------------------------------- #
+# RemoveBarriers / SwapCancellation
+# --------------------------------------------------------------------------- #
+def test_remove_barriers_drops_every_barrier():
+    circuit = QCircuit(3)
+    circuit.h(0)
+    circuit.barrier(0, 1, 2)
+    circuit.cx(0, 1)
+    circuit.barrier(1, 2)
+    output = RemoveBarriers()(circuit.copy())
+    assert output.count_ops().get("barrier", 0) == 0
+    assert output.size() == 2
+    assert circuits_equivalent(circuit, output)
+
+
+def test_remove_barriers_on_barrier_free_circuit_is_identity():
+    circuit = QCircuit(2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    output = RemoveBarriers()(circuit.copy())
+    assert list(output.gates) == list(circuit.gates)
+
+
+def test_swap_cancellation_removes_adjacent_swap_pairs():
+    circuit = QCircuit(3)
+    circuit.swap(0, 1)
+    circuit.swap(0, 1)
+    circuit.cx(1, 2)
+    circuit.swap(1, 2)
+    output = SwapCancellation()(circuit.copy())
+    assert output.count_ops().get("swap", 0) == 1
+    assert circuits_equivalent(circuit, output)
+
+
+def test_swap_cancellation_keeps_non_adjacent_swaps():
+    circuit = QCircuit(3)
+    circuit.swap(0, 1)
+    circuit.h(0)           # breaks adjacency (does not commute with the swap)
+    circuit.swap(0, 1)
+    output = SwapCancellation()(circuit.copy())
+    assert output.count_ops().get("swap", 0) == 2
+    assert circuits_equivalent(circuit, output)
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit_strategy(num_qubits=3, max_gates=10))
+def test_swap_cancellation_preserves_semantics(circuit):
+    output = SwapCancellation()(circuit.copy())
+    assert circuits_equivalent(circuit, output)

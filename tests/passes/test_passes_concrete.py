@@ -1,0 +1,267 @@
+"""Concrete (run-time) behaviour of the verified passes.
+
+The verifier proves semantic preservation symbolically; these tests check the
+same property on concrete random circuits against the dense-matrix oracle,
+plus each pass's intended effect (cancellation, merging, routing, ...).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit import Gate, QCircuit, random_circuit, random_clifford_circuit
+from repro.coupling import Layout, ibm_16q, linear_device
+from repro.linalg import (
+    circuits_equivalent,
+    circuits_equivalent_under_relabelling,
+    circuits_equivalent_up_to_permutation,
+)
+from repro.passes import (
+    ApplyLayout,
+    BarrierBeforeFinalMeasurements,
+    BasicSwap,
+    BasisTranslator,
+    CommutativeCancellation,
+    ConsolidateBlocks,
+    CXCancellation,
+    CXDirection,
+    Decompose,
+    EnlargeWithAncilla,
+    GateDirection,
+    LookaheadSwap,
+    MergeAdjacentBarriers,
+    Optimize1qGates,
+    RemoveDiagonalGatesBeforeMeasure,
+    RemoveFinalMeasurements,
+    RemoveResetInZeroState,
+    SabreSwap,
+    SetLayout,
+    TrivialLayout,
+    Unroller,
+)
+from repro.symbolic import conforms_to_coupling, equivalent_up_to_swaps
+from repro.utility.analysis_ops import check_gate_direction
+from repro.verify import PropertySet
+
+from tests.conftest import circuit_strategy
+
+
+# --------------------------------------------------------------------------- #
+# Optimisation passes
+# --------------------------------------------------------------------------- #
+def test_cx_cancellation_removes_adjacent_pairs():
+    circuit = QCircuit(3)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.z(2)          # does not share qubits, sits "between" the pair
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    output = CXCancellation()(circuit.copy())
+    assert output.count_ops().get("cx", 0) == 1
+    assert circuits_equivalent(circuit, output)
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit_strategy(num_qubits=3, max_gates=14))
+def test_cx_cancellation_preserves_semantics(circuit):
+    output = CXCancellation()(circuit.copy())
+    assert circuits_equivalent(circuit, output)
+    assert output.count_ops().get("cx", 0) <= circuit.count_ops().get("cx", 0)
+
+
+def test_optimize_1q_gates_merges_runs():
+    circuit = QCircuit(2)
+    circuit.u1(0.4, 0)
+    circuit.u2(0.3, 0.2, 0)
+    circuit.u3(0.1, 0.5, 0.9, 0)
+    circuit.cx(0, 1)
+    circuit.u1(0.7, 1)
+    output = Optimize1qGates()(circuit.copy())
+    assert circuits_equivalent(circuit, output)
+    assert output.size() < circuit.size()
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuit_strategy(num_qubits=3, max_gates=12))
+def test_optimize_1q_gates_preserves_semantics(circuit):
+    output = Optimize1qGates()(circuit.copy())
+    assert circuits_equivalent(circuit, output)
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuit_strategy(num_qubits=3, max_gates=12))
+def test_commutative_cancellation_preserves_semantics(circuit):
+    output = CommutativeCancellation()(circuit.copy())
+    assert circuits_equivalent(circuit, output)
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuit_strategy(num_qubits=3, max_gates=12))
+def test_consolidate_blocks_preserves_semantics(circuit):
+    output = ConsolidateBlocks()(circuit.copy())
+    assert circuits_equivalent(circuit, output)
+
+
+def test_remove_diagonal_gates_before_measure():
+    circuit = QCircuit(2, 2)
+    circuit.h(0)
+    circuit.t(0)
+    circuit.measure(0, 0)
+    circuit.rz(0.3, 1)
+    circuit.measure(1, 1)
+    output = RemoveDiagonalGatesBeforeMeasure()(circuit.copy())
+    names = [g.name for g in output]
+    assert "t" not in names and "rz" not in names
+    assert names.count("measure") == 2
+
+
+def test_remove_reset_in_zero_state():
+    circuit = QCircuit(2)
+    circuit.reset(0)
+    circuit.h(0)
+    circuit.reset(0)      # not removable: the qubit has been touched
+    circuit.reset(1)
+    output = RemoveResetInZeroState()(circuit.copy())
+    assert output.count_ops().get("reset", 0) == 1
+
+
+def test_remove_final_measurements():
+    circuit = QCircuit(2, 2)
+    circuit.h(0)
+    circuit.measure(0, 0)
+    circuit.measure(1, 1)
+    output = RemoveFinalMeasurements()(circuit.copy())
+    assert output.count_ops().get("measure", 0) == 0
+    assert output.count_ops().get("h") == 1
+
+
+def test_merge_adjacent_barriers():
+    circuit = QCircuit(2)
+    circuit.h(0)
+    circuit.barrier()
+    circuit.barrier()
+    circuit.cx(0, 1)
+    output = MergeAdjacentBarriers()(circuit.copy())
+    assert output.count_ops().get("barrier", 0) == 1
+    assert circuits_equivalent(circuit, output)
+
+
+def test_barrier_before_final_measurements():
+    circuit = QCircuit(2, 2)
+    circuit.h(0)
+    circuit.measure(0, 0)
+    circuit.measure(1, 1)
+    output = BarrierBeforeFinalMeasurements()(circuit.copy())
+    names = [g.name for g in output]
+    assert "barrier" in names
+    assert names.index("barrier") < names.index("measure")
+
+
+# --------------------------------------------------------------------------- #
+# Basis-change passes
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("pass_class", [Unroller, BasisTranslator])
+def test_unrolling_reaches_the_native_basis(pass_class):
+    circuit = QCircuit(3)
+    circuit.h(0)
+    circuit.swap(0, 1)
+    circuit.ccx(0, 1, 2)
+    circuit.rzz(0.3, 1, 2)
+    output = pass_class()(circuit.copy())
+    assert circuits_equivalent(circuit, output)
+    assert set(output.count_ops()) <= {"u1", "u2", "u3", "cx", "id"}
+
+
+def test_decompose_targets_only_selected_gates():
+    circuit = QCircuit(2)
+    circuit.swap(0, 1)
+    circuit.h(0)
+    output = Decompose(gates_to_decompose=("swap",))(circuit.copy())
+    assert "swap" not in output.count_ops()
+    assert output.count_ops().get("h") == 1
+    assert circuits_equivalent(circuit, output)
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuit_strategy(num_qubits=3, max_gates=10))
+def test_unroller_preserves_semantics(circuit):
+    output = Unroller()(circuit.copy())
+    assert circuits_equivalent(circuit, output)
+
+
+def test_unroller_leaves_conditioned_gates_alone():
+    circuit = QCircuit(2, 1)
+    circuit.append(Gate("swap", (0, 1)).c_if(0, 1))
+    output = Unroller()(circuit.copy())
+    assert output.size() == 1 and output[0].condition == (0, 1)
+
+
+# --------------------------------------------------------------------------- #
+# Direction-fixing passes
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("pass_class", [CXDirection, GateDirection])
+def test_direction_passes_fix_reversed_cx(pass_class):
+    coupling = ibm_16q()
+    circuit = QCircuit(16)
+    circuit.cx(0, 1)       # only (1, 0) is a directed edge
+    circuit.cx(1, 2)       # correctly directed
+    output = pass_class(coupling=coupling)(circuit.copy())
+    assert check_gate_direction(output, coupling, names=("cx",))
+    assert circuits_equivalent(circuit[0:2], output[0 : output.size()]) or circuits_equivalent(
+        circuit, output
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Layout and routing passes
+# --------------------------------------------------------------------------- #
+def test_apply_layout_relabels_and_preserves_up_to_permutation():
+    circuit = QCircuit(3)
+    circuit.h(0)
+    circuit.cx(0, 2)
+    layout = Layout({0: 1, 1: 2, 2: 0})
+    props = PropertySet()
+    props["layout"] = layout
+    output = ApplyLayout(property_set=props)(circuit.copy())
+    assert circuits_equivalent_under_relabelling(circuit, output, layout.as_permutation(3))
+
+
+def test_trivial_and_set_layout_store_layouts():
+    circuit = QCircuit(3)
+    trivial = TrivialLayout()
+    trivial(circuit)
+    assert trivial.property_set["layout"].as_permutation(3) == [0, 1, 2]
+    custom = Layout({0: 2, 1: 1, 2: 0})
+    setter = SetLayout(layout=custom)
+    setter(circuit)
+    assert setter.property_set["layout"] is custom
+
+
+def test_enlarge_with_ancilla_adds_idle_qubits():
+    circuit = QCircuit(2)
+    circuit.cx(0, 1)
+    output = EnlargeWithAncilla(coupling=linear_device(6))(circuit.copy())
+    assert output.num_qubits == 6
+    assert list(output.gates) == list(circuit.gates)
+
+
+@pytest.mark.parametrize("pass_class", [BasicSwap, LookaheadSwap, SabreSwap])
+def test_routing_passes_respect_coupling_and_semantics(pass_class):
+    coupling = linear_device(5)
+    for seed in range(3):
+        circuit = random_clifford_circuit(5, 15, seed=seed)
+        routed = pass_class(coupling=coupling)(circuit.copy())
+        assert conforms_to_coupling(routed.gates, coupling)
+        report = equivalent_up_to_swaps(circuit.gates, routed.gates, 5)
+        assert report.equivalent
+        assert circuits_equivalent_up_to_permutation(circuit, routed, list(report.permutation))
+
+
+def test_routing_on_ibm16_larger_circuit_is_coupling_conformant():
+    coupling = ibm_16q()
+    circuit = random_circuit(10, 60, seed=9)
+    routed = LookaheadSwap(coupling=coupling)(circuit.copy())
+    assert conforms_to_coupling(routed.gates, coupling)
+    report = equivalent_up_to_swaps(circuit.gates, routed.gates, 16)
+    assert report.equivalent

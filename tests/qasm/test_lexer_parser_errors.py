@@ -1,0 +1,163 @@
+"""The OpenQASM 2 front-end: lexer details, expressions, and error reporting."""
+
+import math
+
+import pytest
+
+from repro.circuit import QCircuit
+from repro.errors import QasmError
+from repro.linalg import circuits_equivalent
+from repro.qasm import circuit_to_qasm, parse_qasm, tokenize
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+# --------------------------------------------------------------------------- #
+# Lexer
+# --------------------------------------------------------------------------- #
+def test_tokenize_produces_positions():
+    tokens = tokenize('qreg q[2];\nh q[0];')
+    assert tokens[0].value == "qreg"
+    assert tokens[0].line == 1
+    h_tokens = [t for t in tokens if t.value == "h"]
+    assert h_tokens and h_tokens[0].line == 2
+
+
+def test_tokenize_handles_comments_and_whitespace():
+    tokens = tokenize("// a comment\nqreg q[1]; // trailing\nh q[0];")
+    values = [t.value for t in tokens]
+    assert "qreg" in values and "h" in values
+    assert not any("comment" in str(v) for v in values)
+
+
+def test_tokenize_real_and_integer_literals():
+    tokens = tokenize("u3(0.5, 2, 1.25e-1) q[0];")
+    kinds = {t.value: t.kind for t in tokens if t.kind in ("int", "real")}
+    assert kinds["2"] == "int"
+    assert kinds["0.5"] == "real"
+
+
+def test_lexer_rejects_illegal_characters():
+    with pytest.raises(QasmError):
+        tokenize("qreg q[2]; @@@")
+
+
+# --------------------------------------------------------------------------- #
+# Parameter expressions
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("expression,value", [
+    ("pi", math.pi),
+    ("pi/2", math.pi / 2),
+    ("-pi/4", -math.pi / 4),
+    ("2*pi", 2 * math.pi),
+    ("pi/2 + pi/4", 3 * math.pi / 4),
+    ("0.25", 0.25),
+    ("(1 + 2) * 0.5", 1.5),
+])
+def test_parameter_expressions_are_evaluated(expression, value):
+    circuit = parse_qasm(HEADER + f"qreg q[1];\nu1({expression}) q[0];\n")
+    assert circuit.size() == 1
+    assert circuit[0].params[0] == pytest.approx(value)
+
+
+def test_unknown_identifier_in_expression_is_an_error():
+    with pytest.raises(QasmError):
+        parse_qasm(HEADER + "qreg q[1];\nu1(tau) q[0];\n")
+
+
+# --------------------------------------------------------------------------- #
+# Declarations, operations, and gate definitions
+# --------------------------------------------------------------------------- #
+def test_whole_register_broadcast():
+    circuit = parse_qasm(HEADER + "qreg q[3];\nh q;\n")
+    assert circuit.count_ops()["h"] == 3
+
+
+def test_measure_and_reset_and_barrier():
+    source = HEADER + (
+        "qreg q[2];\ncreg c[2];\n"
+        "reset q[0];\nh q[0];\nbarrier q;\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n"
+    )
+    circuit = parse_qasm(source)
+    ops = circuit.count_ops()
+    assert ops["measure"] == 2
+    assert ops["reset"] == 1
+    assert ops["barrier"] == 1
+    assert circuit.num_clbits == 2
+
+
+def test_conditional_gate_parsing():
+    source = HEADER + "qreg q[1];\ncreg c[1];\nif (c == 1) x q[0];\n"
+    circuit = parse_qasm(source)
+    assert circuit.size() == 1
+    assert circuit[0].condition is not None
+
+
+def test_custom_gate_definition_is_expanded():
+    source = HEADER + (
+        "gate mygate a, b { h a; cx a, b; }\n"
+        "qreg q[2];\nmygate q[0], q[1];\n"
+    )
+    circuit = parse_qasm(source)
+    reference = QCircuit(2)
+    reference.h(0)
+    reference.cx(0, 1)
+    assert circuits_equivalent(circuit, reference)
+
+
+def test_parameterised_gate_definition():
+    source = HEADER + (
+        "gate myrot(t) a { rz(t) a; rz(t) a; }\n"
+        "qreg q[1];\nmyrot(0.4) q[0];\n"
+    )
+    circuit = parse_qasm(source)
+    reference = QCircuit(1)
+    reference.rz(0.8, 0)
+    assert circuits_equivalent(circuit, reference)
+
+
+# --------------------------------------------------------------------------- #
+# Errors
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("source,fragment", [
+    (HEADER + "h q[0];\n", "q"),                                 # undeclared register
+    (HEADER + "qreg q[2];\nh q[5];\n", "out of range"),           # bad index
+    (HEADER + "qreg q[1];\ncreg c[1];\nmeasure q[0] -> d[0];\n", "d"),
+    (HEADER + "qreg q[1];\nnotagate q[0];\n", "notagate"),
+])
+def test_parser_errors_mention_the_offender(source, fragment):
+    with pytest.raises(QasmError) as excinfo:
+        parse_qasm(source)
+    assert fragment in str(excinfo.value)
+
+
+def test_missing_semicolon_is_a_parse_error():
+    with pytest.raises(QasmError):
+        parse_qasm(HEADER + "qreg q[1]\nh q[0];\n")
+
+
+# --------------------------------------------------------------------------- #
+# Emitter round trips
+# --------------------------------------------------------------------------- #
+def test_emitter_roundtrip_preserves_measurement_and_conditions():
+    circuit = QCircuit(2, 2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.measure(0, 0)
+    from repro.circuit import Gate
+
+    circuit.append(Gate("x", (1,)).c_if(0, 1))
+    circuit.measure(1, 1)
+    text = circuit_to_qasm(circuit)
+    reparsed = parse_qasm(text)
+    assert reparsed.count_ops() == circuit.count_ops()
+    assert reparsed.num_clbits == circuit.num_clbits
+    assert [g.name for g in reparsed] == [g.name for g in circuit]
+
+
+def test_emitter_renders_angles_with_pi_fractions():
+    circuit = QCircuit(1)
+    circuit.rz(math.pi / 2, 0)
+    text = circuit_to_qasm(circuit)
+    assert "pi/2" in text
+    assert circuits_equivalent(parse_qasm(text), circuit)

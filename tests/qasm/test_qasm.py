@@ -1,0 +1,112 @@
+"""Tests for the OpenQASM 2.0 lexer, parser, and emitter."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit import QCircuit, ghz_circuit
+from repro.errors import QasmError
+from repro.linalg import circuits_equivalent
+from repro.qasm import circuit_to_qasm, parse_program, parse_qasm, tokenize
+
+from tests.conftest import circuit_strategy
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def test_tokenizer_kinds():
+    tokens = tokenize('OPENQASM 2.0; qreg q[3]; u1(pi/2) q[0]; // comment\n')
+    kinds = [t.kind for t in tokens]
+    assert kinds[0] == "keyword"
+    assert kinds[-1] == "eof"
+    values = [t.value for t in tokens if t.kind == "int"]
+    assert "3" in values and "2" in values and "0" in values
+
+
+def test_tokenizer_rejects_garbage():
+    with pytest.raises(QasmError):
+        tokenize("qreg q[2]; @bad")
+
+
+def test_parse_simple_program():
+    program = parse_program(HEADER + "qreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n")
+    assert program.version == "2.0"
+    assert len(program.declarations()) == 2
+    assert len(program.operations()) == 3
+
+
+def test_parse_to_circuit_with_expressions():
+    circuit = parse_qasm(HEADER + "qreg q[1];\nu3(pi/2, -pi/4, 0.25*2) q[0];\n")
+    gate = circuit[0]
+    assert gate.name == "u3"
+    assert gate.params[0] == pytest.approx(math.pi / 2)
+    assert gate.params[1] == pytest.approx(-math.pi / 4)
+    assert gate.params[2] == pytest.approx(0.5)
+
+
+def test_register_broadcast():
+    circuit = parse_qasm(HEADER + "qreg q[3];\nh q;\n")
+    assert circuit.size() == 3
+    assert all(g.name == "h" for g in circuit)
+
+
+def test_custom_gate_definition_expansion():
+    source = HEADER + (
+        "gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }\n"
+        "qreg q[3];\nmajority q[0],q[1],q[2];\n"
+    )
+    circuit = parse_qasm(source)
+    assert [g.name for g in circuit] == ["cx", "cx", "ccx"]
+    assert circuit[2].qubits == (0, 1, 2)
+
+
+def test_conditional_gate_and_measure():
+    source = HEADER + "qreg q[1];\ncreg c[1];\nif(c==1) x q[0];\nmeasure q[0] -> c[0];\n"
+    circuit = parse_qasm(source)
+    assert circuit[0].condition == (0, 1)
+    assert circuit[1].is_measurement()
+
+
+def test_barrier_and_reset():
+    circuit = parse_qasm(HEADER + "qreg q[2];\nreset q[0];\nbarrier q;\n")
+    assert circuit[0].is_reset()
+    assert circuit[1].is_barrier()
+    assert circuit[1].qubits == (0, 1)
+
+
+def test_parse_errors_have_positions():
+    with pytest.raises(QasmError) as excinfo:
+        parse_qasm(HEADER + "qreg q[2]\nh q[0];\n")
+    assert "line" in str(excinfo.value)
+
+
+def test_unknown_gate_rejected():
+    with pytest.raises(QasmError):
+        parse_qasm(HEADER + "qreg q[1];\nwibble q[0];\n")
+
+
+def test_out_of_range_index_rejected():
+    with pytest.raises(QasmError):
+        parse_qasm(HEADER + "qreg q[2];\nh q[5];\n")
+
+
+def test_emitter_roundtrip_ghz(ghz3):
+    ghz3.measure_all()
+    text = circuit_to_qasm(ghz3)
+    reparsed = parse_qasm(text)
+    assert list(reparsed.gates) == list(ghz3.gates)
+
+
+def test_emitter_formats_pi_fractions():
+    circuit = QCircuit(1)
+    circuit.u1(math.pi / 2, 0)
+    assert "pi/2" in circuit_to_qasm(circuit)
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit_strategy(num_qubits=3, max_gates=10))
+def test_roundtrip_preserves_semantics(circuit):
+    """parse(emit(c)) is semantically equivalent to c for the unitary fragment."""
+    reparsed = QCircuit.from_qasm(circuit.to_qasm())
+    assert circuits_equivalent(circuit, reparsed)

@@ -1,0 +1,105 @@
+"""The commutation relation used by the commutation passes (Section 7.2)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Gate, QCircuit
+from repro.circuit.gates import TRANSITIVE_COMMUTATION_GATE_SET, gate_spec
+from repro.linalg import circuits_equivalent
+from repro.symbolic import commutation_is_transitive_on, gates_commute
+
+#: A pool of gates (name, params) used for exhaustive commutation checks.
+_POOL = [
+    ("x", ()), ("y", ()), ("z", ()), ("h", ()), ("s", ()), ("t", ()),
+    ("rz", (0.37,)), ("rx", (0.59,)), ("u1", (1.21,)),
+    ("cx", ()), ("cz", ()), ("swap", ()),
+]
+
+
+def _placements(name, params, num_qubits=3):
+    arity = gate_spec(name).num_qubits
+    for qubits in itertools.permutations(range(num_qubits), arity):
+        yield Gate(name, qubits, params)
+
+
+def _dense_commute(first: Gate, second: Gate, num_qubits: int = 3) -> bool:
+    forward = QCircuit(num_qubits, gates=[first, second])
+    backward = QCircuit(num_qubits, gates=[second, first])
+    return circuits_equivalent(forward, backward)
+
+
+def test_gates_commute_is_sound_against_the_dense_oracle():
+    """Whenever gates_commute says yes, swapping the pair preserves semantics."""
+    gates = [g for name, params in _POOL for g in _placements(name, params)]
+    positives = 0
+    for first, second in itertools.combinations(gates, 2):
+        if gates_commute(first, second):
+            positives += 1
+            assert _dense_commute(first, second), (first, second)
+    assert positives > 100
+
+
+def test_disjoint_gates_always_commute():
+    assert gates_commute(Gate("h", (0,)), Gate("x", (1,)))
+    assert gates_commute(Gate("cx", (0, 1)), Gate("cz", (2, 3)))
+
+
+def test_diagonal_gates_commute_with_each_other():
+    assert gates_commute(Gate("z", (0,)), Gate("cz", (0, 1)))
+    assert gates_commute(Gate("t", (0,)), Gate("u1", (0,), (0.4,)))
+    assert gates_commute(Gate("rz", (0,), (0.3,)), Gate("z", (0,)))
+
+
+def test_cx_commutes_through_control_and_target_appropriately():
+    cx = Gate("cx", (0, 1))
+    assert gates_commute(Gate("z", (0,)), cx)        # Z on the control
+    assert gates_commute(Gate("x", (1,)), cx)        # X on the target
+    assert not gates_commute(Gate("x", (0,)), cx)    # X on the control
+    assert not gates_commute(Gate("z", (1,)), cx)    # Z on the target
+    assert not gates_commute(Gate("h", (0,)), cx)
+
+
+def test_commutation_is_symmetric():
+    pairs = [
+        (Gate("z", (0,)), Gate("cx", (0, 1))),
+        (Gate("h", (0,)), Gate("cx", (0, 1))),
+        (Gate("x", (1,)), Gate("cz", (0, 1))),
+    ]
+    for first, second in pairs:
+        assert gates_commute(first, second) == gates_commute(second, first)
+
+
+def test_conditioned_gates_do_not_commute_freely():
+    conditioned = Gate("z", (0,)).c_if(0, 1)
+    assert not gates_commute(conditioned, Gate("cx", (0, 1)))
+
+
+def test_measurements_and_resets_block_commutation():
+    measure = Gate("measure", (0,), clbits=(0,))
+    assert not gates_commute(measure, Gate("z", (0,)))
+    assert not gates_commute(Gate("reset", (0,)), Gate("x", (0,)))
+
+
+def test_the_restricted_gate_set_is_transitive():
+    """The Section 7.2 fix: commutation is transitive on the restricted set."""
+    assert commutation_is_transitive_on(TRANSITIVE_COMMUTATION_GATE_SET)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sampled_from(_POOL),
+    st.sampled_from(_POOL),
+    st.integers(min_value=0, max_value=5),
+)
+def test_commutation_never_claims_a_false_positive(first_entry, second_entry, seed):
+    """Property: gates_commute(a, b) implies the dense matrices commute."""
+    import random
+
+    rng = random.Random(seed)
+    first = rng.choice(list(_placements(*first_entry)))
+    second = rng.choice(list(_placements(*second_entry)))
+    if gates_commute(first, second):
+        assert _dense_commute(first, second)

@@ -1,0 +1,236 @@
+"""Tests for the rewrite rules, commutation table, and equivalence engine."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit import Gate, QCircuit, random_circuit
+from repro.linalg import circuits_equivalent, circuits_equivalent_up_to_permutation
+from repro.symbolic import (
+    cancels_with,
+    check_commutation_table,
+    check_rules,
+    circuits_equivalent_symbolically,
+    conforms_to_coupling,
+    default_circuit_rules,
+    equivalent,
+    equivalent_up_to_swaps,
+    gates_commute,
+    merge_rotations,
+    normal_form,
+    rewrite_qubit_term,
+    strip_diagonal_before_measure,
+    strip_final_measurements,
+    strip_initial_resets,
+)
+from repro.symbolic.qubit_semantics import app2q, apply_circuit, initial_register
+
+from tests.conftest import circuit_strategy
+
+
+# --------------------------------------------------------------------------- #
+# Rule soundness (the role of the paper's Coq proofs)
+# --------------------------------------------------------------------------- #
+def test_all_default_rules_are_sound():
+    report = check_rules()
+    assert report.all_sound, report.failures
+    assert report.checked >= 20
+
+
+def test_rule_set_covers_the_three_paper_classes():
+    kinds = {rule.kind for rule in default_circuit_rules()}
+    assert {"cancellation", "commutativity", "swap"} <= kinds
+
+
+def test_commutation_table_is_sound():
+    report = check_commutation_table()
+    assert report.all_sound, report.failures[:5]
+    assert report.checked > 500
+
+
+def test_commutation_conservative_on_conditioned_gates():
+    conditioned = Gate("z", (0,)).c_if(0, 1)
+    assert not gates_commute(conditioned, Gate("cx", (0, 1)))
+    assert not gates_commute(Gate("measure", (0,), clbits=(0,)), Gate("z", (0,)))
+
+
+# --------------------------------------------------------------------------- #
+# Local rewrites
+# --------------------------------------------------------------------------- #
+def test_cancels_with_pairs():
+    assert cancels_with(Gate("cx", (0, 1)), Gate("cx", (0, 1)))
+    assert cancels_with(Gate("s", (0,)), Gate("sdg", (0,)))
+    assert cancels_with(Gate("rz", (0,), (0.4,)), Gate("rz", (0,), (-0.4,)))
+    assert not cancels_with(Gate("cx", (0, 1)), Gate("cx", (1, 0)))
+    assert not cancels_with(Gate("h", (0,)), Gate("h", (1,)))
+    assert not cancels_with(Gate("x", (0,)).c_if(0, 1), Gate("x", (0,)))
+
+
+def test_merge_rotations():
+    merged = merge_rotations(Gate("rz", (0,), (0.3,)), Gate("rz", (0,), (0.5,)))
+    assert merged is not None and merged.params[0] == pytest.approx(0.8)
+    assert merge_rotations(Gate("rz", (0,), (0.3,)), Gate("rx", (0,), (0.5,))) is None
+
+
+def test_normal_form_cancels_and_merges():
+    circuit = QCircuit(2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.z(0)          # commutes through the CX control
+    circuit.cx(0, 1)
+    circuit.rz(0.4, 1)
+    circuit.rz(-0.4, 1)
+    result = normal_form(circuit.gates)
+    assert [g.name for g in result] == ["h", "z"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(circuit_strategy(num_qubits=3, max_gates=12))
+def test_normal_form_preserves_semantics(circuit):
+    """Every rewrite the normaliser performs is semantics-preserving."""
+    reduced = QCircuit(circuit.num_qubits, gates=normal_form(circuit.gates))
+    assert circuits_equivalent(circuit, reduced)
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit_strategy(num_qubits=3, max_gates=8))
+def test_equivalence_engine_never_claims_false_positives(circuit):
+    """If the engine says two random circuits are equivalent, the oracle agrees."""
+    other = random_circuit(3, 6, seed=circuit.size())
+    if equivalent(circuit.gates, other.gates):
+        assert circuits_equivalent(circuit, other)
+
+
+def test_equivalent_detects_inserted_cancelling_pair():
+    base = random_circuit(3, 10, seed=1)
+    padded = QCircuit(3)
+    for index, gate in enumerate(base):
+        padded.append(gate)
+        if index == 4:
+            padded.cx(0, 2)
+            padded.cx(0, 2)
+    assert equivalent(base.gates, padded.gates)
+
+
+def test_equivalent_rejects_real_difference():
+    a = QCircuit(2)
+    a.h(0)
+    b = QCircuit(2)
+    b.x(0)
+    assert not equivalent(a.gates, b.gates)
+
+
+# --------------------------------------------------------------------------- #
+# Measurement / reset aware helpers
+# --------------------------------------------------------------------------- #
+def test_strip_final_measurements():
+    circuit = QCircuit(2, 2)
+    circuit.h(0)
+    circuit.measure(0, 0)
+    circuit.x(1)
+    circuit.measure(1, 1)
+    stripped = strip_final_measurements(circuit.gates)
+    assert [g.name for g in stripped] == ["h", "x"]
+    # A measurement followed by more gates on the same qubit is kept.
+    circuit2 = QCircuit(1, 1)
+    circuit2.measure(0, 0)
+    circuit2.x(0)
+    assert [g.name for g in strip_final_measurements(circuit2.gates)] == ["measure", "x"]
+
+
+def test_strip_initial_resets():
+    circuit = QCircuit(2)
+    circuit.reset(0)
+    circuit.h(0)
+    circuit.reset(0)
+    stripped = strip_initial_resets(circuit.gates)
+    assert [g.name for g in stripped] == ["h", "reset"]
+
+
+def test_strip_diagonal_before_measure():
+    circuit = QCircuit(1, 1)
+    circuit.t(0)
+    circuit.rz(0.3, 0)
+    circuit.measure(0, 0)
+    stripped = strip_diagonal_before_measure(circuit.gates)
+    assert [g.name for g in stripped] == ["measure"]
+    # An H before the measurement is not removable.
+    circuit2 = QCircuit(1, 1)
+    circuit2.h(0)
+    circuit2.measure(0, 0)
+    assert [g.name for g in strip_diagonal_before_measure(circuit2.gates)] == ["h", "measure"]
+
+
+# --------------------------------------------------------------------------- #
+# Swap handling (routing obligations)
+# --------------------------------------------------------------------------- #
+def test_equivalent_up_to_swaps_and_oracle_agree():
+    original = QCircuit(3)
+    original.h(0)
+    original.cx(0, 2)
+    original.cx(0, 1)
+    routed = QCircuit(3)
+    routed.h(0)
+    routed.swap(1, 2)
+    routed.cx(0, 1)
+    routed.cx(0, 2)
+    report = equivalent_up_to_swaps(original.gates, routed.gates, 3)
+    assert report.equivalent
+    assert circuits_equivalent_up_to_permutation(original, routed, report.permutation)
+
+
+def test_equivalent_up_to_swaps_with_initial_layout():
+    original = QCircuit(2)
+    original.cx(0, 1)
+    routed = QCircuit(3)
+    routed.cx(2, 1)
+    report = equivalent_up_to_swaps(original.gates, routed.gates, 3, initial_layout=[2, 1])
+    assert report.equivalent
+
+
+def test_conforms_to_coupling():
+    from repro.coupling import linear_device
+
+    cm = linear_device(3)
+    good = QCircuit(3)
+    good.cx(0, 1)
+    good.cx(2, 1)
+    bad = QCircuit(3)
+    bad.cx(0, 2)
+    assert conforms_to_coupling(good.gates, cm)
+    assert not conforms_to_coupling(bad.gates, cm)
+
+
+# --------------------------------------------------------------------------- #
+# Qubit-term symbolic execution (Section 5)
+# --------------------------------------------------------------------------- #
+def test_symbolic_register_execution_builds_app_terms():
+    register = initial_register(3)
+    final = apply_circuit(QCircuit(3, gates=[Gate("h", (0,)), Gate("cx", (0, 1))]).gates, register)
+    assert final[2] is register[2]
+    assert final[0].op == "app2q"
+    assert final[1].op == "app2q"
+
+
+def test_swap_rule_rewrites_to_operand_exchange():
+    register = initial_register(2)
+    final = apply_circuit([Gate("swap", (0, 1))], register)
+    assert rewrite_qubit_term(final[0]) is register[1]
+    assert rewrite_qubit_term(final[1]) is register[0]
+
+
+def test_qubit_level_cx_cancellation():
+    assert circuits_equivalent_symbolically(
+        [Gate("cx", (0, 1)), Gate("cx", (0, 1))], [], 2
+    )
+    assert not circuits_equivalent_symbolically([Gate("cx", (0, 1))], [], 2)
+
+
+def test_qubit_level_mixed_cancellations():
+    circuit = [
+        Gate("h", (0,)), Gate("h", (0,)),
+        Gate("s", (1,)), Gate("sdg", (1,)),
+        Gate("swap", (1, 2)), Gate("swap", (1, 2)),
+    ]
+    assert circuits_equivalent_symbolically(circuit, [], 3)

@@ -1,0 +1,111 @@
+"""Symbolic execution of quantum circuits (the app/app1q/app2q layer)."""
+
+from repro.circuit import Gate
+from repro.symbolic import (
+    app1q,
+    app2q,
+    apply_circuit,
+    apply_gate,
+    circuits_equivalent_symbolically,
+    initial_register,
+    registers_equal,
+    rewrite_qubit_term,
+)
+
+
+def test_initial_register_is_fresh_variables():
+    register = initial_register(3)
+    assert len(register) == 3
+    assert len(set(register)) == 3
+
+
+def test_apply_1q_gate_only_touches_its_operand():
+    register = initial_register(3)
+    h = Gate("h", (1,))
+    result = apply_gate(h, register)
+    assert result[0] is register[0]
+    assert result[2] is register[2]
+    assert result[1] is app1q(h, register[1])
+    assert result[1] is not register[1]
+
+
+def test_apply_2q_gate_touches_both_operands():
+    register = initial_register(3)
+    cx = Gate("cx", (0, 2))
+    result = apply_gate(cx, register)
+    assert result[1] is register[1]
+    assert result[0] is app2q(cx, register[0], register[2], 1)
+    assert result[2] is app2q(cx, register[0], register[2], 2)
+
+
+def test_ghz_symbolic_execution_matches_the_papers_example():
+    """The Section 5 GHZ example: nested app1q/app2q terms."""
+    register = initial_register(3)
+    gates = [Gate("h", (0,)), Gate("cx", (0, 1)), Gate("cx", (1, 2))]
+    q0, q1, q2 = apply_circuit(gates, register)
+    h_q0 = app1q(gates[0], register[0])
+    first_cx_1 = app2q(gates[1], h_q0, register[1], 1)
+    first_cx_2 = app2q(gates[1], h_q0, register[1], 2)
+    assert q0 is first_cx_1
+    assert q1 is app2q(gates[2], first_cx_2, register[2], 1)
+    assert q2 is app2q(gates[2], first_cx_2, register[2], 2)
+
+
+def test_cx_cancellation_rewrites_to_the_identity():
+    register = initial_register(2)
+    gates = [Gate("cx", (0, 1)), Gate("cx", (0, 1))]
+    result = apply_circuit(gates, register)
+    assert rewrite_qubit_term(result[0]) is register[0]
+    assert rewrite_qubit_term(result[1]) is register[1]
+    assert registers_equal(result, register)
+
+
+def test_h_pair_and_s_sdg_pair_cancel():
+    register = initial_register(1)
+    for pair in ([Gate("h", (0,)), Gate("h", (0,))],
+                 [Gate("s", (0,)), Gate("sdg", (0,))]):
+        result = apply_circuit(pair, register)
+        assert registers_equal(result, register)
+
+
+def test_swap_rule_relabels_the_register():
+    """app2q(SWAP, q1, q2, 1) == q2 and ... 2) == q1 (the Figure 7 swap rules)."""
+    register = initial_register(2)
+    swapped = apply_gate(Gate("swap", (0, 1)), register)
+    assert rewrite_qubit_term(swapped[0]) is register[1]
+    assert rewrite_qubit_term(swapped[1]) is register[0]
+
+
+def test_double_swap_is_the_identity_symbolically():
+    register = initial_register(3)
+    gates = [Gate("swap", (0, 2)), Gate("swap", (0, 2))]
+    assert registers_equal(apply_circuit(gates, register), register)
+
+
+def test_circuits_equivalent_symbolically_positive():
+    original = [Gate("h", (0,)), Gate("cx", (0, 1)), Gate("cx", (0, 1)), Gate("x", (1,))]
+    optimised = [Gate("h", (0,)), Gate("x", (1,))]
+    assert circuits_equivalent_symbolically(original, optimised, 2)
+
+
+def test_circuits_equivalent_symbolically_negative():
+    left = [Gate("h", (0,))]
+    right = [Gate("x", (0,))]
+    assert not circuits_equivalent_symbolically(left, right, 1)
+
+
+def test_symbolic_equivalence_scales_to_wide_registers():
+    """No exponential blow-up: 64 qubits with a cancelling CX ladder."""
+    num_qubits = 64
+    original = []
+    for q in range(num_qubits - 1):
+        original.append(Gate("cx", (q, q + 1)))
+        original.append(Gate("cx", (q, q + 1)))
+    assert circuits_equivalent_symbolically(original, [], num_qubits)
+
+
+def test_routed_circuit_equivalence_via_swap_rules():
+    """Routing's swap insertions are invisible after the swap rules fire."""
+    original = [Gate("cx", (0, 2))]
+    routed = [Gate("swap", (1, 2)), Gate("cx", (0, 1)), Gate("swap", (1, 2))]
+    assert circuits_equivalent_symbolically(original, routed, 3)

@@ -1,0 +1,119 @@
+"""The rewrite-rule set (Section 5) and its numeric soundness checks."""
+
+import pytest
+
+from repro.circuit import Gate, QCircuit
+from repro.linalg import circuits_equivalent
+from repro.symbolic import (
+    CANCELLATION,
+    CANCELLATION_GATES,
+    COMMUTATIVITY,
+    MERGE,
+    SWAP,
+    CircuitRule,
+    check_commutation_table,
+    check_rule,
+    check_rules,
+    default_circuit_rules,
+)
+
+
+def test_the_default_rule_set_has_about_twenty_rules():
+    rules = default_circuit_rules()
+    assert 20 <= len(rules) <= 25
+    names = [rule.name for rule in rules]
+    assert len(names) == len(set(names)), "rule names must be unique"
+
+
+def test_rule_set_covers_all_four_families():
+    kinds = {rule.kind for rule in default_circuit_rules()}
+    assert kinds == {CANCELLATION, COMMUTATIVITY, SWAP, MERGE}
+
+
+def test_every_default_rule_is_sound_on_its_own_register():
+    for rule in default_circuit_rules():
+        assert check_rule(rule, embed_qubits=0), rule.name
+
+
+def test_every_default_rule_is_sound_when_embedded():
+    """The paper's lemma: local equivalence extends to larger registers."""
+    for rule in default_circuit_rules():
+        assert check_rule(rule, embed_qubits=2), rule.name
+
+
+def test_check_rules_reports_no_failures():
+    report = check_rules(embed_qubits=1)
+    assert report.all_sound
+    assert report.checked == len(default_circuit_rules())
+    assert report.failures == []
+
+
+def test_an_unsound_rule_is_detected():
+    bogus = CircuitRule(
+        "h_equals_x", CANCELLATION, (Gate("h", (0,)),), (Gate("x", (0,)),), 1,
+        "deliberately wrong",
+    )
+    assert not check_rule(bogus)
+    report = check_rules([bogus])
+    assert not report.all_sound
+    assert any("h_equals_x" in failure for failure in report.failures)
+
+
+def test_an_unsound_embedding_is_detected():
+    """A rule can only hold locally if it also holds on wider registers."""
+    # cx(0,1);cx(1,0) is NOT the identity -- make sure the checker notices.
+    bogus = CircuitRule(
+        "cx_reversed_cancel", CANCELLATION,
+        (Gate("cx", (0, 1)), Gate("cx", (1, 0))), (), 2, "wrong",
+    )
+    assert not check_rule(bogus)
+
+
+def test_cancellation_gates_really_cancel():
+    """Every name advertised in CANCELLATION_GATES has an inverse partner rule."""
+    from repro.circuit.gates import gate_spec, inverse_gate, is_self_inverse
+
+    for name in sorted(CANCELLATION_GATES):
+        spec = gate_spec(name)
+        qubits = tuple(range(spec.num_qubits))
+        gate = Gate(name, qubits)
+        circuit = QCircuit(spec.num_qubits)
+        circuit.append(gate)
+        circuit.append(inverse_gate(gate))
+        empty = QCircuit(spec.num_qubits)
+        assert circuits_equivalent(circuit, empty), name
+        if is_self_inverse(name):
+            doubled = QCircuit(spec.num_qubits, gates=[gate, gate])
+            assert circuits_equivalent(doubled, empty), name
+
+
+def test_commutation_table_is_sound():
+    report = check_commutation_table()
+    assert report.all_sound
+    assert report.checked > 100
+
+
+def test_commutation_table_with_custom_gate_set():
+    report = check_commutation_table(gate_names=("x", "z", "cx"), num_qubits=2)
+    assert report.all_sound
+    assert report.checked > 0
+
+
+@pytest.mark.parametrize("kind,minimum", [
+    (CANCELLATION, 8),
+    (COMMUTATIVITY, 5),
+    (SWAP, 2),
+    (MERGE, 2),
+])
+def test_each_family_has_enough_rules(kind, minimum):
+    rules = [rule for rule in default_circuit_rules() if rule.kind == kind]
+    assert len(rules) >= minimum
+
+
+def test_swap_rules_express_relabelling():
+    """The swap rules of Figure 7: a swap moves later gates to the other wire."""
+    swap_rules = [rule for rule in default_circuit_rules() if rule.kind == SWAP]
+    for rule in swap_rules:
+        left = QCircuit(rule.num_qubits, gates=list(rule.lhs))
+        right = QCircuit(rule.num_qubits, gates=list(rule.rhs))
+        assert circuits_equivalent(left, right), rule.name

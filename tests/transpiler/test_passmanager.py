@@ -1,0 +1,124 @@
+"""The baseline transpiler: pass manager, baseline passes, wrapper, presets."""
+
+import pytest
+
+from repro.bench.qasmbench import qft
+from repro.circuit import QCircuit, random_circuit
+from repro.coupling import grid_device, linear_device
+from repro.dag import circuit_to_dag, dag_to_circuit
+from repro.linalg import circuits_equivalent
+from repro.passes import CXCancellation, Optimize1qGates
+from repro.symbolic import conforms_to_coupling, equivalent_up_to_swaps
+from repro.transpiler.baseline_passes import (
+    BaselineBasicSwap,
+    BaselineCXCancellation,
+    BaselineLookaheadSwap,
+    BaselineOptimize1qGates,
+)
+from repro.transpiler.passmanager import PassManager
+from repro.transpiler.presets import baseline_pipeline, verified_pipeline
+from repro.transpiler.wrapper import VerifiedPassWrapper
+
+
+@pytest.fixture
+def cancellable_circuit():
+    circuit = QCircuit(3)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(0, 1)
+    circuit.u1(0.4, 2)
+    circuit.u3(0.2, 0.1, 0.9, 2)
+    circuit.cx(1, 2)
+    return circuit
+
+
+# --------------------------------------------------------------------------- #
+# PassManager mechanics
+# --------------------------------------------------------------------------- #
+def test_passmanager_runs_passes_in_order(cancellable_circuit):
+    manager = PassManager([BaselineCXCancellation(), BaselineOptimize1qGates()])
+    compiled = manager.run(cancellable_circuit.copy())
+    assert compiled.count_ops().get("cx", 0) == 1
+    assert circuits_equivalent(cancellable_circuit, compiled)
+    assert len(manager.records) == 2
+    assert manager.total_time() >= 0.0
+    assert all(record.seconds >= 0.0 for record in manager.records)
+
+
+def test_passmanager_append_builds_the_pipeline(cancellable_circuit):
+    manager = PassManager()
+    manager.append(BaselineCXCancellation()).append(BaselineOptimize1qGates())
+    assert len(manager.passes) == 2
+    compiled = manager.run(cancellable_circuit.copy())
+    assert circuits_equivalent(cancellable_circuit, compiled)
+
+
+# --------------------------------------------------------------------------- #
+# Baseline passes agree with the verified passes
+# --------------------------------------------------------------------------- #
+def test_baseline_and_verified_cx_cancellation_agree(cancellable_circuit):
+    baseline = PassManager([BaselineCXCancellation()]).run(cancellable_circuit.copy())
+    verified = CXCancellation()(cancellable_circuit.copy())
+    assert baseline.count_ops().get("cx", 0) == verified.count_ops().get("cx", 0)
+    assert circuits_equivalent(baseline, verified)
+
+
+def test_baseline_and_verified_1q_optimisation_agree(cancellable_circuit):
+    baseline = PassManager([BaselineOptimize1qGates()]).run(cancellable_circuit.copy())
+    verified = Optimize1qGates()(cancellable_circuit.copy())
+    assert circuits_equivalent(baseline, verified)
+    assert baseline.size() <= cancellable_circuit.size()
+
+
+@pytest.mark.parametrize("baseline_class", [BaselineBasicSwap, BaselineLookaheadSwap])
+def test_baseline_routing_is_coupling_conformant(baseline_class):
+    coupling = linear_device(5)
+    circuit = random_circuit(5, 20, seed=3)
+    routed = PassManager([baseline_class(coupling=coupling)]).run(circuit.copy())
+    assert conforms_to_coupling(routed.gates, coupling)
+    report = equivalent_up_to_swaps(circuit.gates, routed.gates, 5)
+    assert report.equivalent
+
+
+# --------------------------------------------------------------------------- #
+# The verified-pass wrapper
+# --------------------------------------------------------------------------- #
+def test_wrapper_converts_dag_to_list_and_back(cancellable_circuit):
+    wrapper = VerifiedPassWrapper(CXCancellation())
+    dag = circuit_to_dag(cancellable_circuit)
+    result_dag = wrapper.run(dag)
+    result = dag_to_circuit(result_dag)
+    direct = CXCancellation()(cancellable_circuit.copy())
+    assert circuits_equivalent(result, direct)
+    assert "CXCancellation" in wrapper.name()
+
+
+def test_wrapper_classmethod_constructor(cancellable_circuit):
+    wrapper = VerifiedPassWrapper.wrap(Optimize1qGates)
+    dag = circuit_to_dag(cancellable_circuit)
+    result = dag_to_circuit(wrapper.run(dag))
+    assert circuits_equivalent(result, cancellable_circuit)
+
+
+# --------------------------------------------------------------------------- #
+# Preset pipelines
+# --------------------------------------------------------------------------- #
+def test_preset_pipelines_produce_equivalent_conformant_circuits():
+    coupling = grid_device(3, 3)
+    circuit = qft(5)
+    baseline = baseline_pipeline(coupling).run(circuit.copy())
+    verified = verified_pipeline(coupling).run(circuit.copy())
+    for compiled in (baseline, verified):
+        assert conforms_to_coupling(compiled.gates, coupling)
+    assert circuits_equivalent(baseline, verified)
+
+
+def test_preset_pipelines_unroll_to_the_native_basis():
+    coupling = grid_device(2, 3)
+    circuit = QCircuit(3)
+    circuit.h(0)
+    circuit.t(1)
+    circuit.cz(1, 2)
+    compiled = verified_pipeline(coupling).run(circuit.copy())
+    allowed = {"u1", "u2", "u3", "cx", "swap", "barrier", "measure", "id"}
+    assert set(compiled.count_ops()) <= allowed

@@ -1,0 +1,126 @@
+"""Coupling-map utilities and the layout-selection algorithms."""
+
+import pytest
+
+from repro.bench.qasmbench import qft
+from repro.circuit import QCircuit, random_circuit
+from repro.coupling import Layout, grid_device, ibm_16q, ibm_20q_tokyo, linear_device, ring_device
+from repro.utility.coupling_ops import is_adjacent, shortest_path, swap_path, total_distance
+from repro.utility.layout_selection import (
+    layout_2q_distance_score,
+    select_csp_layout,
+    select_dense_layout,
+    select_noise_adaptive_layout,
+    select_sabre_layout,
+    select_trivial_layout,
+)
+
+DEVICES = [linear_device(8), ring_device(8), grid_device(3, 4), ibm_16q(), ibm_20q_tokyo()]
+
+
+# --------------------------------------------------------------------------- #
+# shortest_path / swap_path / total_distance
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("coupling", DEVICES, ids=lambda c: f"{c.num_qubits}q")
+def test_shortest_path_satisfies_its_specification(coupling):
+    for source in range(0, coupling.num_qubits, 3):
+        for target in range(0, coupling.num_qubits, 4):
+            path = shortest_path(coupling, source, target)
+            assert path[0] == source and path[-1] == target
+            assert len(path) == coupling.distance(source, target) + 1
+            for a, b in zip(path, path[1:]):
+                assert coupling.connected(a, b)
+
+
+@pytest.mark.parametrize("coupling", DEVICES, ids=lambda c: f"{c.num_qubits}q")
+def test_swap_path_brings_the_endpoints_adjacent(coupling):
+    source, target = 0, coupling.num_qubits - 1
+    swaps = swap_path(coupling, source, target)
+    layout = Layout.trivial(coupling.num_qubits)
+    for a, b in swaps:
+        assert coupling.connected(a, b)
+        layout.swap(a, b)
+    assert is_adjacent(coupling, layout, source, target)
+
+
+def test_total_distance_matches_manual_sum():
+    coupling = linear_device(6)
+    layout = Layout.trivial(6)
+    pairs = [(0, 5), (1, 2), (0, 3)]
+    assert total_distance(coupling, layout, pairs) == 5 + 1 + 3
+
+
+def test_total_distance_reflects_layout_swaps():
+    coupling = linear_device(4)
+    layout = Layout.trivial(4)
+    before = total_distance(coupling, layout, [(0, 3)])
+    layout.swap(2, 3)
+    after = total_distance(coupling, layout, [(0, 3)])
+    assert before == 3 and after == 2
+
+
+# --------------------------------------------------------------------------- #
+# Layout selection
+# --------------------------------------------------------------------------- #
+SELECTORS = [
+    select_dense_layout,
+    select_noise_adaptive_layout,
+    select_sabre_layout,
+    select_csp_layout,
+]
+
+
+def _is_valid_layout(layout: Layout, num_logical: int, num_physical: int) -> bool:
+    physicals = [layout.physical(logical) for logical in range(num_logical)]
+    return (
+        len(set(physicals)) == num_logical
+        and all(0 <= p < num_physical for p in physicals)
+    )
+
+
+@pytest.mark.parametrize("selector", SELECTORS, ids=lambda s: s.__name__)
+@pytest.mark.parametrize("coupling", [ibm_16q(), grid_device(3, 4), ibm_20q_tokyo()],
+                         ids=lambda c: f"{c.num_qubits}q")
+def test_layout_selectors_produce_injective_layouts(selector, coupling):
+    circuit = random_circuit(6, 18, seed=2)
+    layout = selector(circuit, coupling)
+    assert layout is not None
+    assert _is_valid_layout(layout, circuit.num_qubits, coupling.num_qubits)
+
+
+def test_trivial_layout_is_the_identity():
+    circuit = QCircuit(4)
+    layout = select_trivial_layout(circuit)
+    assert layout.as_permutation(4) == [0, 1, 2, 3]
+
+
+def test_informed_layouts_do_not_lose_to_the_trivial_layout_badly():
+    """Layout quality: the distance score of smarter selectors is reasonable."""
+    coupling = ibm_16q()
+    circuit = qft(6)
+    trivial_score = layout_2q_distance_score(circuit, coupling, select_trivial_layout(circuit))
+    for selector in (select_dense_layout, select_sabre_layout):
+        score = layout_2q_distance_score(circuit, coupling, selector(circuit, coupling))
+        assert score is not None
+        assert score <= trivial_score * 2 + 2
+
+
+def test_layout_2q_distance_score_is_zero_when_everything_is_adjacent():
+    coupling = linear_device(4)
+    circuit = QCircuit(3)
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    score = layout_2q_distance_score(circuit, coupling, Layout.trivial(3))
+    assert score == 0
+
+
+def test_csp_layout_finds_a_perfect_assignment_when_one_exists():
+    coupling = ring_device(6)
+    circuit = QCircuit(4)
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    circuit.cx(2, 3)
+    layout = select_csp_layout(circuit, coupling)
+    assert layout is not None
+    score = layout_2q_distance_score(circuit, coupling, layout)
+    assert score == 0

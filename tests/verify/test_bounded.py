@@ -1,0 +1,81 @@
+"""Bounded translation validation (repro.verify.bounded)."""
+
+import pytest
+
+from repro.coupling import linear_device
+from repro.errors import ReproError
+from repro.passes import BasicSwap, CXCancellation, Optimize1qGates
+from repro.passes.buggy import BuggyCommutativeCancellation
+from repro.verify import (
+    BoundedValidationReport,
+    sweep_bounded_validation,
+    validate_pass_bounded,
+)
+
+
+def test_bounded_validation_accepts_a_correct_pass():
+    report = validate_pass_bounded(CXCancellation, num_qubits=4, num_gates=12, trials=4)
+    assert isinstance(report, BoundedValidationReport)
+    assert report.pass_name == "CXCancellation"
+    assert len(report.trials) == 4
+    assert report.all_equivalent
+    assert not report.failures
+    assert report.total_seconds > 0.0
+
+
+def test_bounded_validation_accepts_optimize_1q_gates():
+    report = validate_pass_bounded(Optimize1qGates, num_qubits=3, num_gates=15, trials=3)
+    assert report.all_equivalent
+
+
+def test_bounded_validation_of_a_routing_pass():
+    coupling = linear_device(5)
+    report = validate_pass_bounded(
+        BasicSwap,
+        num_qubits=5,
+        num_gates=12,
+        trials=3,
+        coupling=coupling,
+        routing=True,
+        clifford_only=True,
+    )
+    assert report.all_equivalent, [t.failure_reason for t in report.failures]
+
+
+def test_bounded_validation_catches_a_buggy_pass_with_the_right_inputs():
+    """The Section 7.2 bug shows up once random circuits contain the pattern."""
+    failing = False
+    for seed in range(0, 40, 5):
+        report = validate_pass_bounded(
+            BuggyCommutativeCancellation,
+            num_qubits=3,
+            num_gates=20,
+            trials=5,
+            seed=seed,
+            clifford_only=True,
+        )
+        if not report.all_equivalent:
+            failing = True
+            break
+    assert failing, "randomised bounded validation should eventually hit the bug"
+
+
+def test_bounded_validation_refuses_registers_beyond_the_dense_limit():
+    with pytest.raises(ReproError):
+        validate_pass_bounded(CXCancellation, num_qubits=20, num_gates=10)
+
+
+def test_sweep_reports_one_entry_per_size():
+    reports = sweep_bounded_validation(CXCancellation, qubit_counts=[2, 3, 4], trials=2)
+    assert [r.num_qubits for r in reports] == [2, 3, 4]
+    assert all(r.all_equivalent for r in reports)
+    assert all(r.num_gates == 4 * r.num_qubits for r in reports)
+
+
+def test_trials_record_size_and_timing():
+    report = validate_pass_bounded(CXCancellation, num_qubits=3, num_gates=9, trials=2)
+    for trial in report.trials:
+        assert trial.num_qubits == 3
+        assert trial.seconds >= 0.0
+        assert trial.equivalent
+        assert trial.failure_reason == ""

@@ -1,0 +1,115 @@
+"""The three Section 7 case studies: buggy passes rejected, fixed passes verified."""
+
+import pytest
+
+from repro.circuit import QCircuit
+from repro.coupling import ibm_16q
+from repro.errors import TranspilerError
+from repro.linalg import circuits_equivalent
+from repro.passes import (
+    BuggyCommutativeCancellation,
+    BuggyLookaheadSwap,
+    BuggyOptimize1qGates,
+    CommutativeCancellation,
+    LookaheadSwap,
+    Optimize1qGates,
+)
+from repro.symbolic import conforms_to_coupling, equivalent_up_to_swaps
+from repro.verify import conditional_circuits_equivalent, verify_pass
+
+
+# --------------------------------------------------------------------------- #
+# Case study 1: optimize_1q_gates and conditioned gates (Section 7.1)
+# --------------------------------------------------------------------------- #
+class TestOptimize1qConditionBug:
+    def test_buggy_pass_is_rejected_with_confirmed_counterexample(self):
+        result = verify_pass(BuggyOptimize1qGates)
+        assert result.supported and not result.verified
+        assert result.counterexample is not None
+        assert result.counterexample.confirmed
+        assert result.counterexample.kind == "semantics"
+
+    def test_fixed_pass_verifies(self):
+        assert verify_pass(Optimize1qGates).verified
+
+    def test_buggy_pass_really_changes_semantics_of_the_figure8_circuit(self):
+        circuit = BuggyOptimize1qGates.counterexample_hint()
+        output = BuggyOptimize1qGates()(circuit.copy())
+        assert not conditional_circuits_equivalent(circuit, output)
+
+    def test_fixed_pass_preserves_semantics_on_the_same_circuit(self):
+        circuit = BuggyOptimize1qGates.counterexample_hint()
+        output = Optimize1qGates()(circuit.copy())
+        assert conditional_circuits_equivalent(circuit, output)
+
+    def test_fixed_pass_still_merges_unconditioned_runs(self):
+        circuit = QCircuit(1)
+        circuit.u1(0.3, 0)
+        circuit.u3(0.2, 0.4, 0.6, 0)
+        output = Optimize1qGates()(circuit.copy())
+        assert output.size() == 1
+        assert circuits_equivalent(circuit, output)
+
+
+# --------------------------------------------------------------------------- #
+# Case study 2: commutation transitivity (Section 7.2)
+# --------------------------------------------------------------------------- #
+class TestCommutationTransitivityBug:
+    def test_buggy_pass_is_rejected_with_confirmed_counterexample(self):
+        result = verify_pass(BuggyCommutativeCancellation)
+        assert result.supported and not result.verified
+        assert result.counterexample is not None and result.counterexample.confirmed
+
+    def test_fixed_pass_verifies(self):
+        assert verify_pass(CommutativeCancellation).verified
+
+    def test_buggy_pass_breaks_the_figure9_circuit(self):
+        circuit = BuggyCommutativeCancellation.counterexample_hint()
+        output = BuggyCommutativeCancellation()(circuit.copy())
+        assert output.size() < circuit.size()
+        assert not circuits_equivalent(circuit, output)
+
+    def test_fixed_pass_is_safe_on_the_same_circuit(self):
+        circuit = BuggyCommutativeCancellation.counterexample_hint()
+        output = CommutativeCancellation()(circuit.copy())
+        assert circuits_equivalent(circuit, output)
+
+    def test_fixed_pass_still_cancels_legitimate_pairs(self):
+        circuit = QCircuit(2)
+        circuit.z(0)
+        circuit.x(1)          # disjoint, commutes with z(0)
+        circuit.cx(0, 1)      # z commutes through the control
+        circuit.z(0)
+        output = CommutativeCancellation()(circuit.copy())
+        assert output.count_ops().get("z", 0) == 0
+        assert circuits_equivalent(circuit, output)
+
+
+# --------------------------------------------------------------------------- #
+# Case study 3: lookahead_swap non-termination (Section 7.3)
+# --------------------------------------------------------------------------- #
+class TestLookaheadSwapTermination:
+    def test_buggy_pass_fails_the_termination_subgoal(self):
+        result = verify_pass(BuggyLookaheadSwap, pass_kwargs={"coupling": ibm_16q()})
+        assert result.supported and not result.verified
+        assert any("termination" in reason for reason in result.failure_reasons)
+
+    def test_counterexample_reports_non_termination(self):
+        result = verify_pass(BuggyLookaheadSwap, pass_kwargs={"coupling": ibm_16q()})
+        assert result.counterexample is not None
+        assert result.counterexample.kind == "non_termination"
+        assert result.counterexample.confirmed
+
+    def test_buggy_pass_livelocks_on_the_figure10_circuit(self):
+        circuit = BuggyLookaheadSwap.counterexample_hint()
+        with pytest.raises(TranspilerError):
+            BuggyLookaheadSwap(coupling=ibm_16q())(circuit.copy())
+
+    def test_fixed_pass_verifies_and_routes_the_same_circuit(self):
+        assert verify_pass(LookaheadSwap, pass_kwargs={"coupling": ibm_16q()}).verified
+        coupling = ibm_16q()
+        circuit = BuggyLookaheadSwap.counterexample_hint()
+        routed = LookaheadSwap(coupling=coupling)(circuit.copy())
+        assert conforms_to_coupling(routed.gates, coupling)
+        report = equivalent_up_to_swaps(circuit.gates, routed.gates, 16)
+        assert report.equivalent

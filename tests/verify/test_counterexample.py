@@ -1,0 +1,97 @@
+"""Counterexample search, confirmation, and conditioned-circuit equivalence."""
+
+import pytest
+
+from repro.circuit import Gate, QCircuit
+from repro.coupling import ibm_16q
+from repro.passes import CXCancellation
+from repro.passes.buggy import BuggyLookaheadSwap, BuggyOptimize1qGates
+from repro.verify import (
+    conditional_circuits_equivalent,
+    confirm_counterexample,
+    verify_pass,
+)
+
+
+# --------------------------------------------------------------------------- #
+# conditional_circuits_equivalent
+# --------------------------------------------------------------------------- #
+def test_conditioned_equivalence_requires_agreement_for_every_bit_value():
+    left = QCircuit(1, 1)
+    left.append(Gate("x", (0,)).c_if(0, 1))
+    right_same = QCircuit(1, 1)
+    right_same.append(Gate("x", (0,)).c_if(0, 1))
+    right_unconditional = QCircuit(1, 1)
+    right_unconditional.x(0)
+    assert conditional_circuits_equivalent(left, right_same)
+    assert not conditional_circuits_equivalent(left, right_unconditional)
+
+
+def test_conditioned_equivalence_reduces_to_plain_equivalence_without_conditions():
+    left = QCircuit(2)
+    left.h(0)
+    left.cx(0, 1)
+    right = QCircuit(2)
+    right.h(0)
+    right.cx(0, 1)
+    right.cx(0, 1)
+    right.cx(0, 1)
+    assert conditional_circuits_equivalent(left, right)
+
+
+def test_final_measurements_are_ignored():
+    left = QCircuit(1, 1)
+    left.h(0)
+    right = QCircuit(1, 1)
+    right.h(0)
+    right.measure(0, 0)
+    assert conditional_circuits_equivalent(left, right)
+
+
+# --------------------------------------------------------------------------- #
+# confirm_counterexample
+# --------------------------------------------------------------------------- #
+def test_confirm_counterexample_accepts_a_real_failure():
+    # A conditioned u1 followed by a u3 on the same qubit: the buggy 7.1 pass
+    # merges them and changes the conditioned behaviour.
+    candidate = QCircuit(1, 1)
+    candidate.append(Gate("u1", (0,), (0.7,)).c_if(0, 1))
+    candidate.u3(0.4, 0.2, 0.1, 0)
+    confirmed = confirm_counterexample(BuggyOptimize1qGates, candidate)
+    assert confirmed is not None
+    assert confirmed.confirmed
+    assert confirmed.kind in ("semantics", "non_termination", "crash")
+
+
+def test_confirm_counterexample_rejects_a_non_failure():
+    candidate = QCircuit(2)
+    candidate.h(0)
+    candidate.cx(0, 1)
+    assert confirm_counterexample(CXCancellation, candidate) is None
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end counterexamples from verify_pass
+# --------------------------------------------------------------------------- #
+def test_buggy_optimize_1q_counterexample_is_conditioned():
+    result = verify_pass(BuggyOptimize1qGates)
+    assert not result.verified
+    example = result.counterexample
+    assert example is not None and example.confirmed
+    assert example.input_circuit is not None
+    assert any(gate.is_conditioned() for gate in example.input_circuit)
+
+
+def test_buggy_lookahead_counterexample_reports_non_termination():
+    result = verify_pass(BuggyLookaheadSwap, pass_kwargs={"coupling": ibm_16q()})
+    assert not result.verified
+    example = result.counterexample
+    assert example is not None
+    assert example.kind == "non_termination"
+    assert example.confirmed
+
+
+def test_counterexample_search_can_be_disabled():
+    result = verify_pass(BuggyOptimize1qGates, counterexample_search=False)
+    assert not result.verified
+    assert result.counterexample is None

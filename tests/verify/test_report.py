@@ -1,0 +1,75 @@
+"""Verification report rendering (repro.verify.report)."""
+
+import json
+
+from repro.bench.table2 import pass_kwargs_for
+from repro.passes import BasicSwap, CXCancellation, Width
+from repro.passes.buggy import BuggyCommutativeCancellation
+from repro.verify import verify_pass
+from repro.verify.report import (
+    result_to_dict,
+    summarize,
+    to_json,
+    to_markdown,
+    to_text,
+)
+
+
+def _results():
+    results = [
+        verify_pass(CXCancellation),
+        verify_pass(Width),
+        verify_pass(BasicSwap, pass_kwargs=pass_kwargs_for(BasicSwap)),
+        verify_pass(BuggyCommutativeCancellation),
+    ]
+    return results
+
+
+def test_summary_counts_verified_and_rejected():
+    results = _results()
+    summary = summarize(results)
+    assert summary.total == 4
+    assert summary.verified == 3
+    assert summary.rejected == 1
+    assert summary.unsupported == 0
+    assert not summary.all_verified
+    assert summary.total_subgoals >= 4
+    assert summary.slowest_pass in {r.pass_name for r in results}
+    assert "BuggyCommutativeCancellation" in summary.counterexamples
+
+
+def test_result_to_dict_is_json_serialisable():
+    results = _results()
+    for result in results:
+        payload = result_to_dict(result)
+        json.dumps(payload)
+        assert payload["pass"] == result.pass_name
+        assert payload["verified"] == result.verified
+        assert payload["subgoals"] == result.num_subgoals
+    rejected = result_to_dict(results[-1])
+    assert rejected["counterexample"] is not None
+    assert rejected["counterexample"]["kind"] in ("semantics", "non_termination", "crash")
+
+
+def test_to_json_includes_summary_and_rows():
+    payload = json.loads(to_json(_results()))
+    assert payload["summary"]["total"] == 4
+    assert payload["summary"]["verified"] == 3
+    assert len(payload["results"]) == 4
+
+
+def test_to_text_mentions_every_pass_and_the_counterexample():
+    text = to_text(_results(), title="report")
+    assert "report" in text
+    assert "CXCancellation" in text
+    assert "Width" in text
+    assert "REJECTED" in text
+    assert "counterexample produced for BuggyCommutativeCancellation" in text
+
+
+def test_to_markdown_renders_a_table():
+    markdown = to_markdown(_results(), title="Verification report")
+    assert markdown.startswith("## Verification report")
+    assert "| pass | status |" in markdown
+    assert "`CXCancellation`" in markdown
+    assert "3 / 4 verified" in markdown

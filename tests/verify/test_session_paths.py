@@ -1,0 +1,78 @@
+"""Path-forking symbolic execution (the branch expansion of Section 4)."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify import PathExplorer, VerificationSession
+
+
+def _explore(branches: int, max_paths: int = None):
+    session = VerificationSession()
+    explorer = PathExplorer(session)
+    if max_paths is not None:
+        explorer.max_paths = max_paths
+    outcomes = []
+
+    def runner():
+        taken = []
+        for index in range(branches):
+            gate = session.fresh_gate(f"g{index}")
+            if gate.is_cx_gate():
+                taken.append(True)
+            else:
+                taken.append(False)
+        outcomes.append(tuple(taken))
+        return tuple(taken)
+
+    records = explorer.explore(runner)
+    return records, outcomes
+
+
+def test_a_single_branch_forks_into_two_paths():
+    records, outcomes = _explore(1)
+    assert len(records) == 2
+    assert set(outcomes) == {(True,), (False,)}
+
+
+def test_two_branches_fork_into_four_paths():
+    records, outcomes = _explore(2)
+    assert len(records) == 4
+    assert set(outcomes) == {(True, True), (True, False), (False, True), (False, False)}
+
+
+def test_every_path_is_explored_exactly_once():
+    records, outcomes = _explore(3)
+    assert len(records) == 8
+    assert len(set(outcomes)) == 8
+
+
+def test_path_explosion_is_reported():
+    with pytest.raises(VerificationError):
+        _explore(6, max_paths=16)
+
+
+def test_straight_line_code_is_a_single_path():
+    session = VerificationSession()
+    explorer = PathExplorer(session)
+    records = explorer.explore(lambda: 42)
+    assert len(records) == 1
+
+
+def test_decisions_are_recorded_as_path_facts():
+    session = VerificationSession()
+    explorer = PathExplorer(session)
+
+    def runner():
+        gate = session.fresh_gate("g")
+        if gate.is_barrier():
+            return "barrier"
+        return "not barrier"
+
+    records = explorer.explore(runner)
+    assert len(records) == 2
+    # Each record carries the decision made on its path.
+    fact_kinds = [
+        {fact.kind for fact, _value in record.fact_decisions} for record in records
+    ]
+    assert all("is_barrier" in kinds for kinds in fact_kinds)
+    assert {record.result for record in records} == {"barrier", "not barrier"}

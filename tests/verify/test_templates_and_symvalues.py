@@ -1,0 +1,171 @@
+"""Loop templates on concrete circuits and the symbolic value classes."""
+
+import pytest
+
+from repro.circuit import Gate, QCircuit
+from repro.coupling import Layout, linear_device
+from repro.errors import TranspilerError, VerificationError
+from repro.linalg import circuits_equivalent
+from repro.symbolic import conforms_to_coupling, equivalent_up_to_swaps
+from repro.verify import SymBool, SymCircuit, SymGate, SymInt, VerificationSession
+from repro.verify.templates import (
+    collect_runs,
+    iterate_all_gates,
+    route_each_gate,
+    while_gate_remaining,
+)
+
+
+@pytest.fixture
+def sample_circuit():
+    circuit = QCircuit(3)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(0, 1)
+    circuit.u1(0.3, 2)
+    circuit.u1(0.4, 2)
+    circuit.t(1)
+    return circuit
+
+
+# --------------------------------------------------------------------------- #
+# Templates on concrete circuits
+# --------------------------------------------------------------------------- #
+def test_iterate_all_gates_copies_when_the_body_copies(sample_circuit):
+    output = iterate_all_gates(sample_circuit, lambda out, gate: out.append(gate))
+    assert list(output.gates) == list(sample_circuit.gates)
+    assert output is not sample_circuit
+
+
+def test_iterate_all_gates_body_can_expand_gates(sample_circuit):
+    def body(out, gate):
+        out.append(gate)
+        if gate.name_is("t"):
+            out.append(Gate("tdg", gate.qubits))
+            out.append(Gate("t", gate.qubits))
+
+    output = iterate_all_gates(sample_circuit, body)
+    assert output.size() == sample_circuit.size() + 2
+    assert circuits_equivalent(sample_circuit, output)
+
+
+def test_while_gate_remaining_processes_every_gate(sample_circuit):
+    seen = []
+
+    def body(output, remain):
+        gate = remain[0]
+        seen.append(gate.name)
+        output.append(gate)
+        remain.delete(0)
+
+    output = while_gate_remaining(sample_circuit, body)
+    assert len(seen) == sample_circuit.size()
+    assert list(output.gates) == list(sample_circuit.gates)
+
+
+def test_while_gate_remaining_detects_missing_progress(sample_circuit):
+    def body(output, remain):
+        output.append(remain[0])  # forgets to delete
+
+    with pytest.raises(TranspilerError):
+        while_gate_remaining(sample_circuit, body)
+
+
+def test_while_gate_remaining_iteration_bound(sample_circuit):
+    def body(output, remain):
+        output.append(remain[0])
+        remain.delete(0)
+
+    # The circuit needs six iterations; a bound of three must be reported
+    # (this is how the non-terminating lookahead_swap of Section 7.3 is
+    # surfaced instead of hanging the verifier).
+    with pytest.raises(TranspilerError):
+        while_gate_remaining(sample_circuit, body, max_iterations=3)
+
+
+def test_collect_runs_merges_each_run(sample_circuit):
+    def transform(run):
+        if len(run) == 2:
+            merged = run[0].params[0] + run[1].params[0]
+            return [Gate("u1", run[0].qubits, (merged,))]
+        return list(run)
+
+    output = collect_runs(sample_circuit, ("u1",), transform)
+    assert output.count_ops().get("u1", 0) == 1
+    assert circuits_equivalent(sample_circuit, output)
+
+
+def test_route_each_gate_produces_a_conformant_circuit():
+    coupling = linear_device(4)
+    circuit = QCircuit(4)
+    circuit.h(0)
+    circuit.cx(0, 3)
+    circuit.cx(1, 3)
+
+    def choose_swaps(coupling_map, layout, gate, upcoming):
+        a, b = gate.all_qubits
+        path = coupling_map.shortest_path(layout.physical(a), layout.physical(b))
+        return [(path[0], path[1])]
+
+    routed, final_layout = route_each_gate(circuit, coupling, choose_swaps)
+    assert conforms_to_coupling(routed.gates, coupling)
+    assert isinstance(final_layout, Layout)
+    report = equivalent_up_to_swaps(circuit.gates, routed.gates, 4)
+    assert report.equivalent
+
+
+# --------------------------------------------------------------------------- #
+# Symbolic values
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def session():
+    return VerificationSession()
+
+
+def test_symbolic_gate_queries_return_symbolic_booleans(session):
+    gate = session.fresh_gate("g")
+    assert isinstance(gate, SymGate)
+    assert isinstance(gate.is_cx_gate(), SymBool)
+    assert isinstance(gate.is_barrier(), SymBool)
+    assert isinstance(gate.qubits == gate.qubits, SymBool)
+
+
+def test_symbolic_gate_name_is_not_a_string(session):
+    gate = session.fresh_gate("g")
+    with pytest.raises(VerificationError):
+        _ = gate.name
+
+
+def test_symbolic_circuit_cannot_be_iterated_directly(session):
+    circuit = session.fresh_circuit([session.fresh_segment("body")])
+    assert isinstance(circuit, SymCircuit)
+    with pytest.raises(VerificationError):
+        list(circuit)
+
+
+def test_symbolic_circuit_append_and_delete_are_tracked(session):
+    circuit = session.fresh_circuit([])
+    gate = session.fresh_gate("g")
+    circuit.append(gate)
+    assert circuit.appended == [gate]
+    assert len(circuit) == 1
+
+
+def test_symint_arithmetic_and_comparisons(session):
+    width = SymInt(session, uid="width")
+    clbits = SymInt(session, uid="clbits")
+    total = width + clbits
+    assert isinstance(total, SymInt)
+    assert total.uid != width.uid
+    assert isinstance(width + 3, SymInt)
+    assert isinstance(width - 1, SymInt)
+    assert isinstance(width * 2, SymInt)
+    assert isinstance(width < clbits, SymBool)
+    assert isinstance(width >= 0, SymBool)
+    assert isinstance(width == clbits, SymBool)
+
+
+def test_symint_is_hashable_and_stable(session):
+    value = SymInt(session, uid="n")
+    assert hash(value) == hash(value)
+    assert {value: "ok"}[value] == "ok"

@@ -1,0 +1,199 @@
+"""Failure injection: deliberately wrong passes must be rejected, not verified.
+
+The value of a verifier is measured by what it refuses.  Every pass in this
+file contains a seeded bug (dropping gates, duplicating gates, cancelling the
+wrong pair, forgetting a side condition, making no loop progress, touching
+the circuit inside an analysis pass) and the expectation is always the same:
+``verify_pass`` must not report it verified.
+"""
+
+import pytest
+
+from repro.circuit import Gate
+from repro.utility.circuit_ops import next_gate
+from repro.verify import AnalysisPass, GeneralPass, verify_pass
+from repro.verify.templates import iterate_all_gates, while_gate_remaining
+
+
+# --------------------------------------------------------------------------- #
+# The wrong passes
+# --------------------------------------------------------------------------- #
+class DropEveryGate(GeneralPass):
+    """BUG: produces an empty circuit."""
+
+    def run(self, circuit):
+        def body(output, gate):
+            return
+
+        return iterate_all_gates(circuit, body)
+
+
+class DuplicateEveryGate(GeneralPass):
+    """BUG: emits every gate twice."""
+
+    def run(self, circuit):
+        def body(output, gate):
+            output.append(gate)
+            output.append(gate)
+
+        return iterate_all_gates(circuit, body)
+
+
+class DropHadamards(GeneralPass):
+    """BUG: silently removes every Hadamard gate."""
+
+    def run(self, circuit):
+        def body(output, gate):
+            if gate.name_is("h"):
+                return
+            output.append(gate)
+
+        return iterate_all_gates(circuit, body)
+
+
+class ReplaceHWithX(GeneralPass):
+    """BUG: rewrites Hadamards into X gates."""
+
+    def run(self, circuit):
+        def body(output, gate):
+            if gate.name_is("h"):
+                output.append(Gate("x", (0,)))
+            else:
+                output.append(gate)
+
+        return iterate_all_gates(circuit, body)
+
+
+class CancelCXWithoutSameQubits(GeneralPass):
+    """BUG: cancels two CX gates that merely share a qubit (Section 3's check, dropped)."""
+
+    def run(self, circuit):
+        def body(output, remain):
+            gate = remain[0]
+            if gate.is_cx_gate():
+                partner = next_gate(remain, 0)
+                if partner is not None:
+                    other = remain[partner]
+                    if other.is_cx_gate():           # missing: qubits == check
+                        remain.delete(partner)
+                        remain.delete(0)
+                        return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(circuit, body)
+
+
+class CancelAnySharingGate(GeneralPass):
+    """BUG: cancels the front gate with *any* later gate sharing a qubit."""
+
+    def run(self, circuit):
+        def body(output, remain):
+            gate = remain[0]
+            partner = next_gate(remain, 0)
+            if partner is not None:
+                remain.delete(partner)
+                remain.delete(0)
+                return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(circuit, body)
+
+
+class CancelConditionedHadamards(GeneralPass):
+    """BUG: cancels H pairs without checking the c_if modifier (the 7.1 pattern)."""
+
+    def run(self, circuit):
+        def body(output, remain):
+            gate = remain[0]
+            if gate.name_is("h"):
+                partner = next_gate(remain, 0)
+                if partner is not None:
+                    other = remain[partner]
+                    if other.name_is("h") and other.qubits == gate.qubits:
+                        remain.delete(partner)
+                        remain.delete(0)
+                        return
+            output.append(gate)
+            remain.delete(0)
+
+        return while_gate_remaining(circuit, body)
+
+
+class NoProgressLoop(GeneralPass):
+    """BUG: the loop body never shrinks the remaining gate list (non-termination)."""
+
+    def run(self, circuit):
+        def body(output, remain):
+            gate = remain[0]
+            output.append(gate)
+            # missing: remain.delete(0)
+
+        return while_gate_remaining(circuit, body)
+
+
+class MeddlingAnalysis(AnalysisPass):
+    """BUG: an analysis pass that edits the circuit it is supposed to observe."""
+
+    def run(self, circuit):
+        circuit.append(Gate("x", (0,)))
+        return circuit
+
+
+class RawLoopPass(GeneralPass):
+    """Out of scope: a hand-rolled unbounded loop instead of a template."""
+
+    def run(self, circuit):
+        index = 0
+        while index < 1000:
+            index += 1
+        return circuit
+
+
+WRONG_PASSES = [
+    DropEveryGate,
+    DuplicateEveryGate,
+    DropHadamards,
+    ReplaceHWithX,
+    CancelCXWithoutSameQubits,
+    CancelAnySharingGate,
+    CancelConditionedHadamards,
+    NoProgressLoop,
+    MeddlingAnalysis,
+]
+
+
+# --------------------------------------------------------------------------- #
+# Expectations
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("pass_class", WRONG_PASSES,
+                         ids=[p.__name__ for p in WRONG_PASSES])
+def test_wrong_pass_is_not_verified(pass_class):
+    result = verify_pass(pass_class)
+    assert not result.verified, f"{pass_class.__name__} must be rejected"
+    assert result.failure_reasons or result.counterexample is not None
+
+
+def test_no_progress_loop_fails_the_termination_subgoal():
+    result = verify_pass(NoProgressLoop)
+    assert not result.verified
+    termination_failures = [
+        outcome for outcome in result.subgoals
+        if outcome.subgoal.kind == "termination" and not outcome.result.proved
+    ]
+    assert termination_failures
+
+
+def test_raw_loops_are_reported_as_unsupported():
+    result = verify_pass(RawLoopPass)
+    assert not result.verified
+    assert not result.supported
+
+
+def test_the_correct_counterparts_still_verify():
+    """Sanity: the verifier does not reject everything."""
+    from repro.passes import CXCancellation, CommutationAnalysis
+
+    assert verify_pass(CXCancellation).verified
+    assert verify_pass(CommutationAnalysis).verified
