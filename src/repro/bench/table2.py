@@ -10,40 +10,23 @@ import argparse
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.coupling.devices import linear_device
+from repro.engine.driver import default_pass_kwargs, verify_passes
 from repro.passes import (
     ALL_VERIFIED_PASSES,
     NEW_IN_032_PASSES,
     PASS_CATEGORIES,
     UNSUPPORTED_PASSES,
 )
-from repro.verify.verifier import VerificationResult, verify_pass
-
-#: Passes that need a coupling map to be instantiated.
-_COUPLING_PASSES = {
-    "BasicSwap",
-    "LookaheadSwap",
-    "SabreSwap",
-    "CheckMap",
-    "CheckCXDirection",
-    "CheckGateDirection",
-    "CXDirection",
-    "GateDirection",
-    "DenseLayout",
-    "NoiseAdaptiveLayout",
-    "SabreLayout",
-    "CSPLayout",
-    "Layout2qDistance",
-    "EnlargeWithAncilla",
-    "FullAncillaAllocation",
-}
+from repro.verify.verifier import VerificationResult
 
 
 def pass_kwargs_for(pass_class, coupling=None) -> Optional[Dict]:
-    """Constructor keyword arguments used when verifying one pass."""
-    if pass_class.__name__ in _COUPLING_PASSES:
-        return {"coupling": coupling or linear_device(5)}
-    return None
+    """Constructor keyword arguments used when verifying one pass.
+
+    Kept as the historical import point; the canonical table lives in
+    :func:`repro.engine.driver.default_pass_kwargs`.
+    """
+    return default_pass_kwargs(pass_class, coupling)
 
 
 @dataclass
@@ -65,14 +48,26 @@ def category_of(pass_class) -> str:
     return "other"
 
 
-def run_table2(pass_classes: Sequence = None, coupling=None) -> List[Table2Row]:
-    """Verify every pass and produce the Table 2 rows."""
+def run_table2(pass_classes: Sequence = None, coupling=None, jobs: int = 1,
+               cache_dir: Optional[str] = None) -> List[Table2Row]:
+    """Verify every pass and produce the Table 2 rows.
+
+    Routed through the batch engine with caching off by default (pass
+    ``cache_dir`` to opt in) *and* per-pass subgoal tables, so each row's
+    time measures independently proving that pass's own obligations —
+    matching the paper's per-pass accounting at any ``jobs`` level.
+    """
     pass_classes = list(pass_classes or ALL_VERIFIED_PASSES)
+    report = verify_passes(
+        pass_classes,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=cache_dir is not None,
+        pass_kwargs_fn=lambda cls: pass_kwargs_for(cls, coupling),
+        share_subgoals=False,
+    )
     rows: List[Table2Row] = []
-    for pass_class in pass_classes:
-        result: VerificationResult = verify_pass(
-            pass_class, pass_kwargs=pass_kwargs_for(pass_class, coupling)
-        )
+    for pass_class, result in zip(pass_classes, report.results):
         loc = result.analysis.lines_of_code if result.analysis else 0
         rows.append(
             Table2Row(
@@ -87,12 +82,19 @@ def run_table2(pass_classes: Sequence = None, coupling=None) -> List[Table2Row]:
     return rows
 
 
-def rule_usage_report(pass_classes: Sequence = None, coupling=None) -> Dict[str, List[str]]:
+def rule_usage_report(pass_classes: Sequence = None, coupling=None,
+                      jobs: int = 1) -> Dict[str, List[str]]:
     """Which rewrite-rule families each pass's verification used (Section 8)."""
     pass_classes = list(pass_classes or ALL_VERIFIED_PASSES)
+    report = verify_passes(
+        pass_classes,
+        jobs=jobs,
+        use_cache=False,
+        pass_kwargs_fn=lambda cls: pass_kwargs_for(cls, coupling),
+        share_subgoals=False,
+    )
     usage: Dict[str, List[str]] = {}
-    for pass_class in pass_classes:
-        result = verify_pass(pass_class, pass_kwargs=pass_kwargs_for(pass_class, coupling))
+    for pass_class, result in zip(pass_classes, report.results):
         families = set()
         for rule_name in result.rules_used:
             if rule_name.startswith("cancel"):
@@ -136,9 +138,13 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description="Reproduce Table 2 of the Giallar paper")
     parser.add_argument("--new-passes-only", action="store_true",
                         help="verify only the passes new in Qiskit 0.32 (Section 8)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for the verification engine")
+    parser.add_argument("--cache-dir", default=None,
+                        help="enable the proof cache (off by default: the table times real proving)")
     args = parser.parse_args(argv)
     passes = NEW_IN_032_PASSES if args.new_passes_only else ALL_VERIFIED_PASSES
-    rows = run_table2(passes)
+    rows = run_table2(passes, jobs=args.jobs, cache_dir=args.cache_dir)
     print(format_table(rows))
     return 0 if all(r.verified for r in rows) else 1
 

@@ -34,7 +34,6 @@ from repro.errors import ReproError
 from repro.passes import ALL_VERIFIED_PASSES, EXTENSION_PASSES, UNSUPPORTED_PASSES
 from repro.qasm import parse_qasm
 from repro.verify.report import to_json, to_markdown, to_text
-from repro.verify.verifier import verify_pass
 
 
 def _known_passes() -> Dict[str, Type]:
@@ -48,6 +47,8 @@ def _known_passes() -> Dict[str, Type]:
 # verify
 # --------------------------------------------------------------------------- #
 def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.engine import default_jobs, verify_passes
+
     registry = _known_passes()
     if args.all:
         selected = list(registry.values())
@@ -62,16 +63,28 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print("nothing to verify: give pass names or --all", file=sys.stderr)
         return 2
 
-    results = []
-    for pass_class in selected:
-        results.append(verify_pass(pass_class, pass_kwargs=pass_kwargs_for(pass_class)))
+    jobs = default_jobs() if args.jobs == 0 else args.jobs
+    try:
+        report = verify_passes(
+            selected,
+            jobs=jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            pass_kwargs_fn=pass_kwargs_for,
+        )
+    except OSError as exc:
+        print(f"cannot open proof cache: {exc}", file=sys.stderr)
+        print("use --cache-dir DIR with a writable directory, or --no-cache",
+              file=sys.stderr)
+        return 2
+    results, stats = report.results, report.stats
 
     if args.format == "json":
-        print(to_json(results))
+        print(to_json(results, stats=stats))
     elif args.format == "markdown":
-        print(to_markdown(results, title="Verification report"))
+        print(to_markdown(results, title="Verification report", stats=stats))
     else:
-        print(to_text(results, title="Verification report"))
+        print(to_text(results, title="Verification report", stats=stats))
     return 0 if all(result.verified for result in results) else 1
 
 
@@ -195,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("passes", nargs="*", help="pass class names (e.g. CXCancellation)")
     verify.add_argument("--all", action="store_true", help="verify every known pass")
     verify.add_argument("--format", choices=("text", "markdown", "json"), default="text")
+    verify.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes (0 = auto; default 1, in-process)")
+    verify.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="proof-cache directory (default ~/.cache/repro)")
+    verify.add_argument("--no-cache", action="store_true",
+                        help="re-prove everything; do not read or write the proof cache")
     verify.set_defaults(handler=_cmd_verify)
 
     transpile = sub.add_parser("transpile", help="compile an OpenQASM 2 file for a device")

@@ -1,0 +1,47 @@
+"""The parallel, cache-aware verification engine.
+
+Turns one-shot pass verification into a scalable service: content-addressed
+proof fingerprints (:mod:`repro.engine.fingerprint`), a persistent on-disk
+proof cache (:mod:`repro.engine.cache`), a multiprocessing scheduler
+(:mod:`repro.engine.scheduler`), and the batch driver API
+(:mod:`repro.engine.driver`) that the CLI, the pass manager, and the
+benchmarks route through.
+"""
+
+from repro.engine.cache import CacheStats, ProofCache, default_cache_dir
+from repro.engine.driver import (
+    EngineReport,
+    EngineStats,
+    default_pass_kwargs,
+    payload_to_result,
+    result_to_payload,
+    verify_passes,
+)
+from repro.engine.fingerprint import (
+    ENGINE_VERSION,
+    pass_fingerprint,
+    rule_set_fingerprint,
+    subgoal_fingerprint,
+    toolchain_fingerprint,
+)
+from repro.engine.scheduler import WorkerPool, default_jobs, parallel_map
+
+__all__ = [
+    "CacheStats",
+    "ENGINE_VERSION",
+    "EngineReport",
+    "EngineStats",
+    "ProofCache",
+    "WorkerPool",
+    "default_cache_dir",
+    "default_jobs",
+    "default_pass_kwargs",
+    "parallel_map",
+    "pass_fingerprint",
+    "payload_to_result",
+    "result_to_payload",
+    "rule_set_fingerprint",
+    "subgoal_fingerprint",
+    "toolchain_fingerprint",
+    "verify_passes",
+]

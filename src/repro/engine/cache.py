@@ -1,0 +1,211 @@
+"""A persistent, content-addressed proof cache.
+
+The cache is an append-only JSON-lines file (one entry per line) holding two
+kinds of records: whole-pass verification results and individual subgoal
+discharge results.  Keys are the SHA-256 fingerprints computed by
+:mod:`repro.engine.fingerprint`, which embed the active rule-set/toolchain
+hash — so entries written against an older prover are *structurally* stale:
+they can never be hit, are counted as invalidated on load, and are dropped
+the next time the file is compacted.
+
+The cache is written only by the coordinating process (workers return their
+results to the driver), so no cross-process locking is needed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+_FILE_NAME = "proofs.jsonl"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters for one engine run."""
+
+    pass_hits: int = 0
+    pass_misses: int = 0
+    subgoal_hits: int = 0
+    subgoal_misses: int = 0
+    stores: int = 0
+    invalidated: int = 0      # entries from an older rule set / engine version
+    corrupt_lines: int = 0    # unreadable lines skipped while loading
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+class ProofCache:
+    """Persistent map from proof fingerprints to verification outcomes.
+
+    ``directory=None`` gives a purely in-memory cache (used by ``--no-cache``
+    runs that still want subgoal-level sharing within the process).
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 active_fingerprint: Optional[str] = None) -> None:
+        from repro.engine.fingerprint import toolchain_fingerprint
+
+        self.directory = Path(directory) if directory is not None else None
+        self.active_fingerprint = active_fingerprint or toolchain_fingerprint()
+        self.stats = CacheStats()
+        self._passes: Dict[str, dict] = {}
+        self._subgoals: Dict[str, dict] = {}
+        self._handle = None
+        self._dead_lines = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._load()
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / _FILE_NAME
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    kind, key, fingerprint = entry["kind"], entry["key"], entry["fp"]
+                    value = entry["value"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    self.stats.corrupt_lines += 1
+                    continue
+                if fingerprint != self.active_fingerprint:
+                    self.stats.invalidated += 1
+                    self._dead_lines += 1
+                    continue
+                table = self._passes if kind == "pass" else self._subgoals
+                if key in table:
+                    self._dead_lines += 1
+                table[key] = value
+
+    def _append(self, kind: str, key: str, value: dict) -> None:
+        if self._handle is None:
+            return
+        record = {"kind": kind, "key": key, "fp": self.active_fingerprint, "value": value}
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and release the file handle, compacting if mostly dead."""
+        if self._handle is None:
+            return
+        live = len(self._passes) + len(self._subgoals)
+        if self._dead_lines > max(64, live):
+            self.compact()
+        self._handle.close()
+        self._handle = None
+
+    def compact(self) -> None:
+        """Rewrite the file keeping only live, current-fingerprint entries."""
+        if self.directory is None:
+            return
+        if self._handle is not None:
+            self._handle.close()
+        tmp_path = self.path.with_suffix(".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for kind, table in (("pass", self._passes), ("subgoal", self._subgoals)):
+                for key, value in table.items():
+                    record = {"kind": kind, "key": key,
+                              "fp": self.active_fingerprint, "value": value}
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(tmp_path, self.path)
+        self._dead_lines = 0
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def __enter__(self) -> "ProofCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Pass-level entries
+    # ------------------------------------------------------------------ #
+    def get_pass(self, key: Optional[str]) -> Optional[dict]:
+        if key is None:
+            self.stats.pass_misses += 1
+            return None
+        entry = self._passes.get(key)
+        if entry is None:
+            self.stats.pass_misses += 1
+        else:
+            self.stats.pass_hits += 1
+        return entry
+
+    def put_pass(self, key: Optional[str], value: dict) -> None:
+        if key is None:
+            return
+        if key in self._passes:
+            self._dead_lines += 1
+        self._passes[key] = value
+        self.stats.stores += 1
+        self._append("pass", key, value)
+
+    # ------------------------------------------------------------------ #
+    # Subgoal-level entries
+    # ------------------------------------------------------------------ #
+    def get_subgoal(self, key: str) -> Optional[dict]:
+        entry = self._subgoals.get(key)
+        if entry is None:
+            self.stats.subgoal_misses += 1
+        else:
+            self.stats.subgoal_hits += 1
+        return entry
+
+    def has_subgoal(self, key: str) -> bool:
+        """Membership test that does not touch the hit/miss counters."""
+        return key in self._subgoals
+
+    def put_subgoal(self, key: str, value: dict) -> None:
+        if key in self._subgoals:
+            self._dead_lines += 1
+        self._subgoals[key] = value
+        self.stats.stores += 1
+        self._append("subgoal", key, value)
+
+    def subgoal_snapshot(self) -> Dict[str, dict]:
+        """A plain-dict copy of the subgoal table, shippable to workers."""
+        return dict(self._subgoals)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._passes) + len(self._subgoals)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._passes or key in self._subgoals
+
+    def entries(self) -> Iterator[Tuple[str, str, dict]]:
+        for key, value in self._passes.items():
+            yield "pass", key, value
+        for key, value in self._subgoals.items():
+            yield "subgoal", key, value

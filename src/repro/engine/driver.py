@@ -1,0 +1,445 @@
+"""The batch verification driver: ``verify_passes`` as a service.
+
+This is the engine's public API.  It turns the one-shot
+:func:`repro.verify.verifier.verify_pass` into a scalable operation:
+
+* every pass is fingerprinted (source + constructor arguments + rule set)
+  and served from the persistent :class:`~repro.engine.cache.ProofCache`
+  when unchanged — a warm re-verification of the whole suite takes
+  milliseconds instead of re-proving every obligation;
+* cache misses are fanned out over a
+  :class:`~repro.engine.scheduler.WorkerPool` (``jobs=N``), each worker
+  discharging the subgoals of its passes with a process-local view of the
+  subgoal cache, so even a *changed* pass reuses the obligations it shares
+  with its previous version;
+* results come back in input order with an :class:`EngineStats` block
+  (hits, misses, jobs, wall time) that the reports surface.
+
+The CLI (``repro verify --all --jobs 8``), the pass manager's
+verify-before-run mode, and the Table 2 benchmark driver all route through
+:func:`verify_passes`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.engine.cache import CacheStats, ProofCache, default_cache_dir
+from repro.engine.fingerprint import pass_fingerprint, subgoal_fingerprint
+from repro.engine.scheduler import WorkerPool
+from repro.verify.counterexample import CounterExample
+from repro.verify.discharge import DischargeResult, discharge
+from repro.verify.preprocessor import PassAnalysis
+from repro.verify.session import Subgoal
+from repro.verify.verifier import SubgoalOutcome, VerificationResult, verify_pass
+
+#: Passes that need a coupling map to be instantiated (Table 2 suite).
+COUPLING_PASSES = {
+    "BasicSwap",
+    "LookaheadSwap",
+    "SabreSwap",
+    "CheckMap",
+    "CheckCXDirection",
+    "CheckGateDirection",
+    "CXDirection",
+    "GateDirection",
+    "DenseLayout",
+    "NoiseAdaptiveLayout",
+    "SabreLayout",
+    "CSPLayout",
+    "Layout2qDistance",
+    "EnlargeWithAncilla",
+    "FullAncillaAllocation",
+}
+
+
+def default_pass_kwargs(pass_class, coupling=None) -> Optional[Dict]:
+    """Constructor keyword arguments used when verifying one pass."""
+    if pass_class.__name__ in COUPLING_PASSES:
+        if coupling is None:
+            from repro.coupling.devices import linear_device
+
+            coupling = linear_device(5)
+        return {"coupling": coupling}
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Result (de)serialisation — cache entries and worker return values are plain
+# JSON-shaped dicts, never pickled result objects.
+# --------------------------------------------------------------------------- #
+def result_to_payload(result: VerificationResult) -> dict:
+    analysis = None
+    if result.analysis is not None:
+        a = result.analysis
+        analysis = {
+            "pass_name": a.pass_name,
+            "lines_of_code": a.lines_of_code,
+            "branch_count": a.branch_count,
+            "templates_used": list(a.templates_used),
+            "utilities_used": list(a.utilities_used),
+            "raw_loops": a.raw_loops,
+            "non_critical_statements": a.non_critical_statements,
+            "supported": a.supported,
+            "unsupported_reason": a.unsupported_reason,
+        }
+    counterexample = None
+    if result.counterexample is not None:
+        c = result.counterexample
+        counterexample = {
+            "kind": c.kind,
+            "description": c.description,
+            "confirmed": c.confirmed,
+            "input_qasm": c.input_circuit.to_qasm() if c.input_circuit is not None else None,
+            "output_qasm": c.output_circuit.to_qasm() if c.output_circuit is not None else None,
+        }
+    return {
+        "pass": result.pass_name,
+        "verified": result.verified,
+        "supported": result.supported,
+        "paths_explored": result.paths_explored,
+        "time_seconds": result.time_seconds,
+        "failure_reasons": list(result.failure_reasons),
+        "analysis": analysis,
+        "subgoals": [
+            {
+                "kind": outcome.subgoal.kind,
+                "description": outcome.subgoal.description,
+                "proved": outcome.result.proved,
+                "method": outcome.result.method,
+                "reason": outcome.result.reason,
+                "rules_used": list(outcome.result.rules_used),
+            }
+            for outcome in result.subgoals
+        ],
+        "counterexample": counterexample,
+    }
+
+
+def _parse_qasm_or_none(text: Optional[str]):
+    if not text:
+        return None
+    try:
+        from repro.qasm import parse_qasm
+
+        return parse_qasm(text)
+    except Exception:
+        return None
+
+
+def payload_to_result(payload: dict, from_cache: bool = False,
+                      time_seconds: Optional[float] = None) -> VerificationResult:
+    analysis = None
+    if payload.get("analysis") is not None:
+        a = payload["analysis"]
+        analysis = PassAnalysis(
+            pass_name=a["pass_name"],
+            lines_of_code=a["lines_of_code"],
+            branch_count=a["branch_count"],
+            templates_used=tuple(a["templates_used"]),
+            utilities_used=tuple(a["utilities_used"]),
+            raw_loops=a["raw_loops"],
+            non_critical_statements=a["non_critical_statements"],
+            supported=a["supported"],
+            unsupported_reason=a["unsupported_reason"],
+        )
+    counterexample = None
+    if payload.get("counterexample") is not None:
+        c = payload["counterexample"]
+        counterexample = CounterExample(
+            kind=c["kind"],
+            description=c["description"],
+            confirmed=c["confirmed"],
+            input_circuit=_parse_qasm_or_none(c.get("input_qasm")),
+            output_circuit=_parse_qasm_or_none(c.get("output_qasm")),
+        )
+    subgoals = [
+        SubgoalOutcome(
+            Subgoal(kind=s["kind"], description=s["description"]),
+            DischargeResult(
+                proved=s["proved"],
+                method=s["method"],
+                reason=s["reason"],
+                rules_used=tuple(s["rules_used"]),
+            ),
+        )
+        for s in payload.get("subgoals", ())
+    ]
+    return VerificationResult(
+        pass_name=payload["pass"],
+        verified=payload["verified"],
+        supported=payload["supported"],
+        analysis=analysis,
+        subgoals=subgoals,
+        paths_explored=payload["paths_explored"],
+        time_seconds=payload["time_seconds"] if time_seconds is None else time_seconds,
+        counterexample=counterexample,
+        failure_reasons=list(payload["failure_reasons"]),
+        from_cache=from_cache,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# One pass, with subgoal-level memoisation
+# --------------------------------------------------------------------------- #
+def _verify_one(pass_class, pass_kwargs, counterexample_search,
+                subgoal_table: Dict[str, dict]):
+    """Verify one pass, serving subgoals from ``subgoal_table`` when possible.
+
+    Returns ``(result, new_subgoal_entries, subgoal_hits, subgoal_misses)``.
+    """
+    counters = {"hits": 0, "misses": 0}
+    new_entries: Dict[str, dict] = {}
+
+    def caching_discharge(subgoal: Subgoal) -> DischargeResult:
+        key = subgoal_fingerprint(subgoal)
+        entry = subgoal_table.get(key)
+        if entry is not None:
+            counters["hits"] += 1
+            return DischargeResult(
+                proved=entry["proved"],
+                method=entry["method"],
+                reason=entry["reason"],
+                rules_used=tuple(entry["rules_used"]),
+            )
+        counters["misses"] += 1
+        result = discharge(subgoal)
+        record = {
+            "proved": result.proved,
+            "method": result.method,
+            "reason": result.reason,
+            "rules_used": list(result.rules_used),
+        }
+        subgoal_table[key] = record
+        new_entries[key] = record
+        return result
+
+    result = verify_pass(
+        pass_class,
+        pass_kwargs=pass_kwargs,
+        counterexample_search=counterexample_search,
+        discharge_fn=caching_discharge,
+    )
+    return result, new_entries, counters["hits"], counters["misses"]
+
+
+def _resolve_class(module_name: str, qualname: str):
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+#: Per-worker-process snapshot of the subgoal cache, installed once by the
+#: pool initializer rather than pickled into every task (the snapshot can be
+#: large, the tasks are many).
+_worker_subgoal_table: Dict[str, dict] = {}
+
+
+def _install_worker_subgoal_table(table: Dict[str, dict]) -> None:
+    global _worker_subgoal_table
+    _worker_subgoal_table = table
+
+
+def _verify_task(task: dict) -> dict:
+    """Worker entry point: verify one pass from a picklable task description."""
+    pass_class = _resolve_class(task["module"], task["qualname"])
+    result, new_entries, hits, misses = _verify_one(
+        pass_class,
+        task["kwargs"],
+        task["counterexample_search"],
+        dict(_worker_subgoal_table),
+    )
+    return {
+        "result": result_to_payload(result),
+        "new_subgoals": new_entries,
+        "subgoal_hits": hits,
+        "subgoal_misses": misses,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# The batch API
+# --------------------------------------------------------------------------- #
+@dataclass
+class EngineStats:
+    """What one :func:`verify_passes` run did, for reports and logs."""
+
+    jobs: int = 1
+    used_processes: bool = False
+    passes_total: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    subgoal_hits: int = 0
+    subgoal_misses: int = 0
+    invalidated: int = 0
+    wall_seconds: float = 0.0
+    cache_dir: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON view with a fixed, documented field order."""
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "jobs": self.jobs,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "subgoal_hits": self.subgoal_hits,
+            "subgoal_misses": self.subgoal_misses,
+            "invalidated": self.invalidated,
+            "used_processes": self.used_processes,
+            "passes_total": self.passes_total,
+            "cache_dir": self.cache_dir,
+        }
+
+    def summary_line(self) -> str:
+        cache = "off" if self.cache_dir is None else self.cache_dir
+        return (
+            f"engine: {self.passes_total} passes, jobs={self.jobs}, "
+            f"cache {self.cache_hits} hit / {self.cache_misses} miss "
+            f"(subgoals {self.subgoal_hits}/{self.subgoal_hits + self.subgoal_misses} reused), "
+            f"{self.wall_seconds:.3f}s wall [cache: {cache}]"
+        )
+
+
+@dataclass
+class EngineReport:
+    """Ordered verification results plus the engine statistics."""
+
+    results: List[VerificationResult] = field(default_factory=list)
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    @property
+    def all_verified(self) -> bool:
+        return all(result.verified for result in self.results) and bool(self.results)
+
+
+def verify_passes(
+    pass_classes: Sequence[Type],
+    *,
+    jobs: int = 1,
+    cache: Optional[ProofCache] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    pass_kwargs_fn: Optional[Callable[[Type], Optional[Dict]]] = None,
+    counterexample_search: bool = True,
+    share_subgoals: bool = True,
+) -> EngineReport:
+    """Verify a batch of passes in parallel, reusing cached proofs.
+
+    ``cache`` takes precedence over ``cache_dir``; with ``use_cache=False``
+    the run is fully stateless (no reads, no writes).  Verdicts are
+    independent of ``jobs``: scheduling only changes wall time.
+
+    ``share_subgoals=False`` gives every pass a private copy of the subgoal
+    table, so each pass's ``time_seconds`` reflects proving all of its own
+    obligations — benchmarks that report per-pass times want this; the
+    default shares discharge results between passes within the run.
+    """
+    started = time.perf_counter()
+    kwargs_fn = pass_kwargs_fn or default_pass_kwargs
+    stats = EngineStats(jobs=max(1, int(jobs)), passes_total=len(pass_classes))
+
+    own_cache = False
+    if cache is None and use_cache:
+        cache = ProofCache(cache_dir or default_cache_dir())
+        own_cache = True
+    try:
+        return _verify_passes_with_cache(
+            pass_classes, stats, cache, kwargs_fn, counterexample_search,
+            share_subgoals, started,
+        )
+    finally:
+        if own_cache:
+            cache.close()
+
+
+def _verify_passes_with_cache(
+    pass_classes, stats, cache, kwargs_fn, counterexample_search,
+    share_subgoals, started,
+) -> EngineReport:
+    if cache is not None and cache.directory is not None:
+        stats.cache_dir = str(cache.directory)
+    # Caller-provided caches may carry counters from earlier runs; report
+    # only what this run contributed.
+    base_hits = cache.stats.pass_hits if cache is not None else 0
+    base_misses = cache.stats.pass_misses if cache is not None else 0
+
+    results: List[Optional[VerificationResult]] = [None] * len(pass_classes)
+    pending: List[Tuple[int, Type, Optional[Dict], Optional[str]]] = []
+    for index, pass_class in enumerate(pass_classes):
+        pass_kwargs = kwargs_fn(pass_class)
+        key = pass_fingerprint(pass_class, pass_kwargs)
+        entry = cache.get_pass(key) if cache is not None else None
+        if entry is not None:
+            results[index] = payload_to_result(entry, from_cache=True, time_seconds=0.0)
+        else:
+            pending.append((index, pass_class, pass_kwargs, key))
+
+    if pending:
+        subgoal_table = cache.subgoal_snapshot() if cache is not None else {}
+        if stats.jobs > 1 and len(pending) > 1:
+            pool = WorkerPool(stats.jobs, initializer=_install_worker_subgoal_table,
+                              initargs=(subgoal_table,))
+            tasks = [
+                {
+                    "module": pass_class.__module__,
+                    "qualname": pass_class.__qualname__,
+                    "kwargs": pass_kwargs,
+                    "counterexample_search": counterexample_search,
+                }
+                for _, pass_class, pass_kwargs, _ in pending
+            ]
+            try:
+                outputs = pool.map(_verify_task, tasks)
+            finally:
+                # The in-process fallback installs the snapshot in *this*
+                # process; do not leak it into later runs.
+                _install_worker_subgoal_table({})
+            stats.used_processes = pool.used_processes
+            for (index, _, _, key), output in zip(pending, outputs):
+                results[index] = payload_to_result(output["result"])
+                stats.subgoal_hits += output["subgoal_hits"]
+                stats.subgoal_misses += output["subgoal_misses"]
+                if cache is not None:
+                    cache.put_pass(key, output["result"])
+                    for sub_key, value in output["new_subgoals"].items():
+                        if not cache.has_subgoal(sub_key):
+                            cache.put_subgoal(sub_key, value)
+        else:
+            for index, pass_class, pass_kwargs, key in pending:
+                table = subgoal_table if share_subgoals else dict(subgoal_table)
+                result, new_entries, hits, misses = _verify_one(
+                    pass_class, pass_kwargs, counterexample_search, table
+                )
+                results[index] = result
+                stats.subgoal_hits += hits
+                stats.subgoal_misses += misses
+                if cache is not None:
+                    cache.put_pass(key, result_to_payload(result))
+                    for sub_key, value in new_entries.items():
+                        # With private per-pass tables two passes can both
+                        # "discover" a shared subgoal; store it once.
+                        if not cache.has_subgoal(sub_key):
+                            cache.put_subgoal(sub_key, value)
+
+    if cache is not None:
+        stats.cache_hits = cache.stats.pass_hits - base_hits
+        stats.cache_misses = cache.stats.pass_misses - base_misses
+        stats.invalidated = cache.stats.invalidated
+    else:
+        stats.cache_misses = len(pending)
+
+    stats.wall_seconds = time.perf_counter() - started
+    return EngineReport(results=list(results), stats=stats)

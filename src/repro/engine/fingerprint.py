@@ -1,0 +1,388 @@
+"""Content-addressed fingerprints for passes, subgoals, and the rule set.
+
+The verification engine memoizes proofs: a proof obligation is re-used from
+the cache only when *everything* it depends on is unchanged.  This module
+computes the stable SHA-256 keys that make this sound:
+
+* :func:`pass_fingerprint` — hashes the pass's source code, its constructor
+  arguments, and the active rule set.  Editing the pass (or the rules it is
+  verified against) changes the key, so stale proofs are never hit.
+* :func:`subgoal_fingerprint` — hashes one proof obligation (lhs/rhs element
+  sequences plus the path facts) after *canonicalising the symbolic uids*.
+  Fresh symbolic values draw uids from a process-global counter, so the same
+  pass verified twice (or in two worker processes) produces different raw
+  uids; renaming them in order of first appearance makes the key stable.
+* :func:`rule_set_fingerprint` / :func:`toolchain_fingerprint` — hash the
+  shipped rewrite rules, the commutation semantics, and the discharge/solver
+  implementation, so changing the prover invalidates every cached proof.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib
+import inspect
+import os
+import re
+import sys
+from functools import lru_cache
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.circuit.gate import Gate
+from repro.verify.facts import Fact
+from repro.verify.session import Subgoal
+from repro.verify.symvalues import Segment, SymGate
+
+#: Bump to invalidate every cache entry written by an older engine.
+ENGINE_VERSION = 1
+
+#: Raw uids minted by :mod:`repro.verify.symvalues` (``g3``, ``seg12``, ...).
+_UID_TOKEN = re.compile(r"\b(?:g|seg|int|idx|circ)\d+\b")
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _canon(value) -> str:
+    """A deterministic textual rendering of a nested value.
+
+    Only the shapes that occur in normalised subgoals are supported: tuples,
+    lists, dicts (rendered with sorted keys), and scalar literals.
+    """
+    if isinstance(value, (tuple, list)):
+        return "(" + ",".join(_canon(v) for v in value) + ")"
+    if isinstance(value, dict):
+        items = sorted((str(k), _canon(v)) for k, v in value.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, float):
+        return repr(round(value, 12))
+    return repr(value)
+
+
+class _UidRenamer:
+    """Rename symbolic uids to ``<prefix>#<n>`` in order of first appearance."""
+
+    def __init__(self) -> None:
+        self._map: Dict[str, str] = {}
+
+    def rename(self, uid: str) -> str:
+        canonical = self._map.get(uid)
+        if canonical is None:
+            prefix = uid.rstrip("0123456789") or "u"
+            canonical = f"{prefix}#{len(self._map)}"
+            self._map[uid] = canonical
+        return canonical
+
+    def rename_embedded(self, text: str) -> str:
+        """Rename every uid token embedded in a composite string.
+
+        Symbolic integers build composite uids like ``(int3+1)`` or
+        ``size_circ7_2``; renaming the embedded tokens keeps those stable too.
+        """
+        return _UID_TOKEN.sub(lambda m: self.rename(m.group(0)), text)
+
+
+def _freeze_gate(gate: Gate) -> Tuple:
+    return ("gate", gate.name, tuple(gate.qubits), tuple(gate.params),
+            gate.condition, tuple(gate.q_controls or ()))
+
+
+def _freeze_element(element, renamer: _UidRenamer):
+    if isinstance(element, Gate):
+        return _freeze_gate(element)
+    if isinstance(element, SymGate):
+        return ("symgate", renamer.rename(element.uid))
+    if isinstance(element, Segment):
+        return ("segment", renamer.rename(element.uid))
+    return ("other", repr(element))
+
+
+def _freeze_fact_arg(arg, renamer: _UidRenamer):
+    if isinstance(arg, (SymGate, Segment)):
+        return renamer.rename(arg.uid)
+    if isinstance(arg, Gate):
+        return _freeze_gate(arg)
+    if isinstance(arg, Fact):
+        return _freeze_fact(arg, renamer)
+    if isinstance(arg, tuple):
+        return tuple(_freeze_fact_arg(a, renamer) for a in arg)
+    if isinstance(arg, str):
+        return renamer.rename_embedded(arg)
+    return arg
+
+
+def _freeze_fact(fact: Fact, renamer: _UidRenamer) -> Tuple:
+    return (fact.kind,) + tuple(_freeze_fact_arg(a, renamer) for a in fact.args)
+
+
+class _MaskingRenamer:
+    """Read-only view of a renamer: known uids keep their canonical name,
+    unknown uids render as ``#?`` without being assigned one."""
+
+    def __init__(self, base: _UidRenamer) -> None:
+        self._base = base
+
+    def rename(self, uid: str) -> str:
+        return self._base._map.get(uid, "#?")
+
+    def rename_embedded(self, text: str) -> str:
+        return _UID_TOKEN.sub(lambda m: self.rename(m.group(0)), text)
+
+
+def _fact_shape_key(fact: Fact, renamer: _UidRenamer, value=None) -> str:
+    """A recording-order-independent sort key for one fact.
+
+    Uids already bound (by the lhs/rhs traversal) keep their canonical
+    names — two same-shape facts over different lhs gates sort by those
+    names, not by recording order — while still-unbound uids are masked.
+    Facts can only tie when byte-identical under this rendering, in which
+    case either tie order assigns interchangeable canonical ids.
+    """
+    return _canon((_freeze_fact(fact, _MaskingRenamer(renamer)), value))
+
+
+def normalize_subgoal(subgoal: Subgoal) -> Tuple:
+    """A canonical, uid-independent structure describing one subgoal.
+
+    The human-readable ``description`` is deliberately excluded: rewording a
+    message must not invalidate the proof.  lhs/rhs elements are renamed in
+    sequence order; path facts and assumptions are first sorted by their
+    uid-masked shape, then renamed — so the key depends on neither the raw
+    uid counter values nor the order the facts were recorded in.
+    """
+    renamer = _UidRenamer()
+    lhs = tuple(_freeze_element(e, renamer) for e in subgoal.lhs)
+    rhs = tuple(_freeze_element(e, renamer) for e in subgoal.rhs)
+    facts = tuple(
+        (_freeze_fact(fact, renamer), value)
+        for fact, value in sorted(
+            subgoal.path_facts, key=lambda fv: _fact_shape_key(fv[0], renamer, fv[1])
+        )
+    )
+    assumptions = tuple(
+        _freeze_fact(fact, renamer)
+        for fact in sorted(
+            subgoal.assumptions, key=lambda f: _fact_shape_key(f, renamer)
+        )
+    )
+    metadata = {
+        str(key): _freeze_fact_arg(value, renamer)
+        for key, value in subgoal.metadata.items()
+    }
+    return (
+        "subgoal",
+        subgoal.kind,
+        lhs,
+        rhs,
+        facts,
+        assumptions,
+        metadata,
+    )
+
+
+def subgoal_fingerprint(subgoal: Subgoal) -> str:
+    """Stable SHA-256 key for one proof obligation."""
+    return _sha256(
+        _canon((ENGINE_VERSION, toolchain_fingerprint(), normalize_subgoal(subgoal)))
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Rule set / toolchain
+# --------------------------------------------------------------------------- #
+_rule_set_memo: Optional[str] = None
+_toolchain_memo: Optional[str] = None
+
+
+def _render_circuit_rules() -> str:
+    from repro.symbolic.rules import default_circuit_rules
+
+    parts = []
+    for rule in default_circuit_rules():
+        parts.append(_canon((
+            rule.name,
+            rule.kind,
+            tuple(_freeze_gate(g) for g in rule.lhs),
+            tuple(_freeze_gate(g) for g in rule.rhs),
+            rule.num_qubits,
+        )))
+    return "\n".join(parts)
+
+
+def rule_set_fingerprint() -> str:
+    """Hash of the active rewrite-rule set and the commutation semantics."""
+    global _rule_set_memo
+    if _rule_set_memo is None:
+        from repro.symbolic import commutation
+
+        _rule_set_memo = _sha256(
+            _render_circuit_rules() + "\n" + inspect.getsource(commutation)
+        )
+    return _rule_set_memo
+
+
+def toolchain_fingerprint() -> str:
+    """Hash of everything a cached verdict depends on besides the pass.
+
+    Covers both halves of the pipeline: the *front end* that generates the
+    obligations (preprocessor, symbolic executor, loop templates, utility
+    specifications, the base-pass obligations, the top-level verifier) and
+    the *back end* that discharges them (rule set, discharge engine,
+    sequence-equivalence engine, mini-SMT solver).  Editing any of them
+    changes this hash and therefore every cache key, so a fixed template or
+    a strengthened obligation can never be masked by a stale cached verdict.
+    """
+    global _toolchain_memo
+    if _toolchain_memo is None:
+        from repro.smt import congruence, ematch, solver
+        from repro.symbolic import equivalence
+        from repro.utility import (
+            analysis_ops,
+            circuit_ops,
+            coupling_ops,
+            layout_selection,
+            merge,
+            transforms,
+        )
+        from repro.verify import (
+            counterexample,
+            discharge,
+            facts,
+            passes,
+            preprocessor,
+            session,
+            symvalues,
+            templates,
+            verifier,
+        )
+
+        modules = (
+            # obligation generation
+            verifier, preprocessor, session, symvalues, templates, facts,
+            passes, analysis_ops, circuit_ops, coupling_ops,
+            layout_selection, merge, transforms,
+            # obligation discharge
+            discharge, equivalence, solver, congruence, ematch,
+            # counterexample confirmation (cached alongside the verdict)
+            counterexample,
+        )
+        sources = "\n".join(inspect.getsource(module) for module in modules)
+        _toolchain_memo = _sha256(
+            f"engine-v{ENGINE_VERSION}\n{rule_set_fingerprint()}\n{sources}"
+        )
+    return _toolchain_memo
+
+
+# --------------------------------------------------------------------------- #
+# Pass-level fingerprints
+# --------------------------------------------------------------------------- #
+def _canon_kwarg(value):
+    """Canonicalise one constructor argument for hashing.
+
+    Coupling maps are the only structured arguments the passes take today;
+    anything with an ``edges``/``num_qubits`` shape is rendered structurally,
+    plain values by repr.
+    """
+    edges = getattr(value, "edges", None)
+    num_qubits = getattr(value, "num_qubits", None)
+    if edges is not None and num_qubits is not None and not callable(edges):
+        return ("coupling", num_qubits, tuple(tuple(e) for e in edges))
+    if isinstance(value, (tuple, list)):
+        return tuple(_canon_kwarg(v) for v in value)
+    if isinstance(value, dict):
+        return {str(k): _canon_kwarg(v) for k, v in value.items()}
+    return repr(value)
+
+
+@lru_cache(maxsize=None)
+def _module_class_sources(module_name: str, stamp: Tuple) -> Dict[str, str]:
+    """Source text of every class in a module, extracted with one parse.
+
+    ``inspect.getsource`` re-tokenises the whole module per class, which
+    dominated warm-cache runs; parsing the module AST once and slicing out
+    every class body makes fingerprinting 44 passes take ~1 ms.  ``stamp``
+    (the file's mtime and size) keys the memo so an edited-and-reloaded
+    module is re-extracted.
+    """
+    del stamp  # part of the cache key only
+    module = importlib.import_module(module_name)
+    source = inspect.getsource(module)
+    tree = ast.parse(source)
+    lines = source.splitlines(keepends=True)
+    segments: Dict[str, str] = {}
+
+    def segment_of(node: ast.AST) -> str:
+        # ast.get_source_segment re-splits the module per call; slicing the
+        # shared line list keeps fingerprinting the whole suite around 1 ms.
+        if node.end_lineno == node.lineno:
+            return lines[node.lineno - 1][node.col_offset:node.end_col_offset]
+        first = lines[node.lineno - 1][node.col_offset:]
+        middle = lines[node.lineno:node.end_lineno - 1]
+        last = lines[node.end_lineno - 1][:node.end_col_offset]
+        return "".join([first, *middle, last])
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                qualname = f"{prefix}{child.name}"
+                segments[qualname] = segment_of(child)
+                walk(child, f"{qualname}.")
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                walk(child, f"{prefix}{child.name}.<locals>.")
+
+    walk(tree, "")
+    return segments
+
+
+def _module_stamp(module_name: str) -> Optional[Tuple]:
+    module = sys.modules.get(module_name)
+    path = getattr(module, "__file__", None) if module is not None else None
+    if path is None:
+        return None
+    try:
+        status = os.stat(path)
+    except OSError:
+        return None
+    return (path, status.st_mtime_ns, status.st_size)
+
+
+def pass_source(pass_class) -> Optional[str]:
+    """The pass's source text, or ``None`` when it cannot be recovered.
+
+    Dynamically created classes (``exec``/REPL) have no retrievable source;
+    the engine treats them as uncacheable rather than risking a collision.
+    """
+    stamp = _module_stamp(pass_class.__module__)
+    if stamp is not None:
+        try:
+            segments = _module_class_sources(pass_class.__module__, stamp)
+        except (OSError, TypeError, SyntaxError):
+            segments = {}
+        source = segments.get(pass_class.__qualname__)
+        if source is not None:
+            return source
+    try:
+        return inspect.getsource(pass_class)
+    except (OSError, TypeError):
+        return None
+
+
+def pass_fingerprint(pass_class, pass_kwargs: Optional[dict] = None) -> Optional[str]:
+    """Stable SHA-256 key for verifying one pass, or ``None`` if uncacheable."""
+    source = pass_source(pass_class)
+    if source is None:
+        return None
+    kwargs = {
+        str(key): _canon_kwarg(value)
+        for key, value in (pass_kwargs or {}).items()
+    }
+    return _sha256(_canon((
+        ENGINE_VERSION,
+        toolchain_fingerprint(),
+        pass_class.__module__,
+        pass_class.__qualname__,
+        source,
+        kwargs,
+    )))

@@ -60,6 +60,18 @@ class Term:
     def __eq__(self, other) -> bool:
         return self is other
 
+    def __reduce__(self):
+        """Pickle by content: unpickling re-interns through ``__new__``.
+
+        The default protocol cannot rebuild hash-consed ``__slots__`` objects
+        (``__new__`` requires arguments), and identity-based ``__eq__`` makes
+        a structurally-equal-but-distinct copy unusable.  Rebuilding through
+        the constructor restores the interning invariant, which lets rule
+        sets and whole solver contexts cross process boundaries — the
+        verification engine ships work to multiprocessing workers this way.
+        """
+        return (Term, (self.op, self.args, self.sort, self.payload))
+
     def is_var(self) -> bool:
         return self.op == "var"
 

@@ -48,12 +48,118 @@ class PassExecutionRecord:
 
 
 class PassManager:
-    """Run a sequence of passes over a circuit, sharing one property set."""
+    """Run a sequence of passes over a circuit, sharing one property set.
 
-    def __init__(self, passes: Sequence = ()) -> None:
+    With ``verify_first=True`` the manager re-verifies every Giallar-style
+    pass in the pipeline (through the cache-aware engine, so unchanged
+    passes cost milliseconds) before the first circuit is compiled, and
+    refuses to run a pipeline containing a pass that fails verification.
+    """
+
+    def __init__(self, passes: Sequence = (), *, verify_first: bool = False,
+                 verify_jobs: int = 1, verify_cache_dir: Optional[str] = None) -> None:
         self._passes: List = list(passes)
         self.property_set = PropertySet()
         self.records: List[PassExecutionRecord] = []
+        self.verify_first = verify_first
+        self.verify_jobs = verify_jobs
+        self.verify_cache_dir = verify_cache_dir
+        self._verified_classes: set = set()
+
+    # ------------------------------------------------------------------ #
+    # Verify-before-run
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _verify_kwargs_for(target) -> Optional[Dict]:
+        """Constructor kwargs that reproduce this instance's configuration.
+
+        The pipeline's passes are verified against the coupling map they
+        will actually run with; passes without one fall back to the
+        engine's default instantiation table.
+        """
+        coupling = getattr(target, "coupling", None)
+        if coupling is not None:
+            return {"coupling": coupling}
+        from repro.engine import default_pass_kwargs
+
+        return default_pass_kwargs(type(target))
+
+    @staticmethod
+    def _config_key(pass_class: type, kwargs: Optional[Dict]):
+        coupling = (kwargs or {}).get("coupling")
+        coupling_key = None
+        if coupling is not None:
+            coupling_key = (coupling.num_qubits, tuple(map(tuple, coupling.edges)))
+        return (pass_class, coupling_key)
+
+    def _verifiable_targets(self) -> List:
+        """Distinct (class, kwargs) configurations appearing in the pipeline."""
+        targets: List = []
+        seen = set()
+        for pass_instance in self._passes:
+            target = pass_instance
+            wrapped = getattr(pass_instance, "verified_pass", None)
+            if wrapped is not None:
+                target = wrapped
+            if not isinstance(target, BasePass):
+                continue
+            kwargs = self._verify_kwargs_for(target)
+            key = self._config_key(type(target), kwargs)
+            if key not in seen:
+                seen.add(key)
+                targets.append((type(target), kwargs, key))
+        return targets
+
+    def ensure_verified(self) -> None:
+        """Verify the pipeline's Giallar passes, raising on any failure.
+
+        Configurations already verified by this manager are skipped; across
+        processes the engine's proof cache makes re-verification cheap.
+        """
+        from repro.engine import ProofCache, default_cache_dir, verify_passes
+
+        targets = [
+            entry for entry in self._verifiable_targets()
+            if entry[2] not in self._verified_classes
+        ]
+        if not targets:
+            return
+        failed: List = []
+        with ProofCache(self.verify_cache_dir or default_cache_dir()) as cache:
+            # One batch per distinct configuration of a class; in the common
+            # case (each class once) this is a single call.
+            remaining = list(targets)
+            while remaining:
+                batch_kwargs: Dict[type, Optional[Dict]] = {}
+                batch: List = []
+                rest: List = []
+                for cls, kwargs, key in remaining:
+                    if cls in batch_kwargs:
+                        rest.append((cls, kwargs, key))
+                    else:
+                        batch_kwargs[cls] = kwargs
+                        batch.append((cls, kwargs, key))
+                remaining = rest
+                report = verify_passes(
+                    [cls for cls, _, _ in batch],
+                    jobs=self.verify_jobs,
+                    cache=cache,
+                    pass_kwargs_fn=batch_kwargs.get,
+                    counterexample_search=False,
+                )
+                for (cls, kwargs, key), result in zip(batch, report.results):
+                    if result.supported and not result.verified:
+                        failed.append(result)
+                    else:
+                        self._verified_classes.add(key)
+        if failed:
+            details = "; ".join(
+                f"{result.pass_name}: {result.failure_reasons[0] if result.failure_reasons else 'unproven'}"
+                for result in failed
+            )
+            raise TranspilerError(
+                f"verify-before-run rejected the pipeline ({details})"
+            )
 
     def append(self, pass_instance) -> "PassManager":
         self._passes.append(pass_instance)
@@ -65,6 +171,8 @@ class PassManager:
 
     def run(self, circuit: QCircuit) -> QCircuit:
         """Run every pass in order and return the transformed circuit."""
+        if self.verify_first:
+            self.ensure_verified()
         self.records = []
         dag = circuit_to_dag(circuit)
         for pass_instance in self._passes:

@@ -86,8 +86,16 @@ def result_to_dict(result: VerificationResult) -> Dict[str, object]:
     }
 
 
-def to_json(results: Sequence[VerificationResult], indent: int = 2) -> str:
-    """Serialise a batch of results (plus the summary) to JSON text."""
+def to_json(results: Sequence[VerificationResult], indent: int = 2,
+            stats: Optional[object] = None) -> str:
+    """Serialise a batch of results (plus the summary) to JSON text.
+
+    ``stats`` is an :class:`~repro.engine.driver.EngineStats` (or anything
+    with a ``to_dict()``); when given, the payload gains an ``engine`` block
+    with a fixed field order (``cache_hits``, ``cache_misses``, ``jobs``,
+    ``wall_seconds``, ...) so JSON output is byte-for-byte comparable across
+    runs that did the same work.
+    """
     summary = summarize(results)
     payload = {
         "summary": {
@@ -101,6 +109,8 @@ def to_json(results: Sequence[VerificationResult], indent: int = 2) -> str:
         },
         "results": [result_to_dict(result) for result in results],
     }
+    if stats is not None:
+        payload["engine"] = stats.to_dict()
     return json.dumps(payload, indent=indent)
 
 
@@ -112,7 +122,8 @@ def _status(result: VerificationResult) -> str:
     return "REJECTED"
 
 
-def to_text(results: Sequence[VerificationResult], title: Optional[str] = None) -> str:
+def to_text(results: Sequence[VerificationResult], title: Optional[str] = None,
+            stats: Optional[object] = None) -> str:
     """Render results as the fixed-width table used by the CLI."""
     lines: List[str] = []
     if title:
@@ -122,9 +133,10 @@ def to_text(results: Sequence[VerificationResult], title: Optional[str] = None) 
     lines.append(header)
     lines.append("-" * len(header))
     for result in results:
+        cached = "  (cached)" if result.from_cache else ""
         lines.append(
             f"{result.pass_name:34s} {_status(result):>11s} "
-            f"{result.num_subgoals:8d} {result.time_seconds:8.2f}"
+            f"{result.num_subgoals:8d} {result.time_seconds:8.2f}{cached}"
         )
     summary = summarize(results)
     lines.append("-" * len(header))
@@ -136,10 +148,13 @@ def to_text(results: Sequence[VerificationResult], title: Optional[str] = None) 
     )
     for name in summary.counterexamples:
         lines.append(f"counterexample produced for {name}")
+    if stats is not None:
+        lines.append(stats.summary_line())
     return "\n".join(lines)
 
 
-def to_markdown(results: Sequence[VerificationResult], title: Optional[str] = None) -> str:
+def to_markdown(results: Sequence[VerificationResult], title: Optional[str] = None,
+                stats: Optional[object] = None) -> str:
     """Render results as a GitHub-flavoured Markdown table."""
     lines: List[str] = []
     if title:
@@ -161,4 +176,7 @@ def to_markdown(results: Sequence[VerificationResult], title: Optional[str] = No
         f"({summary.rejected} rejected, {summary.unsupported} unsupported), "
         f"{summary.total_seconds:.2f}s total."
     )
+    if stats is not None:
+        lines.append("")
+        lines.append(f"_{stats.summary_line()}_")
     return "\n".join(lines)

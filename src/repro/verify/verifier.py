@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.circuit.circuit import QCircuit
 from repro.errors import UnsupportedPassError, VerificationError
@@ -45,6 +45,9 @@ class VerificationResult:
     time_seconds: float = 0.0
     counterexample: Optional[CounterExample] = None
     failure_reasons: List[str] = field(default_factory=list)
+    #: True when this result was reconstructed from the engine's proof cache
+    #: instead of being re-proved in this process.
+    from_cache: bool = False
 
     @property
     def num_subgoals(self) -> int:
@@ -123,12 +126,16 @@ def verify_pass(
     pass_class: Type,
     pass_kwargs: Optional[Dict] = None,
     counterexample_search: bool = True,
+    discharge_fn: Callable[[Subgoal], DischargeResult] = discharge,
 ) -> VerificationResult:
     """Verify one compiler pass in a push-button fashion.
 
     Returns a :class:`VerificationResult`; a pass outside the supported
     fragment (the analogue of the paper's 12 unverifiable passes) is reported
     with ``supported=False`` rather than raising.
+
+    ``discharge_fn`` lets callers interpose on subgoal discharge; the
+    verification engine uses this to serve subgoals from its proof cache.
     """
     pass_kwargs = dict(pass_kwargs or {})
     started = time.perf_counter()
@@ -180,7 +187,7 @@ def verify_pass(
     failures: List[str] = []
     for record in records:
         for subgoal in record.subgoals:
-            result = discharge(subgoal)
+            result = discharge_fn(subgoal)
             outcomes.append(SubgoalOutcome(subgoal, result))
             if not result.proved:
                 failures.append(f"{subgoal.kind}: {subgoal.description} -- {result.reason}")

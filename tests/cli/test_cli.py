@@ -46,6 +46,44 @@ def test_verify_markdown_output(capsys):
     assert "| `RemoveBarriers` | verified" in capsys.readouterr().out
 
 
+def test_verify_with_jobs_and_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["verify", "CXCancellation", "Width", "--jobs", "2",
+                 "--cache-dir", cache_dir, "--format", "json"]) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["engine"]["jobs"] == 2
+    assert cold["engine"]["cache_misses"] == 2
+    assert cold["engine"]["cache_hits"] == 0
+    # Second run: everything served from the proof cache.
+    assert main(["verify", "CXCancellation", "Width", "--jobs", "2",
+                 "--cache-dir", cache_dir, "--format", "json"]) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["engine"]["cache_hits"] == 2
+    assert warm["engine"]["cache_misses"] == 0
+    # Same verdicts; only the timing differs (cached results are ~free).
+    drop_time = lambda s: {k: v for k, v in s.items() if k != "total_seconds"}  # noqa: E731
+    assert drop_time(warm["summary"]) == drop_time(cold["summary"])
+    assert warm["summary"]["total_seconds"] <= cold["summary"]["total_seconds"]
+    assert list(warm["engine"])[:4] == ["cache_hits", "cache_misses", "jobs", "wall_seconds"]
+
+
+def test_verify_no_cache_reports_stats_without_cache_dir(capsys):
+    assert main(["verify", "Width", "--no-cache", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["engine"]["cache_dir"] is None
+    assert payload["engine"]["cache_misses"] == 1
+
+
+def test_verify_text_output_shows_engine_line(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["verify", "RemoveBarriers", "--cache-dir", cache_dir]) == 0
+    assert "engine:" in capsys.readouterr().out
+    assert main(["verify", "RemoveBarriers", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "cache 1 hit" in out
+    assert "(cached)" in out
+
+
 def test_verify_unknown_pass_is_an_error(capsys):
     assert main(["verify", "NotARealPass"]) == 2
     assert "unknown pass" in capsys.readouterr().err

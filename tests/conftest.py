@@ -11,6 +11,12 @@ from repro.circuit import Gate, QCircuit
 from repro.circuit.random import DEFAULT_GATE_POOL
 
 
+@pytest.fixture(autouse=True)
+def _isolated_proof_cache(tmp_path, monkeypatch):
+    """Keep the verification engine's default proof cache out of $HOME."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "proof-cache"))
+
+
 @pytest.fixture
 def bell_circuit() -> QCircuit:
     circuit = QCircuit(2, name="bell")

@@ -1,0 +1,76 @@
+"""Proof-cache persistence, hit/miss accounting, and invalidation."""
+
+import json
+
+from repro.engine.cache import ProofCache, default_cache_dir
+from repro.engine.fingerprint import toolchain_fingerprint
+
+
+def test_in_memory_cache_round_trip():
+    cache = ProofCache(None)
+    assert cache.get_pass("k") is None
+    cache.put_pass("k", {"verified": True})
+    assert cache.get_pass("k") == {"verified": True}
+    assert cache.stats.pass_hits == 1
+    assert cache.stats.pass_misses == 1
+    assert cache.path is None
+
+
+def test_persistence_across_instances(tmp_path):
+    with ProofCache(tmp_path) as cache:
+        cache.put_pass("pk", {"verified": True})
+        cache.put_subgoal("sk", {"proved": True, "method": "identical",
+                                 "reason": "", "rules_used": []})
+    reopened = ProofCache(tmp_path)
+    assert reopened.get_pass("pk") == {"verified": True}
+    assert reopened.get_subgoal("sk")["proved"] is True
+    assert len(reopened) == 2
+    reopened.close()
+
+
+def test_last_write_wins_and_compaction(tmp_path):
+    with ProofCache(tmp_path) as cache:
+        for round_number in range(5):
+            cache.put_pass("pk", {"round": round_number})
+    cache = ProofCache(tmp_path)
+    assert cache.get_pass("pk") == {"round": 4}
+    cache.compact()
+    cache.close()
+    lines = (tmp_path / "proofs.jsonl").read_text().strip().splitlines()
+    assert len(lines) == 1
+
+
+def test_entries_from_other_toolchains_are_invalidated(tmp_path):
+    with ProofCache(tmp_path) as cache:
+        cache.put_pass("current", {"verified": True})
+    # Hand-write an entry stamped with a different rule-set fingerprint,
+    # simulating a cache produced by an older prover.
+    stale = {"kind": "pass", "key": "stale", "fp": "0" * 64, "value": {"verified": False}}
+    with open(tmp_path / "proofs.jsonl", "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(stale) + "\n")
+    reopened = ProofCache(tmp_path)
+    assert reopened.get_pass("stale") is None
+    assert reopened.get_pass("current") is not None
+    assert reopened.stats.invalidated == 1
+    assert reopened.active_fingerprint == toolchain_fingerprint()
+    reopened.close()
+
+
+def test_corrupt_lines_are_skipped(tmp_path):
+    with ProofCache(tmp_path) as cache:
+        cache.put_pass("good", {"verified": True})
+    with open(tmp_path / "proofs.jsonl", "a", encoding="utf-8") as handle:
+        handle.write("this is not json\n")
+        handle.write('{"kind": "pass", "missing": "fields"}\n')
+    reopened = ProofCache(tmp_path)
+    assert reopened.get_pass("good") == {"verified": True}
+    assert reopened.stats.corrupt_lines == 2
+    reopened.close()
+
+
+def test_default_cache_dir_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+    assert default_cache_dir() == tmp_path / "override"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "repro"

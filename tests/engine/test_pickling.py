@@ -1,0 +1,54 @@
+"""Solver contexts and rule sets must survive pickling (worker hand-off)."""
+
+import pickle
+
+from repro.smt.solver import Context
+from repro.smt.terms import CIRCUIT, Rule, app, eq, lit, var
+
+
+def _sample_rule() -> Rule:
+    register = var("Q", CIRCUIT)
+    gate = lit(("symgate", "g0"), "Gate")
+    return Rule(
+        "cancel_sample",
+        app("apply", gate, app("apply", gate, register, sort=CIRCUIT), sort=CIRCUIT),
+        register,
+    )
+
+
+def test_term_pickle_reinterns_to_identity():
+    term = app("apply", lit(1), var("Q", CIRCUIT), sort=CIRCUIT)
+    clone = pickle.loads(pickle.dumps(term))
+    # Hash-consing: the unpickled term must be the *same* interned object,
+    # otherwise identity-based equality breaks congruence closure.
+    assert clone is term
+
+
+def test_rule_pickle_round_trip():
+    rule = _sample_rule()
+    clone = pickle.loads(pickle.dumps(rule))
+    assert clone.name == rule.name
+    assert clone.lhs is rule.lhs
+    assert clone.rhs is rule.rhs
+    assert clone.triggers == rule.triggers
+
+
+def test_context_constructible_from_pickled_rule_set():
+    rules = [_sample_rule()]
+    restored = pickle.loads(pickle.dumps(rules))
+    context = Context(rules=restored, max_rounds=4)
+    register = var("Q0", CIRCUIT)
+    gate = lit(("symgate", "g0"), "Gate")
+    goal = eq(
+        app("apply", gate, app("apply", gate, register, sort=CIRCUIT), sort=CIRCUIT),
+        register,
+    )
+    assert context.check(goal).proved
+
+
+def test_pickled_context_still_checks():
+    context = Context(rules=[_sample_rule()])
+    context.assume(eq(lit("a"), lit("b")))
+    clone = pickle.loads(pickle.dumps(context))
+    assert clone.check(eq(lit("a"), lit("b"))).proved
+    assert len(clone.rules) == 1

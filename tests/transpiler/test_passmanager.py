@@ -122,3 +122,63 @@ def test_preset_pipelines_unroll_to_the_native_basis():
     compiled = verified_pipeline(coupling).run(circuit.copy())
     allowed = {"u1", "u2", "u3", "cx", "swap", "barrier", "measure", "id"}
     assert set(compiled.count_ops()) <= allowed
+
+
+# --------------------------------------------------------------------------- #
+# Verify-before-run mode
+# --------------------------------------------------------------------------- #
+def test_verify_first_accepts_verified_pipeline(tmp_path, cancellable_circuit):
+    manager = PassManager(
+        [VerifiedPassWrapper.wrap(CXCancellation)],
+        verify_first=True,
+        verify_cache_dir=str(tmp_path),
+    )
+    result = manager.run(cancellable_circuit.copy())
+    assert circuits_equivalent(result, cancellable_circuit)
+    # The configuration is remembered: a second run does not re-verify.
+    assert any(cls is CXCancellation for cls, _ in manager._verified_classes)
+
+
+def test_verify_first_rejects_buggy_pass(tmp_path, bell_circuit):
+    from repro.errors import TranspilerError
+    from repro.passes import BuggyOptimize1qGates
+
+    manager = PassManager(
+        [VerifiedPassWrapper.wrap(BuggyOptimize1qGates)],
+        verify_first=True,
+        verify_cache_dir=str(tmp_path),
+    )
+    with pytest.raises(TranspilerError, match="verify-before-run"):
+        manager.run(bell_circuit.copy())
+
+
+def test_verify_first_uses_proof_cache(tmp_path, cancellable_circuit):
+    cache_dir = str(tmp_path / "cache")
+    first = PassManager([VerifiedPassWrapper.wrap(CXCancellation)],
+                        verify_first=True, verify_cache_dir=cache_dir)
+    first.run(cancellable_circuit.copy())
+    # A fresh manager (fresh process in real life) hits the same cache.
+    from repro.engine import ProofCache
+
+    cache = ProofCache(cache_dir)
+    assert cache.stats.invalidated == 0
+    assert any(kind == "pass" for kind, _, _ in cache.entries())
+    cache.close()
+
+
+def test_verify_first_uses_the_pipeline_coupling(tmp_path):
+    # The routing pass must be verified against the coupling map the
+    # pipeline will actually run with, not a default device.
+    from repro.passes import BasicSwap
+
+    coupling = grid_device(2, 2)
+    manager = PassManager(
+        [VerifiedPassWrapper.wrap(BasicSwap, coupling=coupling)],
+        verify_first=True,
+        verify_cache_dir=str(tmp_path),
+    )
+    manager.ensure_verified()
+    (key,) = manager._verified_classes
+    cls, coupling_key = key
+    assert cls is BasicSwap
+    assert coupling_key == (coupling.num_qubits, tuple(map(tuple, coupling.edges)))
