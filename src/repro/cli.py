@@ -10,6 +10,14 @@ Invoked as ``python -m repro <command>``.  Commands:
     Compile an OpenQASM 2 file for a named device with either the verified
     (Giallar-style) or the baseline (unverified DAG-based) pipeline.
 
+``serve`` / ``status``
+    Run the resident verification daemon over a shared sqlite proof store,
+    and query a running daemon (plus the store's own statistics).
+
+``cache``
+    Maintain the proof cache: ``prune`` (LRU eviction to a bound) and
+    ``migrate`` (one-shot JSONL → sqlite import).
+
 ``bench``
     Run one of the paper's evaluation drivers (``table2``, ``figure11``,
     ``case-studies``).
@@ -25,6 +33,7 @@ Invoked as ``python -m repro <command>``.  Commands:
 from __future__ import annotations
 
 import argparse
+import sqlite3
 import sys
 from typing import Dict, List, Optional, Sequence, Type
 
@@ -47,7 +56,7 @@ def _known_passes() -> Dict[str, Type]:
 # verify
 # --------------------------------------------------------------------------- #
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from repro.engine import default_jobs, verify_passes
+    from repro.engine import verify_passes
 
     registry = _known_passes()
     if args.all:
@@ -63,16 +72,31 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print("nothing to verify: give pass names or --all", file=sys.stderr)
         return 2
 
-    jobs = default_jobs() if args.jobs == 0 else args.jobs
+    # --jobs 0 means "auto" (one worker per CPU, capped); the engine applies
+    # the convention, so 0 passes through unchanged.
+    jobs = args.jobs
     try:
-        report = verify_passes(
-            selected,
-            jobs=jobs,
-            cache_dir=args.cache_dir,
-            use_cache=not args.no_cache,
-            pass_kwargs_fn=pass_kwargs_for,
-        )
-    except OSError as exc:
+        if args.daemon:
+            from repro.service.client import verify_with_fallback
+
+            report = verify_with_fallback(
+                selected,
+                cache_dir=args.cache_dir,
+                backend=args.backend,
+                jobs=jobs,
+                use_cache=not args.no_cache,
+                pass_kwargs_fn=pass_kwargs_for,
+            )
+        else:
+            report = verify_passes(
+                selected,
+                jobs=jobs,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                backend=args.backend,
+                pass_kwargs_fn=pass_kwargs_for,
+            )
+    except (OSError, sqlite3.Error) as exc:
         print(f"cannot open proof cache: {exc}", file=sys.stderr)
         print("use --cache-dir DIR with a writable directory, or --no-cache",
               file=sys.stderr)
@@ -138,6 +162,118 @@ def _cmd_transpile(args: argparse.Namespace) -> int:
             f"pipeline: {args.pipeline}; device: {args.device}",
             file=sys.stderr,
         )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# serve / status / cache
+# --------------------------------------------------------------------------- #
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engine import default_cache_dir
+    from repro.service.daemon import serve
+
+    cache_dir = args.cache_dir or str(default_cache_dir())
+
+    def announce(endpoint):
+        print(f"repro daemon listening on {endpoint.address} "
+              f"(backend: {endpoint.backend}, cache: {cache_dir}, "
+              f"pid: {endpoint.pid})")
+        print(f"clients discover it via {cache_dir}/daemon.json; "
+              f"run `repro verify --daemon --cache-dir {cache_dir}`")
+
+    try:
+        serve(cache_dir=cache_dir, backend=args.backend, host=args.host,
+              port=args.port, jobs=args.jobs, verbose=args.verbose,
+              ready_callback=announce)
+    except (OSError, sqlite3.Error) as exc:
+        print(f"cannot start daemon: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.engine import default_cache_dir
+    from repro.service.client import connect
+    from repro.service.store import SqliteProofCache, sqlite_cache_path
+
+    from repro.service.client import DaemonUnavailable
+    from repro.service.protocol import ProtocolError
+
+    cache_dir = args.cache_dir or str(default_cache_dir())
+    # One request serves as both probe and answer; a daemon dying between
+    # a probe and a second query must read as "no daemon", not a crash.
+    client = connect(cache_dir, probe=False)
+    payload = None
+    if client is not None:
+        try:
+            payload = client.status()
+        except (DaemonUnavailable, ProtocolError):
+            payload = None
+    if payload is not None:
+        if args.format == "json":
+            print(json_module.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"daemon      : {client.endpoint.address} (pid {payload['pid']})")
+        print(f"backend     : {payload['backend']}")
+        print(f"cache dir   : {payload['cache_dir']}")
+        print(f"uptime      : {payload['uptime_seconds']:.0f}s")
+        print(f"requests    : {payload['requests_served']} "
+              f"({payload['passes_served']} passes served)")
+        store = payload.get("store", {})
+        print(f"store       : {store.get('entries_live', '?')} live entries, "
+              f"{store.get('accumulated_hits', '?')} accumulated hits")
+        return 0
+    # No daemon: report on the shared store itself, if one exists.
+    if sqlite_cache_path(cache_dir).exists():
+        with SqliteProofCache(cache_dir) as store:
+            summary = store.summary()
+        if args.format == "json":
+            print(json_module.dumps({"daemon": None, "store": summary},
+                                    indent=2, sort_keys=True))
+        else:
+            print(f"no daemon running for cache {cache_dir}")
+            print(f"store       : {summary['entries_live']} live entries "
+                  f"({summary['entries_stale']} stale), "
+                  f"{summary['accumulated_hits']} accumulated hits")
+            print("start one with: repro serve")
+        return 1
+    print(f"no daemon running for cache {cache_dir} (and no sqlite store yet)",
+          file=sys.stderr)
+    print("start one with: repro serve", file=sys.stderr)
+    return 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine import default_cache_dir, open_proof_cache
+
+    cache_dir = args.cache_dir or str(default_cache_dir())
+    if args.cache_command == "migrate":
+        from repro.service.store import migrate_jsonl
+
+        try:
+            migrated = migrate_jsonl(cache_dir)
+        except (OSError, sqlite3.Error) as exc:
+            print(f"cannot open proof cache: {exc}", file=sys.stderr)
+            return 2
+        print(f"migrated {migrated} entries from {cache_dir}/proofs.jsonl "
+              f"to {cache_dir}/proofs.sqlite")
+        return 0
+    # prune
+    if args.max_entries < 0:
+        print("--max-entries must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        with open_proof_cache(cache_dir, args.backend) as cache:
+            before = len(cache)
+            evicted = cache.prune(args.max_entries)
+            after = len(cache)
+    except (OSError, sqlite3.Error) as exc:
+        print(f"cannot open proof cache: {exc}", file=sys.stderr)
+        return 2
+    print(f"pruned {args.backend} cache at {cache_dir}: "
+          f"{before} -> {after} entries ({evicted} evicted)")
     return 0
 
 
@@ -209,12 +345,56 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--all", action="store_true", help="verify every known pass")
     verify.add_argument("--format", choices=("text", "markdown", "json"), default="text")
     verify.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
-                        help="worker processes (0 = auto; default 1, in-process)")
+                        help="worker processes; 0 auto-detects the CPU count "
+                             "(capped at 8) — the same 0-means-auto convention "
+                             "applies everywhere a jobs count is taken "
+                             "(default 1, in-process)")
     verify.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="proof-cache directory (default ~/.cache/repro)")
     verify.add_argument("--no-cache", action="store_true",
                         help="re-prove everything; do not read or write the proof cache")
+    verify.add_argument("--backend", choices=("jsonl", "sqlite"), default="jsonl",
+                        help="proof-cache tier: jsonl (single-writer file) or "
+                             "sqlite (shared store, safe for concurrent clients)")
+    verify.add_argument("--daemon", action="store_true",
+                        help="send the batch to a running `repro serve` daemon "
+                             "(falls back to in-process verification if none)")
     verify.set_defaults(handler=_cmd_verify)
+
+    serve = sub.add_parser("serve", help="run the resident verification daemon")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="proof-store directory shared with clients "
+                            "(default ~/.cache/repro)")
+    serve.add_argument("--backend", choices=("sqlite", "jsonl"), default="sqlite",
+                       help="proof-store tier (default sqlite: safe for "
+                            "many concurrent clients)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = pick a free port)")
+    serve.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                       help="default worker processes per request (0 = auto)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+    serve.set_defaults(handler=_cmd_serve)
+
+    status = sub.add_parser("status", help="query a running daemon / the shared store")
+    status.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache directory the daemon was started with")
+    status.add_argument("--format", choices=("text", "json"), default="text")
+    status.set_defaults(handler=_cmd_status)
+
+    cache = sub.add_parser("cache", help="maintain the proof cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    prune = cache_sub.add_parser("prune", help="evict least-recently-used entries")
+    prune.add_argument("--max-entries", type=int, required=True, metavar="N",
+                       help="keep at most N entries (LRU across passes and subgoals)")
+    prune.add_argument("--backend", choices=("jsonl", "sqlite"), default="jsonl")
+    prune.add_argument("--cache-dir", default=None, metavar="DIR")
+    prune.set_defaults(handler=_cmd_cache)
+    migrate = cache_sub.add_parser("migrate",
+                                   help="import a JSONL cache into the sqlite store")
+    migrate.add_argument("--cache-dir", default=None, metavar="DIR")
+    migrate.set_defaults(handler=_cmd_cache)
 
     transpile = sub.add_parser("transpile", help="compile an OpenQASM 2 file for a device")
     transpile.add_argument("input", help="OpenQASM 2 file, or - for stdin")

@@ -8,10 +8,16 @@ proof cache (:mod:`repro.engine.cache`), a multiprocessing scheduler
 benchmarks route through.
 """
 
-from repro.engine.cache import CacheStats, ProofCache, default_cache_dir
+from repro.engine.cache import (
+    CacheStats,
+    ProofCache,
+    default_cache_dir,
+    open_proof_cache,
+)
 from repro.engine.driver import (
     EngineReport,
     EngineStats,
+    batch_distinct_configs,
     default_pass_kwargs,
     payload_to_result,
     result_to_payload,
@@ -33,9 +39,11 @@ __all__ = [
     "EngineStats",
     "ProofCache",
     "WorkerPool",
+    "batch_distinct_configs",
     "default_cache_dir",
     "default_jobs",
     "default_pass_kwargs",
+    "open_proof_cache",
     "parallel_map",
     "pass_fingerprint",
     "payload_to_result",

@@ -34,6 +34,27 @@ class CacheStats:
     stores: int = 0
     invalidated: int = 0      # entries from an older rule set / engine version
     corrupt_lines: int = 0    # unreadable lines skipped while loading
+    evicted: int = 0          # entries dropped by LRU pruning
+
+
+def open_proof_cache(directory: Optional[os.PathLike] = None,
+                     backend: str = "jsonl",
+                     active_fingerprint: Optional[str] = None):
+    """Open a proof cache of the requested backend over ``directory``.
+
+    ``"jsonl"`` is the single-writer append-only file cache below;
+    ``"sqlite"`` is the shared multi-client store from
+    :mod:`repro.service.store` (imported lazily so the engine has no hard
+    dependency on the service tier).
+    """
+    if backend == "jsonl":
+        return ProofCache(directory, active_fingerprint=active_fingerprint)
+    if backend == "sqlite":
+        from repro.service.store import SqliteProofCache
+
+        return SqliteProofCache(directory, active_fingerprint=active_fingerprint)
+    raise ValueError(f"unknown proof-cache backend {backend!r} "
+                     f"(expected 'jsonl' or 'sqlite')")
 
 
 def default_cache_dir() -> Path:
@@ -53,6 +74,8 @@ class ProofCache:
     runs that still want subgoal-level sharing within the process).
     """
 
+    backend = "jsonl"
+
     def __init__(self, directory: Optional[os.PathLike] = None,
                  active_fingerprint: Optional[str] = None) -> None:
         from repro.engine.fingerprint import toolchain_fingerprint
@@ -62,8 +85,18 @@ class ProofCache:
         self.stats = CacheStats()
         self._passes: Dict[str, dict] = {}
         self._subgoals: Dict[str, dict] = {}
+        #: Combined recency order over both tables; earliest = least recently
+        #: used.  Values are unused (an ordered set, spelled as a dict).
+        self._lru: Dict[Tuple[str, str], None] = {}
         self._handle = None
         self._dead_lines = 0
+        #: Keys whose reuse was already recorded this session.  Reuse is
+        #: persisted as lightweight append-only ``touch`` records (once per
+        #: key per session, appended at hit time so they interleave
+        #: chronologically with stores), so a later prune evicts by real
+        #: use — rewriting the whole file on every warm run (and clobbering
+        #: concurrent appenders) would be far too heavy.
+        self._touched: Dict[Tuple[str, str], None] = {}
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._load()
@@ -88,7 +121,18 @@ class ProofCache:
                     continue
                 try:
                     entry = json.loads(line)
-                    kind, key, fingerprint = entry["kind"], entry["key"], entry["fp"]
+                    kind = entry["kind"]
+                    if kind == "touch":
+                        # Recency marker appended by an earlier session's
+                        # close(): reorder, don't insert.
+                        ref, key = entry["ref"], entry["key"]
+                        ref = "pass" if ref == "pass" else "subgoal"
+                        table = self._passes if ref == "pass" else self._subgoals
+                        if key in table:
+                            self._touch(ref, key)
+                        self._dead_lines += 1
+                        continue
+                    key, fingerprint = entry["key"], entry["fp"]
                     value = entry["value"]
                 except (json.JSONDecodeError, KeyError, TypeError):
                     self.stats.corrupt_lines += 1
@@ -101,6 +145,7 @@ class ProofCache:
                 if key in table:
                     self._dead_lines += 1
                 table[key] = value
+                self._touch(kind if kind == "pass" else "subgoal", key)
 
     def _append(self, kind: str, key: str, value: dict) -> None:
         if self._handle is None:
@@ -114,7 +159,12 @@ class ProofCache:
             self._handle.flush()
 
     def close(self) -> None:
-        """Flush and release the file handle, compacting if mostly dead."""
+        """Flush and release the file handle, compacting if mostly dead.
+
+        Recency is already durable: reuse appended ``touch`` records at hit
+        time (the loader replays them in file order), and those count as
+        dead lines, so the mostly-dead threshold bounds file growth.
+        """
         if self._handle is None:
             return
         live = len(self._passes) + len(self._subgoals)
@@ -124,20 +174,27 @@ class ProofCache:
         self._handle = None
 
     def compact(self) -> None:
-        """Rewrite the file keeping only live, current-fingerprint entries."""
+        """Rewrite the file keeping only live, current-fingerprint entries.
+
+        Entries are written least-recently-used first: the loader rebuilds
+        recency from file order, so pruning stays correct across reopens.
+        """
         if self.directory is None:
             return
         if self._handle is not None:
             self._handle.close()
         tmp_path = self.path.with_suffix(".tmp")
         with open(tmp_path, "w", encoding="utf-8") as handle:
-            for kind, table in (("pass", self._passes), ("subgoal", self._subgoals)):
-                for key, value in table.items():
-                    record = {"kind": kind, "key": key,
-                              "fp": self.active_fingerprint, "value": value}
-                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            for kind, key in self._lru:
+                table = self._passes if kind == "pass" else self._subgoals
+                if key not in table:
+                    continue
+                record = {"kind": kind, "key": key,
+                          "fp": self.active_fingerprint, "value": table[key]}
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
         os.replace(tmp_path, self.path)
         self._dead_lines = 0
+        self._touched.clear()   # recency is now encoded in the file order
         self._handle = open(self.path, "a", encoding="utf-8")
 
     def __enter__(self) -> "ProofCache":
@@ -145,6 +202,45 @@ class ProofCache:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------------ #
+    # Eviction
+    # ------------------------------------------------------------------ #
+    def _touch(self, kind: str, key: str) -> None:
+        """Mark ``(kind, key)`` as most recently used (in memory only)."""
+        self._lru.pop((kind, key), None)
+        self._lru[(kind, key)] = None
+
+    def _note_touch(self, kind: str, key: str) -> None:
+        """Record a reuse, appending a durable touch record once per session."""
+        self._touch(kind, key)
+        if (kind, key) in self._touched or self._handle is None:
+            return
+        self._touched[(kind, key)] = None
+        record = {"kind": "touch", "ref": kind, "key": key}
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._dead_lines += 1
+
+    def prune(self, max_entries: int) -> int:
+        """Evict least-recently-used entries beyond ``max_entries``.
+
+        Recency is tracked across both tables (a pass hit and a subgoal hit
+        both refresh their entry).  The file is compacted afterwards so the
+        eviction is durable.  Returns the number of entries evicted.
+        """
+        max_entries = max(0, int(max_entries))
+        evicted = 0
+        while len(self._lru) > max_entries:
+            kind, key = next(iter(self._lru))
+            del self._lru[(kind, key)]
+            table = self._passes if kind == "pass" else self._subgoals
+            if table.pop(key, None) is not None:
+                evicted += 1
+        if evicted or self._dead_lines:
+            self.stats.evicted += evicted
+            if self.directory is not None:
+                self.compact()
+        return evicted
 
     # ------------------------------------------------------------------ #
     # Pass-level entries
@@ -158,6 +254,7 @@ class ProofCache:
             self.stats.pass_misses += 1
         else:
             self.stats.pass_hits += 1
+            self._note_touch("pass", key)
         return entry
 
     def put_pass(self, key: Optional[str], value: dict) -> None:
@@ -166,6 +263,7 @@ class ProofCache:
         if key in self._passes:
             self._dead_lines += 1
         self._passes[key] = value
+        self._touch("pass", key)
         self.stats.stores += 1
         self._append("pass", key, value)
 
@@ -178,6 +276,7 @@ class ProofCache:
             self.stats.subgoal_misses += 1
         else:
             self.stats.subgoal_hits += 1
+            self._note_touch("subgoal", key)
         return entry
 
     def has_subgoal(self, key: str) -> bool:
@@ -188,12 +287,24 @@ class ProofCache:
         if key in self._subgoals:
             self._dead_lines += 1
         self._subgoals[key] = value
+        self._touch("subgoal", key)
         self.stats.stores += 1
         self._append("subgoal", key, value)
 
     def subgoal_snapshot(self) -> Dict[str, dict]:
         """A plain-dict copy of the subgoal table, shippable to workers."""
         return dict(self._subgoals)
+
+    def touch_subgoals(self, keys) -> None:
+        """Refresh recency for subgoals served from a worker-side snapshot.
+
+        The engine reads subgoals through :meth:`subgoal_snapshot` (never
+        :meth:`get_subgoal`), so without this the subgoal tier would look
+        idle to LRU pruning no matter how hot it is.
+        """
+        for key in keys:
+            if key in self._subgoals:
+                self._note_touch("subgoal", key)
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -27,9 +27,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
-from repro.engine.cache import CacheStats, ProofCache, default_cache_dir
+from repro.engine.cache import (
+    CacheStats,
+    ProofCache,
+    default_cache_dir,
+    open_proof_cache,
+)
 from repro.engine.fingerprint import pass_fingerprint, subgoal_fingerprint
-from repro.engine.scheduler import WorkerPool
+from repro.engine.scheduler import WorkerPool, default_jobs
 from repro.verify.counterexample import CounterExample
 from repro.verify.discharge import DischargeResult, discharge
 from repro.verify.preprocessor import PassAnalysis
@@ -189,16 +194,20 @@ def _verify_one(pass_class, pass_kwargs, counterexample_search,
                 subgoal_table: Dict[str, dict]):
     """Verify one pass, serving subgoals from ``subgoal_table`` when possible.
 
-    Returns ``(result, new_subgoal_entries, subgoal_hits, subgoal_misses)``.
+    Returns ``(result, new_subgoal_entries, subgoal_hits, subgoal_misses,
+    hit_keys)`` — the hit keys flow back to the persistent cache so LRU
+    recency reflects snapshot-served reuse.
     """
     counters = {"hits": 0, "misses": 0}
     new_entries: Dict[str, dict] = {}
+    hit_keys: List[str] = []
 
     def caching_discharge(subgoal: Subgoal) -> DischargeResult:
         key = subgoal_fingerprint(subgoal)
         entry = subgoal_table.get(key)
         if entry is not None:
             counters["hits"] += 1
+            hit_keys.append(key)
             return DischargeResult(
                 proved=entry["proved"],
                 method=entry["method"],
@@ -223,7 +232,7 @@ def _verify_one(pass_class, pass_kwargs, counterexample_search,
         counterexample_search=counterexample_search,
         discharge_fn=caching_discharge,
     )
-    return result, new_entries, counters["hits"], counters["misses"]
+    return result, new_entries, counters["hits"], counters["misses"], hit_keys
 
 
 def _resolve_class(module_name: str, qualname: str):
@@ -247,7 +256,7 @@ def _install_worker_subgoal_table(table: Dict[str, dict]) -> None:
 def _verify_task(task: dict) -> dict:
     """Worker entry point: verify one pass from a picklable task description."""
     pass_class = _resolve_class(task["module"], task["qualname"])
-    result, new_entries, hits, misses = _verify_one(
+    result, new_entries, hits, misses, hit_keys = _verify_one(
         pass_class,
         task["kwargs"],
         task["counterexample_search"],
@@ -258,6 +267,7 @@ def _verify_task(task: dict) -> dict:
         "new_subgoals": new_entries,
         "subgoal_hits": hits,
         "subgoal_misses": misses,
+        "subgoal_hit_keys": hit_keys,
     }
 
 
@@ -278,6 +288,12 @@ class EngineStats:
     invalidated: int = 0
     wall_seconds: float = 0.0
     cache_dir: Optional[str] = None
+    #: Which proof-cache tier served this run: ``jsonl``, ``sqlite``, or
+    #: ``None`` for stateless (``--no-cache``) runs.
+    backend: Optional[str] = None
+    #: Set when the run was served by a resident daemon rather than
+    #: in-process: endpoint, request count, uptime (see repro.service).
+    daemon: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON view with a fixed, documented field order."""
@@ -292,16 +308,91 @@ class EngineStats:
             "used_processes": self.used_processes,
             "passes_total": self.passes_total,
             "cache_dir": self.cache_dir,
+            "backend": self.backend,
+            "daemon": self.daemon,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EngineStats":
+        """Rebuild stats from :meth:`to_dict` output (the wire format)."""
+        stats = cls()
+        for field_name in (
+            "jobs", "used_processes", "passes_total", "cache_hits",
+            "cache_misses", "subgoal_hits", "subgoal_misses", "invalidated",
+            "wall_seconds", "cache_dir", "backend", "daemon",
+        ):
+            if field_name in payload:
+                setattr(stats, field_name, payload[field_name])
+        return stats
 
     def summary_line(self) -> str:
         cache = "off" if self.cache_dir is None else self.cache_dir
+        if self.backend and self.cache_dir is not None:
+            cache = f"{cache} ({self.backend})"
         return (
             f"engine: {self.passes_total} passes, jobs={self.jobs}, "
             f"cache {self.cache_hits} hit / {self.cache_misses} miss "
             f"(subgoals {self.subgoal_hits}/{self.subgoal_hits + self.subgoal_misses} reused), "
             f"{self.wall_seconds:.3f}s wall [cache: {cache}]"
         )
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Fold another run's counters into this one, in place.
+
+        Additive counters (hits, misses, passes, wall time) add; booleans
+        OR; identity fields (cache dir, backend, daemon) keep this run's
+        values.  Used wherever one logical request spans several engine
+        batches (the daemon's per-class batching, the client's HTTP
+        chunking).
+        """
+        for field_name in ("passes_total", "cache_hits", "cache_misses",
+                           "subgoal_hits", "subgoal_misses", "invalidated",
+                           "wall_seconds"):
+            setattr(self, field_name,
+                    getattr(self, field_name) + getattr(other, field_name))
+        self.used_processes = self.used_processes or other.used_processes
+        self.jobs = max(self.jobs, other.jobs)
+        return self
+
+    def daemon_line(self) -> Optional[str]:
+        """One-line description of the serving daemon, or ``None``."""
+        if not self.daemon:
+            return None
+        endpoint = self.daemon.get("endpoint", "?")
+        requests = self.daemon.get("requests_served")
+        uptime = self.daemon.get("uptime_seconds")
+        parts = [f"daemon: {endpoint}"]
+        if requests is not None:
+            parts.append(f"{requests} requests served")
+        if uptime is not None:
+            parts.append(f"up {float(uptime):.0f}s")
+        return ", ".join(parts)
+
+
+def batch_distinct_configs(pairs: Sequence[Tuple[Type, Optional[Dict]]]):
+    """Split (class, kwargs) pairs into rounds where each class appears once.
+
+    ``verify_passes`` keys constructor kwargs by class (``pass_kwargs_fn``),
+    so a batch may hold each class at most once; repeats — the same class
+    requested under two couplings — are deferred to later rounds.  Yields
+    lists of ``(original_index, pass_class, kwargs)``; in the common case
+    (each class once) that is a single round.  Every caller that batches
+    configurations (the pass manager, the daemon) shares this rule, so the
+    in-process and daemon paths can never diverge on which configuration
+    gets verified.
+    """
+    remaining = list(enumerate(pairs))
+    while remaining:
+        seen = set()
+        batch, rest = [], []
+        for index, (pass_class, kwargs) in remaining:
+            if pass_class in seen:
+                rest.append((index, (pass_class, kwargs)))
+            else:
+                seen.add(pass_class)
+                batch.append((index, pass_class, kwargs))
+        remaining = rest
+        yield batch
 
 
 @dataclass
@@ -332,6 +423,7 @@ def verify_passes(
     cache: Optional[ProofCache] = None,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    backend: str = "jsonl",
     pass_kwargs_fn: Optional[Callable[[Type], Optional[Dict]]] = None,
     counterexample_search: bool = True,
     share_subgoals: bool = True,
@@ -339,8 +431,12 @@ def verify_passes(
     """Verify a batch of passes in parallel, reusing cached proofs.
 
     ``cache`` takes precedence over ``cache_dir``; with ``use_cache=False``
-    the run is fully stateless (no reads, no writes).  Verdicts are
-    independent of ``jobs``: scheduling only changes wall time.
+    the run is fully stateless (no reads, no writes).  ``backend`` selects
+    the proof-cache tier when the engine opens its own cache: ``"jsonl"``
+    (single-writer file) or ``"sqlite"`` (shared, safe for concurrent
+    clients).  Verdicts are independent of ``jobs``: scheduling only changes
+    wall time.  ``jobs=0`` means "auto": one worker per CPU (capped at 8),
+    the same convention the CLI's ``--jobs 0`` exposes.
 
     ``share_subgoals=False`` gives every pass a private copy of the subgoal
     table, so each pass's ``time_seconds`` reflects proving all of its own
@@ -349,16 +445,21 @@ def verify_passes(
     """
     started = time.perf_counter()
     kwargs_fn = pass_kwargs_fn or default_pass_kwargs
-    stats = EngineStats(jobs=max(1, int(jobs)), passes_total=len(pass_classes))
+    jobs = default_jobs() if int(jobs) <= 0 else int(jobs)
+    stats = EngineStats(jobs=jobs, passes_total=len(pass_classes))
 
     own_cache = False
     if cache is None and use_cache:
-        cache = ProofCache(cache_dir or default_cache_dir())
+        cache = open_proof_cache(cache_dir or default_cache_dir(), backend)
         own_cache = True
+    # An own cache just counted its load-time invalidations and they belong
+    # to this run; a caller-provided (possibly long-lived) cache carries
+    # counters from earlier runs, which must not be re-reported.
+    base_invalidated = 0 if own_cache or cache is None else cache.stats.invalidated
     try:
         return _verify_passes_with_cache(
             pass_classes, stats, cache, kwargs_fn, counterexample_search,
-            share_subgoals, started,
+            share_subgoals, started, base_invalidated,
         )
     finally:
         if own_cache:
@@ -367,10 +468,12 @@ def verify_passes(
 
 def _verify_passes_with_cache(
     pass_classes, stats, cache, kwargs_fn, counterexample_search,
-    share_subgoals, started,
+    share_subgoals, started, base_invalidated=0,
 ) -> EngineReport:
-    if cache is not None and cache.directory is not None:
-        stats.cache_dir = str(cache.directory)
+    if cache is not None:
+        stats.backend = getattr(cache, "backend", None)
+        if cache.directory is not None:
+            stats.cache_dir = str(cache.directory)
     # Caller-provided caches may carry counters from earlier runs; report
     # only what this run contributed.
     base_hits = cache.stats.pass_hits if cache is not None else 0
@@ -417,10 +520,11 @@ def _verify_passes_with_cache(
                     for sub_key, value in output["new_subgoals"].items():
                         if not cache.has_subgoal(sub_key):
                             cache.put_subgoal(sub_key, value)
+                    cache.touch_subgoals(output["subgoal_hit_keys"])
         else:
             for index, pass_class, pass_kwargs, key in pending:
                 table = subgoal_table if share_subgoals else dict(subgoal_table)
-                result, new_entries, hits, misses = _verify_one(
+                result, new_entries, hits, misses, hit_keys = _verify_one(
                     pass_class, pass_kwargs, counterexample_search, table
                 )
                 results[index] = result
@@ -433,11 +537,12 @@ def _verify_passes_with_cache(
                         # "discover" a shared subgoal; store it once.
                         if not cache.has_subgoal(sub_key):
                             cache.put_subgoal(sub_key, value)
+                    cache.touch_subgoals(hit_keys)
 
     if cache is not None:
         stats.cache_hits = cache.stats.pass_hits - base_hits
         stats.cache_misses = cache.stats.pass_misses - base_misses
-        stats.invalidated = cache.stats.invalidated
+        stats.invalidated = cache.stats.invalidated - base_invalidated
     else:
         stats.cache_misses = len(pending)
 

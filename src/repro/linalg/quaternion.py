@@ -93,11 +93,20 @@ class Quaternion:
     def to_zyz_angles(self) -> Tuple[float, float, float]:
         """Recover ``(theta, phi, lam)`` with the rotation = Rz(phi)Ry(theta)Rz(lam)."""
         mat = self.to_rotation_matrix()
-        theta = math.acos(max(-1.0, min(1.0, mat[2, 2])))
-        if abs(mat[2, 2]) > 1.0 - 1e-10:
+        # The third column is (sin(theta)cos(phi), sin(theta)sin(phi),
+        # cos(theta)); recovering theta with atan2 instead of acos keeps full
+        # precision near theta = 0 / pi, where acos loses ~sqrt(eps).
+        sin_theta = math.hypot(mat[0, 2], mat[1, 2])
+        theta = math.atan2(sin_theta, mat[2, 2])
+        if sin_theta < 1e-12:
             # Degenerate cases: theta = 0 (pure Z rotation, R = Rz(phi + lam))
             # or theta = pi (R only determines phi - lam).  Put everything
-            # into lambda with phi = 0.
+            # into lambda with phi = 0.  The cutoff is on sin(theta): while
+            # the axis information in the off-diagonal entries stays above
+            # floating-point noise, the general branch recovers it exactly —
+            # a rotation like Ry(-1e-5) must NOT be collapsed to a Z
+            # rotation (its sign lives in phi = lam = pi), and below 1e-12
+            # the error of doing so is itself below 1e-12.
             phi = 0.0
             lam = math.atan2(mat[1, 0], mat[0, 0])
             if mat[2, 2] < 0:

@@ -1,0 +1,60 @@
+"""The verification service tier: a shared proof store and a resident daemon.
+
+PR 1's engine made one process fast; this package makes *many* processes
+share that speed.  Three layers:
+
+* :mod:`repro.service.store` — a sqlite-backed proof cache (WAL mode, safe
+  for concurrent readers and writers) with the same interface as the JSONL
+  :class:`~repro.engine.cache.ProofCache`, plus a one-shot JSONL migration;
+* :mod:`repro.service.daemon` — a long-lived localhost server that keeps the
+  rule set, the toolchain fingerprint, and the proof store warm across
+  requests, dispatching jobs through the engine scheduler;
+* :mod:`repro.service.client` — the JSON wire client with request batching,
+  timeouts, and graceful fallback to in-process verification.
+
+``repro serve`` / ``repro status`` / ``repro verify --daemon`` are the CLI
+entry points; ``PassManager(verify_first=True, verify_daemon=True)`` is the
+library one.
+"""
+
+from repro.service.client import (
+    DaemonClient,
+    DaemonUnavailable,
+    connect,
+    verify_with_fallback,
+)
+from repro.service.daemon import ProofDaemon, VerificationService, serve
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    DaemonEndpoint,
+    ProtocolError,
+    pass_registry,
+    read_state,
+    write_state,
+)
+from repro.service.store import (
+    SCHEMA_VERSION,
+    SqliteProofCache,
+    migrate_jsonl,
+    sqlite_cache_path,
+)
+
+__all__ = [
+    "DaemonClient",
+    "DaemonEndpoint",
+    "DaemonUnavailable",
+    "PROTOCOL_VERSION",
+    "ProofDaemon",
+    "ProtocolError",
+    "SCHEMA_VERSION",
+    "SqliteProofCache",
+    "VerificationService",
+    "connect",
+    "migrate_jsonl",
+    "pass_registry",
+    "read_state",
+    "serve",
+    "sqlite_cache_path",
+    "verify_with_fallback",
+    "write_state",
+]

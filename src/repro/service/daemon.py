@@ -1,0 +1,304 @@
+"""The resident verification daemon.
+
+One long-lived process owns the shared proof store and keeps everything a
+cold ``repro verify`` pays for — importing the prover, hashing the toolchain
+into the active fingerprint, interning the rewrite-rule set — warm across
+requests.  Clients speak the JSON protocol from
+:mod:`repro.service.protocol`; each ``/verify`` request is dispatched
+through the existing engine scheduler (:func:`repro.engine.verify_passes`)
+against the daemon's open cache, so every client shares every other
+client's proofs.
+
+The server is a stdlib :class:`~http.server.ThreadingHTTPServer` bound to
+localhost.  Status queries are served concurrently; verification requests
+serialise on one lock (the store itself is multi-process safe, but
+per-request statistics are deltas over shared counters, and forking worker
+pools from concurrent threads is exactly the kind of subtle hazard a cache
+daemon does not need).  Verdicts for queued clients are identical either
+way — only latency differs.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import os
+import secrets
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.cache import default_cache_dir, open_proof_cache
+from repro.engine.driver import (
+    EngineStats,
+    batch_distinct_configs,
+    result_to_payload,
+    verify_passes,
+)
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    TOKEN_HEADER,
+    DaemonEndpoint,
+    ProtocolError,
+    pass_registry,
+    remove_state,
+    resolve_pass_spec,
+    write_state,
+)
+
+
+class VerificationService:
+    """The daemon's verification core, independent of the HTTP layer."""
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None,
+                 backend: str = "sqlite", jobs: int = 1) -> None:
+        self.cache_dir = Path(cache_dir or default_cache_dir())
+        self.backend = backend
+        self.jobs = jobs
+        self.started_at = time.time()
+        self.requests_served = 0
+        self.passes_served = 0
+        self._counter_lock = threading.Lock()
+        self._verify_lock = threading.Lock()
+        # Warm-up: hashing the toolchain imports and fingerprints the whole
+        # prover; building the registry imports every pass.  After this,
+        # requests pay only for actual proof work (or cache lookups).
+        from repro.engine.fingerprint import rule_set_fingerprint, toolchain_fingerprint
+
+        self.registry = pass_registry()
+        rule_set_fingerprint()
+        self.toolchain = toolchain_fingerprint()
+        self.cache = open_proof_cache(self.cache_dir, backend)
+
+    def close(self) -> None:
+        self.cache.close()
+
+    # ------------------------------------------------------------------ #
+    # Request handlers
+    # ------------------------------------------------------------------ #
+    def verify(self, body: Dict) -> Dict:
+        """Handle one ``/verify`` request body, returning the response dict."""
+        specs = body.get("passes")
+        if not isinstance(specs, list) or not specs:
+            raise ProtocolError("request must carry a non-empty 'passes' list")
+        pairs = [resolve_pass_spec(spec, self.registry) for spec in specs]
+        jobs = body.get("jobs")
+        jobs = self.jobs if jobs is None else int(jobs)
+        counterexample_search = bool(body.get("counterexample_search", True))
+
+        with self._verify_lock:
+            results, stats = self._verify_pairs(pairs, jobs, counterexample_search)
+        with self._counter_lock:
+            self.requests_served += 1
+            self.passes_served += len(pairs)
+        payloads = []
+        for result in results:
+            payload = result_to_payload(result)
+            payload["from_cache"] = result.from_cache
+            payloads.append(payload)
+        return {
+            "results": payloads,
+            "stats": stats.to_dict(),
+            "daemon": self.identity(),
+        }
+
+    def _verify_pairs(self, pairs: List[Tuple[type, Optional[Dict]]],
+                      jobs: int, counterexample_search: bool):
+        """Verify (class, kwargs) pairs, one engine batch per distinct class.
+
+        A request may name the same class twice with different couplings;
+        :func:`batch_distinct_configs` defers such repeats to later rounds
+        (the common case — each class once — is a single batch).
+        """
+        results = [None] * len(pairs)
+        merged: Optional[EngineStats] = None
+        for batch in batch_distinct_configs(pairs):
+            batch_kwargs = {cls: kwargs for _, cls, kwargs in batch}
+            report = verify_passes(
+                [cls for _, cls, _ in batch],
+                jobs=jobs,
+                cache=self.cache,
+                pass_kwargs_fn=batch_kwargs.get,
+                counterexample_search=counterexample_search,
+            )
+            for (index, _, _), result in zip(batch, report.results):
+                results[index] = result
+            merged = report.stats if merged is None else merged.merge(report.stats)
+        return results, merged
+
+    def identity(self) -> Dict[str, object]:
+        with self._counter_lock:
+            return {
+                "pid": os.getpid(),
+                "backend": self.backend,
+                "cache_dir": str(self.cache_dir),
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "requests_served": self.requests_served,
+                "passes_served": self.passes_served,
+                "protocol_version": PROTOCOL_VERSION,
+            }
+
+    def status(self) -> Dict[str, object]:
+        payload = self.identity()
+        payload["toolchain_fingerprint"] = self.toolchain
+        payload["known_passes"] = len(self.registry)
+        summary = getattr(self.cache, "summary", None)
+        if summary is not None:
+            payload["store"] = summary()
+        else:
+            payload["store"] = {"backend": getattr(self.cache, "backend", None),
+                                "entries_live": len(self.cache)}
+        return payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """HTTP plumbing around :class:`VerificationService`."""
+
+    server: "ProofDaemon"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    def _send_json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _authorized(self) -> bool:
+        # Constant-time comparison: a short-circuiting == would let another
+        # local user recover the token byte-by-byte from response timing.
+        # Compared as bytes — compare_digest raises on non-ASCII str, and the
+        # header is attacker-controlled (http.server decodes it as latin-1).
+        received = self.headers.get(TOKEN_HEADER, "")
+        return hmac.compare_digest(
+            received.encode("utf-8", "surrogateescape"),
+            self.server.token.encode("utf-8"),
+        )
+
+    def _read_body(self) -> Dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ProtocolError("request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        return payload
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        if not self._authorized():
+            self._send_json(401, {"error": "bad or missing token"})
+            return
+        if self.path == "/status":
+            self._send_json(200, self.server.service.status())
+        else:
+            self._send_json(404, {"error": f"unknown endpoint {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        if not self._authorized():
+            self._send_json(401, {"error": "bad or missing token"})
+            return
+        if self.path == "/verify":
+            try:
+                response = self.server.service.verify(self._read_body())
+            except ProtocolError as exc:
+                self._send_json(400, {"error": str(exc)})
+            except Exception as exc:  # a crashed proof must not kill the daemon
+                self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            else:
+                self._send_json(200, response)
+        elif self.path == "/shutdown":
+            self._send_json(200, {"ok": True})
+            threading.Thread(target=self.server.shutdown, daemon=True).start()
+        else:
+            self._send_json(404, {"error": f"unknown endpoint {self.path}"})
+
+
+class ProofDaemon(ThreadingHTTPServer):
+    """The listening server: localhost-only, token-authenticated.
+
+    ``port=0`` picks a free port.  On construction the endpoint (including
+    the freshly minted token) is written to the cache directory for client
+    discovery; :meth:`close` removes it.  Use as a context manager, with
+    :meth:`serve_forever` in the foreground (CLI) or a thread (tests).
+    """
+
+    daemon_threads = True
+
+    def __init__(self, service: VerificationService, host: str = "127.0.0.1",
+                 port: int = 0, verbose: bool = False) -> None:
+        super().__init__((host, port), _Handler)
+        self.service = service
+        self.token = secrets.token_hex(16)
+        self.verbose = verbose
+        self.endpoint = DaemonEndpoint(
+            host=self.server_address[0],
+            port=self.server_address[1],
+            token=self.token,
+            pid=os.getpid(),
+            backend=service.backend,
+            cache_dir=str(service.cache_dir),
+        )
+        write_state(service.cache_dir, self.endpoint)
+
+    def close(self) -> None:
+        # Only remove the discovery file if it is still ours — a rolling
+        # restart may already have written a newer daemon's endpoint, and
+        # deleting that would cut every client over to the slow path.
+        from repro.service.protocol import read_state
+
+        state = read_state(self.service.cache_dir)
+        if state is None or state.token == self.token:
+            remove_state(self.service.cache_dir)
+        self.server_close()
+        self.service.close()
+
+    def __enter__(self) -> "ProofDaemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve(cache_dir: Optional[os.PathLike] = None, backend: str = "sqlite",
+          host: str = "127.0.0.1", port: int = 0, jobs: int = 1,
+          verbose: bool = False,
+          ready_callback=None) -> None:
+    """Run a daemon in the foreground until interrupted or shut down.
+
+    Ctrl-C *and* SIGTERM (``kill <pid>``, service managers) both run the
+    full cleanup — without the handler a terminated daemon would leave its
+    stale ``daemon.json`` behind and every later ``--daemon`` client would
+    pay a failed probe before falling back.
+    """
+    import signal
+
+    service = VerificationService(cache_dir=cache_dir, backend=backend, jobs=jobs)
+    with ProofDaemon(service, host=host, port=port, verbose=verbose) as server:
+        def stop(_signum, _frame):
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        previous = None
+        try:
+            previous = signal.signal(signal.SIGTERM, stop)
+        except ValueError:
+            pass  # not the main thread (embedding); rely on shutdown()
+        if ready_callback is not None:
+            ready_callback(server.endpoint)
+        try:
+            server.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            if previous is not None:
+                signal.signal(signal.SIGTERM, previous)

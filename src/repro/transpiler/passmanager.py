@@ -57,13 +57,20 @@ class PassManager:
     """
 
     def __init__(self, passes: Sequence = (), *, verify_first: bool = False,
-                 verify_jobs: int = 1, verify_cache_dir: Optional[str] = None) -> None:
+                 verify_jobs: int = 1, verify_cache_dir: Optional[str] = None,
+                 verify_backend: str = "jsonl",
+                 verify_daemon: bool = False) -> None:
         self._passes: List = list(passes)
         self.property_set = PropertySet()
         self.records: List[PassExecutionRecord] = []
         self.verify_first = verify_first
         self.verify_jobs = verify_jobs
         self.verify_cache_dir = verify_cache_dir
+        #: Proof-cache tier for verify-before-run: "jsonl" or "sqlite".
+        self.verify_backend = verify_backend
+        #: Route verification through a running ``repro serve`` daemon when
+        #: one is found (falling back to in-process verification silently).
+        self.verify_daemon = verify_daemon
         self._verified_classes: set = set()
 
     # ------------------------------------------------------------------ #
@@ -114,9 +121,14 @@ class PassManager:
         """Verify the pipeline's Giallar passes, raising on any failure.
 
         Configurations already verified by this manager are skipped; across
-        processes the engine's proof cache makes re-verification cheap.
+        processes the engine's proof cache (or, with ``verify_daemon=True``,
+        a resident ``repro serve`` daemon over the shared store) makes
+        re-verification cheap.
         """
-        from repro.engine import ProofCache, default_cache_dir, verify_passes
+        from contextlib import ExitStack
+
+        from repro.engine import default_cache_dir, open_proof_cache, verify_passes
+        from repro.engine.driver import batch_distinct_configs
 
         targets = [
             entry for entry in self._verifiable_targets()
@@ -124,34 +136,49 @@ class PassManager:
         ]
         if not targets:
             return
+        directory = self.verify_cache_dir or default_cache_dir()
+        client = None
+        if self.verify_daemon:
+            from repro.service.client import connect
+
+            client = connect(directory)
         failed: List = []
-        with ProofCache(self.verify_cache_dir or default_cache_dir()) as cache:
+        with ExitStack() as stack:
+            cache = None
+            if client is None:
+                cache = stack.enter_context(
+                    open_proof_cache(directory, self.verify_backend)
+                )
             # One batch per distinct configuration of a class; in the common
             # case (each class once) this is a single call.
-            remaining = list(targets)
-            while remaining:
-                batch_kwargs: Dict[type, Optional[Dict]] = {}
-                batch: List = []
-                rest: List = []
-                for cls, kwargs, key in remaining:
-                    if cls in batch_kwargs:
-                        rest.append((cls, kwargs, key))
-                    else:
-                        batch_kwargs[cls] = kwargs
-                        batch.append((cls, kwargs, key))
-                remaining = rest
-                report = verify_passes(
-                    [cls for cls, _, _ in batch],
-                    jobs=self.verify_jobs,
-                    cache=cache,
-                    pass_kwargs_fn=batch_kwargs.get,
-                    counterexample_search=False,
-                )
-                for (cls, kwargs, key), result in zip(batch, report.results):
+            pairs = [(cls, kwargs) for cls, kwargs, _ in targets]
+            for batch in batch_distinct_configs(pairs):
+                batch_kwargs = {cls: kwargs for _, cls, kwargs in batch}
+                if client is not None:
+                    from repro.service.client import verify_with_fallback
+
+                    report = verify_with_fallback(
+                        [cls for _, cls, _ in batch],
+                        cache_dir=str(directory),
+                        backend=self.verify_backend,
+                        jobs=self.verify_jobs,
+                        pass_kwargs_fn=batch_kwargs.get,
+                        counterexample_search=False,
+                        client=client,
+                    )
+                else:
+                    report = verify_passes(
+                        [cls for _, cls, _ in batch],
+                        jobs=self.verify_jobs,
+                        cache=cache,
+                        pass_kwargs_fn=batch_kwargs.get,
+                        counterexample_search=False,
+                    )
+                for (index, _, _), result in zip(batch, report.results):
                     if result.supported and not result.verified:
                         failed.append(result)
                     else:
-                        self._verified_classes.add(key)
+                        self._verified_classes.add(targets[index][2])
         if failed:
             details = "; ".join(
                 f"{result.pass_name}: {result.failure_reasons[0] if result.failure_reasons else 'unproven'}"

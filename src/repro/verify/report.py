@@ -114,6 +114,20 @@ def to_json(results: Sequence[VerificationResult], indent: int = 2,
     return json.dumps(payload, indent=indent)
 
 
+def _stats_lines(stats: Optional[object]) -> List[str]:
+    """Engine-statistics footer lines: the summary, then — when the batch was
+    served by a resident daemon — which daemon answered and how warm it was."""
+    if stats is None:
+        return []
+    lines = [stats.summary_line()]
+    daemon_line = getattr(stats, "daemon_line", None)
+    if callable(daemon_line):
+        line = daemon_line()
+        if line:
+            lines.append(line)
+    return lines
+
+
 def _status(result: VerificationResult) -> str:
     if result.verified:
         return "verified"
@@ -148,8 +162,7 @@ def to_text(results: Sequence[VerificationResult], title: Optional[str] = None,
     )
     for name in summary.counterexamples:
         lines.append(f"counterexample produced for {name}")
-    if stats is not None:
-        lines.append(stats.summary_line())
+    lines.extend(_stats_lines(stats))
     return "\n".join(lines)
 
 
@@ -176,7 +189,8 @@ def to_markdown(results: Sequence[VerificationResult], title: Optional[str] = No
         f"({summary.rejected} rejected, {summary.unsupported} unsupported), "
         f"{summary.total_seconds:.2f}s total."
     )
-    if stats is not None:
+    stats_lines = _stats_lines(stats)
+    if stats_lines:
         lines.append("")
-        lines.append(f"_{stats.summary_line()}_")
+        lines.extend(f"_{line}_" for line in stats_lines)
     return "\n".join(lines)

@@ -94,6 +94,107 @@ def test_verify_requires_a_selection(capsys):
     assert "nothing to verify" in capsys.readouterr().err
 
 
+def test_verify_jobs_zero_auto_detects(capsys):
+    """--jobs 0 is the documented "auto" convention, never an error."""
+    from repro.engine import default_jobs
+
+    assert main(["verify", "Width", "--jobs", "0", "--no-cache",
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["engine"]["jobs"] == default_jobs()
+    assert payload["engine"]["jobs"] >= 1
+
+
+def test_verify_jobs_help_documents_auto():
+    verify_parser = build_parser()._subparsers._group_actions[0].choices["verify"]
+    jobs_actions = [action for action in verify_parser._actions
+                    if "--jobs" in action.option_strings]
+    assert "auto-detects the CPU count" in jobs_actions[0].help
+
+
+def test_verify_sqlite_backend(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["verify", "CXCancellation", "--backend", "sqlite",
+                 "--cache-dir", cache_dir, "--format", "json"]) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["engine"]["backend"] == "sqlite"
+    assert cold["engine"]["cache_misses"] == 1
+    assert (tmp_path / "cache" / "proofs.sqlite").exists()
+    assert main(["verify", "CXCancellation", "--backend", "sqlite",
+                 "--cache-dir", cache_dir, "--format", "json"]) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["engine"]["cache_hits"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# cache maintenance / status
+# --------------------------------------------------------------------------- #
+def test_cache_prune_jsonl(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["verify", "CXCancellation", "Width", "--cache-dir", cache_dir,
+                 "--format", "json"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "prune", "--max-entries", "1",
+                 "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "evicted" in out
+    assert "-> 1 entries" in out
+
+
+def test_cache_prune_sqlite(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["verify", "CXCancellation", "--backend", "sqlite",
+                 "--cache-dir", cache_dir, "--format", "json"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "prune", "--max-entries", "0", "--backend", "sqlite",
+                 "--cache-dir", cache_dir]) == 0
+    assert "-> 0 entries" in capsys.readouterr().out
+
+
+def test_cache_prune_rejects_negative(tmp_path, capsys):
+    assert main(["cache", "prune", "--max-entries", "-1",
+                 "--cache-dir", str(tmp_path)]) == 2
+    assert "must be >= 0" in capsys.readouterr().err
+
+
+def test_cache_migrate_then_sqlite_warm(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    # Populate the JSONL tier, migrate, then hit warm through sqlite.
+    assert main(["verify", "CXCancellation", "--cache-dir", cache_dir,
+                 "--format", "json"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "migrate", "--cache-dir", cache_dir]) == 0
+    assert "migrated" in capsys.readouterr().out
+    assert main(["verify", "CXCancellation", "--backend", "sqlite",
+                 "--cache-dir", cache_dir, "--format", "json"]) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["engine"]["cache_hits"] == 1
+    assert warm["engine"]["cache_misses"] == 0
+
+
+def test_cache_migrate_unopenable_store_is_a_clean_error(tmp_path, capsys):
+    (tmp_path / "proofs.jsonl").write_text("")
+    (tmp_path / "proofs.sqlite").mkdir()       # unopenable: it is a directory
+    assert main(["cache", "migrate", "--cache-dir", str(tmp_path)]) == 2
+    assert "cannot open proof cache" in capsys.readouterr().err
+
+
+def test_status_without_daemon_or_store(tmp_path, capsys):
+    assert main(["status", "--cache-dir", str(tmp_path)]) == 1
+    assert "no daemon running" in capsys.readouterr().err
+
+
+def test_status_reports_offline_store(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["verify", "Width", "--backend", "sqlite",
+                 "--cache-dir", cache_dir, "--format", "json"]) == 0
+    capsys.readouterr()
+    assert main(["status", "--cache-dir", cache_dir]) == 1
+    out = capsys.readouterr().out
+    assert "no daemon running" in out
+    assert "live entries" in out
+
+
 # --------------------------------------------------------------------------- #
 # transpile
 # --------------------------------------------------------------------------- #

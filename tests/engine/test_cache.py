@@ -1,8 +1,10 @@
-"""Proof-cache persistence, hit/miss accounting, and invalidation."""
+"""Proof-cache persistence, hit/miss accounting, invalidation, and eviction."""
 
 import json
 
-from repro.engine.cache import ProofCache, default_cache_dir
+import pytest
+
+from repro.engine.cache import ProofCache, default_cache_dir, open_proof_cache
 from repro.engine.fingerprint import toolchain_fingerprint
 
 
@@ -66,6 +68,135 @@ def test_corrupt_lines_are_skipped(tmp_path):
     assert reopened.get_pass("good") == {"verified": True}
     assert reopened.stats.corrupt_lines == 2
     reopened.close()
+
+
+def test_prune_is_least_recently_used(tmp_path):
+    with ProofCache(tmp_path) as cache:
+        for index in range(5):
+            cache.put_pass(f"p{index}", {"index": index})
+        cache.get_pass("p0")              # refresh: p1 becomes the victim
+        assert cache.prune(3) == 2
+        assert cache.stats.evicted == 2
+        assert cache.get_pass("p0") is not None
+        assert cache.get_pass("p4") is not None
+        assert cache.get_pass("p1") is None
+    # Eviction is durable: the compacted file carries only the survivors.
+    reopened = ProofCache(tmp_path)
+    assert len(reopened) == 3
+    reopened.close()
+
+
+def test_prune_recency_survives_reopen(tmp_path):
+    """Reads reorder recency in memory; close() must persist that order —
+    otherwise a later prune would evict by creation order, not by use."""
+    with ProofCache(tmp_path) as cache:
+        cache.put_pass("old", {"n": 0})
+        cache.put_pass("new", {"n": 1})
+    with ProofCache(tmp_path) as cache:
+        cache.get_pass("old")             # most recently used, despite age
+    with ProofCache(tmp_path) as cache:
+        assert cache.prune(1) == 1
+        assert cache.get_pass("old") is not None
+        assert cache.get_pass("new") is None
+
+
+def test_warm_reads_append_touch_records_without_rewriting(tmp_path):
+    """Recency must be durable *and* cheap: a warm run appends small touch
+    records (once per key) instead of rewriting the file, so concurrent
+    appenders are never clobbered by a read-mostly client's close."""
+    with ProofCache(tmp_path) as cache:
+        cache.put_pass("a", {"n": 0})
+        cache.put_pass("b", {"n": 1})
+    before = (tmp_path / "proofs.jsonl").read_text()
+    with ProofCache(tmp_path) as cache:
+        cache.get_pass("a")
+        cache.get_pass("a")               # second hit: no extra record
+    after = (tmp_path / "proofs.jsonl").read_text()
+    assert after.startswith(before)       # append-only, original lines intact
+    added = after[len(before):].strip().splitlines()
+    assert len(added) == 1
+    assert json.loads(added[0]) == {"kind": "touch", "key": "a", "ref": "pass"}
+
+
+def test_touch_subgoals_refreshes_snapshot_served_entries(tmp_path):
+    """The engine reads subgoals via subgoal_snapshot(); the driver reports
+    reused keys back so the hot subgoal tier never looks idle to LRU."""
+    subgoal = {"proved": True, "method": "m", "reason": "", "rules_used": []}
+    with ProofCache(tmp_path) as cache:
+        cache.put_subgoal("hot", subgoal)
+        cache.put_pass("p1", {"verified": True})
+        cache.put_pass("p2", {"verified": True})
+        cache.touch_subgoals(["hot", "unknown-key"])    # unknown keys ignored
+        assert cache.prune(1) == 2
+        assert cache.has_subgoal("hot")
+
+
+def test_prune_counts_both_tables(tmp_path):
+    with ProofCache(tmp_path) as cache:
+        cache.put_pass("p", {"verified": True})
+        cache.put_subgoal("s1", {"proved": True, "method": "m",
+                                 "reason": "", "rules_used": []})
+        cache.put_subgoal("s2", {"proved": True, "method": "m",
+                                 "reason": "", "rules_used": []})
+        assert cache.prune(2) == 1
+        assert cache.get_pass("p") is None    # oldest entry went first
+        assert cache.has_subgoal("s1") and cache.has_subgoal("s2")
+
+
+def test_prune_in_memory_cache(tmp_path):
+    cache = ProofCache(None)
+    cache.put_pass("a", {})
+    cache.put_pass("b", {})
+    assert cache.prune(1) == 1
+    assert cache.get_pass("b") is not None
+
+
+def test_open_proof_cache_backends(tmp_path):
+    from repro.service.store import SqliteProofCache
+
+    with open_proof_cache(tmp_path / "j", "jsonl") as cache:
+        assert isinstance(cache, ProofCache)
+        assert cache.backend == "jsonl"
+    with open_proof_cache(tmp_path / "s", "sqlite") as cache:
+        assert isinstance(cache, SqliteProofCache)
+        assert cache.backend == "sqlite"
+    with pytest.raises(ValueError):
+        open_proof_cache(tmp_path, "redis")
+
+
+def test_invalidated_is_per_run_not_cumulative(tmp_path):
+    """A long-lived caller-provided cache (the daemon's) must not re-report
+    old invalidations on every run's stats."""
+    from repro.engine import verify_passes
+    from repro.passes import Width
+
+    stale = {"kind": "pass", "key": "stale", "fp": "0" * 64, "value": {}}
+    (tmp_path / "proofs.jsonl").write_text(json.dumps(stale) + "\n")
+    # Own-cache run: the load-time invalidation belongs to this run.
+    report = verify_passes([Width], cache_dir=str(tmp_path))
+    assert report.stats.invalidated == 1
+    # Long-lived cache: the invalidation was counted when the cache loaded,
+    # before this run — the run itself invalidated nothing.
+    with ProofCache(tmp_path) as cache:
+        assert cache.stats.invalidated == 1
+        report = verify_passes([Width], cache=cache)
+        assert report.stats.invalidated == 0
+
+
+def test_batch_distinct_configs_defers_repeats():
+    from repro.engine import batch_distinct_configs
+
+    class A:
+        pass
+
+    class B:
+        pass
+
+    pairs = [(A, {"n": 1}), (B, None), (A, {"n": 2})]
+    batches = list(batch_distinct_configs(pairs))
+    assert [[index for index, _, _ in batch] for batch in batches] == [[0, 1], [2]]
+    assert batches[0][0][2] == {"n": 1}
+    assert batches[1][0][2] == {"n": 2}
 
 
 def test_default_cache_dir_honours_env(monkeypatch, tmp_path):

@@ -105,16 +105,20 @@ def test_subgoal_memoisation_within_verify_one():
     from repro.engine.driver import _verify_one
 
     table = {}
-    _, new_entries, hits, misses = _verify_one(CXCancellation, None, False, table)
+    _, new_entries, hits, misses, hit_keys = _verify_one(
+        CXCancellation, None, False, table
+    )
     assert misses == len(new_entries) > 0
+    assert hit_keys == []
     # Re-verifying the same pass against the warm table discharges every
     # subgoal from memory (this is what a changed-but-similar pass hits).
-    _, second_new, second_hits, second_misses = _verify_one(
+    _, second_new, second_hits, second_misses, second_hit_keys = _verify_one(
         CXCancellation, None, False, table
     )
     assert second_misses == 0
     assert second_new == {}
     assert second_hits == hits + misses
+    assert sorted(second_hit_keys) == sorted(new_entries)
 
 
 def test_stats_are_per_run_for_shared_cache(tmp_path):
