@@ -10,9 +10,15 @@ Invoked as ``python -m repro <command>``.  Commands:
     Compile an OpenQASM 2 file for a named device with either the verified
     (Giallar-style) or the baseline (unverified DAG-based) pipeline.
 
+``watch``
+    Incremental re-verification: poll the watched sources and, on each
+    edit, re-verify only the passes the edit can have invalidated
+    (``--daemon`` routes the re-proof through a running daemon).
+
 ``serve`` / ``status``
     Run the resident verification daemon over a shared sqlite proof store,
     and query a running daemon (plus the store's own statistics).
+    ``serve --watch`` additionally pre-warms invalidated entries on edit.
 
 ``cache``
     Maintain the proof cache: ``prune`` (LRU eviction to a bound) and
@@ -113,6 +119,43 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# watch
+# --------------------------------------------------------------------------- #
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.incremental.watch import Watcher
+
+    registry = _known_passes()
+    if args.passes:
+        missing = [name for name in args.passes if name not in registry]
+        if missing:
+            print(f"unknown pass(es): {', '.join(missing)}", file=sys.stderr)
+            return 2
+        selected = [registry[name] for name in args.passes]
+    else:
+        selected = list(registry.values())
+
+    if args.interval <= 0:
+        print("--interval must be > 0", file=sys.stderr)
+        return 2
+    watcher = Watcher(
+        selected,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        jobs=args.jobs,
+        use_daemon=args.daemon,
+        pass_kwargs_fn=pass_kwargs_for,
+    )
+    try:
+        last = watcher.watch(interval=args.interval, cycles=args.cycles)
+    except (OSError, sqlite3.Error) as exc:
+        print(f"cannot open proof cache: {exc}", file=sys.stderr)
+        return 2
+    if last is None:
+        return 0
+    return 0 if all(r.verified for r in watcher.last_results) else 1
+
+
+# --------------------------------------------------------------------------- #
 # transpile
 # --------------------------------------------------------------------------- #
 def _read_source(path: str) -> str:
@@ -181,9 +224,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"clients discover it via {cache_dir}/daemon.json; "
               f"run `repro verify --daemon --cache-dir {cache_dir}`")
 
+    watch_interval = None
+    if args.watch:
+        watch_interval = args.watch_interval
+        if watch_interval <= 0:
+            print("--watch-interval must be > 0", file=sys.stderr)
+            return 2
     try:
         serve(cache_dir=cache_dir, backend=args.backend, host=args.host,
               port=args.port, jobs=args.jobs, verbose=args.verbose,
+              watch_interval=watch_interval,
               ready_callback=announce)
     except (OSError, sqlite3.Error) as exc:
         print(f"cannot start daemon: {exc}", file=sys.stderr)
@@ -221,6 +271,11 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print(f"uptime      : {payload['uptime_seconds']:.0f}s")
         print(f"requests    : {payload['requests_served']} "
               f"({payload['passes_served']} passes served)")
+        watcher = payload.get("watcher")
+        if watcher:
+            print(f"watcher     : polling every {watcher['interval_seconds']}s, "
+                  f"{watcher['cycles']} cycles, "
+                  f"{watcher['prewarmed']} entries pre-warmed")
         store = payload.get("store", {})
         print(f"store       : {store.get('entries_live', '?')} live entries, "
               f"{store.get('accumulated_hits', '?')} accumulated hits")
@@ -361,6 +416,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "(falls back to in-process verification if none)")
     verify.set_defaults(handler=_cmd_verify)
 
+    watch = sub.add_parser(
+        "watch", help="re-verify passes incrementally as their sources change")
+    watch.add_argument("passes", nargs="*",
+                       help="pass class names to watch (default: every known pass)")
+    watch.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                       help="poll interval between cycles (default 2.0)")
+    watch.add_argument("--cycles", type=int, default=None, metavar="N",
+                       help="stop after N cycles (default: run until ctrl-c); "
+                            "--cycles 1 runs only the baseline verification")
+    watch.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                       help="worker processes for re-proofs (0 = auto)")
+    watch.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="proof-cache directory (default ~/.cache/repro)")
+    watch.add_argument("--backend", choices=("jsonl", "sqlite"), default="jsonl",
+                       help="proof-cache tier (default jsonl)")
+    watch.add_argument("--daemon", action="store_true",
+                       help="route re-verification through a running "
+                            "`repro serve` daemon (falls back in-process)")
+    watch.set_defaults(handler=_cmd_watch)
+
     serve = sub.add_parser("serve", help="run the resident verification daemon")
     serve.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="proof-store directory shared with clients "
@@ -375,6 +450,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default worker processes per request (0 = auto)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
+    serve.add_argument("--watch", action="store_true",
+                       help="watch the verified sources and pre-warm "
+                            "invalidated cache entries on edit")
+    serve.add_argument("--watch-interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="poll interval for --watch (default 2.0)")
     serve.set_defaults(handler=_cmd_serve)
 
     status = sub.add_parser("status", help="query a running daemon / the shared store")

@@ -10,6 +10,13 @@ the next time the file is compacted.
 
 The cache is written only by the coordinating process (workers return their
 results to the driver), so no cross-process locking is needed.
+
+Next to the proof file lives a schema-versioned *dependency sidecar*
+(``deps.jsonl``): one record per verified configuration mapping its identity
+key to the fingerprint it last verified to and the source files that
+fingerprint depends on (see :mod:`repro.incremental.deps`).  Records written
+under another sidecar schema are ignored on load and rewritten on the next
+verification — never misread.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
 
 _FILE_NAME = "proofs.jsonl"
+_DEPS_FILE_NAME = "deps.jsonl"
 
 
 @dataclass
@@ -67,6 +75,51 @@ def default_cache_dir() -> Path:
     return base / "repro"
 
 
+def _read_deps_file(path) -> Tuple[Dict[str, dict], int, int]:
+    """Parse one ``deps.jsonl``: (index, dead lines, corrupt lines).
+
+    Last write wins; records written under another sidecar schema are
+    dropped rather than misread (the next verification rewrites them).
+    """
+    from repro.incremental.deps import DEPS_SCHEMA_VERSION
+
+    deps: Dict[str, dict] = {}
+    dead = corrupt = 0
+    if path is None or not os.path.exists(path):
+        return deps, dead, corrupt
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                key, value = record["key"], record["value"]
+                schema = value["schema"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                corrupt += 1
+                dead += 1
+                continue
+            if schema != DEPS_SCHEMA_VERSION:
+                dead += 1
+                continue
+            if key in deps:
+                dead += 1
+            deps[key] = value
+    return deps, dead, corrupt
+
+
+def read_deps_sidecar(directory: os.PathLike) -> Dict[str, dict]:
+    """The JSONL tier's dependency index, read without loading the proofs.
+
+    Pollers (``repro watch``, ``PassManager.mark_stale``) need only the
+    sidecar; parsing the whole ``proofs.jsonl`` per poll would be pure
+    waste.
+    """
+    deps, _, _ = _read_deps_file(Path(directory) / _DEPS_FILE_NAME)
+    return deps
+
+
 class ProofCache:
     """Persistent map from proof fingerprints to verification outcomes.
 
@@ -97,10 +150,17 @@ class ProofCache:
         #: use — rewriting the whole file on every warm run (and clobbering
         #: concurrent appenders) would be far too heavy.
         self._touched: Dict[Tuple[str, str], None] = {}
+        #: Dependency sidecar: identity key -> dep entry (see
+        #: repro.incremental.deps).  Schema-gated on load, last-write-wins.
+        self._deps: Dict[str, dict] = {}
+        self._deps_handle = None
+        self._deps_dead = 0
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._load()
+            self._load_deps()
             self._handle = open(self.path, "a", encoding="utf-8")
+            self._deps_handle = open(self.deps_path, "a", encoding="utf-8")
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -110,6 +170,12 @@ class ProofCache:
         if self.directory is None:
             return None
         return self.directory / _FILE_NAME
+
+    @property
+    def deps_path(self) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / _DEPS_FILE_NAME
 
     def _load(self) -> None:
         if not self.path.exists():
@@ -147,6 +213,10 @@ class ProofCache:
                 table[key] = value
                 self._touch(kind if kind == "pass" else "subgoal", key)
 
+    def _load_deps(self) -> None:
+        self._deps, self._deps_dead, corrupt = _read_deps_file(self.deps_path)
+        self.stats.corrupt_lines += corrupt
+
     def _append(self, kind: str, key: str, value: dict) -> None:
         if self._handle is None:
             return
@@ -172,6 +242,11 @@ class ProofCache:
             self.compact()
         self._handle.close()
         self._handle = None
+        if self._deps_handle is not None:
+            if self._deps_dead > max(16, len(self._deps)):
+                self._compact_deps()
+            self._deps_handle.close()
+            self._deps_handle = None
 
     def compact(self) -> None:
         """Rewrite the file keeping only live, current-fingerprint entries.
@@ -305,6 +380,47 @@ class ProofCache:
         for key in keys:
             if key in self._subgoals:
                 self._note_touch("subgoal", key)
+
+    # ------------------------------------------------------------------ #
+    # Dependency sidecar (incremental re-verification)
+    # ------------------------------------------------------------------ #
+    def get_deps(self, key: str) -> Optional[dict]:
+        """The dependency entry recorded under ``key``, or ``None``."""
+        return self._deps.get(key)
+
+    def put_deps(self, key: str, value: dict) -> None:
+        """Record (or refresh) one dependency entry, durably.
+
+        Writing an entry identical to the stored one is a no-op — warm runs
+        re-record their deps every time, and must not grow the sidecar.
+        """
+        if self._deps.get(key) == value:
+            return
+        if key in self._deps:
+            self._deps_dead += 1
+        self._deps[key] = value
+        if self._deps_handle is not None:
+            record = {"key": key, "value": value}
+            self._deps_handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._deps_handle.flush()
+
+    def deps_snapshot(self) -> Dict[str, dict]:
+        """A plain-dict copy of the dependency index."""
+        return dict(self._deps)
+
+    def _compact_deps(self) -> None:
+        if self.directory is None:
+            return
+        if self._deps_handle is not None:
+            self._deps_handle.close()
+        tmp_path = self.deps_path.with_suffix(".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for key, value in self._deps.items():
+                handle.write(json.dumps({"key": key, "value": value},
+                                        sort_keys=True) + "\n")
+        os.replace(tmp_path, self.deps_path)
+        self._deps_dead = 0
+        self._deps_handle = open(self.deps_path, "a", encoding="utf-8")
 
     # ------------------------------------------------------------------ #
     # Introspection

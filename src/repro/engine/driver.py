@@ -13,7 +13,12 @@ This is the engine's public API.  It turns the one-shot
   subgoal cache, so even a *changed* pass reuses the obligations it shares
   with its previous version;
 * results come back in input order with an :class:`EngineStats` block
-  (hits, misses, jobs, wall time) that the reports surface.
+  (hits, misses, jobs, wall time) that the reports surface;
+* dependency information (which source files each verified configuration's
+  cache key depends on) is recorded at verification time, and
+  ``verify_passes(changed_paths=...)`` uses it to re-fingerprint only the
+  passes an edit can actually have invalidated (see
+  :mod:`repro.incremental`).
 
 The CLI (``repro verify --all --jobs 8``), the pass manager's
 verify-before-run mode, and the Table 2 benchmark driver all route through
@@ -25,7 +30,7 @@ from __future__ import annotations
 import importlib
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 from repro.engine.cache import (
     CacheStats,
@@ -294,6 +299,10 @@ class EngineStats:
     #: Set when the run was served by a resident daemon rather than
     #: in-process: endpoint, request count, uptime (see repro.service).
     daemon: Optional[Dict[str, object]] = None
+    #: Incremental runs only (``verify_passes(changed_paths=...)``): how
+    #: many passes were actually re-fingerprinted because a dependency file
+    #: changed (or no dependency entry existed).  ``None`` on full runs.
+    stale_passes: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON view with a fixed, documented field order."""
@@ -310,6 +319,7 @@ class EngineStats:
             "cache_dir": self.cache_dir,
             "backend": self.backend,
             "daemon": self.daemon,
+            "stale_passes": self.stale_passes,
         }
 
     @classmethod
@@ -319,7 +329,7 @@ class EngineStats:
         for field_name in (
             "jobs", "used_processes", "passes_total", "cache_hits",
             "cache_misses", "subgoal_hits", "subgoal_misses", "invalidated",
-            "wall_seconds", "cache_dir", "backend", "daemon",
+            "wall_seconds", "cache_dir", "backend", "daemon", "stale_passes",
         ):
             if field_name in payload:
                 setattr(stats, field_name, payload[field_name])
@@ -329,8 +339,12 @@ class EngineStats:
         cache = "off" if self.cache_dir is None else self.cache_dir
         if self.backend and self.cache_dir is not None:
             cache = f"{cache} ({self.backend})"
+        incremental = ""
+        if self.stale_passes is not None:
+            incremental = f"{self.stale_passes} stale re-checked, "
         return (
             f"engine: {self.passes_total} passes, jobs={self.jobs}, "
+            f"{incremental}"
             f"cache {self.cache_hits} hit / {self.cache_misses} miss "
             f"(subgoals {self.subgoal_hits}/{self.subgoal_hits + self.subgoal_misses} reused), "
             f"{self.wall_seconds:.3f}s wall [cache: {cache}]"
@@ -350,6 +364,10 @@ class EngineStats:
                            "wall_seconds"):
             setattr(self, field_name,
                     getattr(self, field_name) + getattr(other, field_name))
+        # None (non-incremental) is the identity: a merge is incremental as
+        # soon as any constituent run was, and stale counts add.
+        if other.stale_passes is not None:
+            self.stale_passes = (self.stale_passes or 0) + other.stale_passes
         self.used_processes = self.used_processes or other.used_processes
         self.jobs = max(self.jobs, other.jobs)
         return self
@@ -427,6 +445,8 @@ def verify_passes(
     pass_kwargs_fn: Optional[Callable[[Type], Optional[Dict]]] = None,
     counterexample_search: bool = True,
     share_subgoals: bool = True,
+    changed_paths: Optional[Iterable] = None,
+    record_deps: bool = True,
 ) -> EngineReport:
     """Verify a batch of passes in parallel, reusing cached proofs.
 
@@ -442,6 +462,17 @@ def verify_passes(
     table, so each pass's ``time_seconds`` reflects proving all of its own
     obligations — benchmarks that report per-pass times want this; the
     default shares discharge results between passes within the run.
+
+    ``changed_paths`` switches the run *incremental*: only passes whose
+    recorded dependency files (see :mod:`repro.incremental.deps`) intersect
+    the change set are re-fingerprinted; every other pass is served from
+    the cache through the fingerprint recorded in the dependency index,
+    skipping source extraction and hashing entirely.  Pass an empty
+    iterable for "nothing changed".  Passes without a dependency entry are
+    conservatively treated as stale.  Verdicts are identical to a full run;
+    ``stats.stale_passes`` reports how many passes took the full path.
+    ``record_deps=False`` skips dependency bookkeeping for cached runs that
+    will never be re-driven incrementally.
     """
     started = time.perf_counter()
     kwargs_fn = pass_kwargs_fn or default_pass_kwargs
@@ -460,6 +491,7 @@ def verify_passes(
         return _verify_passes_with_cache(
             pass_classes, stats, cache, kwargs_fn, counterexample_search,
             share_subgoals, started, base_invalidated,
+            changed_paths=changed_paths, record_deps=record_deps,
         )
     finally:
         if own_cache:
@@ -468,7 +500,8 @@ def verify_passes(
 
 def _verify_passes_with_cache(
     pass_classes, stats, cache, kwargs_fn, counterexample_search,
-    share_subgoals, started, base_invalidated=0,
+    share_subgoals, started, base_invalidated=0, changed_paths=None,
+    record_deps=True,
 ) -> EngineReport:
     if cache is not None:
         stats.backend = getattr(cache, "backend", None)
@@ -479,12 +512,62 @@ def _verify_passes_with_cache(
     base_hits = cache.stats.pass_hits if cache is not None else 0
     base_misses = cache.stats.pass_misses if cache is not None else 0
 
+    # Incremental mode: the dependency index tells us which passes an edit
+    # can possibly have invalidated; everything else is served through its
+    # recorded fingerprint without being re-fingerprinted at all.
+    incremental = changed_paths is not None and cache is not None \
+        and hasattr(cache, "deps_snapshot")
+    track_deps = record_deps and cache is not None and hasattr(cache, "put_deps")
+    dep_index: Dict[str, dict] = {}
+    changed: set = set()
+    if incremental or track_deps:
+        from repro.incremental.deps import build_dep_entry, identity_key
+    if incremental:
+        from repro.incremental.detect import normalize_path
+
+        dep_index = cache.deps_snapshot()
+        changed = {normalize_path(path) for path in changed_paths}
+        stats.stale_passes = 0
+    elif track_deps:
+        dep_index = cache.deps_snapshot()
+
     results: List[Optional[VerificationResult]] = [None] * len(pass_classes)
     pending: List[Tuple[int, Type, Optional[Dict], Optional[str]]] = []
     for index, pass_class in enumerate(pass_classes):
         pass_kwargs = kwargs_fn(pass_class)
+        ident = None
+        probed_key = None
+        if incremental or track_deps:
+            ident = identity_key(pass_class, pass_kwargs)
+        if incremental:
+            dep_entry = dep_index.get(ident)
+            if dep_entry is not None and \
+                    not any(path in changed for path in dep_entry.get("paths", ())):
+                probed_key = dep_entry.get("fingerprint")
+                cached = cache.get_pass(probed_key)
+                if cached is not None:
+                    results[index] = payload_to_result(
+                        cached, from_cache=True, time_seconds=0.0)
+                    continue
+            # No dependency entry, a changed dependency file, or an evicted
+            # proof: take the full fingerprint-and-verify path.
+            stats.stale_passes += 1
         key = pass_fingerprint(pass_class, pass_kwargs)
-        entry = cache.get_pass(key) if cache is not None else None
+        if track_deps and key is not None:
+            recorded = dep_index.get(ident)
+            # An unchanged fingerprint cannot have acquired new key-relevant
+            # files, so the recorded entry is still sound; only (re)walk the
+            # import graph when the key moved or nothing was recorded.
+            if recorded is None or recorded.get("fingerprint") != key:
+                new_entry = build_dep_entry(pass_class, pass_kwargs, key)
+                cache.put_deps(ident, new_entry)
+                dep_index[ident] = new_entry
+        # An unchanged-deps pass whose proof was evicted re-derives the key
+        # just probed; asking the cache again would double-count the miss.
+        if key is not None and key == probed_key:
+            entry = None
+        else:
+            entry = cache.get_pass(key) if cache is not None else None
         if entry is not None:
             results[index] = payload_to_result(entry, from_cache=True, time_seconds=0.0)
         else:

@@ -15,6 +15,33 @@ computes the stable SHA-256 keys that make this sound:
 * :func:`rule_set_fingerprint` / :func:`toolchain_fingerprint` — hash the
   shipped rewrite rules, the commutation semantics, and the discharge/solver
   implementation, so changing the prover invalidates every cached proof.
+
+Key-derivation invariants (what ``docs/caching.md`` documents and the
+incremental layer relies on):
+
+1. **Everything a verdict depends on is hashed.**  A pass key covers exactly
+   ``(ENGINE_VERSION, toolchain_fingerprint(), module, qualname, class
+   source, canonicalised constructor kwargs)`` — nothing else.  The file
+   set that can change a pass key is therefore the pass's own module plus
+   the toolchain/rule modules listed by :func:`toolchain_modules`; this is
+   the contract :mod:`repro.incremental.deps` builds its dependency index
+   on.
+2. **Keys are deterministic across processes.**  Symbolic uids are renamed
+   in order of first appearance before hashing, so the same obligation
+   produced in two worker processes (with different raw uid counters) maps
+   to the same subgoal key:
+
+   >>> renamer = _UidRenamer()
+   >>> [renamer.rename(uid) for uid in ["g7", "seg12", "g7"]]
+   ['g#0', 'seg#1', 'g#0']
+   >>> _UidRenamer().rename_embedded("(int31+1)")
+   '(int#0+1)'
+
+3. **Cosmetic changes do not invalidate.**  Subgoal descriptions are
+   excluded from :func:`normalize_subgoal`; path facts are sorted by a
+   uid-masked shape key so recording order cannot perturb the hash.
+4. **Version bumps invalidate everything.**  ``ENGINE_VERSION`` is folded
+   into every key; bumping it orphans every existing cache entry at once.
 """
 
 from __future__ import annotations
@@ -223,56 +250,90 @@ def rule_set_fingerprint() -> str:
     return _rule_set_memo
 
 
-def toolchain_fingerprint() -> str:
-    """Hash of everything a cached verdict depends on besides the pass.
+def toolchain_modules() -> Tuple:
+    """The modules whose source text feeds :func:`toolchain_fingerprint`.
 
     Covers both halves of the pipeline: the *front end* that generates the
     obligations (preprocessor, symbolic executor, loop templates, utility
     specifications, the base-pass obligations, the top-level verifier) and
     the *back end* that discharges them (rule set, discharge engine,
-    sequence-equivalence engine, mini-SMT solver).  Editing any of them
-    changes this hash and therefore every cache key, so a fixed template or
-    a strengthened obligation can never be masked by a stale cached verdict.
+    sequence-equivalence engine, mini-SMT solver).  The rule-set modules
+    (:mod:`repro.symbolic.rules`, :mod:`repro.symbolic.commutation`) hash
+    separately through :func:`rule_set_fingerprint` but are included here so
+    callers asking "which files can change a cache key?" (the incremental
+    dependency index) get the complete answer.
+    """
+    from repro.smt import congruence, ematch, solver
+    from repro.symbolic import commutation, equivalence, rules
+    from repro.utility import (
+        analysis_ops,
+        circuit_ops,
+        coupling_ops,
+        layout_selection,
+        merge,
+        transforms,
+    )
+    from repro.verify import (
+        counterexample,
+        discharge,
+        facts,
+        passes,
+        preprocessor,
+        session,
+        symvalues,
+        templates,
+        verifier,
+    )
+
+    return (
+        # obligation generation
+        verifier, preprocessor, session, symvalues, templates, facts,
+        passes, analysis_ops, circuit_ops, coupling_ops,
+        layout_selection, merge, transforms,
+        # obligation discharge
+        discharge, equivalence, solver, congruence, ematch,
+        # counterexample confirmation (cached alongside the verdict)
+        counterexample,
+        # the rule set (hashed separately via rule_set_fingerprint)
+        rules, commutation,
+    )
+
+
+def toolchain_fingerprint() -> str:
+    """Hash of everything a cached verdict depends on besides the pass.
+
+    Editing any module in :func:`toolchain_modules` changes this hash and
+    therefore every cache key, so a fixed template or a strengthened
+    obligation can never be masked by a stale cached verdict.
     """
     global _toolchain_memo
     if _toolchain_memo is None:
-        from repro.smt import congruence, ematch, solver
-        from repro.symbolic import equivalence
-        from repro.utility import (
-            analysis_ops,
-            circuit_ops,
-            coupling_ops,
-            layout_selection,
-            merge,
-            transforms,
-        )
-        from repro.verify import (
-            counterexample,
-            discharge,
-            facts,
-            passes,
-            preprocessor,
-            session,
-            symvalues,
-            templates,
-            verifier,
-        )
+        from repro.symbolic import commutation, rules
 
-        modules = (
-            # obligation generation
-            verifier, preprocessor, session, symvalues, templates, facts,
-            passes, analysis_ops, circuit_ops, coupling_ops,
-            layout_selection, merge, transforms,
-            # obligation discharge
-            discharge, equivalence, solver, congruence, ematch,
-            # counterexample confirmation (cached alongside the verdict)
-            counterexample,
+        excluded = {rules, commutation}
+        sources = "\n".join(
+            inspect.getsource(module)
+            for module in toolchain_modules() if module not in excluded
         )
-        sources = "\n".join(inspect.getsource(module) for module in modules)
         _toolchain_memo = _sha256(
             f"engine-v{ENGINE_VERSION}\n{rule_set_fingerprint()}\n{sources}"
         )
     return _toolchain_memo
+
+
+def reset_memos() -> None:
+    """Forget every memoised fingerprint and source extraction.
+
+    Long-lived processes (``repro watch``, the daemon's background watcher)
+    call this after reloading an edited module: the rule-set and toolchain
+    hashes are memoised per process, so without a reset a re-fingerprinted
+    pass would be keyed against the *old* prover and stale proofs could be
+    served for a live edit.
+    """
+    global _rule_set_memo, _toolchain_memo
+    _rule_set_memo = None
+    _toolchain_memo = None
+    _module_class_sources.cache_clear()
 
 
 # --------------------------------------------------------------------------- #

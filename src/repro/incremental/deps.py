@@ -1,0 +1,268 @@
+"""The dependency index: which files can change which cache keys.
+
+A pass fingerprint (:func:`repro.engine.fingerprint.pass_fingerprint`)
+hashes the pass's class source, its canonicalised constructor kwargs, and
+the toolchain/rule-set hash.  The set of files whose edit can change that
+key is therefore *statically known*: the pass's own module, every
+intra-package module it transitively imports (conservative — an import can
+only widen the set, never miss the module the class source lives in), and
+the toolchain modules listed by
+:func:`repro.engine.fingerprint.toolchain_modules`.
+
+This module computes that file set by walking the import graph with
+:mod:`ast` (stdlib only, no module execution), and defines the *dependency
+entry* the proof-cache backends persist as a schema-versioned sidecar:
+
+``identity key`` → ``{"schema": ..., "fingerprint": ..., "module": ...,
+"qualname": ..., "paths": [...]}``
+
+where the identity key names a *configuration* (class + constructor kwargs)
+independently of its source text.  The identity key is the stable handle an
+edit cannot change; the fingerprint recorded under it is the cache key the
+configuration verified to last time.  ``verify_passes`` records entries at
+verification time; :mod:`repro.incremental.detect` consumes them.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import os
+import sys
+from functools import lru_cache
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.engine.fingerprint import (
+    _canon,
+    _canon_kwarg,
+    _sha256,
+    toolchain_modules,
+)
+from repro.incremental.detect import normalize_path as _normalize
+
+#: Bump when the dependency-entry layout changes incompatibly; sidecar
+#: records written under another schema are ignored (and rewritten on the
+#: next verification) rather than misread.
+DEPS_SCHEMA_VERSION = 1
+
+#: Only modules under this package participate in the import walk; the
+#: stdlib and third-party dependencies are part of the interpreter
+#: environment, not of the watched source tree.
+_PACKAGE_ROOT = "repro"
+
+
+def module_source_path(module_name: str) -> Optional[str]:
+    """The source file backing ``module_name``, or ``None`` (builtin, C ext).
+
+    Prefers the already-imported module's ``__file__`` (cheap, and correct
+    for reloaded modules); falls back to :func:`importlib.util.find_spec`
+    without importing the module.
+    """
+    module = sys.modules.get(module_name)
+    path = getattr(module, "__file__", None) if module is not None else None
+    if path is None:
+        try:
+            spec = importlib.util.find_spec(module_name)
+        except (ImportError, AttributeError, ValueError):
+            return None
+        path = spec.origin if spec is not None else None
+    if path is None or not path.endswith(".py"):
+        return None
+    return _normalize(path)
+
+
+def _stamp(path: str) -> Optional[Tuple[str, int, int]]:
+    try:
+        status = os.stat(path)
+    except OSError:
+        return None
+    return (path, status.st_mtime_ns, status.st_size)
+
+
+@lru_cache(maxsize=None)
+def _module_imports(module_name: str, stamp: Tuple) -> Tuple[str, ...]:
+    """Package-internal module names imported by ``module_name``'s source.
+
+    Parsed with :mod:`ast` — nothing is executed.  ``from package import
+    name`` is ambiguous between a submodule and an attribute; both readings
+    are resolved and whichever names an importable module survives, so
+    ``from repro.utility import circuit_ops`` contributes
+    ``repro.utility.circuit_ops`` while ``from repro.verify.passes import
+    AnalysisPass`` contributes only ``repro.verify.passes``.  ``stamp``
+    (path, mtime, size) keys the memo so an edited file is re-parsed.
+    """
+    path = stamp[0]
+    del module_name  # identified by the stamp's path; kept for readability
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            tree = ast.parse(handle.read())
+    except (OSError, SyntaxError, ValueError):
+        return ()
+    found: Set[str] = set()
+
+    def note(name: Optional[str]) -> None:
+        if name and (name == _PACKAGE_ROOT or name.startswith(_PACKAGE_ROOT + ".")):
+            found.add(name)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                note(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Relative import: resolve against the file's package.  The
+                # package name is recovered from the path suffix, which is
+                # reliable for this repo's src layout.
+                base = _package_of(path, node.level, base)
+            note(base)
+            for alias in node.names:
+                if base:
+                    note(f"{base}.{alias.name}")
+    # Keep only names that actually resolve to source files (drops the
+    # attribute reading of `from module import attribute`).
+    resolved = tuple(sorted(
+        name for name in found if module_source_path(name) is not None
+    ))
+    return resolved
+
+
+def _package_of(path: str, level: int, base: str) -> str:
+    """Resolve a ``from . import x``-style module name from the file path."""
+    parts = _normalize(path).split(os.sep)
+    try:
+        root = parts.index(_PACKAGE_ROOT)
+    except ValueError:
+        return base
+    package = parts[root:-1]  # drop the file name
+    ascend = level - 1
+    if ascend:
+        package = package[:-ascend] if ascend < len(package) else []
+    if not package:
+        return base
+    prefix = ".".join(package)
+    return f"{prefix}.{base}" if base else prefix
+
+
+def import_closure(module_name: str) -> Set[str]:
+    """Transitive intra-package import closure of ``module_name`` (inclusive)."""
+    seen: Set[str] = set()
+    queue = [module_name]
+    while queue:
+        name = queue.pop()
+        if name in seen:
+            continue
+        path = module_source_path(name)
+        if path is None:
+            continue
+        seen.add(name)
+        stamp = _stamp(path)
+        if stamp is None:
+            continue
+        for imported in _module_imports(name, stamp):
+            if imported not in seen:
+                queue.append(imported)
+    return seen
+
+
+_toolchain_paths_memo: Optional[Tuple[str, ...]] = None
+
+
+def toolchain_dependency_paths() -> Tuple[str, ...]:
+    """Source files of every module the toolchain fingerprint hashes.
+
+    Includes ``engine/fingerprint.py`` itself: ``ENGINE_VERSION`` and the
+    canonicalisation rules live there, so editing it can change every key.
+    """
+    global _toolchain_paths_memo
+    if _toolchain_paths_memo is None:
+        from repro.engine import fingerprint
+
+        paths = {_normalize(fingerprint.__file__)}
+        for module in toolchain_modules():
+            path = getattr(module, "__file__", None)
+            if path is not None:
+                paths.add(_normalize(path))
+        _toolchain_paths_memo = tuple(sorted(paths))
+    return _toolchain_paths_memo
+
+
+def reset_memos() -> None:
+    """Forget memoised import walks and toolchain paths (after reloads)."""
+    global _toolchain_paths_memo
+    _toolchain_paths_memo = None
+    _module_imports.cache_clear()
+
+
+def pass_dependency_paths(pass_class) -> Tuple[str, ...]:
+    """Every file whose edit can change ``pass_class``'s cache key.
+
+    The union of the pass module's transitive intra-package import closure
+    and the toolchain paths.  Deliberately conservative: a file in this set
+    that does not actually feed the fingerprint costs one redundant
+    fingerprint check on edit (which then hits the cache); a file missing
+    from this set would let a stale verdict survive an edit.
+    """
+    paths: Set[str] = set(toolchain_dependency_paths())
+    for name in import_closure(pass_class.__module__):
+        path = module_source_path(name)
+        if path is not None:
+            paths.add(path)
+    return tuple(sorted(paths))
+
+
+def identity_key(pass_class, pass_kwargs: Optional[Dict] = None) -> str:
+    """Stable key for one *configuration*, independent of its source text.
+
+    Hashes the class's dotted name and canonicalised constructor kwargs —
+    exactly the parts of :func:`~repro.engine.fingerprint.pass_fingerprint`
+    an edit cannot change — so an edited pass keeps its identity while its
+    fingerprint moves.
+    """
+    kwargs = {
+        str(key): _canon_kwarg(value)
+        for key, value in (pass_kwargs or {}).items()
+    }
+    return _sha256(_canon((
+        "identity",
+        pass_class.__module__,
+        pass_class.__qualname__,
+        kwargs,
+    )))
+
+
+def build_dep_entry(pass_class, pass_kwargs: Optional[Dict],
+                    fingerprint: str) -> Dict[str, object]:
+    """The persisted dependency record for one verified configuration."""
+    return {
+        "schema": DEPS_SCHEMA_VERSION,
+        "fingerprint": fingerprint,
+        "module": pass_class.__module__,
+        "qualname": pass_class.__qualname__,
+        "paths": list(pass_dependency_paths(pass_class)),
+    }
+
+
+def load_dep_index(directory, backend: str = "jsonl") -> Dict[str, Dict]:
+    """Read the persisted dependency index without loading the proof tier.
+
+    The sqlite store is cheap to open (rows load on demand); the JSONL tier
+    would load every proof just to reach the sidecar, so that backend reads
+    ``deps.jsonl`` directly.
+    """
+    if backend == "sqlite":
+        from repro.service.store import SqliteProofCache
+
+        with SqliteProofCache(directory) as store:
+            return store.deps_snapshot()
+    from repro.engine.cache import read_deps_sidecar
+
+    return read_deps_sidecar(directory)
+
+
+def dep_index_paths(dep_index: Dict[str, Dict]) -> List[str]:
+    """The union of every recorded entry's file set (the watchable surface)."""
+    paths: Set[str] = set()
+    for entry in dep_index.values():
+        paths.update(entry.get("paths", ()))
+    return sorted(paths)

@@ -71,6 +71,9 @@ class VerificationService:
         rule_set_fingerprint()
         self.toolchain = toolchain_fingerprint()
         self.cache = open_proof_cache(self.cache_dir, backend)
+        #: Set by :func:`serve` when the opt-in background file watcher is
+        #: running (``repro serve --watch``).
+        self.watcher: Optional["DaemonWatcher"] = None
 
     def close(self) -> None:
         self.cache.close()
@@ -83,6 +86,16 @@ class VerificationService:
         specs = body.get("passes")
         if not isinstance(specs, list) or not specs:
             raise ProtocolError("request must carry a non-empty 'passes' list")
+        # With the watcher on, serve requests only from caught-up state: an
+        # edit that landed since the last poll would otherwise be resolved
+        # to the stale in-memory classes while being keyed against the new
+        # on-disk source — and that wrong verdict would be cached.  Catch
+        # up *before* resolving specs, so they hit the refreshed registry.
+        # A failed catch-up must fail the request (the client falls back to
+        # sound in-process verification), not proceed on possibly-stale
+        # state; half-saved files are already tolerated inside the cycle.
+        if self.watcher is not None:
+            self.watcher.run_cycle()
         pairs = [resolve_pass_spec(spec, self.registry) for spec in specs]
         jobs = body.get("jobs")
         jobs = self.jobs if jobs is None else int(jobs)
@@ -90,6 +103,18 @@ class VerificationService:
 
         with self._verify_lock:
             results, stats = self._verify_pairs(pairs, jobs, counterexample_search)
+        if self.watcher is not None:
+            try:
+                self.watcher.refresh_surface()
+            except Exception as exc:
+                # The next cycle's poll re-reads the dep index and retries
+                # the baseline automatically; log so the shrunken-window
+                # guarantee being temporarily weaker is at least visible.
+                import sys
+
+                print(f"repro serve: watch-surface refresh failed "
+                      f"({type(exc).__name__}: {exc}); retrying next cycle",
+                      file=sys.stderr)
         with self._counter_lock:
             self.requests_served += 1
             self.passes_served += len(pairs)
@@ -144,6 +169,12 @@ class VerificationService:
         payload = self.identity()
         payload["toolchain_fingerprint"] = self.toolchain
         payload["known_passes"] = len(self.registry)
+        watcher = self.watcher
+        payload["watcher"] = None if watcher is None else {
+            "interval_seconds": watcher.interval,
+            "cycles": watcher.cycles,
+            "prewarmed": watcher.prewarmed,
+        }
         summary = getattr(self.cache, "summary", None)
         if summary is not None:
             payload["store"] = summary()
@@ -151,6 +182,128 @@ class VerificationService:
             payload["store"] = {"backend": getattr(self.cache, "backend", None),
                                 "entries_live": len(self.cache)}
         return payload
+
+
+class DaemonWatcher(threading.Thread):
+    """Background file watcher that pre-warms invalidated cache entries.
+
+    Opt-in (``repro serve --watch``): polls the dependency index's file
+    surface; when a watched source file really changes, it reloads the
+    edited modules, refreshes the memoised fingerprints, and re-verifies
+    exactly the invalidated configurations against the daemon's own store —
+    so the next ``repro verify --daemon`` after an edit is served warm
+    instead of paying the re-proof at request time.
+
+    Cycles take the service's verify lock, so a watcher re-proof and a
+    client request serialise exactly like two client requests do.  The
+    toolchain fingerprint is re-derived after a reload; if it moved (a
+    prover edit), the service and its store switch to the new fingerprint
+    so freshly proved entries are keyed — and client requests filtered —
+    consistently.
+    """
+
+    def __init__(self, service: "VerificationService", interval: float = 2.0,
+                 pass_classes=None, pass_kwargs_fn=None) -> None:
+        super().__init__(name="repro-daemon-watcher", daemon=True)
+        from repro.engine.driver import default_pass_kwargs
+        from repro.incremental.detect import ChangeDetector
+
+        self.service = service
+        self.interval = interval
+        self.kwargs_fn = pass_kwargs_fn or default_pass_kwargs
+        self._explicit_classes = list(pass_classes) if pass_classes is not None else None
+        self._detector = ChangeDetector()
+        self._stop = threading.Event()
+        #: Serialises cycles: the polling thread and request-time catch-up
+        #: calls (see VerificationService.verify) share one detector.
+        self._cycle_lock = threading.Lock()
+        self.cycles = 0
+        self.prewarmed = 0
+        self._baseline()
+
+    def _classes(self):
+        if self._explicit_classes is not None:
+            return self._explicit_classes
+        return list(self.service.registry.values())
+
+    def _baseline(self) -> None:
+        """Extend the watch surface with newly recorded dependency paths.
+
+        Uses ``add_paths`` (baseline-only), never ``poll``: polling here
+        would silently consume a pending change of an already-watched file.
+        """
+        from repro.incremental.deps import dep_index_paths
+
+        self._detector.add_paths(
+            dep_index_paths(self.service.cache.deps_snapshot()))
+
+    def refresh_surface(self) -> None:
+        """Re-baseline after a request may have recorded new dependencies.
+
+        Called by the service after each verify request: a configuration
+        verified for the first time only just gained a dependency entry,
+        and its files must be watched from *this* moment — waiting for the
+        next cycle would let an edit race in unobserved and be baselined
+        as if it were the verified content.
+        """
+        with self._cycle_lock:
+            self._baseline()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.run_cycle()
+            except Exception:
+                # A failed cycle (half-saved file, transient store error)
+                # must not kill the watcher; the next poll retries.
+                continue
+
+    def run_cycle(self) -> int:
+        """Poll once; re-verify what an edit invalidated.  Returns the count."""
+        with self._cycle_lock:
+            return self._cycle()
+
+    def _cycle(self) -> int:
+        from repro.incremental.deps import dep_index_paths
+        from repro.incremental.watch import refresh_classes, refresh_source_state
+
+        self.cycles += 1
+        changed = self._detector.poll(
+            dep_index_paths(self.service.cache.deps_snapshot()))
+        if not changed:
+            return 0
+        with self.service._verify_lock:
+            refresh_source_state(changed)
+            from repro.engine.driver import verify_passes
+            from repro.engine.fingerprint import toolchain_fingerprint
+
+            toolchain = toolchain_fingerprint()
+            if toolchain != self.service.toolchain:
+                self.service.toolchain = toolchain
+                self.service.cache.active_fingerprint = toolchain
+            if self._explicit_classes is not None:
+                self._explicit_classes = refresh_classes(self._explicit_classes)
+            # The registry is the wire-facing resolution table; it must
+            # always point at the reloaded classes or a request arriving
+            # right after the cycle would still verify the pre-edit code.
+            self.service.registry = {
+                name: cls for name, cls in zip(
+                    self.service.registry,
+                    refresh_classes(list(self.service.registry.values())))
+            }
+            report = verify_passes(
+                self._classes(),
+                jobs=self.service.jobs,
+                cache=self.service.cache,
+                pass_kwargs_fn=self.kwargs_fn,
+                changed_paths=changed,
+            )
+        stale = report.stats.stale_passes or 0
+        self.prewarmed += stale
+        return stale
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -273,6 +426,7 @@ class ProofDaemon(ThreadingHTTPServer):
 def serve(cache_dir: Optional[os.PathLike] = None, backend: str = "sqlite",
           host: str = "127.0.0.1", port: int = 0, jobs: int = 1,
           verbose: bool = False,
+          watch_interval: Optional[float] = None,
           ready_callback=None) -> None:
     """Run a daemon in the foreground until interrupted or shut down.
 
@@ -280,11 +434,22 @@ def serve(cache_dir: Optional[os.PathLike] = None, backend: str = "sqlite",
     full cleanup — without the handler a terminated daemon would leave its
     stale ``daemon.json`` behind and every later ``--daemon`` client would
     pay a failed probe before falling back.
+
+    ``watch_interval`` (seconds) opts into the background
+    :class:`DaemonWatcher`: edited pass/toolchain sources are re-verified
+    into the store as they change, so clients arriving after an edit are
+    served warm.
     """
     import signal
 
     service = VerificationService(cache_dir=cache_dir, backend=backend, jobs=jobs)
     with ProofDaemon(service, host=host, port=port, verbose=verbose) as server:
+        watcher = None
+        if watch_interval is not None:
+            watcher = DaemonWatcher(service, interval=watch_interval)
+            service.watcher = watcher
+            watcher.start()
+
         def stop(_signum, _frame):
             threading.Thread(target=server.shutdown, daemon=True).start()
 
@@ -300,5 +465,7 @@ def serve(cache_dir: Optional[os.PathLike] = None, backend: str = "sqlite",
         except KeyboardInterrupt:
             pass
         finally:
+            if watcher is not None:
+                watcher.stop()
             if previous is not None:
                 signal.signal(signal.SIGTERM, previous)

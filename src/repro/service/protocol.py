@@ -19,6 +19,39 @@ TCP, JSON bodies, one shared-secret token.  Three endpoints:
 Discovery is file-based: a running daemon writes ``daemon.json`` (endpoint,
 pid, auth token; mode 0600) into its cache directory, which is exactly the
 rendezvous clients already share for the proof store itself.
+
+Wire-format invariants (what ``docs/caching.md`` and ``docs/operations.md``
+document and every client may rely on):
+
+1. **Only expressible requests travel.**  A pass spec carries a class name
+   and at most a coupling map; any other constructor kwarg raises
+   :class:`ProtocolError` *client-side*, so the daemon can never silently
+   verify a different configuration than the caller asked for:
+
+   >>> from repro.passes import CXCancellation, SabreSwap
+   >>> make_pass_spec(CXCancellation, None)
+   {'name': 'CXCancellation', 'coupling': None}
+   >>> from repro.coupling.devices import linear_device
+   >>> spec = make_pass_spec(SabreSwap, {"coupling": linear_device(3)})
+   >>> spec["coupling"]["num_qubits"]
+   3
+   >>> make_pass_spec(SabreSwap, None)  # doctest: +IGNORE_EXCEPTION_DETAIL
+   Traceback (most recent call last):
+       ...
+   ProtocolError: SabreSwap needs a coupling map; refusing to let the daemon substitute its default device
+
+2. **Couplings are canonical on the wire.**  Edges are serialised sorted,
+   so two clients describing the same device produce byte-identical specs
+   (and therefore identical cache keys daemon-side).
+3. **Results round-trip.**  ``results`` entries are exactly the engine's
+   JSON payloads (:func:`repro.engine.driver.result_to_payload`) plus a
+   ``from_cache`` flag; ``stats`` is an ``EngineStats.to_dict()`` block.
+   Decoding with :func:`repro.engine.driver.payload_to_result` loses
+   nothing a report consumes.
+4. **Version skew fails closed.**  ``protocol_version`` travels in the
+   state file; a client that finds a mismatched version treats it as "no
+   daemon" and falls back in-process rather than speaking a format it does
+   not know.
 """
 
 from __future__ import annotations

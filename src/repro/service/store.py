@@ -18,6 +18,11 @@ concurrent clients:
 
 ``migrate_jsonl`` imports an existing JSONL cache one-shot, preserving each
 entry's recorded fingerprint.
+
+A ``deps`` table carries the incremental layer's dependency index (identity
+key → fingerprint + file set, see :mod:`repro.incremental.deps`), gated by
+its own per-row schema number — the sidecar analogue of the JSONL tier's
+``deps.jsonl``.
 """
 
 from __future__ import annotations
@@ -54,6 +59,12 @@ CREATE TABLE IF NOT EXISTS proofs (
     PRIMARY KEY (kind, key)
 );
 CREATE INDEX IF NOT EXISTS proofs_lru ON proofs (last_used_at);
+CREATE TABLE IF NOT EXISTS deps (
+    key        TEXT PRIMARY KEY,
+    schema     INTEGER NOT NULL,
+    value      TEXT NOT NULL,
+    updated_at REAL NOT NULL
+);
 """
 
 
@@ -163,6 +174,7 @@ class SqliteProofCache:
             # Incompatible layout: rebuild.  Losing cache entries is safe;
             # misreading them is not.
             cursor.execute("DROP TABLE IF EXISTS proofs")
+            cursor.execute("DROP TABLE IF EXISTS deps")
             cursor.execute("DELETE FROM meta")
             cursor.executescript(_SCHEMA)
             cursor.execute(
@@ -307,6 +319,62 @@ class SqliteProofCache:
             )
 
     # ------------------------------------------------------------------ #
+    # Dependency sidecar (incremental re-verification)
+    # ------------------------------------------------------------------ #
+    def get_deps(self, key: str) -> Optional[dict]:
+        """The dependency entry recorded under ``key``, or ``None``.
+
+        Entries written under another sidecar schema are invisible, exactly
+        like proofs written under another toolchain fingerprint.
+        """
+        from repro.incremental.deps import DEPS_SCHEMA_VERSION
+
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM deps WHERE key = ? AND schema = ?",
+                (key, DEPS_SCHEMA_VERSION),
+            ).fetchone()
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except json.JSONDecodeError:
+            self.stats.corrupt_lines += 1
+            return None
+
+    def put_deps(self, key: str, value: dict) -> None:
+        """Record (or refresh) one dependency entry."""
+        from repro.incremental.deps import DEPS_SCHEMA_VERSION
+
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO deps (key, schema, value, updated_at) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT (key) DO UPDATE SET "
+                "schema = excluded.schema, value = excluded.value, "
+                "updated_at = excluded.updated_at",
+                (key, DEPS_SCHEMA_VERSION, json.dumps(value, sort_keys=True),
+                 time.time()),
+            )
+
+    def deps_snapshot(self) -> Dict[str, dict]:
+        """A plain-dict copy of the (current-schema) dependency index."""
+        from repro.incremental.deps import DEPS_SCHEMA_VERSION
+
+        snapshot: Dict[str, dict] = {}
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key, value FROM deps WHERE schema = ?",
+                (DEPS_SCHEMA_VERSION,),
+            ).fetchall()
+        for key, value in rows:
+            try:
+                snapshot[key] = json.loads(value)
+            except json.JSONDecodeError:
+                self.stats.corrupt_lines += 1
+        return snapshot
+
+    # ------------------------------------------------------------------ #
     # Eviction / maintenance
     # ------------------------------------------------------------------ #
     def prune(self, max_entries: int) -> int:
@@ -321,6 +389,10 @@ class SqliteProofCache:
             cursor = self._conn.cursor()
             cursor.execute("BEGIN IMMEDIATE")
             try:
+                from repro.incremental.deps import DEPS_SCHEMA_VERSION
+
+                cursor.execute("DELETE FROM deps WHERE schema != ?",
+                               (DEPS_SCHEMA_VERSION,))
                 cursor.execute("DELETE FROM proofs WHERE fp != ?",
                                (self.active_fingerprint,))
                 evicted = cursor.rowcount

@@ -1,0 +1,47 @@
+"""Tier-1 guard over the documentation: links resolve, snippets execute.
+
+Same checks as ``tools/check_docs.py`` (which CI's docs job runs); having
+them in the test suite means a doc-breaking refactor fails locally too.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_docs",
+    Path(__file__).resolve().parents[2] / "tools" / "check_docs.py",
+)
+check_docs = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_docs)
+
+
+def test_doc_files_present():
+    names = {path.name for path in check_docs.doc_files()}
+    assert {"README.md", "architecture.md", "caching.md", "operations.md",
+            "writing-a-pass.md"} <= names
+
+
+@pytest.mark.parametrize("path", check_docs.doc_files(),
+                         ids=lambda p: p.name)
+def test_intra_repo_links_resolve(path):
+    assert check_docs.check_links(path) == []
+
+
+@pytest.mark.parametrize("path", check_docs.doc_files(),
+                         ids=lambda p: p.name)
+def test_doc_snippets_execute(path):
+    assert check_docs.run_doctests(path) == []
+
+
+def test_docs_actually_contain_executable_snippets():
+    """At least the architecture/caching/tutorial pages must stay runnable."""
+    import doctest
+
+    runnable = 0
+    parser = doctest.DocTestParser()
+    for path in check_docs.doc_files():
+        examples = parser.get_examples(path.read_text(encoding="utf-8"))
+        runnable += len(examples)
+    assert runnable >= 10

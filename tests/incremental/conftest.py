@@ -1,0 +1,111 @@
+"""Fixtures for the incremental-verification suite: editable pass packages.
+
+The tests need pass classes whose *source files they may rewrite* — the real
+``src/repro/passes`` modules must stay untouched — so each test package is
+generated under ``tmp_path``, put on ``sys.path``, and torn down (including
+its ``sys.modules`` entries) afterwards.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import textwrap
+import time
+import uuid
+
+import pytest
+
+GOOD_WIDTH = '''
+from repro.verify.passes import AnalysisPass
+
+
+class TempWidth(AnalysisPass):
+    """Store the register width."""
+
+    def run(self, circuit):
+        self.property_set["width"] = circuit.num_qubits
+        return circuit
+'''
+
+GOOD_WIDTH_EDITED = '''
+from repro.verify.passes import AnalysisPass
+
+
+class TempWidth(AnalysisPass):
+    """Store the register width (including clbits)."""
+
+    def run(self, circuit):
+        self.property_set["width"] = circuit.num_qubits + circuit.num_clbits
+        return circuit
+'''
+
+GOOD_SIZE = '''
+from repro.verify.passes import AnalysisPass
+
+
+class TempSize(AnalysisPass):
+    """Store a placeholder size."""
+
+    def run(self, circuit):
+        self.property_set["size"] = 0
+        return circuit
+'''
+
+
+class TempPassPackage:
+    """A throwaway importable package holding editable pass modules."""
+
+    #: Canned module bodies, exposed here so the tests (which cannot
+    #: relative-import this conftest) reach them through the fixture.
+    GOOD_WIDTH = GOOD_WIDTH
+    GOOD_WIDTH_EDITED = GOOD_WIDTH_EDITED
+    GOOD_SIZE = GOOD_SIZE
+
+    def __init__(self, root) -> None:
+        self.name = f"incrpkg_{uuid.uuid4().hex[:10]}"
+        self.root = root
+        self.package_dir = os.path.join(str(root), self.name)
+        os.makedirs(self.package_dir)
+        self.write("__init__.py", "")
+        sys.path.insert(0, str(root))
+
+    def write(self, filename: str, body: str) -> str:
+        """(Re)write one module file; returns its path.
+
+        The mtime is nudged forward explicitly: two writes within one
+        filesystem-timestamp granule would otherwise look identical to a
+        stat-based change detector (the sha check would still catch it,
+        but the tests should exercise the cheap path too).
+        """
+        path = os.path.join(self.package_dir, filename)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(textwrap.dedent(body))
+        bump = time.time() + getattr(self, "_bumps", 0) + 1
+        self._bumps = getattr(self, "_bumps", 0) + 1
+        os.utime(path, (bump, bump))
+        return path
+
+    def path_of(self, filename: str) -> str:
+        return os.path.realpath(os.path.join(self.package_dir, filename))
+
+    def load(self, module: str, attribute: str):
+        import importlib
+
+        imported = importlib.import_module(f"{self.name}.{module}")
+        return getattr(imported, attribute)
+
+    def cleanup(self) -> None:
+        sys.path.remove(str(self.root))
+        for name in list(sys.modules):
+            if name == self.name or name.startswith(self.name + "."):
+                del sys.modules[name]
+
+
+@pytest.fixture
+def pass_package(tmp_path):
+    package = TempPassPackage(tmp_path / "pkgroot")
+    try:
+        yield package
+    finally:
+        package.cleanup()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Documentation checker: executable snippets and intra-repo links.
+
+Two checks over ``README.md`` and every ``docs/*.md``:
+
+* **Doctests.**  Every ``>>>`` example in the Markdown is executed with
+  :mod:`doctest` (``python -m doctest``-style), so the documented commands
+  and outputs cannot rot.  ``ELLIPSIS`` and ``NORMALIZE_WHITESPACE`` are
+  enabled, matching the repo's docstring doctests.
+* **Links.**  Every relative Markdown link target must exist in the repo
+  (anchors are stripped); a renamed file breaks CI instead of readers.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status is nonzero on any failure.  The same checks run in the tier-1
+suite (``tests/docs/test_docs.py``) and in the CI ``docs`` job.
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+import re
+import sys
+import tempfile
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target captured up to the closing paren (Markdown
+#: inline links; reference-style links are not used in this repo's docs).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_DOCTEST_FLAGS = doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+
+
+def doc_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_links(path: Path) -> List[str]:
+    """Broken relative link targets in one Markdown file."""
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link {target!r}")
+    return errors
+
+
+def run_doctests(path: Path) -> List[str]:
+    """Execute the file's ``>>>`` examples; return failure descriptions."""
+    results = doctest.testfile(
+        str(path), module_relative=False, optionflags=_DOCTEST_FLAGS,
+        verbose=False, report=True,
+    )
+    if results.failed:
+        return [f"{path.relative_to(REPO_ROOT)}: "
+                f"{results.failed}/{results.attempted} doctest(s) failed"]
+    return []
+
+
+def main() -> int:
+    # Doc snippets exercise the real engine; keep their proof cache out of
+    # the user's $HOME (mirrors the test suite's isolation fixture).
+    scratch = tempfile.mkdtemp(prefix="repro-docs-")
+    os.environ.setdefault("REPRO_CACHE_DIR", os.path.join(scratch, "cache"))
+
+    errors: List[str] = []
+    attempted = 0
+    for path in doc_files():
+        errors.extend(check_links(path))
+        errors.extend(run_doctests(path))
+        attempted += 1
+    if not attempted:
+        errors.append("no documentation files found")
+    for error in errors:
+        print(f"FAIL: {error}", file=sys.stderr)
+    if not errors:
+        print(f"docs ok: {attempted} files checked (links + doctests)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
