@@ -1,0 +1,92 @@
+"""Cluster benchmark: cold distributed verification vs cold ``--jobs 1``.
+
+Runs the full verification suite twice against fresh proof caches — once
+through the plain single-worker engine, once through
+:func:`repro.cluster.verify_passes_distributed` — and reports both walls,
+the speedup, and whether the verdicts matched (they must; distribution
+only changes wall time).  ``--record PATH`` writes the measurement as JSON
+so CI can assert on it and the repo can keep a recorded bench.
+
+Run as ``repro bench cluster --workers 2 --record bench-cluster.json`` or
+``python -m repro.bench.cluster``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine import verify_passes
+from repro.passes import ALL_VERIFIED_PASSES, EXTENSION_PASSES
+
+
+def run_cluster_bench(workers: int = 2,
+                      pass_classes: Optional[Sequence] = None,
+                      shard_threshold: Optional[float] = None) -> Dict[str, object]:
+    """Measure cold single-process vs cold distributed verification."""
+    from repro.cluster import verify_passes_distributed
+
+    suite = list(pass_classes) if pass_classes is not None \
+        else list(ALL_VERIFIED_PASSES) + list(EXTENSION_PASSES)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-single-") as single_dir:
+        single = verify_passes(suite, jobs=1, cache_dir=single_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as cluster_dir:
+        distributed = verify_passes_distributed(
+            suite, workers=workers, cache_dir=cluster_dir,
+            shard_threshold=shard_threshold,
+        )
+
+    single_verdicts = [(r.pass_name, r.verified) for r in single.results]
+    cluster_verdicts = [(r.pass_name, r.verified) for r in distributed.results]
+    single_wall = single.stats.wall_seconds
+    cluster_wall = distributed.stats.wall_seconds
+    return {
+        "passes": len(suite),
+        "workers": workers,
+        "single_wall_seconds": round(single_wall, 6),
+        "cluster_wall_seconds": round(cluster_wall, 6),
+        "speedup": round(single_wall / max(cluster_wall, 1e-9), 3),
+        "verdicts_identical": single_verdicts == cluster_verdicts,
+        "cluster": distributed.stats.cluster,
+    }
+
+
+def render(payload: Dict[str, object]) -> List[str]:
+    info = payload["cluster"] or {}
+    return [
+        f"cluster bench: {payload['passes']} passes, cold caches",
+        f"  single (--jobs 1) : {payload['single_wall_seconds']:.3f}s wall",
+        f"  cluster (workers={payload['workers']}): "
+        f"{payload['cluster_wall_seconds']:.3f}s wall "
+        f"({info.get('remote_units', 0)} units remote, "
+        f"{info.get('split_passes', 0)} passes split)",
+        f"  speedup           : {payload['speedup']:.2f}x",
+        f"  verdicts identical: {payload['verdicts_identical']}",
+    ]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2, metavar="N")
+    parser.add_argument("--shard-threshold", type=float, default=None,
+                        metavar="SECONDS")
+    parser.add_argument("--record", default=None, metavar="PATH",
+                        help="write the measured comparison as JSON")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    payload = run_cluster_bench(workers=args.workers,
+                                shard_threshold=args.shard_threshold)
+    for line in render(payload):
+        print(line)
+    if args.record:
+        with open(args.record, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if payload["verdicts_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

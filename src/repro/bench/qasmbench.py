@@ -305,8 +305,56 @@ def build_circuit(family: str, size: int) -> QCircuit:
     return _FAMILIES[family](size)
 
 
-def qasmbench_suite(entries: Sequence = DEFAULT_SUITE) -> List[BenchmarkCircuit]:
-    """Build the benchmark suite, each entry carrying its OpenQASM source."""
+def load_qasm_suite(directory) -> List[BenchmarkCircuit]:
+    """Load a file-backed suite: every ``*.qasm`` in ``directory``.
+
+    Entries are named after their files and sorted by name, so the suite
+    order is stable across hosts.  Files that do not parse are skipped
+    (a half-saved file must not kill a benchmark run); the family of a
+    file-backed entry is ``"file"``.  The returned entries carry their
+    source path, so ``repro watch --data`` can watch the suite directory's
+    files and drive re-runs on edit.
+    """
+    import os
+
+    suite: List[BenchmarkCircuit] = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".qasm"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                qasm = handle.read()
+            circuit = parse_qasm(qasm)
+        except Exception:
+            continue
+        suite.append(
+            BenchmarkCircuit(
+                name=os.path.splitext(name)[0],
+                family="file",
+                num_qubits=circuit.num_qubits,
+                num_gates=circuit.size(),
+                qasm=qasm,
+            )
+        )
+    return suite
+
+
+def qasmbench_suite(entries: Sequence = DEFAULT_SUITE,
+                    directory=None) -> List[BenchmarkCircuit]:
+    """Build the benchmark suite, each entry carrying its OpenQASM source.
+
+    By default the suite is regenerated parametrically; pass ``directory``
+    (or set ``$REPRO_QASM_DIR``) to load a real ``*.qasm`` file suite
+    instead — the original QASMBench distribution drops in unchanged.
+    """
+    import os
+
+    directory = directory or os.environ.get("REPRO_QASM_DIR")
+    if directory:
+        loaded = load_qasm_suite(directory)
+        if loaded:
+            return loaded
     suite: List[BenchmarkCircuit] = []
     for family, size in entries:
         circuit = build_circuit(family, size)

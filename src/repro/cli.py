@@ -4,7 +4,15 @@ Invoked as ``python -m repro <command>``.  Commands:
 
 ``verify``
     Verify one, several, or all compiler passes and print a report
-    (text, Markdown, or JSON).
+    (text, Markdown, or JSON).  ``--workers N`` distributes the batch over
+    N local worker processes (unix socket); ``--cluster HOSTFILE`` listens
+    for remote ``repro work`` peers instead; ``--changed PATH`` scopes the
+    run incrementally to what those edits can have invalidated.
+
+``work``
+    Join a verification cluster as a worker: lease units from a
+    coordinator (``repro verify --cluster``), verify them with the local
+    engine, stream results back.
 
 ``transpile``
     Compile an OpenQASM 2 file for a named device with either the verified
@@ -21,8 +29,9 @@ Invoked as ``python -m repro <command>``.  Commands:
     ``serve --watch`` additionally pre-warms invalidated entries on edit.
 
 ``cache``
-    Maintain the proof cache: ``prune`` (LRU eviction to a bound) and
-    ``migrate`` (one-shot JSONL → sqlite import).
+    Maintain the proof cache: ``prune`` (LRU eviction to a bound),
+    ``migrate`` (one-shot JSONL → sqlite import), and ``gc`` (drop
+    dependency-index entries for configurations no longer in any suite).
 
 ``bench``
     Run one of the paper's evaluation drivers (``table2``, ``figure11``,
@@ -81,8 +90,28 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     # --jobs 0 means "auto" (one worker per CPU, capped); the engine applies
     # the convention, so 0 passes through unchanged.
     jobs = args.jobs
+    cluster_mode = args.workers is not None or args.cluster is not None
+    if cluster_mode and (args.daemon or (args.workers is not None and args.cluster)):
+        print("--workers/--cluster are mutually exclusive with each other "
+              "and with --daemon", file=sys.stderr)
+        return 2
     try:
-        if args.daemon:
+        if cluster_mode:
+            from repro.cluster import verify_passes_distributed
+
+            report = verify_passes_distributed(
+                selected,
+                workers=args.workers if args.workers is not None else 0,
+                hostfile=args.cluster,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                backend=args.backend,
+                pass_kwargs_fn=pass_kwargs_for,
+                changed_paths=args.changed,
+                shard_threshold=args.shard_threshold,
+                shard_count=args.shard_count,
+            )
+        elif args.daemon:
             from repro.service.client import verify_with_fallback
 
             report = verify_with_fallback(
@@ -92,6 +121,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 jobs=jobs,
                 use_cache=not args.no_cache,
                 pass_kwargs_fn=pass_kwargs_for,
+                changed_paths=args.changed,
             )
         else:
             report = verify_passes(
@@ -101,6 +131,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 use_cache=not args.no_cache,
                 backend=args.backend,
                 pass_kwargs_fn=pass_kwargs_for,
+                changed_paths=args.changed,
             )
     except (OSError, sqlite3.Error) as exc:
         print(f"cannot open proof cache: {exc}", file=sys.stderr)
@@ -144,6 +175,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         use_daemon=args.daemon,
         pass_kwargs_fn=pass_kwargs_for,
+        extra_paths=args.data or (),
     )
     try:
         last = watcher.watch(interval=args.interval, cycles=args.cycles)
@@ -153,6 +185,80 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     if last is None:
         return 0
     return 0 if all(r.verified for r in watcher.last_results) else 1
+
+
+# --------------------------------------------------------------------------- #
+# work
+# --------------------------------------------------------------------------- #
+def _cmd_work(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.cluster import TransportError, read_cluster_state, run_worker
+    from repro.engine import default_cache_dir
+
+    address = args.connect
+    token = None
+    if args.token_file:
+        try:
+            with open(args.token_file, "r", encoding="utf-8") as handle:
+                token = handle.read().strip()
+        except OSError as exc:
+            print(f"cannot read token file: {exc}", file=sys.stderr)
+            return 2
+    cache_dir = args.cache_dir or str(default_cache_dir())
+
+    def discover(wait_forever):
+        """Fill whichever of (address, token) the flags left open.
+
+        A persistent (``--loop``) worker waits for the next coordinator
+        indefinitely; a one-shot worker gives up after ``--wait`` seconds.
+        """
+        if address is not None and token is not None:
+            return address, token
+        deadline = None if wait_forever else time.monotonic() + args.wait
+        while True:
+            state = read_cluster_state(cache_dir)
+            if state is not None:
+                return address or state.address, token or state.token
+            if deadline is not None and time.monotonic() >= deadline:
+                return None, None
+            time.sleep(0.2)
+
+    total = 0
+    sessions = 0
+    try:
+        while True:
+            found_address, found_token = discover(
+                wait_forever=args.loop and sessions > 0)
+            if found_address is None:
+                print(f"no coordinator found (checked {cache_dir}/cluster.json "
+                      f"for {args.wait:.0f}s); start one with "
+                      f"`repro verify --cluster HOSTFILE` or pass "
+                      f"--connect/--token-file",
+                      file=sys.stderr)
+                return 1
+            try:
+                completed = run_worker(found_address, found_token,
+                                       max_units=args.max_units)
+            except TransportError as exc:
+                if sessions and args.loop:
+                    # The discovered state was a finished coordinator's
+                    # leftovers, or it died between discovery and connect;
+                    # keep waiting for the next run.
+                    time.sleep(0.5)
+                    continue
+                print(f"worker: {exc}", file=sys.stderr)
+                return 1
+            total += completed
+            sessions += 1
+            if not args.loop:
+                break
+            time.sleep(0.5)  # let the finished coordinator remove its state
+    except KeyboardInterrupt:
+        pass
+    print(f"worker done: {total} units verified"
+          + (f" across {sessions} sessions" if sessions > 1 else ""))
+    return 0
 
 
 # --------------------------------------------------------------------------- #
@@ -315,6 +421,24 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"migrated {migrated} entries from {cache_dir}/proofs.jsonl "
               f"to {cache_dir}/proofs.sqlite")
         return 0
+    if args.cache_command == "gc":
+        from repro.incremental.deps import identity_key
+
+        live = {
+            identity_key(pass_class, pass_kwargs_for(pass_class))
+            for pass_class in _known_passes().values()
+        }
+        try:
+            with open_proof_cache(cache_dir, args.backend) as cache:
+                before = len(cache.deps_snapshot())
+                removed = cache.gc_deps(live)
+        except (OSError, sqlite3.Error) as exc:
+            print(f"cannot open proof cache: {exc}", file=sys.stderr)
+            return 2
+        print(f"gc'd {args.backend} dependency index at {cache_dir}: "
+              f"{before} -> {before - removed} entries "
+              f"({removed} reclaimed for configurations no longer in any suite)")
+        return 0
     # prune
     if args.max_entries < 0:
         print("--max-entries must be >= 0", file=sys.stderr)
@@ -324,11 +448,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             before = len(cache)
             evicted = cache.prune(args.max_entries)
             after = len(cache)
+            deps_reclaimed = cache.stats.deps_reclaimed
     except (OSError, sqlite3.Error) as exc:
         print(f"cannot open proof cache: {exc}", file=sys.stderr)
         return 2
     print(f"pruned {args.backend} cache at {cache_dir}: "
-          f"{before} -> {after} entries ({evicted} evicted)")
+          f"{before} -> {after} entries ({evicted} evicted, "
+          f"{deps_reclaimed} dep rows reclaimed)")
     return 0
 
 
@@ -344,6 +470,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.bench.figure11 import main as figure11_main
 
         return figure11_main(["--small"] if args.small else [])
+    if args.target == "cluster":
+        from repro.bench.cluster import main as cluster_main
+
+        argv = ["--workers", str(args.workers)]
+        if args.record:
+            argv += ["--record", args.record]
+        return cluster_main(argv)
     from repro.bench.case_studies import main as case_studies_main
 
     return case_studies_main([])
@@ -414,7 +547,52 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--daemon", action="store_true",
                         help="send the batch to a running `repro serve` daemon "
                              "(falls back to in-process verification if none)")
+    verify.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="distribute the batch over N local worker "
+                             "processes leased over a unix socket "
+                             "(0 = auto); verdicts are identical to "
+                             "in-process runs at any worker count")
+    verify.add_argument("--cluster", default=None, metavar="HOSTFILE",
+                        help="listen for remote `repro work` peers on the "
+                             "hostfile's address (token-authenticated TCP) "
+                             "and distribute the batch across them")
+    verify.add_argument("--shard-threshold", type=float, default=None,
+                        metavar="SECONDS",
+                        help="split passes whose recorded wall time is at "
+                             "least SECONDS into subgoal shards "
+                             "(default 1.0; <= 0 splits every pending pass)")
+    verify.add_argument("--shard-count", type=int, default=2, metavar="N",
+                        help="number of subgoal shards per split pass (default 2)")
+    verify.add_argument("--changed", action="append", default=None,
+                        metavar="PATH",
+                        help="run incrementally: re-check only passes whose "
+                             "dependency files include PATH (repeatable; "
+                             "works in-process, --daemon, and cluster modes)")
     verify.set_defaults(handler=_cmd_verify)
+
+    work = sub.add_parser(
+        "work", help="join a verification cluster as a worker")
+    work.add_argument("--connect", default=None, metavar="ADDR",
+                      help="coordinator address (host:port or unix:/path); "
+                           "default: discover via the cache directory's "
+                           "cluster.json")
+    work.add_argument("--token-file", default=None, metavar="FILE",
+                      help="file holding the cluster token (written by the "
+                           "coordinator as cluster-token in its cache dir)")
+    work.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="cache directory to discover the coordinator "
+                           "through (default ~/.cache/repro)")
+    work.add_argument("--wait", type=float, default=30.0, metavar="SECONDS",
+                      help="how long to wait for a coordinator to appear "
+                           "(default 30)")
+    work.add_argument("--max-units", type=int, default=None, metavar="N",
+                      help="exit after verifying N units (default: work "
+                           "until the coordinator finishes)")
+    work.add_argument("--loop", action="store_true",
+                      help="when a run finishes, wait for the next "
+                           "coordinator instead of exiting (persistent "
+                           "fleet worker)")
+    work.set_defaults(handler=_cmd_work)
 
     watch = sub.add_parser(
         "watch", help="re-verify passes incrementally as their sources change")
@@ -434,6 +612,10 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--daemon", action="store_true",
                        help="route re-verification through a running "
                             "`repro serve` daemon (falls back in-process)")
+    watch.add_argument("--data", action="append", default=None, metavar="PATH",
+                       help="additionally watch a data file (device map, "
+                            "qasm suite) whose edits should trigger "
+                            "re-verification (repeatable)")
     watch.set_defaults(handler=_cmd_watch)
 
     serve = sub.add_parser("serve", help="run the resident verification daemon")
@@ -476,6 +658,11 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="import a JSONL cache into the sqlite store")
     migrate.add_argument("--cache-dir", default=None, metavar="DIR")
     migrate.set_defaults(handler=_cmd_cache)
+    gc = cache_sub.add_parser(
+        "gc", help="drop dependency entries for configurations not in any suite")
+    gc.add_argument("--backend", choices=("jsonl", "sqlite"), default="jsonl")
+    gc.add_argument("--cache-dir", default=None, metavar="DIR")
+    gc.set_defaults(handler=_cmd_cache)
 
     transpile = sub.add_parser("transpile", help="compile an OpenQASM 2 file for a device")
     transpile.add_argument("input", help="OpenQASM 2 file, or - for stdin")
@@ -486,10 +673,14 @@ def build_parser() -> argparse.ArgumentParser:
     transpile.set_defaults(handler=_cmd_transpile)
 
     bench = sub.add_parser("bench", help="run one of the paper's evaluation drivers")
-    bench.add_argument("target", choices=("table2", "figure11", "case-studies"))
+    bench.add_argument("target", choices=("table2", "figure11", "case-studies", "cluster"))
     bench.add_argument("--small", action="store_true", help="figure11: use the trimmed suite")
     bench.add_argument("--new-passes-only", action="store_true",
                        help="table2: only the passes new in Qiskit 0.32")
+    bench.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="cluster: worker processes for the distributed side")
+    bench.add_argument("--record", default=None, metavar="PATH",
+                       help="cluster: write the measured comparison as JSON")
     bench.set_defaults(handler=_cmd_bench)
 
     soundness = sub.add_parser("soundness", help="re-check the rewrite rules numerically")

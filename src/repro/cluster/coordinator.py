@@ -1,0 +1,707 @@
+"""The cluster coordinator: schedule units, merge results, own the store.
+
+:func:`verify_passes_distributed` is the cluster analogue of
+:func:`repro.engine.verify_passes` — same arguments, same
+:class:`~repro.engine.driver.EngineReport` out, identical verdicts — with
+the pending work fanned out over worker processes (``workers=N`` spawns
+them locally over a unix socket) or worker hosts (``hostfile=...`` listens
+on token-authenticated TCP for ``repro work --connect`` peers).
+
+The run is structured exactly like the in-process driver:
+
+1. :func:`~repro.engine.driver.resolve_pending` serves everything the
+   shared store can (so a warm cluster run never spawns a worker at all);
+2. :func:`~repro.cluster.plan.plan_units` decomposes the misses into
+   whole-pass units and, for recorded-slow passes, subgoal shards;
+3. a :class:`UnitScheduler` leases units to whichever worker asks,
+   re-queues units whose connection died, and *steals* long-outstanding
+   leases onto idle workers (first result wins — unit ids are
+   deterministic, so duplicated work is merely wasted, never wrong);
+4. results stream back and are written through the coordinator's cache —
+   the one warm tier every worker also reads via the networked store —
+   and shard payloads are merged with
+   :func:`~repro.engine.driver.merge_shard_payloads`;
+5. anything the cluster could not finish (no workers came, a unit failed
+   repeatedly, kwargs the wire cannot express) is verified in-process.
+   The cluster is a fast path, never a dependency: with no reachable
+   worker the run completes locally with identical verdicts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import secrets
+import shutil
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.cluster.plan import (
+    DEFAULT_SHARD_COUNT,
+    Plan,
+    WorkUnit,
+    load_timings,
+    plan_units,
+    record_timings,
+)
+from repro.cluster.store import is_store_op, serve_store_op
+from repro.cluster.transport import (
+    ClusterEndpoint,
+    Connection,
+    Listener,
+    TransportError,
+    remove_cluster_state,
+    server_handshake,
+    write_cluster_state,
+)
+from repro.cluster.worker import worker_process_entry
+from repro.engine.cache import default_cache_dir, open_proof_cache
+from repro.engine.driver import (
+    EngineReport,
+    EngineStats,
+    _verify_one,
+    default_pass_kwargs,
+    finalize_stats,
+    merge_shard_payloads,
+    payload_to_result,
+    record_deferred_deps,
+    resolve_pending,
+    result_to_payload,
+)
+from repro.engine.scheduler import default_jobs
+from repro.incremental.deps import identity_key
+from repro.service.protocol import pass_registry
+
+
+# --------------------------------------------------------------------------- #
+# Hostfile
+# --------------------------------------------------------------------------- #
+@dataclass
+class HostfileConfig:
+    """Parsed ``--cluster`` hostfile (see docs/operations.md)."""
+
+    listen: str
+    advertise: Optional[str] = None
+    workers: Optional[int] = None
+
+
+def parse_hostfile(path: os.PathLike) -> HostfileConfig:
+    """Parse a hostfile: ``listen``/``advertise``/``workers`` directives.
+
+    >>> import tempfile, os
+    >>> lines = ["# repro cluster hostfile", "listen 0.0.0.0:7200",
+    ...          "advertise 10.0.0.5:7200", "workers 4"]
+    >>> fd, name = tempfile.mkstemp()
+    >>> _ = os.write(fd, "\\n".join(lines).encode()); os.close(fd)
+    >>> config = parse_hostfile(name)
+    >>> (config.listen, config.advertise, config.workers)
+    ('0.0.0.0:7200', '10.0.0.5:7200', 4)
+    >>> os.unlink(name)
+    """
+    listen = advertise = None
+    workers = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{line_number}: expected 'key value'")
+            key, value = parts[0].lower(), parts[1].strip()
+            if key == "listen":
+                listen = value
+            elif key == "advertise":
+                advertise = value
+            elif key == "workers":
+                workers = int(value)
+            else:
+                raise ValueError(
+                    f"{path}:{line_number}: unknown directive {key!r} "
+                    f"(expected listen/advertise/workers)")
+    if listen is None:
+        raise ValueError(f"{path}: missing required 'listen HOST:PORT' line")
+    return HostfileConfig(listen=listen, advertise=advertise, workers=workers)
+
+
+# --------------------------------------------------------------------------- #
+# Scheduling
+# --------------------------------------------------------------------------- #
+class UnitScheduler:
+    """Thread-safe lease/steal/retry bookkeeping over a fixed unit set."""
+
+    def __init__(self, units: Sequence[WorkUnit], *,
+                 steal_after: float = 5.0, max_attempts: int = 3) -> None:
+        self._by_id: Dict[str, WorkUnit] = {u.unit_id: u for u in units}
+        self._pending = deque(units)
+        #: unit_id -> {"since": float, "owners": set}
+        self._leases: Dict[str, Dict] = {}
+        self.results: Dict[str, Dict] = {}
+        self.failures: Dict[str, str] = {}
+        self._attempts: Dict[str, int] = {}
+        self._cond = threading.Condition()
+        self.steal_after = steal_after
+        self.max_attempts = max_attempts
+        self.stolen = 0
+        self.retried = 0
+
+    # ------------------------------------------------------------------ #
+    def lease(self, owner: str) -> Tuple[str, Optional[WorkUnit]]:
+        """Hand ``owner`` a unit: ``("unit", u)``, ``("wait", None)``, or
+        ``("done", None)``."""
+        now = time.monotonic()
+        with self._cond:
+            while self._pending:
+                unit = self._pending.popleft()
+                if unit.unit_id in self.results or unit.unit_id in self.failures:
+                    continue  # resolved while queued (steal raced a retry)
+                lease = self._leases.setdefault(
+                    unit.unit_id, {"since": now, "owners": set()})
+                lease["owners"].add(owner)
+                return ("unit", unit)
+            # Work stealing: re-lease the longest-outstanding unit to an
+            # idle worker.  First result wins; the duplicate is discarded.
+            candidates = [
+                (lease["since"], unit_id)
+                for unit_id, lease in self._leases.items()
+                if unit_id not in self.results
+                and unit_id not in self.failures
+                and owner not in lease["owners"]
+                and now - lease["since"] >= self.steal_after
+            ]
+            if candidates:
+                _, unit_id = min(candidates)
+                self._leases[unit_id]["owners"].add(owner)
+                self.stolen += 1
+                return ("unit", self._by_id[unit_id])
+            if self._done_locked():
+                return ("done", None)
+            return ("wait", None)
+
+    def complete(self, unit_id: str, message: Dict) -> bool:
+        """Record one worker's result; returns True if it was accepted."""
+        with self._cond:
+            unit = self._by_id.get(unit_id)
+            if unit is None or unit_id in self.results:
+                return False
+            if message.get("ok"):
+                self.results[unit_id] = message
+                self._leases.pop(unit_id, None)
+                self._cond.notify_all()
+                return True
+            self._leases.pop(unit_id, None)
+            attempts = self._attempts.get(unit_id, 0) + 1
+            self._attempts[unit_id] = attempts
+            if attempts < self.max_attempts:
+                self.retried += 1
+                self._pending.append(unit)
+            else:
+                self.failures[unit_id] = str(message.get("error", "unit failed"))
+            self._cond.notify_all()
+            return False
+
+    def release(self, owner: str) -> None:
+        """A connection died: re-queue the units only it was working on."""
+        with self._cond:
+            for unit_id, lease in list(self._leases.items()):
+                lease["owners"].discard(owner)
+                if not lease["owners"] and unit_id not in self.results:
+                    del self._leases[unit_id]
+                    self.retried += 1
+                    self._pending.append(self._by_id[unit_id])
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    def _done_locked(self) -> bool:
+        return all(unit_id in self.results or unit_id in self.failures
+                   for unit_id in self._by_id)
+
+    @property
+    def done(self) -> bool:
+        with self._cond:
+            return self._done_locked()
+
+    def unresolved_units(self) -> List[WorkUnit]:
+        with self._cond:
+            return [unit for unit_id, unit in self._by_id.items()
+                    if unit_id not in self.results]
+
+    def wait(self, timeout: float) -> bool:
+        """Block until every unit is resolved or ``timeout`` elapses."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while not self._done_locked():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(min(remaining, 0.2))
+            return True
+
+
+# --------------------------------------------------------------------------- #
+# The coordinator
+# --------------------------------------------------------------------------- #
+class ClusterCoordinator:
+    """Serve one run's units to authenticated workers; absorb their results."""
+
+    def __init__(self, cache, scheduler: UnitScheduler, token: str, *,
+                 counterexample_search: bool = True) -> None:
+        from repro.engine.fingerprint import toolchain_fingerprint
+
+        self.cache = cache
+        self.scheduler = scheduler
+        self.token = token
+        self.counterexample_search = counterexample_search
+        self.toolchain = toolchain_fingerprint()
+        #: Coordinator-side view of the shared subgoal tier, plus an
+        #: append-ordered log so each connection gets exactly the entries
+        #: it has not seen (piggybacked on lease responses).
+        self._subgoal_lock = threading.Lock()
+        self._shared_subgoals: Dict[str, dict] = (
+            cache.subgoal_snapshot() if cache is not None else {})
+        self._subgoal_log: List[Tuple[str, dict]] = []
+        self._store_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self.workers_connected = 0
+        self.workers_seen = 0
+        self.remote_units = 0
+        self.worker_seconds = 0.0
+        self.worker_subgoal_hits = 0
+        self.worker_subgoal_misses = 0
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------ #
+    # Result absorption
+    # ------------------------------------------------------------------ #
+    def _absorb_result(self, message: Dict) -> None:
+        """Write an accepted result's subgoals through to the shared tier."""
+        with self._subgoal_lock:
+            fresh = {
+                key: value
+                for key, value in (message.get("new_subgoals") or {}).items()
+                if key not in self._shared_subgoals
+            }
+            for key, value in fresh.items():
+                self._shared_subgoals[key] = value
+                self._subgoal_log.append((key, value))
+        if self.cache is not None:
+            with self._store_lock:
+                for key, value in fresh.items():
+                    if not self.cache.has_subgoal(key):
+                        self.cache.put_subgoal(key, value)
+                self.cache.touch_subgoals(message.get("subgoal_hit_keys") or [])
+        with self._counter_lock:
+            self.remote_units += 1
+            self.worker_seconds += float(message.get("wall_seconds", 0.0))
+            self.worker_subgoal_hits += int(message.get("subgoal_hits", 0))
+            self.worker_subgoal_misses += int(message.get("subgoal_misses", 0))
+
+    def _snapshot_for(self, marker_box: Dict) -> Dict[str, dict]:
+        """Serve one connection's bulk snapshot; advance its update marker."""
+        with self._subgoal_lock:
+            marker_box["marker"] = len(self._subgoal_log)
+            return dict(self._shared_subgoals)
+
+    def _updates_for(self, marker_box: Dict) -> Dict[str, dict]:
+        with self._subgoal_lock:
+            marker = marker_box.get("marker", 0)
+            entries = self._subgoal_log[marker:]
+            marker_box["marker"] = len(self._subgoal_log)
+            return dict(entries)
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    def _handle_connection(self, connection: Connection, owner: str) -> None:
+        hello = server_handshake(connection, self.token,
+                                 welcome_extra={"toolchain": self.toolchain})
+        if hello is None:
+            return
+        marker_box: Dict = {}
+        with self._counter_lock:
+            self.workers_connected += 1
+            self.workers_seen += 1
+        try:
+            while not self._stop.is_set():
+                message = connection.recv()
+                if message is None:
+                    break
+                op = message.get("op")
+                if op == "store.subgoal_snapshot":
+                    connection.send({"op": "store.reply",
+                                     "value": self._snapshot_for(marker_box)})
+                elif is_store_op(message):
+                    with self._store_lock:
+                        reply = serve_store_op(self.cache, message,
+                                               allow_writes=False)
+                    connection.send(reply)
+                elif op == "lease":
+                    kind, unit = self.scheduler.lease(owner)
+                    if kind == "unit":
+                        connection.send({
+                            "op": "unit",
+                            "unit": unit.to_wire(self.counterexample_search),
+                            "subgoal_updates": self._updates_for(marker_box),
+                        })
+                    elif kind == "wait":
+                        connection.send({"op": "wait", "seconds": 0.05})
+                    else:
+                        connection.send({"op": "done"})
+                        break
+                elif op == "result":
+                    accepted = self.scheduler.complete(
+                        str(message.get("unit_id")), message)
+                    if accepted:
+                        self._absorb_result(message)
+                # Unknown ops are ignored: forward compatibility within a
+                # protocol version is additive.
+        except TransportError:
+            pass
+        finally:
+            self.scheduler.release(owner)
+            connection.close()
+            with self._counter_lock:
+                self.workers_connected -= 1
+
+    def serve(self, listener: Listener) -> None:
+        """Accept connections until :meth:`stop`; one thread per worker."""
+        def accept_loop():
+            counter = 0
+            while not self._stop.is_set():
+                try:
+                    connection = listener.accept(timeout=0.2)
+                except TransportError:
+                    continue
+                counter += 1
+                owner = f"worker-{counter}-{connection.peer}"
+                thread = threading.Thread(
+                    target=self._handle_connection, args=(connection, owner),
+                    name=f"repro-cluster-{owner}", daemon=True)
+                thread.start()
+                self._threads.append(thread)
+
+        acceptor = threading.Thread(target=accept_loop,
+                                    name="repro-cluster-accept", daemon=True)
+        acceptor.start()
+        self._threads.append(acceptor)
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+# --------------------------------------------------------------------------- #
+# Local worker processes
+# --------------------------------------------------------------------------- #
+def _spawn_local_workers(address: str, token: str, count: int) -> List:
+    """Start ``count`` worker processes against ``address``.
+
+    Prefers ``fork`` (the children inherit the warmed prover, so spawning
+    costs milliseconds, not an interpreter+import each); degrades to the
+    platform default, and to an empty list when process creation is not
+    available at all (the caller then verifies in-process).
+    """
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    processes = []
+    for _ in range(count):
+        try:
+            process = context.Process(
+                target=worker_process_entry, args=(address, token), daemon=True)
+            process.start()
+        except (OSError, ValueError, ImportError):
+            break
+        processes.append(process)
+    return processes
+
+
+# --------------------------------------------------------------------------- #
+# The distributed batch API
+# --------------------------------------------------------------------------- #
+def verify_passes_distributed(
+    pass_classes: Sequence[Type],
+    *,
+    workers: int = 0,
+    hostfile: Optional[os.PathLike] = None,
+    cache=None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    backend: str = "jsonl",
+    pass_kwargs_fn=None,
+    counterexample_search: bool = True,
+    changed_paths=None,
+    record_deps: bool = True,
+    shard_threshold: Optional[float] = None,
+    shard_count: int = DEFAULT_SHARD_COUNT,
+    worker_wait: float = 30.0,
+    run_timeout: float = 600.0,
+    steal_after: float = 5.0,
+) -> EngineReport:
+    """Verify a batch across a worker cluster; in-process for what remains.
+
+    ``workers=N`` (``0`` = one per CPU, capped like ``--jobs 0``) spawns N
+    local worker processes over a private unix socket; ``hostfile=PATH``
+    instead listens on the file's ``listen`` address and serves whichever
+    authenticated ``repro work`` peers connect (``workers`` and
+    ``hostfile`` are mutually exclusive).  All other parameters match
+    :func:`repro.engine.verify_passes`, including ``changed_paths`` for
+    dependency-scoped incremental cluster runs.  Verdicts are identical
+    to the single-process engine at any worker count — distribution, like
+    ``jobs``, only changes wall time.
+    """
+    started = time.perf_counter()
+    from repro.engine.driver import _check_changed_paths
+
+    _check_changed_paths(changed_paths)
+    kwargs_fn = pass_kwargs_fn or default_pass_kwargs
+    if hostfile is not None and workers:
+        raise ValueError("workers=N and hostfile=... are mutually exclusive")
+    local_mode = hostfile is None
+    worker_count = default_jobs() if int(workers) <= 0 else int(workers)
+    stats = EngineStats(jobs=worker_count if local_mode else 1,
+                        passes_total=len(pass_classes))
+
+    own_cache = False
+    if cache is None and use_cache:
+        cache = open_proof_cache(cache_dir or default_cache_dir(), backend)
+        own_cache = True
+    base_invalidated = 0 if own_cache or cache is None else cache.stats.invalidated
+    try:
+        return _distributed_with_cache(
+            pass_classes, stats, cache, kwargs_fn, started, base_invalidated,
+            counterexample_search=counterexample_search,
+            changed_paths=changed_paths, record_deps=record_deps,
+            local_mode=local_mode, worker_count=worker_count,
+            hostfile=hostfile, shard_threshold=shard_threshold,
+            shard_count=shard_count, worker_wait=worker_wait,
+            run_timeout=run_timeout, steal_after=steal_after,
+        )
+    finally:
+        if own_cache:
+            cache.close()
+
+
+def _distributed_with_cache(
+    pass_classes, stats, cache, kwargs_fn, started, base_invalidated, *,
+    counterexample_search, changed_paths, record_deps, local_mode,
+    worker_count, hostfile, shard_threshold, shard_count, worker_wait,
+    run_timeout, steal_after,
+) -> EngineReport:
+    base_hits = cache.stats.pass_hits if cache is not None else 0
+    base_misses = cache.stats.pass_misses if cache is not None else 0
+
+    # Dependency recording (import-graph walks) is deferred off the
+    # critical path: the coordinator records it while the workers prove.
+    deferred_deps: List[Tuple] = [] if record_deps else None
+    results, pending = resolve_pending(
+        pass_classes, stats, cache, kwargs_fn,
+        changed_paths=changed_paths, record_deps=record_deps,
+        deferred_deps=deferred_deps,
+    )
+
+    cluster_info: Dict[str, object] = {
+        "workers": 0, "units_total": 0, "split_passes": 0,
+        "remote_units": 0, "local_units": 0, "stolen": 0, "retried": 0,
+    }
+    stats.cluster = cluster_info
+    if not pending:
+        if deferred_deps:
+            record_deferred_deps(cache, deferred_deps)
+        finalize_stats(stats, cache, base_hits, base_misses, base_invalidated,
+                       0, started)
+        return EngineReport(results=list(results), stats=stats)
+
+    registry = pass_registry()
+    timings_dir = None
+    if cache is not None and cache.directory is not None:
+        timings_dir = cache.directory
+    plan = plan_units(
+        pending, registry,
+        timings=load_timings(timings_dir),
+        shard_threshold=shard_threshold, shard_count=shard_count,
+    )
+    cluster_info["units_total"] = len(plan.units)
+    cluster_info["split_passes"] = plan.split_passes
+
+    scheduler = UnitScheduler(plan.units, steal_after=steal_after)
+    coordinator = ClusterCoordinator(
+        cache, scheduler, secrets.token_hex(16),
+        counterexample_search=counterexample_search)
+
+    listener = None
+    processes: List = []
+    scratch_dir = None
+    state_dir = None
+    try:
+        if plan.units:
+            try:
+                if local_mode:
+                    scratch_dir = tempfile.mkdtemp(prefix="repro-cluster-")
+                    listener = Listener(f"unix:{scratch_dir}/coordinator.sock")
+                else:
+                    config = parse_hostfile(hostfile)
+                    listener = Listener(config.listen)
+                    advertise = config.advertise or listener.address
+                    state_dir = (cache.directory if cache is not None and
+                                 cache.directory is not None else default_cache_dir())
+                    write_cluster_state(state_dir, ClusterEndpoint(
+                        address=advertise, token=coordinator.token,
+                        pid=os.getpid()))
+            except (TransportError, OSError, ValueError) as exc:
+                if not local_mode:
+                    raise  # an unusable hostfile is an error, not a fallback
+                listener = None  # no sockets on this host: verify locally
+
+        if listener is not None:
+            # Fork the local workers before any coordinator thread starts:
+            # forking a process with live threads risks inheriting a held
+            # lock mid-operation.  The listener is already bound, so early
+            # connections simply queue in the backlog.
+            if local_mode:
+                processes = _spawn_local_workers(
+                    listener.address, coordinator.token, worker_count)
+            coordinator.serve(listener)
+            if deferred_deps:
+                record_deferred_deps(cache, deferred_deps,
+                                     lock=coordinator._store_lock)
+                deferred_deps = []
+            _await_completion(scheduler, coordinator, processes,
+                              local_mode=local_mode, worker_wait=worker_wait,
+                              run_timeout=run_timeout)
+    finally:
+        # Stop before closing the listener: the accept loop polls the stop
+        # event, and closing its socket first would leave it spinning on
+        # accept errors until the event is set.
+        coordinator.stop()
+        if listener is not None:
+            listener.close()
+        for process in processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        if state_dir is not None:
+            remove_cluster_state(state_dir, coordinator.token)
+        if scratch_dir is not None:
+            shutil.rmtree(scratch_dir, ignore_errors=True)
+
+    if deferred_deps:  # the cluster never served (no sockets on this host)
+        record_deferred_deps(cache, deferred_deps)
+
+    _merge_run(results, pending, plan, scheduler, coordinator, cache, stats,
+               counterexample_search, timings_dir, kwargs_fn)
+
+    cluster_info["workers"] = coordinator.workers_seen
+    cluster_info["remote_units"] = coordinator.remote_units
+    cluster_info["stolen"] = scheduler.stolen
+    cluster_info["retried"] = scheduler.retried
+    cluster_info["worker_seconds"] = round(coordinator.worker_seconds, 6)
+    stats.used_processes = coordinator.remote_units > 0
+    stats.subgoal_hits += coordinator.worker_subgoal_hits
+    stats.subgoal_misses += coordinator.worker_subgoal_misses
+    finalize_stats(stats, cache, base_hits, base_misses, base_invalidated,
+                   len(pending), started)
+    return EngineReport(results=list(results), stats=stats)
+
+
+def _await_completion(scheduler, coordinator, processes, *, local_mode,
+                      worker_wait, run_timeout) -> None:
+    """Wait for the units — but never longer than the cluster deserves.
+
+    Bails out early (leaving the remainder to the in-process fallback)
+    when every local worker process is already dead, when no worker at all
+    connected within ``worker_wait``, or when every previously connected
+    worker has been gone for ``worker_wait`` without a replacement — a
+    crashed fleet must not stall the run until ``run_timeout``.
+    """
+    deadline = time.monotonic() + run_timeout
+    first_worker_deadline = time.monotonic() + worker_wait
+    idle_since = None
+    while not scheduler.done:
+        now = time.monotonic()
+        if now >= deadline:
+            return
+        if coordinator.workers_connected == 0:
+            if local_mode and processes and \
+                    not any(process.is_alive() for process in processes):
+                return
+            if coordinator.workers_seen == 0 and now >= first_worker_deadline:
+                return
+            if coordinator.workers_seen > 0:
+                idle_since = idle_since or now
+                if now - idle_since >= worker_wait:
+                    return
+        else:
+            idle_since = None
+        scheduler.wait(0.2)
+
+
+def _merge_run(results, pending, plan: Plan, scheduler: UnitScheduler,
+               coordinator: ClusterCoordinator, cache, stats,
+               counterexample_search, timings_dir, kwargs_fn) -> None:
+    """Fold unit results into ordered pass results; prove leftovers locally."""
+    units_by_index: Dict[int, List[WorkUnit]] = {}
+    for unit in plan.units:
+        units_by_index.setdefault(unit.index, []).append(unit)
+
+    timing_updates: Dict[str, float] = {}
+    local_entries = list(plan.local)
+    for entry in pending:
+        index, pass_class, pass_kwargs, key = entry
+        units = units_by_index.get(index)
+        if not units:
+            continue  # already routed to plan.local
+        payloads = [scheduler.results.get(unit.unit_id) for unit in units]
+        if any(payload is None for payload in payloads):
+            local_entries.append(entry)
+            continue
+        try:
+            if units[0].kind == "shard":
+                merged = merge_shard_payloads(
+                    [message["payload"] for message in payloads])
+            else:
+                merged = payloads[0]["payload"]
+        except (ValueError, KeyError):
+            local_entries.append(entry)
+            continue
+        # A failing split pass has no counterexample (shards never search);
+        # re-prove it whole so the report matches single-process output.
+        if units[0].kind == "shard" and not merged["verified"] \
+                and counterexample_search:
+            local_entries.append(entry)
+            continue
+        results[index] = payload_to_result(merged)
+        if cache is not None:
+            with coordinator._store_lock:
+                cache.put_pass(key, merged)
+        timing_updates[identity_key(pass_class, pass_kwargs)] = \
+            merged["time_seconds"]
+
+    local_count = 0
+    for index, pass_class, pass_kwargs, key in local_entries:
+        result, new_entries, hits, misses, hit_keys = _verify_one(
+            pass_class, pass_kwargs, counterexample_search,
+            coordinator._shared_subgoals,
+        )
+        local_count += 1
+        results[index] = result
+        stats.subgoal_hits += hits
+        stats.subgoal_misses += misses
+        if cache is not None:
+            # Under the store lock: a still-draining handler thread may be
+            # serving a late worker message against the same cache.
+            with coordinator._store_lock:
+                cache.put_pass(key, result_to_payload(result))
+                for sub_key, value in new_entries.items():
+                    if not cache.has_subgoal(sub_key):
+                        cache.put_subgoal(sub_key, value)
+                cache.touch_subgoals(hit_keys)
+        timing_updates[identity_key(pass_class, pass_kwargs)] = \
+            result.time_seconds
+    stats.cluster["local_units"] = local_count
+
+    record_timings(timings_dir, timing_updates)

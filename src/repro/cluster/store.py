@@ -1,0 +1,179 @@
+"""The networked proof-store tier: a remote client for the shared cache.
+
+PR 2's :class:`~repro.service.store.SqliteProofCache` let every process *on
+one host* share a warm proof store.  This module extends that tier across
+the network: the coordinator owns the real store (sqlite or JSONL) and
+serves store operations over its cluster connections;
+:class:`RemoteProofStore` implements the same interface as the local
+backends on the worker side, so a worker on another host hits the one warm
+cache tier the whole fleet shares.
+
+The operation set mirrors the cache interface method-for-method
+(``get_pass``/``put_pass``/``get_subgoal``/``has_subgoal``/``put_subgoal``/
+``subgoal_snapshot``/``touch_subgoals`` plus the dependency sidecar), each
+a single request/response frame.  Workers use :meth:`subgoal_snapshot`
+once at handshake for bulk warm-up and receive incremental updates
+piggybacked on lease responses; the per-key operations cover everything
+else (and make the store usable as a drop-in ``cache=`` for
+:func:`repro.engine.verify_passes` in tests and tooling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.engine.cache import CacheStats
+from repro.cluster.transport import Connection, TransportError
+
+#: Operations a worker may invoke on the coordinator's store, mapped to the
+#: cache attribute they call.  Anything else is rejected — the store tier
+#: must not become an arbitrary-RPC surface.
+_STORE_OPS = {
+    "store.get_pass": "get_pass",
+    "store.put_pass": "put_pass",
+    "store.get_subgoal": "get_subgoal",
+    "store.has_subgoal": "has_subgoal",
+    "store.put_subgoal": "put_subgoal",
+    "store.subgoal_snapshot": "subgoal_snapshot",
+    "store.touch_subgoals": "touch_subgoals",
+    "store.get_deps": "get_deps",
+    "store.put_deps": "put_deps",
+    "store.deps_snapshot": "deps_snapshot",
+}
+
+
+#: Operations that mutate proof or dependency content.  ``touch_subgoals``
+#: is deliberately not here: recency updates cannot change any verdict.
+_WRITE_OPS = {"store.put_pass", "store.put_subgoal", "store.put_deps"}
+
+
+def is_store_op(message: Dict) -> bool:
+    return message.get("op") in _STORE_OPS
+
+
+def serve_store_op(cache, message: Dict, allow_writes: bool = True) -> Dict:
+    """Apply one store operation to the local cache; return the reply frame.
+
+    The caller is responsible for serialising access (the JSONL tier is
+    single-writer; the coordinator holds one lock across all connections).
+    ``allow_writes=False`` rejects content-mutating operations — the
+    cluster coordinator serves its workers read-only, so "workers never
+    write the proof store directly" is enforced here, not just a
+    convention of the worker loop (proved subgoals travel inside result
+    messages and are written by the coordinator itself).
+    """
+    if not allow_writes and message["op"] in _WRITE_OPS:
+        return {"op": "store.reply",
+                "error": f"{message['op']} rejected: this store is served "
+                         f"read-only (results carry writes back instead)"}
+    method = getattr(cache, _STORE_OPS[message["op"]])
+    args = message.get("args", [])
+    try:
+        value = method(*args)
+    except Exception as exc:  # a store hiccup must not kill the connection
+        return {"op": "store.reply", "error": f"{type(exc).__name__}: {exc}"}
+    return {"op": "store.reply", "value": value}
+
+
+class RemoteProofStore:
+    """Proof-cache interface served by a coordinator over one connection.
+
+    Interface-compatible with :class:`~repro.engine.cache.ProofCache` and
+    :class:`~repro.service.store.SqliteProofCache` for everything the
+    engine driver touches.  Not thread-safe: one connection, one caller —
+    exactly the worker loop's shape.  Note that the cluster coordinator
+    serves workers *read-only*; the put methods raise
+    :class:`~repro.cluster.transport.TransportError` against it (newly
+    proved entries ride result messages instead), and exist for servers
+    that opt into remote writes.
+    """
+
+    backend = "remote"
+    directory = None
+
+    def __init__(self, connection: Connection,
+                 active_fingerprint: Optional[str] = None) -> None:
+        self._connection = connection
+        self.active_fingerprint = active_fingerprint
+        self.stats = CacheStats()
+
+    def _call(self, op: str, *args):
+        self._connection.send({"op": op, "args": list(args)})
+        while True:
+            reply = self._connection.recv()
+            if reply is None:
+                raise TransportError("coordinator closed during a store call")
+            if reply.get("op") == "store.reply":
+                break
+            # Interleaved non-store frames are a protocol error on this
+            # connection (the worker loop never has both in flight).
+            raise TransportError(
+                f"unexpected frame {reply.get('op')!r} during a store call")
+        if "error" in reply:
+            raise TransportError(f"remote store error: {reply['error']}")
+        return reply.get("value")
+
+    # ------------------------------------------------------------------ #
+    # Pass-level entries
+    # ------------------------------------------------------------------ #
+    def get_pass(self, key: Optional[str]) -> Optional[dict]:
+        if key is None:
+            self.stats.pass_misses += 1
+            return None
+        entry = self._call("store.get_pass", key)
+        if entry is None:
+            self.stats.pass_misses += 1
+        else:
+            self.stats.pass_hits += 1
+        return entry
+
+    def put_pass(self, key: Optional[str], value: dict) -> None:
+        if key is None:
+            return
+        self._call("store.put_pass", key, value)
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------ #
+    # Subgoal-level entries
+    # ------------------------------------------------------------------ #
+    def get_subgoal(self, key: str) -> Optional[dict]:
+        entry = self._call("store.get_subgoal", key)
+        if entry is None:
+            self.stats.subgoal_misses += 1
+        else:
+            self.stats.subgoal_hits += 1
+        return entry
+
+    def has_subgoal(self, key: str) -> bool:
+        return bool(self._call("store.has_subgoal", key))
+
+    def put_subgoal(self, key: str, value: dict) -> None:
+        self._call("store.put_subgoal", key, value)
+        self.stats.stores += 1
+
+    def subgoal_snapshot(self) -> Dict[str, dict]:
+        return dict(self._call("store.subgoal_snapshot"))
+
+    def touch_subgoals(self, keys: List[str]) -> None:
+        keys = list(keys)
+        if keys:
+            self._call("store.touch_subgoals", keys)
+
+    # ------------------------------------------------------------------ #
+    # Dependency sidecar
+    # ------------------------------------------------------------------ #
+    def get_deps(self, key: str) -> Optional[dict]:
+        return self._call("store.get_deps", key)
+
+    def put_deps(self, key: str, value: dict) -> None:
+        self._call("store.put_deps", key, value)
+
+    def deps_snapshot(self) -> Dict[str, dict]:
+        return dict(self._call("store.deps_snapshot"))
+
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """No-op: every operation is synchronous on the coordinator side."""
+
+    def close(self) -> None:
+        """The connection belongs to the worker loop; nothing to release."""

@@ -1,0 +1,178 @@
+"""The cluster worker: lease, verify, stream results back.
+
+``repro work --connect HOST:PORT`` (or ``--cache-dir DIR`` for unix-socket
+discovery) runs :func:`run_worker`: connect to the coordinator,
+authenticate, warm the local prover, bulk-fetch the shared subgoal
+snapshot through the networked store tier, then loop — lease one unit,
+verify it with the existing engine, send the result (plus every newly
+proved subgoal and the cache-feedback counters) back.
+
+A worker never decides what to verify and never writes the proof store
+directly: the coordinator owns scheduling and the store, the worker owns
+CPU time.  Source skew between hosts is caught per unit — the worker
+re-derives the pass fingerprint locally and refuses units whose key does
+not match (proving *different* code under the coordinator's key would
+poison the shared store).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+import traceback
+from typing import Dict, Optional
+
+from repro.cluster.store import RemoteProofStore
+from repro.cluster.transport import TransportError, client_hello, connect
+from repro.engine.driver import (
+    _verify_one,
+    result_to_payload,
+    verify_pass_shard,
+)
+from repro.engine.fingerprint import pass_fingerprint
+from repro.service.protocol import ProtocolError, pass_registry, resolve_pass_spec
+
+
+def execute_unit(unit: Dict, registry: Dict[str, type],
+                 subgoal_table: Dict[str, dict]) -> Dict:
+    """Verify one leased unit; return the ``result`` message to send back.
+
+    Shared by the worker loop and the coordinator's local fallback, so a
+    unit produces the same payload wherever it runs.  ``subgoal_table`` is
+    the worker's warm view of the shared subgoal tier; it is updated in
+    place with newly proved entries (which also travel back in the
+    message).
+    """
+    started = time.perf_counter()
+    try:
+        pass_class, pass_kwargs = resolve_pass_spec(unit["spec"], registry)
+        expected_key = unit.get("key")
+        if expected_key is not None:
+            local_key = pass_fingerprint(pass_class, pass_kwargs)
+            if local_key != expected_key:
+                raise ProtocolError(
+                    f"source skew: local fingerprint of "
+                    f"{pass_class.__name__} does not match the "
+                    f"coordinator's ({local_key} != {expected_key}); "
+                    f"refusing to prove different code under its key"
+                )
+        if unit["kind"] == "shard":
+            payload, new_entries, hits, misses, hit_keys = verify_pass_shard(
+                pass_class, pass_kwargs,
+                int(unit["shard_index"]), int(unit["shard_count"]),
+                subgoal_table,
+            )
+        else:
+            result, new_entries, hits, misses, hit_keys = _verify_one(
+                pass_class, pass_kwargs,
+                bool(unit.get("counterexample_search", True)),
+                subgoal_table,
+            )
+            payload = result_to_payload(result)
+    except Exception as exc:
+        return {
+            "op": "result",
+            "unit_id": unit.get("unit_id"),
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(limit=8),
+            "wall_seconds": time.perf_counter() - started,
+        }
+    return {
+        "op": "result",
+        "unit_id": unit["unit_id"],
+        "ok": True,
+        "kind": unit["kind"],
+        "payload": payload,
+        "new_subgoals": new_entries,
+        "subgoal_hits": hits,
+        "subgoal_misses": misses,
+        "subgoal_hit_keys": hit_keys,
+        "wall_seconds": time.perf_counter() - started,
+    }
+
+
+def run_worker(address: str, token: str, *,
+               max_units: Optional[int] = None,
+               timeout: float = 120.0,
+               registry: Optional[Dict[str, type]] = None) -> int:
+    """Connect to a coordinator and verify leased units until told to stop.
+
+    Returns the number of units completed.  Exits cleanly on the
+    coordinator's ``done`` message or when the connection closes; raises
+    :class:`~repro.cluster.transport.TransportError` on handshake or
+    version failures (callers surface those — they mean misconfiguration,
+    not end-of-work).
+    """
+    # Warm the prover before asking for work: the first unit should pay
+    # for proof search, not for importing and fingerprinting the toolchain.
+    from repro.engine.fingerprint import rule_set_fingerprint, toolchain_fingerprint
+
+    registry = registry or pass_registry()
+    rule_set_fingerprint()
+    toolchain = toolchain_fingerprint()
+
+    connection = connect(address, timeout=timeout)
+    connection.settimeout(timeout)
+    try:
+        welcome = client_hello(connection, token, host=socket.gethostname())
+        coordinator_toolchain = welcome.get("toolchain")
+        if coordinator_toolchain is not None and coordinator_toolchain != toolchain:
+            raise TransportError(
+                "toolchain fingerprint mismatch with the coordinator: this "
+                "host runs different prover sources; refusing to join the "
+                "cluster (proofs would be keyed inconsistently)"
+            )
+        store = RemoteProofStore(connection, active_fingerprint=toolchain)
+        subgoal_table = store.subgoal_snapshot()
+        completed = 0
+        while True:
+            try:
+                connection.send({"op": "lease"})
+                message = connection.recv()
+            except TransportError:
+                # A coordinator that finished (or died) while we were
+                # between leases is normal end-of-work, not an error —
+                # its results are already safe on its side.
+                break
+            if message is None:
+                break
+            op = message.get("op")
+            if op == "done":
+                break
+            if op == "wait":
+                time.sleep(min(float(message.get("seconds", 0.05)), 1.0))
+                continue
+            if op != "unit":
+                continue
+            subgoal_table.update(message.get("subgoal_updates") or {})
+            reply = execute_unit(message["unit"], registry, subgoal_table)
+            try:
+                connection.send(reply)
+            except TransportError:
+                break  # the unit will be re-leased or proved coordinator-side
+            if reply.get("ok"):
+                # Failed units (worker exception, source-skew refusal) are
+                # the coordinator's to retry; they are not verified work.
+                completed += 1
+            if max_units is not None and completed >= max_units:
+                break
+        return completed
+    finally:
+        connection.close()
+
+
+def worker_process_entry(address: str, token: str) -> None:
+    """Top-level entry point for coordinator-spawned local workers.
+
+    Module-level (picklable) so it works under every multiprocessing start
+    method; swallows transport errors — a worker dying because the
+    coordinator finished first is normal shutdown, not a crash worth a
+    traceback on the user's terminal.
+    """
+    try:
+        run_worker(address, token)
+    except TransportError:
+        pass
+    except KeyboardInterrupt:
+        pass

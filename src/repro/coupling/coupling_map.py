@@ -26,6 +26,12 @@ class CouplingMap:
                 raise CouplingError("num_qubits is smaller than the highest edge endpoint")
             self._num_qubits = num_qubits
         self._distance_cache: Optional[List[List[int]]] = None
+        #: Set by file-backed constructors (``devices.load_device_map``):
+        #: the data file this map came from.  Not part of the map's value —
+        #: cache keys hash the edge set — but recorded in the dependency
+        #: index so an edit to the file invalidates the verdicts that were
+        #: produced under it (see repro.incremental.deps.kwarg_data_paths).
+        self.source_path: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Construction

@@ -111,3 +111,31 @@ def device(name: str) -> CouplingMap:
         return DEVICE_REGISTRY[name]()
     except KeyError as exc:
         raise KeyError(f"unknown device {name!r}; known: {sorted(DEVICE_REGISTRY)}") from exc
+
+
+def load_device_map(path) -> CouplingMap:
+    """Load a coupling map from a JSON device-map file.
+
+    The format is the wire format of the daemon protocol's coupling specs:
+    ``{"num_qubits": N, "edges": [[a, b], ...]}``.  The returned map
+    remembers its ``source_path``, so verification results produced under
+    it record the file in their dependency entries — editing the file then
+    invalidates exactly those results (the cache key already covers the
+    content, because constructor kwargs hash structurally as the edge
+    set), and ``repro watch`` re-verifies them on the next cycle.
+    """
+    import json
+    import os
+
+    path = os.fspath(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    try:
+        coupling = CouplingMap(
+            edges=[tuple(edge) for edge in payload["edges"]],
+            num_qubits=int(payload["num_qubits"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed device map {path!r}: {exc}") from exc
+    coupling.source_path = os.path.abspath(path)
+    return coupling

@@ -19,16 +19,22 @@ from repro.engine.driver import (
     EngineStats,
     batch_distinct_configs,
     default_pass_kwargs,
+    finalize_stats,
+    merge_shard_payloads,
     payload_to_result,
+    resolve_pending,
     result_to_payload,
+    verify_pass_shard,
     verify_passes,
 )
 from repro.engine.fingerprint import (
     ENGINE_VERSION,
+    data_dependency_digest,
     pass_fingerprint,
     rule_set_fingerprint,
     subgoal_fingerprint,
     toolchain_fingerprint,
+    unit_fingerprint,
 )
 from repro.engine.scheduler import WorkerPool, default_jobs, parallel_map
 
@@ -40,16 +46,22 @@ __all__ = [
     "ProofCache",
     "WorkerPool",
     "batch_distinct_configs",
+    "data_dependency_digest",
     "default_cache_dir",
     "default_jobs",
     "default_pass_kwargs",
+    "finalize_stats",
+    "merge_shard_payloads",
     "open_proof_cache",
     "parallel_map",
     "pass_fingerprint",
     "payload_to_result",
+    "resolve_pending",
     "result_to_payload",
     "rule_set_fingerprint",
     "subgoal_fingerprint",
     "toolchain_fingerprint",
+    "unit_fingerprint",
+    "verify_pass_shard",
     "verify_passes",
 ]

@@ -43,6 +43,7 @@ class CacheStats:
     invalidated: int = 0      # entries from an older rule set / engine version
     corrupt_lines: int = 0    # unreadable lines skipped while loading
     evicted: int = 0          # entries dropped by LRU pruning
+    deps_reclaimed: int = 0   # dependency-sidecar rows dropped by gc/prune
 
 
 def open_proof_cache(directory: Optional[os.PathLike] = None,
@@ -407,6 +408,26 @@ class ProofCache:
     def deps_snapshot(self) -> Dict[str, dict]:
         """A plain-dict copy of the dependency index."""
         return dict(self._deps)
+
+    def gc_deps(self, live_keys) -> int:
+        """Drop dependency entries whose identity key is not in ``live_keys``.
+
+        ``repro cache gc`` passes the identity keys of every configuration
+        in the known suites; entries for configurations that no longer
+        exist (renamed passes, abandoned couplings) are reclaimed.
+        Removing a dep entry is always sound — the configuration, if ever
+        requested again, is conservatively treated as stale and re-records
+        itself on verification.  Returns the number of entries removed.
+        """
+        live = set(live_keys)
+        doomed = [key for key in self._deps if key not in live]
+        for key in doomed:
+            del self._deps[key]
+            self._deps_dead += 1
+        if doomed and self._deps_handle is not None:
+            self._compact_deps()
+        self.stats.deps_reclaimed += len(doomed)
+        return len(doomed)
 
     def _compact_deps(self) -> None:
         if self.directory is None:

@@ -240,6 +240,154 @@ def _verify_one(pass_class, pass_kwargs, counterexample_search,
     return result, new_entries, counters["hits"], counters["misses"], hit_keys
 
 
+#: Discharge method recorded for subgoals owned by another shard.  Never
+#: cached or reported: shard payloads carry only the shard's own outcomes.
+_DEFERRED_METHOD = "deferred-to-other-shard"
+
+
+def verify_pass_shard(pass_class, pass_kwargs, shard_index: int, shard_count: int,
+                      subgoal_table: Dict[str, dict]) -> Tuple[dict, Dict[str, dict], int, int, List[str]]:
+    """Verify one pass but discharge only shard ``shard_index`` of ``shard_count``.
+
+    The symbolic execution (path enumeration) runs in full — it is cheap
+    and deterministic — while the discharge work, which dominates
+    path-explosion-heavy passes, is limited to the subgoals whose global
+    enumeration index lands in this shard (``index % shard_count ==
+    shard_index``).  Subgoals owned by other shards receive a placeholder
+    outcome that is excluded from the returned payload.
+
+    Returns ``(shard_payload, new_subgoal_entries, hits, misses,
+    hit_keys)`` with the same cache-feedback contract as
+    :func:`_verify_one`.  Counterexample search is always disabled here
+    (no single shard can see the full failure set); the coordinator
+    re-proves a failing split pass whole when a counterexample is wanted.
+    Merging every shard of a pass through :func:`merge_shard_payloads`
+    reproduces the unsplit :func:`verify_pass` result exactly.
+    """
+    counters = {"hits": 0, "misses": 0}
+    new_entries: Dict[str, dict] = {}
+    hit_keys: List[str] = []
+    position = {"next": 0}
+
+    def sharded_discharge(subgoal: Subgoal) -> DischargeResult:
+        index = position["next"]
+        position["next"] += 1
+        if index % shard_count != shard_index:
+            return DischargeResult(proved=True, method=_DEFERRED_METHOD,
+                                   reason="owned by another shard", rules_used=())
+        key = subgoal_fingerprint(subgoal)
+        entry = subgoal_table.get(key)
+        if entry is not None:
+            counters["hits"] += 1
+            hit_keys.append(key)
+            return DischargeResult(
+                proved=entry["proved"],
+                method=entry["method"],
+                reason=entry["reason"],
+                rules_used=tuple(entry["rules_used"]),
+            )
+        counters["misses"] += 1
+        result = discharge(subgoal)
+        record = {
+            "proved": result.proved,
+            "method": result.method,
+            "reason": result.reason,
+            "rules_used": list(result.rules_used),
+        }
+        subgoal_table[key] = record
+        new_entries[key] = record
+        return result
+
+    result = verify_pass(
+        pass_class,
+        pass_kwargs=pass_kwargs,
+        counterexample_search=False,
+        discharge_fn=sharded_discharge,
+    )
+    base = result_to_payload(result)
+    payload = {
+        "pass": base["pass"],
+        "shard_index": int(shard_index),
+        "shard_count": int(shard_count),
+        "supported": base["supported"],
+        "subgoal_count": len(base["subgoals"]),
+        "paths_explored": base["paths_explored"],
+        "time_seconds": base["time_seconds"],
+        "analysis": base["analysis"],
+        # Unsupported passes emit no subgoals; their failure reasons come
+        # from the analysis, which every shard reproduces identically.
+        "unsupported_reasons": [] if base["supported"] else base["failure_reasons"],
+        "outcomes": [
+            dict(subgoal, index=index)
+            for index, subgoal in enumerate(base["subgoals"])
+            if index % shard_count == shard_index
+        ],
+    }
+    return payload, new_entries, counters["hits"], counters["misses"], hit_keys
+
+
+def merge_shard_payloads(shards: Sequence[dict]) -> dict:
+    """Fold every shard of one pass back into an unsplit result payload.
+
+    ``shards`` must hold exactly one payload per shard index of a single
+    pass.  The merged payload is byte-identical to what an unsplit
+    :func:`_verify_one` run would have cached, except ``time_seconds``,
+    which is the *sum* of the shard times (a CPU-time view — the shards
+    ran concurrently) and ``counterexample``, which is always ``None``
+    (shard runs never search; the coordinator re-proves whole when one is
+    wanted).
+    """
+    if not shards:
+        raise ValueError("cannot merge zero shard payloads")
+    ordered = sorted(shards, key=lambda s: s["shard_index"])
+    first = ordered[0]
+    expected = first["shard_count"]
+    if [s["shard_index"] for s in ordered] != list(range(expected)):
+        raise ValueError(
+            f"incomplete shard set for {first['pass']}: "
+            f"{[s['shard_index'] for s in ordered]} of {expected}"
+        )
+    for shard in ordered[1:]:
+        if shard["pass"] != first["pass"] or \
+                shard["subgoal_count"] != first["subgoal_count"] or \
+                shard["paths_explored"] != first["paths_explored"]:
+            raise ValueError(
+                f"inconsistent shard payloads for {first['pass']}: the shards "
+                f"disagree on the pass structure (non-deterministic enumeration?)"
+            )
+    subgoals: List[Optional[dict]] = [None] * first["subgoal_count"]
+    for shard in ordered:
+        for outcome in shard["outcomes"]:
+            entry = dict(outcome)
+            index = entry.pop("index")
+            if subgoals[index] is not None:
+                raise ValueError(
+                    f"subgoal {index} of {first['pass']} covered by two shards")
+            subgoals[index] = entry
+    missing = [i for i, s in enumerate(subgoals) if s is None]
+    if missing:
+        raise ValueError(
+            f"subgoals {missing} of {first['pass']} covered by no shard")
+    if not first["supported"]:
+        failure_reasons = list(first["unsupported_reasons"])
+    else:
+        failure_reasons = [
+            f"{s['kind']}: {s['description']} -- {s['reason']}"
+            for s in subgoals if not s["proved"]
+        ]
+    return {
+        "pass": first["pass"],
+        "verified": bool(first["supported"]) and not failure_reasons,
+        "supported": first["supported"],
+        "paths_explored": first["paths_explored"],
+        "time_seconds": sum(s["time_seconds"] for s in ordered),
+        "failure_reasons": failure_reasons,
+        "analysis": first["analysis"],
+        "subgoals": subgoals,
+        "counterexample": None,
+    }
+
+
 def _resolve_class(module_name: str, qualname: str):
     obj = importlib.import_module(module_name)
     for part in qualname.split("."):
@@ -303,6 +451,9 @@ class EngineStats:
     #: many passes were actually re-fingerprinted because a dependency file
     #: changed (or no dependency entry existed).  ``None`` on full runs.
     stale_passes: Optional[int] = None
+    #: Set when the run was scheduled by a cluster coordinator: worker
+    #: count, unit counts, split passes, steals/retries (see repro.cluster).
+    cluster: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON view with a fixed, documented field order."""
@@ -320,6 +471,7 @@ class EngineStats:
             "backend": self.backend,
             "daemon": self.daemon,
             "stale_passes": self.stale_passes,
+            "cluster": self.cluster,
         }
 
     @classmethod
@@ -330,6 +482,7 @@ class EngineStats:
             "jobs", "used_processes", "passes_total", "cache_hits",
             "cache_misses", "subgoal_hits", "subgoal_misses", "invalidated",
             "wall_seconds", "cache_dir", "backend", "daemon", "stale_passes",
+            "cluster",
         ):
             if field_name in payload:
                 setattr(stats, field_name, payload[field_name])
@@ -386,6 +539,24 @@ class EngineStats:
             parts.append(f"up {float(uptime):.0f}s")
         return ", ".join(parts)
 
+    def cluster_line(self) -> Optional[str]:
+        """One-line description of the scheduling cluster, or ``None``."""
+        if not self.cluster:
+            return None
+        info = self.cluster
+        parts = [
+            f"cluster: {info.get('workers', 0)} workers, "
+            f"{info.get('units_total', 0)} units "
+            f"({info.get('split_passes', 0)} passes split)"
+        ]
+        if info.get("stolen"):
+            parts.append(f"{info['stolen']} stolen")
+        if info.get("retried"):
+            parts.append(f"{info['retried']} retried")
+        if info.get("local_units"):
+            parts.append(f"{info['local_units']} verified locally")
+        return ", ".join(parts)
+
 
 def batch_distinct_configs(pairs: Sequence[Tuple[Type, Optional[Dict]]]):
     """Split (class, kwargs) pairs into rounds where each class appears once.
@@ -411,6 +582,19 @@ def batch_distinct_configs(pairs: Sequence[Tuple[Type, Optional[Dict]]]):
                 batch.append((index, pass_class, kwargs))
         remaining = rest
         yield batch
+
+
+def _check_changed_paths(changed_paths) -> None:
+    """Reject a bare string ``changed_paths`` at every entry point.
+
+    Iterating a string would silently treat its characters as one-letter
+    paths: no dependency entry matches, every pass — including a genuinely
+    edited one — is served through its recorded fingerprint, and the
+    caller's bug becomes a stale verdict instead of an error.
+    """
+    if isinstance(changed_paths, (str, bytes)):
+        raise TypeError(
+            "changed_paths must be an iterable of paths, not a bare string")
 
 
 @dataclass
@@ -475,6 +659,7 @@ def verify_passes(
     will never be re-driven incrementally.
     """
     started = time.perf_counter()
+    _check_changed_paths(changed_paths)
     kwargs_fn = pass_kwargs_fn or default_pass_kwargs
     jobs = default_jobs() if int(jobs) <= 0 else int(jobs)
     stats = EngineStats(jobs=jobs, passes_total=len(pass_classes))
@@ -498,19 +683,36 @@ def verify_passes(
             cache.close()
 
 
-def _verify_passes_with_cache(
-    pass_classes, stats, cache, kwargs_fn, counterexample_search,
-    share_subgoals, started, base_invalidated=0, changed_paths=None,
-    record_deps=True,
-) -> EngineReport:
+def resolve_pending(
+    pass_classes, stats, cache, kwargs_fn,
+    changed_paths=None, record_deps=True, deferred_deps=None,
+) -> Tuple[List[Optional[VerificationResult]], List[Tuple[int, Type, Optional[Dict], Optional[str]]]]:
+    """Phase 1 of a batch run: serve what the cache can, collect the rest.
+
+    Fingerprints every requested configuration (or, on incremental runs,
+    only the ones the dependency index says an edit can have invalidated),
+    serves cache hits, and records dependency entries.  Returns
+    ``(results, pending)``: ``results`` is a list aligned with
+    ``pass_classes`` holding the cached results (``None`` where work
+    remains) and ``pending`` lists ``(index, pass_class, pass_kwargs,
+    key)`` for everything that must actually be proved.
+
+    ``deferred_deps`` (a caller-supplied list) postpones dependency
+    *recording*: instead of walking the import graph inline — the dominant
+    cold-resolution cost — the ``(identity, pass_class, pass_kwargs,
+    key)`` tuples that need a fresh entry are appended for the caller to
+    record later with :func:`record_deferred_deps`.  The cluster
+    coordinator uses this to overlap dependency recording with worker
+    proof time.
+
+    Shared by the in-process scheduler path below and the cluster
+    coordinator (:mod:`repro.cluster.coordinator`), so the two can never
+    disagree about what counts as cached, stale, or pending.
+    """
     if cache is not None:
         stats.backend = getattr(cache, "backend", None)
         if cache.directory is not None:
             stats.cache_dir = str(cache.directory)
-    # Caller-provided caches may carry counters from earlier runs; report
-    # only what this run contributed.
-    base_hits = cache.stats.pass_hits if cache is not None else 0
-    base_misses = cache.stats.pass_misses if cache is not None else 0
 
     # Incremental mode: the dependency index tells us which passes an edit
     # can possibly have invalidated; everything else is served through its
@@ -559,9 +761,12 @@ def _verify_passes_with_cache(
             # files, so the recorded entry is still sound; only (re)walk the
             # import graph when the key moved or nothing was recorded.
             if recorded is None or recorded.get("fingerprint") != key:
-                new_entry = build_dep_entry(pass_class, pass_kwargs, key)
-                cache.put_deps(ident, new_entry)
-                dep_index[ident] = new_entry
+                if deferred_deps is not None:
+                    deferred_deps.append((ident, pass_class, pass_kwargs, key))
+                else:
+                    new_entry = build_dep_entry(pass_class, pass_kwargs, key)
+                    cache.put_deps(ident, new_entry)
+                    dep_index[ident] = new_entry
         # An unchanged-deps pass whose proof was evicted re-derives the key
         # just probed; asking the cache again would double-count the miss.
         if key is not None and key == probed_key:
@@ -572,6 +777,46 @@ def _verify_passes_with_cache(
             results[index] = payload_to_result(entry, from_cache=True, time_seconds=0.0)
         else:
             pending.append((index, pass_class, pass_kwargs, key))
+    return results, pending
+
+
+def record_deferred_deps(cache, deferred, lock=None) -> int:
+    """Record dependency entries postponed by ``resolve_pending``.
+
+    ``lock`` (when given) guards each individual store write — the cluster
+    coordinator records while its connection threads serve store
+    operations on the same cache.  Returns the number of entries written.
+    """
+    if cache is None:
+        return 0
+    from repro.incremental.deps import build_dep_entry
+
+    written = 0
+    for ident, pass_class, pass_kwargs, key in deferred:
+        entry = build_dep_entry(pass_class, pass_kwargs, key)
+        if lock is not None:
+            with lock:
+                cache.put_deps(ident, entry)
+        else:
+            cache.put_deps(ident, entry)
+        written += 1
+    return written
+
+
+def _verify_passes_with_cache(
+    pass_classes, stats, cache, kwargs_fn, counterexample_search,
+    share_subgoals, started, base_invalidated=0, changed_paths=None,
+    record_deps=True,
+) -> EngineReport:
+    # Caller-provided caches may carry counters from earlier runs; report
+    # only what this run contributed.
+    base_hits = cache.stats.pass_hits if cache is not None else 0
+    base_misses = cache.stats.pass_misses if cache is not None else 0
+
+    results, pending = resolve_pending(
+        pass_classes, stats, cache, kwargs_fn,
+        changed_paths=changed_paths, record_deps=record_deps,
+    )
 
     if pending:
         subgoal_table = cache.subgoal_snapshot() if cache is not None else {}
@@ -622,12 +867,23 @@ def _verify_passes_with_cache(
                             cache.put_subgoal(sub_key, value)
                     cache.touch_subgoals(hit_keys)
 
+    finalize_stats(stats, cache, base_hits, base_misses, base_invalidated,
+                   len(pending), started)
+    return EngineReport(results=list(results), stats=stats)
+
+
+def finalize_stats(stats, cache, base_hits, base_misses, base_invalidated,
+                   pending_count, started) -> None:
+    """Close out one run's counters as deltas over the cache's totals.
+
+    Shared by the in-process path and the cluster coordinator so hit/miss
+    accounting is computed identically however the pending work was
+    scheduled.
+    """
     if cache is not None:
         stats.cache_hits = cache.stats.pass_hits - base_hits
         stats.cache_misses = cache.stats.pass_misses - base_misses
         stats.invalidated = cache.stats.invalidated - base_invalidated
     else:
-        stats.cache_misses = len(pending)
-
+        stats.cache_misses = pending_count
     stats.wall_seconds = time.perf_counter() - started
-    return EngineReport(results=list(results), stats=stats)

@@ -21,11 +21,16 @@ incremental layer relies on):
 
 1. **Everything a verdict depends on is hashed.**  A pass key covers exactly
    ``(ENGINE_VERSION, toolchain_fingerprint(), module, qualname, class
-   source, canonicalised constructor kwargs)`` — nothing else.  The file
-   set that can change a pass key is therefore the pass's own module plus
-   the toolchain/rule modules listed by :func:`toolchain_modules`; this is
-   the contract :mod:`repro.incremental.deps` builds its dependency index
-   on.
+   source, canonicalised constructor kwargs, declared data-file digests)``
+   — nothing else.  Constructor kwargs are rendered *structurally* (a
+   coupling map hashes as its edge set, however it was built), and a pass
+   that reads non-Python inputs can declare them via a
+   ``data_dependencies`` class attribute whose file contents are folded
+   into the key (:func:`data_dependency_digest`).  The file set that can
+   change a pass key is therefore the pass's own module plus the
+   toolchain/rule modules listed by :func:`toolchain_modules`, plus any
+   declared or kwarg-carried data files; this is the contract
+   :mod:`repro.incremental.deps` builds its dependency index on.
 2. **Keys are deterministic across processes.**  Symbolic uids are renamed
    in order of first appearance before hashing, so the same obligation
    produced in two worker processes (with different raw uid counters) maps
@@ -62,7 +67,8 @@ from repro.verify.session import Subgoal
 from repro.verify.symvalues import Segment, SymGate
 
 #: Bump to invalidate every cache entry written by an older engine.
-ENGINE_VERSION = 1
+#: v2: pass keys additionally cover declared data-file digests.
+ENGINE_VERSION = 2
 
 #: Raw uids minted by :mod:`repro.verify.symvalues` (``g3``, ``seg12``, ...).
 _UID_TOKEN = re.compile(r"\b(?:g|seg|int|idx|circ)\d+\b")
@@ -214,6 +220,23 @@ def subgoal_fingerprint(subgoal: Subgoal) -> str:
     return _sha256(
         _canon((ENGINE_VERSION, toolchain_fingerprint(), normalize_subgoal(subgoal)))
     )
+
+
+def unit_fingerprint(pass_key: str, shard_index: int, shard_count: int) -> str:
+    """Deterministic identity key for one cluster work unit.
+
+    A whole-pass unit is identified by the pass fingerprint itself; a
+    subgoal shard derives its key from the pass key plus its position in
+    the shard grid, so two coordinators planning the same pending pass at
+    the same split produce byte-identical unit ids — which is what makes
+    shard results cacheable, mergeable, and safe to serve from whichever
+    worker (original or steal) answers first.
+    """
+    if shard_count <= 1:
+        return pass_key
+    return _sha256(_canon((
+        "unit", ENGINE_VERSION, pass_key, int(shard_index), int(shard_count),
+    )))
 
 
 # --------------------------------------------------------------------------- #
@@ -430,6 +453,31 @@ def pass_source(pass_class) -> Optional[str]:
         return None
 
 
+def data_dependency_digest(pass_class) -> Tuple:
+    """Content digests of the pass's declared data files, for hashing.
+
+    Passes that read non-Python inputs (device-map files, recorded suites)
+    can declare them via a ``data_dependencies`` class attribute (an
+    iterable of paths).  Their *content* is folded into the pass key here,
+    so editing a declared data file invalidates the cached proof exactly
+    like editing the source would; a missing file hashes as absent rather
+    than erroring (the verification itself will surface the problem).
+    """
+    declared = getattr(pass_class, "data_dependencies", None)
+    if not declared:
+        return ()
+    digests = []
+    for path in declared:
+        path = os.fspath(path)
+        try:
+            with open(path, "rb") as handle:
+                digest = hashlib.sha256(handle.read()).hexdigest()
+        except OSError:
+            digest = "<missing>"
+        digests.append((path, digest))
+    return tuple(sorted(digests))
+
+
 def pass_fingerprint(pass_class, pass_kwargs: Optional[dict] = None) -> Optional[str]:
     """Stable SHA-256 key for verifying one pass, or ``None`` if uncacheable."""
     source = pass_source(pass_class)
@@ -446,4 +494,5 @@ def pass_fingerprint(pass_class, pass_kwargs: Optional[dict] = None) -> Optional
         pass_class.__qualname__,
         source,
         kwargs,
+        data_dependency_digest(pass_class),
     )))

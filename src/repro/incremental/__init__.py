@@ -25,13 +25,17 @@ before the next client asks.
 from repro.incremental.deps import (
     DEPS_SCHEMA_VERSION,
     build_dep_entry,
+    class_data_paths,
     identity_key,
+    kwarg_data_paths,
     pass_dependency_paths,
     toolchain_dependency_paths,
 )
 from repro.incremental.detect import (
     ChangeDetector,
+    is_python_source,
     normalize_path,
+    partition_changes,
     stale_identities,
 )
 from repro.incremental.watch import (
@@ -47,8 +51,12 @@ __all__ = [
     "WatchCycle",
     "Watcher",
     "build_dep_entry",
+    "class_data_paths",
     "identity_key",
+    "is_python_source",
+    "kwarg_data_paths",
     "normalize_path",
+    "partition_changes",
     "pass_dependency_paths",
     "refresh_classes",
     "refresh_source_state",

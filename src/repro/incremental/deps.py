@@ -51,12 +51,16 @@ DEPS_SCHEMA_VERSION = 1
 _PACKAGE_ROOT = "repro"
 
 
+@lru_cache(maxsize=None)
 def module_source_path(module_name: str) -> Optional[str]:
     """The source file backing ``module_name``, or ``None`` (builtin, C ext).
 
     Prefers the already-imported module's ``__file__`` (cheap, and correct
     for reloaded modules); falls back to :func:`importlib.util.find_spec`
-    without importing the module.
+    without importing the module.  Memoised — ``find_spec`` imports parent
+    packages, which dominated dependency recording for whole suites — and
+    dropped by :func:`reset_memos` after reloads (a module's backing file
+    only moves across restarts otherwise).
     """
     module = sys.modules.get(module_name)
     path = getattr(module, "__file__", None) if module is not None else None
@@ -192,6 +196,24 @@ def reset_memos() -> None:
     global _toolchain_paths_memo
     _toolchain_paths_memo = None
     _module_imports.cache_clear()
+    module_source_path.cache_clear()
+    _module_dependency_paths.cache_clear()
+
+
+@lru_cache(maxsize=None)
+def _module_dependency_paths(module_name: str) -> Tuple[str, ...]:
+    """The dependency file set shared by every pass in ``module_name``.
+
+    Memoised per module: a suite's passes cluster into a handful of
+    modules, and re-walking the import closure once per *pass* dominated
+    cold resolution.  Dropped by :func:`reset_memos` after reloads.
+    """
+    paths: Set[str] = set(toolchain_dependency_paths())
+    for name in import_closure(module_name):
+        path = module_source_path(name)
+        if path is not None:
+            paths.add(path)
+    return tuple(sorted(paths))
 
 
 def pass_dependency_paths(pass_class) -> Tuple[str, ...]:
@@ -203,12 +225,46 @@ def pass_dependency_paths(pass_class) -> Tuple[str, ...]:
     fingerprint check on edit (which then hits the cache); a file missing
     from this set would let a stale verdict survive an edit.
     """
-    paths: Set[str] = set(toolchain_dependency_paths())
-    for name in import_closure(pass_class.__module__):
-        path = module_source_path(name)
-        if path is not None:
-            paths.add(path)
-    return tuple(sorted(paths))
+    return _module_dependency_paths(pass_class.__module__)
+
+
+def kwarg_data_paths(pass_kwargs: Optional[Dict]) -> Tuple[str, ...]:
+    """Data files the constructor arguments were loaded from.
+
+    Values carrying a ``source_path`` attribute (file-backed coupling maps
+    from :func:`repro.coupling.devices.load_device_map`) contribute it;
+    nested lists/tuples/dicts are walked.  These are *data* dependencies:
+    the cache key already covers their content (kwargs hash structurally),
+    so the only job here is getting the file into the watchable surface.
+    """
+    found: Set[str] = set()
+
+    def walk(value) -> None:
+        source = getattr(value, "source_path", None)
+        if isinstance(source, str):
+            found.add(_normalize(source))
+        if isinstance(value, (list, tuple)):
+            for item in value:
+                walk(item)
+        elif isinstance(value, dict):
+            for item in value.values():
+                walk(item)
+
+    for value in (pass_kwargs or {}).values():
+        walk(value)
+    return tuple(sorted(found))
+
+
+def class_data_paths(pass_class) -> Tuple[str, ...]:
+    """Data files the pass itself declares via ``data_dependencies``.
+
+    Their content feeds the pass fingerprint
+    (:func:`repro.engine.fingerprint.data_dependency_digest`), so an edit
+    both moves the key *and* — through the dependency index built here —
+    marks the configuration stale without re-fingerprinting anything else.
+    """
+    declared = getattr(pass_class, "data_dependencies", None) or ()
+    return tuple(sorted(_normalize(os.fspath(path)) for path in declared))
 
 
 def identity_key(pass_class, pass_kwargs: Optional[Dict] = None) -> str:
@@ -233,13 +289,23 @@ def identity_key(pass_class, pass_kwargs: Optional[Dict] = None) -> str:
 
 def build_dep_entry(pass_class, pass_kwargs: Optional[Dict],
                     fingerprint: str) -> Dict[str, object]:
-    """The persisted dependency record for one verified configuration."""
+    """The persisted dependency record for one verified configuration.
+
+    ``paths`` is the union of the Python-source surface
+    (:func:`pass_dependency_paths`) and the configuration's *data* files —
+    device maps the kwargs were loaded from, suites the pass declares —
+    so editing a data file invalidates the right passes exactly like
+    editing source does.
+    """
+    paths: Set[str] = set(pass_dependency_paths(pass_class))
+    paths.update(kwarg_data_paths(pass_kwargs))
+    paths.update(class_data_paths(pass_class))
     return {
         "schema": DEPS_SCHEMA_VERSION,
         "fingerprint": fingerprint,
         "module": pass_class.__module__,
         "qualname": pass_class.__qualname__,
-        "paths": list(pass_dependency_paths(pass_class)),
+        "paths": sorted(paths),
     }
 
 

@@ -74,8 +74,14 @@ def refresh_source_state(changed_paths) -> List[str]:
     toolchain, per-module source extraction) and the dependency-walk memos
     are dropped whenever anything was reloaded: both hash *source text*,
     which just changed.
+
+    Non-Python paths (edited *data* files — device maps, recorded suites)
+    have no module to reload; they still invalidate passes through the
+    dependency index, and the next verification re-reads them.
     """
-    changed = {normalize_path(path) for path in changed_paths}
+    from repro.incremental.detect import partition_changes
+
+    changed, _data = partition_changes(changed_paths)
     if not changed:
         return []
     linecache.checkcache()
@@ -238,9 +244,11 @@ class Watcher:
             if client is not None:
                 from repro.service.client import verify_with_fallback
 
-                # The daemon path has no changed_paths parameter on the
-                # wire; it does not need one — the watching daemon catches
-                # up on the edit itself and serves the rest warm.
+                # Protocol v2 ships changed_paths over the wire, so the
+                # daemon-side run is incremental too: the watching daemon
+                # has already absorbed the edit, and the request then
+                # re-fingerprints only what it invalidated (the report's
+                # stale_passes reflects it) instead of the whole suite.
                 return verify_with_fallback(
                     self.pass_classes,
                     cache_dir=self.cache_dir,
@@ -249,6 +257,7 @@ class Watcher:
                     pass_kwargs_fn=self.kwargs_fn,
                     counterexample_search=self.counterexample_search,
                     client=client,
+                    changed_paths=sorted(changed_paths) if changed_paths is not None else None,
                 )
         return verify_passes(
             self.pass_classes,

@@ -93,13 +93,16 @@ class DaemonClient:
 
     def verify_specs(self, specs: Sequence[Dict], *, jobs: Optional[int] = None,
                      counterexample_search: bool = True,
-                     batch_size: Optional[int] = None) -> Tuple[List, EngineStats]:
+                     batch_size: Optional[int] = None,
+                     changed_paths: Optional[Sequence[str]] = None) -> Tuple[List, EngineStats]:
         """Ship pass specs to the daemon, optionally in batches.
 
         ``batch_size`` bounds how many passes ride in one HTTP request —
         large suites stream in chunks so a slow chunk times out alone.
-        Returns (ordered results, merged stats); the stats carry the
-        daemon's identity block.
+        ``changed_paths`` makes the request incremental (protocol v2): the
+        daemon absorbs the named edits, then re-fingerprints only the
+        passes they can have invalidated.  Returns (ordered results,
+        merged stats); the stats carry the daemon's identity block.
         """
         specs = list(specs)
         chunk = int(batch_size) if batch_size and batch_size > 0 else max(1, len(specs))
@@ -114,6 +117,13 @@ class DaemonClient:
                 "jobs": jobs,
                 "counterexample_search": counterexample_search,
             }
+            if changed_paths is not None:
+                if isinstance(changed_paths, (str, bytes)):
+                    # Iterating a bare string would silently ship its
+                    # characters as one-letter "paths".
+                    raise ProtocolError(
+                        "changed_paths must be a sequence of paths, not a string")
+                body["changed_paths"] = [os.fspath(p) for p in changed_paths]
             response = self._request("POST", "/verify", body)
             for payload in response["results"]:
                 from_cache = bool(payload.pop("from_cache", False))
@@ -166,6 +176,7 @@ def verify_with_fallback(
     timeout: float = 120.0,
     batch_size: Optional[int] = None,
     client: Optional[DaemonClient] = None,
+    changed_paths: Optional[Sequence[str]] = None,
 ) -> EngineReport:
     """Verify through a daemon when one is running, in-process otherwise.
 
@@ -173,9 +184,17 @@ def verify_with_fallback(
     engine, same proof store semantics); the report's ``stats.daemon``
     block says which one answered.  ``use_cache=False`` requests a fully
     stateless run — the daemon exists to serve its cache, so such runs
-    never leave the process.
+    never leave the process.  ``changed_paths`` drives an incremental run
+    on whichever side answers (shipped over the wire to the daemon,
+    passed to ``verify_passes`` on fallback).
     """
     kwargs_fn = pass_kwargs_fn or default_pass_kwargs
+    if isinstance(changed_paths, (str, bytes)):
+        # Validated before any daemon traffic: the wire-level guard raises
+        # ProtocolError, which the fallback below would swallow — and then
+        # run in-process with the same bad value.
+        raise TypeError(
+            "changed_paths must be an iterable of paths, not a bare string")
     if not use_cache:
         client = None
     elif client is None:
@@ -185,7 +204,7 @@ def verify_with_fallback(
             specs = [make_pass_spec(cls, kwargs_fn(cls)) for cls in pass_classes]
             results, stats = client.verify_specs(
                 specs, jobs=jobs, counterexample_search=counterexample_search,
-                batch_size=batch_size,
+                batch_size=batch_size, changed_paths=changed_paths,
             )
             return EngineReport(results=results, stats=stats)
         except (DaemonUnavailable, ProtocolError):
@@ -200,6 +219,7 @@ def verify_with_fallback(
         backend=backend,
         pass_kwargs_fn=kwargs_fn,
         counterexample_search=counterexample_search,
+        changed_paths=changed_paths,
     )
 
 

@@ -49,6 +49,35 @@ from repro.service.protocol import (
 )
 
 
+def absorb_source_changes(service: "VerificationService", changed) -> None:
+    """Bring the daemon's in-memory state up to date with edited files.
+
+    Reloads the changed modules, re-derives the toolchain fingerprint
+    (switching the open store over when the *prover* was edited), and
+    re-resolves the wire-facing registry against the reloaded modules.
+    Shared by the background watcher's cycle and by ``/verify`` requests
+    carrying ``changed_paths`` — a daemon must never key a new fingerprint
+    from on-disk source while proving the old in-memory code.  Callers
+    hold the verify lock.
+    """
+    from repro.engine.fingerprint import toolchain_fingerprint
+    from repro.incremental.watch import refresh_classes, refresh_source_state
+
+    refresh_source_state(changed)
+    toolchain = toolchain_fingerprint()
+    if toolchain != service.toolchain:
+        service.toolchain = toolchain
+        service.cache.active_fingerprint = toolchain
+    # The registry is the wire-facing resolution table; it must always
+    # point at the reloaded classes or a request arriving right after the
+    # absorb would still verify the pre-edit code.
+    service.registry = {
+        name: cls for name, cls in zip(
+            service.registry,
+            refresh_classes(list(service.registry.values())))
+    }
+
+
 class VerificationService:
     """The daemon's verification core, independent of the HTTP layer."""
 
@@ -96,13 +125,25 @@ class VerificationService:
         # state; half-saved files are already tolerated inside the cycle.
         if self.watcher is not None:
             self.watcher.run_cycle()
+        changed_paths = body.get("changed_paths")
+        if changed_paths is not None:
+            if not isinstance(changed_paths, list) or \
+                    not all(isinstance(path, str) for path in changed_paths):
+                raise ProtocolError("'changed_paths' must be a list of paths")
+            if changed_paths:
+                # Absorb the client-observed edits before resolving specs:
+                # the reload machinery is the watcher's (idempotent when a
+                # watching daemon already caught the same edit up above).
+                with self._verify_lock:
+                    absorb_source_changes(self, changed_paths)
         pairs = [resolve_pass_spec(spec, self.registry) for spec in specs]
         jobs = body.get("jobs")
         jobs = self.jobs if jobs is None else int(jobs)
         counterexample_search = bool(body.get("counterexample_search", True))
 
         with self._verify_lock:
-            results, stats = self._verify_pairs(pairs, jobs, counterexample_search)
+            results, stats = self._verify_pairs(pairs, jobs, counterexample_search,
+                                                changed_paths=changed_paths)
         if self.watcher is not None:
             try:
                 self.watcher.refresh_surface()
@@ -130,12 +171,15 @@ class VerificationService:
         }
 
     def _verify_pairs(self, pairs: List[Tuple[type, Optional[Dict]]],
-                      jobs: int, counterexample_search: bool):
+                      jobs: int, counterexample_search: bool,
+                      changed_paths: Optional[List[str]] = None):
         """Verify (class, kwargs) pairs, one engine batch per distinct class.
 
         A request may name the same class twice with different couplings;
         :func:`batch_distinct_configs` defers such repeats to later rounds
         (the common case — each class once — is a single batch).
+        ``changed_paths`` (already absorbed by the caller) scopes each
+        batch incrementally.
         """
         results = [None] * len(pairs)
         merged: Optional[EngineStats] = None
@@ -147,6 +191,7 @@ class VerificationService:
                 cache=self.cache,
                 pass_kwargs_fn=batch_kwargs.get,
                 counterexample_search=counterexample_search,
+                changed_paths=changed_paths,
             )
             for (index, _, _), result in zip(batch, report.results):
                 results[index] = result
@@ -268,7 +313,7 @@ class DaemonWatcher(threading.Thread):
 
     def _cycle(self) -> int:
         from repro.incremental.deps import dep_index_paths
-        from repro.incremental.watch import refresh_classes, refresh_source_state
+        from repro.incremental.watch import refresh_classes
 
         self.cycles += 1
         changed = self._detector.poll(
@@ -276,24 +321,11 @@ class DaemonWatcher(threading.Thread):
         if not changed:
             return 0
         with self.service._verify_lock:
-            refresh_source_state(changed)
             from repro.engine.driver import verify_passes
-            from repro.engine.fingerprint import toolchain_fingerprint
 
-            toolchain = toolchain_fingerprint()
-            if toolchain != self.service.toolchain:
-                self.service.toolchain = toolchain
-                self.service.cache.active_fingerprint = toolchain
+            absorb_source_changes(self.service, changed)
             if self._explicit_classes is not None:
                 self._explicit_classes = refresh_classes(self._explicit_classes)
-            # The registry is the wire-facing resolution table; it must
-            # always point at the reloaded classes or a request arriving
-            # right after the cycle would still verify the pre-edit code.
-            self.service.registry = {
-                name: cls for name, cls in zip(
-                    self.service.registry,
-                    refresh_classes(list(self.service.registry.values())))
-            }
             report = verify_passes(
                 self._classes(),
                 jobs=self.service.jobs,

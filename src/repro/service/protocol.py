@@ -5,10 +5,21 @@ TCP, JSON bodies, one shared-secret token.  Three endpoints:
 
 ``POST /verify``
     ``{"passes": [{"name": ..., "coupling": {...}|null}, ...],
-    "jobs": N|null, "counterexample_search": bool}`` →
+    "jobs": N|null, "counterexample_search": bool,
+    "changed_paths": [path, ...]|absent}`` →
     ``{"results": [...], "stats": {...}, "daemon": {...}}``.  Results are the
     engine's JSON payloads (plus a ``from_cache`` flag); ``stats`` is an
     :class:`~repro.engine.driver.EngineStats` dict.
+
+    ``changed_paths`` (protocol v2) makes the request *incremental*: the
+    daemon first absorbs the named edits (reloading the modules behind
+    them and re-deriving its fingerprints, exactly like its ``--watch``
+    loop would) and then routes the batch through
+    ``verify_passes(changed_paths=...)``, so only invalidated passes are
+    re-fingerprinted.  An empty list means "nothing changed"; an absent
+    field means a full run.  Paths are interpreted on the daemon's
+    filesystem — clients and daemon are assumed to share a checkout,
+    which localhost clients do by construction.
 
 ``GET /status``
     Daemon identity, uptime, request counters, and the proof-store summary.
@@ -62,7 +73,10 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-PROTOCOL_VERSION = 1
+#: v2: ``/verify`` accepts ``changed_paths`` for incremental requests.
+#: Version skew fails closed either way (invariant 4), so a v1 daemon is
+#: simply invisible to v2 clients and vice versa.
+PROTOCOL_VERSION = 2
 
 _STATE_FILE = "daemon.json"
 

@@ -374,6 +374,25 @@ class SqliteProofCache:
                 self.stats.corrupt_lines += 1
         return snapshot
 
+    def gc_deps(self, live_keys) -> int:
+        """Drop dependency rows whose identity key is not in ``live_keys``.
+
+        Same contract as :meth:`ProofCache.gc_deps <repro.engine.cache.ProofCache.gc_deps>`:
+        removing a row is always sound (the configuration re-records itself
+        if ever verified again).  Returns the number of rows removed.
+        """
+        live = set(live_keys)
+        with self._lock:
+            rows = self._conn.execute("SELECT key FROM deps").fetchall()
+            doomed = [key for (key,) in rows if key not in live]
+            if doomed:
+                self._conn.executemany(
+                    "DELETE FROM deps WHERE key = ?",
+                    [(key,) for key in doomed],
+                )
+        self.stats.deps_reclaimed += len(doomed)
+        return len(doomed)
+
     # ------------------------------------------------------------------ #
     # Eviction / maintenance
     # ------------------------------------------------------------------ #
@@ -393,6 +412,7 @@ class SqliteProofCache:
 
                 cursor.execute("DELETE FROM deps WHERE schema != ?",
                                (DEPS_SCHEMA_VERSION,))
+                deps_reclaimed = cursor.rowcount
                 cursor.execute("DELETE FROM proofs WHERE fp != ?",
                                (self.active_fingerprint,))
                 evicted = cursor.rowcount
@@ -409,6 +429,9 @@ class SqliteProofCache:
                 cursor.execute("ROLLBACK")
                 raise
         self.stats.evicted += evicted
+        # Dep rows reaped for schema staleness are reported separately so
+        # ``repro cache prune`` can say what the sidecar reclaimed.
+        self.stats.deps_reclaimed += max(0, deps_reclaimed)
         return evicted
 
     def compact(self) -> None:

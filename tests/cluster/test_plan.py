@@ -1,0 +1,117 @@
+"""Unit planning: deterministic ids, split decisions, wire round trips."""
+
+import pytest
+
+from repro.cluster.plan import (
+    WorkUnit,
+    load_timings,
+    plan_units,
+    record_timings,
+)
+from repro.engine.driver import default_pass_kwargs
+from repro.engine.fingerprint import pass_fingerprint, unit_fingerprint
+from repro.incremental.deps import identity_key
+from repro.passes import ALL_VERIFIED_PASSES
+from repro.service.protocol import pass_registry
+
+
+def _pending(classes):
+    return [
+        (index, cls, default_pass_kwargs(cls), pass_fingerprint(cls, default_pass_kwargs(cls)))
+        for index, cls in enumerate(classes)
+    ]
+
+
+def test_whole_pass_units_by_default():
+    registry = pass_registry()
+    pending = _pending(ALL_VERIFIED_PASSES[:6])
+    plan = plan_units(pending, registry)
+    assert len(plan.units) == 6
+    assert all(unit.kind == "pass" for unit in plan.units)
+    assert plan.split_passes == 0
+    assert not plan.local
+    # Whole-pass unit ids are the pass fingerprints themselves.
+    assert [unit.unit_id for unit in plan.units] == [key for _, _, _, key in pending]
+
+
+def test_planning_is_deterministic():
+    registry = pass_registry()
+    pending = _pending(ALL_VERIFIED_PASSES[:6])
+    first = plan_units(pending, registry, shard_threshold=0)
+    second = plan_units(pending, registry, shard_threshold=0)
+    assert [u.unit_id for u in first.units] == [u.unit_id for u in second.units]
+
+
+def test_force_split_shards_every_pass():
+    registry = pass_registry()
+    pending = _pending(ALL_VERIFIED_PASSES[:3])
+    plan = plan_units(pending, registry, shard_threshold=0, shard_count=3)
+    assert plan.split_passes == 3
+    assert len(plan.units) == 9
+    for unit in plan.units:
+        assert unit.kind == "shard"
+        assert unit.shard_count == 3
+        assert unit.unit_id == unit_fingerprint(unit.key, unit.shard_index, 3)
+
+
+def test_timing_threshold_drives_splitting(tmp_path):
+    registry = pass_registry()
+    pending = _pending(ALL_VERIFIED_PASSES[:3])
+    slow_ident = identity_key(pending[1][1], pending[1][2])
+    timings = {slow_ident: 2.0}
+    plan = plan_units(pending, registry, timings=timings, shard_threshold=1.0)
+    assert plan.split == {1: 2}
+    kinds = sorted((u.index, u.kind) for u in plan.units)
+    assert kinds == [(0, "pass"), (1, "shard"), (1, "shard"), (2, "pass")]
+
+
+def test_inexpressible_kwargs_stay_local():
+    registry = pass_registry()
+    cls = ALL_VERIFIED_PASSES[0]
+    pending = [(0, cls, {"mystery": 3}, "some-key")]
+    plan = plan_units(pending, registry)
+    assert not plan.units
+    assert plan.local == pending
+
+
+def test_unknown_class_stays_local():
+    class NotRegistered:
+        pass
+
+    registry = pass_registry()
+    pending = [(0, NotRegistered, None, "key")]
+    plan = plan_units(pending, registry)
+    assert not plan.units
+    assert plan.local == pending
+
+
+def test_shard_wire_form_disables_counterexample_search():
+    registry = pass_registry()
+    pending = _pending(ALL_VERIFIED_PASSES[:1])
+    plan = plan_units(pending, registry, shard_threshold=0)
+    wire = plan.units[0].to_wire(True)
+    assert wire["kind"] == "shard"
+    assert wire["counterexample_search"] is False
+    whole = plan_units(pending, registry).units[0].to_wire(True)
+    assert whole["counterexample_search"] is True
+    assert whole["key"] == pending[0][3]
+
+
+def test_timings_round_trip(tmp_path):
+    assert load_timings(tmp_path) == {}
+    record_timings(tmp_path, {"a": 1.5, "b": 0.25})
+    record_timings(tmp_path, {"b": 0.5})
+    assert load_timings(tmp_path) == {"a": 1.5, "b": 0.5}
+    assert load_timings(None) == {}
+    record_timings(None, {"a": 1})  # no-op, must not raise
+
+
+def test_duplicate_configurations_get_distinct_unit_ids():
+    registry = pass_registry()
+    cls = ALL_VERIFIED_PASSES[0]
+    kwargs = default_pass_kwargs(cls)
+    key = pass_fingerprint(cls, kwargs)
+    pending = [(0, cls, kwargs, key), (1, cls, kwargs, key)]
+    plan = plan_units(pending, registry)
+    ids = [unit.unit_id for unit in plan.units]
+    assert len(set(ids)) == 2

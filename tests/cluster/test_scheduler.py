@@ -1,0 +1,101 @@
+"""Lease/steal/retry bookkeeping, independent of sockets and processes."""
+
+from repro.cluster.coordinator import UnitScheduler
+from repro.cluster.plan import WorkUnit
+
+
+def _units(n, kind="pass"):
+    return [WorkUnit(unit_id=f"u{i}", index=i, kind=kind,
+                     spec={"name": "X", "coupling": None}, key=f"u{i}")
+            for i in range(n)]
+
+
+def _ok(unit_id):
+    return {"op": "result", "unit_id": unit_id, "ok": True, "payload": {}}
+
+
+def _failed(unit_id):
+    return {"op": "result", "unit_id": unit_id, "ok": False, "error": "boom"}
+
+
+def test_lease_and_complete_all():
+    scheduler = UnitScheduler(_units(3))
+    leased = []
+    while True:
+        kind, unit = scheduler.lease("w1")
+        if kind != "unit":
+            break
+        leased.append(unit.unit_id)
+        assert scheduler.complete(unit.unit_id, _ok(unit.unit_id))
+    assert leased == ["u0", "u1", "u2"]
+    assert scheduler.done
+    assert scheduler.lease("w1") == ("done", None)
+
+
+def test_young_lease_makes_others_wait():
+    scheduler = UnitScheduler(_units(1), steal_after=60.0)
+    kind, unit = scheduler.lease("w1")
+    assert kind == "unit"
+    assert scheduler.lease("w2") == ("wait", None)
+
+
+def test_steal_after_timeout_and_first_result_wins():
+    scheduler = UnitScheduler(_units(1), steal_after=0.0)
+    _, unit = scheduler.lease("w1")
+    kind, stolen = scheduler.lease("w2")  # immediately stealable
+    assert kind == "unit" and stolen.unit_id == unit.unit_id
+    assert scheduler.stolen == 1
+    assert scheduler.complete(unit.unit_id, _ok(unit.unit_id)) is True
+    # The duplicate (late) result is discarded, not double-counted.
+    assert scheduler.complete(unit.unit_id, _ok(unit.unit_id)) is False
+    assert scheduler.done
+
+
+def test_failed_unit_is_retried_then_given_up():
+    scheduler = UnitScheduler(_units(1), max_attempts=2)
+    for attempt in range(2):
+        kind, unit = scheduler.lease("w1")
+        assert kind == "unit"
+        assert scheduler.complete(unit.unit_id, _failed(unit.unit_id)) is False
+    assert scheduler.retried == 1
+    assert scheduler.failures == {"u0": "boom"}
+    assert scheduler.done  # resolved as failed
+    assert scheduler.unresolved_units()[0].unit_id == "u0"
+
+
+def test_dead_connection_requeues_its_leases():
+    scheduler = UnitScheduler(_units(2), steal_after=60.0)
+    _, first = scheduler.lease("w1")
+    scheduler.release("w1")  # w1's socket died
+    kind, again = scheduler.lease("w2")
+    assert kind == "unit"
+    leased = {again.unit_id}
+    kind, more = scheduler.lease("w2")
+    assert kind == "unit"
+    leased.add(more.unit_id)
+    assert leased == {"u0", "u1"}
+
+
+def test_release_keeps_units_other_workers_still_hold():
+    scheduler = UnitScheduler(_units(1), steal_after=0.0)
+    _, unit = scheduler.lease("w1")
+    scheduler.lease("w2")  # steal: both now own u0
+    scheduler.release("w1")
+    # w2 still owns it: the unit must not be re-queued for a third worker
+    # while w2 computes (steal_after=0 would allow stealing, but the
+    # pending queue itself must stay empty).
+    assert scheduler.results == {}
+    assert scheduler.complete(unit.unit_id, _ok(unit.unit_id))
+    assert scheduler.done
+
+
+def test_wait_returns_on_completion():
+    scheduler = UnitScheduler(_units(1))
+    _, unit = scheduler.lease("w1")
+    import threading
+
+    def finish():
+        scheduler.complete(unit.unit_id, _ok(unit.unit_id))
+
+    threading.Timer(0.05, finish).start()
+    assert scheduler.wait(5.0) is True

@@ -1,0 +1,85 @@
+"""Subgoal sharding: merged shard payloads equal the unsplit proof."""
+
+import pytest
+
+from repro.engine.driver import (
+    _verify_one,
+    default_pass_kwargs,
+    merge_shard_payloads,
+    result_to_payload,
+    verify_pass_shard,
+)
+from repro.engine.fingerprint import unit_fingerprint
+from repro.passes import ALL_VERIFIED_PASSES, UNSUPPORTED_PASSES
+
+
+def _multi_subgoal_pass():
+    """A pass with enough structure for a meaningful split."""
+    for cls in ALL_VERIFIED_PASSES:
+        kwargs = default_pass_kwargs(cls)
+        result, *_ = _verify_one(cls, kwargs, True, {})
+        if result.num_subgoals >= 3 and result.paths_explored >= 2:
+            return cls, kwargs, result
+    pytest.skip("no multi-subgoal pass in the suite")
+
+
+@pytest.mark.parametrize("shard_count", [2, 3])
+def test_merged_shards_equal_unsplit_proof(shard_count):
+    cls, kwargs, unsplit_result = _multi_subgoal_pass()
+    unsplit = result_to_payload(unsplit_result)
+    shards = []
+    for shard_index in range(shard_count):
+        payload, new_entries, hits, misses, hit_keys = verify_pass_shard(
+            cls, kwargs, shard_index, shard_count, {})
+        assert payload["shard_index"] == shard_index
+        assert payload["subgoal_count"] == unsplit_result.num_subgoals
+        # Every shard owns its stripe and nothing else.
+        owned = [outcome["index"] for outcome in payload["outcomes"]]
+        assert owned == [i for i in range(payload["subgoal_count"])
+                         if i % shard_count == shard_index]
+        shards.append(payload)
+    merged = merge_shard_payloads(shards)
+    for field in ("pass", "verified", "supported", "paths_explored",
+                  "failure_reasons", "analysis", "subgoals", "counterexample"):
+        assert merged[field] == unsplit[field], field
+
+
+def test_merge_rejects_incomplete_shard_sets():
+    cls, kwargs, _ = _multi_subgoal_pass()
+    payload, *_ = verify_pass_shard(cls, kwargs, 0, 2, {})
+    with pytest.raises(ValueError):
+        merge_shard_payloads([payload])
+    with pytest.raises(ValueError):
+        merge_shard_payloads([])
+
+
+def test_shard_of_unsupported_pass_merges_to_unsupported():
+    cls = UNSUPPORTED_PASSES[0]
+    unsplit_result, *_ = _verify_one(cls, None, False, {})
+    shards = [verify_pass_shard(cls, None, i, 2, {})[0] for i in range(2)]
+    merged = merge_shard_payloads(shards)
+    assert merged["supported"] is False
+    assert merged["verified"] is False
+    assert merged["failure_reasons"] == list(unsplit_result.failure_reasons)
+    assert merged["subgoals"] == []
+
+
+def test_shard_feeds_the_subgoal_cache_like_the_whole_pass():
+    cls, kwargs, _ = _multi_subgoal_pass()
+    table = {}
+    _, new_entries, hits, misses, _ = verify_pass_shard(cls, kwargs, 0, 2, table)
+    assert misses == len(new_entries) > 0
+    # A second identical shard run is served from the shared table.
+    _, second_new, second_hits, second_misses, hit_keys = verify_pass_shard(
+        cls, kwargs, 0, 2, table)
+    assert second_misses == 0
+    assert second_hits == hits + misses
+    assert not second_new
+    assert set(hit_keys) == set(table)
+
+
+def test_unit_fingerprint_is_deterministic_and_distinct():
+    assert unit_fingerprint("k", 0, 2) == unit_fingerprint("k", 0, 2)
+    assert unit_fingerprint("k", 0, 2) != unit_fingerprint("k", 1, 2)
+    assert unit_fingerprint("k", 0, 2) != unit_fingerprint("k", 0, 3)
+    assert unit_fingerprint("k", 0, 1) == "k"

@@ -1,0 +1,159 @@
+"""Data-file dependencies: device maps and declared data files invalidate."""
+
+import json
+
+import pytest
+
+from repro.coupling.devices import load_device_map
+from repro.engine import verify_passes
+from repro.engine.fingerprint import data_dependency_digest, pass_fingerprint
+from repro.incremental.deps import (
+    build_dep_entry,
+    class_data_paths,
+    identity_key,
+    kwarg_data_paths,
+)
+from repro.incremental.detect import (
+    ChangeDetector,
+    is_python_source,
+    normalize_path,
+    partition_changes,
+    stale_identities,
+)
+from repro.passes import ALL_VERIFIED_PASSES
+
+
+def _write_device(path, num_qubits=5, extra_edge=None):
+    edges = [[i, i + 1] for i in range(num_qubits - 1)]
+    if extra_edge:
+        edges.append(list(extra_edge))
+    path.write_text(json.dumps({"num_qubits": num_qubits, "edges": edges}))
+    return str(path)
+
+
+def _coupling_pass():
+    from repro.engine.driver import COUPLING_PASSES
+
+    for cls in ALL_VERIFIED_PASSES:
+        if cls.__name__ in COUPLING_PASSES:
+            return cls
+    pytest.skip("no coupling pass in the suite")
+
+
+def test_load_device_map_records_its_source(tmp_path):
+    path = _write_device(tmp_path / "device.json")
+    coupling = load_device_map(path)
+    assert coupling.num_qubits == 5
+    assert coupling.source_path == path
+    assert kwarg_data_paths({"coupling": coupling}) == (normalize_path(path),)
+    # In-code devices carry no source and contribute nothing.
+    from repro.coupling.devices import linear_device
+
+    assert kwarg_data_paths({"coupling": linear_device(5)}) == ()
+
+
+def test_malformed_device_map_raises(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"edges": "nope"}')
+    with pytest.raises(ValueError):
+        load_device_map(str(bad))
+
+
+def test_dep_entry_includes_device_file(tmp_path):
+    path = _write_device(tmp_path / "device.json")
+    cls = _coupling_pass()
+    kwargs = {"coupling": load_device_map(path)}
+    entry = build_dep_entry(cls, kwargs, "fp")
+    assert normalize_path(path) in entry["paths"]
+    # Source files are still there too.
+    assert any(p.endswith(".py") for p in entry["paths"])
+
+
+def test_editing_the_device_file_invalidates_exactly_its_config(tmp_path):
+    path = _write_device(tmp_path / "device.json")
+    cls = _coupling_pass()
+    file_backed = identity_key(cls, {"coupling": load_device_map(path)})
+    entry = build_dep_entry(cls, {"coupling": load_device_map(path)}, "fp")
+    other = ALL_VERIFIED_PASSES[0]
+    other_entry = build_dep_entry(other, None, "fp2")
+    dep_index = {file_backed: entry, identity_key(other, None): other_entry}
+
+    detector = ChangeDetector([path])
+    assert detector.poll() == set()
+    _write_device(tmp_path / "device.json", extra_edge=(0, 4))
+    changed = detector.poll()
+    assert changed == {normalize_path(path)}
+    assert stale_identities(dep_index, changed) == {file_backed}
+
+
+def test_device_edit_changes_the_cache_key_end_to_end(tmp_path):
+    """changed_paths=[device file] re-proves under the new topology."""
+    device_file = tmp_path / "device.json"
+    _write_device(device_file)
+    cls = _coupling_pass()
+    cache_dir = str(tmp_path / "cache")
+
+    def kwargs_fn(_cls):
+        return {"coupling": load_device_map(str(device_file))}
+
+    cold = verify_passes([cls], cache_dir=cache_dir, pass_kwargs_fn=kwargs_fn)
+    assert cold.stats.cache_misses == 1
+
+    _write_device(device_file, extra_edge=(0, 4))
+    edited = verify_passes([cls], cache_dir=cache_dir, pass_kwargs_fn=kwargs_fn,
+                           changed_paths=[str(device_file)])
+    assert edited.stats.stale_passes == 1
+    # New edge set, new key: the old proof must not be served.
+    assert edited.stats.cache_misses == 1
+
+
+def test_declared_data_dependencies_feed_the_fingerprint(tmp_path):
+    data = tmp_path / "table.dat"
+    data.write_text("v1")
+
+    class DataPass(ALL_VERIFIED_PASSES[0]):
+        data_dependencies = (str(data),)
+
+    assert class_data_paths(DataPass) == (normalize_path(str(data)),)
+    first = data_dependency_digest(DataPass)
+    key_one = pass_fingerprint(DataPass)
+    data.write_text("v2")
+    assert data_dependency_digest(DataPass) != first
+    assert pass_fingerprint(DataPass) != key_one
+    # Missing files hash as absent, not as an error.
+    data.unlink()
+    assert data_dependency_digest(DataPass)[0][1] == "<missing>"
+
+
+def test_partition_changes_and_is_python_source(tmp_path):
+    py = tmp_path / "m.py"
+    py.write_text("")
+    dat = tmp_path / "d.json"
+    dat.write_text("{}")
+    assert is_python_source(str(py)) and not is_python_source(str(dat))
+    sources, data = partition_changes([str(py), str(dat)])
+    assert sources == {normalize_path(str(py))}
+    assert data == {normalize_path(str(dat))}
+
+
+def test_refresh_source_state_ignores_data_files(tmp_path):
+    from repro.incremental.watch import refresh_source_state
+
+    dat = tmp_path / "device.json"
+    dat.write_text("{}")
+    assert refresh_source_state([str(dat)]) == []
+
+
+def test_file_backed_qasm_suite(tmp_path):
+    from repro.bench.qasmbench import load_qasm_suite, qasmbench_suite
+
+    (tmp_path / "tiny.qasm").write_text(
+        'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n')
+    (tmp_path / "broken.qasm").write_text("not qasm at all")
+    (tmp_path / "ignored.txt").write_text("x")
+    suite = load_qasm_suite(str(tmp_path))
+    assert [entry.name for entry in suite] == ["tiny"]
+    assert suite[0].num_qubits == 2
+    assert suite[0].family == "file"
+    # qasmbench_suite(directory=...) prefers the files.
+    assert [e.name for e in qasmbench_suite(directory=str(tmp_path))] == ["tiny"]
