@@ -95,6 +95,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print("--workers/--cluster are mutually exclusive with each other "
               "and with --daemon", file=sys.stderr)
         return 2
+    from repro.prover import SolverUnavailable, available_solvers
+
     try:
         if cluster_mode:
             from repro.cluster import verify_passes_distributed
@@ -110,6 +112,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 changed_paths=args.changed,
                 shard_threshold=args.shard_threshold,
                 shard_count=args.shard_count,
+                solver=args.solver,
             )
         elif args.daemon:
             from repro.service.client import verify_with_fallback
@@ -122,6 +125,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 use_cache=not args.no_cache,
                 pass_kwargs_fn=pass_kwargs_for,
                 changed_paths=args.changed,
+                solver=args.solver,
             )
         else:
             report = verify_passes(
@@ -132,7 +136,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 pass_kwargs_fn=pass_kwargs_for,
                 changed_paths=args.changed,
+                solver=args.solver,
             )
+    except SolverUnavailable as exc:
+        print(f"{exc}", file=sys.stderr)
+        installed = ", ".join(name for name, ok in available_solvers() if ok)
+        print(f"available solver backends here: {installed}", file=sys.stderr)
+        return 2
     except (OSError, sqlite3.Error) as exc:
         print(f"cannot open proof cache: {exc}", file=sys.stderr)
         print("use --cache-dir DIR with a writable directory, or --no-cache",
@@ -477,6 +487,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.record:
             argv += ["--record", args.record]
         return cluster_main(argv)
+    if args.target == "solver":
+        from repro.bench.solver import main as solver_main
+
+        argv = []
+        for name in args.solver or ():
+            argv += ["--solver", name]
+        if args.record:
+            argv += ["--record", args.record]
+        return solver_main(argv)
     from repro.bench.case_studies import main as case_studies_main
 
     return case_studies_main([])
@@ -544,6 +563,14 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--backend", choices=("jsonl", "sqlite"), default="jsonl",
                         help="proof-cache tier: jsonl (single-writer file) or "
                              "sqlite (shared store, safe for concurrent clients)")
+    verify.add_argument("--solver", choices=("auto", "builtin", "z3", "bounded"),
+                        default="auto",
+                        help="prover backend for subgoal discharge: auto "
+                             "(the builtin congruence-closure prover), z3 "
+                             "(requires z3-solver; detected at run time), or "
+                             "bounded (bidirectional bounded rewriting). "
+                             "Verdicts are backend-independent; the choice "
+                             "joins every cache key")
     verify.add_argument("--daemon", action="store_true",
                         help="send the batch to a running `repro serve` daemon "
                              "(falls back to in-process verification if none)")
@@ -561,8 +588,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="split passes whose recorded wall time is at "
                              "least SECONDS into subgoal shards "
                              "(default 1.0; <= 0 splits every pending pass)")
-    verify.add_argument("--shard-count", type=int, default=2, metavar="N",
-                        help="number of subgoal shards per split pass (default 2)")
+    verify.add_argument("--shard-count", type=int, default=None, metavar="N",
+                        help="number of subgoal shards per split pass "
+                             "(default: auto-tuned from each pass's recorded "
+                             "wall time vs the threshold, 2-8)")
     verify.add_argument("--changed", action="append", default=None,
                         metavar="PATH",
                         help="run incrementally: re-check only passes whose "
@@ -673,14 +702,19 @@ def build_parser() -> argparse.ArgumentParser:
     transpile.set_defaults(handler=_cmd_transpile)
 
     bench = sub.add_parser("bench", help="run one of the paper's evaluation drivers")
-    bench.add_argument("target", choices=("table2", "figure11", "case-studies", "cluster"))
+    bench.add_argument("target",
+                       choices=("table2", "figure11", "case-studies", "cluster",
+                                "solver"))
     bench.add_argument("--small", action="store_true", help="figure11: use the trimmed suite")
     bench.add_argument("--new-passes-only", action="store_true",
                        help="table2: only the passes new in Qiskit 0.32")
     bench.add_argument("--workers", type=int, default=2, metavar="N",
                        help="cluster: worker processes for the distributed side")
+    bench.add_argument("--solver", action="append", default=None, metavar="NAME",
+                       help="solver: additionally measure this prover backend "
+                            "(repeatable)")
     bench.add_argument("--record", default=None, metavar="PATH",
-                       help="cluster: write the measured comparison as JSON")
+                       help="cluster/solver: write the measured comparison as JSON")
     bench.set_defaults(handler=_cmd_bench)
 
     soundness = sub.add_parser("soundness", help="re-check the rewrite rules numerically")

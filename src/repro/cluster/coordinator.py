@@ -58,7 +58,7 @@ from repro.cluster.transport import (
     server_handshake,
     write_cluster_state,
 )
-from repro.cluster.worker import worker_process_entry
+from repro.cluster.worker import execute_unit, worker_process_entry
 from repro.engine.cache import default_cache_dir, open_proof_cache
 from repro.engine.driver import (
     EngineReport,
@@ -71,10 +71,12 @@ from repro.engine.driver import (
     record_deferred_deps,
     resolve_pending,
     result_to_payload,
+    store_certificates,
 )
 from repro.engine.scheduler import default_jobs
 from repro.incremental.deps import identity_key
 from repro.service.protocol import pass_registry
+from repro.verify.discharge import Discharger
 
 
 # --------------------------------------------------------------------------- #
@@ -246,16 +248,27 @@ class UnitScheduler:
 # The coordinator
 # --------------------------------------------------------------------------- #
 class ClusterCoordinator:
-    """Serve one run's units to authenticated workers; absorb their results."""
+    """Serve one run's units to authenticated workers; absorb their results.
+
+    The coordinator is also a *worker of last resort*: while waiting on the
+    fleet it leases units to itself (:meth:`run_one_locally`) instead of
+    idling, so a run with slow — or absent — workers still makes progress
+    through the same unit pipeline (same payloads, same store writes, same
+    verdicts; only the ``coordinator_units`` counter tells them apart).
+    """
 
     def __init__(self, cache, scheduler: UnitScheduler, token: str, *,
-                 counterexample_search: bool = True) -> None:
+                 counterexample_search: bool = True,
+                 solver: str = "builtin",
+                 registry: Optional[Dict[str, type]] = None) -> None:
         from repro.engine.fingerprint import toolchain_fingerprint
 
         self.cache = cache
         self.scheduler = scheduler
         self.token = token
         self.counterexample_search = counterexample_search
+        self.solver = solver
+        self.registry = registry
         self.toolchain = toolchain_fingerprint()
         #: Coordinator-side view of the shared subgoal tier, plus an
         #: append-ordered log so each connection gets exactly the entries
@@ -269,6 +282,8 @@ class ClusterCoordinator:
         self.workers_connected = 0
         self.workers_seen = 0
         self.remote_units = 0
+        self.coordinator_units = 0
+        self.remote_subgoal_hits = 0
         self.worker_seconds = 0.0
         self.worker_subgoal_hits = 0
         self.worker_subgoal_misses = 0
@@ -278,7 +293,7 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------ #
     # Result absorption
     # ------------------------------------------------------------------ #
-    def _absorb_result(self, message: Dict) -> None:
+    def _absorb_result(self, message: Dict, local: bool = False) -> None:
         """Write an accepted result's subgoals through to the shared tier."""
         with self._subgoal_lock:
             fresh = {
@@ -294,12 +309,46 @@ class ClusterCoordinator:
                 for key, value in fresh.items():
                     if not self.cache.has_subgoal(key):
                         self.cache.put_subgoal(key, value)
+                store_certificates(self.cache,
+                                   message.get("new_certificates") or {})
                 self.cache.touch_subgoals(message.get("subgoal_hit_keys") or [])
         with self._counter_lock:
-            self.remote_units += 1
-            self.worker_seconds += float(message.get("wall_seconds", 0.0))
+            if local:
+                self.coordinator_units += 1
+            else:
+                self.remote_units += 1
+                self.worker_seconds += float(message.get("wall_seconds", 0.0))
+            self.remote_subgoal_hits += int(message.get("subgoal_remote_hits", 0))
             self.worker_subgoal_hits += int(message.get("subgoal_hits", 0))
             self.worker_subgoal_misses += int(message.get("subgoal_misses", 0))
+
+    # ------------------------------------------------------------------ #
+    # Self-leasing (the coordinator as a worker of last resort)
+    # ------------------------------------------------------------------ #
+    def run_one_locally(self) -> bool:
+        """Lease one unit to the coordinator itself and prove it inline.
+
+        Returns ``True`` when a unit was executed (successfully or not —
+        failures follow the same retry bookkeeping as a worker's).  The
+        unit runs against a *copy* of the shared subgoal table: handler
+        threads snapshot the live dict for connecting workers, and an
+        in-place mutation from this thread could surface as a
+        dictionary-changed-size error mid-copy.
+        """
+        if self.registry is None:
+            return False
+        kind, unit = self.scheduler.lease("coordinator")
+        if kind != "unit":
+            return False
+        with self._subgoal_lock:
+            table = dict(self._shared_subgoals)
+        reply = execute_unit(
+            unit.to_wire(self.counterexample_search, self.solver),
+            self.registry, table)
+        accepted = self.scheduler.complete(unit.unit_id, reply)
+        if accepted:
+            self._absorb_result(reply, local=True)
+        return True
 
     def _snapshot_for(self, marker_box: Dict) -> Dict[str, dict]:
         """Serve one connection's bulk snapshot; advance its update marker."""
@@ -345,7 +394,8 @@ class ClusterCoordinator:
                     if kind == "unit":
                         connection.send({
                             "op": "unit",
-                            "unit": unit.to_wire(self.counterexample_search),
+                            "unit": unit.to_wire(self.counterexample_search,
+                                                 self.solver),
                             "subgoal_updates": self._updates_for(marker_box),
                         })
                     elif kind == "wait":
@@ -436,10 +486,12 @@ def verify_passes_distributed(
     changed_paths=None,
     record_deps: bool = True,
     shard_threshold: Optional[float] = None,
-    shard_count: int = DEFAULT_SHARD_COUNT,
+    shard_count: Optional[int] = None,
     worker_wait: float = 30.0,
     run_timeout: float = 600.0,
     steal_after: float = 5.0,
+    solver: str = "auto",
+    self_lease: bool = True,
 ) -> EngineReport:
     """Verify a batch across a worker cluster; in-process for what remains.
 
@@ -449,21 +501,30 @@ def verify_passes_distributed(
     authenticated ``repro work`` peers connect (``workers`` and
     ``hostfile`` are mutually exclusive).  All other parameters match
     :func:`repro.engine.verify_passes`, including ``changed_paths`` for
-    dependency-scoped incremental cluster runs.  Verdicts are identical
-    to the single-process engine at any worker count — distribution, like
-    ``jobs``, only changes wall time.
+    dependency-scoped incremental cluster runs and ``solver`` for the
+    prover backend (shipped inside every unit; workers refuse units whose
+    key they cannot re-derive, which covers solver skew).  Verdicts are
+    identical to the single-process engine at any worker count —
+    distribution, like ``jobs``, only changes wall time.
+
+    ``self_lease`` (default on) lets the coordinator lease and prove units
+    itself while waiting on workers; ``shard_count=None`` auto-tunes each
+    split pass's shard count from its recorded wall time (see
+    :func:`repro.cluster.plan.derive_shard_count`).
     """
     started = time.perf_counter()
     from repro.engine.driver import _check_changed_paths
+    from repro.prover.backend import resolve_solver
 
     _check_changed_paths(changed_paths)
+    solver_name = resolve_solver(solver).name
     kwargs_fn = pass_kwargs_fn or default_pass_kwargs
     if hostfile is not None and workers:
         raise ValueError("workers=N and hostfile=... are mutually exclusive")
     local_mode = hostfile is None
     worker_count = default_jobs() if int(workers) <= 0 else int(workers)
     stats = EngineStats(jobs=worker_count if local_mode else 1,
-                        passes_total=len(pass_classes))
+                        passes_total=len(pass_classes), solver=solver_name)
 
     own_cache = False
     if cache is None and use_cache:
@@ -479,6 +540,7 @@ def verify_passes_distributed(
             hostfile=hostfile, shard_threshold=shard_threshold,
             shard_count=shard_count, worker_wait=worker_wait,
             run_timeout=run_timeout, steal_after=steal_after,
+            solver=solver_name, self_lease=self_lease,
         )
     finally:
         if own_cache:
@@ -489,7 +551,7 @@ def _distributed_with_cache(
     pass_classes, stats, cache, kwargs_fn, started, base_invalidated, *,
     counterexample_search, changed_paths, record_deps, local_mode,
     worker_count, hostfile, shard_threshold, shard_count, worker_wait,
-    run_timeout, steal_after,
+    run_timeout, steal_after, solver, self_lease,
 ) -> EngineReport:
     base_hits = cache.stats.pass_hits if cache is not None else 0
     base_misses = cache.stats.pass_misses if cache is not None else 0
@@ -500,12 +562,13 @@ def _distributed_with_cache(
     results, pending = resolve_pending(
         pass_classes, stats, cache, kwargs_fn,
         changed_paths=changed_paths, record_deps=record_deps,
-        deferred_deps=deferred_deps,
+        deferred_deps=deferred_deps, solver=solver,
     )
 
     cluster_info: Dict[str, object] = {
         "workers": 0, "units_total": 0, "split_passes": 0,
-        "remote_units": 0, "local_units": 0, "stolen": 0, "retried": 0,
+        "remote_units": 0, "coordinator_units": 0, "local_units": 0,
+        "remote_subgoal_hits": 0, "stolen": 0, "retried": 0,
     }
     stats.cluster = cluster_info
     if not pending:
@@ -530,7 +593,8 @@ def _distributed_with_cache(
     scheduler = UnitScheduler(plan.units, steal_after=steal_after)
     coordinator = ClusterCoordinator(
         cache, scheduler, secrets.token_hex(16),
-        counterexample_search=counterexample_search)
+        counterexample_search=counterexample_search,
+        solver=solver, registry=registry if self_lease else None)
 
     listener = None
     processes: List = []
@@ -593,10 +657,13 @@ def _distributed_with_cache(
         record_deferred_deps(cache, deferred_deps)
 
     _merge_run(results, pending, plan, scheduler, coordinator, cache, stats,
-               counterexample_search, timings_dir, kwargs_fn)
+               counterexample_search, timings_dir, kwargs_fn,
+               shard_threshold=shard_threshold)
 
     cluster_info["workers"] = coordinator.workers_seen
     cluster_info["remote_units"] = coordinator.remote_units
+    cluster_info["coordinator_units"] = coordinator.coordinator_units
+    cluster_info["remote_subgoal_hits"] = coordinator.remote_subgoal_hits
     cluster_info["stolen"] = scheduler.stolen
     cluster_info["retried"] = scheduler.retried
     cluster_info["worker_seconds"] = round(coordinator.worker_seconds, 6)
@@ -610,21 +677,33 @@ def _distributed_with_cache(
 
 def _await_completion(scheduler, coordinator, processes, *, local_mode,
                       worker_wait, run_timeout) -> None:
-    """Wait for the units — but never longer than the cluster deserves.
+    """Drive the units to completion — proving some on the coordinator.
 
-    Bails out early (leaving the remainder to the in-process fallback)
-    when every local worker process is already dead, when no worker at all
-    connected within ``worker_wait``, or when every previously connected
-    worker has been gone for ``worker_wait`` without a replacement — a
-    crashed fleet must not stall the run until ``run_timeout``.
+    Instead of idling between polls, the coordinator leases units to
+    itself (:meth:`ClusterCoordinator.run_one_locally`, when self-leasing
+    is enabled): with a healthy fleet it merely adds one more prover, and
+    with a dead or absent fleet it drains the whole plan through the same
+    unit pipeline.  It still bails out early (leaving the remainder to the
+    in-process fallback) when nothing is progressing: every local worker
+    process dead, no worker at all within ``worker_wait``, or every
+    previously connected worker gone for ``worker_wait`` without a
+    replacement — a crashed fleet must not stall the run until
+    ``run_timeout``.
     """
     deadline = time.monotonic() + run_timeout
     first_worker_deadline = time.monotonic() + worker_wait
+    # Until a worker shows up, give the fleet a short head start before
+    # the coordinator starts competing for units: a fast suite drained
+    # entirely by self-leasing would make every run look worker-less.
+    self_lease_after = time.monotonic() + min(1.0, worker_wait / 4)
     idle_since = None
     while not scheduler.done:
         now = time.monotonic()
         if now >= deadline:
             return
+        if (coordinator.workers_seen > 0 or now >= self_lease_after) \
+                and coordinator.run_one_locally():
+            continue  # progressed; re-check done before any bail-out
         if coordinator.workers_connected == 0:
             if local_mode and processes and \
                     not any(process.is_alive() for process in processes):
@@ -642,8 +721,13 @@ def _await_completion(scheduler, coordinator, processes, *, local_mode,
 
 def _merge_run(results, pending, plan: Plan, scheduler: UnitScheduler,
                coordinator: ClusterCoordinator, cache, stats,
-               counterexample_search, timings_dir, kwargs_fn) -> None:
+               counterexample_search, timings_dir, kwargs_fn,
+               shard_threshold=None) -> None:
     """Fold unit results into ordered pass results; prove leftovers locally."""
+    from repro.cluster.plan import DEFAULT_SHARD_THRESHOLD
+
+    threshold = DEFAULT_SHARD_THRESHOLD if shard_threshold is None \
+        else float(shard_threshold)
     units_by_index: Dict[int, List[WorkUnit]] = {}
     for unit in plan.units:
         units_by_index.setdefault(unit.index, []).append(unit)
@@ -678,28 +762,55 @@ def _merge_run(results, pending, plan: Plan, scheduler: UnitScheduler,
         if cache is not None:
             with coordinator._store_lock:
                 cache.put_pass(key, merged)
-        timing_updates[identity_key(pass_class, pass_kwargs)] = \
-            merged["time_seconds"]
+        if units[0].kind == "shard":
+            # The merged payload's time is the *sum* of shard times, and
+            # every shard re-ran the full symbolic execution; recording
+            # that sum would feed the auto-tuner a figure that grows with
+            # the shard count it chose (ratcheting every split pass toward
+            # the maximum).  Estimate the unsplit wall instead: the
+            # cheapest shard is an upper bound on the symbolic-execution
+            # share, so discount it from all but one shard.  The estimate
+            # errs low (the cheapest shard still carries discharge work),
+            # which on its own would flip the next run back to unsplit —
+            # so a split pass's record is floored at the threshold:
+            # hysteresis beats oscillating between split and whole.
+            shard_times = [message["payload"]["time_seconds"]
+                           for message in payloads]
+            recorded = sum(shard_times) - \
+                (len(shard_times) - 1) * min(shard_times)
+            if threshold > 0:
+                recorded = max(recorded, threshold)
+        else:
+            recorded = merged["time_seconds"]
+        timing_updates[identity_key(pass_class, pass_kwargs)] = recorded
 
     local_count = 0
+    discharger = Discharger(stats.solver)
+    # Snapshot the shared table under its lock (one copy, reused across
+    # the whole fallback loop): a handler thread draining a late worker
+    # frame may still be copying the live dict, and an unguarded insert
+    # from this loop would blow up that copy mid-iteration.
+    with coordinator._subgoal_lock:
+        local_table = dict(coordinator._shared_subgoals)
     for index, pass_class, pass_kwargs, key in local_entries:
-        result, new_entries, hits, misses, hit_keys = _verify_one(
+        result, acct = _verify_one(
             pass_class, pass_kwargs, counterexample_search,
-            coordinator._shared_subgoals,
+            local_table, discharger=discharger,
         )
         local_count += 1
         results[index] = result
-        stats.subgoal_hits += hits
-        stats.subgoal_misses += misses
+        stats.subgoal_hits += acct.hits
+        stats.subgoal_misses += acct.misses
         if cache is not None:
             # Under the store lock: a still-draining handler thread may be
             # serving a late worker message against the same cache.
             with coordinator._store_lock:
                 cache.put_pass(key, result_to_payload(result))
-                for sub_key, value in new_entries.items():
+                for sub_key, value in acct.new_subgoals.items():
                     if not cache.has_subgoal(sub_key):
                         cache.put_subgoal(sub_key, value)
-                cache.touch_subgoals(hit_keys)
+                store_certificates(cache, acct.new_certificates)
+                cache.touch_subgoals(acct.hit_keys)
         timing_updates[identity_key(pass_class, pass_kwargs)] = \
             result.time_seconds
     stats.cluster["local_units"] = local_count

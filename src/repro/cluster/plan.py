@@ -19,18 +19,21 @@ work stealing.
 Timings come from a small ``timings.json`` record in the cache directory,
 updated by the coordinator after every run — so a suite's second cluster
 run knows which passes deserved splitting even if their proofs were
-evicted in between.
+evicted in between.  The shard count is auto-tuned from the same record:
+a pass recorded at N times the threshold is cut into ~N shards (clamped
+to :data:`MAX_SHARD_COUNT`), instead of the seed's fixed two-way split.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.fingerprint import unit_fingerprint
+from repro.engine.fingerprint import DEFAULT_SOLVER, unit_fingerprint
 from repro.incremental.deps import identity_key
 from repro.service.protocol import ProtocolError, make_pass_spec, resolve_pass_spec
 
@@ -39,8 +42,30 @@ _TIMINGS_FILE = "timings.json"
 #: Default wall-time threshold (seconds) above which a pass is split.
 DEFAULT_SHARD_THRESHOLD = 1.0
 
-#: Default number of subgoal shards a split pass is cut into.
+#: Default number of subgoal shards a split pass is cut into when no
+#: recorded timing says otherwise.
 DEFAULT_SHARD_COUNT = 2
+
+#: Upper bound on auto-tuned shard counts: past this, per-shard symbolic
+#: re-execution overhead dominates whatever discharge parallelism remains.
+MAX_SHARD_COUNT = 8
+
+
+def derive_shard_count(recorded: Optional[float],
+                       threshold: float) -> int:
+    """Shard count for one pass from its recorded wall time.
+
+    The split should leave each shard roughly one threshold's worth of
+    discharge work: a pass recorded at 3.2s against a 1.0s threshold cuts
+    into 4 shards, not a fixed 2 — and never more than
+    :data:`MAX_SHARD_COUNT` (each shard re-runs the symbolic execution).
+    With no recorded time, or a non-positive threshold (force-split mode),
+    there is no ratio to derive from and the default applies.
+    """
+    if recorded is None or threshold <= 0:
+        return DEFAULT_SHARD_COUNT
+    return max(DEFAULT_SHARD_COUNT,
+               min(MAX_SHARD_COUNT, math.ceil(recorded / threshold)))
 
 
 @dataclass
@@ -62,7 +87,8 @@ class WorkUnit:
     shard_index: int = 0
     shard_count: int = 1
 
-    def to_wire(self, counterexample_search: bool) -> Dict[str, object]:
+    def to_wire(self, counterexample_search: bool,
+                solver: str = DEFAULT_SOLVER) -> Dict[str, object]:
         return {
             "unit_id": self.unit_id,
             "kind": self.kind,
@@ -70,6 +96,10 @@ class WorkUnit:
             # The pass fingerprint travels so the worker can verify it
             # re-derives the same key locally (source-skew guard).
             "key": self.key,
+            # The solver backend the run discharges with: the worker must
+            # prove with the same backend (the key covers it, so a skewed
+            # worker refuses the unit rather than poisoning the store).
+            "solver": solver,
             "shard_index": self.shard_index,
             "shard_count": self.shard_count,
             # Shards never search (no shard sees the full failure set);
@@ -122,21 +152,24 @@ def plan_units(
     *,
     timings: Optional[Dict[str, float]] = None,
     shard_threshold: Optional[float] = None,
-    shard_count: int = DEFAULT_SHARD_COUNT,
+    shard_count: Optional[int] = None,
 ) -> Plan:
     """Plan the unit decomposition of ``pending``.
 
     ``pending`` is the engine's resolution output:
     ``(index, pass_class, pass_kwargs, key)`` per entry (see
     :func:`repro.engine.driver.resolve_pending`).  ``timings`` maps
-    identity keys to recorded wall seconds; a pass is split into
-    ``shard_count`` subgoal shards when its recorded time is at least
-    ``shard_threshold``.  ``shard_threshold <= 0`` force-splits every
-    distributable pass (used by tests and smoke runs to exercise the
-    sharded path without waiting for a slow suite).
+    identity keys to recorded wall seconds; a pass is split into subgoal
+    shards when its recorded time is at least ``shard_threshold``.
+    ``shard_count=None`` (the default) auto-tunes the split per pass from
+    the recorded-time/threshold ratio (:func:`derive_shard_count`); an
+    explicit count pins every split pass to that many shards.
+    ``shard_threshold <= 0`` force-splits every distributable pass (used
+    by tests and smoke runs to exercise the sharded path without waiting
+    for a slow suite).
     """
     threshold = DEFAULT_SHARD_THRESHOLD if shard_threshold is None else float(shard_threshold)
-    shard_count = max(2, int(shard_count))
+    fixed_count = None if shard_count is None else max(2, int(shard_count))
     timings = timings or {}
     plan = Plan()
     seen_ids: set = set()
@@ -160,16 +193,18 @@ def plan_units(
         # An uncacheable pass (key None) has no deterministic unit id to
         # merge shards under; keep it whole.
         if split and key is not None:
-            plan.split[index] = shard_count
-            for shard in range(shard_count):
+            count = fixed_count if fixed_count is not None \
+                else derive_shard_count(recorded, threshold)
+            plan.split[index] = count
+            for shard in range(count):
                 plan.units.append(WorkUnit(
-                    unit_id=unique(unit_fingerprint(key, shard, shard_count), index),
+                    unit_id=unique(unit_fingerprint(key, shard, count), index),
                     index=index,
                     kind="shard",
                     spec=spec,
                     key=key,
                     shard_index=shard,
-                    shard_count=shard_count,
+                    shard_count=count,
                 ))
         else:
             plan.units.append(WorkUnit(

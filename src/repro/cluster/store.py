@@ -10,8 +10,11 @@ cache tier the whole fleet shares.
 
 The operation set mirrors the cache interface method-for-method
 (``get_pass``/``put_pass``/``get_subgoal``/``has_subgoal``/``put_subgoal``/
-``subgoal_snapshot``/``touch_subgoals`` plus the dependency sidecar), each
-a single request/response frame.  Workers use :meth:`subgoal_snapshot`
+``subgoal_snapshot``/``touch_subgoals`` plus the dependency sidecar and the
+subgoal-certificate tier), each a single request/response frame.  Workers
+use the per-key ``get_subgoal`` *mid-unit*: a subgoal another worker proved
+after this worker's last lease is served from the coordinator's warm tier
+instead of being re-proved (see :func:`repro.cluster.worker.execute_unit`).  Workers use :meth:`subgoal_snapshot`
 once at handshake for bulk warm-up and receive incremental updates
 piggybacked on lease responses; the per-key operations cover everything
 else (and make the store usable as a drop-in ``cache=`` for
@@ -39,12 +42,16 @@ _STORE_OPS = {
     "store.get_deps": "get_deps",
     "store.put_deps": "put_deps",
     "store.deps_snapshot": "deps_snapshot",
+    "store.get_certificate": "get_certificate",
+    "store.put_certificate": "put_certificate",
+    "store.certificate_snapshot": "certificate_snapshot",
 }
 
 
 #: Operations that mutate proof or dependency content.  ``touch_subgoals``
 #: is deliberately not here: recency updates cannot change any verdict.
-_WRITE_OPS = {"store.put_pass", "store.put_subgoal", "store.put_deps"}
+_WRITE_OPS = {"store.put_pass", "store.put_subgoal", "store.put_deps",
+              "store.put_certificate"}
 
 
 def is_store_op(message: Dict) -> bool:
@@ -66,10 +73,16 @@ def serve_store_op(cache, message: Dict, allow_writes: bool = True) -> Dict:
         return {"op": "store.reply",
                 "error": f"{message['op']} rejected: this store is served "
                          f"read-only (results carry writes back instead)"}
-    method = getattr(cache, _STORE_OPS[message["op"]])
+    if cache is None:
+        # A stateless (--no-cache) coordinator has no store to serve;
+        # workers treat the error like any store hiccup and re-prove
+        # locally instead of killing the connection.
+        return {"op": "store.reply",
+                "error": f"{message['op']} rejected: this run has no proof "
+                         f"store (--no-cache)"}
     args = message.get("args", [])
     try:
-        value = method(*args)
+        value = getattr(cache, _STORE_OPS[message["op"]])(*args)
     except Exception as exc:  # a store hiccup must not kill the connection
         return {"op": "store.reply", "error": f"{type(exc).__name__}: {exc}"}
     return {"op": "store.reply", "value": value}
@@ -158,6 +171,18 @@ class RemoteProofStore:
         keys = list(keys)
         if keys:
             self._call("store.touch_subgoals", keys)
+
+    # ------------------------------------------------------------------ #
+    # Certificate tier
+    # ------------------------------------------------------------------ #
+    def get_certificate(self, key: str) -> Optional[dict]:
+        return self._call("store.get_certificate", key)
+
+    def put_certificate(self, key: str, value: dict) -> None:
+        self._call("store.put_certificate", key, value)
+
+    def certificate_snapshot(self) -> Dict[str, dict]:
+        return dict(self._call("store.certificate_snapshot"))
 
     # ------------------------------------------------------------------ #
     # Dependency sidecar

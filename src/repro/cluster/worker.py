@@ -29,26 +29,61 @@ from repro.engine.driver import (
     result_to_payload,
     verify_pass_shard,
 )
-from repro.engine.fingerprint import pass_fingerprint
+from repro.engine.fingerprint import DEFAULT_SOLVER, pass_fingerprint
 from repro.service.protocol import ProtocolError, pass_registry, resolve_pass_spec
 
 
+def make_store_fallback(store):
+    """A mid-unit subgoal lookup backed by the coordinator's store.
+
+    The bulk snapshot a worker takes at handshake (plus the deltas that
+    piggyback on leases) goes stale *during* a long unit: a subgoal another
+    worker proves mid-flight is in the coordinator's warm tier but not in
+    this worker's table.  The returned callable probes the remote store for
+    exactly those keys — and swallows transport errors, because a store
+    hiccup must degrade into re-proving locally, never fail the unit.
+    """
+    if store is None:
+        return None
+    state = {"dead": False}
+
+    def lookup(key: str):
+        if state["dead"]:
+            return None
+        try:
+            return store.get_subgoal(key)
+        except TransportError:
+            # Stop probing for the rest of this unit: a coordinator with
+            # no store (--no-cache) would otherwise eat one failed round
+            # trip per subgoal miss.
+            state["dead"] = True
+            return None
+
+    return lookup
+
+
 def execute_unit(unit: Dict, registry: Dict[str, type],
-                 subgoal_table: Dict[str, dict]) -> Dict:
+                 subgoal_table: Dict[str, dict], store=None) -> Dict:
     """Verify one leased unit; return the ``result`` message to send back.
 
-    Shared by the worker loop and the coordinator's local fallback, so a
+    Shared by the worker loop and the coordinator's self-leased units, so a
     unit produces the same payload wherever it runs.  ``subgoal_table`` is
     the worker's warm view of the shared subgoal tier; it is updated in
     place with newly proved entries (which also travel back in the
-    message).
+    message).  ``store`` (a :class:`~repro.cluster.store.RemoteProofStore`)
+    enables mid-unit reads: subgoals missing from the local table are
+    probed against the shared tier before being re-proved.
     """
     started = time.perf_counter()
     try:
+        from repro.verify.discharge import Discharger
+
         pass_class, pass_kwargs = resolve_pass_spec(unit["spec"], registry)
+        solver = str(unit.get("solver", DEFAULT_SOLVER))
+        discharger = Discharger(solver)
         expected_key = unit.get("key")
         if expected_key is not None:
-            local_key = pass_fingerprint(pass_class, pass_kwargs)
+            local_key = pass_fingerprint(pass_class, pass_kwargs, solver=solver)
             if local_key != expected_key:
                 raise ProtocolError(
                     f"source skew: local fingerprint of "
@@ -56,17 +91,18 @@ def execute_unit(unit: Dict, registry: Dict[str, type],
                     f"coordinator's ({local_key} != {expected_key}); "
                     f"refusing to prove different code under its key"
                 )
+        fallback = make_store_fallback(store)
         if unit["kind"] == "shard":
-            payload, new_entries, hits, misses, hit_keys = verify_pass_shard(
+            payload, acct = verify_pass_shard(
                 pass_class, pass_kwargs,
                 int(unit["shard_index"]), int(unit["shard_count"]),
-                subgoal_table,
+                subgoal_table, discharger=discharger, fallback=fallback,
             )
         else:
-            result, new_entries, hits, misses, hit_keys = _verify_one(
+            result, acct = _verify_one(
                 pass_class, pass_kwargs,
                 bool(unit.get("counterexample_search", True)),
-                subgoal_table,
+                subgoal_table, discharger=discharger, fallback=fallback,
             )
             payload = result_to_payload(result)
     except Exception as exc:
@@ -84,10 +120,12 @@ def execute_unit(unit: Dict, registry: Dict[str, type],
         "ok": True,
         "kind": unit["kind"],
         "payload": payload,
-        "new_subgoals": new_entries,
-        "subgoal_hits": hits,
-        "subgoal_misses": misses,
-        "subgoal_hit_keys": hit_keys,
+        "new_subgoals": acct.new_subgoals,
+        "new_certificates": acct.new_certificates,
+        "subgoal_hits": acct.hits,
+        "subgoal_misses": acct.misses,
+        "subgoal_remote_hits": acct.remote_hits,
+        "subgoal_hit_keys": acct.hit_keys,
         "wall_seconds": time.perf_counter() - started,
     }
 
@@ -146,7 +184,8 @@ def run_worker(address: str, token: str, *,
             if op != "unit":
                 continue
             subgoal_table.update(message.get("subgoal_updates") or {})
-            reply = execute_unit(message["unit"], registry, subgoal_table)
+            reply = execute_unit(message["unit"], registry, subgoal_table,
+                                 store=store)
             try:
                 connection.send(reply)
             except TransportError:

@@ -17,6 +17,7 @@ from repro.engine.cache import (
 from repro.engine.driver import (
     EngineReport,
     EngineStats,
+    SubgoalAccounting,
     batch_distinct_configs,
     default_pass_kwargs,
     finalize_stats,
@@ -24,10 +25,12 @@ from repro.engine.driver import (
     payload_to_result,
     resolve_pending,
     result_to_payload,
+    store_certificates,
     verify_pass_shard,
     verify_passes,
 )
 from repro.engine.fingerprint import (
+    DEFAULT_SOLVER,
     ENGINE_VERSION,
     data_dependency_digest,
     pass_fingerprint,
@@ -40,12 +43,15 @@ from repro.engine.scheduler import WorkerPool, default_jobs, parallel_map
 
 __all__ = [
     "CacheStats",
+    "DEFAULT_SOLVER",
     "ENGINE_VERSION",
     "EngineReport",
     "EngineStats",
     "ProofCache",
+    "SubgoalAccounting",
     "WorkerPool",
     "batch_distinct_configs",
+    "store_certificates",
     "data_dependency_digest",
     "default_cache_dir",
     "default_jobs",

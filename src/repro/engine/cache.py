@@ -17,6 +17,13 @@ key to the fingerprint it last verified to and the source files that
 fingerprint depends on (see :mod:`repro.incremental.deps`).  Records written
 under another sidecar schema are ignored on load and rewritten on the next
 verification — never misread.
+
+A second sidecar (``certs.jsonl``) holds the *subgoal certificate tier*:
+one :class:`~repro.prover.certificate.ProofCertificate` payload per
+discharged subgoal, keyed by the subgoal fingerprint and gated by the same
+toolchain fingerprint as the proofs.  Certificates are evidence, never
+inputs to a verdict — losing them is always safe — so they live and die
+with their subgoal entry (pruning a subgoal drops its certificate).
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 _FILE_NAME = "proofs.jsonl"
 _DEPS_FILE_NAME = "deps.jsonl"
+_CERTS_FILE_NAME = "certs.jsonl"
 
 
 @dataclass
@@ -156,12 +164,19 @@ class ProofCache:
         self._deps: Dict[str, dict] = {}
         self._deps_handle = None
         self._deps_dead = 0
+        #: Certificate sidecar: subgoal key -> certificate payload (see
+        #: repro.prover.certificate).  Fingerprint-gated like the proofs.
+        self._certs: Dict[str, dict] = {}
+        self._certs_handle = None
+        self._certs_dead = 0
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._load()
             self._load_deps()
+            self._load_certs()
             self._handle = open(self.path, "a", encoding="utf-8")
             self._deps_handle = open(self.deps_path, "a", encoding="utf-8")
+            self._certs_handle = open(self.certs_path, "a", encoding="utf-8")
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -177,6 +192,12 @@ class ProofCache:
         if self.directory is None:
             return None
         return self.directory / _DEPS_FILE_NAME
+
+    @property
+    def certs_path(self) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / _CERTS_FILE_NAME
 
     def _load(self) -> None:
         if not self.path.exists():
@@ -218,6 +239,29 @@ class ProofCache:
         self._deps, self._deps_dead, corrupt = _read_deps_file(self.deps_path)
         self.stats.corrupt_lines += corrupt
 
+    def _load_certs(self) -> None:
+        if not self.certs_path.exists():
+            return
+        with open(self.certs_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key, fingerprint = record["key"], record["fp"]
+                    value = record["value"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    self.stats.corrupt_lines += 1
+                    self._certs_dead += 1
+                    continue
+                if fingerprint != self.active_fingerprint:
+                    self._certs_dead += 1
+                    continue
+                if key in self._certs:
+                    self._certs_dead += 1
+                self._certs[key] = value
+
     def _append(self, kind: str, key: str, value: dict) -> None:
         if self._handle is None:
             return
@@ -248,6 +292,11 @@ class ProofCache:
                 self._compact_deps()
             self._deps_handle.close()
             self._deps_handle = None
+        if self._certs_handle is not None:
+            if self._certs_dead > max(16, len(self._certs)):
+                self._compact_certs()
+            self._certs_handle.close()
+            self._certs_handle = None
 
     def compact(self) -> None:
         """Rewrite the file keeping only live, current-fingerprint entries.
@@ -312,6 +361,13 @@ class ProofCache:
             table = self._passes if kind == "pass" else self._subgoals
             if table.pop(key, None) is not None:
                 evicted += 1
+        # Certificates live and die with their subgoal entry.
+        orphaned = [key for key in self._certs if key not in self._subgoals]
+        for key in orphaned:
+            del self._certs[key]
+            self._certs_dead += 1
+        if orphaned and self._certs_handle is not None:
+            self._compact_certs()
         if evicted or self._dead_lines:
             self.stats.evicted += evicted
             if self.directory is not None:
@@ -381,6 +437,47 @@ class ProofCache:
         for key in keys:
             if key in self._subgoals:
                 self._note_touch("subgoal", key)
+
+    # ------------------------------------------------------------------ #
+    # Certificate sidecar (the subgoal evidence tier)
+    # ------------------------------------------------------------------ #
+    def get_certificate(self, key: str) -> Optional[dict]:
+        """The certificate payload recorded for one subgoal, or ``None``."""
+        return self._certs.get(key)
+
+    def put_certificate(self, key: str, value: dict) -> None:
+        """Record one subgoal's proof certificate, durably.
+
+        Identical re-records are no-ops so warm runs do not grow the file.
+        """
+        if self._certs.get(key) == value:
+            return
+        if key in self._certs:
+            self._certs_dead += 1
+        self._certs[key] = value
+        if self._certs_handle is not None:
+            record = {"key": key, "fp": self.active_fingerprint, "value": value}
+            self._certs_handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._certs_handle.flush()
+
+    def certificate_snapshot(self) -> Dict[str, dict]:
+        """A plain-dict copy of the certificate tier."""
+        return dict(self._certs)
+
+    def _compact_certs(self) -> None:
+        if self.directory is None:
+            return
+        if self._certs_handle is not None:
+            self._certs_handle.close()
+        tmp_path = self.certs_path.with_suffix(".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for key, value in self._certs.items():
+                handle.write(json.dumps(
+                    {"key": key, "fp": self.active_fingerprint, "value": value},
+                    sort_keys=True) + "\n")
+        os.replace(tmp_path, self.certs_path)
+        self._certs_dead = 0
+        self._certs_handle = open(self.certs_path, "a", encoding="utf-8")
 
     # ------------------------------------------------------------------ #
     # Dependency sidecar (incremental re-verification)

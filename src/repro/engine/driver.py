@@ -38,10 +38,14 @@ from repro.engine.cache import (
     default_cache_dir,
     open_proof_cache,
 )
-from repro.engine.fingerprint import pass_fingerprint, subgoal_fingerprint
+from repro.engine.fingerprint import (
+    DEFAULT_SOLVER,
+    pass_fingerprint,
+    subgoal_fingerprint,
+)
 from repro.engine.scheduler import WorkerPool, default_jobs
 from repro.verify.counterexample import CounterExample
-from repro.verify.discharge import DischargeResult, discharge
+from repro.verify.discharge import DischargeResult, Discharger, discharge
 from repro.verify.preprocessor import PassAnalysis
 from repro.verify.session import Subgoal
 from repro.verify.verifier import SubgoalOutcome, VerificationResult, verify_pass
@@ -195,32 +199,58 @@ def payload_to_result(payload: dict, from_cache: bool = False,
 # --------------------------------------------------------------------------- #
 # One pass, with subgoal-level memoisation
 # --------------------------------------------------------------------------- #
-def _verify_one(pass_class, pass_kwargs, counterexample_search,
-                subgoal_table: Dict[str, dict]):
-    """Verify one pass, serving subgoals from ``subgoal_table`` when possible.
+@dataclass
+class SubgoalAccounting:
+    """What one pass's discharge run contributed and consumed.
 
-    Returns ``(result, new_subgoal_entries, subgoal_hits, subgoal_misses,
-    hit_keys)`` — the hit keys flow back to the persistent cache so LRU
-    recency reflects snapshot-served reuse.
+    Bundled (instead of the seed's ever-growing tuple) because it now also
+    carries the certificate tier and the mid-unit remote reads; every layer
+    — driver, daemon, cluster worker, coordinator — hands the same shape
+    around.
     """
-    counters = {"hits": 0, "misses": 0}
-    new_entries: Dict[str, dict] = {}
-    hit_keys: List[str] = []
+
+    new_subgoals: Dict[str, dict] = field(default_factory=dict)
+    new_certificates: Dict[str, dict] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    #: Hits served by the ``fallback`` lookup (a networked store reached
+    #: mid-unit) rather than the local snapshot.
+    remote_hits: int = 0
+    hit_keys: List[str] = field(default_factory=list)
+
+
+def _make_caching_discharge(subgoal_table: Dict[str, dict],
+                            acct: SubgoalAccounting,
+                            discharger, solver: str,
+                            fallback=None):
+    """The discharge function every engine path shares.
+
+    Misses in the local ``subgoal_table`` may be served by ``fallback``
+    (a callable ``key -> entry | None``, e.g. a
+    :class:`~repro.cluster.store.RemoteProofStore` probe) before being
+    proved; fallback-served entries count as hits, join the local table,
+    and are *not* re-reported as new (the far side already has them).
+    """
 
     def caching_discharge(subgoal: Subgoal) -> DischargeResult:
-        key = subgoal_fingerprint(subgoal)
+        key = subgoal_fingerprint(subgoal, solver=solver)
         entry = subgoal_table.get(key)
+        if entry is None and fallback is not None:
+            entry = fallback(key)
+            if entry is not None:
+                subgoal_table[key] = entry
+                acct.remote_hits += 1
         if entry is not None:
-            counters["hits"] += 1
-            hit_keys.append(key)
+            acct.hits += 1
+            acct.hit_keys.append(key)
             return DischargeResult(
                 proved=entry["proved"],
                 method=entry["method"],
                 reason=entry["reason"],
                 rules_used=tuple(entry["rules_used"]),
             )
-        counters["misses"] += 1
-        result = discharge(subgoal)
+        acct.misses += 1
+        result = discharger(subgoal)
         record = {
             "proved": result.proved,
             "method": result.method,
@@ -228,16 +258,34 @@ def _verify_one(pass_class, pass_kwargs, counterexample_search,
             "rules_used": list(result.rules_used),
         }
         subgoal_table[key] = record
-        new_entries[key] = record
+        acct.new_subgoals[key] = record
+        if result.certificate is not None:
+            acct.new_certificates[key] = result.certificate.to_payload()
         return result
 
+    return caching_discharge
+
+
+def _verify_one(pass_class, pass_kwargs, counterexample_search,
+                subgoal_table: Dict[str, dict],
+                discharger=None, fallback=None) -> Tuple[VerificationResult, SubgoalAccounting]:
+    """Verify one pass, serving subgoals from ``subgoal_table`` when possible.
+
+    Returns ``(result, accounting)`` — the accounting's hit keys flow back
+    to the persistent cache so LRU recency reflects snapshot-served reuse,
+    and its certificate payloads feed the certificate tier.
+    """
+    discharger = discharger or discharge
+    solver = getattr(discharger, "solver_name", DEFAULT_SOLVER)
+    acct = SubgoalAccounting()
     result = verify_pass(
         pass_class,
         pass_kwargs=pass_kwargs,
         counterexample_search=counterexample_search,
-        discharge_fn=caching_discharge,
+        discharge_fn=_make_caching_discharge(subgoal_table, acct, discharger,
+                                             solver, fallback),
     )
-    return result, new_entries, counters["hits"], counters["misses"], hit_keys
+    return result, acct
 
 
 #: Discharge method recorded for subgoals owned by another shard.  Never
@@ -246,7 +294,8 @@ _DEFERRED_METHOD = "deferred-to-other-shard"
 
 
 def verify_pass_shard(pass_class, pass_kwargs, shard_index: int, shard_count: int,
-                      subgoal_table: Dict[str, dict]) -> Tuple[dict, Dict[str, dict], int, int, List[str]]:
+                      subgoal_table: Dict[str, dict],
+                      discharger=None, fallback=None) -> Tuple[dict, SubgoalAccounting]:
     """Verify one pass but discharge only shard ``shard_index`` of ``shard_count``.
 
     The symbolic execution (path enumeration) runs in full — it is cheap
@@ -256,17 +305,19 @@ def verify_pass_shard(pass_class, pass_kwargs, shard_index: int, shard_count: in
     shard_index``).  Subgoals owned by other shards receive a placeholder
     outcome that is excluded from the returned payload.
 
-    Returns ``(shard_payload, new_subgoal_entries, hits, misses,
-    hit_keys)`` with the same cache-feedback contract as
-    :func:`_verify_one`.  Counterexample search is always disabled here
-    (no single shard can see the full failure set); the coordinator
-    re-proves a failing split pass whole when a counterexample is wanted.
-    Merging every shard of a pass through :func:`merge_shard_payloads`
-    reproduces the unsplit :func:`verify_pass` result exactly.
+    Returns ``(shard_payload, accounting)`` with the same cache-feedback
+    contract as :func:`_verify_one`, including mid-unit ``fallback``
+    reads.  Counterexample search is always disabled here (no single shard
+    can see the full failure set); the coordinator re-proves a failing
+    split pass whole when a counterexample is wanted.  Merging every shard
+    of a pass through :func:`merge_shard_payloads` reproduces the unsplit
+    :func:`verify_pass` result exactly.
     """
-    counters = {"hits": 0, "misses": 0}
-    new_entries: Dict[str, dict] = {}
-    hit_keys: List[str] = []
+    discharger = discharger or discharge
+    solver = getattr(discharger, "solver_name", DEFAULT_SOLVER)
+    acct = SubgoalAccounting()
+    caching_discharge = _make_caching_discharge(subgoal_table, acct, discharger,
+                                                solver, fallback)
     position = {"next": 0}
 
     def sharded_discharge(subgoal: Subgoal) -> DischargeResult:
@@ -275,28 +326,7 @@ def verify_pass_shard(pass_class, pass_kwargs, shard_index: int, shard_count: in
         if index % shard_count != shard_index:
             return DischargeResult(proved=True, method=_DEFERRED_METHOD,
                                    reason="owned by another shard", rules_used=())
-        key = subgoal_fingerprint(subgoal)
-        entry = subgoal_table.get(key)
-        if entry is not None:
-            counters["hits"] += 1
-            hit_keys.append(key)
-            return DischargeResult(
-                proved=entry["proved"],
-                method=entry["method"],
-                reason=entry["reason"],
-                rules_used=tuple(entry["rules_used"]),
-            )
-        counters["misses"] += 1
-        result = discharge(subgoal)
-        record = {
-            "proved": result.proved,
-            "method": result.method,
-            "reason": result.reason,
-            "rules_used": list(result.rules_used),
-        }
-        subgoal_table[key] = record
-        new_entries[key] = record
-        return result
+        return caching_discharge(subgoal)
 
     result = verify_pass(
         pass_class,
@@ -323,7 +353,7 @@ def verify_pass_shard(pass_class, pass_kwargs, shard_index: int, shard_count: in
             if index % shard_count == shard_index
         ],
     }
-    return payload, new_entries, counters["hits"], counters["misses"], hit_keys
+    return payload, acct
 
 
 def merge_shard_payloads(shards: Sequence[dict]) -> dict:
@@ -409,18 +439,20 @@ def _install_worker_subgoal_table(table: Dict[str, dict]) -> None:
 def _verify_task(task: dict) -> dict:
     """Worker entry point: verify one pass from a picklable task description."""
     pass_class = _resolve_class(task["module"], task["qualname"])
-    result, new_entries, hits, misses, hit_keys = _verify_one(
+    result, acct = _verify_one(
         pass_class,
         task["kwargs"],
         task["counterexample_search"],
         dict(_worker_subgoal_table),
+        discharger=Discharger(task.get("solver", DEFAULT_SOLVER)),
     )
     return {
         "result": result_to_payload(result),
-        "new_subgoals": new_entries,
-        "subgoal_hits": hits,
-        "subgoal_misses": misses,
-        "subgoal_hit_keys": hit_keys,
+        "new_subgoals": acct.new_subgoals,
+        "new_certificates": acct.new_certificates,
+        "subgoal_hits": acct.hits,
+        "subgoal_misses": acct.misses,
+        "subgoal_hit_keys": acct.hit_keys,
     }
 
 
@@ -444,6 +476,9 @@ class EngineStats:
     #: Which proof-cache tier served this run: ``jsonl``, ``sqlite``, or
     #: ``None`` for stateless (``--no-cache``) runs.
     backend: Optional[str] = None
+    #: Which solver backend discharged this run's subgoals (resolved name:
+    #: ``builtin``, ``bounded``, ``z3``).
+    solver: str = "builtin"
     #: Set when the run was served by a resident daemon rather than
     #: in-process: endpoint, request count, uptime (see repro.service).
     daemon: Optional[Dict[str, object]] = None
@@ -469,6 +504,7 @@ class EngineStats:
             "passes_total": self.passes_total,
             "cache_dir": self.cache_dir,
             "backend": self.backend,
+            "solver": self.solver,
             "daemon": self.daemon,
             "stale_passes": self.stale_passes,
             "cluster": self.cluster,
@@ -481,8 +517,8 @@ class EngineStats:
         for field_name in (
             "jobs", "used_processes", "passes_total", "cache_hits",
             "cache_misses", "subgoal_hits", "subgoal_misses", "invalidated",
-            "wall_seconds", "cache_dir", "backend", "daemon", "stale_passes",
-            "cluster",
+            "wall_seconds", "cache_dir", "backend", "solver", "daemon",
+            "stale_passes", "cluster",
         ):
             if field_name in payload:
                 setattr(stats, field_name, payload[field_name])
@@ -495,12 +531,13 @@ class EngineStats:
         incremental = ""
         if self.stale_passes is not None:
             incremental = f"{self.stale_passes} stale re-checked, "
+        solver = "" if self.solver in (None, "builtin") else f" [solver: {self.solver}]"
         return (
             f"engine: {self.passes_total} passes, jobs={self.jobs}, "
             f"{incremental}"
             f"cache {self.cache_hits} hit / {self.cache_misses} miss "
             f"(subgoals {self.subgoal_hits}/{self.subgoal_hits + self.subgoal_misses} reused), "
-            f"{self.wall_seconds:.3f}s wall [cache: {cache}]"
+            f"{self.wall_seconds:.3f}s wall [cache: {cache}]{solver}"
         )
 
     def merge(self, other: "EngineStats") -> "EngineStats":
@@ -553,6 +590,10 @@ class EngineStats:
             parts.append(f"{info['stolen']} stolen")
         if info.get("retried"):
             parts.append(f"{info['retried']} retried")
+        if info.get("coordinator_units"):
+            parts.append(f"{info['coordinator_units']} self-leased")
+        if info.get("remote_subgoal_hits"):
+            parts.append(f"{info['remote_subgoal_hits']} subgoals fetched mid-unit")
         if info.get("local_units"):
             parts.append(f"{info['local_units']} verified locally")
         return ", ".join(parts)
@@ -631,6 +672,7 @@ def verify_passes(
     share_subgoals: bool = True,
     changed_paths: Optional[Iterable] = None,
     record_deps: bool = True,
+    solver: str = "auto",
 ) -> EngineReport:
     """Verify a batch of passes in parallel, reusing cached proofs.
 
@@ -641,6 +683,15 @@ def verify_passes(
     clients).  Verdicts are independent of ``jobs``: scheduling only changes
     wall time.  ``jobs=0`` means "auto": one worker per CPU (capped at 8),
     the same convention the CLI's ``--jobs 0`` exposes.
+
+    ``solver`` selects the :mod:`repro.prover` backend that discharges
+    subgoals (``auto`` resolves to the builtin congruence-closure prover).
+    The resolved choice joins every pass and subgoal fingerprint, so runs
+    under different solvers never share cache entries — verdicts are
+    required to agree across backends (the solver-matrix CI job holds them
+    to it), but methods, certificates, and failure behaviour may not.
+    Raises :class:`~repro.prover.backend.SolverUnavailable` when the
+    requested backend cannot run here (e.g. ``z3`` without z3 installed).
 
     ``share_subgoals=False`` gives every pass a private copy of the subgoal
     table, so each pass's ``time_seconds`` reflects proving all of its own
@@ -660,9 +711,14 @@ def verify_passes(
     """
     started = time.perf_counter()
     _check_changed_paths(changed_paths)
+    from repro.prover.backend import resolve_solver
+
+    solver_backend = resolve_solver(solver)
+    discharger = Discharger(solver_backend)
     kwargs_fn = pass_kwargs_fn or default_pass_kwargs
     jobs = default_jobs() if int(jobs) <= 0 else int(jobs)
-    stats = EngineStats(jobs=jobs, passes_total=len(pass_classes))
+    stats = EngineStats(jobs=jobs, passes_total=len(pass_classes),
+                        solver=discharger.solver_name)
 
     own_cache = False
     if cache is None and use_cache:
@@ -677,6 +733,7 @@ def verify_passes(
             pass_classes, stats, cache, kwargs_fn, counterexample_search,
             share_subgoals, started, base_invalidated,
             changed_paths=changed_paths, record_deps=record_deps,
+            discharger=discharger,
         )
     finally:
         if own_cache:
@@ -686,6 +743,7 @@ def verify_passes(
 def resolve_pending(
     pass_classes, stats, cache, kwargs_fn,
     changed_paths=None, record_deps=True, deferred_deps=None,
+    solver: str = DEFAULT_SOLVER,
 ) -> Tuple[List[Optional[VerificationResult]], List[Tuple[int, Type, Optional[Dict], Optional[str]]]]:
     """Phase 1 of a batch run: serve what the cache can, collect the rest.
 
@@ -699,11 +757,16 @@ def resolve_pending(
 
     ``deferred_deps`` (a caller-supplied list) postpones dependency
     *recording*: instead of walking the import graph inline — the dominant
-    cold-resolution cost — the ``(identity, pass_class, pass_kwargs,
-    key)`` tuples that need a fresh entry are appended for the caller to
+    cold-resolution cost — the ``(identity, pass_class, pass_kwargs, key,
+    solver)`` tuples that need a fresh entry are appended for the caller to
     record later with :func:`record_deferred_deps`.  The cluster
     coordinator uses this to overlap dependency recording with worker
     proof time.
+
+    ``solver`` is the resolved backend name the run discharges with; it
+    joins every derived fingerprint, and dependency entries recorded under
+    a *different* solver are conservatively treated as stale (their
+    recorded fingerprint can only hit the other solver's cache entries).
 
     Shared by the in-process scheduler path below and the cluster
     coordinator (:mod:`repro.cluster.coordinator`), so the two can never
@@ -743,7 +806,11 @@ def resolve_pending(
             ident = identity_key(pass_class, pass_kwargs)
         if incremental:
             dep_entry = dep_index.get(ident)
+            # A dependency entry recorded under another solver points at
+            # that solver's cache keys; serving through it would hand this
+            # run a different backend's verdict payload.
             if dep_entry is not None and \
+                    dep_entry.get("solver", DEFAULT_SOLVER) == solver and \
                     not any(path in changed for path in dep_entry.get("paths", ())):
                 probed_key = dep_entry.get("fingerprint")
                 cached = cache.get_pass(probed_key)
@@ -754,7 +821,7 @@ def resolve_pending(
             # No dependency entry, a changed dependency file, or an evicted
             # proof: take the full fingerprint-and-verify path.
             stats.stale_passes += 1
-        key = pass_fingerprint(pass_class, pass_kwargs)
+        key = pass_fingerprint(pass_class, pass_kwargs, solver=solver)
         if track_deps and key is not None:
             recorded = dep_index.get(ident)
             # An unchanged fingerprint cannot have acquired new key-relevant
@@ -762,9 +829,11 @@ def resolve_pending(
             # import graph when the key moved or nothing was recorded.
             if recorded is None or recorded.get("fingerprint") != key:
                 if deferred_deps is not None:
-                    deferred_deps.append((ident, pass_class, pass_kwargs, key))
+                    deferred_deps.append((ident, pass_class, pass_kwargs, key,
+                                          solver))
                 else:
-                    new_entry = build_dep_entry(pass_class, pass_kwargs, key)
+                    new_entry = build_dep_entry(pass_class, pass_kwargs, key,
+                                                solver=solver)
                     cache.put_deps(ident, new_entry)
                     dep_index[ident] = new_entry
         # An unchanged-deps pass whose proof was evicted re-derives the key
@@ -792,8 +861,8 @@ def record_deferred_deps(cache, deferred, lock=None) -> int:
     from repro.incremental.deps import build_dep_entry
 
     written = 0
-    for ident, pass_class, pass_kwargs, key in deferred:
-        entry = build_dep_entry(pass_class, pass_kwargs, key)
+    for ident, pass_class, pass_kwargs, key, solver in deferred:
+        entry = build_dep_entry(pass_class, pass_kwargs, key, solver=solver)
         if lock is not None:
             with lock:
                 cache.put_deps(ident, entry)
@@ -803,19 +872,32 @@ def record_deferred_deps(cache, deferred, lock=None) -> int:
     return written
 
 
+def store_certificates(cache, certificates: Dict[str, dict]) -> None:
+    """Write freshly minted certificate payloads through to the cache tier."""
+    if cache is None or not certificates:
+        return
+    put = getattr(cache, "put_certificate", None)
+    if put is None:
+        return
+    for key, value in certificates.items():
+        put(key, value)
+
+
 def _verify_passes_with_cache(
     pass_classes, stats, cache, kwargs_fn, counterexample_search,
     share_subgoals, started, base_invalidated=0, changed_paths=None,
-    record_deps=True,
+    record_deps=True, discharger=None,
 ) -> EngineReport:
     # Caller-provided caches may carry counters from earlier runs; report
     # only what this run contributed.
     base_hits = cache.stats.pass_hits if cache is not None else 0
     base_misses = cache.stats.pass_misses if cache is not None else 0
+    discharger = discharger or Discharger(DEFAULT_SOLVER)
 
     results, pending = resolve_pending(
         pass_classes, stats, cache, kwargs_fn,
         changed_paths=changed_paths, record_deps=record_deps,
+        solver=discharger.solver_name,
     )
 
     if pending:
@@ -829,6 +911,7 @@ def _verify_passes_with_cache(
                     "qualname": pass_class.__qualname__,
                     "kwargs": pass_kwargs,
                     "counterexample_search": counterexample_search,
+                    "solver": discharger.solver_name,
                 }
                 for _, pass_class, pass_kwargs, _ in pending
             ]
@@ -848,24 +931,27 @@ def _verify_passes_with_cache(
                     for sub_key, value in output["new_subgoals"].items():
                         if not cache.has_subgoal(sub_key):
                             cache.put_subgoal(sub_key, value)
+                    store_certificates(cache, output.get("new_certificates") or {})
                     cache.touch_subgoals(output["subgoal_hit_keys"])
         else:
             for index, pass_class, pass_kwargs, key in pending:
                 table = subgoal_table if share_subgoals else dict(subgoal_table)
-                result, new_entries, hits, misses, hit_keys = _verify_one(
-                    pass_class, pass_kwargs, counterexample_search, table
+                result, acct = _verify_one(
+                    pass_class, pass_kwargs, counterexample_search, table,
+                    discharger=discharger,
                 )
                 results[index] = result
-                stats.subgoal_hits += hits
-                stats.subgoal_misses += misses
+                stats.subgoal_hits += acct.hits
+                stats.subgoal_misses += acct.misses
                 if cache is not None:
                     cache.put_pass(key, result_to_payload(result))
-                    for sub_key, value in new_entries.items():
+                    for sub_key, value in acct.new_subgoals.items():
                         # With private per-pass tables two passes can both
                         # "discover" a shared subgoal; store it once.
                         if not cache.has_subgoal(sub_key):
                             cache.put_subgoal(sub_key, value)
-                    cache.touch_subgoals(hit_keys)
+                    store_certificates(cache, acct.new_certificates)
+                    cache.touch_subgoals(acct.hit_keys)
 
     finalize_stats(stats, cache, base_hits, base_misses, base_invalidated,
                    len(pending), started)

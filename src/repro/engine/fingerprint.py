@@ -20,9 +20,9 @@ Key-derivation invariants (what ``docs/caching.md`` documents and the
 incremental layer relies on):
 
 1. **Everything a verdict depends on is hashed.**  A pass key covers exactly
-   ``(ENGINE_VERSION, toolchain_fingerprint(), module, qualname, class
-   source, canonicalised constructor kwargs, declared data-file digests)``
-   — nothing else.  Constructor kwargs are rendered *structurally* (a
+   ``(ENGINE_VERSION, toolchain_fingerprint(), solver backend, module,
+   qualname, class source, canonicalised constructor kwargs, declared
+   data-file digests)`` — nothing else.  Constructor kwargs are rendered *structurally* (a
    coupling map hashes as its edge set, however it was built), and a pass
    that reads non-Python inputs can declare them via a
    ``data_dependencies`` class attribute whose file contents are folded
@@ -68,10 +68,23 @@ from repro.verify.symvalues import Segment, SymGate
 
 #: Bump to invalidate every cache entry written by an older engine.
 #: v2: pass keys additionally cover declared data-file digests.
-ENGINE_VERSION = 2
+#: v3: pass and subgoal keys additionally cover the solver backend.
+ENGINE_VERSION = 3
+
+#: Solver backend hashed into keys when the caller does not say otherwise;
+#: must match what :func:`repro.prover.backend.resolve_solver` returns for
+#: ``auto`` so seed-era call sites and ``--solver auto`` runs agree on keys.
+DEFAULT_SOLVER = "builtin"
 
 #: Raw uids minted by :mod:`repro.verify.symvalues` (``g3``, ``seg12``, ...).
 _UID_TOKEN = re.compile(r"\b(?:g|seg|int|idx|circ)\d+\b")
+
+#: The same tokens when embedded in underscore-joined rule names
+#: (``segment_commute_rev_seg210_g206``): ``\b`` never fires next to an
+#: underscore, so both boundaries are dropped — safe for rule names, whose
+#: only prefix-plus-digits tokens *are* uids (digit runs are matched
+#: maximally, and every uid token there ends at ``_`` or end-of-name).
+_RULE_UID_TOKEN = re.compile(r"(?:g|seg|int|idx|circ)\d+")
 
 
 def _sha256(text: str) -> str:
@@ -176,7 +189,7 @@ def _fact_shape_key(fact: Fact, renamer: _UidRenamer, value=None) -> str:
     return _canon((_freeze_fact(fact, _MaskingRenamer(renamer)), value))
 
 
-def normalize_subgoal(subgoal: Subgoal) -> Tuple:
+def normalize_subgoal(subgoal: Subgoal, renamer: Optional[_UidRenamer] = None) -> Tuple:
     """A canonical, uid-independent structure describing one subgoal.
 
     The human-readable ``description`` is deliberately excluded: rewording a
@@ -184,8 +197,12 @@ def normalize_subgoal(subgoal: Subgoal) -> Tuple:
     sequence order; path facts and assumptions are first sorted by their
     uid-masked shape, then renamed — so the key depends on neither the raw
     uid counter values nor the order the facts were recorded in.
+
+    ``renamer`` (normally fresh) lets callers observe the raw→canonical uid
+    mapping the traversal builds; :func:`subgoal_uid_map` uses it to rename
+    uids embedded elsewhere (certificate rule names) consistently.
     """
-    renamer = _UidRenamer()
+    renamer = renamer if renamer is not None else _UidRenamer()
     lhs = tuple(_freeze_element(e, renamer) for e in subgoal.lhs)
     rhs = tuple(_freeze_element(e, renamer) for e in subgoal.rhs)
     facts = tuple(
@@ -215,10 +232,56 @@ def normalize_subgoal(subgoal: Subgoal) -> Tuple:
     )
 
 
-def subgoal_fingerprint(subgoal: Subgoal) -> str:
-    """Stable SHA-256 key for one proof obligation."""
+def subgoal_uid_map(subgoal: Subgoal) -> Dict[str, str]:
+    """The raw→canonical uid mapping :func:`normalize_subgoal` applies.
+
+    The mapping is a function of the subgoal's *shape*: the same obligation
+    emitted in two sessions (different raw uid counters) maps each side's
+    raw uids to identical canonical names.  Proof certificates use this to
+    record fired-rule names (which embed raw uids) in session-independent
+    form, so a certificate written today can restrict a replay tomorrow.
+    """
+    # Memoised per subgoal object: certificate recording and replay
+    # restriction both need the map, and the subgoal is immutable once
+    # enriched by the session — no point re-walking it per use.
+    cached = getattr(subgoal, "_uid_map_memo", None)
+    if cached is not None:
+        return cached
+    renamer = _UidRenamer()
+    normalize_subgoal(subgoal, renamer)
+    mapping = dict(renamer._map)
+    subgoal._uid_map_memo = mapping
+    return mapping
+
+
+def rename_rule_uids(name: str, mapping: Dict[str, str]) -> str:
+    """Rename every uid token embedded in one rule name via ``mapping``.
+
+    The one place the renaming substitution lives: certificate recording
+    (:func:`canonical_rule_names`) and replay restriction
+    (:func:`repro.prover.methods.congruence.discharge_with_backend`) must
+    rename identically or replayed proofs drop the wrong rules.
+    """
+    return _RULE_UID_TOKEN.sub(
+        lambda m: mapping.get(m.group(0), m.group(0)), name)
+
+
+def canonical_rule_names(subgoal: Subgoal, names: Iterable[str]) -> Tuple[str, ...]:
+    """Rename the uids embedded in rule names to the subgoal's canonical ids."""
+    mapping = subgoal_uid_map(subgoal)
+    return tuple(sorted(rename_rule_uids(name, mapping) for name in names))
+
+
+def subgoal_fingerprint(subgoal: Subgoal, solver: str = DEFAULT_SOLVER) -> str:
+    """Stable SHA-256 key for one proof obligation.
+
+    ``solver`` is the resolved backend name; discharge results found by
+    different backends never alias (their methods, certificates, and
+    failure behaviour may differ even where verdicts must not).
+    """
     return _sha256(
-        _canon((ENGINE_VERSION, toolchain_fingerprint(), normalize_subgoal(subgoal)))
+        _canon((ENGINE_VERSION, toolchain_fingerprint(), solver,
+                normalize_subgoal(subgoal)))
     )
 
 
@@ -286,6 +349,21 @@ def toolchain_modules() -> Tuple:
     callers asking "which files can change a cache key?" (the incremental
     dependency index) get the complete answer.
     """
+    from repro.prover import (
+        backend,
+        boundedbackend,
+        builtin,
+        certificate,
+        rulebase,
+        z3backend,
+    )
+    from repro.prover import methods
+    from repro.prover.methods import (
+        congruence as method_congruence,
+        sequence as method_sequence,
+        structural as method_structural,
+        syntactic as method_syntactic,
+    )
     from repro.smt import congruence, ematch, solver
     from repro.symbolic import commutation, equivalence, rules
     from repro.utility import (
@@ -313,8 +391,11 @@ def toolchain_modules() -> Tuple:
         verifier, preprocessor, session, symvalues, templates, facts,
         passes, analysis_ops, circuit_ops, coupling_ops,
         layout_selection, merge, transforms,
-        # obligation discharge
+        # obligation discharge (the pluggable prover core)
         discharge, equivalence, solver, congruence, ematch,
+        backend, builtin, boundedbackend, z3backend, rulebase, certificate,
+        methods, method_syntactic, method_structural, method_sequence,
+        method_congruence,
         # counterexample confirmation (cached alongside the verdict)
         counterexample,
         # the rule set (hashed separately via rule_set_fingerprint)
@@ -478,8 +559,14 @@ def data_dependency_digest(pass_class) -> Tuple:
     return tuple(sorted(digests))
 
 
-def pass_fingerprint(pass_class, pass_kwargs: Optional[dict] = None) -> Optional[str]:
-    """Stable SHA-256 key for verifying one pass, or ``None`` if uncacheable."""
+def pass_fingerprint(pass_class, pass_kwargs: Optional[dict] = None,
+                     solver: str = DEFAULT_SOLVER) -> Optional[str]:
+    """Stable SHA-256 key for verifying one pass, or ``None`` if uncacheable.
+
+    ``solver`` joins the key: a verdict is only reusable for the backend
+    that produced it (per-subgoal methods and certificates differ across
+    backends even where the verdicts are required to agree).
+    """
     source = pass_source(pass_class)
     if source is None:
         return None
@@ -490,6 +577,7 @@ def pass_fingerprint(pass_class, pass_kwargs: Optional[dict] = None) -> Optional
     return _sha256(_canon((
         ENGINE_VERSION,
         toolchain_fingerprint(),
+        solver,
         pass_class.__module__,
         pass_class.__qualname__,
         source,

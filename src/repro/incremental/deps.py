@@ -288,14 +288,17 @@ def identity_key(pass_class, pass_kwargs: Optional[Dict] = None) -> str:
 
 
 def build_dep_entry(pass_class, pass_kwargs: Optional[Dict],
-                    fingerprint: str) -> Dict[str, object]:
+                    fingerprint: str, solver: str = "builtin") -> Dict[str, object]:
     """The persisted dependency record for one verified configuration.
 
     ``paths`` is the union of the Python-source surface
     (:func:`pass_dependency_paths`) and the configuration's *data* files —
     device maps the kwargs were loaded from, suites the pass declares —
     so editing a data file invalidates the right passes exactly like
-    editing source does.
+    editing source does.  ``solver`` names the backend the recorded
+    fingerprint was derived under; a run with a different ``--solver``
+    must not be served through this entry (its fingerprint points at the
+    other backend's cache keys), so the engine checks it on probe.
     """
     paths: Set[str] = set(pass_dependency_paths(pass_class))
     paths.update(kwarg_data_paths(pass_kwargs))
@@ -303,6 +306,7 @@ def build_dep_entry(pass_class, pass_kwargs: Optional[Dict],
     return {
         "schema": DEPS_SCHEMA_VERSION,
         "fingerprint": fingerprint,
+        "solver": solver,
         "module": pass_class.__module__,
         "qualname": pass_class.__qualname__,
         "paths": sorted(paths),

@@ -106,9 +106,14 @@ def refresh_source_state(changed_paths) -> List[str]:
             continue
     if reloaded:
         from repro.engine.fingerprint import reset_memos
+        from repro.smt.terms import reset_interning
 
         reset_memos()
         reset_dep_memos()
+        # The hash-cons table is process-global and unbounded; without
+        # this, every reload leaks the previous version's terms (and the
+        # solver memos that reference them) for the watcher's lifetime.
+        reset_interning()
     return reloaded
 
 

@@ -1,0 +1,138 @@
+"""The pluggable solver-backend protocol and registry.
+
+The Giallar verifier's discharge pipeline is fixed — syntactic check,
+sequence engine, register-term solving, library lemmas — but the *solver*
+that decides register-term goals is pluggable: a :class:`SolverBackend`
+receives one goal (an equality, disequality, or conjunction over
+uninterpreted terms) plus the quantified rewrite rules collected from the
+path facts, and answers with a :class:`~repro.smt.solver.CheckResult`.
+
+Three backends ship:
+
+* ``builtin`` — congruence closure plus indexed bounded E-matching
+  (:mod:`repro.prover.builtin`), the default and the paper-faithful choice;
+* ``z3`` — the real Z3 via ``z3-solver`` when installed
+  (:mod:`repro.prover.z3backend`); detected at run time, gracefully
+  unavailable otherwise;
+* ``bounded`` — bidirectional bounded rewriting
+  (:mod:`repro.prover.boundedbackend`), the bounded-model-checking fallback.
+
+Backends must agree on *verdicts* for the supported suite (the solver-matrix
+CI job asserts it) and on the failure-reason format ``could not derive
+{atom!r}`` so reports are backend-independent.  ``repro verify --solver``
+selects one; the choice joins every pass and subgoal fingerprint, so proofs
+found by different backends never alias in the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.smt.solver import CheckResult
+from repro.smt.terms import Rule, Term
+
+#: The names ``repro verify --solver`` accepts.  ``auto`` resolves to the
+#: builtin backend (the only one guaranteed present); ``builtin-linear`` is
+#: an internal alias used by ``repro bench solver`` and is deliberately not
+#: listed here.
+SOLVER_CHOICES: Tuple[str, ...] = ("auto", "builtin", "z3", "bounded")
+
+
+class SolverUnavailable(RuntimeError):
+    """The requested backend exists but cannot run in this environment."""
+
+
+class SolverBackend:
+    """One decision procedure for register-term goals.
+
+    Subclasses set :attr:`name` and implement :meth:`check`; override
+    :meth:`available` when the backend depends on an optional import.
+    Backends must be sound (never prove a false goal) and should fail with
+    ``reason=f"could not derive {atom!r}"`` carrying the first unprovable
+    atom, so verdicts *and reports* stay backend-independent.
+    """
+
+    #: Registry / fingerprint name; also what certificates record.
+    name: str = "abstract"
+
+    def available(self) -> bool:
+        """Can this backend run here?  (Optional imports, licences, ...)"""
+        return True
+
+    def check(self, goal: Term, rules: Sequence[Rule],
+              assumptions: Sequence[Term] = ()) -> CheckResult:
+        """Decide ``goal`` under ``rules`` and ground ``assumptions``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop memoised state (called on module reloads / interning resets)."""
+
+
+#: name -> zero-argument factory.  Factories may cache their instance so a
+#: backend's memoised state survives across checks within one process.
+_REGISTRY: Dict[str, Callable[[], SolverBackend]] = {}
+_INSTANCES: Dict[str, SolverBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], SolverBackend]) -> None:
+    """Register a backend factory under ``name`` (last registration wins)."""
+    _REGISTRY[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def resolve_solver(name: str = "auto") -> SolverBackend:
+    """Resolve a ``--solver`` choice to a live backend instance.
+
+    ``auto`` picks the builtin backend.  Unknown names raise
+    :class:`ValueError`; a known backend whose environment dependency is
+    missing (z3 not installed) raises :class:`SolverUnavailable` with an
+    actionable message — callers surface it rather than silently proving
+    with a different solver than the one asked for.
+    """
+    resolved = "builtin" if name in (None, "", "auto") else str(name)
+    factory = _REGISTRY.get(resolved)
+    if factory is None:
+        raise ValueError(
+            f"unknown solver backend {name!r} "
+            f"(expected one of {', '.join(SOLVER_CHOICES)})")
+    backend = _INSTANCES.get(resolved)
+    if backend is None:
+        backend = factory()
+        _INSTANCES[resolved] = backend
+    if not backend.available():
+        raise SolverUnavailable(
+            f"solver backend {resolved!r} is not available in this "
+            f"environment (is its optional dependency installed?)")
+    return backend
+
+
+def available_solvers() -> List[Tuple[str, bool]]:
+    """Every registered public backend with its availability."""
+    out: List[Tuple[str, bool]] = []
+    for name in sorted(_REGISTRY):
+        if name.startswith("builtin-"):
+            continue  # internal aliases (bench modes) stay unlisted
+        backend = _INSTANCES.get(name)
+        try:
+            available = (backend or _REGISTRY[name]()).available()
+        except Exception:
+            available = False
+        out.append((name, available))
+    return out
+
+
+def reset_solver_state() -> None:
+    """Drop every live backend's memoised state.
+
+    Wired into the interning reset (:func:`repro.smt.terms.reset_interning`)
+    and module reloads: memoised check results hold hash-consed terms, and
+    serving them across an interning reset would resurrect stale objects.
+    """
+    for backend in _INSTANCES.values():
+        backend.reset()
+
+
+# Memoised check results hold terms; they must die with the interning table.
+from repro.smt.terms import on_reset_interning  # noqa: E402
+
+on_reset_interning(reset_solver_state)

@@ -1,0 +1,87 @@
+"""The builtin solver backend: congruence closure + indexed E-matching.
+
+This is the seed prover (:class:`repro.smt.solver.Context`) behind the
+:class:`~repro.prover.backend.SolverBackend` protocol — the check itself
+*is* a ``Context.check`` (one definition of the procedure; the ``indexed``
+flag selects the operator-indexed
+:class:`~repro.prover.rulebase.RuleBase` or the reference linear scan) —
+plus the speedup the pluggable refactor pays for: whole check runs are
+memoised on ``(goal, rule contents, assumptions)``.  Passes re-discharge
+structurally identical goals under identical collected rule sets many
+times per suite, and terms are hash-consed, so the key is exact content
+identity, never a heuristic.
+
+The memo is process-local and dropped by
+:func:`repro.prover.backend.reset_solver_state` (module reloads, interning
+resets) because cached :class:`~repro.smt.solver.CheckResult` objects hold
+terms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.prover.backend import SolverBackend, register_backend
+from repro.smt.solver import CheckResult, Context
+from repro.smt.terms import Rule, Term
+
+#: Bound on distinct memoised check runs; past it the memo is cleared whole
+#: (simpler than LRU, and a process that accumulates this many distinct
+#: goals is churning source anyway).
+_MEMO_LIMIT = 8192
+
+#: Instantiation rounds: matches the seed discharge engine's Context budget.
+MAX_ROUNDS = 6
+
+
+class BuiltinBackend(SolverBackend):
+    """Congruence closure with bounded, operator-indexed instantiation."""
+
+    name = "builtin"
+
+    def __init__(self, indexed: bool = True, memoize: bool = True) -> None:
+        self.indexed = indexed
+        self.memoize = memoize
+        self._memo: Dict[Tuple, CheckResult] = {}
+
+    def reset(self) -> None:
+        self._memo.clear()
+
+    # ------------------------------------------------------------------ #
+    def check(self, goal: Term, rules: Sequence[Rule],
+              assumptions: Sequence[Term] = ()) -> CheckResult:
+        key = None
+        if self.memoize:
+            # Keyed on rule *content* (terms are hash-consed, so identity
+            # is content) without compiling the index first: a memo hit —
+            # the hot path — must not pay RuleBase construction.
+            key = (
+                goal,
+                tuple((rule.name, rule.lhs, rule.rhs, rule.triggers)
+                      for rule in rules),
+                tuple(assumptions),
+            )
+            cached = self._memo.get(key)
+            if cached is not None:
+                return cached
+        # One definition of the procedure: the backend *is* a Context
+        # check (same loading, instantiation, and atom-proving code), just
+        # wrapped in memoisation and the discharge engine's round budget.
+        context = Context(rules=rules, max_rounds=MAX_ROUNDS,
+                          indexed=self.indexed)
+        for fact in assumptions:
+            context.assume(fact)
+        result = context.check(goal)
+        if key is not None:
+            if len(self._memo) >= _MEMO_LIMIT:
+                self._memo.clear()
+            self._memo[key] = result
+        return result
+
+
+register_backend("builtin", BuiltinBackend)
+#: Bench-only alias: the pre-refactor prover shape (linear rule scan, no
+#: memoisation), kept resolvable so ``repro bench solver`` can measure the
+#: before/after honestly.  Not part of SOLVER_CHOICES.
+register_backend("builtin-linear",
+                 lambda: BuiltinBackend(indexed=False, memoize=False))

@@ -1,0 +1,29 @@
+"""The sequence-engine discharge method: concrete gates only.
+
+When both sides of an ``equivalence`` obligation are concrete gates, the
+rewrite-based normal-form check of :mod:`repro.symbolic.equivalence`
+applies directly — no encoding, no solver backend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.circuit.gate import Gate
+from repro.prover.methods import DischargeResult
+from repro.symbolic.equivalence import equivalent as sequence_equivalent
+from repro.verify.session import Subgoal
+
+
+def try_sequence_engine(subgoal: Subgoal) -> Optional[DischargeResult]:
+    """Settle an all-concrete equivalence; ``None`` when symbolic values occur."""
+    lhs, rhs = list(subgoal.lhs), list(subgoal.rhs)
+    if not all(isinstance(element, Gate) for element in lhs + rhs):
+        return None
+    report = sequence_equivalent(
+        [element for element in lhs if isinstance(element, Gate)],
+        [element for element in rhs if isinstance(element, Gate)],
+        ignore_final_measurements=bool(subgoal.metadata.get("ignore_final_measurements")),
+        assume_zero_initial_state=bool(subgoal.metadata.get("assume_zero_initial_state")),
+    )
+    return DischargeResult(bool(report), "sequence engine", report.reason)

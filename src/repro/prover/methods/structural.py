@@ -1,0 +1,51 @@
+"""Structural and library-lemma discharge methods.
+
+Template-level obligations (routing structure, layout relabelling, loop
+termination) are established once for the verified template; discharging
+here only checks that the template's preconditions were recorded on the
+path.  Moved verbatim from the seed ``verify/discharge.py`` — the logic is
+the paper's, the packaging is the pluggable prover's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.prover.methods import DischargeResult
+from repro.verify.session import Subgoal
+
+
+def discharge_structural(subgoal: Subgoal) -> Optional[DischargeResult]:
+    """Settle the non-equivalence subgoal kinds; ``None`` for equivalence."""
+    if subgoal.kind == "termination":
+        deleted = subgoal.metadata.get("deleted")
+        progress = subgoal.metadata.get("progress_argument")
+        if deleted is not None and deleted > 0:
+            return DischargeResult(True, "structural",
+                                   f"the loop body deletes {deleted} remaining gate(s)")
+        if progress is not None and progress != "none":
+            return DischargeResult(True, "library lemma",
+                                   f"progress argument: {progress}")
+        return DischargeResult(False, "structural",
+                               "no termination argument: the loop body neither removes a "
+                               "remaining gate nor supplies a progress argument")
+    if subgoal.kind == "coupling":
+        if subgoal.metadata.get("adjacency_enforced_by_template"):
+            return DischargeResult(True, "library lemma",
+                                   "route_each_gate only emits swaps and gates on coupled pairs")
+        return DischargeResult(False, "library lemma",
+                               "coupling conformance not established")
+    if subgoal.kind == "equivalence_up_to_swaps":
+        if subgoal.metadata.get("template") == "route_each_gate":
+            return DischargeResult(True, "library lemma",
+                                   "route_each_gate emits each input gate exactly once, "
+                                   "remapped through the swap-updated layout")
+        return DischargeResult(False, "library lemma", "unknown routing structure")
+    if subgoal.kind == "layout_permutation":
+        return DischargeResult(True, "library lemma",
+                               "relabelling qubits through a bijective layout preserves semantics "
+                               "up to that permutation")
+    if subgoal.kind != "equivalence":
+        return DischargeResult(False, "unknown",
+                               f"unknown subgoal kind {subgoal.kind!r}")
+    return None

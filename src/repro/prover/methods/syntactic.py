@@ -1,0 +1,28 @@
+"""The syntactic discharge method: both sides are literally the same.
+
+The cheapest sound method in the pipeline: an ``unchanged`` obligation (an
+analysis-style pass must return its input) and the fast path of an
+``equivalence`` obligation are settled by comparing the element sequences
+for identity — symbolic values are interned per uid and concrete gates
+compare structurally, so tuple equality is exact.
+"""
+
+from __future__ import annotations
+
+from repro.prover.methods import DischargeResult
+from repro.verify.session import Subgoal
+
+
+def discharge_unchanged(subgoal: Subgoal) -> DischargeResult:
+    """``unchanged`` obligations: the pass must not have touched the circuit."""
+    same = tuple(subgoal.lhs) == tuple(subgoal.rhs)
+    return DischargeResult(same, "identical",
+                           "analysis passes must leave the circuit untouched")
+
+
+def try_identical(subgoal: Subgoal) -> DischargeResult:
+    """The ``equivalence`` fast path; ``proved=False`` means "not settled"."""
+    if tuple(subgoal.lhs) == tuple(subgoal.rhs):
+        return DischargeResult(True, "identical",
+                               "both sides are the same sequence")
+    return DischargeResult(False, "identical", "sequences differ syntactically")

@@ -94,15 +94,18 @@ class DaemonClient:
     def verify_specs(self, specs: Sequence[Dict], *, jobs: Optional[int] = None,
                      counterexample_search: bool = True,
                      batch_size: Optional[int] = None,
-                     changed_paths: Optional[Sequence[str]] = None) -> Tuple[List, EngineStats]:
+                     changed_paths: Optional[Sequence[str]] = None,
+                     solver: str = "auto") -> Tuple[List, EngineStats]:
         """Ship pass specs to the daemon, optionally in batches.
 
         ``batch_size`` bounds how many passes ride in one HTTP request —
         large suites stream in chunks so a slow chunk times out alone.
         ``changed_paths`` makes the request incremental (protocol v2): the
         daemon absorbs the named edits, then re-fingerprints only the
-        passes they can have invalidated.  Returns (ordered results,
-        merged stats); the stats carry the daemon's identity block.
+        passes they can have invalidated.  ``solver`` (protocol v3) names
+        the prover backend the daemon must discharge with.  Returns
+        (ordered results, merged stats); the stats carry the daemon's
+        identity block.
         """
         specs = list(specs)
         chunk = int(batch_size) if batch_size and batch_size > 0 else max(1, len(specs))
@@ -116,6 +119,7 @@ class DaemonClient:
                 "passes": specs[start:start + chunk],
                 "jobs": jobs,
                 "counterexample_search": counterexample_search,
+                "solver": solver,
             }
             if changed_paths is not None:
                 if isinstance(changed_paths, (str, bytes)):
@@ -177,6 +181,7 @@ def verify_with_fallback(
     batch_size: Optional[int] = None,
     client: Optional[DaemonClient] = None,
     changed_paths: Optional[Sequence[str]] = None,
+    solver: str = "auto",
 ) -> EngineReport:
     """Verify through a daemon when one is running, in-process otherwise.
 
@@ -205,6 +210,7 @@ def verify_with_fallback(
             results, stats = client.verify_specs(
                 specs, jobs=jobs, counterexample_search=counterexample_search,
                 batch_size=batch_size, changed_paths=changed_paths,
+                solver=solver,
             )
             return EngineReport(results=results, stats=stats)
         except (DaemonUnavailable, ProtocolError):
@@ -220,6 +226,7 @@ def verify_with_fallback(
         pass_kwargs_fn=kwargs_fn,
         counterexample_search=counterexample_search,
         changed_paths=changed_paths,
+        solver=solver,
     )
 
 

@@ -140,10 +140,19 @@ class VerificationService:
         jobs = body.get("jobs")
         jobs = self.jobs if jobs is None else int(jobs)
         counterexample_search = bool(body.get("counterexample_search", True))
+        solver = str(body.get("solver", "auto"))
+        from repro.prover.backend import SolverUnavailable
 
         with self._verify_lock:
-            results, stats = self._verify_pairs(pairs, jobs, counterexample_search,
-                                                changed_paths=changed_paths)
+            try:
+                results, stats = self._verify_pairs(
+                    pairs, jobs, counterexample_search,
+                    changed_paths=changed_paths, solver=solver)
+            except (SolverUnavailable, ValueError) as exc:
+                # An unusable solver choice is the *request's* problem: a
+                # protocol error sends the client to its in-process
+                # fallback, where the same error reaches the user.
+                raise ProtocolError(str(exc))
         if self.watcher is not None:
             try:
                 self.watcher.refresh_surface()
@@ -172,7 +181,8 @@ class VerificationService:
 
     def _verify_pairs(self, pairs: List[Tuple[type, Optional[Dict]]],
                       jobs: int, counterexample_search: bool,
-                      changed_paths: Optional[List[str]] = None):
+                      changed_paths: Optional[List[str]] = None,
+                      solver: str = "auto"):
         """Verify (class, kwargs) pairs, one engine batch per distinct class.
 
         A request may name the same class twice with different couplings;
@@ -192,6 +202,7 @@ class VerificationService:
                 pass_kwargs_fn=batch_kwargs.get,
                 counterexample_search=counterexample_search,
                 changed_paths=changed_paths,
+                solver=solver,
             )
             for (index, _, _), result in zip(batch, report.results):
                 results[index] = result

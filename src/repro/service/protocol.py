@@ -6,10 +6,17 @@ TCP, JSON bodies, one shared-secret token.  Three endpoints:
 ``POST /verify``
     ``{"passes": [{"name": ..., "coupling": {...}|null}, ...],
     "jobs": N|null, "counterexample_search": bool,
-    "changed_paths": [path, ...]|absent}`` →
+    "changed_paths": [path, ...]|absent, "solver": name|absent}`` →
     ``{"results": [...], "stats": {...}, "daemon": {...}}``.  Results are the
     engine's JSON payloads (plus a ``from_cache`` flag); ``stats`` is an
     :class:`~repro.engine.driver.EngineStats` dict.
+
+    ``solver`` (protocol v3) selects the prover backend the daemon
+    discharges with (``auto``/``builtin``/``z3``/``bounded``); the choice
+    joins every cache key daemon-side exactly as it would in-process.  A
+    backend the daemon cannot run answers with a protocol error, and the
+    client falls back to in-process verification (where the same error
+    surfaces to the user instead of being silently substituted).
 
     ``changed_paths`` (protocol v2) makes the request *incremental*: the
     daemon first absorbs the named edits (reloading the modules behind
@@ -74,9 +81,12 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 #: v2: ``/verify`` accepts ``changed_paths`` for incremental requests.
-#: Version skew fails closed either way (invariant 4), so a v1 daemon is
-#: simply invisible to v2 clients and vice versa.
-PROTOCOL_VERSION = 2
+#: v3: ``/verify`` accepts ``solver`` (the prover-backend choice must reach
+#: the daemon — an old daemon silently proving with a different backend
+#: than requested would be a correctness bug, so skew must fail closed).
+#: Version skew fails closed either way (invariant 4), so an old daemon is
+#: simply invisible to newer clients and vice versa.
+PROTOCOL_VERSION = 3
 
 _STATE_FILE = "daemon.json"
 

@@ -40,8 +40,8 @@ from repro.engine.cache import CacheStats
 _DB_NAME = "proofs.sqlite"
 
 #: Bump when the table layout changes incompatibly; mismatched stores are
-#: rebuilt from scratch on open.
-SCHEMA_VERSION = 1
+#: rebuilt from scratch on open.  v2 adds the subgoal-certificate tier.
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -62,6 +62,12 @@ CREATE INDEX IF NOT EXISTS proofs_lru ON proofs (last_used_at);
 CREATE TABLE IF NOT EXISTS deps (
     key        TEXT PRIMARY KEY,
     schema     INTEGER NOT NULL,
+    value      TEXT NOT NULL,
+    updated_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS certs (
+    key        TEXT PRIMARY KEY,
+    fp         TEXT NOT NULL,
     value      TEXT NOT NULL,
     updated_at REAL NOT NULL
 );
@@ -175,6 +181,7 @@ class SqliteProofCache:
             # misreading them is not.
             cursor.execute("DROP TABLE IF EXISTS proofs")
             cursor.execute("DROP TABLE IF EXISTS deps")
+            cursor.execute("DROP TABLE IF EXISTS certs")
             cursor.execute("DELETE FROM meta")
             cursor.executescript(_SCHEMA)
             cursor.execute(
@@ -319,6 +326,51 @@ class SqliteProofCache:
             )
 
     # ------------------------------------------------------------------ #
+    # Certificate tier (the subgoal evidence objects)
+    # ------------------------------------------------------------------ #
+    def get_certificate(self, key: str) -> Optional[dict]:
+        """The certificate recorded for one subgoal fingerprint, or ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT fp, value FROM certs WHERE key = ?", (key,),
+            ).fetchone()
+        if row is None or row[0] != self.active_fingerprint:
+            return None
+        try:
+            return json.loads(row[1])
+        except json.JSONDecodeError:
+            self.stats.corrupt_lines += 1
+            return None
+
+    def put_certificate(self, key: str, value: dict) -> None:
+        """Record (or refresh) one subgoal's proof certificate."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO certs (key, fp, value, updated_at) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT (key) DO UPDATE SET "
+                "fp = excluded.fp, value = excluded.value, "
+                "updated_at = excluded.updated_at",
+                (key, self.active_fingerprint,
+                 json.dumps(value, sort_keys=True), time.time()),
+            )
+
+    def certificate_snapshot(self) -> Dict[str, dict]:
+        """A plain-dict copy of the live certificate tier."""
+        snapshot: Dict[str, dict] = {}
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key, value FROM certs WHERE fp = ?",
+                (self.active_fingerprint,),
+            ).fetchall()
+        for key, value in rows:
+            try:
+                snapshot[key] = json.loads(value)
+            except json.JSONDecodeError:
+                self.stats.corrupt_lines += 1
+        return snapshot
+
+    # ------------------------------------------------------------------ #
     # Dependency sidecar (incremental re-verification)
     # ------------------------------------------------------------------ #
     def get_deps(self, key: str) -> Optional[dict]:
@@ -424,6 +476,12 @@ class SqliteProofCache:
                     (max_entries,),
                 )
                 evicted += cursor.rowcount
+                # Certificates live and die with their subgoal entry.
+                cursor.execute(
+                    "DELETE FROM certs WHERE fp != ? OR key NOT IN ("
+                    "  SELECT key FROM proofs WHERE kind = 'subgoal')",
+                    (self.active_fingerprint,),
+                )
                 cursor.execute("COMMIT")
             except BaseException:
                 cursor.execute("ROLLBACK")

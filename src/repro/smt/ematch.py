@@ -6,6 +6,13 @@ be any member of the equivalence class of the corresponding ground sub-term.
 Matching is performed against per-round indexes of the term bank (class
 membership and head-symbol indexes) so that instantiation stays cheap even as
 rule applications grow the bank.
+
+:func:`instantiate_rules` is the *reference* instantiation loop: it scans
+the whole rule list every round.  The production path compiles rule sets
+into an operator-indexed :class:`repro.prover.rulebase.RuleBase` instead
+(same semantics, candidate enumeration driven by the bank); the scan stays
+here as the oracle for the parity tests and the ``repro bench solver``
+baseline.
 """
 
 from __future__ import annotations

@@ -7,6 +7,15 @@ disequalities over uninterpreted terms, decided by congruence closure plus
 bounded instantiation of universally quantified rewrite rules.  When a goal
 cannot be proven the result carries the offending atom, which the verifier
 turns into a concrete counterexample circuit.
+
+Instantiation runs through the operator-indexed
+:class:`~repro.prover.rulebase.RuleBase` by default; ``indexed=False``
+selects the reference linear scan (:func:`repro.smt.ematch.instantiate_rules`)
+— semantically identical, kept for the solver benchmark and the parity
+tests.  The fact-loading and atom-proving halves are module-level functions
+(:func:`load_fact`, :func:`prove_atom`) so alternative solver backends
+(:mod:`repro.prover`) share one definition of what an assumption or a goal
+atom *means*.
 """
 
 from __future__ import annotations
@@ -29,18 +38,63 @@ class CheckResult:
     reason: str = ""
     instantiations: int = 0
     failed_atom: Optional[Term] = None
+    #: Names of the rules that actually fired during instantiation (only
+    #: populated on the indexed path; the reference scan does not track it).
+    rules_fired: Tuple[str, ...] = ()
 
     def __bool__(self) -> bool:
         return self.proved
 
 
+def load_fact(closure: CongruenceClosure, fact: Term) -> None:
+    """Assert one boolean fact (equality, disequality, conjunction)."""
+    if fact.op == "and":
+        for sub in fact.args:
+            load_fact(closure, sub)
+    elif fact.op == "=":
+        closure.merge(fact.args[0], fact.args[1])
+    elif fact.op == "not" and fact.args and fact.args[0].op == "=":
+        inner = fact.args[0]
+        closure.assert_disequal(inner.args[0], inner.args[1])
+    elif fact.op == "lit" and fact.payload is True:
+        pass
+    else:
+        # Opaque boolean atoms are recorded as "atom = true".
+        closure.merge(fact, Term("lit", (), "Bool", True))
+
+
+def prove_atom(closure: CongruenceClosure, atom: Term) -> bool:
+    """Is one goal atom derivable from the closure's current state?"""
+    if atom.op == "=":
+        return closure.equal(atom.args[0], atom.args[1])
+    if atom.op == "not" and atom.args and atom.args[0].op == "=":
+        inner = atom.args[0]
+        # Proven different only if merging them would contradict a
+        # literal distinction; conservative otherwise.
+        left, right = inner.args
+        if closure.equal(left, right):
+            return False
+        both_literals = left.is_literal() and right.is_literal()
+        return both_literals and left.payload != right.payload
+    if atom.op == "lit":
+        return bool(atom.payload)
+    return closure.equal(atom, Term("lit", (), "Bool", True))
+
+
+def goal_atoms(goal: Term) -> List[Term]:
+    """The conjuncts of a goal (a single atom is its own conjunction)."""
+    return list(goal.args) if goal.op == "and" else [goal]
+
+
 class Context:
     """A logical context with assumptions, rewrite rules, and check support."""
 
-    def __init__(self, rules: Sequence[Rule] = (), max_rounds: int = 4) -> None:
+    def __init__(self, rules: Sequence[Rule] = (), max_rounds: int = 4,
+                 indexed: bool = True) -> None:
         self._assumptions: List[Term] = []
         self._rules: List[Rule] = list(rules)
         self._max_rounds = max_rounds
+        self._indexed = indexed
         self._frames: List[int] = []
 
     # ------------------------------------------------------------------ #
@@ -79,37 +133,6 @@ class Context:
     # ------------------------------------------------------------------ #
     # Checking
     # ------------------------------------------------------------------ #
-    def _load(self, closure: CongruenceClosure, fact: Term) -> None:
-        if fact.op == "and":
-            for sub in fact.args:
-                self._load(closure, sub)
-        elif fact.op == "=":
-            closure.merge(fact.args[0], fact.args[1])
-        elif fact.op == "not" and fact.args and fact.args[0].op == "=":
-            inner = fact.args[0]
-            closure.assert_disequal(inner.args[0], inner.args[1])
-        elif fact.op == "lit" and fact.payload is True:
-            pass
-        else:
-            # Opaque boolean atoms are recorded as "atom = true".
-            closure.merge(fact, Term("lit", (), "Bool", True))
-
-    def _prove_atom(self, closure: CongruenceClosure, atom: Term) -> bool:
-        if atom.op == "=":
-            return closure.equal(atom.args[0], atom.args[1])
-        if atom.op == "not" and atom.args and atom.args[0].op == "=":
-            inner = atom.args[0]
-            # Proven different only if merging them would contradict a
-            # literal distinction; conservative otherwise.
-            left, right = inner.args
-            if closure.equal(left, right):
-                return False
-            both_literals = left.is_literal() and right.is_literal()
-            return both_literals and left.payload != right.payload
-        if atom.op == "lit":
-            return bool(atom.payload)
-        return closure.equal(atom, Term("lit", (), "Bool", True))
-
     def check(self, goal: Term, extra_rules: Sequence[Rule] = ()) -> CheckResult:
         """Try to prove ``goal`` from the assumptions and rewrite rules.
 
@@ -121,25 +144,36 @@ class Context:
         """
         closure = CongruenceClosure()
         for fact in self._assumptions:
-            self._load(closure, fact)
+            load_fact(closure, fact)
         # Make sure the goal's terms participate in instantiation.
-        goal_atoms = list(goal.args) if goal.op == "and" else [goal]
-        for atom in goal_atoms:
+        atoms = goal_atoms(goal)
+        for atom in atoms:
             for sub in atom.subterms():
                 closure.add_term(sub)
         rules = list(self._rules) + list(extra_rules)
-        instantiations = instantiate_rules(rules, closure, max_rounds=self._max_rounds)
+        fired: Tuple[str, ...] = ()
+        if self._indexed:
+            # Imported lazily: the prover layer builds on the smt substrate,
+            # and this is the one place the dependency points back up.
+            from repro.prover.rulebase import RuleBase
+
+            instantiations, fired = RuleBase(rules).instantiate(
+                closure, max_rounds=self._max_rounds)
+        else:
+            instantiations = instantiate_rules(
+                rules, closure, max_rounds=self._max_rounds)
         if closure.inconsistent():
             return CheckResult(True, goal, reason="assumptions are contradictory",
-                               instantiations=instantiations)
-        for atom in goal_atoms:
-            if not self._prove_atom(closure, atom):
+                               instantiations=instantiations, rules_fired=fired)
+        for atom in atoms:
+            if not prove_atom(closure, atom):
                 return CheckResult(
                     False,
                     goal,
                     reason=f"could not derive {atom!r}",
                     instantiations=instantiations,
                     failed_atom=atom,
+                    rules_fired=fired,
                 )
         return CheckResult(True, goal, reason="derived by congruence closure",
-                           instantiations=instantiations)
+                           instantiations=instantiations, rules_fired=fired)

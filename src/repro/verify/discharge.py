@@ -4,354 +4,119 @@ A subgoal relates two sequences of circuit elements (concrete gates, symbolic
 gates, opaque segments) under the facts collected on one execution path.
 Discharging picks the cheapest sound method:
 
-* **identical** — the two sequences are syntactically the same;
+* **identical** — the two sequences are syntactically the same
+  (:mod:`repro.prover.methods.syntactic`);
 * **sequence engine** — both sides are concrete gates, so the rewrite-based
-  normal-form check of :mod:`repro.symbolic.equivalence` applies;
-* **congruence closure** — the general case: both sides are encoded as
+  normal-form check of :mod:`repro.symbolic.equivalence` applies
+  (:mod:`repro.prover.methods.sequence`);
+* **solver backend** — the general case: both sides are encoded as
   register-transformer terms, the facts on the path are turned into
-  quantified rewrite rules (cancellation for gates known to be self-inverse,
-  commutation for segments known not to share qubits, equivalences granted by
-  utility specifications), and the goal is handed to the
-  :class:`~repro.smt.solver.Context`;
+  quantified rewrite rules, and the goal is handed to the selected
+  :class:`~repro.prover.backend.SolverBackend`
+  (:mod:`repro.prover.methods.congruence`);
 * **library lemma** — template-level obligations (routing structure, layout
-  relabelling) that are established once for the verified template and only
-  checked for applicability here.
+  relabelling) established once for the verified template and only checked
+  for applicability here (:mod:`repro.prover.methods.structural`).
+
+This module is the stable facade over those method modules: the
+:class:`Discharger` picks the method, times it, and attaches a
+:class:`~repro.prover.certificate.ProofCertificate` to every result; the
+module-level :func:`discharge` is the seed-compatible entry point bound to
+the builtin solver.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+import time
+from typing import Optional, Sequence, Union
 
-from repro.circuit.gate import Gate
-from repro.circuit.gates import gate_spec, is_known_gate, is_self_inverse
-from repro.smt.solver import Context
-from repro.smt.terms import CIRCUIT, Rule, Term, eq, lit, var
-from repro.symbolic.equivalence import equivalent as sequence_equivalent
-from repro.symbolic.rules import apply_sequence, apply_term, cancellation_rule_for, gate_term
-from repro.verify import facts as F
-from repro.verify.facts import Fact
+from repro.prover.backend import SolverBackend, resolve_solver
+from repro.prover.certificate import ProofCertificate
+from repro.prover.methods import (
+    DischargeResult,
+    congruence as _congruence,
+    sequence as _sequence,
+    structural as _structural,
+    syntactic as _syntactic,
+)
 from repro.verify.session import Subgoal
-from repro.verify.symvalues import Segment, SymGate
+
+__all__ = ["DischargeResult", "Discharger", "discharge"]
 
 
-@dataclass
-class DischargeResult:
-    """Outcome of discharging one subgoal."""
+class Discharger:
+    """A discharge pipeline bound to one solver backend.
 
-    proved: bool
-    method: str
-    reason: str = ""
-    rules_used: Tuple[str, ...] = ()
+    ``solver`` is a backend name (``auto``/``builtin``/``z3``/``bounded``)
+    or an already-resolved :class:`~repro.prover.backend.SolverBackend`.
+    ``restrict_rules`` narrows the solver stage to the named rules —
+    certificate replay uses it to re-prove along the recorded path.
+    """
 
-    def __bool__(self) -> bool:
-        return self.proved
+    def __init__(self, solver: Union[str, SolverBackend] = "builtin",
+                 restrict_rules: Optional[Sequence[str]] = None) -> None:
+        if isinstance(solver, SolverBackend):
+            self.backend = solver
+        else:
+            self.backend = resolve_solver(solver)
+        self.restrict_rules = restrict_rules
 
+    @property
+    def solver_name(self) -> str:
+        return self.backend.name
 
-class _FactBase:
-    """Indexed view of the facts on a path, with simple derived knowledge."""
+    # ------------------------------------------------------------------ #
+    def __call__(self, subgoal: Subgoal) -> DischargeResult:
+        started = time.perf_counter()
+        result, backend_used = self._dispatch(subgoal)
+        fired = tuple(result.rules_fired)
+        if fired:
+            # Rule names embed raw session uids; certificates must stay
+            # valid across sessions, so record them under the subgoal's
+            # canonical renaming (lazy import: the engine imports this
+            # module while initialising).
+            from repro.engine.fingerprint import canonical_rule_names
 
-    def __init__(self, subgoal: Subgoal) -> None:
-        self.true_facts: Set[Tuple] = set()
-        self.false_facts: Set[Tuple] = set()
-        self.segment_equivalences: List[Tuple[Tuple, Tuple]] = []
-        self.known_names: Dict[str, str] = {}
-        self.unconditioned: Set[str] = set()
-        for fact, value in subgoal.path_facts:
-            self._record(fact, value)
-        for fact in subgoal.assumptions:
-            if fact.kind == "not" and fact.args:
-                self._record(fact.args[0], False)
-            else:
-                self._record(fact, True)
-
-    def _record(self, fact: Fact, value: bool) -> None:
-        key = (fact.kind,) + tuple(self._freeze(a) for a in fact.args)
-        (self.true_facts if value else self.false_facts).add(key)
-        if not value:
-            if fact.kind == F.IS_CONDITIONED and fact.args:
-                self.unconditioned.add(fact.args[0])
-            return
-        if fact.kind == F.NAME_IS:
-            self.known_names[fact.args[0]] = fact.args[1]
-        elif fact.kind == F.IS_CX:
-            self.known_names[fact.args[0]] = "cx"
-            self.unconditioned.add(fact.args[0])
-        elif fact.kind == F.IS_SWAP:
-            self.known_names[fact.args[0]] = "swap"
-        elif fact.kind == F.IS_BARRIER:
-            self.known_names[fact.args[0]] = "barrier"
-        elif fact.kind == F.IS_MEASURE:
-            self.known_names[fact.args[0]] = "measure"
-        elif fact.kind == F.IS_RESET:
-            self.known_names[fact.args[0]] = "reset"
-        elif fact.kind == F.SEGMENT_EQUIVALENT_TO:
-            lhs, rhs = fact.args
-            lhs = lhs if isinstance(lhs, tuple) else (lhs,)
-            rhs = rhs if isinstance(rhs, tuple) else (rhs,)
-            self.segment_equivalences.append((lhs, rhs))
-
-    @staticmethod
-    def _freeze(value):
-        if isinstance(value, (SymGate, Segment)):
-            return value.uid
-        if isinstance(value, tuple):
-            return tuple(_FactBase._freeze(v) for v in value)
-        if isinstance(value, Gate):
-            return ("gate", value.name, value.qubits, value.params)
-        return value
-
-    def holds(self, kind: str, *args) -> bool:
-        return (kind,) + tuple(self._freeze(a) for a in args) in self.true_facts
-
-    def holds_symmetric(self, kind: str, a, b) -> bool:
-        return self.holds(kind, a, b) or self.holds(kind, b, a)
-
-    def known_name(self, uid: str) -> Optional[str]:
-        return self.known_names.get(uid)
-
-    def is_unconditioned(self, uid: str) -> bool:
-        return uid in self.unconditioned
-
-
-class _Encoder:
-    """Encode circuit elements into register-transformer terms."""
-
-    def __init__(self, facts: _FactBase) -> None:
-        self.facts = facts
-        self._canonical: Dict[str, str] = {}
-
-    # Union-find over symbolic gate uids forced equal by the facts.
-    def _find(self, uid: str) -> str:
-        root = uid
-        while self._canonical.get(root, root) != root:
-            root = self._canonical[root]
-        self._canonical[uid] = root
-        return root
-
-    def unify(self, uid_a: str, uid_b: str) -> None:
-        self._canonical[self._find(uid_a)] = self._find(uid_b)
-
-    def identify_equal_gates(self, elements: Iterable) -> None:
-        """Merge symbolic gates the facts prove to be the same gate."""
-        symbolic = [e for e in elements if isinstance(e, SymGate)]
-        for i, first in enumerate(symbolic):
-            for second in symbolic[i + 1 :]:
-                if self.facts.holds_symmetric(F.SAME_GATE, first.uid, second.uid):
-                    self.unify(first.uid, second.uid)
-                    continue
-                name_a = self.facts.known_name(first.uid)
-                name_b = self.facts.known_name(second.uid)
-                if (
-                    name_a is not None
-                    and name_a == name_b
-                    and is_known_gate(name_a)
-                    and gate_spec(name_a).num_params == 0
-                    and self.facts.holds_symmetric(F.SAME_QUBITS, first.uid, second.uid)
-                ):
-                    self.unify(first.uid, second.uid)
-
-    def encode(self, element) -> Term:
-        if isinstance(element, Gate):
-            return gate_term(element)
-        if isinstance(element, SymGate):
-            return lit(("symgate", self._find(element.uid)), "Gate")
-        if isinstance(element, Segment):
-            return lit(("segment", element.uid), "Segment")
-        raise TypeError(f"cannot encode circuit element {element!r}")
-
-    def encode_sequence(self, elements: Sequence) -> List[Term]:
-        out = []
-        for element in elements:
-            if isinstance(element, Gate) and element.is_barrier():
-                continue
-            if isinstance(element, SymGate) and self.facts.known_name(element.uid) == "barrier":
-                continue
-            out.append(self.encode(element))
-        return out
-
-
-def _collect_rules(encoder: _Encoder, facts: _FactBase, elements: Sequence) -> List[Rule]:
-    """Turn the path facts into quantified rewrite rules over the register."""
-    register = var("Q", CIRCUIT)
-    rules: List[Rule] = []
-    seen_rule_keys = set()
-
-    def add_rule(rule: Rule) -> None:
-        key = (repr(rule.lhs), repr(rule.rhs))
-        if key not in seen_rule_keys:
-            seen_rule_keys.add(key)
-            rules.append(rule)
-
-    # Cancellation rules for elements known to be self-inverse and unconditioned.
-    for element in elements:
-        if isinstance(element, Gate):
-            rule = cancellation_rule_for(element)
-            if rule is not None:
-                add_rule(rule)
-        elif isinstance(element, SymGate):
-            name = facts.known_name(element.uid)
-            known_self_inverse = (
-                name is not None and is_known_gate(name) and is_self_inverse(name)
-            ) or facts.holds(F.IS_SELF_INVERSE, element.uid)
-            unconditioned = (
-                facts.is_unconditioned(element.uid) or name in ("cx",)
-            )
-            if known_self_inverse and unconditioned:
-                encoded = encoder.encode(element)
-                add_rule(
-                    Rule(
-                        f"cancel_sym_{element.uid}",
-                        apply_term(encoded, apply_term(encoded, register)),
-                        register,
-                    )
-                )
-
-    # Segment commutation granted by specifications (e.g. next_gate clause 3).
-    for element in elements:
-        if not isinstance(element, Segment):
-            continue
-        for other in elements:
-            if isinstance(other, (SymGate, Gate)):
-                other_key = other.uid if isinstance(other, SymGate) else None
-                if other_key is not None and facts.holds(
-                    F.SEGMENT_COMMUTES_WITH, element.uid, other_key
-                ):
-                    seg_term = encoder.encode(element)
-                    gate_encoded = encoder.encode(other)
-                    # Both orientations: proofs need to float the gate either
-                    # side of the segment depending on where the partner sits.
-                    add_rule(
-                        Rule(
-                            f"segment_commute_{element.uid}_{other_key}",
-                            apply_term(gate_encoded, apply_term(seg_term, register)),
-                            apply_term(seg_term, apply_term(gate_encoded, register)),
-                        )
-                    )
-                    add_rule(
-                        Rule(
-                            f"segment_commute_rev_{element.uid}_{other_key}",
-                            apply_term(seg_term, apply_term(gate_encoded, register)),
-                            apply_term(gate_encoded, apply_term(seg_term, register)),
-                        )
-                    )
-
-    # Explicit commutation facts between gates.
-    gate_like = [e for e in elements if isinstance(e, (Gate, SymGate))]
-    for i, first in enumerate(gate_like):
-        for second in gate_like[i + 1 :]:
-            key_a = first.uid if isinstance(first, SymGate) else None
-            key_b = second.uid if isinstance(second, SymGate) else None
-            if key_a is None or key_b is None:
-                continue
-            if facts.holds_symmetric(F.COMMUTES, key_a, key_b):
-                term_a, term_b = encoder.encode(first), encoder.encode(second)
-                add_rule(
-                    Rule(
-                        f"commute_{key_a}_{key_b}",
-                        apply_term(term_b, apply_term(term_a, register)),
-                        apply_term(term_a, apply_term(term_b, register)),
-                    )
-                )
-                add_rule(
-                    Rule(
-                        f"commute_rev_{key_a}_{key_b}",
-                        apply_term(term_a, apply_term(term_b, register)),
-                        apply_term(term_b, apply_term(term_a, register)),
-                    )
-                )
-
-    # Equivalences granted by specifications (merge, decomposition, refinement).
-    for lhs_elements, rhs_elements in facts.segment_equivalences:
-        lhs_terms = encoder.encode_sequence(lhs_elements)
-        rhs_terms = encoder.encode_sequence(rhs_elements)
-        # The trigger is the left-hand side; the facts are oriented so that
-        # the "old" (pre-refinement / pre-transformation) shape is on the
-        # left, which is the shape that occurs in the proof goals.
-        add_rule(
-            Rule(
-                "spec_equivalence",
-                apply_sequence(lhs_terms, register),
-                apply_sequence(rhs_terms, register),
-            )
+            fired = canonical_rule_names(subgoal, fired)
+        result.certificate = ProofCertificate(
+            proved=result.proved,
+            method=result.method,
+            backend=self.backend.name if backend_used else None,
+            rules_fired=fired,
+            instantiations=result.instantiations,
+            wall_seconds=time.perf_counter() - started,
+            reason=result.reason,
         )
+        return result
 
-    return rules
+    def _dispatch(self, subgoal: Subgoal):
+        """Run the pipeline; returns (result, did_the_solver_backend_run)."""
+        if subgoal.kind == "unchanged":
+            return _syntactic.discharge_unchanged(subgoal), False
+        structural = _structural.discharge_structural(subgoal)
+        if structural is not None:
+            return structural, False
+        identical = _syntactic.try_identical(subgoal)
+        if identical.proved:
+            return identical, False
+        concrete = _sequence.try_sequence_engine(subgoal)
+        if concrete is not None:
+            return concrete, False
+        result = _congruence.discharge_with_backend(
+            subgoal, self.backend, restrict_rules=self.restrict_rules)
+        return result, True
+
+
+_default_discharger: Optional[Discharger] = None
 
 
 def discharge(subgoal: Subgoal) -> DischargeResult:
-    """Discharge a single subgoal, choosing the appropriate method."""
-    if subgoal.kind == "unchanged":
-        same = tuple(subgoal.lhs) == tuple(subgoal.rhs)
-        return DischargeResult(same, "identical",
-                               "analysis passes must leave the circuit untouched")
-    if subgoal.kind == "termination":
-        deleted = subgoal.metadata.get("deleted")
-        progress = subgoal.metadata.get("progress_argument")
-        if deleted is not None and deleted > 0:
-            return DischargeResult(True, "structural",
-                                   f"the loop body deletes {deleted} remaining gate(s)")
-        if progress is not None and progress != "none":
-            return DischargeResult(True, "library lemma",
-                                   f"progress argument: {progress}")
-        return DischargeResult(False, "structural",
-                               "no termination argument: the loop body neither removes a "
-                               "remaining gate nor supplies a progress argument")
-    if subgoal.kind == "coupling":
-        if subgoal.metadata.get("adjacency_enforced_by_template"):
-            return DischargeResult(True, "library lemma",
-                                   "route_each_gate only emits swaps and gates on coupled pairs")
-        return DischargeResult(False, "library lemma", "coupling conformance not established")
-    if subgoal.kind == "equivalence_up_to_swaps":
-        if subgoal.metadata.get("template") == "route_each_gate":
-            return DischargeResult(True, "library lemma",
-                                   "route_each_gate emits each input gate exactly once, "
-                                   "remapped through the swap-updated layout")
-        return DischargeResult(False, "library lemma", "unknown routing structure")
-    if subgoal.kind == "layout_permutation":
-        return DischargeResult(True, "library lemma",
-                               "relabelling qubits through a bijective layout preserves semantics "
-                               "up to that permutation")
-    if subgoal.kind != "equivalence":
-        return DischargeResult(False, "unknown", f"unknown subgoal kind {subgoal.kind!r}")
+    """Discharge a single subgoal with the builtin solver backend.
 
-    return _discharge_equivalence(subgoal)
-
-
-def _discharge_equivalence(subgoal: Subgoal) -> DischargeResult:
-    lhs, rhs = list(subgoal.lhs), list(subgoal.rhs)
-    if tuple(lhs) == tuple(rhs):
-        return DischargeResult(True, "identical", "both sides are the same sequence")
-
-    if all(isinstance(e, Gate) for e in lhs + rhs):
-        report = sequence_equivalent(
-            [e for e in lhs if isinstance(e, Gate)],
-            [e for e in rhs if isinstance(e, Gate)],
-            ignore_final_measurements=bool(subgoal.metadata.get("ignore_final_measurements")),
-            assume_zero_initial_state=bool(subgoal.metadata.get("assume_zero_initial_state")),
-        )
-        return DischargeResult(bool(report), "sequence engine", report.reason)
-
-    facts = _FactBase(subgoal)
-    encoder = _Encoder(facts)
-    fact_elements = []
-    for lhs_elems, rhs_elems in facts.segment_equivalences:
-        fact_elements.extend(lhs_elems)
-        fact_elements.extend(rhs_elems)
-    all_elements = list(lhs) + list(rhs) + fact_elements
-    encoder.identify_equal_gates(all_elements)
-    rules = _collect_rules(encoder, facts, all_elements)
-
-    register = var("Q0", CIRCUIT)
-    goal = eq(
-        apply_sequence(encoder.encode_sequence(lhs), register),
-        apply_sequence(encoder.encode_sequence(rhs), register),
-    )
-    context = Context(rules=rules, max_rounds=6)
-    result = context.check(goal)
-    return DischargeResult(
-        result.proved,
-        "congruence closure",
-        result.reason,
-        rules_used=tuple(rule.name for rule in rules),
-    )
+    The seed-compatible push-button entry point; engine callers that thread
+    a ``--solver`` choice construct a :class:`Discharger` instead.
+    """
+    global _default_discharger
+    if _default_discharger is None:
+        _default_discharger = Discharger("builtin")
+    return _default_discharger(subgoal)

@@ -65,6 +65,47 @@ def test_timing_threshold_drives_splitting(tmp_path):
     assert kinds == [(0, "pass"), (1, "shard"), (1, "shard"), (2, "pass")]
 
 
+def test_shard_count_auto_tunes_from_the_recorded_ratio():
+    from repro.cluster.plan import MAX_SHARD_COUNT, derive_shard_count
+
+    # ~one threshold's worth of work per shard, clamped to [2, MAX].
+    assert derive_shard_count(2.0, 1.0) == 2
+    assert derive_shard_count(3.2, 1.0) == 4
+    assert derive_shard_count(1.0, 1.0) == 2
+    assert derive_shard_count(100.0, 1.0) == MAX_SHARD_COUNT
+    assert derive_shard_count(None, 1.0) == 2    # nothing recorded
+    assert derive_shard_count(5.0, 0.0) == 2     # force-split mode
+
+    registry = pass_registry()
+    pending = _pending(ALL_VERIFIED_PASSES[:2])
+    idents = [identity_key(cls, kwargs) for _, cls, kwargs, _ in pending]
+    timings = {idents[0]: 3.2, idents[1]: 40.0}
+    plan = plan_units(pending, registry, timings=timings, shard_threshold=1.0)
+    assert plan.split == {0: 4, 1: MAX_SHARD_COUNT}
+    counts = {}
+    for unit in plan.units:
+        counts[unit.index] = counts.get(unit.index, 0) + 1
+        assert unit.shard_count == plan.split[unit.index]
+    assert counts == plan.split
+
+
+def test_explicit_shard_count_overrides_auto_tuning():
+    registry = pass_registry()
+    pending = _pending(ALL_VERIFIED_PASSES[:1])
+    ident = identity_key(pending[0][1], pending[0][2])
+    plan = plan_units(pending, registry, timings={ident: 40.0},
+                      shard_threshold=1.0, shard_count=3)
+    assert plan.split == {0: 3}
+
+
+def test_units_carry_the_solver_on_the_wire():
+    registry = pass_registry()
+    plan = plan_units(_pending(ALL_VERIFIED_PASSES[:1]), registry)
+    wire = plan.units[0].to_wire(True, "bounded")
+    assert wire["solver"] == "bounded"
+    assert plan.units[0].to_wire(True)["solver"] == "builtin"
+
+
 def test_inexpressible_kwargs_stay_local():
     registry = pass_registry()
     cls = ALL_VERIFIED_PASSES[0]

@@ -105,20 +105,18 @@ def test_subgoal_memoisation_within_verify_one():
     from repro.engine.driver import _verify_one
 
     table = {}
-    _, new_entries, hits, misses, hit_keys = _verify_one(
-        CXCancellation, None, False, table
-    )
-    assert misses == len(new_entries) > 0
-    assert hit_keys == []
+    _, acct = _verify_one(CXCancellation, None, False, table)
+    assert acct.misses == len(acct.new_subgoals) > 0
+    assert acct.hit_keys == []
+    # Every freshly proved subgoal carries a certificate payload.
+    assert sorted(acct.new_certificates) == sorted(acct.new_subgoals)
     # Re-verifying the same pass against the warm table discharges every
     # subgoal from memory (this is what a changed-but-similar pass hits).
-    _, second_new, second_hits, second_misses, second_hit_keys = _verify_one(
-        CXCancellation, None, False, table
-    )
-    assert second_misses == 0
-    assert second_new == {}
-    assert second_hits == hits + misses
-    assert sorted(second_hit_keys) == sorted(new_entries)
+    _, second = _verify_one(CXCancellation, None, False, table)
+    assert second.misses == 0
+    assert second.new_subgoals == {}
+    assert second.hits == acct.hits + acct.misses
+    assert sorted(second.hit_keys) == sorted(acct.new_subgoals)
 
 
 def test_stats_are_per_run_for_shared_cache(tmp_path):

@@ -29,7 +29,7 @@ def test_merged_shards_equal_unsplit_proof(shard_count):
     unsplit = result_to_payload(unsplit_result)
     shards = []
     for shard_index in range(shard_count):
-        payload, new_entries, hits, misses, hit_keys = verify_pass_shard(
+        payload, _acct = verify_pass_shard(
             cls, kwargs, shard_index, shard_count, {})
         assert payload["shard_index"] == shard_index
         assert payload["subgoal_count"] == unsplit_result.num_subgoals
@@ -67,15 +67,14 @@ def test_shard_of_unsupported_pass_merges_to_unsupported():
 def test_shard_feeds_the_subgoal_cache_like_the_whole_pass():
     cls, kwargs, _ = _multi_subgoal_pass()
     table = {}
-    _, new_entries, hits, misses, _ = verify_pass_shard(cls, kwargs, 0, 2, table)
-    assert misses == len(new_entries) > 0
+    _, acct = verify_pass_shard(cls, kwargs, 0, 2, table)
+    assert acct.misses == len(acct.new_subgoals) > 0
     # A second identical shard run is served from the shared table.
-    _, second_new, second_hits, second_misses, hit_keys = verify_pass_shard(
-        cls, kwargs, 0, 2, table)
-    assert second_misses == 0
-    assert second_hits == hits + misses
-    assert not second_new
-    assert set(hit_keys) == set(table)
+    _, second = verify_pass_shard(cls, kwargs, 0, 2, table)
+    assert second.misses == 0
+    assert second.hits == acct.hits + acct.misses
+    assert not second.new_subgoals
+    assert set(second.hit_keys) == set(table)
 
 
 def test_unit_fingerprint_is_deterministic_and_distinct():
