@@ -33,9 +33,14 @@ Invoked as ``python -m repro <command>``.  Commands:
     ``migrate`` (one-shot JSONL → sqlite import), and ``gc`` (drop
     dependency-index entries for configurations no longer in any suite).
 
+``trace``
+    Inspect a structured execution trace written by ``verify --trace DIR``:
+    ``summary`` (slowest passes/subgoals, per-worker attribution, unit
+    coverage), ``show`` (the span tree), ``export`` (Chrome trace JSON).
+
 ``bench``
     Run one of the paper's evaluation drivers (``table2``, ``figure11``,
-    ``case-studies``).
+    ``case-studies``), or measure the tracing overhead (``telemetry``).
 
 ``soundness``
     Re-check every rewrite rule and the commutation table against the dense
@@ -48,6 +53,7 @@ Invoked as ``python -m repro <command>``.  Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sqlite3
 import sys
 from typing import Dict, List, Optional, Sequence, Type
@@ -95,6 +101,27 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print("--workers/--cluster are mutually exclusive with each other "
               "and with --daemon", file=sys.stderr)
         return 2
+    from repro.prover import SolverUnavailable, available_solvers
+
+    tracer = None
+    if args.trace is not None or args.profile:
+        from repro.telemetry import trace as trace_mod
+
+        # --profile keeps records in memory for the report; --trace alone
+        # only streams to disk (keep default: False with a writer).
+        tracer = trace_mod.configure(args.trace, node="main",
+                                     keep=True if args.profile else None)
+    try:
+        return _run_verify(args, selected, jobs, cluster_mode, tracer)
+    finally:
+        if tracer is not None:
+            from repro.telemetry import trace as trace_mod
+
+            trace_mod.shutdown()
+
+
+def _run_verify(args, selected, jobs, cluster_mode, tracer) -> int:
+    from repro.engine import verify_passes
     from repro.prover import SolverUnavailable, available_solvers
 
     try:
@@ -156,6 +183,19 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(to_markdown(results, title="Verification report", stats=stats))
     else:
         print(to_text(results, title="Verification report", stats=stats))
+    if tracer is not None:
+        # Telemetry reporting goes to stderr: stdout is the verification
+        # report, and scripts (and CI) parse it byte-for-byte.
+        if args.profile:
+            from repro.telemetry.analyze import profile_records, render_profile
+
+            for line in render_profile(profile_records(tracer.records)):
+                print(line, file=sys.stderr)
+        if args.trace is not None:
+            print(f"trace: {tracer.spans_emitted} spans / "
+                  f"{tracer.events_emitted} events -> {args.trace} "
+                  f"(inspect with `repro trace summary {args.trace}`)",
+                  file=sys.stderr)
     return 0 if all(result.verified for result in results) else 1
 
 
@@ -385,8 +425,24 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print(f"backend     : {payload['backend']}")
         print(f"cache dir   : {payload['cache_dir']}")
         print(f"uptime      : {payload['uptime_seconds']:.0f}s")
+        print(f"protocol    : v{payload.get('protocol_version', '?')}")
         print(f"requests    : {payload['requests_served']} "
               f"({payload['passes_served']} passes served)")
+        # The cumulative counters come from the same /metrics surface any
+        # scraper reads; an old daemon without the endpoint just skips it.
+        metrics = {}
+        try:
+            from repro.telemetry.metrics import parse_prometheus
+
+            metrics = parse_prometheus(client.metrics())
+        except (DaemonUnavailable, ProtocolError):
+            metrics = {}
+        if metrics:
+            print(f"served      : "
+                  f"{int(metrics.get('repro_cache_hits_total', 0))} cache hits / "
+                  f"{int(metrics.get('repro_cache_misses_total', 0))} misses, "
+                  f"{int(metrics.get('repro_request_errors_total', 0))} errors, "
+                  f"{int(metrics.get('repro_inflight_requests', 0))} in flight")
         watcher = payload.get("watcher")
         if watcher:
             print(f"watcher     : polling every {watcher['interval_seconds']}s, "
@@ -395,6 +451,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
         store = payload.get("store", {})
         print(f"store       : {store.get('entries_live', '?')} live entries, "
               f"{store.get('accumulated_hits', '?')} accumulated hits")
+        if store.get("cert_entries") is not None:
+            print(f"certificates: {store['cert_entries']} entries, "
+                  f"{store.get('cert_accumulated_hits', 0)} accumulated hits")
         return 0
     # No daemon: report on the shared store itself, if one exists.
     if sqlite_cache_path(cache_dir).exists():
@@ -408,6 +467,8 @@ def _cmd_status(args: argparse.Namespace) -> int:
             print(f"store       : {summary['entries_live']} live entries "
                   f"({summary['entries_stale']} stale), "
                   f"{summary['accumulated_hits']} accumulated hits")
+            print(f"certificates: {summary.get('cert_entries', 0)} entries, "
+                  f"{summary.get('cert_accumulated_hits', 0)} accumulated hits")
             print("start one with: repro serve")
         return 1
     print(f"no daemon running for cache {cache_dir} (and no sqlite store yet)",
@@ -459,12 +520,69 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             evicted = cache.prune(args.max_entries)
             after = len(cache)
             deps_reclaimed = cache.stats.deps_reclaimed
+            certs_evicted = cache.stats.certs_evicted
     except (OSError, sqlite3.Error) as exc:
         print(f"cannot open proof cache: {exc}", file=sys.stderr)
         return 2
     print(f"pruned {args.backend} cache at {cache_dir}: "
           f"{before} -> {after} entries ({evicted} evicted, "
+          f"{certs_evicted} orphaned certificates dropped, "
           f"{deps_reclaimed} dep rows reclaimed)")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# trace
+# --------------------------------------------------------------------------- #
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.telemetry.analyze import (
+        coverage_problems,
+        export_chrome,
+        load_trace,
+        render_summary,
+        render_tree,
+        summarize_trace,
+    )
+
+    try:
+        records = load_trace(args.directory)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load trace: {exc}", file=sys.stderr)
+        return 2
+
+    if args.trace_command == "summary":
+        summary = summarize_trace(records)
+        for line in render_summary(summary, top=args.top):
+            print(line)
+        if args.check_coverage:
+            if not summary.get("planned_units"):
+                print("coverage check: trace carries no cluster plan "
+                      "(was this a cluster run with --trace?)", file=sys.stderr)
+                return 1
+            problems = coverage_problems(summary)
+            if problems:
+                for problem in problems:
+                    print(f"coverage: {problem}", file=sys.stderr)
+                return 1
+            print(f"coverage check: all {len(summary['planned_units'])} "
+                  f"planned units traced exactly once")
+        return 0
+
+    if args.trace_command == "show":
+        for line in render_tree(records, max_depth=args.depth):
+            print(line)
+        return 0
+
+    # export (Chrome trace-event JSON for chrome://tracing / Perfetto)
+    payload = json_module.dumps(export_chrome(records))
+    if args.output and args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(payload)
     return 0
 
 
@@ -496,6 +614,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.record:
             argv += ["--record", args.record]
         return solver_main(argv)
+    if args.target == "telemetry":
+        from repro.bench.telemetry import main as telemetry_main
+
+        argv = []
+        if args.record:
+            argv += ["--record", args.record]
+        if args.repeats is not None:
+            argv += ["--repeats", str(args.repeats)]
+        return telemetry_main(argv)
     from repro.bench.case_studies import main as case_studies_main
 
     return case_studies_main([])
@@ -592,6 +719,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of subgoal shards per split pass "
                              "(default: auto-tuned from each pass's recorded "
                              "wall time vs the threshold, 2-8)")
+    verify.add_argument("--trace", default=None, metavar="DIR",
+                        help="write a structured execution trace "
+                             "(trace-*.jsonl) into DIR; inspect it with "
+                             "`repro trace summary DIR`")
+    verify.add_argument("--profile", action="store_true",
+                        help="print a self-time-per-subsystem profile of "
+                             "the run to stderr (works with or without "
+                             "--trace)")
     verify.add_argument("--changed", action="append", default=None,
                         metavar="PATH",
                         help="run incrementally: re-check only passes whose "
@@ -701,10 +836,35 @@ def build_parser() -> argparse.ArgumentParser:
     transpile.add_argument("--stats", action="store_true", help="print gate-count statistics")
     transpile.set_defaults(handler=_cmd_transpile)
 
+    trace = sub.add_parser(
+        "trace", help="inspect a structured trace written by verify --trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary", help="slowest passes/subgoals, per-solver and per-worker "
+                        "breakdowns, unit coverage")
+    trace_summary.add_argument("directory", help="directory given to --trace")
+    trace_summary.add_argument("--top", type=int, default=10, metavar="N",
+                               help="rows per table (default 10)")
+    trace_summary.add_argument("--check-coverage", action="store_true",
+                               help="exit nonzero unless every planned "
+                                    "cluster unit was traced exactly once")
+    trace_show = trace_sub.add_parser(
+        "show", help="print the span tree, children indented under parents")
+    trace_show.add_argument("directory", help="directory given to --trace")
+    trace_show.add_argument("--depth", type=int, default=None, metavar="N",
+                            help="limit tree depth")
+    trace_export = trace_sub.add_parser(
+        "export", help="convert to Chrome trace-event JSON "
+                       "(chrome://tracing, Perfetto)")
+    trace_export.add_argument("directory", help="directory given to --trace")
+    trace_export.add_argument("--output", "-o", default="-",
+                              help="output file, or - for stdout")
+    trace.set_defaults(handler=_cmd_trace)
+
     bench = sub.add_parser("bench", help="run one of the paper's evaluation drivers")
     bench.add_argument("target",
                        choices=("table2", "figure11", "case-studies", "cluster",
-                                "solver"))
+                                "solver", "telemetry"))
     bench.add_argument("--small", action="store_true", help="figure11: use the trimmed suite")
     bench.add_argument("--new-passes-only", action="store_true",
                        help="table2: only the passes new in Qiskit 0.32")
@@ -713,6 +873,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--solver", action="append", default=None, metavar="NAME",
                        help="solver: additionally measure this prover backend "
                             "(repeatable)")
+    bench.add_argument("--repeats", type=int, default=None, metavar="N",
+                       help="telemetry: warm off/on measurement pairs (default 20)")
     bench.add_argument("--record", default=None, metavar="PATH",
                        help="cluster/solver: write the measured comparison as JSON")
     bench.set_defaults(handler=_cmd_bench)
@@ -732,7 +894,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream pipe reader (head, grep -q, ...) closed early; exit
+        # quietly instead of tracebacking, and detach stdout so the
+        # interpreter's shutdown flush does not raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -76,6 +76,7 @@ from repro.engine.driver import (
 from repro.engine.scheduler import default_jobs
 from repro.incremental.deps import identity_key
 from repro.service.protocol import pass_registry
+from repro.telemetry import trace as _trace
 from repro.verify.discharge import Discharger
 
 
@@ -137,7 +138,8 @@ class UnitScheduler:
     """Thread-safe lease/steal/retry bookkeeping over a fixed unit set."""
 
     def __init__(self, units: Sequence[WorkUnit], *,
-                 steal_after: float = 5.0, max_attempts: int = 3) -> None:
+                 steal_after: float = 5.0, max_attempts: int = 3,
+                 tracer=None) -> None:
         self._by_id: Dict[str, WorkUnit] = {u.unit_id: u for u in units}
         self._pending = deque(units)
         #: unit_id -> {"since": float, "owners": set}
@@ -150,6 +152,16 @@ class UnitScheduler:
         self.max_attempts = max_attempts
         self.stolen = 0
         self.retried = 0
+        # Passed explicitly (not looked up per call): the coordinator's
+        # self-leased units temporarily swap the process-global tracer for
+        # an in-memory collector, and a handler thread emitting through
+        # ``current()`` mid-swap would leak its events into that unit's
+        # batch instead of the run trace.
+        self._tracer = tracer
+
+    def _trace_event(self, name: str, **attrs) -> None:
+        if self._tracer is not None:
+            self._tracer.event(name, kind="cluster", **attrs)
 
     # ------------------------------------------------------------------ #
     def lease(self, owner: str) -> Tuple[str, Optional[WorkUnit]]:
@@ -164,6 +176,8 @@ class UnitScheduler:
                 lease = self._leases.setdefault(
                     unit.unit_id, {"since": now, "owners": set()})
                 lease["owners"].add(owner)
+                self._trace_event("cluster.lease", unit=unit.unit_id,
+                                  worker=owner)
                 return ("unit", unit)
             # Work stealing: re-lease the longest-outstanding unit to an
             # idle worker.  First result wins; the duplicate is discarded.
@@ -179,6 +193,7 @@ class UnitScheduler:
                 _, unit_id = min(candidates)
                 self._leases[unit_id]["owners"].add(owner)
                 self.stolen += 1
+                self._trace_event("cluster.steal", unit=unit_id, worker=owner)
                 return ("unit", self._by_id[unit_id])
             if self._done_locked():
                 return ("done", None)
@@ -189,6 +204,8 @@ class UnitScheduler:
         with self._cond:
             unit = self._by_id.get(unit_id)
             if unit is None or unit_id in self.results:
+                if unit is not None:
+                    self._trace_event("cluster.duplicate", unit=unit_id)
                 return False
             if message.get("ok"):
                 self.results[unit_id] = message
@@ -201,8 +218,12 @@ class UnitScheduler:
             if attempts < self.max_attempts:
                 self.retried += 1
                 self._pending.append(unit)
+                self._trace_event("cluster.requeue", unit=unit_id,
+                                  reason="unit-failed", attempts=attempts)
             else:
                 self.failures[unit_id] = str(message.get("error", "unit failed"))
+                self._trace_event("cluster.failed", unit=unit_id,
+                                  attempts=attempts)
             self._cond.notify_all()
             return False
 
@@ -215,6 +236,8 @@ class UnitScheduler:
                     del self._leases[unit_id]
                     self.retried += 1
                     self._pending.append(self._by_id[unit_id])
+                    self._trace_event("cluster.requeue", unit=unit_id,
+                                      reason="connection-lost", worker=owner)
             self._cond.notify_all()
 
     # ------------------------------------------------------------------ #
@@ -266,6 +289,10 @@ class ClusterCoordinator:
         self.cache = cache
         self.scheduler = scheduler
         self.token = token
+        # Captured once: self-leased units swap the global tracer for a
+        # collector mid-run, and handler threads absorbing results during
+        # that window must still write to the run's sink.
+        self.tracer = _trace.current()
         self.counterexample_search = counterexample_search
         self.solver = solver
         self.registry = registry
@@ -293,8 +320,18 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------ #
     # Result absorption
     # ------------------------------------------------------------------ #
-    def _absorb_result(self, message: Dict, local: bool = False) -> None:
-        """Write an accepted result's subgoals through to the shared tier."""
+    def _absorb_result(self, message: Dict, local: bool = False,
+                       owner: Optional[str] = None,
+                       transport: float = 0.0) -> None:
+        """Write an accepted result's subgoals through to the shared tier.
+
+        When tracing, this is also where the merged cluster trace grows: a
+        synthetic ``unit`` span records the worker attribution and the
+        prove/transport split, and the worker's piggybacked span batch is
+        re-absorbed underneath it.  Only *accepted* results reach here, so
+        every planned unit contributes exactly one merged unit span even
+        under steal/requeue duplication.
+        """
         with self._subgoal_lock:
             fresh = {
                 key: value
@@ -321,6 +358,17 @@ class ClusterCoordinator:
             self.remote_subgoal_hits += int(message.get("subgoal_remote_hits", 0))
             self.worker_subgoal_hits += int(message.get("subgoal_hits", 0))
             self.worker_subgoal_misses += int(message.get("subgoal_misses", 0))
+        if self.tracer is not None:
+            attribution = owner or ("coordinator" if local else "worker")
+            with self.tracer.span(
+                    "unit", kind="unit", unit=message.get("unit_id"),
+                    worker=attribution,
+                    prove_seconds=round(float(message.get("wall_seconds", 0.0)), 6),
+                    transport_seconds=round(max(0.0, transport), 6)) as handle:
+                pass
+            spans = message.pop("spans", None)
+            if spans:
+                self.tracer.absorb(spans, worker=attribution, parent=handle.id)
 
     # ------------------------------------------------------------------ #
     # Self-leasing (the coordinator as a worker of last resort)
@@ -342,12 +390,13 @@ class ClusterCoordinator:
             return False
         with self._subgoal_lock:
             table = dict(self._shared_subgoals)
-        reply = execute_unit(
-            unit.to_wire(self.counterexample_search, self.solver),
-            self.registry, table)
+        wire = unit.to_wire(self.counterexample_search, self.solver)
+        if self.tracer is not None:
+            wire["trace"] = True
+        reply = execute_unit(wire, self.registry, table)
         accepted = self.scheduler.complete(unit.unit_id, reply)
         if accepted:
-            self._absorb_result(reply, local=True)
+            self._absorb_result(reply, local=True, owner="coordinator")
         return True
 
     def _snapshot_for(self, marker_box: Dict) -> Dict[str, dict]:
@@ -372,6 +421,9 @@ class ClusterCoordinator:
         if hello is None:
             return
         marker_box: Dict = {}
+        #: unit_id -> perf_counter at lease send; the gap between a unit's
+        #: round trip and its worker-measured wall is the transport share.
+        sent_at: Dict[str, float] = {}
         with self._counter_lock:
             self.workers_connected += 1
             self.workers_seen += 1
@@ -392,10 +444,14 @@ class ClusterCoordinator:
                 elif op == "lease":
                     kind, unit = self.scheduler.lease(owner)
                     if kind == "unit":
+                        wire = unit.to_wire(self.counterexample_search,
+                                            self.solver)
+                        if self.tracer is not None:
+                            wire["trace"] = True
+                            sent_at[unit.unit_id] = time.perf_counter()
                         connection.send({
                             "op": "unit",
-                            "unit": unit.to_wire(self.counterexample_search,
-                                                 self.solver),
+                            "unit": wire,
                             "subgoal_updates": self._updates_for(marker_box),
                         })
                     elif kind == "wait":
@@ -404,10 +460,15 @@ class ClusterCoordinator:
                         connection.send({"op": "done"})
                         break
                 elif op == "result":
-                    accepted = self.scheduler.complete(
-                        str(message.get("unit_id")), message)
+                    unit_id = str(message.get("unit_id"))
+                    round_trip = time.perf_counter() - sent_at.pop(
+                        unit_id, time.perf_counter())
+                    accepted = self.scheduler.complete(unit_id, message)
                     if accepted:
-                        self._absorb_result(message)
+                        self._absorb_result(
+                            message, owner=owner,
+                            transport=round_trip
+                            - float(message.get("wall_seconds", 0.0)))
                 # Unknown ops are ignored: forward compatibility within a
                 # protocol version is additive.
         except TransportError:
@@ -590,7 +651,16 @@ def _distributed_with_cache(
     cluster_info["units_total"] = len(plan.units)
     cluster_info["split_passes"] = plan.split_passes
 
-    scheduler = UnitScheduler(plan.units, steal_after=steal_after)
+    tracer = _trace.current()
+    if tracer is not None:
+        # The planned unit-id list is the coverage contract: the merged
+        # trace must hold exactly one unit span per id (repro trace
+        # summary --check-coverage verifies it).
+        tracer.event("cluster.plan", kind="cluster",
+                     units=[unit.unit_id for unit in plan.units],
+                     split_passes=plan.split_passes)
+    scheduler = UnitScheduler(plan.units, steal_after=steal_after,
+                              tracer=tracer)
     coordinator = ClusterCoordinator(
         cache, scheduler, secrets.token_hex(16),
         counterexample_search=counterexample_search,
@@ -724,6 +794,22 @@ def _merge_run(results, pending, plan: Plan, scheduler: UnitScheduler,
                counterexample_search, timings_dir, kwargs_fn,
                shard_threshold=None) -> None:
     """Fold unit results into ordered pass results; prove leftovers locally."""
+    from contextlib import nullcontext
+
+    from repro.cluster.plan import DEFAULT_SHARD_THRESHOLD
+
+    tracer = coordinator.tracer
+    merge_scope = nullcontext() if tracer is None else \
+        tracer.span("cluster.merge", kind="merge", units=len(plan.units))
+    with merge_scope:
+        _merge_run_traced(results, pending, plan, scheduler, coordinator,
+                          cache, stats, counterexample_search, timings_dir,
+                          kwargs_fn, shard_threshold, tracer)
+
+
+def _merge_run_traced(results, pending, plan, scheduler, coordinator, cache,
+                      stats, counterexample_search, timings_dir, kwargs_fn,
+                      shard_threshold, tracer) -> None:
     from repro.cluster.plan import DEFAULT_SHARD_THRESHOLD
 
     threshold = DEFAULT_SHARD_THRESHOLD if shard_threshold is None \
@@ -798,6 +884,18 @@ def _merge_run(results, pending, plan: Plan, scheduler: UnitScheduler,
             local_table, discharger=discharger,
         )
         local_count += 1
+        if tracer is not None:
+            # Planned units the cluster never resolved are proved here;
+            # give each one a merged unit span so coverage stays exact
+            # (units that *did* come back already got theirs on absorb).
+            for unit in units_by_index.get(index, []):
+                if unit.unit_id not in scheduler.results:
+                    with tracer.span("unit", kind="unit", unit=unit.unit_id,
+                                     worker="local-fallback",
+                                     prove_seconds=round(
+                                         result.time_seconds, 6),
+                                     transport_seconds=0.0):
+                        pass
         results[index] = result
         stats.subgoal_hits += acct.hits
         stats.subgoal_misses += acct.misses

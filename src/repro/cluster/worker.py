@@ -17,12 +17,14 @@ poison the shared store).
 
 from __future__ import annotations
 
+import os
 import socket
 import time
 import traceback
 from typing import Dict, Optional
 
 from repro.cluster.store import RemoteProofStore
+from repro.telemetry import trace as _trace
 from repro.cluster.transport import TransportError, client_hello, connect
 from repro.engine.driver import (
     _verify_one,
@@ -73,7 +75,30 @@ def execute_unit(unit: Dict, registry: Dict[str, type],
     message).  ``store`` (a :class:`~repro.cluster.store.RemoteProofStore`)
     enables mid-unit reads: subgoals missing from the local table are
     probed against the shared tier before being re-proved.
+
+    When the unit carries ``trace: true`` (the coordinator is tracing),
+    the unit runs under an in-memory span collector and the drained batch
+    rides back on the result message — the coordinator absorbs it into the
+    merged run trace with this worker's attribution.
     """
+    if unit.get("trace"):
+        spec = unit.get("spec") or {}
+        name = str(spec.get("name", "?"))
+        if unit.get("kind") == "shard":
+            name = f"{name}[{unit.get('shard_index')}/{unit.get('shard_count')}]"
+        with _trace.collecting(
+                node=f"{socket.gethostname()}-{os.getpid()}") as collector:
+            with collector.span(name, kind="pass",
+                                unit=unit.get("unit_id")) as handle:
+                reply = _execute_unit(unit, registry, subgoal_table, store)
+                handle.attrs["ok"] = bool(reply.get("ok"))
+        reply["spans"] = collector.drain()
+        return reply
+    return _execute_unit(unit, registry, subgoal_table, store)
+
+
+def _execute_unit(unit: Dict, registry: Dict[str, type],
+                  subgoal_table: Dict[str, dict], store=None) -> Dict:
     started = time.perf_counter()
     try:
         from repro.verify.discharge import Discharger

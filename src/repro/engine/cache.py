@@ -52,6 +52,12 @@ class CacheStats:
     corrupt_lines: int = 0    # unreadable lines skipped while loading
     evicted: int = 0          # entries dropped by LRU pruning
     deps_reclaimed: int = 0   # dependency-sidecar rows dropped by gc/prune
+    # The certificate tier keeps its own accounting (it used to shadow the
+    # subgoal tier's counters, which made its behaviour invisible).
+    cert_hits: int = 0
+    cert_misses: int = 0
+    cert_stores: int = 0
+    certs_evicted: int = 0    # certificates dropped when their subgoal died
 
 
 def open_proof_cache(directory: Optional[os.PathLike] = None,
@@ -167,6 +173,9 @@ class ProofCache:
         #: Certificate sidecar: subgoal key -> certificate payload (see
         #: repro.prover.certificate).  Fingerprint-gated like the proofs.
         self._certs: Dict[str, dict] = {}
+        #: The certificate tier's own recency order (earliest = least
+        #: recently used), independent of the proof tables' ``_lru``.
+        self._certs_lru: Dict[str, None] = {}
         self._certs_handle = None
         self._certs_dead = 0
         if self.directory is not None:
@@ -261,6 +270,7 @@ class ProofCache:
                 if key in self._certs:
                     self._certs_dead += 1
                 self._certs[key] = value
+                self._touch_cert(key)
 
     def _append(self, kind: str, key: str, value: dict) -> None:
         if self._handle is None:
@@ -365,7 +375,9 @@ class ProofCache:
         orphaned = [key for key in self._certs if key not in self._subgoals]
         for key in orphaned:
             del self._certs[key]
+            self._certs_lru.pop(key, None)
             self._certs_dead += 1
+        self.stats.certs_evicted += len(orphaned)
         if orphaned and self._certs_handle is not None:
             self._compact_certs()
         if evicted or self._dead_lines:
@@ -441,20 +453,35 @@ class ProofCache:
     # ------------------------------------------------------------------ #
     # Certificate sidecar (the subgoal evidence tier)
     # ------------------------------------------------------------------ #
+    def _touch_cert(self, key: str) -> None:
+        """Mark one certificate as most recently used (its own LRU order)."""
+        self._certs_lru.pop(key, None)
+        self._certs_lru[key] = None
+
     def get_certificate(self, key: str) -> Optional[dict]:
         """The certificate payload recorded for one subgoal, or ``None``."""
-        return self._certs.get(key)
+        entry = self._certs.get(key)
+        if entry is None:
+            self.stats.cert_misses += 1
+        else:
+            self.stats.cert_hits += 1
+            self._touch_cert(key)
+        return entry
 
     def put_certificate(self, key: str, value: dict) -> None:
         """Record one subgoal's proof certificate, durably.
 
-        Identical re-records are no-ops so warm runs do not grow the file.
+        Identical re-records are no-ops so warm runs do not grow the file
+        (they still refresh the tier's recency).
         """
         if self._certs.get(key) == value:
+            self._touch_cert(key)
             return
         if key in self._certs:
             self._certs_dead += 1
         self._certs[key] = value
+        self._touch_cert(key)
+        self.stats.cert_stores += 1
         if self._certs_handle is not None:
             record = {"key": key, "fp": self.active_fingerprint, "value": value}
             self._certs_handle.write(json.dumps(record, sort_keys=True) + "\n")
@@ -470,10 +497,15 @@ class ProofCache:
         if self._certs_handle is not None:
             self._certs_handle.close()
         tmp_path = self.certs_path.with_suffix(".tmp")
+        # Least-recently-used first: the loader rebuilds the tier's recency
+        # from file order, mirroring the proof file's compaction contract.
+        ordered = [key for key in self._certs_lru if key in self._certs]
+        ordered.extend(key for key in self._certs if key not in self._certs_lru)
         with open(tmp_path, "w", encoding="utf-8") as handle:
-            for key, value in self._certs.items():
+            for key in ordered:
                 handle.write(json.dumps(
-                    {"key": key, "fp": self.active_fingerprint, "value": value},
+                    {"key": key, "fp": self.active_fingerprint,
+                     "value": self._certs[key]},
                     sort_keys=True) + "\n")
         os.replace(tmp_path, self.certs_path)
         self._certs_dead = 0

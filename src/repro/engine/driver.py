@@ -44,6 +44,7 @@ from repro.engine.fingerprint import (
     subgoal_fingerprint,
 )
 from repro.engine.scheduler import WorkerPool, default_jobs
+from repro.telemetry import trace as _trace
 from repro.verify.counterexample import CounterExample
 from repro.verify.discharge import DischargeResult, Discharger, discharge
 from repro.verify.preprocessor import PassAnalysis
@@ -233,16 +234,23 @@ def _make_caching_discharge(subgoal_table: Dict[str, dict],
     """
 
     def caching_discharge(subgoal: Subgoal) -> DischargeResult:
+        tracer = _trace.current()
         key = subgoal_fingerprint(subgoal, solver=solver)
         entry = subgoal_table.get(key)
+        remote = False
         if entry is None and fallback is not None:
             entry = fallback(key)
             if entry is not None:
                 subgoal_table[key] = entry
                 acct.remote_hits += 1
+                remote = True
         if entry is not None:
             acct.hits += 1
             acct.hit_keys.append(key)
+            if tracer is not None:
+                tracer.event("subgoal.cache", kind="cache",
+                             outcome="remote-hit" if remote else "hit",
+                             key=key[:12])
             return DischargeResult(
                 proved=entry["proved"],
                 method=entry["method"],
@@ -250,7 +258,16 @@ def _make_caching_discharge(subgoal_table: Dict[str, dict],
                 rules_used=tuple(entry["rules_used"]),
             )
         acct.misses += 1
-        result = discharger(subgoal)
+        if tracer is not None:
+            tracer.event("subgoal.cache", kind="cache", outcome="miss",
+                         key=key[:12])
+            with tracer.span("subgoal.prove", kind="subgoal", key=key[:12],
+                             solver=solver) as handle:
+                result = discharger(subgoal)
+                handle.attrs["method"] = result.method
+                handle.attrs["proved"] = result.proved
+        else:
+            result = discharger(subgoal)
         record = {
             "proved": result.proved,
             "method": result.method,
@@ -439,14 +456,35 @@ def _install_worker_subgoal_table(table: Dict[str, dict]) -> None:
 def _verify_task(task: dict) -> dict:
     """Worker entry point: verify one pass from a picklable task description."""
     pass_class = _resolve_class(task["module"], task["qualname"])
-    result, acct = _verify_one(
-        pass_class,
-        task["kwargs"],
-        task["counterexample_search"],
-        dict(_worker_subgoal_table),
-        discharger=Discharger(task.get("solver", DEFAULT_SOLVER)),
-    )
-    return {
+
+    def _run() -> Tuple[VerificationResult, SubgoalAccounting]:
+        return _verify_one(
+            pass_class,
+            task["kwargs"],
+            task["counterexample_search"],
+            dict(_worker_subgoal_table),
+            discharger=Discharger(task.get("solver", DEFAULT_SOLVER)),
+        )
+
+    spans = None
+    if task.get("trace"):
+        # Spans cannot stream to the parent's sink across the process
+        # boundary; collect them and piggyback the batch on the result.
+        with _trace.collecting(node="pool") as collector:
+            with collector.span(pass_class.__name__, kind="pass",
+                                solver=task.get("solver", DEFAULT_SOLVER)) as handle:
+                submitted = task.get("submitted_at")
+                if submitted is not None:
+                    # perf_counter is system-wide on Linux; clamp anyway in
+                    # case the platform's clock is per-process.
+                    handle.attrs["queue_wait"] = round(
+                        max(0.0, time.perf_counter() - float(submitted)), 6)
+                result, acct = _run()
+                handle.attrs["subgoals"] = len(result.subgoals)
+        spans = collector.drain()
+    else:
+        result, acct = _run()
+    output = {
         "result": result_to_payload(result),
         "new_subgoals": acct.new_subgoals,
         "new_certificates": acct.new_certificates,
@@ -454,6 +492,9 @@ def _verify_task(task: dict) -> dict:
         "subgoal_misses": acct.misses,
         "subgoal_hit_keys": acct.hit_keys,
     }
+    if spans is not None:
+        output["spans"] = spans
+    return output
 
 
 # --------------------------------------------------------------------------- #
@@ -796,6 +837,7 @@ def resolve_pending(
     elif track_deps:
         dep_index = cache.deps_snapshot()
 
+    tracer = _trace.current()
     results: List[Optional[VerificationResult]] = [None] * len(pass_classes)
     pending: List[Tuple[int, Type, Optional[Dict], Optional[str]]] = []
     for index, pass_class in enumerate(pass_classes):
@@ -817,10 +859,17 @@ def resolve_pending(
                 if cached is not None:
                     results[index] = payload_to_result(
                         cached, from_cache=True, time_seconds=0.0)
+                    if tracer is not None:
+                        tracer.event("pass.cache", kind="cache", outcome="hit",
+                                     target=pass_class.__name__,
+                                     incremental=True)
                     continue
             # No dependency entry, a changed dependency file, or an evicted
             # proof: take the full fingerprint-and-verify path.
             stats.stale_passes += 1
+            if tracer is not None:
+                tracer.event("pass.cache", kind="cache", outcome="stale",
+                             target=pass_class.__name__)
         key = pass_fingerprint(pass_class, pass_kwargs, solver=solver)
         if track_deps and key is not None:
             recorded = dep_index.get(ident)
@@ -844,8 +893,14 @@ def resolve_pending(
             entry = cache.get_pass(key) if cache is not None else None
         if entry is not None:
             results[index] = payload_to_result(entry, from_cache=True, time_seconds=0.0)
+            if tracer is not None:
+                tracer.event("pass.cache", kind="cache", outcome="hit",
+                             target=pass_class.__name__)
         else:
             pending.append((index, pass_class, pass_kwargs, key))
+            if tracer is not None:
+                tracer.event("pass.cache", kind="cache", outcome="miss",
+                             target=pass_class.__name__)
     return results, pending
 
 
@@ -900,6 +955,7 @@ def _verify_passes_with_cache(
         solver=discharger.solver_name,
     )
 
+    tracer = _trace.current()
     if pending:
         subgoal_table = cache.subgoal_snapshot() if cache is not None else {}
         if stats.jobs > 1 and len(pending) > 1:
@@ -915,6 +971,11 @@ def _verify_passes_with_cache(
                 }
                 for _, pass_class, pass_kwargs, _ in pending
             ]
+            if tracer is not None:
+                submitted = time.perf_counter()
+                for task in tasks:
+                    task["trace"] = True
+                    task["submitted_at"] = submitted
             try:
                 outputs = pool.map(_verify_task, tasks)
             finally:
@@ -926,6 +987,8 @@ def _verify_passes_with_cache(
                 results[index] = payload_to_result(output["result"])
                 stats.subgoal_hits += output["subgoal_hits"]
                 stats.subgoal_misses += output["subgoal_misses"]
+                if tracer is not None and output.get("spans"):
+                    tracer.absorb(output["spans"])
                 if cache is not None:
                     cache.put_pass(key, output["result"])
                     for sub_key, value in output["new_subgoals"].items():
@@ -936,10 +999,19 @@ def _verify_passes_with_cache(
         else:
             for index, pass_class, pass_kwargs, key in pending:
                 table = subgoal_table if share_subgoals else dict(subgoal_table)
-                result, acct = _verify_one(
-                    pass_class, pass_kwargs, counterexample_search, table,
-                    discharger=discharger,
-                )
+                if tracer is not None:
+                    with tracer.span(pass_class.__name__, kind="pass",
+                                     solver=discharger.solver_name) as handle:
+                        result, acct = _verify_one(
+                            pass_class, pass_kwargs, counterexample_search,
+                            table, discharger=discharger,
+                        )
+                        handle.attrs["subgoals"] = len(result.subgoals)
+                else:
+                    result, acct = _verify_one(
+                        pass_class, pass_kwargs, counterexample_search, table,
+                        discharger=discharger,
+                    )
                 results[index] = result
                 stats.subgoal_hits += acct.hits
                 stats.subgoal_misses += acct.misses
@@ -953,6 +1025,11 @@ def _verify_passes_with_cache(
                     store_certificates(cache, acct.new_certificates)
                     cache.touch_subgoals(acct.hit_keys)
 
+    if tracer is not None:
+        stats_fn = getattr(discharger.backend, "stats", None)
+        if callable(stats_fn):
+            tracer.event("prover.stats", kind="prover",
+                         solver=discharger.solver_name, **stats_fn())
     finalize_stats(stats, cache, base_hits, base_misses, base_invalidated,
                    len(pending), started)
     return EngineReport(results=list(results), stats=stats)

@@ -17,7 +17,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import time
 from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.telemetry import trace as _trace
 
 _Payload = TypeVar("_Payload")
 _Result = TypeVar("_Result")
@@ -71,6 +74,19 @@ class WorkerPool:
         trigger the sequential fallback.
         """
         payloads = list(payloads)
+        tracer = _trace.current()
+        if tracer is None:
+            return self._map(worker, payloads, None)
+        # Split queue time from execute time: ``spawn_seconds`` is pool
+        # bootstrap (process forking), the span's remaining duration is the
+        # map itself; per-task queue wait rides on the tasks' own spans.
+        with tracer.span("scheduler.map", kind="scheduler", jobs=self.jobs,
+                         tasks=len(payloads)) as handle:
+            results = self._map(worker, payloads, handle.attrs)
+            handle.attrs["used_processes"] = self.used_processes
+        return results
+
+    def _map(self, worker, payloads, span_attrs):
         self.used_processes = False
         if self.jobs <= 1 or len(payloads) <= 1:
             return self._run_in_process(worker, payloads)
@@ -86,10 +102,14 @@ class WorkerPool:
         except Exception:
             return self._run_in_process(worker, payloads)
         try:
+            spawn_started = time.perf_counter()
             context = _start_context()
             processes = min(self.jobs, len(payloads))
             pool = context.Pool(processes=processes, initializer=self.initializer,
                                 initargs=self.initargs)
+            if span_attrs is not None:
+                span_attrs["spawn_seconds"] = round(
+                    time.perf_counter() - spawn_started, 6)
         except _POOL_BOOTSTRAP_ERRORS:
             return self._run_in_process(worker, payloads)
         try:

@@ -29,6 +29,7 @@ from typing import Callable, List, Optional, Sequence, Set, Tuple, Type
 
 from repro.incremental.deps import dep_index_paths, reset_memos as reset_dep_memos
 from repro.incremental.detect import ChangeDetector, normalize_path
+from repro.telemetry import trace as _trace
 
 #: Module prefixes that are never reloaded: the watcher's own machinery.
 #: Reloading the engine or this package mid-cycle would swap out the very
@@ -49,6 +50,9 @@ _UNRELOADABLE_PREFIXES = (
     "repro.incremental",
     "repro.service",
     "repro.cli",
+    # The tracer is module-global state threaded through the cycle itself;
+    # reloading it mid-run would orphan the active sink.
+    "repro.telemetry",
 )
 
 
@@ -293,6 +297,17 @@ class Watcher:
 
     def run_cycle(self) -> WatchCycle:
         """Poll once; verify if needed.  The first cycle verifies everything."""
+        tracer = _trace.current()
+        if tracer is None:
+            return self._run_cycle()
+        with tracer.span("watch.cycle", kind="watch",
+                         cycle=self.cycles_run) as handle:
+            cycle = self._run_cycle()
+            handle.attrs["quiet"] = cycle.quiet
+            handle.attrs["changed"] = len(cycle.changed_paths)
+        return cycle
+
+    def _run_cycle(self) -> WatchCycle:
         started = time.perf_counter()
         index = self.cycles_run
         self.cycles_run += 1
@@ -316,7 +331,16 @@ class Watcher:
         # No cache re-read on quiet polls: the dependency index can only
         # change when something verifies, so the watched set is refreshed
         # after verifying cycles (and at baseline), not per poll.
-        changed = self.detector.poll()
+        tracer = _trace.current()
+        if tracer is None:
+            changed = self.detector.poll()
+        else:
+            # Stale detection timed apart from the verify that follows:
+            # on a large dependency surface the stat() sweep itself is the
+            # cycle's fixed cost.
+            with tracer.span("watch.poll", kind="watch") as handle:
+                changed = self.detector.poll()
+                handle.attrs["changed"] = len(changed)
         if not changed:
             return WatchCycle(index=index,
                               wall_seconds=time.perf_counter() - started)

@@ -67,6 +67,15 @@ class SolverBackend:
     def reset(self) -> None:
         """Drop memoised state (called on module reloads / interning resets)."""
 
+    def stats(self) -> Dict[str, object]:
+        """Plain-int counters describing this backend's memo/index behaviour.
+
+        The telemetry layer attaches the returned dict to a ``prover.stats``
+        trace event at the end of each engine run; backends without
+        interesting state return the empty dict, which costs nothing.
+        """
+        return {}
+
 
 #: name -> zero-argument factory.  Factories may cache their instance so a
 #: backend's memoised state survives across checks within one process.

@@ -43,9 +43,20 @@ class BuiltinBackend(SolverBackend):
         self.indexed = indexed
         self.memoize = memoize
         self._memo: Dict[Tuple, CheckResult] = {}
+        # Plain ints: always maintained, cheap enough to never gate.
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     def reset(self) -> None:
         self._memo.clear()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_entries": len(self._memo),
+            "indexed": self.indexed,
+        }
 
     # ------------------------------------------------------------------ #
     def check(self, goal: Term, rules: Sequence[Rule],
@@ -63,7 +74,9 @@ class BuiltinBackend(SolverBackend):
             )
             cached = self._memo.get(key)
             if cached is not None:
+                self.memo_hits += 1
                 return cached
+            self.memo_misses += 1
         # One definition of the procedure: the backend *is* a Context
         # check (same loading, instantiation, and atom-proving code), just
         # wrapped in memoisation and the discharge engine's round budget.

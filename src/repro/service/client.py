@@ -84,9 +84,37 @@ class DaemonClient:
             )
         return decoded
 
+    def _request_text(self, method: str, path: str) -> str:
+        """Like :meth:`_request` but for non-JSON bodies (``/metrics`` is
+        Prometheus text exposition, not a JSON document)."""
+        connection = http.client.HTTPConnection(
+            self.endpoint.host, self.endpoint.port, timeout=self.timeout
+        )
+        try:
+            connection.request(method, path,
+                               headers={TOKEN_HEADER: self.endpoint.token})
+            response = connection.getresponse()
+            raw = response.read()
+        except _UNREACHABLE_ERRORS as exc:
+            raise DaemonUnavailable(
+                f"daemon at {self.endpoint.address} unreachable: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+        if response.status != 200:
+            raise DaemonUnavailable(
+                f"daemon at {self.endpoint.address} refused the request: "
+                f"HTTP {response.status}"
+            )
+        return raw.decode("utf-8", "replace")
+
     # ------------------------------------------------------------------ #
     def status(self) -> Dict:
         return self._request("GET", "/status")
+
+    def metrics(self) -> str:
+        """The daemon's raw Prometheus exposition (``GET /metrics``)."""
+        return self._request_text("GET", "/metrics")
 
     def shutdown(self) -> Dict:
         return self._request("POST", "/shutdown")

@@ -47,6 +47,8 @@ from repro.service.protocol import (
     resolve_pass_spec,
     write_state,
 )
+from repro.telemetry import trace as _trace
+from repro.telemetry.metrics import CounterRegistry, render_prometheus
 
 
 def absorb_source_changes(service: "VerificationService", changed) -> None:
@@ -89,6 +91,9 @@ class VerificationService:
         self.started_at = time.time()
         self.requests_served = 0
         self.passes_served = 0
+        #: The ``/metrics`` surface (see :meth:`metrics`): request and
+        #: cache-outcome counters accumulated across the daemon's lifetime.
+        self.counters = CounterRegistry()
         self._counter_lock = threading.Lock()
         self._verify_lock = threading.Lock()
         # Warm-up: hashing the toolchain imports and fingerprints the whole
@@ -112,6 +117,32 @@ class VerificationService:
     # ------------------------------------------------------------------ #
     def verify(self, body: Dict) -> Dict:
         """Handle one ``/verify`` request body, returning the response dict."""
+        self.counters.inc("repro_inflight_requests", 1)
+        tracer = _trace.current()
+        try:
+            if tracer is None:
+                response = self._handle_verify(body)
+            else:
+                with tracer.span("daemon.verify", kind="daemon") as handle:
+                    response = self._handle_verify(body)
+                    handle.attrs["passes"] = len(response["results"])
+        except Exception:
+            self.counters.inc("repro_request_errors_total")
+            raise
+        finally:
+            self.counters.inc("repro_inflight_requests", -1)
+        stats = response.get("stats") or {}
+        self.counters.inc("repro_requests_total")
+        self.counters.inc("repro_passes_served_total",
+                          len(response.get("results") or []))
+        for metric, key in (("repro_cache_hits_total", "cache_hits"),
+                            ("repro_cache_misses_total", "cache_misses"),
+                            ("repro_subgoal_hits_total", "subgoal_hits"),
+                            ("repro_subgoal_misses_total", "subgoal_misses")):
+            self.counters.inc(metric, int(stats.get(key) or 0))
+        return response
+
+    def _handle_verify(self, body: Dict) -> Dict:
         specs = body.get("passes")
         if not isinstance(specs, list) or not specs:
             raise ProtocolError("request must carry a non-empty 'passes' list")
@@ -237,7 +268,55 @@ class VerificationService:
         else:
             payload["store"] = {"backend": getattr(self.cache, "backend", None),
                                 "entries_live": len(self.cache)}
+        payload["counters"] = self.counters.snapshot()
         return payload
+
+    def metrics(self) -> str:
+        """The ``GET /metrics`` body: Prometheus text exposition.
+
+        The same numbers feed ``repro status`` (via
+        :func:`repro.telemetry.metrics.parse_prometheus`), so the CLI and
+        any scraper read one surface.  Gauges are sampled here; counters
+        come straight from :attr:`counters`.
+        """
+        with self._counter_lock:
+            requests = self.requests_served
+            passes = self.passes_served
+        # Counters a scraper should always see, even before first touch.
+        values = {
+            "repro_request_errors_total": 0,
+            "repro_inflight_requests": 0,
+            "repro_cache_hits_total": 0,
+            "repro_cache_misses_total": 0,
+            "repro_subgoal_hits_total": 0,
+            "repro_subgoal_misses_total": 0,
+        }
+        values.update(self.counters.snapshot())
+        values.update({
+            "repro_requests_total": requests,
+            "repro_passes_served_total": passes,
+            "repro_uptime_seconds": round(time.time() - self.started_at, 3),
+            "repro_protocol_version": PROTOCOL_VERSION,
+            "repro_known_passes": len(self.registry),
+        })
+        summary = getattr(self.cache, "summary", None)
+        if callable(summary):
+            store = summary()
+            for key in ("entries_total", "entries_live", "pass_entries",
+                        "subgoal_entries", "cert_entries"):
+                if store.get(key) is not None:
+                    values[f"repro_store_{key}"] = int(store[key])
+            for metric, key in (("repro_store_hits_total", "accumulated_hits"),
+                                ("repro_store_cert_hits_total",
+                                 "cert_accumulated_hits")):
+                if store.get(key) is not None:
+                    values[metric] = int(store[key])
+        return render_prometheus(values, help_text={
+            "repro_requests_total": "verify requests served",
+            "repro_passes_served_total": "pass verdicts served",
+            "repro_uptime_seconds": "seconds since the daemon started",
+            "repro_inflight_requests": "verify requests currently executing",
+        })
 
 
 class DaemonWatcher(threading.Thread):
@@ -397,6 +476,14 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if self.path == "/status":
             self._send_json(200, self.server.service.status())
+        elif self.path == "/metrics":
+            body = self.server.service.metrics().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         else:
             self._send_json(404, {"error": f"unknown endpoint {self.path}"})
 

@@ -40,8 +40,9 @@ from repro.engine.cache import CacheStats
 _DB_NAME = "proofs.sqlite"
 
 #: Bump when the table layout changes incompatibly; mismatched stores are
-#: rebuilt from scratch on open.  v2 adds the subgoal-certificate tier.
-SCHEMA_VERSION = 2
+#: rebuilt from scratch on open.  v2 adds the subgoal-certificate tier;
+#: v3 gives that tier its own hit/recency accounting columns.
+SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -66,11 +67,14 @@ CREATE TABLE IF NOT EXISTS deps (
     updated_at REAL NOT NULL
 );
 CREATE TABLE IF NOT EXISTS certs (
-    key        TEXT PRIMARY KEY,
-    fp         TEXT NOT NULL,
-    value      TEXT NOT NULL,
-    updated_at REAL NOT NULL
+    key          TEXT NOT NULL PRIMARY KEY,
+    fp           TEXT NOT NULL,
+    value        TEXT NOT NULL,
+    updated_at   REAL NOT NULL,
+    last_used_at REAL NOT NULL DEFAULT 0,
+    hits         INTEGER NOT NULL DEFAULT 0
 );
+CREATE INDEX IF NOT EXISTS certs_lru ON certs (last_used_at);
 """
 
 
@@ -329,13 +333,26 @@ class SqliteProofCache:
     # Certificate tier (the subgoal evidence objects)
     # ------------------------------------------------------------------ #
     def get_certificate(self, key: str) -> Optional[dict]:
-        """The certificate recorded for one subgoal fingerprint, or ``None``."""
+        """The certificate recorded for one subgoal fingerprint, or ``None``.
+
+        Hits accumulate in the database (like the proof tiers), so the
+        certificate tier's traffic is visible across every client sharing
+        the store, and counted in this handle's ``stats`` separately from
+        the subgoal tier's counters.
+        """
         with self._lock:
             row = self._conn.execute(
                 "SELECT fp, value FROM certs WHERE key = ?", (key,),
             ).fetchone()
-        if row is None or row[0] != self.active_fingerprint:
-            return None
+            if row is None or row[0] != self.active_fingerprint:
+                self.stats.cert_misses += 1
+                return None
+            self._conn.execute(
+                "UPDATE certs SET hits = hits + 1, last_used_at = ? "
+                "WHERE key = ?",
+                (time.time(), key),
+            )
+        self.stats.cert_hits += 1
         try:
             return json.loads(row[1])
         except json.JSONDecodeError:
@@ -344,16 +361,22 @@ class SqliteProofCache:
 
     def put_certificate(self, key: str, value: dict) -> None:
         """Record (or refresh) one subgoal's proof certificate."""
+        now = time.time()
         with self._lock:
+            # A certificate re-minted under a new toolchain starts its hit
+            # count over, mirroring the proof tiers' contract.
             self._conn.execute(
-                "INSERT INTO certs (key, fp, value, updated_at) "
-                "VALUES (?, ?, ?, ?) "
+                "INSERT INTO certs (key, fp, value, updated_at, last_used_at, hits) "
+                "VALUES (?, ?, ?, ?, ?, 0) "
                 "ON CONFLICT (key) DO UPDATE SET "
+                "hits = CASE WHEN certs.fp = excluded.fp THEN certs.hits ELSE 0 END, "
                 "fp = excluded.fp, value = excluded.value, "
-                "updated_at = excluded.updated_at",
+                "updated_at = excluded.updated_at, "
+                "last_used_at = excluded.last_used_at",
                 (key, self.active_fingerprint,
-                 json.dumps(value, sort_keys=True), time.time()),
+                 json.dumps(value, sort_keys=True), now, now),
             )
+            self.stats.cert_stores += 1
 
     def certificate_snapshot(self) -> Dict[str, dict]:
         """A plain-dict copy of the live certificate tier."""
@@ -482,11 +505,13 @@ class SqliteProofCache:
                     "  SELECT key FROM proofs WHERE kind = 'subgoal')",
                     (self.active_fingerprint,),
                 )
+                certs_evicted = cursor.rowcount
                 cursor.execute("COMMIT")
             except BaseException:
                 cursor.execute("ROLLBACK")
                 raise
         self.stats.evicted += evicted
+        self.stats.certs_evicted += max(0, certs_evicted)
         # Dep rows reaped for schema staleness are reported separately so
         # ``repro cache prune`` can say what the sidecar reclaimed.
         self.stats.deps_reclaimed += max(0, deps_reclaimed)
@@ -519,6 +544,10 @@ class SqliteProofCache:
                 "SELECT COUNT(*) FROM proofs WHERE kind = 'pass' AND fp = ?",
                 (self.active_fingerprint,),
             ).fetchone()[0]
+            certs, cert_hits = self._conn.execute(
+                "SELECT COUNT(*), SUM(hits) FROM certs WHERE fp = ?",
+                (self.active_fingerprint,),
+            ).fetchone()
         return {
             "backend": self.backend,
             "path": str(self.path) if self.path is not None else None,
@@ -528,6 +557,8 @@ class SqliteProofCache:
             "pass_entries": int(passes or 0),
             "subgoal_entries": int(live or 0) - int(passes or 0),
             "accumulated_hits": int(hits or 0),
+            "cert_entries": int(certs or 0),
+            "cert_accumulated_hits": int(cert_hits or 0),
             "schema_version": SCHEMA_VERSION,
         }
 

@@ -1,0 +1,35 @@
+"""Structured tracing, metrics, and profiling for the verification stack.
+
+The telemetry layer is deliberately boring: zero third-party dependencies,
+plain-int counters, and a JSONL span sink that is **off by default**.  Every
+subsystem (engine driver, scheduler, prover, cluster coordinator/workers,
+service daemon, incremental watcher) checks :func:`repro.telemetry.trace.current`
+at its hot sites and does nothing when no tracer is configured, so the
+instrumented code paths cost one function call and a ``None`` check per
+event when tracing is disabled.
+
+Modules:
+
+* :mod:`repro.telemetry.trace` — spans, events, the JSONL sink with
+  rotation, and the module-global tracer switch.
+* :mod:`repro.telemetry.metrics` — the counters registry behind the
+  daemon's ``/metrics`` endpoint plus Prometheus text-format render/parse.
+* :mod:`repro.telemetry.analyze` — trace loading, the ``repro trace``
+  summaries, the ``--profile`` self-time report, and Chrome-format export.
+"""
+
+from repro.telemetry.trace import (  # noqa: F401
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    TraceWriter,
+    collecting,
+    configure,
+    current,
+    shutdown,
+    tracing,
+)
+from repro.telemetry.metrics import (  # noqa: F401
+    CounterRegistry,
+    parse_prometheus,
+    render_prometheus,
+)

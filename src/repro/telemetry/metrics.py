@@ -1,0 +1,95 @@
+"""Counters registry and Prometheus text exposition.
+
+The daemon keeps one :class:`CounterRegistry` per service instance and
+serves it on ``GET /metrics`` in the Prometheus text format (version
+0.0.4): one ``# TYPE`` line per metric followed by ``name value``.
+``repro status`` consumes the same endpoint via
+:func:`parse_prometheus`, so the CLI and any scraping setup read the
+identical surface.
+
+Counters are plain ints guarded by one lock — no allocation on the hot
+path, and reading a snapshot never blocks writers for long.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Optional, Union
+
+__all__ = ["CounterRegistry", "render_prometheus", "parse_prometheus"]
+
+Number = Union[int, float]
+
+
+class CounterRegistry:
+    """A named bag of monotonically increasing counters and point gauges."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[str, Number] = {}
+
+    def inc(self, name: str, value: Number = 1) -> None:
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + value
+
+    def set(self, name: str, value: Number) -> None:
+        with self._lock:
+            self._values[name] = value
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        with self._lock:
+            return self._values.get(name, default)
+
+    def snapshot(self) -> Dict[str, Number]:
+        """A sorted point-in-time copy of every counter."""
+        with self._lock:
+            return dict(sorted(self._values.items()))
+
+
+def _format_value(value: Number) -> str:
+    if isinstance(value, bool):  # bools are ints; keep them numeric
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(values: Mapping[str, Number], *,
+                      types: Optional[Mapping[str, str]] = None,
+                      help_text: Optional[Mapping[str, str]] = None) -> str:
+    """Render name→value pairs as Prometheus text exposition.
+
+    ``types`` maps metric names to ``counter``/``gauge`` (metrics ending in
+    ``_total`` default to ``counter``, everything else to ``gauge``).
+    """
+    types = types or {}
+    help_text = help_text or {}
+    lines = []
+    for name in sorted(values):
+        kind = types.get(name, "counter" if name.endswith("_total") else "gauge")
+        text = help_text.get(name)
+        if text:
+            lines.append(f"# HELP {name} {text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name} {_format_value(values[name])}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse the subset of the exposition format :func:`render_prometheus`
+    emits (no labels): comment lines are skipped, sample lines become
+    name→float entries."""
+    values: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            continue
+        name, raw = parts
+        try:
+            values[name] = float(raw)
+        except ValueError:
+            continue
+    return values

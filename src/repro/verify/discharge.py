@@ -32,6 +32,7 @@ from typing import Optional, Sequence, Union
 
 from repro.prover.backend import SolverBackend, resolve_solver
 from repro.prover.certificate import ProofCertificate
+from repro.telemetry import trace as _trace
 from repro.prover.methods import (
     DischargeResult,
     congruence as _congruence,
@@ -87,6 +88,16 @@ class Discharger:
             wall_seconds=time.perf_counter() - started,
             reason=result.reason,
         )
+        tracer = _trace.current()
+        if tracer is not None:
+            tracer.event(
+                "discharge", kind="method",
+                method=result.method,
+                backend=self.backend.name if backend_used else None,
+                proved=result.proved,
+                rules_fired=len(fired),
+                wall=round(result.certificate.wall_seconds, 6),
+            )
         return result
 
     def _dispatch(self, subgoal: Subgoal):

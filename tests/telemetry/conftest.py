@@ -1,0 +1,20 @@
+"""Telemetry tests must never leak a process-global tracer."""
+
+import pytest
+
+from repro.telemetry import trace as _trace
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Fail loudly if a test leaves the module-global tracer active.
+
+    A leaked tracer would silently instrument every later test in the
+    process (the whole engine consults :func:`repro.telemetry.trace.current`),
+    so leakage is an assertion failure, not a quiet cleanup.
+    """
+    assert _trace.current() is None, "tracer already active before test"
+    yield
+    leaked = _trace.current() is not None
+    _trace.shutdown()
+    assert not leaked, "test leaked an active tracer"

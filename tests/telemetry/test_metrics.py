@@ -1,0 +1,144 @@
+"""Counters, Prometheus exposition, and the daemon ``/metrics`` endpoint."""
+
+import threading
+
+import pytest
+
+from repro.passes import ALL_VERIFIED_PASSES
+from repro.service.client import connect
+from repro.service.daemon import ProofDaemon, VerificationService
+from repro.service.protocol import make_pass_spec
+from repro.telemetry.metrics import (
+    CounterRegistry,
+    parse_prometheus,
+    render_prometheus,
+)
+
+
+# --------------------------------------------------------------------- #
+# CounterRegistry
+# --------------------------------------------------------------------- #
+
+def test_counter_registry_inc_set_get():
+    counters = CounterRegistry()
+    counters.inc("a_total")
+    counters.inc("a_total", 4)
+    counters.set("gauge", 2.5)
+    assert counters.get("a_total") == 5
+    assert counters.get("gauge") == 2.5
+    assert counters.get("missing", -1) == -1
+    snapshot = counters.snapshot()
+    snapshot["a_total"] = 999  # snapshots are copies
+    assert counters.get("a_total") == 5
+
+
+def test_counter_registry_is_thread_safe():
+    counters = CounterRegistry()
+
+    def bump():
+        for _ in range(1000):
+            counters.inc("n_total")
+
+    threads = [threading.Thread(target=bump) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counters.get("n_total") == 8000
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------- #
+
+def test_render_parse_round_trip():
+    text = render_prometheus({"x_total": 3, "uptime_seconds": 1.5})
+    parsed = parse_prometheus(text)
+    assert parsed == {"x_total": 3.0, "uptime_seconds": 1.5}
+
+
+def test_render_types_and_help():
+    text = render_prometheus(
+        {"served_total": 7, "inflight": 1},
+        types={"inflight": "gauge"},
+        help_text={"served_total": "requests served"},
+    )
+    lines = text.splitlines()
+    assert "# HELP served_total requests served" in lines
+    assert "# TYPE served_total counter" in lines  # _total defaults counter
+    assert "# TYPE inflight gauge" in lines
+    assert "served_total 7" in lines
+
+
+def test_parse_skips_comments_and_garbage():
+    parsed = parse_prometheus("# HELP x y\n# TYPE x counter\nx 4\nbad line\n\n")
+    assert parsed == {"x": 4.0}
+
+
+# --------------------------------------------------------------------- #
+# Daemon endpoint
+# --------------------------------------------------------------------- #
+
+@pytest.fixture
+def daemon(tmp_path):
+    service = VerificationService(cache_dir=tmp_path, backend="sqlite")
+    server = ProofDaemon(service)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.close()
+
+
+def _specs(classes):
+    from repro.bench.table2 import pass_kwargs_for
+
+    return [make_pass_spec(cls, pass_kwargs_for(cls)) for cls in classes]
+
+
+def test_metrics_endpoint_counts_requests(daemon, tmp_path):
+    client = connect(tmp_path)
+    classes = ALL_VERIFIED_PASSES[:3]
+    client.verify_specs(_specs(classes))
+    client.verify_specs(_specs(classes))  # warm: served from the store
+
+    metrics = parse_prometheus(client.metrics())
+    assert metrics["repro_requests_total"] == 2.0
+    assert metrics["repro_passes_served_total"] == 6.0
+    assert metrics["repro_cache_misses_total"] == 3.0
+    assert metrics["repro_cache_hits_total"] == 3.0
+    assert metrics["repro_inflight_requests"] == 0.0
+    assert metrics["repro_request_errors_total"] == 0.0
+    assert metrics["repro_uptime_seconds"] >= 0.0
+    assert metrics["repro_protocol_version"] >= 1.0
+    assert metrics["repro_store_entries_live"] >= 3.0
+
+
+def test_metrics_endpoint_is_plain_text(daemon, tmp_path):
+    client = connect(tmp_path)
+    text = client.metrics()
+    assert "# TYPE repro_requests_total counter" in text
+    assert "# HELP repro_requests_total" in text
+
+
+def test_status_payload_carries_counters(daemon, tmp_path):
+    client = connect(tmp_path)
+    client.verify_specs(_specs(ALL_VERIFIED_PASSES[:2]))
+    status = client.status()
+    assert status["counters"]["repro_requests_total"] == 1
+    assert status["counters"]["repro_passes_served_total"] == 2
+
+
+def test_protocol_errors_are_counted(daemon, tmp_path):
+    from repro.service.protocol import ProtocolError
+
+    client = connect(tmp_path)
+    with pytest.raises(ProtocolError):
+        client.verify_specs([])  # empty request is a protocol error
+    metrics = parse_prometheus(client.metrics())
+    assert metrics["repro_request_errors_total"] == 1.0
+    assert metrics["repro_inflight_requests"] == 0.0
