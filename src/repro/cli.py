@@ -36,7 +36,20 @@ Invoked as ``python -m repro <command>``.  Commands:
 ``trace``
     Inspect a structured execution trace written by ``verify --trace DIR``:
     ``summary`` (slowest passes/subgoals, per-worker attribution, unit
-    coverage), ``show`` (the span tree), ``export`` (Chrome trace JSON).
+    coverage), ``show`` (the span tree), ``export`` (Chrome trace JSON),
+    ``diff`` (attribute the wall delta between two traced runs down to
+    pass/subgoal/method with noise-aware regression flags).
+
+``history``
+    The longitudinal sqlite store of traced-run summaries (recorded
+    automatically at the end of every ``verify --trace`` run): ``list``,
+    ``show``, ``regressions`` (noise-aware comparison of two recorded
+    runs), ``prune``.
+
+``top``
+    Live per-worker health of a running ``--workers``/``--cluster``
+    verification: inflight unit, throughput, prove vs transport seconds,
+    rss — from the coordinator's ``run-status.json`` (``--once`` for CI).
 
 ``bench``
     Run one of the paper's evaluation drivers (``table2``, ``figure11``,
@@ -63,6 +76,7 @@ from repro.coupling.devices import DEVICE_BUILDERS, device
 from repro.errors import ReproError
 from repro.passes import ALL_VERIFIED_PASSES, EXTENSION_PASSES, UNSUPPORTED_PASSES
 from repro.qasm import parse_qasm
+from repro.telemetry.bounds import DEFAULT_MIN_SECONDS, DEFAULT_NOISE_PCT
 from repro.verify.report import to_json, to_markdown, to_text
 
 
@@ -118,6 +132,44 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             from repro.telemetry import trace as trace_mod
 
             trace_mod.shutdown()
+            # Auto-record the finished trace into the longitudinal history
+            # store (after shutdown so every span has hit the files).  A
+            # --no-cache run is told not to touch the cache directory, so
+            # its telemetry stays out of there too.
+            if args.trace is not None and not args.no_history \
+                    and not args.no_cache:
+                _record_history(args)
+
+
+def _record_history(args: argparse.Namespace) -> None:
+    """Summarize a finished ``--trace`` run into the history store.
+
+    Telemetry must never fail a verification run: every failure mode here
+    collapses into a one-line stderr note.  Reporting stays on stderr —
+    stdout is the verification report and is parsed byte-for-byte.
+    """
+    try:
+        from repro.engine import default_cache_dir
+        from repro.engine.fingerprint import toolchain_fingerprint
+        from repro.telemetry.analyze import load_trace, summarize_trace
+        from repro.telemetry.history import TelemetryHistory, git_describe
+
+        summary = summarize_trace(load_trace(args.trace))
+        directory = args.cache_dir or str(default_cache_dir())
+        with TelemetryHistory(directory) as history:
+            run_id = history.record_run(
+                summary,
+                stats={"backend": args.backend},
+                node="main",
+                toolchain=toolchain_fingerprint(),
+                git=git_describe(),
+            )
+        print(f"history: recorded run #{run_id} -> {directory}/history.sqlite "
+              f"(inspect with `repro history list --cache-dir {directory}`)",
+              file=sys.stderr)
+    except Exception as exc:  # noqa: BLE001 — observability is best-effort
+        print(f"history: run not recorded ({type(exc).__name__}: {exc})",
+              file=sys.stderr)
 
 
 def _run_verify(args, selected, jobs, cluster_mode, tracer) -> int:
@@ -429,7 +481,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print(f"requests    : {payload['requests_served']} "
               f"({payload['passes_served']} passes served)")
         # The cumulative counters come from the same /metrics surface any
-        # scraper reads; an old daemon without the endpoint just skips it.
+        # scraper reads; a daemon predating the endpoint (or one whose
+        # endpoint errors) degrades to an explicit "unavailable" line
+        # rather than silently omitting it or failing the whole command.
         metrics = {}
         try:
             from repro.telemetry.metrics import parse_prometheus
@@ -443,6 +497,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
                   f"{int(metrics.get('repro_cache_misses_total', 0))} misses, "
                   f"{int(metrics.get('repro_request_errors_total', 0))} errors, "
                   f"{int(metrics.get('repro_inflight_requests', 0))} in flight")
+        else:
+            print("metrics     : unavailable (daemon predates /metrics "
+                  "or the endpoint errored)")
         watcher = payload.get("watcher")
         if watcher:
             print(f"watcher     : polling every {watcher['interval_seconds']}s, "
@@ -538,6 +595,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     import json as json_module
 
     from repro.telemetry.analyze import (
+        TraceNotFound,
         coverage_problems,
         export_chrome,
         load_trace,
@@ -548,6 +606,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     try:
         records = load_trace(args.directory)
+    except TraceNotFound as exc:
+        # Nothing here (missing, empty, or fully rotated away) is a plain
+        # "no data" outcome, not a crash: one line, exit 1.
+        print(f"no trace to {args.trace_command}: {exc}", file=sys.stderr)
+        return 1
     except (OSError, ValueError) as exc:
         print(f"cannot load trace: {exc}", file=sys.stderr)
         return 2
@@ -584,6 +647,216 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:
         print(payload)
     return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.telemetry.analyze import TraceNotFound, load_trace, summarize_trace
+    from repro.telemetry.diff import diff_summaries, render_diff
+
+    try:
+        before = summarize_trace(load_trace(args.before))
+        after = summarize_trace(load_trace(args.after))
+    except TraceNotFound as exc:
+        print(f"no trace to diff: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError) as exc:
+        print(f"cannot load trace: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_summaries(before, after, noise_pct=args.noise_pct,
+                          min_seconds=args.min_seconds)
+    if args.format == "json":
+        print(json_module.dumps(diff, indent=2, sort_keys=True))
+    else:
+        for line in render_diff(diff, top=args.top):
+            print(line)
+    return 1 if diff["regressions"] else 0
+
+
+# --------------------------------------------------------------------------- #
+# history / top
+# --------------------------------------------------------------------------- #
+def _cmd_history(args: argparse.Namespace) -> int:
+    import json as json_module
+    import time as time_module
+
+    from repro.engine import default_cache_dir
+    from repro.telemetry.history import TelemetryHistory, history_path
+
+    directory = args.cache_dir or str(default_cache_dir())
+    command = args.history_command
+    if command != "prune" and not history_path(directory).exists():
+        print(f"no run history at {history_path(directory)} "
+              f"(traced runs record automatically: "
+              f"`repro verify --all --trace DIR`)", file=sys.stderr)
+        return 1
+
+    def _when(timestamp):
+        if not timestamp:
+            return "?"
+        return time_module.strftime("%Y-%m-%d %H:%M:%S",
+                                    time_module.localtime(timestamp))
+
+    try:
+        with TelemetryHistory(directory) as history:
+            if command == "list":
+                runs = history.runs(limit=args.limit)
+                if args.format == "json":
+                    for run in runs:
+                        run.pop("summary", None)  # headline listing only
+                    print(json_module.dumps(
+                        {"store": history.summary(), "runs": runs},
+                        indent=2, sort_keys=True))
+                    return 0
+                store = history.summary()
+                print(f"history: {store['runs']} recorded runs in "
+                      f"{store['path']} (schema {store['schema_version']}, "
+                      f"keeping {store['max_runs']})")
+                if runs:
+                    header = (f"{'id':>4s}  {'recorded at':19s} {'passes':>6s} "
+                              f"{'subgoals':>8s} {'wall(s)':>9s} "
+                              f"{'solver':10s} git")
+                    print(header)
+                    print("-" * len(header))
+                for run in runs:
+                    print(f"{run['id']:4d}  {_when(run['created_at']):19s} "
+                          f"{run['passes']:6d} {run['subgoals']:8d} "
+                          f"{run['wall_seconds']:9.4f} "
+                          f"{(run['solver'] or '?'):10s} "
+                          f"{run['git'] or '-'}")
+                return 0
+            if command == "show":
+                run = history.get_run(args.run)
+                if run is None:
+                    print(f"history: no run {args.run!r} "
+                          f"(see `repro history list`)", file=sys.stderr)
+                    return 1
+                if args.format == "json":
+                    print(json_module.dumps(run, indent=2, sort_keys=True))
+                    return 0
+                print(f"run #{run['id']}  recorded {_when(run['created_at'])}  "
+                      f"node {run['node'] or '?'}  git {run['git'] or '-'}")
+                print(f"toolchain {run['toolchain'] or '?'}  "
+                      f"backend {run['backend'] or '?'}  "
+                      f"wall {run['wall_seconds']:.4f}s")
+                if run.get("summary"):
+                    from repro.telemetry.analyze import render_summary
+
+                    print()
+                    for line in render_summary(run["summary"], top=args.top):
+                        print(line)
+                return 0
+            if command == "regressions":
+                payload = history.regressions(
+                    baseline=args.baseline, candidate=args.candidate,
+                    noise_pct=args.noise_pct, min_seconds=args.min_seconds)
+                if payload.get("error"):
+                    print(f"history: {payload['error']}", file=sys.stderr)
+                    return 1
+                if args.format == "json":
+                    print(json_module.dumps(payload, indent=2, sort_keys=True))
+                    return 1 if payload["regressions"] else 0
+                flagged = payload["regressions"]
+                print(f"run #{payload['candidate']} vs baseline "
+                      f"#{payload['baseline']} "
+                      f"(noise {payload['noise_pct']:.0f}%, floor "
+                      f"{payload['min_seconds']*1000:.0f}ms):")
+                if not flagged:
+                    print("no pass regressed beyond the noise bound")
+                    return 0
+                for entry in flagged:
+                    ratio = (f" ({entry['ratio']:.1f}x)"
+                             if entry.get("ratio") else "")
+                    print(f"  REGRESSION {entry['name']:40s} "
+                          f"{entry['before']:9.4f}s -> "
+                          f"{entry['after']:9.4f}s{ratio}")
+                return 1
+            # prune
+            dropped = history.prune(args.max_runs)
+            remaining = history.summary()["runs"]
+            print(f"pruned history at {directory}: dropped {dropped} runs, "
+                  f"{remaining} kept")
+            return 0
+    except (OSError, sqlite3.Error) as exc:
+        print(f"cannot open run history: {exc}", file=sys.stderr)
+        return 2
+
+
+def _render_top(status: Dict) -> List[str]:
+    state = "done" if status.get("done") else "running"
+    elapsed = max(0.0, float(status.get("updated_at", 0.0))
+                  - float(status.get("started_at", 0.0)))
+    lines = [
+        f"run {state} (pid {status.get('pid', '?')}, "
+        f"node {status.get('node') or '?'}): "
+        f"{status.get('units_done', 0)}/{status.get('units_total', 0)} units, "
+        f"{status.get('failures', 0)} failed, "
+        f"{status.get('stolen', 0)} stolen, "
+        f"{status.get('retried', 0)} retried, "
+        f"{elapsed:.1f}s elapsed"
+    ]
+    workers = status.get("workers") or {}
+    if not workers:
+        lines.append("no worker heartbeats yet")
+        return lines
+    header = (f"{'worker':36s} {'inflight':>14s} {'done':>5s} "
+              f"{'prove(s)':>9s} {'tx(s)':>8s} {'rss':>8s} {'seen':>7s}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    reference = float(status.get("updated_at", 0.0))
+    for owner in sorted(workers):
+        row = workers[owner]
+        rss = row.get("rss_bytes")
+        rss_text = f"{rss / 1048576:.0f}MiB" if rss else "-"
+        seen = max(0.0, reference - float(row.get("last_seen") or reference))
+        inflight = row.get("inflight") or "-"
+        if len(inflight) > 14:
+            inflight = inflight[:11] + "..."
+        lines.append(f"{owner[:36]:36s} {inflight:>14s} "
+                     f"{row.get('units_done', 0):5d} "
+                     f"{row.get('prove_seconds', 0.0):9.3f} "
+                     f"{row.get('transport_seconds', 0.0):8.3f} "
+                     f"{rss_text:>8s} {seen:6.1f}s")
+    return lines
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    from repro.cluster.status import read_run_status, run_status_path
+    from repro.engine import default_cache_dir
+
+    directory = args.cache_dir or str(default_cache_dir())
+    if args.interval <= 0:
+        print("--interval must be > 0", file=sys.stderr)
+        return 2
+    if args.once:
+        status = read_run_status(directory)
+        if status is None:
+            print(f"no run status at {run_status_path(directory)} "
+                  f"(a cluster run writes one: "
+                  f"`repro verify --all --workers N`)", file=sys.stderr)
+            return 1
+        for line in _render_top(status):
+            print(line)
+        return 0
+    try:
+        while True:
+            status = read_run_status(directory)
+            if sys.stdout.isatty():
+                # Plain-TTY refresh: home the cursor and clear, no curses.
+                print("\x1b[H\x1b[2J", end="")
+            if status is None:
+                print(f"waiting for a run "
+                      f"(watching {run_status_path(directory)}) ...")
+            else:
+                for line in _render_top(status):
+                    print(line)
+            sys.stdout.flush()
+            time_module.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 # --------------------------------------------------------------------------- #
@@ -727,6 +1000,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print a self-time-per-subsystem profile of "
                              "the run to stderr (works with or without "
                              "--trace)")
+    verify.add_argument("--no-history", action="store_true",
+                        help="do not auto-record this traced run's summary "
+                             "into the history store (history.sqlite in the "
+                             "cache directory)")
     verify.add_argument("--changed", action="append", default=None,
                         metavar="PATH",
                         help="run incrementally: re-check only passes whose "
@@ -859,7 +1136,81 @@ def build_parser() -> argparse.ArgumentParser:
     trace_export.add_argument("directory", help="directory given to --trace")
     trace_export.add_argument("--output", "-o", default="-",
                               help="output file, or - for stdout")
+    trace_diff = trace_sub.add_parser(
+        "diff", help="attribute the wall delta between two traced runs "
+                     "down to pass/subgoal/method (exit 1 on a "
+                     "beyond-noise regression)")
+    trace_diff.add_argument("before", help="trace directory of the baseline run")
+    trace_diff.add_argument("after", help="trace directory of the candidate run")
+    trace_diff.add_argument("--noise-pct", type=float,
+                            default=DEFAULT_NOISE_PCT, metavar="PCT",
+                            help="relative cushion a pass must exceed to "
+                                 "flag (default %(default)s)")
+    trace_diff.add_argument("--min-seconds", type=float,
+                            default=DEFAULT_MIN_SECONDS, metavar="SECONDS",
+                            help="absolute delta floor (default %(default)s)")
+    trace_diff.add_argument("--top", type=int, default=10, metavar="N",
+                            help="rows per table (default 10)")
+    trace_diff.add_argument("--format", choices=("text", "json"),
+                            default="text")
+    trace_diff.set_defaults(handler=_cmd_trace_diff)
     trace.set_defaults(handler=_cmd_trace)
+
+    history = sub.add_parser(
+        "history", help="the longitudinal store of traced-run summaries")
+    history_sub = history.add_subparsers(dest="history_command", required=True)
+    history_list = history_sub.add_parser(
+        "list", help="recorded runs, newest first")
+    history_list.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="cache directory holding history.sqlite "
+                                   "(default ~/.cache/repro)")
+    history_list.add_argument("--limit", type=int, default=20, metavar="N",
+                              help="rows to list (default 20)")
+    history_list.add_argument("--format", choices=("text", "json"),
+                              default="text")
+    history_show = history_sub.add_parser(
+        "show", help="one recorded run's full summary")
+    history_show.add_argument("run", help="run id, or 'latest' / negative "
+                                          "ids counting from the end")
+    history_show.add_argument("--cache-dir", default=None, metavar="DIR")
+    history_show.add_argument("--top", type=int, default=10, metavar="N")
+    history_show.add_argument("--format", choices=("text", "json"),
+                              default="text")
+    history_reg = history_sub.add_parser(
+        "regressions", help="noise-aware pass regressions between two "
+                            "recorded runs (default: newest vs previous; "
+                            "exit 1 when any pass flags)")
+    history_reg.add_argument("--cache-dir", default=None, metavar="DIR")
+    history_reg.add_argument("--baseline", default=None, metavar="RUN",
+                             help="baseline run id (default: the run "
+                                  "before the candidate)")
+    history_reg.add_argument("--candidate", default="latest", metavar="RUN",
+                             help="candidate run id (default latest)")
+    history_reg.add_argument("--noise-pct", type=float,
+                             default=DEFAULT_NOISE_PCT, metavar="PCT")
+    history_reg.add_argument("--min-seconds", type=float,
+                             default=DEFAULT_MIN_SECONDS, metavar="SECONDS")
+    history_reg.add_argument("--format", choices=("text", "json"),
+                             default="text")
+    history_prune = history_sub.add_parser(
+        "prune", help="drop all but the newest N runs")
+    history_prune.add_argument("--max-runs", type=int, required=True,
+                               metavar="N")
+    history_prune.add_argument("--cache-dir", default=None, metavar="DIR")
+    history.set_defaults(handler=_cmd_history)
+
+    top = sub.add_parser(
+        "top", help="live per-worker health of the current cluster run "
+                    "(reads run-status.json from the cache directory)")
+    top.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="cache directory the coordinator runs against "
+                          "(default ~/.cache/repro)")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (0 when a board "
+                          "exists, 1 otherwise) — for scripts and CI")
+    top.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                     help="refresh interval in live mode (default 1.0)")
+    top.set_defaults(handler=_cmd_top)
 
     bench = sub.add_parser("bench", help="run one of the paper's evaluation drivers")
     bench.add_argument("target",

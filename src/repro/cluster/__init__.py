@@ -17,7 +17,9 @@ store through a networked store tier.
 * :mod:`repro.cluster.store` — the remote proof-store client (same
   interface as the local backends) and its server-side dispatch;
 * :mod:`repro.cluster.worker` — the lease/verify/report loop behind
-  ``repro work``;
+  ``repro work``, with health gauges piggybacked on every lease;
+* :mod:`repro.cluster.status` — the live per-worker run-status board the
+  coordinator persists for ``repro top``;
 * :mod:`repro.cluster.coordinator` — scheduling (leases, lost-lease
   retries, work stealing), result merging, and
   :func:`verify_passes_distributed`, the cluster twin of
@@ -44,6 +46,12 @@ from repro.cluster.plan import (
     plan_units,
     record_timings,
 )
+from repro.cluster.status import (
+    RUN_STATUS_SCHEMA_VERSION,
+    RunStatusBoard,
+    read_run_status,
+    run_status_path,
+)
 from repro.cluster.store import RemoteProofStore, serve_store_op
 from repro.cluster.transport import (
     CLUSTER_PROTOCOL_VERSION,
@@ -68,7 +76,9 @@ __all__ = [
     "HostfileConfig",
     "Listener",
     "Plan",
+    "RUN_STATUS_SCHEMA_VERSION",
     "RemoteProofStore",
+    "RunStatusBoard",
     "TransportError",
     "UnitScheduler",
     "WorkUnit",
@@ -79,7 +89,9 @@ __all__ = [
     "parse_hostfile",
     "plan_units",
     "read_cluster_state",
+    "read_run_status",
     "record_timings",
+    "run_status_path",
     "run_worker",
     "serve_store_op",
     "verify_passes_distributed",

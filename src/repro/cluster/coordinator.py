@@ -33,6 +33,7 @@ import multiprocessing
 import os
 import secrets
 import shutil
+import socket
 import tempfile
 import threading
 import time
@@ -48,6 +49,7 @@ from repro.cluster.plan import (
     plan_units,
     record_timings,
 )
+from repro.cluster.status import RunStatusBoard
 from repro.cluster.store import is_store_op, serve_store_op
 from repro.cluster.transport import (
     ClusterEndpoint,
@@ -283,12 +285,16 @@ class ClusterCoordinator:
     def __init__(self, cache, scheduler: UnitScheduler, token: str, *,
                  counterexample_search: bool = True,
                  solver: str = "builtin",
-                 registry: Optional[Dict[str, type]] = None) -> None:
+                 registry: Optional[Dict[str, type]] = None,
+                 board=None) -> None:
         from repro.engine.fingerprint import toolchain_fingerprint
 
         self.cache = cache
         self.scheduler = scheduler
         self.token = token
+        #: Optional :class:`repro.cluster.status.RunStatusBoard` — the live
+        #: health table behind ``repro top``.
+        self.board = board
         # Captured once: self-leased units swap the global tracer for a
         # collector mid-run, and handler threads absorbing results during
         # that window must still write to the run's sink.
@@ -358,6 +364,17 @@ class ClusterCoordinator:
             self.remote_subgoal_hits += int(message.get("subgoal_remote_hits", 0))
             self.worker_subgoal_hits += int(message.get("subgoal_hits", 0))
             self.worker_subgoal_misses += int(message.get("subgoal_misses", 0))
+        if self.board is not None:
+            attribution = owner or ("coordinator" if local else "worker")
+            self.board.note_result(
+                attribution,
+                prove_seconds=float(message.get("wall_seconds", 0.0)),
+                transport_seconds=max(0.0, transport))
+            self.board.set_progress(
+                units_done=len(self.scheduler.results),
+                failures=len(self.scheduler.failures),
+                stolen=self.scheduler.stolen,
+                retried=self.scheduler.retried)
         if self.tracer is not None:
             attribution = owner or ("coordinator" if local else "worker")
             with self.tracer.span(
@@ -442,6 +459,11 @@ class ClusterCoordinator:
                                                allow_writes=False)
                     connection.send(reply)
                 elif op == "lease":
+                    if self.board is not None:
+                        # Health gauges piggyback on every lease; peers
+                        # that predate them simply send no "heartbeat"
+                        # key, which still refreshes last_seen.
+                        self.board.heartbeat(owner, message.get("heartbeat"))
                     kind, unit = self.scheduler.lease(owner)
                     if kind == "unit":
                         wire = unit.to_wire(self.counterexample_search,
@@ -661,10 +683,18 @@ def _distributed_with_cache(
                      split_passes=plan.split_passes)
     scheduler = UnitScheduler(plan.units, steal_after=steal_after,
                               tracer=tracer)
+    # The live health board persists beside the proof store so `repro top`
+    # on the same host can render the run; cacheless runs keep it in
+    # memory only (there is no shared directory to meet the reader in).
+    board_dir = cache.directory if cache is not None and \
+        cache.directory is not None else None
+    board = RunStatusBoard(board_dir, len(plan.units),
+                           node=f"{socket.gethostname()}-{os.getpid()}")
     coordinator = ClusterCoordinator(
         cache, scheduler, secrets.token_hex(16),
         counterexample_search=counterexample_search,
-        solver=solver, registry=registry if self_lease else None)
+        solver=solver, registry=registry if self_lease else None,
+        board=board)
 
     listener = None
     processes: List = []
@@ -722,6 +752,13 @@ def _distributed_with_cache(
             remove_cluster_state(state_dir, coordinator.token)
         if scratch_dir is not None:
             shutil.rmtree(scratch_dir, ignore_errors=True)
+        # The board file deliberately outlives the run (marked done):
+        # `repro top --once` racing the end of a short run still has a
+        # completed table to report; the next run overwrites it.
+        board.set_progress(units_done=len(scheduler.results),
+                           failures=len(scheduler.failures),
+                           stolen=scheduler.stolen, retried=scheduler.retried)
+        board.finish()
 
     if deferred_deps:  # the cluster never served (no sockets on this host)
         record_deferred_deps(cache, deferred_deps)

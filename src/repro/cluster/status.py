@@ -1,0 +1,187 @@
+"""The live run-status board behind ``repro top``.
+
+During a distributed run the coordinator already hears from every worker
+on each lease round-trip; :class:`RunStatusBoard` folds the heartbeat
+gauges piggybacked on those messages (inflight unit, units done,
+prove/transport seconds, rss) into one table and persists it as
+``run-status.json`` in the cache directory — the same discovery pattern
+as ``daemon.json`` / ``cluster.json``, atomic ``0600`` writes, so
+``repro top`` on the same host renders the fleet live without opening a
+single socket.
+
+Writes are throttled (:data:`WRITE_INTERVAL`) because lease traffic is
+per-unit: a 2-worker warm run leases dozens of units in milliseconds and
+re-serialising the board on each would dominate.  The final
+:meth:`RunStatusBoard.finish` write is never throttled, and the file is
+deliberately **left behind** after the run (marked ``done``): ``repro top
+--once`` in CI can race past the end of a short run and still report the
+completed board; the next run simply overwrites it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = [
+    "RUN_STATUS_SCHEMA_VERSION",
+    "RunStatusBoard",
+    "read_run_status",
+    "run_status_path",
+]
+
+RUN_STATUS_SCHEMA_VERSION = 1
+
+#: Minimum seconds between throttled board writes.
+WRITE_INTERVAL = 0.5
+
+_STATUS_NAME = "run-status.json"
+
+
+def run_status_path(cache_dir: os.PathLike) -> Path:
+    return Path(cache_dir) / _STATUS_NAME
+
+
+def _write_private(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    # Worker names and timings are not secrets, but the file sits in the
+    # same 0600-everything cache directory as the credentials; match it.
+    descriptor = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+    with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    os.replace(tmp, path)
+
+
+class RunStatusBoard:
+    """Coordinator-side accumulator of per-worker health, mirrored to disk.
+
+    Thread-safe: connection handler threads call :meth:`heartbeat` /
+    :meth:`note_result` concurrently with the coordinator loop's
+    :meth:`set_progress`.  ``cache_dir=None`` keeps the board in memory
+    only (``--no-cache`` runs still get coordinator-side accounting).
+    """
+
+    def __init__(self, cache_dir: Optional[os.PathLike],
+                 units_total: int, *, node: Optional[str] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._lock = threading.Lock()
+        self._last_write = 0.0
+        self._state: Dict = {
+            "schema": RUN_STATUS_SCHEMA_VERSION,
+            "pid": os.getpid(),
+            "node": node,
+            "started_at": time.time(),
+            "updated_at": time.time(),
+            "units_total": int(units_total),
+            "units_done": 0,
+            "failures": 0,
+            "stolen": 0,
+            "retried": 0,
+            "done": False,
+            "workers": {},
+        }
+        self._flush(force=True)
+
+    # ------------------------------------------------------------------ #
+    # Updates (coordinator threads)
+    # ------------------------------------------------------------------ #
+    def _worker_row(self, owner: str) -> Dict:
+        return self._state["workers"].setdefault(owner, {
+            "inflight": None,
+            "units_done": 0,
+            "prove_seconds": 0.0,
+            "transport_seconds": 0.0,
+            "rss_bytes": None,
+            "last_seen": 0.0,
+        })
+
+    def heartbeat(self, owner: str, payload: Optional[Dict]) -> None:
+        """Fold one lease-message heartbeat into the worker's row."""
+        with self._lock:
+            row = self._worker_row(owner)
+            row["last_seen"] = time.time()
+            if isinstance(payload, dict):
+                for key, cast in (("inflight", str), ("units_done", int),
+                                  ("prove_seconds", float),
+                                  ("rss_bytes", int)):
+                    value = payload.get(key)
+                    if value is not None:
+                        try:
+                            row[key] = cast(value)
+                        except (TypeError, ValueError):
+                            pass
+                if payload.get("inflight") is None:
+                    row["inflight"] = None
+        self._flush()
+
+    def note_result(self, owner: str, *, prove_seconds: float = 0.0,
+                    transport_seconds: float = 0.0) -> None:
+        """Credit one absorbed unit result to ``owner``'s row.
+
+        Transport share is only measurable coordinator-side (send/receive
+        timestamps), so it accumulates here rather than in heartbeats.
+        """
+        with self._lock:
+            row = self._worker_row(owner)
+            row["last_seen"] = time.time()
+            row["units_done"] += 1
+            row["prove_seconds"] = round(
+                row["prove_seconds"] + float(prove_seconds), 6)
+            row["transport_seconds"] = round(
+                row["transport_seconds"] + float(transport_seconds), 6)
+            row["inflight"] = None
+        self._flush()
+
+    def set_progress(self, *, units_done: int, failures: int = 0,
+                     stolen: int = 0, retried: int = 0) -> None:
+        with self._lock:
+            self._state.update(units_done=int(units_done),
+                               failures=int(failures), stolen=int(stolen),
+                               retried=int(retried))
+        self._flush()
+
+    def finish(self) -> None:
+        """Mark the run complete and write the final board unthrottled."""
+        with self._lock:
+            self._state["done"] = True
+        self._flush(force=True)
+
+    # ------------------------------------------------------------------ #
+    # Persistence / reads
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict:
+        with self._lock:
+            state = json.loads(json.dumps(self._state))
+        return state
+
+    def _flush(self, force: bool = False) -> None:
+        if self.cache_dir is None:
+            return
+        now = time.time()
+        with self._lock:
+            if not force and now - self._last_write < WRITE_INTERVAL:
+                return
+            self._last_write = now
+            self._state["updated_at"] = now
+            text = json.dumps(self._state, indent=2, sort_keys=True) + "\n"
+        try:
+            _write_private(run_status_path(self.cache_dir), text)
+        except OSError:
+            pass  # telemetry must never fail the run
+
+
+def read_run_status(cache_dir: os.PathLike) -> Optional[Dict]:
+    """The last written board under ``cache_dir``, or ``None``."""
+    try:
+        with open(run_status_path(cache_dir), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if payload.get("schema") != RUN_STATUS_SCHEMA_VERSION:
+        return None
+    return payload

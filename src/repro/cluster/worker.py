@@ -25,6 +25,7 @@ from typing import Dict, Optional
 
 from repro.cluster.store import RemoteProofStore
 from repro.telemetry import trace as _trace
+from repro.telemetry.health import read_rss
 from repro.cluster.transport import TransportError, client_hello, connect
 from repro.engine.driver import (
     _verify_one,
@@ -189,9 +190,19 @@ def run_worker(address: str, token: str, *,
         store = RemoteProofStore(connection, active_fingerprint=toolchain)
         subgoal_table = store.subgoal_snapshot()
         completed = 0
+        prove_seconds = 0.0
+        inflight: Optional[str] = None
         while True:
             try:
-                connection.send({"op": "lease"})
+                # Health gauges piggyback on the lease we were sending
+                # anyway: protocol v1 peers that predate them ignore the
+                # extra key (unknown fields are additive).
+                connection.send({"op": "lease", "heartbeat": {
+                    "inflight": inflight,
+                    "units_done": completed,
+                    "prove_seconds": round(prove_seconds, 6),
+                    "rss_bytes": read_rss(),
+                }})
                 message = connection.recv()
             except TransportError:
                 # A coordinator that finished (or died) while we were
@@ -209,8 +220,12 @@ def run_worker(address: str, token: str, *,
             if op != "unit":
                 continue
             subgoal_table.update(message.get("subgoal_updates") or {})
-            reply = execute_unit(message["unit"], registry, subgoal_table,
+            unit = message["unit"]
+            inflight = str(unit.get("unit_id") or "?")
+            reply = execute_unit(unit, registry, subgoal_table,
                                  store=store)
+            inflight = None
+            prove_seconds += float(reply.get("wall_seconds") or 0.0)
             try:
                 connection.send(reply)
             except TransportError:

@@ -48,6 +48,7 @@ from repro.service.protocol import (
     write_state,
 )
 from repro.telemetry import trace as _trace
+from repro.telemetry.health import read_rss
 from repro.telemetry.metrics import CounterRegistry, render_prometheus
 
 
@@ -119,6 +120,7 @@ class VerificationService:
         """Handle one ``/verify`` request body, returning the response dict."""
         self.counters.inc("repro_inflight_requests", 1)
         tracer = _trace.current()
+        started = time.perf_counter()
         try:
             if tracer is None:
                 response = self._handle_verify(body)
@@ -132,6 +134,12 @@ class VerificationService:
         finally:
             self.counters.inc("repro_inflight_requests", -1)
         stats = response.get("stats") or {}
+        # Per-solver latency histogram: warm (cache-served) requests land
+        # in the sub-millisecond buckets, cold proofs in the second-scale
+        # ones, so one scrape distinguishes "slow solver" from "cold store".
+        self.counters.observe(
+            "repro_verify_latency_seconds", time.perf_counter() - started,
+            labels=(("solver", str(stats.get("solver") or "unknown")),))
         self.counters.inc("repro_requests_total")
         self.counters.inc("repro_passes_served_total",
                           len(response.get("results") or []))
@@ -299,6 +307,9 @@ class VerificationService:
             "repro_protocol_version": PROTOCOL_VERSION,
             "repro_known_passes": len(self.registry),
         })
+        rss = read_rss()
+        if rss is not None:
+            values["repro_rss_bytes"] = rss
         summary = getattr(self.cache, "summary", None)
         if callable(summary):
             store = summary()
@@ -316,7 +327,10 @@ class VerificationService:
             "repro_passes_served_total": "pass verdicts served",
             "repro_uptime_seconds": "seconds since the daemon started",
             "repro_inflight_requests": "verify requests currently executing",
-        })
+            "repro_rss_bytes": "daemon resident set size",
+            "repro_verify_latency_seconds":
+                "verify request latency by solver backend",
+        }, histograms=self.counters.histogram_snapshot())
 
 
 class DaemonWatcher(threading.Thread):

@@ -16,6 +16,14 @@ Modules:
   daemon's ``/metrics`` endpoint plus Prometheus text-format render/parse.
 * :mod:`repro.telemetry.analyze` — trace loading, the ``repro trace``
   summaries, the ``--profile`` self-time report, and Chrome-format export.
+* :mod:`repro.telemetry.bounds` — the shared noise-aware thresholds used
+  by bench gating (``tools/check_bench.py``) and run differencing.
+* :mod:`repro.telemetry.history` — the schema-versioned sqlite store of
+  traced-run summaries behind ``repro history``.
+* :mod:`repro.telemetry.diff` — run differencing (``repro trace diff``):
+  wall deltas attributed pass → subgoal → method.
+* :mod:`repro.telemetry.health` — process-health gauges (rss) shared by
+  worker heartbeats and the daemon's ``/metrics``.
 """
 
 from repro.telemetry.trace import (  # noqa: F401
@@ -32,4 +40,16 @@ from repro.telemetry.metrics import (  # noqa: F401
     CounterRegistry,
     parse_prometheus,
     render_prometheus,
+)
+from repro.telemetry.bounds import (  # noqa: F401
+    DEFAULT_MIN_SECONDS,
+    DEFAULT_NOISE_PCT,
+    is_regression,
+)
+from repro.telemetry.diff import diff_summaries, render_diff  # noqa: F401
+from repro.telemetry.history import (  # noqa: F401
+    HISTORY_SCHEMA_VERSION,
+    TelemetryHistory,
+    git_describe,
+    history_path,
 )

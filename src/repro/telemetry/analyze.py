@@ -17,6 +17,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.telemetry.trace import TRACE_SCHEMA_VERSION, _FILE_PREFIX
 
 __all__ = [
+    "TraceNotFound",
     "load_trace",
     "summarize_trace",
     "coverage_problems",
@@ -40,16 +41,26 @@ _VOLATILE_ATTRS = frozenset({
 # Loading
 # --------------------------------------------------------------------- #
 
+class TraceNotFound(ValueError):
+    """No trace files under the requested directory.
+
+    A distinct subclass so the CLI can tell "there is nothing here" (a
+    missing, empty, or fully-rotated-away directory — exit 1 with a
+    one-line message) apart from "the trace is unreadable" (schema from
+    the future, I/O errors — exit 2)."""
+
+
 def load_trace(directory: str) -> List[Dict[str, Any]]:
     """Read every trace file (live + rotated) under ``directory``.
 
-    Records are returned oldest-first per node.  Raises ``ValueError`` if
-    the directory holds no trace files or a file declares a newer schema.
+    Records are returned oldest-first per node.  Raises
+    :class:`TraceNotFound` if the directory holds no trace files, plain
+    ``ValueError`` if a file declares a newer schema.
     """
     pattern = os.path.join(directory, f"{_FILE_PREFIX}*.jsonl*")
     paths = sorted(glob.glob(pattern))
     if not paths:
-        raise ValueError(f"no trace files under {directory!r}")
+        raise TraceNotFound(f"no trace files under {directory!r}")
 
     def _order(path: str) -> Tuple[str, int]:
         base, _, suffix = path.partition(".jsonl")

@@ -1,0 +1,205 @@
+"""Run differencing: attribute the wall delta between two traced runs.
+
+``repro trace diff A B`` (and ``repro history regressions``) answer the
+question bench gating cannot: not just *that* a run got slower, but
+*where*.  :func:`diff_summaries` compares two
+:func:`~repro.telemetry.analyze.summarize_trace` digests and attributes
+the wall-clock delta down the same hierarchy the summary reports —
+pass → subgoal → discharge method → cache outcome — so every second of
+drift lands on a named pass or subgoal rather than on "the suite".
+
+Noise handling is shared with the bench gate
+(:mod:`repro.telemetry.bounds`): a pass only *flags* as a regression when
+it is slower by both the relative cushion and the absolute floor, so two
+identical warm runs diff clean while a forced cold cache on one pass
+trips immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.telemetry.bounds import (
+    DEFAULT_MIN_SECONDS,
+    DEFAULT_NOISE_PCT,
+    is_regression,
+    regression_ratio,
+)
+
+__all__ = ["diff_summaries", "render_diff"]
+
+
+def _pass_table(summary: Dict[str, Any]) -> Dict[str, float]:
+    return {entry["name"]: float(entry.get("seconds") or 0.0)
+            for entry in summary.get("passes") or [] if entry.get("name")}
+
+
+def _subgoal_table(summary: Dict[str, Any]) -> Dict[str, float]:
+    table: Dict[str, float] = {}
+    for entry in summary.get("subgoals") or []:
+        key = entry.get("key")
+        if key:
+            # A key can recur across passes; accumulate.
+            table[key] = table.get(key, 0.0) + float(entry.get("seconds") or 0.0)
+    return table
+
+
+def _count_seconds_table(summary: Dict[str, Any], field: str) -> Dict[str, Dict]:
+    return {name: {"count": int(entry.get("count") or 0),
+                   "seconds": float(entry.get("seconds") or 0.0)}
+            for name, entry in (summary.get(field) or {}).items()}
+
+
+def _diff_seconds(before: Dict[str, float], after: Dict[str, float], *,
+                  noise_pct: float, min_seconds: float) -> List[Dict[str, Any]]:
+    entries = []
+    for name in sorted(set(before) | set(after)):
+        a, b = before.get(name), after.get(name)
+        if a is not None and b is not None:
+            regression = is_regression(a, b, noise_pct=noise_pct,
+                                       min_seconds=min_seconds)
+        else:
+            # A name carrying real cost that the baseline never proved at
+            # all is the cold-cache signature (warm runs record no span for
+            # a cached pass) — flag it; a name that vanished is a speedup.
+            regression = a is None and b is not None and b > min_seconds
+        entry = {
+            "name": name,
+            "before": a,
+            "after": b,
+            "delta": round((b or 0.0) - (a or 0.0), 6),
+            "ratio": regression_ratio(a or 0.0, b or 0.0),
+            "only_in": "before" if b is None else ("after" if a is None else None),
+            "regression": regression,
+        }
+        entries.append(entry)
+    entries.sort(key=lambda e: -abs(e["delta"]))
+    return entries
+
+
+def diff_summaries(before: Dict[str, Any], after: Dict[str, Any], *,
+                   noise_pct: float = DEFAULT_NOISE_PCT,
+                   min_seconds: float = DEFAULT_MIN_SECONDS) -> Dict[str, Any]:
+    """Attribute the wall delta of ``after`` relative to ``before``.
+
+    The total compared is the sum of pass-span durations (the engine's
+    attributable work), so per-pass deltas sum to the total delta exactly
+    — attribution is complete by construction.  Returns a payload with
+    ``passes``/``subgoals`` delta lists (largest mover first), method and
+    cache-outcome drifts, and the noise-aware ``regressions`` subset.
+    """
+    before_passes = _pass_table(before)
+    after_passes = _pass_table(after)
+    passes = _diff_seconds(before_passes, after_passes,
+                           noise_pct=noise_pct, min_seconds=min_seconds)
+    subgoals = _diff_seconds(_subgoal_table(before), _subgoal_table(after),
+                             noise_pct=noise_pct, min_seconds=min_seconds)
+
+    methods = {}
+    for field in ("methods", "solvers"):
+        b_table = _count_seconds_table(before, field)
+        a_table = _count_seconds_table(after, field)
+        rows = []
+        for name in sorted(set(b_table) | set(a_table)):
+            b_entry = b_table.get(name, {"count": 0, "seconds": 0.0})
+            a_entry = a_table.get(name, {"count": 0, "seconds": 0.0})
+            rows.append({
+                "name": name,
+                "count_delta": a_entry["count"] - b_entry["count"],
+                "seconds_delta": round(a_entry["seconds"] - b_entry["seconds"], 6),
+            })
+        rows.sort(key=lambda r: -abs(r["seconds_delta"]))
+        methods[field] = rows
+
+    cache = []
+    b_cache = before.get("cache") or {}
+    a_cache = after.get("cache") or {}
+    for name in sorted(set(b_cache) | set(a_cache)):
+        delta = int(a_cache.get(name, 0)) - int(b_cache.get(name, 0))
+        if delta:
+            cache.append({"name": name, "delta": delta})
+
+    total_before = round(sum(before_passes.values()), 6)
+    total_after = round(sum(after_passes.values()), 6)
+    total_delta = round(total_after - total_before, 6)
+    attributed = round(sum(e["delta"] for e in passes), 6)
+    regressions = [e for e in passes if e["regression"]]
+
+    return {
+        "noise_pct": noise_pct,
+        "min_seconds": min_seconds,
+        "total_before_seconds": total_before,
+        "total_after_seconds": total_after,
+        "total_delta_seconds": total_delta,
+        "attributed_delta_seconds": attributed,
+        "passes": passes,
+        "subgoals": subgoals,
+        "methods": methods["methods"],
+        "solvers": methods["solvers"],
+        "cache": cache,
+        "regressions": regressions,
+    }
+
+
+def _fmt(value, width: int = 9) -> str:
+    if value is None:
+        return " " * (width - 1) + "-"
+    return f"{value:{width}.4f}"
+
+
+def render_diff(diff: Dict[str, Any], top: int = 10) -> List[str]:
+    """Text lines for ``repro trace diff``."""
+    lines = [
+        f"trace diff: {diff['total_before_seconds']:.4f}s -> "
+        f"{diff['total_after_seconds']:.4f}s "
+        f"({diff['total_delta_seconds']:+.4f}s across passes, "
+        f"noise {diff['noise_pct']:.0f}% / {diff['min_seconds']*1000:.0f}ms)"
+    ]
+
+    movers = [e for e in diff["passes"] if abs(e["delta"]) > 0]
+    if movers:
+        lines.append("")
+        lines.append(f"pass deltas (top {min(top, len(movers))}):")
+        for entry in movers[:top]:
+            flag = "  REGRESSION" if entry["regression"] else ""
+            note = f"  (only in {entry['only_in']})" if entry["only_in"] else ""
+            lines.append(
+                f"  {entry['name']:40s} {_fmt(entry['before'])}s -> "
+                f"{_fmt(entry['after'])}s  {entry['delta']:+9.4f}s{flag}{note}")
+
+    sub_movers = [e for e in diff["subgoals"] if abs(e["delta"]) > 0]
+    if sub_movers:
+        lines.append("")
+        lines.append(f"subgoal deltas (top {min(top, len(sub_movers))}):")
+        for entry in sub_movers[:top]:
+            flag = "  REGRESSION" if entry["regression"] else ""
+            lines.append(
+                f"  {entry['name']:40s} {_fmt(entry['before'])}s -> "
+                f"{_fmt(entry['after'])}s  {entry['delta']:+9.4f}s{flag}")
+
+    for title, field, unit in (("method drift", "methods", "calls"),
+                               ("solver drift", "solvers", "calls")):
+        rows = [r for r in diff[field]
+                if r["count_delta"] or abs(r["seconds_delta"]) > 0]
+        if rows:
+            lines.append("")
+            lines.append(f"{title}:")
+            for row in rows[:top]:
+                lines.append(f"  {row['name']:32s} {row['count_delta']:+5d} "
+                             f"{unit} {row['seconds_delta']:+9.4f}s")
+
+    if diff["cache"]:
+        lines.append("")
+        lines.append("cache-outcome drift:")
+        for row in diff["cache"][:top]:
+            lines.append(f"  {row['name']:32s} {row['delta']:+6d}")
+
+    lines.append("")
+    if diff["regressions"]:
+        names = ", ".join(e["name"] for e in diff["regressions"])
+        lines.append(f"regressions: {len(diff['regressions'])} "
+                     f"pass(es) beyond the noise bound: {names}")
+    else:
+        lines.append("no significant regression (every pass delta is within "
+                     "the noise bound)")
+    return lines

@@ -1,0 +1,38 @@
+"""Process-health gauges shared by worker heartbeats and daemon metrics.
+
+Kept dependency-free: resident set size comes from ``/proc/self/statm``
+where that exists (Linux), falls back to ``resource.getrusage`` (macOS and
+friends, where ``ru_maxrss`` is bytes rather than KiB), and degrades to
+``None`` anywhere else — a heartbeat with no rss figure is still a
+heartbeat.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Optional
+
+__all__ = ["read_rss"]
+
+_PAGE_SIZE = None
+
+
+def read_rss() -> Optional[int]:
+    """Current resident set size in bytes, or ``None`` if unknowable."""
+    global _PAGE_SIZE
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        if _PAGE_SIZE is None:
+            _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes; this branch only runs off-Linux.
+        return int(usage) if sys.platform == "darwin" else int(usage) * 1024
+    except (ImportError, OSError, ValueError):
+        return None

@@ -1,0 +1,126 @@
+"""Run differencing: wall deltas attributed pass -> subgoal -> method."""
+
+import pytest
+
+from repro.telemetry.diff import diff_summaries, render_diff
+
+
+def _summary(passes, *, subgoals=(), methods=None, solvers=None, cache=None):
+    return {
+        "schema": 1,
+        "records": 10,
+        "passes": [{"name": n, "seconds": s, "subgoals": 1,
+                    "worker": None, "solver": "builtin"} for n, s in passes],
+        "subgoals": [{"key": k, "method": "structural", "seconds": s,
+                      "worker": None} for k, s in subgoals],
+        "methods": methods or {},
+        "solvers": solvers or {},
+        "cache": cache or {},
+        "workers": {},
+    }
+
+
+def test_identical_runs_diff_clean():
+    summary = _summary([("A", 0.1), ("B", 0.05)])
+    diff = diff_summaries(summary, summary)
+    assert diff["total_delta_seconds"] == 0.0
+    assert diff["regressions"] == []
+    assert all(entry["delta"] == 0.0 for entry in diff["passes"])
+
+
+def test_attribution_is_complete_by_construction():
+    before = _summary([("A", 0.10), ("B", 0.05), ("C", 0.02)])
+    after = _summary([("A", 0.30), ("B", 0.04), ("D", 0.01)])
+    diff = diff_summaries(before, after)
+    assert diff["total_before_seconds"] == 0.17
+    assert diff["total_after_seconds"] == 0.35
+    attributed = sum(entry["delta"] for entry in diff["passes"])
+    assert abs(attributed - diff["total_delta_seconds"]) < 1e-9
+    assert abs(diff["attributed_delta_seconds"]
+               - diff["total_delta_seconds"]) < 1e-9
+
+
+def test_slowdown_beyond_noise_flags_as_regression():
+    before = _summary([("A", 0.10), ("B", 0.05)])
+    after = _summary([("A", 0.30), ("B", 0.05)])
+    diff = diff_summaries(before, after)
+    flagged = [entry["name"] for entry in diff["regressions"]]
+    assert flagged == ["A"]
+    top = diff["passes"][0]
+    assert top["name"] == "A"
+    assert top["ratio"] == pytest.approx(3.0)
+
+
+def test_slowdown_inside_noise_does_not_flag():
+    before = _summary([("A", 0.100)])
+    after = _summary([("A", 0.110)])  # +10% < the 20% cushion
+    assert diff_summaries(before, after)["regressions"] == []
+
+
+def test_microsecond_blowup_stays_under_the_floor():
+    before = _summary([("A", 0.0001)])
+    after = _summary([("A", 0.0004)])
+    assert diff_summaries(before, after)["regressions"] == []
+
+
+def test_pass_only_in_candidate_is_the_cold_cache_signature():
+    # A warm baseline records no span for a cached pass; the pass
+    # surfacing with real cost must flag even without a baseline figure.
+    before = _summary([])
+    after = _summary([("A", 0.02)])
+    diff = diff_summaries(before, after)
+    assert [entry["name"] for entry in diff["regressions"]] == ["A"]
+    entry = diff["passes"][0]
+    assert entry["only_in"] == "after" and entry["ratio"] is None
+
+
+def test_pass_only_in_baseline_is_a_speedup_not_a_regression():
+    before = _summary([("A", 0.02)])
+    after = _summary([])
+    diff = diff_summaries(before, after)
+    assert diff["regressions"] == []
+    assert diff["passes"][0]["only_in"] == "before"
+
+
+def test_subgoal_method_and_cache_drift():
+    before = _summary(
+        [("A", 0.1)], subgoals=[("s1", 0.01), ("s2", 0.02)],
+        methods={"structural": {"count": 5, "seconds": 0.03}},
+        solvers={"builtin": {"count": 5, "seconds": 0.03}},
+        cache={"pass.cache.hit": 1, "pass.cache.miss": 3})
+    after = _summary(
+        [("A", 0.1)], subgoals=[("s1", 0.05)],
+        methods={"structural": {"count": 7, "seconds": 0.06}},
+        solvers={"builtin": {"count": 7, "seconds": 0.06}},
+        cache={"pass.cache.hit": 4, "pass.cache.miss": 0})
+    diff = diff_summaries(before, after)
+    subgoals = {entry["name"]: entry for entry in diff["subgoals"]}
+    assert subgoals["s1"]["delta"] == 0.04
+    assert subgoals["s2"]["only_in"] == "before"
+    assert diff["methods"][0] == {"name": "structural", "count_delta": 2,
+                                  "seconds_delta": 0.03}
+    cache = {row["name"]: row["delta"] for row in diff["cache"]}
+    assert cache == {"pass.cache.hit": 3, "pass.cache.miss": -3}
+
+
+def test_duplicate_subgoal_keys_accumulate():
+    before = _summary([], subgoals=[("s1", 0.01), ("s1", 0.02)])
+    after = _summary([], subgoals=[("s1", 0.03)])
+    diff = diff_summaries(before, after)
+    assert diff["subgoals"][0]["delta"] == 0.0
+
+
+def test_render_diff_flags_and_footer():
+    before = _summary([("A", 0.10), ("B", 0.05)])
+    after = _summary([("A", 0.30), ("B", 0.05)])
+    lines = render_diff(diff_summaries(before, after))
+    text = "\n".join(lines)
+    assert "trace diff: 0.1500s -> 0.3500s" in text
+    assert "REGRESSION" in text
+    assert "regressions: 1 pass(es) beyond the noise bound: A" in text
+
+
+def test_render_diff_clean_footer():
+    summary = _summary([("A", 0.1)])
+    lines = render_diff(diff_summaries(summary, summary))
+    assert lines[-1].startswith("no significant regression")

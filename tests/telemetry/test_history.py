@@ -1,0 +1,210 @@
+"""The longitudinal sqlite history store behind ``repro history``."""
+
+import sqlite3
+
+import pytest
+
+from repro.telemetry.history import (
+    HISTORY_SCHEMA_VERSION,
+    TelemetryHistory,
+    git_describe,
+    history_path,
+)
+
+
+def _summary(passes, *, solvers=None):
+    return {
+        "schema": 1,
+        "records": 42,
+        "passes": [{"name": n, "seconds": s, "subgoals": 2,
+                    "worker": None, "solver": "builtin"} for n, s in passes],
+        "subgoals": [],
+        "methods": {},
+        "solvers": solvers if solvers is not None
+        else {"builtin": {"count": 1, "seconds": 0.01}},
+        "cache": {},
+        "workers": {},
+    }
+
+
+# --------------------------------------------------------------------- #
+# Store mechanics
+# --------------------------------------------------------------------- #
+
+def test_record_and_read_back_roundtrip(tmp_path):
+    with TelemetryHistory(tmp_path) as history:
+        run_id = history.record_run(
+            _summary([("A", 0.1), ("B", 0.05)]),
+            stats={"backend": "jsonl"}, node="main",
+            toolchain="cpython-3.11", git="abc123", created_at=1000.0)
+        run = history.get_run(run_id)
+    assert run["passes"] == 2
+    assert run["subgoals"] == 4
+    assert run["wall_seconds"] == pytest.approx(0.15)
+    assert run["records"] == 42
+    assert run["solver"] == "builtin"
+    assert run["backend"] == "jsonl"
+    assert run["git"] == "abc123"
+    assert run["created_at"] == 1000.0
+    assert run["summary"]["passes"][0]["name"] == "A"
+    assert history_path(tmp_path).exists()
+
+
+def test_get_run_latest_and_negative_indices(tmp_path):
+    with TelemetryHistory(tmp_path) as history:
+        first = history.record_run(_summary([("A", 0.1)]))
+        second = history.record_run(_summary([("A", 0.2)]))
+        assert history.get_run("latest")["id"] == second
+        assert history.get_run(-1)["id"] == second
+        assert history.get_run(-2)["id"] == first
+        assert history.get_run(-3) is None
+        assert history.get_run("nonsense") is None
+        assert history.get_run(999) is None
+
+
+def test_runs_lists_newest_first(tmp_path):
+    with TelemetryHistory(tmp_path) as history:
+        ids = [history.record_run(_summary([("A", 0.1)])) for _ in range(3)]
+        listed = [run["id"] for run in history.runs()]
+        assert listed == sorted(ids, reverse=True)
+        assert [run["id"] for run in history.runs(limit=2)] == listed[:2]
+
+
+def test_auto_prune_keeps_the_newest(tmp_path):
+    with TelemetryHistory(tmp_path, max_runs=2) as history:
+        for _ in range(5):
+            history.record_run(_summary([("A", 0.1)]))
+        runs = history.runs()
+        assert len(runs) == 2
+        assert runs[0]["id"] == 5 and runs[1]["id"] == 4
+        # The denormalised per-pass rows go with their runs.
+        assert history.pass_series("A") and all(
+            row["run_id"] >= 4 for row in history.pass_series("A"))
+
+
+def test_explicit_prune_reports_dropped(tmp_path):
+    with TelemetryHistory(tmp_path) as history:
+        for _ in range(4):
+            history.record_run(_summary([("A", 0.1)]))
+        assert history.prune(1) == 3
+        assert history.summary()["runs"] == 1
+
+
+def test_pass_series_tracks_one_pass_across_runs(tmp_path):
+    with TelemetryHistory(tmp_path) as history:
+        history.record_run(_summary([("A", 0.1), ("B", 0.9)]))
+        history.record_run(_summary([("A", 0.2)]))
+        series = history.pass_series("A")
+    assert [row["seconds"] for row in series] == [0.2, 0.1]
+    assert all(row["solver"] == "builtin" for row in series)
+
+
+def test_schema_mismatch_rebuilds_instead_of_misreading(tmp_path):
+    with TelemetryHistory(tmp_path) as history:
+        history.record_run(_summary([("A", 0.1)]))
+    conn = sqlite3.connect(history_path(tmp_path))
+    conn.execute("UPDATE meta SET value = '999' WHERE key = 'schema_version'")
+    conn.commit()
+    conn.close()
+    with TelemetryHistory(tmp_path) as history:
+        assert history.summary()["runs"] == 0  # dropped, not misread
+        assert history.summary()["schema_version"] == HISTORY_SCHEMA_VERSION
+        history.record_run(_summary([("A", 0.1)]))
+        assert history.summary()["runs"] == 1
+
+
+def test_corrupt_file_is_rebuilt(tmp_path):
+    history_path(tmp_path).parent.mkdir(parents=True, exist_ok=True)
+    history_path(tmp_path).write_bytes(b"this is not a sqlite database")
+    with TelemetryHistory(tmp_path) as history:
+        history.record_run(_summary([("A", 0.1)]))
+        assert history.summary()["runs"] == 1
+
+
+def test_in_memory_store_touches_no_disk(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    with TelemetryHistory(None) as history:
+        history.record_run(_summary([("A", 0.1)]))
+        assert history.path is None
+        assert history.summary()["path"] is None
+    assert not list(tmp_path.iterdir())
+
+
+def test_solver_column_joins_multiple_backends(tmp_path):
+    with TelemetryHistory(None) as history:
+        run_id = history.record_run(_summary(
+            [("A", 0.1)],
+            solvers={"z3": {"count": 1, "seconds": 0.1},
+                     "builtin": {"count": 2, "seconds": 0.2}}))
+        assert history.get_run(run_id)["solver"] == "builtin,z3"
+
+
+# --------------------------------------------------------------------- #
+# Regressions
+# --------------------------------------------------------------------- #
+
+def test_regressions_identical_runs_are_clean():
+    with TelemetryHistory(None) as history:
+        history.record_run(_summary([("A", 0.1), ("B", 0.05)]))
+        history.record_run(_summary([("A", 0.1), ("B", 0.05)]))
+        payload = history.regressions()
+    assert payload["regressions"] == []
+    assert payload["baseline"] == 1 and payload["candidate"] == 2
+
+
+def test_regressions_flags_a_forced_slowdown():
+    with TelemetryHistory(None) as history:
+        history.record_run(_summary([("A", 0.1), ("B", 0.05)]))
+        history.record_run(_summary([("A", 0.3), ("B", 0.05)]))
+        payload = history.regressions()
+    assert [f["name"] for f in payload["regressions"]] == ["A"]
+    flagged = payload["regressions"][0]
+    assert flagged["before"] == 0.1 and flagged["after"] == 0.3
+    assert flagged["ratio"] == pytest.approx(3.0)
+
+
+def test_regressions_flags_a_cold_pass_missing_from_warm_baseline():
+    # The acceptance scenario: a fully warm baseline records no pass spans
+    # at all; evicting one pass's cache entries makes it surface with real
+    # prove cost in the next run, and that must flag.
+    with TelemetryHistory(None) as history:
+        history.record_run(_summary([]))                # warm: all cached
+        history.record_run(_summary([("A", 0.02)]))     # A evicted -> cold
+        payload = history.regressions()
+    assert [f["name"] for f in payload["regressions"]] == ["A"]
+    assert payload["regressions"][0]["ratio"] is None
+
+
+def test_regressions_ignores_jitter_inside_the_bounds():
+    with TelemetryHistory(None) as history:
+        history.record_run(_summary([("A", 0.100), ("B", 0.0001)]))
+        history.record_run(_summary([("A", 0.110), ("B", 0.0004)]))
+        assert history.regressions()["regressions"] == []
+
+
+def test_regressions_explicit_baseline_and_candidate():
+    with TelemetryHistory(None) as history:
+        history.record_run(_summary([("A", 0.1)]))
+        history.record_run(_summary([("A", 0.5)]))
+        history.record_run(_summary([("A", 0.1)]))
+        clean = history.regressions(baseline=1, candidate=3)
+        flagged = history.regressions(baseline=1, candidate=2)
+    assert clean["regressions"] == []
+    assert [f["name"] for f in flagged["regressions"]] == ["A"]
+
+
+def test_regressions_needs_two_runs():
+    with TelemetryHistory(None) as history:
+        assert "error" in history.regressions()
+        history.record_run(_summary([("A", 0.1)]))
+        assert "error" in history.regressions()  # no baseline yet
+
+
+# --------------------------------------------------------------------- #
+# Provenance
+# --------------------------------------------------------------------- #
+
+def test_git_describe_in_a_repo_and_outside(tmp_path):
+    described = git_describe()  # the test run's cwd is the repo
+    assert described is None or isinstance(described, str)
+    assert git_describe(cwd=tmp_path) is None  # not a repository

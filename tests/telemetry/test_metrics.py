@@ -47,6 +47,28 @@ def test_counter_registry_is_thread_safe():
     assert counters.get("n_total") == 8000
 
 
+def test_histogram_observe_buckets_are_cumulative():
+    counters = CounterRegistry()
+    counters.observe("latency", 0.003, buckets=(0.001, 0.005, 0.1))
+    counters.observe("latency", 0.05, buckets=(0.001, 0.005, 0.1))
+    counters.observe("latency", 99.0, buckets=(0.001, 0.005, 0.1))
+    (row,) = counters.histogram_snapshot()
+    assert row["bounds"] == (0.001, 0.005, 0.1)
+    assert row["counts"] == [0, 1, 2]  # cumulative: le=0.005 holds 0.003
+    assert row["count"] == 3           # +Inf comes from the total
+    assert row["sum"] == pytest.approx(99.053)
+
+
+def test_histogram_labels_partition_series():
+    counters = CounterRegistry()
+    counters.observe("latency", 0.01, labels=(("solver", "z3"),))
+    counters.observe("latency", 0.02, labels=(("solver", "builtin"),))
+    counters.observe("latency", 0.03, labels=(("solver", "builtin"),))
+    rows = counters.histogram_snapshot()
+    by_labels = {row["labels"]: row["count"] for row in rows}
+    assert by_labels == {(("solver", "builtin"),): 2, (("solver", "z3"),): 1}
+
+
 # --------------------------------------------------------------------- #
 # Prometheus text exposition
 # --------------------------------------------------------------------- #
@@ -73,6 +95,31 @@ def test_render_types_and_help():
 def test_parse_skips_comments_and_garbage():
     parsed = parse_prometheus("# HELP x y\n# TYPE x counter\nx 4\nbad line\n\n")
     assert parsed == {"x": 4.0}
+
+
+def test_render_histogram_follows_the_prometheus_convention():
+    counters = CounterRegistry()
+    counters.observe("verify_latency_seconds", 0.004,
+                     labels=(("solver", "builtin"),), buckets=(0.005, 0.1))
+    text = render_prometheus(
+        {}, help_text={"verify_latency_seconds": "verify latency"},
+        histograms=counters.histogram_snapshot())
+    lines = text.splitlines()
+    assert "# HELP verify_latency_seconds verify latency" in lines
+    assert "# TYPE verify_latency_seconds histogram" in lines
+    assert ('verify_latency_seconds_bucket{solver="builtin",le="0.005"} 1'
+            in lines)
+    assert ('verify_latency_seconds_bucket{solver="builtin",le="+Inf"} 1'
+            in lines)
+    assert 'verify_latency_seconds_count{solver="builtin"} 1' in lines
+    assert any(line.startswith('verify_latency_seconds_sum{solver="builtin"}')
+               for line in lines)
+    # The labeled series round-trip through the parser with their label
+    # block verbatim; unlabeled parsing is untouched (repro status relies
+    # on that).
+    parsed = parse_prometheus(text)
+    assert parsed['verify_latency_seconds_bucket{solver="builtin",le="+Inf"}'] \
+        == 1.0
 
 
 # --------------------------------------------------------------------- #
@@ -142,3 +189,42 @@ def test_protocol_errors_are_counted(daemon, tmp_path):
     metrics = parse_prometheus(client.metrics())
     assert metrics["repro_request_errors_total"] == 1.0
     assert metrics["repro_inflight_requests"] == 0.0
+
+
+def test_metrics_endpoint_serves_latency_histogram_and_rss(daemon, tmp_path):
+    client = connect(tmp_path)
+    client.verify_specs(_specs(ALL_VERIFIED_PASSES[:2]))
+    client.verify_specs(_specs(ALL_VERIFIED_PASSES[:2]))  # warm request
+    text = client.metrics()
+    assert "# TYPE repro_verify_latency_seconds histogram" in text
+    metrics = parse_prometheus(text)
+    # Two verify requests observed, partitioned by solver backend.
+    inf_keys = [key for key in metrics
+                if key.startswith("repro_verify_latency_seconds_bucket")
+                and 'le="+Inf"' in key]
+    assert inf_keys and sum(metrics[key] for key in inf_keys) == 2.0
+    assert any('solver="' in key for key in inf_keys)
+    # The daemon samples its own rss where /proc (or getrusage) allows.
+    rss = metrics.get("repro_rss_bytes")
+    assert rss is None or rss > 0
+
+
+def test_status_cli_reports_metrics_unavailable(daemon, tmp_path, capsys,
+                                                monkeypatch):
+    """A daemon predating /metrics (or an erroring endpoint) degrades to an
+    explicit 'unavailable' line instead of breaking ``repro status``."""
+    from repro.cli import main
+    from repro.service.client import DaemonClient, DaemonUnavailable
+
+    assert main(["status", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "served      :" in out and "metrics     :" not in out
+
+    def _no_metrics(self):
+        raise DaemonUnavailable("404 from an old daemon")
+
+    monkeypatch.setattr(DaemonClient, "metrics", _no_metrics)
+    assert main(["status", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "metrics     : unavailable" in out
+    assert "served      :" not in out

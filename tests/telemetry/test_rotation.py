@@ -1,0 +1,91 @@
+"""Trace-sink rotation boundaries: absorbed batches must survive rotation.
+
+The JSONL sink rotates ``trace-<node>.jsonl`` at a byte cap, and the
+coordinator absorbs worker span batches into that stream mid-run.  The
+dangerous case is a batch whose records land either side of a rotation:
+the reader must stitch the rotated generations back together oldest-first,
+keep parent links intact, and count every planned unit exactly once —
+losing a unit span to rotation would make ``--check-coverage`` lie.
+"""
+
+import pytest
+
+from repro.telemetry import trace as _trace
+from repro.telemetry.analyze import (
+    coverage_problems,
+    load_trace,
+    summarize_trace,
+)
+from repro.telemetry.trace import TraceWriter, Tracer
+
+
+def _worker_batch(worker, units):
+    """Collect a worker-shaped span batch in a separate collector tracer,
+    exactly as ``repro work`` ships them inside result messages."""
+    collector = Tracer(node=worker)
+    for unit_id in units:
+        with collector.span("unit", kind="unit", unit=unit_id,
+                            prove_seconds=0.001, transport_seconds=0.0):
+            with collector.span("subgoal", kind="subgoal", key=f"k-{unit_id}"):
+                pass
+    return collector.drain()
+
+
+@pytest.mark.parametrize("max_bytes", [256, 700])
+def test_absorbed_batches_span_rotated_files(tmp_path, max_bytes):
+    units = [f"unit-{index:02d}" for index in range(12)]
+    writer = TraceWriter(str(tmp_path), node="main",
+                         max_bytes=max_bytes, max_files=50)
+    tracer = Tracer(writer, node="main")
+    tracer.event("cluster.plan", kind="cluster", units=list(units),
+                 split_passes=0)
+    # Two absorbed batches with a flush between them, so records from one
+    # batch straddle at least one rotation boundary at these byte caps.
+    tracer.absorb(_worker_batch("worker-1", units[:6]), worker="worker-1")
+    writer.flush()
+    tracer.absorb(_worker_batch("worker-2", units[6:]), worker="worker-2")
+    writer.close()
+
+    files = sorted(tmp_path.glob("trace-*.jsonl*"))
+    assert len(files) > 1, "cap did not force a rotation; lower max_bytes"
+
+    summary = summarize_trace(load_trace(str(tmp_path)))
+    assert coverage_problems(summary) == []
+    assert sorted(summary["planned_units"]) == units
+    assert summary["covered_units"] == {unit: 1 for unit in units}
+    # Worker attribution survives the merge+rotation round trip.
+    assert set(summary["workers"]) == {"worker-1", "worker-2"}
+    assert summary["workers"]["worker-1"]["units"] == 6
+    assert summary["workers"]["worker-2"]["units"] == 6
+
+
+def test_rotation_drops_oldest_beyond_max_files(tmp_path):
+    writer = TraceWriter(str(tmp_path), node="main",
+                         max_bytes=200, max_files=2)
+    tracer = Tracer(writer, node="main")
+    for index in range(40):
+        tracer.event("tick", index=index)
+    writer.close()
+    files = sorted(path.name for path in tmp_path.glob("trace-*.jsonl*"))
+    assert files == ["trace-main.jsonl", "trace-main.jsonl.1",
+                     "trace-main.jsonl.2"]
+    # The reader stitches what survived, oldest first, without raising.
+    records = load_trace(str(tmp_path))
+    ticks = [rec["attrs"]["index"] for rec in records
+             if rec.get("name") == "tick"]
+    assert ticks == sorted(ticks)
+    assert ticks[-1] == 39  # the newest records are always present
+
+
+def test_torn_line_at_rotation_boundary_is_skipped(tmp_path):
+    writer = TraceWriter(str(tmp_path), node="main",
+                         max_bytes=100000, max_files=3)
+    tracer = Tracer(writer, node="main")
+    tracer.event("cluster.plan", kind="cluster", units=["u1"], split_passes=0)
+    tracer.absorb(_worker_batch("worker-1", ["u1"]), worker="worker-1")
+    writer.close()
+    live = tmp_path / "trace-main.jsonl"
+    with open(live, "a", encoding="utf-8") as handle:
+        handle.write('{"t": "span", "id": 99, "name": "torn')  # no newline
+    summary = summarize_trace(load_trace(str(tmp_path)))
+    assert coverage_problems(summary) == []

@@ -44,8 +44,29 @@ def test_trace_summary_lists_passes(tmp_path, capsys):
     assert "CXCancellation" in out
 
 
-def test_trace_summary_on_missing_directory_fails(tmp_path, capsys):
-    assert main(["trace", "summary", str(tmp_path / "nope")]) == 2
+def test_trace_summary_on_missing_directory_is_no_data_not_a_crash(
+        tmp_path, capsys):
+    # "Nothing here" (missing, empty, or rotated away) is exit 1 with one
+    # line on stderr; exit 2 stays reserved for unreadable trace data.
+    assert main(["trace", "summary", str(tmp_path / "nope")]) == 1
+    assert "no trace to summary" in capsys.readouterr().err
+
+
+def test_trace_show_and_export_on_empty_directory_exit_one(tmp_path, capsys):
+    empty = tmp_path / "rotated-away"
+    empty.mkdir()
+    assert main(["trace", "show", str(empty)]) == 1
+    assert "no trace to show" in capsys.readouterr().err
+    assert main(["trace", "export", str(empty)]) == 1
+    assert "no trace to export" in capsys.readouterr().err
+
+
+def test_trace_summary_on_unreadable_data_still_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad"
+    bad.mkdir()
+    (bad / "trace-main.jsonl").write_text(
+        '{"t": "meta", "schema": 999999, "node": "main"}\n')
+    assert main(["trace", "summary", str(bad)]) == 2
     assert "cannot load trace" in capsys.readouterr().err
 
 
