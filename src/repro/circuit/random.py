@@ -38,23 +38,37 @@ def random_circuit(
     seed: Optional[int] = None,
     gate_pool: Sequence = DEFAULT_GATE_POOL,
     measure: bool = False,
+    num_clbits: int = 0,
+    p_conditioned: float = 0.0,
 ) -> QCircuit:
     """Generate a random circuit over ``num_qubits`` qubits.
 
     The distribution is uniform over the gate pool with uniformly random
     operands and angles in ``[0, 2*pi)``; it is deterministic for a given
-    ``seed``, which is what the property-based tests rely on.
+    ``seed``, which is what the property-based tests and the fuzz corpus
+    rely on.  With ``num_clbits > 0`` and ``p_conditioned > 0`` each gate
+    independently receives a ``c_if`` condition on a random classical bit
+    with that probability (the conditioned-gate coverage the Section 7.1
+    bug class needs); ``measure=True`` appends final measurements.  The
+    conditioned path draws from the same :class:`random.Random` stream, so
+    circuits generated with ``p_conditioned=0`` are byte-identical to ones
+    generated before the parameter existed.
     """
     rng = random.Random(seed)
-    circ = QCircuit(num_qubits, name=f"random_{num_qubits}q_{num_gates}g")
+    circ = QCircuit(num_qubits, num_clbits,
+                    name=f"random_{num_qubits}q_{num_gates}g")
     pool = [entry for entry in gate_pool if entry[1] <= num_qubits]
     if not pool:
         return circ
+    conditioned = p_conditioned > 0.0 and num_clbits > 0
     for _ in range(num_gates):
         name, arity, num_params = rng.choice(pool)
         qubits = rng.sample(range(num_qubits), arity)
         params = tuple(rng.uniform(0.0, 2.0 * math.pi) for _ in range(num_params))
-        circ.append(Gate(name, qubits, params))
+        gate = Gate(name, qubits, params)
+        if conditioned and rng.random() < p_conditioned:
+            gate = gate.c_if(rng.randrange(num_clbits), rng.randrange(2))
+        circ.append(gate)
     if measure:
         circ.measure_all()
     return circ

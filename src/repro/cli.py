@@ -917,6 +917,75 @@ def _cmd_soundness(args: argparse.Namespace) -> int:
     return 0 if rules_report.all_sound and commutation_report.all_sound else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import replay_corpus, run_campaign
+
+    if args.action == "replay":
+        report = replay_corpus(args.corpus)
+        print(f"corpus entries : {report.total}")
+        print(f"reproduced     : {report.reproduced}")
+        if report.corrupt_lines:
+            print(f"corrupt lines  : {report.corrupt_lines}")
+        for miss in report.mismatches:
+            print(f"  MISMATCH {miss['pass']} {miss['case_id']}: "
+                  f"expected {miss['expected']}, got {miss['actual']}")
+        return 0 if report.ok else 1
+
+    config = {
+        "shrink": not args.no_shrink,
+        "device": args.device,
+    }
+    if args.max_qubits is not None:
+        config["max_qubits"] = args.max_qubits
+    if args.max_gates is not None:
+        config["max_gates"] = args.max_gates
+    try:
+        result = run_campaign(
+            args.seed, args.cases,
+            corpus_dir=args.corpus,
+            passes=args.passes or None,
+            include_buggy=args.buggy,
+            workers=args.workers,
+            config=config,
+            use_hints=not args.no_hints,
+        )
+    except ValueError as exc:  # unknown target pass names
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json as json_module
+
+        print(json_module.dumps({
+            "seed": result.seed,
+            "cases": result.cases,
+            "passes": result.passes,
+            "failures": result.failures,
+            "unit_failures": result.unit_failures,
+            "counters": result.counters,
+            "corpus": result.corpus_file,
+            "entries": [{key: entry[key] for key in
+                         ("pass", "case_id", "kind", "description")}
+                        for entry in result.entries],
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"seed           : {result.seed}")
+        print(f"cases          : {result.cases}")
+        print(f"passes fuzzed  : {len(result.passes)}")
+        print(f"failures       : {result.failures}")
+        for entry in result.entries:
+            gates = len(entry["circuit"]["gates"])
+            shrink = entry.get("shrink") or {}
+            minimal = "minimal" if shrink.get("minimal") else "unminimised"
+            print(f"  {entry['pass']} [{entry['case_id']}] {entry['kind']}: "
+                  f"{gates}-gate reproducer ({minimal})")
+            print(f"    {entry['description']}")
+        for failure in result.unit_failures:
+            print(f"  UNIT FAILED: {failure}")
+        if result.corpus_file:
+            print(f"corpus         : {result.corpus_file}")
+    return 1 if (result.entries or result.unit_failures) else 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     if args.what == "passes":
         for pass_class in ALL_VERIFIED_PASSES:
@@ -1229,6 +1298,39 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--record", default=None, metavar="PATH",
                        help="cluster/solver: write the measured comparison as JSON")
     bench.set_defaults(handler=_cmd_bench)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: hunt pass bugs, shrink them, replay the corpus")
+    fuzz.add_argument("action", nargs="?", choices=("run", "replay"),
+                      default="run",
+                      help="run a campaign (default) or replay the corpus "
+                           "as deterministic regression units")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed: the corpus is a pure function of it")
+    fuzz.add_argument("--cases", type=int, default=25,
+                      help="number of random cases to generate")
+    fuzz.add_argument("--passes", nargs="*", default=None, metavar="PASS",
+                      help="target pass names (default: every registered pass)")
+    fuzz.add_argument("--buggy", action="store_true",
+                      help="include the known-buggy passes (ground truth)")
+    fuzz.add_argument("--corpus", default=".repro-fuzz", metavar="DIR",
+                      help="corpus directory (JSONL + metadata)")
+    fuzz.add_argument("--workers", type=int, default=0,
+                      help="fork N local workers and distribute seed-range "
+                           "units over the cluster coordinator")
+    fuzz.add_argument("--device", default="linear",
+                      help="device topology for generated cases")
+    fuzz.add_argument("--max-qubits", type=int, default=None,
+                      help="cap on generated circuit width")
+    fuzz.add_argument("--max-gates", type=int, default=None,
+                      help="cap on generated circuit length")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="keep raw failing circuits (skip delta debugging)")
+    fuzz.add_argument("--no-hints", action="store_true",
+                      help="skip the passes' counterexample_hint() prelude")
+    fuzz.add_argument("--format", choices=("text", "json"), default="text")
+    fuzz.set_defaults(handler=_cmd_fuzz)
 
     soundness = sub.add_parser("soundness", help="re-check the rewrite rules numerically")
     soundness.add_argument("--embed-qubits", type=int, default=1,

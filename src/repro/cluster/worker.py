@@ -102,6 +102,22 @@ def _execute_unit(unit: Dict, registry: Dict[str, type],
                   subgoal_table: Dict[str, dict], store=None) -> Dict:
     started = time.perf_counter()
     try:
+        if unit.get("kind") == "fuzz":
+            # Fuzz units carry a seed-range spec, not a pass spec: no
+            # registry resolution, no fingerprint skew check (the payload
+            # is a pure function of the spec, never keyed into the proof
+            # store), no subgoal accounting.
+            from repro.fuzz.campaign import execute_fuzz_unit
+
+            return {
+                "op": "result",
+                "unit_id": unit["unit_id"],
+                "ok": True,
+                "kind": "fuzz",
+                "payload": execute_fuzz_unit(unit["spec"]),
+                "wall_seconds": time.perf_counter() - started,
+            }
+
         from repro.verify.discharge import Discharger
 
         pass_class, pass_kwargs = resolve_pass_spec(unit["spec"], registry)

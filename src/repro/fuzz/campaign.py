@@ -1,0 +1,524 @@
+"""Campaign driver: differential fuzzing at scale, plus corpus replay.
+
+A campaign pushes ``num_cases`` seeded random configurations
+(:mod:`repro.fuzz.generate`) through every target pass with the
+differential oracle (:mod:`repro.fuzz.oracle`), shrinks each divergence
+(:mod:`repro.fuzz.shrink`) and persists the minimised witnesses in the
+replayable corpus (:mod:`repro.fuzz.corpus`).  Failing passes also get a
+*verifier block*: the symbolic verdict for the same pass with the failing
+subgoals' proof certificates, computed once per pass coordinator-side —
+a fuzzing hit travels with its symbolic diagnosis.
+
+Campaigns decompose into independent seed-range work units, so
+``--workers N`` rides the existing cluster coordinator
+(:mod:`repro.cluster.coordinator`): fuzz units carry ``kind="fuzz"`` and
+a JSON spec of case indices; the worker executes them with
+:func:`execute_fuzz_unit` — the same pure function the inline path uses,
+which is why a case's outcome (and therefore the corpus bytes) cannot
+depend on the worker count or on how the seed range was chunked.
+Everything a unit returns is a pure function of ``(seed, index,
+config)``; the merge sorts entries into canonical order and the corpus
+writer records nothing run-dependent.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import secrets
+import shutil
+import tempfile
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fuzz.corpus import (
+    CORPUS_SCHEMA_VERSION,
+    circuit_from_record,
+    circuit_to_record,
+    coupling_from_record,
+    coupling_to_record,
+    load_corpus,
+    write_corpus,
+)
+from repro.fuzz.generate import FuzzCase, coupling_for, generate_case, normalize_config
+from repro.fuzz.oracle import differential_check, fuzz_pass_kwargs
+from repro.fuzz.shrink import shrink_failure
+from repro.telemetry import trace as _trace
+from repro.telemetry.metrics import CounterRegistry, render_prometheus
+
+#: How long a local fuzz cluster may run before the coordinator bails out
+#: and finishes the remaining units in-process.
+_RUN_TIMEOUT = 600.0
+_WORKER_WAIT = 10.0
+
+_METRICS_NAME = "metrics.prom"
+
+
+def fuzz_registry(include_buggy: bool = True) -> Dict[str, type]:
+    """Every pass a fuzz campaign can target, by name.
+
+    The verified + extension registry the cluster protocol already uses,
+    plus (by default) the known-buggy variants from
+    :mod:`repro.passes.buggy` — those are the campaign's ground truth and
+    must resolve on workers and during replay.
+    """
+    from repro.service.protocol import pass_registry
+
+    registry = pass_registry()
+    if include_buggy:
+        from repro.passes.buggy import BUGGY_PASSES
+
+        for pass_class in BUGGY_PASSES:
+            registry[pass_class.__name__] = pass_class
+    return registry
+
+
+# --------------------------------------------------------------------------- #
+# Per-case execution (pure: worker and inline paths share it)
+# --------------------------------------------------------------------------- #
+def _failure_entry(name: str, pass_class, case: FuzzCase, failure,
+                   config: Dict, counters: CounterRegistry) -> Dict:
+    circuit = failure.input_circuit if failure.input_circuit is not None \
+        else case.circuit
+    shrink_block = None
+    if config.get("shrink", True):
+        result = shrink_failure(
+            pass_class, circuit, failure, coupling=case.coupling,
+            budget=int(config.get("shrink_budget", 400)),
+        )
+        circuit = result.circuit
+        failure = result.failure
+        shrink_block = {
+            "steps": result.steps,
+            "checks": result.checks,
+            "minimal": result.minimal,
+        }
+        counters.inc("repro_fuzz_shrink_steps_total", result.steps)
+        counters.inc("repro_fuzz_shrink_checks_total", result.checks)
+    counters.inc("repro_fuzz_failures_total")
+    entry = {
+        "schema": CORPUS_SCHEMA_VERSION,
+        "pass": name,
+        "case_id": case.case_id,
+        "seed": case.seed,
+        "kind": failure.kind,
+        "description": failure.description,
+        "circuit": circuit_to_record(circuit),
+        "device": coupling_to_record(case.coupling),
+        "original_gates": len(case.circuit.gates),
+    }
+    if shrink_block is not None:
+        entry["shrink"] = shrink_block
+    return entry
+
+
+def _run_case(case: FuzzCase, targets: Sequence[Tuple[str, type]],
+              config: Dict, counters: CounterRegistry) -> List[Dict]:
+    """Run one case through every target pass; return failure entries."""
+    counters.inc("repro_fuzz_cases_total")
+    entries: List[Dict] = []
+    for name, pass_class in targets:
+        counters.inc("repro_fuzz_checks_total")
+        failure = differential_check(pass_class, case.circuit, case.coupling)
+        if failure is None:
+            continue
+        entries.append(_failure_entry(name, pass_class, case, failure,
+                                      config, counters))
+    return entries
+
+
+def execute_fuzz_unit(spec: Dict) -> Dict:
+    """Execute one fuzz work unit (a contiguous batch of case indices).
+
+    ``spec`` is JSON-shaped: ``{"name", "seed", "indices", "passes",
+    "config"}``.  The return payload is likewise JSON-shaped so it rides
+    the cluster result message unchanged.  Pure: the payload depends only
+    on the spec.
+    """
+    config = normalize_config(spec.get("config"))
+    registry = fuzz_registry(include_buggy=True)
+    targets: List[Tuple[str, type]] = []
+    for name in spec.get("passes") or []:
+        if name not in registry:
+            raise ValueError(f"unknown fuzz target pass: {name!r}")
+        targets.append((name, registry[name]))
+    counters = CounterRegistry()
+    entries: List[Dict] = []
+    indices = [int(i) for i in spec.get("indices") or []]
+    for index in indices:
+        case = generate_case(int(spec["seed"]), index, config)
+        entries.extend(_run_case(case, targets, config, counters))
+    return {
+        "entries": entries,
+        "cases": len(indices),
+        "counters": counters.snapshot(),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Verifier blocks (symbolic half of the differential pair)
+# --------------------------------------------------------------------------- #
+_UID_TOKEN = re.compile(r"\b(seg|g|int)(\d+)\b")
+
+
+def _canonicalize_uids(block: Dict) -> Dict:
+    """Renumber symbolic uids in a verifier block's diagnostic strings.
+
+    Subgoal descriptions and prover reasons quote symbolic value uids
+    (``seg41``, ``g42``) drawn from a process-global counter, so the raw
+    text depends on how much symbolic execution ran earlier in the
+    process.  The corpus promises byte determinism; renumbering by order
+    of first appearance makes the strings a pure function of the pass.
+    """
+    mapping: Dict[str, str] = {}
+
+    def rename(match: "re.Match") -> str:
+        token = match.group(0)
+        if token not in mapping:
+            mapping[token] = f"{match.group(1)}{len(mapping)}"
+        return mapping[token]
+
+    def walk(value):
+        if isinstance(value, str):
+            return _UID_TOKEN.sub(rename, value)
+        if isinstance(value, dict):
+            return {key: walk(item) for key, item in value.items()}
+        if isinstance(value, list):
+            return [walk(item) for item in value]
+        return value
+
+    return walk(block)
+
+
+def _verifier_block(pass_class) -> Dict:
+    """Symbolic verdict + failing-subgoal certificates for one pass.
+
+    Computed once per failing pass, coordinator-side.  Certificate
+    payloads are stripped of wall times: the corpus promises byte
+    determinism, and proof wall seconds are the one run-dependent field.
+    """
+    from repro.coupling.devices import linear_device
+    from repro.errors import ReproError
+    from repro.verify.verifier import verify_pass
+
+    kwargs = fuzz_pass_kwargs(pass_class, linear_device(5))
+    try:
+        result = verify_pass(pass_class, kwargs, counterexample_search=False)
+    except ReproError as exc:
+        return {"verified": None, "supported": False, "error": str(exc)}
+    failing = []
+    for outcome in result.subgoals:
+        if outcome.result.proved:
+            continue
+        certificate = getattr(outcome.result, "certificate", None)
+        payload = certificate.to_payload() if certificate is not None else None
+        if payload is not None:
+            payload.pop("wall_seconds", None)
+        failing.append({
+            "description": outcome.subgoal.description,
+            "reason": outcome.result.reason,
+            "certificate": payload,
+        })
+    return _canonicalize_uids({
+        "verified": bool(result.verified),
+        "supported": bool(result.supported),
+        "failing_subgoals": failing,
+    })
+
+
+def _attach_verifier_blocks(entries: List[Dict],
+                            registry: Dict[str, type],
+                            counters: CounterRegistry) -> None:
+    blocks: Dict[str, Dict] = {}
+    for name in sorted({entry["pass"] for entry in entries}):
+        pass_class = registry.get(name)
+        if pass_class is None:
+            continue
+        blocks[name] = _verifier_block(pass_class)
+        # The verifier claiming "verified" while the concrete oracle found
+        # a failure is a true differential divergence (a verifier bug or
+        # an unsound obligation) — worth its own counter.
+        if blocks[name].get("verified"):
+            counters.inc("repro_fuzz_divergences_total")
+    for entry in entries:
+        block = blocks.get(entry["pass"])
+        if block is not None:
+            entry["verifier"] = block
+
+
+# --------------------------------------------------------------------------- #
+# The campaign
+# --------------------------------------------------------------------------- #
+@dataclass
+class CampaignResult:
+    """Everything ``repro fuzz`` reports about one campaign."""
+
+    seed: int
+    cases: int
+    passes: List[str]
+    entries: List[Dict] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    corpus_dir: Optional[str] = None
+    corpus_file: Optional[str] = None
+    unit_failures: List[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> int:
+        return len(self.entries)
+
+    @property
+    def ok(self) -> bool:
+        return not self.entries and not self.unit_failures
+
+
+def _run_units_distributed(units, workers: int,
+                           unit_failures: List[str]) -> List[Dict]:
+    """Drive fuzz units through the cluster coordinator; return payloads.
+
+    Follows ``engine`` cluster-run wiring: unix-socket listener in a
+    scratch directory, forked local workers, coordinator self-leasing,
+    and any unit the fleet failed to resolve is executed in-process —
+    coverage never depends on worker health.
+    """
+    from repro.cluster.coordinator import (
+        ClusterCoordinator,
+        UnitScheduler,
+        _await_completion,
+        _spawn_local_workers,
+    )
+    from repro.cluster.transport import Listener, TransportError
+    from repro.cluster.worker import execute_unit
+
+    scheduler = UnitScheduler(units, steal_after=5.0, tracer=_trace.current())
+    # cache=None (fuzz writes no proofs); registry={} enables self-leasing
+    # (fuzz units never resolve a pass spec, so an empty registry is fine).
+    coordinator = ClusterCoordinator(
+        None, scheduler, secrets.token_hex(16),
+        counterexample_search=False, solver="builtin",
+        registry={}, board=None)
+    scratch_dir = tempfile.mkdtemp(prefix="repro-fuzz-")
+    listener = None
+    processes: List = []
+    try:
+        try:
+            listener = Listener(f"unix:{scratch_dir}/coordinator.sock")
+        except (TransportError, OSError, ValueError):
+            listener = None  # no sockets on this host: run in-process below
+        if listener is not None:
+            processes = _spawn_local_workers(
+                listener.address, coordinator.token, workers)
+            coordinator.serve(listener)
+            _await_completion(scheduler, coordinator, processes,
+                              local_mode=True, worker_wait=_WORKER_WAIT,
+                              run_timeout=_RUN_TIMEOUT)
+    finally:
+        coordinator.stop()
+        if listener is not None:
+            listener.close()
+        for process in processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        shutil.rmtree(scratch_dir, ignore_errors=True)
+
+    payloads: List[Dict] = []
+    for unit in units:
+        message = scheduler.results.get(unit.unit_id)
+        if message is not None:
+            payloads.append(message.get("payload") or {})
+            continue
+        # Failed or never-leased: finish the unit here, same pure function.
+        reply = execute_unit(unit.to_wire(False), {}, {})
+        if reply.get("ok"):
+            payloads.append(reply.get("payload") or {})
+        else:
+            unit_failures.append(
+                f"{unit.unit_id}: {reply.get('error', 'unit failed')}")
+    return payloads
+
+
+def resolve_targets(passes: Optional[Sequence[str]],
+                    include_buggy: bool) -> List[Tuple[str, type]]:
+    """The (name, class) target list for a campaign, in canonical order."""
+    registry = fuzz_registry(include_buggy=True)
+    if passes:
+        missing = sorted(set(passes) - set(registry))
+        if missing:
+            raise ValueError(f"unknown fuzz target passes: {', '.join(missing)}")
+        names = sorted(set(passes))
+    else:
+        honest = fuzz_registry(include_buggy=False)
+        names = sorted(honest)
+        if include_buggy:
+            from repro.passes.buggy import BUGGY_PASSES
+
+            names += sorted(p.__name__ for p in BUGGY_PASSES)
+    return [(name, registry[name]) for name in names]
+
+
+def _hint_cases(targets: Sequence[Tuple[str, type]],
+                config: Dict) -> List[Tuple[FuzzCase, Tuple[str, type]]]:
+    """Deterministic prelude cases from the passes' own hints.
+
+    A pass that publishes ``counterexample_hint()`` (the Section 7 case
+    studies) gets its hint fuzzed first, on a device big enough for it —
+    the 16-qubit lookahead livelock needs the ibm_16q topology, not the
+    campaign's 5-qubit chain.
+    """
+    cases = []
+    for name, pass_class in targets:
+        hint_fn = getattr(pass_class, "counterexample_hint", None)
+        if hint_fn is None:
+            continue
+        try:
+            circuit = hint_fn()
+        except Exception:
+            continue
+        device = str(config.get("device", "linear"))
+        if circuit.num_qubits > 5 and device == "linear":
+            device = "ibm_16q" if circuit.num_qubits <= 16 else device
+        coupling = coupling_for(circuit.num_qubits, device)
+        case = FuzzCase(case_id=f"hint:{name}", seed=-1,
+                        circuit=circuit, coupling=coupling)
+        cases.append((case, (name, pass_class)))
+    return cases
+
+
+def run_campaign(
+    seed: int,
+    num_cases: int,
+    *,
+    corpus_dir: Optional[str] = None,
+    passes: Optional[Sequence[str]] = None,
+    include_buggy: bool = False,
+    workers: int = 0,
+    config: Optional[Dict] = None,
+    use_hints: bool = True,
+) -> CampaignResult:
+    """Run one differential fuzzing campaign; write the corpus if asked.
+
+    Fully deterministic for a given ``(seed, num_cases, passes, config)``:
+    the corpus bytes are identical across runs and across worker counts.
+    ``workers=0`` runs inline; ``workers>=1`` forks that many local worker
+    processes and drives seed-range units through the cluster coordinator.
+    """
+    config = normalize_config(config)
+    targets = resolve_targets(passes, include_buggy)
+    config["passes"] = [name for name, _ in targets]
+    counters = CounterRegistry()
+    unit_failures: List[str] = []
+    tracer = _trace.current()
+    scope = nullcontext() if tracer is None else tracer.span(
+        "fuzz.campaign", kind="fuzz", seed=int(seed),
+        cases=int(num_cases), passes=len(targets), workers=int(workers))
+    with scope:
+        entries: List[Dict] = []
+        if use_hints:
+            hint_scope = nullcontext() if tracer is None else \
+                tracer.span("fuzz.hints", kind="fuzz")
+            with hint_scope:
+                for case, target in _hint_cases(targets, config):
+                    entries.extend(_run_case(case, [target], config, counters))
+        if num_cases > 0 and workers > 0:
+            from repro.cluster.plan import plan_fuzz_units
+
+            units = plan_fuzz_units(seed, num_cases, config["passes"],
+                                    config, workers)
+            for payload in _run_units_distributed(units, workers,
+                                                  unit_failures):
+                entries.extend(payload.get("entries") or [])
+                counters.merge(payload.get("counters") or {})
+        else:
+            for index in range(num_cases):
+                case = generate_case(seed, index, config)
+                entries.extend(_run_case(case, targets, config, counters))
+        registry = fuzz_registry(include_buggy=True)
+        _attach_verifier_blocks(entries, registry, counters)
+
+    result = CampaignResult(
+        seed=int(seed),
+        cases=int(num_cases),
+        passes=list(config["passes"]),
+        entries=entries,
+        counters=counters.snapshot(),
+        corpus_dir=corpus_dir,
+        unit_failures=unit_failures,
+    )
+    if corpus_dir is not None:
+        meta = {
+            "schema": CORPUS_SCHEMA_VERSION,
+            "seed": result.seed,
+            "cases": result.cases,
+            "passes": result.passes,
+            "config": dict(config),
+            "failures": result.failures,
+            "counters": result.counters,
+        }
+        result.corpus_file = write_corpus(corpus_dir, entries, meta=meta)
+        with open(os.path.join(corpus_dir, _METRICS_NAME), "w",
+                  encoding="utf-8") as handle:
+            handle.write(render_prometheus(result.counters))
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Replay
+# --------------------------------------------------------------------------- #
+@dataclass
+class ReplayReport:
+    """Outcome of re-running every corpus entry as a regression unit."""
+
+    total: int = 0
+    reproduced: int = 0
+    corrupt_lines: int = 0
+    mismatches: List[Dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "repro_fuzz_replays_total": self.total,
+            "repro_fuzz_replay_mismatches_total": len(self.mismatches),
+        }
+
+
+def replay_corpus(corpus_dir: str) -> ReplayReport:
+    """Re-run every corpus entry; each must reproduce its recorded verdict.
+
+    An entry reproduces when the differential oracle reports a failure of
+    the recorded ``kind`` on the stored minimised circuit and device.
+    Unknown passes and schema-foreign lines are reported, never fatal.
+    """
+    entries, corrupt = load_corpus(corpus_dir)
+    registry = fuzz_registry(include_buggy=True)
+    report = ReplayReport(corrupt_lines=corrupt)
+    tracer = _trace.current()
+    scope = nullcontext() if tracer is None else tracer.span(
+        "fuzz.replay", kind="fuzz", entries=len(entries))
+    with scope:
+        for entry in entries:
+            report.total += 1
+            name = str(entry.get("pass", ""))
+            pass_class = registry.get(name)
+            if pass_class is None:
+                report.mismatches.append({
+                    "case_id": entry.get("case_id"), "pass": name,
+                    "expected": entry.get("kind"), "actual": "unknown-pass",
+                })
+                continue
+            circuit = circuit_from_record(entry.get("circuit") or {})
+            coupling = coupling_from_record(entry.get("device"))
+            failure = differential_check(pass_class, circuit, coupling)
+            actual = failure.kind if failure is not None else None
+            if actual == entry.get("kind"):
+                report.reproduced += 1
+            else:
+                report.mismatches.append({
+                    "case_id": entry.get("case_id"), "pass": name,
+                    "expected": entry.get("kind"), "actual": actual,
+                })
+    return report

@@ -1,0 +1,208 @@
+"""The replayable failure corpus: schema-versioned JSONL on disk.
+
+Same store idioms as the proof cache (:mod:`repro.engine.cache`): one
+JSON record per line with an explicit ``schema`` field, tolerant loading
+(lines that fail to parse or carry another schema are counted and
+skipped, never fatal), and atomic whole-file rewrites via a temp file and
+``os.replace``.  Unlike the proof cache the corpus is written as a
+*canonical* byte stream — entries are sorted, keys are sorted, separators
+are fixed and nothing run-dependent (timestamps, hostnames, worker
+counts) is recorded — because ``repro fuzz --seed S`` promises
+byte-identical corpora across runs and worker counts.
+
+Each entry carries everything a replay needs: the minimised witness
+circuit, the device it ran on, the failure kind and description, shrink
+statistics, and the *verifier block* — the symbolic verdict for the same
+pass with the failing subgoals' partial proof certificates, so a fuzzing
+hit travels with its symbolic diagnosis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.circuit import QCircuit
+from repro.circuit.gate import Gate
+from repro.coupling.coupling_map import CouplingMap
+
+#: Bump when the entry layout changes; loaders skip other schemas.
+CORPUS_SCHEMA_VERSION = 1
+
+_FILE_NAME = "corpus.jsonl"
+_META_NAME = "meta.json"
+
+
+def corpus_path(corpus_dir: str) -> str:
+    """The JSONL file inside a corpus directory."""
+    return os.path.join(corpus_dir, _FILE_NAME)
+
+
+def meta_path(corpus_dir: str) -> str:
+    """The campaign-metadata file inside a corpus directory."""
+    return os.path.join(corpus_dir, _META_NAME)
+
+
+# --------------------------------------------------------------------------- #
+# Circuit / device (de)serialisation
+# --------------------------------------------------------------------------- #
+def gate_to_record(gate: Gate) -> Dict[str, object]:
+    """A JSON-shaped gate; empty/default fields are omitted for stable bytes."""
+    record: Dict[str, object] = {"name": gate.name, "qubits": list(gate.qubits)}
+    if gate.params:
+        record["params"] = list(gate.params)
+    if gate.clbits:
+        record["clbits"] = list(gate.clbits)
+    if gate.condition is not None:
+        record["condition"] = list(gate.condition)
+    if gate.q_controls:
+        record["q_controls"] = list(gate.q_controls)
+    if gate.label is not None:
+        record["label"] = gate.label
+    return record
+
+
+def gate_from_record(record: Dict) -> Gate:
+    return Gate(
+        record["name"],
+        record.get("qubits", ()),
+        params=record.get("params", ()),
+        clbits=record.get("clbits", ()),
+        condition=tuple(record["condition"]) if record.get("condition") else None,
+        q_controls=record.get("q_controls", ()),
+        label=record.get("label"),
+    )
+
+
+def circuit_to_record(circuit: QCircuit) -> Dict[str, object]:
+    return {
+        "num_qubits": circuit.num_qubits,
+        "num_clbits": circuit.num_clbits,
+        "name": circuit.name,
+        "gates": [gate_to_record(g) for g in circuit.gates],
+    }
+
+
+def circuit_from_record(record: Dict) -> QCircuit:
+    return QCircuit(
+        int(record.get("num_qubits", 0)),
+        int(record.get("num_clbits", 0)),
+        gates=[gate_from_record(g) for g in record.get("gates", [])],
+        name=record.get("name", "corpus_entry"),
+    )
+
+
+def coupling_to_record(coupling: Optional[CouplingMap]) -> Optional[Dict[str, object]]:
+    if coupling is None:
+        return None
+    return {
+        "num_qubits": coupling.num_qubits,
+        "edges": sorted([a, b] for a, b in coupling.edges),
+    }
+
+
+def coupling_from_record(record: Optional[Dict]) -> Optional[CouplingMap]:
+    if record is None:
+        return None
+    return CouplingMap(
+        edges=[tuple(edge) for edge in record.get("edges", [])],
+        num_qubits=record.get("num_qubits"),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Entries and the canonical byte encoding
+# --------------------------------------------------------------------------- #
+def entry_sort_key(entry: Dict) -> Tuple:
+    """Deterministic corpus order, independent of discovery order."""
+    return (
+        str(entry.get("pass", "")),
+        str(entry.get("case_id", "")),
+        str(entry.get("kind", "")),
+    )
+
+
+def entry_to_line(entry: Dict) -> str:
+    """Canonical JSON encoding: sorted keys, fixed separators, one line."""
+    return json.dumps(entry, sort_keys=True, separators=(",", ":"))
+
+
+def write_corpus(corpus_dir: str, entries: List[Dict],
+                 meta: Optional[Dict] = None) -> str:
+    """Atomically (re)write a corpus directory; returns the JSONL path.
+
+    Entries are sorted into canonical order first, so the output bytes
+    depend only on the entry *set*, not on how workers interleaved.
+    """
+    os.makedirs(corpus_dir, exist_ok=True)
+    ordered = sorted(entries, key=entry_sort_key)
+    path = corpus_path(corpus_dir)
+    fd, tmp_path = tempfile.mkstemp(dir=corpus_dir, prefix=".corpus-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for entry in ordered:
+                handle.write(entry_to_line(entry))
+                handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    if meta is not None:
+        fd, tmp_path = tempfile.mkstemp(dir=corpus_dir, prefix=".meta-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(meta, handle, sort_keys=True, indent=2)
+                handle.write("\n")
+            os.replace(tmp_path, meta_path(corpus_dir))
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+    return path
+
+
+def load_corpus(corpus_dir: str) -> Tuple[List[Dict], int]:
+    """Load all current-schema entries; returns ``(entries, corrupt_lines)``.
+
+    Unparseable lines and entries written under another schema are
+    skipped and counted, mirroring the proof cache's tolerant loader.
+    """
+    path = corpus_path(corpus_dir)
+    entries: List[Dict] = []
+    corrupt = 0
+    if not os.path.exists(path):
+        return entries, corrupt
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                if not isinstance(entry, dict):
+                    raise ValueError("entry is not an object")
+                schema = entry["schema"]
+            except (ValueError, KeyError):
+                corrupt += 1
+                continue
+            if schema != CORPUS_SCHEMA_VERSION:
+                corrupt += 1
+                continue
+            entries.append(entry)
+    return entries, corrupt
+
+
+def load_meta(corpus_dir: str) -> Optional[Dict]:
+    """Load the campaign metadata sidecar, if present and readable."""
+    path = meta_path(corpus_dir)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            value = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return value if isinstance(value, dict) else None

@@ -1,0 +1,231 @@
+"""Delta-debugging minimisation of failing fuzz cases.
+
+A raw fuzzing hit is rarely a good diagnosis: a 12-gate circuit that
+breaks ``Optimize1qGates`` usually contains one or two responsible gates
+buried in noise.  In the spirit of slicing a failure down to its
+responsible core, :func:`shrink_failure` reduces the failing circuit with
+a ddmin-style loop — drop exponentially shrinking gate windows, then
+single gates, then compact away unused wires and simplify the surviving
+gates — re-confirming the divergence against the concrete differential
+oracle (:func:`repro.fuzz.oracle.differential_check`) after every step.
+A reduction is kept only if the *same kind* of failure (semantics /
+non_termination / crash) still reproduces, so the minimised witness
+demonstrates the original bug, not a different one.
+
+Every oracle invocation costs one unit of the check ``budget``; when the
+budget runs dry the best circuit so far is returned with
+``minimal=False``.  The whole procedure is deterministic — no randomness,
+no timestamps — which the corpus byte-determinism guarantee relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QCircuit
+from repro.circuit.gate import Gate
+from repro.errors import ReproError
+from repro.fuzz.oracle import differential_check
+from repro.verify.counterexample import CounterExample
+
+#: Default oracle-invocation budget for one shrink (also configurable per
+#: campaign via the ``shrink_budget`` config key).
+DEFAULT_SHRINK_BUDGET = 400
+
+
+class _BudgetExhausted(Exception):
+    """Internal control flow: the shrink ran out of oracle checks."""
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of minimising one failing circuit."""
+
+    circuit: QCircuit                  # smallest circuit still failing
+    failure: CounterExample            # re-confirmed failure on that circuit
+    steps: int                         # number of accepted reductions
+    checks: int                        # oracle invocations spent
+    minimal: bool                      # 1-minimal w.r.t. single-gate removal
+
+
+class _Shrinker:
+    def __init__(self, pass_class, coupling, kind: str, budget: int) -> None:
+        self.pass_class = pass_class
+        self.coupling = coupling
+        self.kind = kind
+        self.budget = budget
+        self.checks = 0
+        self.steps = 0
+
+    # ------------------------------------------------------------------ #
+    # The predicate: does this candidate still exhibit the same failure?
+    # ------------------------------------------------------------------ #
+    def still_fails(self, candidate: QCircuit) -> Optional[CounterExample]:
+        if self.checks >= self.budget:
+            raise _BudgetExhausted
+        self.checks += 1
+        try:
+            candidate.validate()
+        except ReproError:
+            return None
+        failure = differential_check(self.pass_class, candidate, self.coupling)
+        if failure is not None and failure.kind == self.kind:
+            return failure
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Reduction passes
+    # ------------------------------------------------------------------ #
+    def drop_gate_windows(self, circuit: QCircuit,
+                          failure: CounterExample) -> Tuple[QCircuit, CounterExample, bool]:
+        """Classic ddmin over the gate list: remove halves, then quarters, ..."""
+        gates = list(circuit.gates)
+        changed = False
+        window = max(1, len(gates) // 2)
+        while window >= 1 and len(gates) > 1:
+            start = 0
+            reduced_at_this_window = False
+            while start < len(gates):
+                candidate_gates = gates[:start] + gates[start + window:]
+                if not candidate_gates:
+                    start += window
+                    continue
+                candidate = _rebuild(circuit, candidate_gates)
+                found = self.still_fails(candidate)
+                if found is not None:
+                    gates = candidate_gates
+                    circuit, failure = candidate, found
+                    self.steps += 1
+                    changed = reduced_at_this_window = True
+                    # do not advance: the window now covers new gates
+                else:
+                    start += window
+            if not reduced_at_this_window:
+                window //= 2
+        return circuit, failure, changed
+
+    def compact_wires(self, circuit: QCircuit,
+                      failure: CounterExample) -> Tuple[QCircuit, CounterExample, bool]:
+        """Remap away unused qubits and classical bits."""
+        used_qubits = sorted({q for g in circuit.gates for q in g.all_qubits})
+        used_clbits = sorted(
+            {c for g in circuit.gates for c in g.clbits}
+            | {g.condition[0] for g in circuit.gates if g.condition is not None}
+        )
+        if (len(used_qubits) == circuit.num_qubits
+                and len(used_clbits) == circuit.num_clbits):
+            return circuit, failure, False
+        qubit_map = {old: new for new, old in enumerate(used_qubits)}
+        clbit_map = {old: new for new, old in enumerate(used_clbits)}
+        gates = []
+        for gate in circuit.gates:
+            gate = gate.remap_qubits(qubit_map)
+            changes = {}
+            if gate.clbits:
+                changes["clbits"] = tuple(clbit_map[c] for c in gate.clbits)
+            if gate.condition is not None:
+                changes["condition"] = (clbit_map[gate.condition[0]], gate.condition[1])
+            if changes:
+                gate = gate.replace(**changes)
+            gates.append(gate)
+        candidate = QCircuit(max(1, len(used_qubits)), len(used_clbits),
+                             gates=gates, name=circuit.name)
+        found = self.still_fails(candidate)
+        if found is None:
+            return circuit, failure, False
+        self.steps += 1
+        return candidate, found, True
+
+    def simplify_gates(self, circuit: QCircuit,
+                       failure: CounterExample) -> Tuple[QCircuit, CounterExample, bool]:
+        """Try stripping conditions and zeroing angles, one gate at a time."""
+        changed = False
+        index = 0
+        while index < len(circuit.gates):
+            gate = circuit.gates[index]
+            for simplified in _gate_simplifications(gate):
+                gates = list(circuit.gates)
+                gates[index] = simplified
+                candidate = _rebuild(circuit, gates)
+                found = self.still_fails(candidate)
+                if found is not None:
+                    circuit, failure = candidate, found
+                    self.steps += 1
+                    changed = True
+                    break
+            index += 1
+        return circuit, failure, changed
+
+    def confirm_one_minimal(self, circuit: QCircuit) -> bool:
+        """Every single-gate removal must kill (or change) the failure."""
+        if len(circuit.gates) <= 1:
+            return True
+        for index in range(len(circuit.gates)):
+            gates = [g for i, g in enumerate(circuit.gates) if i != index]
+            if self.still_fails(_rebuild(circuit, gates)) is not None:
+                return False
+        return True
+
+
+def _rebuild(circuit: QCircuit, gates: Sequence[Gate]) -> QCircuit:
+    return QCircuit(circuit.num_qubits, circuit.num_clbits,
+                    gates=gates, name=circuit.name)
+
+
+def _gate_simplifications(gate: Gate) -> List[Gate]:
+    """Candidate simpler variants of one gate, most aggressive first."""
+    variants: List[Gate] = []
+    if gate.condition is not None:
+        variants.append(gate.replace(condition=None))
+    if gate.params and any(p != 0.0 for p in gate.params):
+        variants.append(gate.replace(params=(0.0,) * len(gate.params)))
+    if gate.condition is not None and gate.params and any(p != 0.0 for p in gate.params):
+        variants.insert(0, gate.replace(condition=None,
+                                        params=(0.0,) * len(gate.params)))
+    return variants
+
+
+def shrink_failure(
+    pass_class,
+    circuit: QCircuit,
+    failure: CounterExample,
+    coupling=None,
+    budget: int = DEFAULT_SHRINK_BUDGET,
+) -> ShrinkResult:
+    """Minimise ``circuit`` while it still triggers ``failure.kind``.
+
+    ``circuit``/``failure`` must be a confirmed divergence as produced by
+    :func:`repro.fuzz.oracle.differential_check` for ``pass_class`` on the
+    given ``coupling``.
+    """
+    shrinker = _Shrinker(pass_class, coupling, failure.kind, budget)
+    minimal = False
+    try:
+        changed = True
+        while changed:
+            changed = False
+            circuit, failure, did = shrinker.drop_gate_windows(circuit, failure)
+            changed = changed or did
+            circuit, failure, did = shrinker.compact_wires(circuit, failure)
+            changed = changed or did
+            circuit, failure, did = shrinker.simplify_gates(circuit, failure)
+            changed = changed or did
+        minimal = shrinker.confirm_one_minimal(circuit)
+    except _BudgetExhausted:
+        minimal = False
+    return ShrinkResult(circuit=circuit, failure=failure,
+                        steps=shrinker.steps, checks=shrinker.checks,
+                        minimal=minimal)
+
+
+def is_one_minimal(pass_class, circuit: QCircuit, coupling=None,
+                   kind: str = "semantics") -> bool:
+    """True iff no single-gate removal still reproduces a ``kind`` failure.
+
+    The local-minimality property the satellite tests assert: removing
+    any one gate either makes the circuit trivial/invalid or makes the
+    bug disappear.
+    """
+    shrinker = _Shrinker(pass_class, coupling, kind, budget=10_000)
+    return shrinker.confirm_one_minimal(circuit)

@@ -74,6 +74,17 @@ class CounterRegistry:
             entry["sum"] += float(value)
             entry["count"] += 1
 
+    def merge(self, values: Mapping[str, Number]) -> None:
+        """Fold another registry's counter snapshot into this one.
+
+        Addition per name, under the lock — the fuzz campaign uses this to
+        absorb the counter dicts its cluster work units send back, and the
+        result is independent of merge order.
+        """
+        with self._lock:
+            for name, value in values.items():
+                self._values[name] = self._values.get(name, 0) + value
+
     def snapshot(self) -> Dict[str, Number]:
         """A sorted point-in-time copy of every counter."""
         with self._lock:

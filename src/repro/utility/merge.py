@@ -21,7 +21,7 @@ from repro.verify.facts import Fact
 from repro.verify.symvalues import Segment, SymGate
 
 #: Gate names the merge utility knows how to interpret as Euler rotations.
-MERGEABLE_1Q_NAMES = ("u1", "u2", "u3", "rz", "p", "u")
+MERGEABLE_1Q_NAMES = ("u1", "u2", "u3", "rz", "p", "u", "rx", "ry")
 
 
 def _euler_angles(gate: Gate) -> tuple:
@@ -32,6 +32,14 @@ def _euler_angles(gate: Gate) -> tuple:
         return (math.pi / 2.0, gate.params[0], gate.params[1])
     if gate.name in ("u3", "u"):
         return gate.params
+    # rx(t) = u3(t, -pi/2, pi/2) and ry(t) = u3(t, 0, 0), both up to global
+    # phase.  Without these the pass that collects rx/ry into runs
+    # (Optimize1qGatesDecomposition) crashed on any circuit containing one —
+    # found by the differential fuzzer on its first honest-pass campaign.
+    if gate.name == "rx":
+        return (gate.params[0], -math.pi / 2.0, math.pi / 2.0)
+    if gate.name == "ry":
+        return (gate.params[0], 0.0, 0.0)
     raise CircuitError(f"cannot merge gate {gate.name}; supported: {MERGEABLE_1Q_NAMES}")
 
 

@@ -194,13 +194,56 @@ def confirm_counterexample(pass_class, candidate: QCircuit, **pass_kwargs) -> Op
     )
 
 
+#: Seed for the random-search fallback when no explicit ``rng`` is given.
+#: A fixed constant — never the global :mod:`random` state — so the same
+#: failing pass yields the same candidates (and therefore the same
+#: confirmed counterexample) in every process, under pytest-xdist, and
+#: when a fuzz corpus entry is replayed.
+DEFAULT_SEARCH_SEED = 0x617A
+
+#: Candidate budget for the random-search fallback.  Candidates are small
+#: (<= 4 qubits) because confirmation builds dense unitaries.
+DEFAULT_RANDOM_TRIALS = 6
+
+
+def _random_candidates(rng, trials: int) -> List[QCircuit]:
+    """Small random candidate circuits, biased toward condition bugs.
+
+    Every draw comes from ``rng`` — the global :mod:`random` module is
+    never touched, so interleaving with other consumers (parallel test
+    workers, the fuzz campaign) cannot perturb the candidate sequence.
+    """
+    from repro.circuit.random import random_circuit
+
+    candidates: List[QCircuit] = []
+    for trial in range(trials):
+        num_qubits = 2 + rng.randrange(3)
+        num_gates = 3 + rng.randrange(6)
+        candidates.append(random_circuit(
+            num_qubits, num_gates, seed=rng.getrandbits(32),
+            num_clbits=1, p_conditioned=0.35 if trial % 2 else 0.0,
+        ))
+    return candidates
+
+
 def search_counterexample(
     pass_class,
     failing_subgoals: Sequence[Subgoal],
     hint: Optional[QCircuit] = None,
+    rng=None,
+    random_trials: int = DEFAULT_RANDOM_TRIALS,
     **pass_kwargs,
 ) -> Optional[CounterExample]:
-    """Try to confirm a counterexample from the failing subgoals."""
+    """Try to confirm a counterexample from the failing subgoals.
+
+    Candidates are tried in order: the pass's hint, a concretisation of
+    each failing subgoal's symbolic window, then ``random_trials`` small
+    random circuits drawn from ``rng`` (a :class:`random.Random`; a fixed
+    default seed is used when omitted, so confirmations are reproducible
+    everywhere — the search never reads or re-seeds global random state).
+    """
+    import random as random_module
+
     candidates: List[QCircuit] = []
     if hint is not None:
         candidates.append(hint)
@@ -208,6 +251,10 @@ def search_counterexample(
         window = concretize_window(subgoal)
         if window is not None:
             candidates.append(window)
+    if random_trials > 0:
+        if rng is None:
+            rng = random_module.Random(DEFAULT_SEARCH_SEED)
+        candidates.extend(_random_candidates(rng, random_trials))
     for candidate in candidates:
         found = confirm_counterexample(pass_class, candidate, **pass_kwargs)
         if found is not None:

@@ -1,0 +1,84 @@
+"""Property-based tests for the seeded random circuit generator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QCircuit
+from repro.circuit.random import (
+    DEFAULT_GATE_POOL,
+    random_circuit,
+    random_clifford_circuit,
+)
+
+_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+_sizes = st.tuples(st.integers(min_value=1, max_value=5),
+                   st.integers(min_value=0, max_value=15))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_seeds, _sizes)
+def test_seeded_generation_is_byte_identical(seed, sizes):
+    num_qubits, num_gates = sizes
+    first = random_circuit(num_qubits, num_gates, seed=seed,
+                           measure=True, num_clbits=2, p_conditioned=0.3)
+    second = random_circuit(num_qubits, num_gates, seed=seed,
+                            measure=True, num_clbits=2, p_conditioned=0.3)
+    assert first.gates == second.gates
+    assert first.name == second.name
+
+
+@settings(max_examples=40, deadline=None)
+@given(_seeds, _sizes, st.floats(min_value=0.0, max_value=1.0))
+def test_generated_circuits_are_always_valid(seed, sizes, p_conditioned):
+    num_qubits, num_gates = sizes
+    circuit = random_circuit(num_qubits, num_gates, seed=seed,
+                             measure=True, num_clbits=2,
+                             p_conditioned=p_conditioned)
+    assert isinstance(circuit, QCircuit)
+    circuit.validate()  # raises on any out-of-range qubit/clbit/condition
+    assert circuit.num_qubits == num_qubits
+    body = [g for g in circuit.gates if not g.is_measurement()]
+    assert len(body) == num_gates
+    for gate in body:
+        assert gate.name in {entry[0] for entry in DEFAULT_GATE_POOL}
+        assert len(set(gate.qubits)) == len(gate.qubits)  # distinct operands
+
+
+@settings(max_examples=30, deadline=None)
+@given(_seeds)
+def test_conditions_only_appear_when_asked(seed):
+    plain = random_circuit(4, 10, seed=seed)
+    assert not any(g.is_conditioned() for g in plain.gates)
+    assert not any(g.is_measurement() for g in plain.gates)
+    conditioned = random_circuit(4, 10, seed=seed, num_clbits=2,
+                                 p_conditioned=1.0)
+    assert all(g.is_conditioned() for g in conditioned.gates
+               if not g.is_measurement())
+    for gate in conditioned.gates:
+        if gate.condition is not None:
+            clbit, value = gate.condition
+            assert 0 <= clbit < 2 and value in (0, 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_seeds)
+def test_condition_stream_compatibility(seed):
+    """``p_conditioned=0.0`` must reproduce the legacy rng stream exactly."""
+    legacy = random_circuit(3, 9, seed=seed)
+    extended = random_circuit(3, 9, seed=seed, num_clbits=3, p_conditioned=0.0)
+    assert legacy.gates == extended.gates
+
+
+@settings(max_examples=20, deadline=None)
+@given(_seeds)
+def test_clifford_pool_is_respected(seed):
+    circuit = random_clifford_circuit(3, 12, seed=seed)
+    assert {g.name for g in circuit.gates} <= \
+        {"h", "s", "sdg", "x", "z", "cx", "cz", "swap"}
+
+
+def test_measure_all_covers_every_qubit():
+    circuit = random_circuit(4, 5, seed=0, measure=True)
+    measured = {g.qubits[0] for g in circuit.gates if g.is_measurement()}
+    assert measured == set(range(4))
+    assert circuit.num_clbits >= 4

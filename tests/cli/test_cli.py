@@ -275,3 +275,55 @@ def test_parser_rejects_missing_command():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args([])
+
+
+# --------------------------------------------------------------------------- #
+# fuzz
+# --------------------------------------------------------------------------- #
+def test_fuzz_campaign_catches_buggy_pass_and_replays(tmp_path, capsys):
+    corpus = str(tmp_path / "corpus")
+    code = main(["fuzz", "--seed", "3", "--cases", "2",
+                 "--passes", "BuggyOptimize1qGates", "--corpus", corpus])
+    out = capsys.readouterr().out
+    assert code == 1  # failures found -> non-zero, the CI smoke contract
+    assert "BuggyOptimize1qGates" in out
+    assert "minimal" in out
+    assert "corpus" in out
+
+    assert main(["fuzz", "replay", "--corpus", corpus]) == 0
+    replay_out = capsys.readouterr().out
+    assert "reproduced" in replay_out
+    assert "MISMATCH" not in replay_out
+
+
+def test_fuzz_clean_campaign_exits_zero(tmp_path, capsys):
+    corpus = str(tmp_path / "corpus")
+    code = main(["fuzz", "--seed", "1", "--cases", "2",
+                 "--passes", "CXCancellation", "Width", "--corpus", corpus])
+    assert code == 0
+    assert "failures       : 0" in capsys.readouterr().out
+
+
+def test_fuzz_json_format(tmp_path, capsys):
+    corpus = str(tmp_path / "corpus")
+    code = main(["fuzz", "--seed", "3", "--cases", "1",
+                 "--passes", "BuggyOptimize1qGates", "--corpus", corpus,
+                 "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["failures"] >= 1
+    assert payload["entries"][0]["pass"] == "BuggyOptimize1qGates"
+    assert payload["unit_failures"] == []
+    assert payload["counters"]["repro_fuzz_failures_total"] == payload["failures"]
+
+
+def test_fuzz_unknown_pass_is_a_usage_error(tmp_path, capsys):
+    code = main(["fuzz", "--passes", "NoSuchPass",
+                 "--corpus", str(tmp_path / "corpus")])
+    assert code == 2
+    assert "unknown fuzz target" in capsys.readouterr().err
+
+
+def test_fuzz_replay_of_empty_corpus_is_clean(tmp_path, capsys):
+    assert main(["fuzz", "replay", "--corpus", str(tmp_path / "nothing")]) == 0
+    assert "corpus entries : 0" in capsys.readouterr().out

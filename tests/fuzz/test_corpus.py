@@ -1,0 +1,130 @@
+"""The JSONL failure corpus: round-trips, canonical bytes, tolerant loads."""
+
+import json
+import os
+
+from repro.circuit import Gate, QCircuit
+from repro.coupling.devices import linear_device
+from repro.fuzz.corpus import (
+    CORPUS_SCHEMA_VERSION,
+    circuit_from_record,
+    circuit_to_record,
+    corpus_path,
+    coupling_from_record,
+    coupling_to_record,
+    entry_sort_key,
+    entry_to_line,
+    gate_from_record,
+    gate_to_record,
+    load_corpus,
+    load_meta,
+    meta_path,
+    write_corpus,
+)
+from repro.fuzz.generate import generate_case
+
+
+# --------------------------------------------------------------------------- #
+# Record round-trips
+# --------------------------------------------------------------------------- #
+def test_gate_record_round_trip_covers_every_field():
+    gate = Gate("u3", (2,), (0.1, 0.2, 0.3), clbits=(),
+                condition=(1, 0), label="tagged")
+    assert gate_from_record(gate_to_record(gate)) == gate
+    plain = Gate("cx", (0, 1))
+    record = gate_to_record(plain)
+    assert set(record) == {"name", "qubits"}  # defaults omitted for bytes
+    assert gate_from_record(record) == plain
+
+
+def test_circuit_record_round_trip_on_generated_cases():
+    for index in range(10):
+        circuit = generate_case(13, index).circuit
+        restored = circuit_from_record(circuit_to_record(circuit))
+        assert restored.gates == circuit.gates
+        assert restored.num_qubits == circuit.num_qubits
+        assert restored.num_clbits == circuit.num_clbits
+        assert restored.name == circuit.name
+
+
+def test_coupling_record_round_trip():
+    device = linear_device(4)
+    restored = coupling_from_record(coupling_to_record(device))
+    assert restored.num_qubits == device.num_qubits
+    assert set(restored.edges) == set(device.edges)
+    assert coupling_to_record(None) is None
+    assert coupling_from_record(None) is None
+
+
+def test_record_is_json_shaped():
+    circuit = generate_case(1, 0).circuit
+    json.dumps(circuit_to_record(circuit))  # must not need a custom encoder
+
+
+# --------------------------------------------------------------------------- #
+# Canonical bytes
+# --------------------------------------------------------------------------- #
+def _entry(pass_name, case_id, kind="semantics"):
+    return {
+        "schema": CORPUS_SCHEMA_VERSION,
+        "pass": pass_name,
+        "case_id": case_id,
+        "kind": kind,
+        "circuit": circuit_to_record(QCircuit(1, gates=[Gate("x", (0,))])),
+    }
+
+
+def test_write_corpus_sorts_entries_canonically(tmp_path):
+    entries = [_entry("B", "seed:2"), _entry("A", "seed:9"), _entry("A", "seed:1")]
+    shuffled = [entries[2], entries[0], entries[1]]
+    path_a = write_corpus(str(tmp_path / "a"), entries)
+    path_b = write_corpus(str(tmp_path / "b"), shuffled)
+    with open(path_a, "rb") as fa, open(path_b, "rb") as fb:
+        assert fa.read() == fb.read()
+    loaded, corrupt = load_corpus(str(tmp_path / "a"))
+    assert corrupt == 0
+    assert [entry_sort_key(e) for e in loaded] == sorted(
+        entry_sort_key(e) for e in entries)
+
+
+def test_entry_lines_are_canonical_json():
+    line = entry_to_line({"b": 1, "a": {"z": 2, "y": 3}})
+    assert line == '{"a":{"y":3,"z":2},"b":1}'
+
+
+def test_load_corpus_skips_corrupt_and_foreign_schema_lines(tmp_path):
+    corpus_dir = str(tmp_path)
+    write_corpus(corpus_dir, [_entry("A", "seed:1")])
+    with open(corpus_path(corpus_dir), "a", encoding="utf-8") as handle:
+        handle.write("this is not json\n")
+        handle.write('"a bare string"\n')
+        handle.write(entry_to_line({**_entry("B", "seed:2"), "schema": 99}) + "\n")
+        handle.write("\n")  # blank lines are fine, not corruption
+        handle.write(entry_to_line(_entry("C", "seed:3")) + "\n")
+    entries, corrupt = load_corpus(corpus_dir)
+    assert corrupt == 3
+    assert [e["pass"] for e in entries] == ["A", "C"]
+
+
+def test_load_corpus_on_missing_directory_is_empty():
+    entries, corrupt = load_corpus("/nonexistent/fuzz-corpus")
+    assert entries == [] and corrupt == 0
+
+
+def test_write_corpus_leaves_no_temp_files(tmp_path):
+    corpus_dir = str(tmp_path)
+    write_corpus(corpus_dir, [_entry("A", "seed:1")], meta={"seed": 1})
+    leftovers = [n for n in os.listdir(corpus_dir) if n.endswith(".tmp")]
+    assert leftovers == []
+    assert os.path.exists(meta_path(corpus_dir))
+
+
+def test_meta_round_trip_and_tolerance(tmp_path):
+    corpus_dir = str(tmp_path)
+    meta = {"schema": CORPUS_SCHEMA_VERSION, "seed": 7, "cases": 3}
+    write_corpus(corpus_dir, [], meta=meta)
+    assert load_meta(corpus_dir) == meta
+    with open(meta_path(corpus_dir), "w", encoding="utf-8") as handle:
+        handle.write("{broken")
+    assert load_meta(corpus_dir) is None
+    assert load_meta(str(tmp_path / "missing")) is None

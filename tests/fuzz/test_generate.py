@@ -1,0 +1,133 @@
+"""Seeded case generation: determinism, validity, and config handling."""
+
+import pytest
+
+from repro.circuit.random import random_circuit
+from repro.fuzz.generate import (
+    DEFAULT_FUZZ_CONFIG,
+    case_seed,
+    coupling_for,
+    generate_case,
+    normalize_config,
+)
+from repro.linalg.unitary import MAX_DENSE_QUBITS
+
+
+# --------------------------------------------------------------------------- #
+# Determinism
+# --------------------------------------------------------------------------- #
+def test_same_triple_yields_identical_cases():
+    for index in range(10):
+        a = generate_case(7, index)
+        b = generate_case(7, index)
+        assert a.case_id == b.case_id
+        assert a.seed == b.seed
+        assert a.circuit.gates == b.circuit.gates
+        assert a.circuit.num_qubits == b.circuit.num_qubits
+        assert a.circuit.num_clbits == b.circuit.num_clbits
+        assert a.coupling.edges == b.coupling.edges
+
+
+def test_cases_are_independent_of_generation_order():
+    forward = [generate_case(3, i).circuit.gates for i in range(6)]
+    backward = [generate_case(3, i).circuit.gates for i in reversed(range(6))]
+    assert forward == list(reversed(backward))
+
+
+def test_different_seeds_give_different_cases():
+    a = generate_case(1, 0)
+    b = generate_case(2, 0)
+    assert a.circuit.gates != b.circuit.gates
+
+
+def test_case_seed_mix_keeps_adjacent_campaigns_apart():
+    overlap = {case_seed(1, i) for i in range(100)} & \
+        {case_seed(2, i) for i in range(100)}
+    assert not overlap
+
+
+# --------------------------------------------------------------------------- #
+# Validity
+# --------------------------------------------------------------------------- #
+def test_generated_circuits_always_validate():
+    for index in range(25):
+        case = generate_case(42, index)
+        case.circuit.validate()  # raises CircuitError on any malformed gate
+        assert case.coupling.num_qubits >= case.circuit.num_qubits
+        assert case.coupling.connected
+
+
+def test_generation_covers_conditioned_and_measured_circuits():
+    cases = [generate_case(0, i) for i in range(40)]
+    assert any(
+        g.is_conditioned() for case in cases for g in case.circuit.gates
+    ), "p_conditioned default never produced a conditioned gate"
+    assert any(
+        g.is_measurement() for case in cases for g in case.circuit.gates
+    ), "p_measure default never produced a measured circuit"
+
+
+# --------------------------------------------------------------------------- #
+# Config normalisation
+# --------------------------------------------------------------------------- #
+def test_normalize_config_fills_defaults_and_clamps():
+    config = normalize_config(None)
+    assert config == normalize_config({})
+    for key in DEFAULT_FUZZ_CONFIG:
+        assert key in config
+    clamped = normalize_config({"max_qubits": 99, "min_qubits": 50,
+                                "min_gates": -3, "max_gates": -7})
+    assert clamped["max_qubits"] == MAX_DENSE_QUBITS
+    assert clamped["min_qubits"] == MAX_DENSE_QUBITS
+    assert clamped["min_gates"] == 0
+    assert clamped["max_gates"] == 0
+
+
+def test_normalize_config_does_not_mutate_input():
+    original = {"max_qubits": 3}
+    normalize_config(original)
+    assert original == {"max_qubits": 3}
+
+
+def test_generated_sizes_respect_config_bounds():
+    config = {"min_qubits": 2, "max_qubits": 3, "min_gates": 1, "max_gates": 4}
+    for index in range(20):
+        case = generate_case(5, index, config)
+        assert 2 <= case.circuit.num_qubits <= 3
+        assert 1 <= len(
+            [g for g in case.circuit.gates if not g.is_measurement()]
+        ) <= 4
+
+
+# --------------------------------------------------------------------------- #
+# Devices
+# --------------------------------------------------------------------------- #
+def test_coupling_for_uses_named_device_when_big_enough():
+    device = coupling_for(4, "ibm_16q")
+    assert device.num_qubits == 16
+
+
+def test_coupling_for_degrades_small_or_unknown_devices_to_linear():
+    assert coupling_for(4, "no-such-device").num_qubits == 4
+    chain = coupling_for(1, "linear")
+    assert chain.num_qubits == 2  # a 1-qubit "chain" still needs an edge
+    assert chain.connected
+
+
+# --------------------------------------------------------------------------- #
+# The underlying random_circuit stream
+# --------------------------------------------------------------------------- #
+def test_random_circuit_stream_compat_without_conditions():
+    """``p_conditioned=0`` must not perturb the pre-existing rng stream."""
+    legacy = random_circuit(3, 8, seed=11)
+    extended = random_circuit(3, 8, seed=11, num_clbits=2, p_conditioned=0.0)
+    assert legacy.gates == extended.gates
+
+
+@pytest.mark.parametrize("seed", [0, 1, 123456789])
+def test_random_circuit_seeded_determinism(seed):
+    a = random_circuit(4, 10, seed=seed, measure=True,
+                       num_clbits=2, p_conditioned=0.3)
+    b = random_circuit(4, 10, seed=seed, measure=True,
+                       num_clbits=2, p_conditioned=0.3)
+    assert a.gates == b.gates

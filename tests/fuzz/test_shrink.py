@@ -1,0 +1,95 @@
+"""Delta-debugging minimisation: convergence, budget, and 1-minimality."""
+
+import pytest
+
+from repro.circuit import Gate, QCircuit
+from repro.circuit.random import random_circuit
+from repro.fuzz.oracle import differential_check
+from repro.fuzz.shrink import (
+    DEFAULT_SHRINK_BUDGET,
+    ShrinkResult,
+    is_one_minimal,
+    shrink_failure,
+)
+
+
+class _HatesConditionedH:
+    """Fails (drops a gate) iff the circuit contains a conditioned ``h``."""
+
+    def __call__(self, circuit):
+        gates = list(circuit.gates)
+        if any(g.name == "h" and g.is_conditioned() for g in gates):
+            gates = gates[:-1]
+        return QCircuit(circuit.num_qubits, circuit.num_clbits,
+                        gates=gates, name=circuit.name)
+
+
+def _noisy_failing_circuit():
+    """A conditioned ``h`` buried in twelve gates of noise."""
+    circuit = random_circuit(4, 11, seed=9, num_clbits=2)
+    gates = list(circuit.gates)
+    gates.insert(5, Gate("h", (2,), condition=(1, 1)))
+    gates.append(Gate("x", (0,)))
+    return QCircuit(4, 2, gates=gates)
+
+
+def test_shrink_reduces_to_the_responsible_core():
+    circuit = _noisy_failing_circuit()
+    failure = differential_check(_HatesConditionedH, circuit)
+    assert failure is not None
+    result = shrink_failure(_HatesConditionedH, circuit, failure)
+    assert isinstance(result, ShrinkResult)
+    assert result.minimal
+    assert result.failure.kind == failure.kind
+    # A lone conditioned h already triggers the bug, so ddmin should get
+    # all the way down (allow a little slack for plateaued reductions).
+    assert len(result.circuit.gates) <= 2
+    assert any(g.name == "h" and g.is_conditioned()
+               for g in result.circuit.gates)
+    assert result.steps > 0
+    assert 0 < result.checks <= DEFAULT_SHRINK_BUDGET
+
+
+def test_shrunk_circuit_still_fails_the_oracle():
+    circuit = _noisy_failing_circuit()
+    failure = differential_check(_HatesConditionedH, circuit)
+    result = shrink_failure(_HatesConditionedH, circuit, failure)
+    confirmed = differential_check(_HatesConditionedH, result.circuit)
+    assert confirmed is not None
+    assert confirmed.kind == failure.kind
+
+
+def test_shrink_compacts_unused_wires():
+    circuit = _noisy_failing_circuit()
+    failure = differential_check(_HatesConditionedH, circuit)
+    result = shrink_failure(_HatesConditionedH, circuit, failure)
+    used = {q for g in result.circuit.gates for q in g.all_qubits}
+    assert result.circuit.num_qubits == max(1, len(used))
+    assert used == set(range(len(used)))  # densely renumbered
+
+
+def test_exhausted_budget_reports_not_minimal():
+    circuit = _noisy_failing_circuit()
+    failure = differential_check(_HatesConditionedH, circuit)
+    result = shrink_failure(_HatesConditionedH, circuit, failure, budget=3)
+    assert not result.minimal
+    assert result.checks <= 3
+    # Whatever survived must still be the same confirmed failure.
+    assert differential_check(_HatesConditionedH, result.circuit) is not None
+
+
+def test_shrink_is_deterministic():
+    circuit = _noisy_failing_circuit()
+    failure = differential_check(_HatesConditionedH, circuit)
+    a = shrink_failure(_HatesConditionedH, circuit, failure)
+    b = shrink_failure(_HatesConditionedH, circuit, failure)
+    assert a.circuit.gates == b.circuit.gates
+    assert (a.steps, a.checks, a.minimal) == (b.steps, b.checks, b.minimal)
+
+
+def test_is_one_minimal_distinguishes_reducible_circuits():
+    minimal = QCircuit(1, 2, gates=[Gate("h", (0,), condition=(0, 1))])
+    assert differential_check(_HatesConditionedH, minimal) is not None
+    assert is_one_minimal(_HatesConditionedH, minimal)
+    padded = QCircuit(2, 2, gates=list(minimal.gates) + [Gate("x", (1,))])
+    assert not is_one_minimal(_HatesConditionedH, padded)

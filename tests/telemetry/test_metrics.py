@@ -32,6 +32,26 @@ def test_counter_registry_inc_set_get():
     assert counters.get("a_total") == 5
 
 
+def test_counter_registry_merge_adds_snapshots():
+    counters = CounterRegistry()
+    counters.inc("a_total", 2)
+    counters.merge({"a_total": 3, "b_total": 5})
+    counters.merge({})  # merging nothing is a no-op
+    assert counters.get("a_total") == 5
+    assert counters.get("b_total") == 5
+
+
+def test_counter_registry_merge_combines_worker_payloads():
+    """The fuzz campaign folds per-unit snapshots into one registry."""
+    workers = [CounterRegistry() for _ in range(3)]
+    for index, registry in enumerate(workers):
+        registry.inc("repro_fuzz_cases_total", index + 1)
+    combined = CounterRegistry()
+    for registry in workers:
+        combined.merge(registry.snapshot())
+    assert combined.get("repro_fuzz_cases_total") == 6
+
+
 def test_counter_registry_is_thread_safe():
     counters = CounterRegistry()
 

@@ -145,6 +145,42 @@ def test_merge_arbitrary_single_qubit_u_runs(circuit):
     assert circuits_equivalent(QCircuit(1, gates=run), QCircuit(1, gates=merged))
 
 
+def test_merge_1q_gates_handles_rx_and_ry():
+    """Regression: rx/ry runs crashed the merge (found by the fuzzer).
+
+    ``Optimize1qGatesDecomposition`` collects rx/ry into runs, so the
+    merge must know their Euler angles: rx(t) = u3(t, -pi/2, pi/2) and
+    ry(t) = u3(t, 0, 0) up to global phase.
+    """
+    run = [Gate("rx", (0,), (0.9,)), Gate("ry", (0,), (1.3,)),
+           Gate("u2", (0,), (0.2, 0.4))]
+    merged = merge_1q_gates(run)
+    assert len(merged) == 1 and merged[0].name == "u3"
+    assert circuits_equivalent(QCircuit(1, gates=run), QCircuit(1, gates=merged))
+
+
+@settings(max_examples=30, deadline=None)
+@given(circuit_strategy(num_qubits=1, max_gates=6))
+def test_merge_arbitrary_rotation_runs(circuit):
+    run = [g for g in circuit if g.name in ("rx", "ry", "rz", "u1", "u2", "u3")]
+    if not run:
+        return
+    merged = merge_1q_gates(run)
+    assert circuits_equivalent(QCircuit(1, gates=run), QCircuit(1, gates=merged))
+
+
+def test_optimize_1q_decomposition_no_longer_crashes_on_rx_ry():
+    from repro.passes import Optimize1qGatesDecomposition
+
+    circuit = QCircuit(1)
+    circuit.rx(0.7, 0)
+    circuit.ry(1.1, 0)
+    circuit.rz(0.3, 0)
+    output = Optimize1qGatesDecomposition()(circuit.copy())
+    assert circuits_equivalent(circuit, output)
+    assert len(output.gates) == 1
+
+
 # --------------------------------------------------------------------------- #
 # Coupling helpers
 # --------------------------------------------------------------------------- #
