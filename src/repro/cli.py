@@ -49,11 +49,24 @@ Invoked as ``python -m repro <command>``.  Commands:
 ``top``
     Live per-worker health of a running ``--workers``/``--cluster``
     verification: inflight unit, throughput, prove vs transport seconds,
-    rss — from the coordinator's ``run-status.json`` (``--once`` for CI).
+    rss — from the coordinator's ``run-status.json`` (``--once`` for CI;
+    ``--once --fail-unhealthy`` exits 1 on stale/oversized workers).
+
+``stats``
+    The latest run's canonical proof-store analytics (``store-stats.json``
+    beside the cache): tier hit ratios, hottest keys, wasted evictions.
+    The JSON form is byte-identical at any worker count.
+
+``dash``
+    Render the whole observability stack — history trends, the latest
+    run's queue/prove split, tier hit-ratio evolution, cluster health,
+    fuzz-corpus status — as one self-contained HTML file (inline SVG,
+    no scripts, no network).
 
 ``bench``
     Run one of the paper's evaluation drivers (``table2``, ``figure11``,
-    ``case-studies``), or measure the tracing overhead (``telemetry``).
+    ``case-studies``), or measure the tracing overhead (``telemetry``)
+    or the store-analytics overhead (``stats``).
 
 ``soundness``
     Re-check every rewrite rule and the commutation table against the dense
@@ -153,6 +166,7 @@ def _record_history(args: argparse.Namespace) -> None:
         from repro.engine.fingerprint import toolchain_fingerprint
         from repro.telemetry.analyze import load_trace, summarize_trace
         from repro.telemetry.history import TelemetryHistory, git_describe
+        from repro.telemetry.stats import load_store_stats
 
         summary = summarize_trace(load_trace(args.trace))
         directory = args.cache_dir or str(default_cache_dir())
@@ -160,6 +174,10 @@ def _record_history(args: argparse.Namespace) -> None:
             run_id = history.record_run(
                 summary,
                 stats={"backend": args.backend},
+                # The run just wrote its canonical store aggregate beside
+                # the cache; fold it into the same history row so tier hit
+                # ratios trend alongside wall time.
+                store_stats=load_store_stats(directory),
                 node="main",
                 toolchain=toolchain_fingerprint(),
                 git=git_describe(),
@@ -449,6 +467,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _payload_bytes_suffix(nbytes) -> str:
+    """``, N KiB payload`` when the store measured it, else nothing.
+
+    JSONL stores (and daemons predating the field) report no payload
+    size; the line simply stays in its old shape for them.
+    """
+    if not isinstance(nbytes, (int, float)) or nbytes <= 0:
+        return ""
+    return f", {nbytes / 1024:.1f} KiB payload"
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     import json as json_module
 
@@ -507,10 +536,12 @@ def _cmd_status(args: argparse.Namespace) -> int:
                   f"{watcher['prewarmed']} entries pre-warmed")
         store = payload.get("store", {})
         print(f"store       : {store.get('entries_live', '?')} live entries, "
-              f"{store.get('accumulated_hits', '?')} accumulated hits")
+              f"{store.get('accumulated_hits', '?')} accumulated hits"
+              + _payload_bytes_suffix(store.get("payload_bytes")))
         if store.get("cert_entries") is not None:
             print(f"certificates: {store['cert_entries']} entries, "
-                  f"{store.get('cert_accumulated_hits', 0)} accumulated hits")
+                  f"{store.get('cert_accumulated_hits', 0)} accumulated hits"
+                  + _payload_bytes_suffix(store.get("cert_payload_bytes")))
         return 0
     # No daemon: report on the shared store itself, if one exists.
     if sqlite_cache_path(cache_dir).exists():
@@ -523,9 +554,11 @@ def _cmd_status(args: argparse.Namespace) -> int:
             print(f"no daemon running for cache {cache_dir}")
             print(f"store       : {summary['entries_live']} live entries "
                   f"({summary['entries_stale']} stale), "
-                  f"{summary['accumulated_hits']} accumulated hits")
+                  f"{summary['accumulated_hits']} accumulated hits"
+                  + _payload_bytes_suffix(summary.get("payload_bytes")))
             print(f"certificates: {summary.get('cert_entries', 0)} entries, "
-                  f"{summary.get('cert_accumulated_hits', 0)} accumulated hits")
+                  f"{summary.get('cert_accumulated_hits', 0)} accumulated hits"
+                  + _payload_bytes_suffix(summary.get("cert_payload_bytes")))
             print("start one with: repro serve")
         return 1
     print(f"no daemon running for cache {cache_dir} (and no sqlite store yet)",
@@ -560,12 +593,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             with open_proof_cache(cache_dir, args.backend) as cache:
                 before = len(cache.deps_snapshot())
                 removed = cache.gc_deps(live)
+                dep_bytes = cache.stats.dep_bytes_reclaimed
         except (OSError, sqlite3.Error) as exc:
             print(f"cannot open proof cache: {exc}", file=sys.stderr)
             return 2
         print(f"gc'd {args.backend} dependency index at {cache_dir}: "
               f"{before} -> {before - removed} entries "
-              f"({removed} reclaimed for configurations no longer in any suite)")
+              f"({removed} reclaimed for configurations no longer in any "
+              f"suite, {dep_bytes} bytes)")
         return 0
     # prune
     if args.max_entries < 0:
@@ -578,6 +613,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             after = len(cache)
             deps_reclaimed = cache.stats.deps_reclaimed
             certs_evicted = cache.stats.certs_evicted
+            reclaimed = (cache.stats.proof_bytes_reclaimed,
+                         cache.stats.cert_bytes_reclaimed,
+                         cache.stats.dep_bytes_reclaimed)
     except (OSError, sqlite3.Error) as exc:
         print(f"cannot open proof cache: {exc}", file=sys.stderr)
         return 2
@@ -585,6 +623,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
           f"{before} -> {after} entries ({evicted} evicted, "
           f"{certs_evicted} orphaned certificates dropped, "
           f"{deps_reclaimed} dep rows reclaimed)")
+    print(f"reclaimed bytes: {reclaimed[0]} proofs, {reclaimed[1]} "
+          f"certificates, {reclaimed[2]} deps "
+          f"({sum(reclaimed)} total)")
     return 0
 
 
@@ -824,12 +865,17 @@ def _render_top(status: Dict) -> List[str]:
 def _cmd_top(args: argparse.Namespace) -> int:
     import time as time_module
 
-    from repro.cluster.status import read_run_status, run_status_path
+    from repro.cluster.status import (health_problems, read_run_status,
+                                      run_status_path)
     from repro.engine import default_cache_dir
 
     directory = args.cache_dir or str(default_cache_dir())
     if args.interval <= 0:
         print("--interval must be > 0", file=sys.stderr)
+        return 2
+    if args.fail_unhealthy and not args.once:
+        print("--fail-unhealthy needs --once (it is the CI-able health "
+              "check; live mode keeps rendering instead)", file=sys.stderr)
         return 2
     if args.once:
         status = read_run_status(directory)
@@ -840,6 +886,17 @@ def _cmd_top(args: argparse.Namespace) -> int:
             return 1
         for line in _render_top(status):
             print(line)
+        if args.fail_unhealthy:
+            max_rss = None
+            if args.max_rss_mib is not None:
+                max_rss = int(args.max_rss_mib * 1048576)
+            problems = health_problems(status, stale_after=args.stale_after,
+                                       max_rss_bytes=max_rss)
+            if problems:
+                for problem in problems:
+                    print(f"unhealthy: {problem}", file=sys.stderr)
+                return 1
+            print("health: ok")
         return 0
     try:
         while True:
@@ -857,6 +914,51 @@ def _cmd_top(args: argparse.Namespace) -> int:
             time_module.sleep(args.interval)
     except KeyboardInterrupt:
         return 0
+
+
+# --------------------------------------------------------------------------- #
+# stats / dash
+# --------------------------------------------------------------------------- #
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.engine import default_cache_dir
+    from repro.telemetry.stats import (canonical_bytes, load_store_stats,
+                                       render_stats_table, store_stats_path)
+
+    directory = args.cache_dir or str(default_cache_dir())
+    payload = load_store_stats(directory)
+    if payload is None:
+        print(f"no store analytics at {store_stats_path(directory)} "
+              f"(a cached run writes them automatically: "
+              f"`repro verify --all`)", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        # The canonical half only, as canonical JSON: this output is the
+        # determinism surface — byte-identical at any worker count and on
+        # either cache backend.
+        print(canonical_bytes(payload))
+        return 0
+    for line in render_stats_table(payload, top=args.top):
+        print(line)
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.engine import default_cache_dir
+    from repro.telemetry.dash import write_dashboard
+
+    directory = args.cache_dir or str(default_cache_dir())
+    try:
+        out = write_dashboard(directory, args.html, corpus_dir=args.corpus)
+    except OSError as exc:
+        print(f"cannot write dashboard: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {out} (self-contained: open it in any browser, "
+          f"no network needed)")
+    if args.open:
+        import webbrowser
+
+        webbrowser.open(out.resolve().as_uri())
+    return 0
 
 
 # --------------------------------------------------------------------------- #
@@ -896,6 +998,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.repeats is not None:
             argv += ["--repeats", str(args.repeats)]
         return telemetry_main(argv)
+    if args.target == "stats":
+        from repro.bench.stats import main as stats_main
+
+        argv = []
+        if args.record:
+            argv += ["--record", args.record]
+        if args.repeats is not None:
+            argv += ["--repeats", str(args.repeats)]
+        return stats_main(argv)
     from repro.bench.case_studies import main as case_studies_main
 
     return case_studies_main([])
@@ -1279,12 +1390,51 @@ def build_parser() -> argparse.ArgumentParser:
                           "exists, 1 otherwise) — for scripts and CI")
     top.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
                      help="refresh interval in live mode (default 1.0)")
+    top.add_argument("--fail-unhealthy", action="store_true",
+                     help="with --once: exit 1 when any worker is stale "
+                          "(or over --max-rss-mib) or units failed — the "
+                          "runbook health checklist as one CI step")
+    top.add_argument("--stale-after", type=float, default=10.0,
+                     metavar="SECONDS",
+                     help="heartbeat age that marks a worker stale while "
+                          "the run is live (default 10.0)")
+    top.add_argument("--max-rss-mib", type=float, default=None, metavar="MIB",
+                     help="additionally flag any worker whose reported rss "
+                          "exceeds MIB (default: no rss check)")
     top.set_defaults(handler=_cmd_top)
+
+    stats = sub.add_parser(
+        "stats", help="the latest run's canonical proof-store analytics "
+                      "(tier hit ratios, hot keys, wasted evictions)")
+    stats.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory holding store-stats.json "
+                            "(default ~/.cache/repro)")
+    stats.add_argument("--top", type=int, default=10, metavar="N",
+                       help="hot keys to list (default 10)")
+    stats.add_argument("--format", choices=("table", "json"), default="table",
+                       help="json prints the canonical aggregate only — "
+                            "byte-identical at any worker count")
+    stats.set_defaults(handler=_cmd_stats)
+
+    dash = sub.add_parser(
+        "dash", help="render history, the latest run, tier ratios, cluster "
+                     "health, and the fuzz corpus as one offline HTML page")
+    dash.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="cache directory to report on "
+                           "(default ~/.cache/repro)")
+    dash.add_argument("--html", default="repro-dash.html", metavar="OUT",
+                      help="output file (default repro-dash.html)")
+    dash.add_argument("--corpus", default=".repro-fuzz", metavar="DIR",
+                      help="fuzz corpus directory for the corpus section "
+                           "(default .repro-fuzz)")
+    dash.add_argument("--open", action="store_true",
+                      help="open the rendered report in the default browser")
+    dash.set_defaults(handler=_cmd_dash)
 
     bench = sub.add_parser("bench", help="run one of the paper's evaluation drivers")
     bench.add_argument("target",
                        choices=("table2", "figure11", "case-studies", "cluster",
-                                "solver", "telemetry"))
+                                "solver", "telemetry", "stats"))
     bench.add_argument("--small", action="store_true", help="figure11: use the trimmed suite")
     bench.add_argument("--new-passes-only", action="store_true",
                        help="table2: only the passes new in Qiskit 0.32")
@@ -1294,9 +1444,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="solver: additionally measure this prover backend "
                             "(repeatable)")
     bench.add_argument("--repeats", type=int, default=None, metavar="N",
-                       help="telemetry: warm off/on measurement pairs (default 20)")
+                       help="telemetry/stats: warm off/on measurement pairs "
+                            "(default 20)")
     bench.add_argument("--record", default=None, metavar="PATH",
-                       help="cluster/solver: write the measured comparison as JSON")
+                       help="cluster/solver/telemetry/stats: write the "
+                            "measured comparison as JSON")
     bench.set_defaults(handler=_cmd_bench)
 
     fuzz = sub.add_parser(

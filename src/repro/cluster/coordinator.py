@@ -78,6 +78,7 @@ from repro.engine.driver import (
 from repro.engine.scheduler import default_jobs
 from repro.incremental.deps import identity_key
 from repro.service.protocol import pass_registry
+from repro.telemetry import stats as store_stats
 from repro.telemetry import trace as _trace
 from repro.verify.discharge import Discharger
 
@@ -149,6 +150,13 @@ class UnitScheduler:
         self.results: Dict[str, Dict] = {}
         self.failures: Dict[str, str] = {}
         self._attempts: Dict[str, int] = {}
+        # Queue-time attribution: every unit is stamped at enqueue and its
+        # wait is fixed at *first* lease (a steal re-leases an already
+        # measured unit and must not recompute).  Requeue restarts the
+        # clock — the retry's wait is the one the merged trace reports.
+        now = time.monotonic()
+        self._enqueued: Dict[str, float] = {u.unit_id: now for u in units}
+        self._queue_wait: Dict[str, float] = {}
         self._cond = threading.Condition()
         self.steal_after = steal_after
         self.max_attempts = max_attempts
@@ -178,6 +186,9 @@ class UnitScheduler:
                 lease = self._leases.setdefault(
                     unit.unit_id, {"since": now, "owners": set()})
                 lease["owners"].add(owner)
+                self._queue_wait.setdefault(
+                    unit.unit_id,
+                    max(0.0, now - self._enqueued.get(unit.unit_id, now)))
                 self._trace_event("cluster.lease", unit=unit.unit_id,
                                   worker=owner)
                 return ("unit", unit)
@@ -220,6 +231,8 @@ class UnitScheduler:
             if attempts < self.max_attempts:
                 self.retried += 1
                 self._pending.append(unit)
+                self._enqueued[unit_id] = time.monotonic()
+                self._queue_wait.pop(unit_id, None)
                 self._trace_event("cluster.requeue", unit=unit_id,
                                   reason="unit-failed", attempts=attempts)
             else:
@@ -238,9 +251,30 @@ class UnitScheduler:
                     del self._leases[unit_id]
                     self.retried += 1
                     self._pending.append(self._by_id[unit_id])
+                    self._enqueued[unit_id] = time.monotonic()
+                    self._queue_wait.pop(unit_id, None)
                     self._trace_event("cluster.requeue", unit=unit_id,
                                       reason="connection-lost", worker=owner)
             self._cond.notify_all()
+
+    def queue_wait(self, unit_id: str) -> float:
+        """Seconds ``unit_id`` sat queued before its (latest) lease.
+
+        Units the cluster never served (proved by the local fallback)
+        lazily fix their wait at first query — they waited the whole
+        cluster phase, and the merged unit span built at merge time is
+        that first query.
+        """
+        with self._cond:
+            wait = self._queue_wait.get(unit_id)
+            if wait is not None:
+                return wait
+            enqueued = self._enqueued.get(unit_id)
+            if enqueued is None:
+                return 0.0
+            wait = max(0.0, time.monotonic() - enqueued)
+            self._queue_wait[unit_id] = wait
+            return wait
 
     # ------------------------------------------------------------------ #
     def _done_locked(self) -> bool:
@@ -286,7 +320,7 @@ class ClusterCoordinator:
                  counterexample_search: bool = True,
                  solver: str = "builtin",
                  registry: Optional[Dict[str, type]] = None,
-                 board=None) -> None:
+                 board=None, recorder=None) -> None:
         from repro.engine.fingerprint import toolchain_fingerprint
 
         self.cache = cache
@@ -295,6 +329,9 @@ class ClusterCoordinator:
         #: Optional :class:`repro.cluster.status.RunStatusBoard` — the live
         #: health table behind ``repro top``.
         self.board = board
+        #: Optional :class:`repro.telemetry.stats.StatsRecorder` — absorbs
+        #: the per-unit remote-store io deltas workers ship back.
+        self.recorder = recorder
         # Captured once: self-leased units swap the global tracer for a
         # collector mid-run, and handler threads absorbing results during
         # that window must still write to the run's sink.
@@ -364,6 +401,13 @@ class ClusterCoordinator:
             self.remote_subgoal_hits += int(message.get("subgoal_remote_hits", 0))
             self.worker_subgoal_hits += int(message.get("subgoal_hits", 0))
             self.worker_subgoal_misses += int(message.get("subgoal_misses", 0))
+        if self.recorder is not None:
+            # Remote-store io is timing-dependent by nature, so it merges
+            # into the *local* half of the stats payload under a prefixed
+            # tier name; the canonical half is fed at merge time from the
+            # accepted results only.
+            for tier, counters in (message.get("store_io") or {}).items():
+                self.recorder.merge_io(f"remote-{tier}", counters)
         if self.board is not None:
             attribution = owner or ("coordinator" if local else "worker")
             self.board.note_result(
@@ -381,7 +425,9 @@ class ClusterCoordinator:
                     "unit", kind="unit", unit=message.get("unit_id"),
                     worker=attribution,
                     prove_seconds=round(float(message.get("wall_seconds", 0.0)), 6),
-                    transport_seconds=round(max(0.0, transport), 6)) as handle:
+                    transport_seconds=round(max(0.0, transport), 6),
+                    queue_wait=round(self.scheduler.queue_wait(
+                        str(message.get("unit_id"))), 6)) as handle:
                 pass
             spans = message.pop("spans", None)
             if spans:
@@ -639,13 +685,26 @@ def _distributed_with_cache(
     base_hits = cache.stats.pass_hits if cache is not None else 0
     base_misses = cache.stats.pass_misses if cache is not None else 0
 
+    # Store analytics: one recorder per run, attached to the cache for the
+    # io hooks and fed canonical facts by the driver/merge paths.  Always
+    # best-effort — accounting must never fail a verification run.
+    recorder = None
+    if cache is not None and store_stats.enabled():
+        try:
+            recorder = store_stats.StatsRecorder(
+                cache.directory, backend=getattr(cache, "backend", None),
+                workers=worker_count if local_mode else None)
+            cache.recorder = recorder
+        except Exception:
+            recorder = None
+
     # Dependency recording (import-graph walks) is deferred off the
     # critical path: the coordinator records it while the workers prove.
     deferred_deps: List[Tuple] = [] if record_deps else None
     results, pending = resolve_pending(
         pass_classes, stats, cache, kwargs_fn,
         changed_paths=changed_paths, record_deps=record_deps,
-        deferred_deps=deferred_deps, solver=solver,
+        deferred_deps=deferred_deps, solver=solver, recorder=recorder,
     )
 
     cluster_info: Dict[str, object] = {
@@ -657,6 +716,12 @@ def _distributed_with_cache(
     if not pending:
         if deferred_deps:
             record_deferred_deps(cache, deferred_deps)
+        if recorder is not None:
+            try:
+                recorder.finalize_and_save()
+            except Exception:
+                pass
+            cache.recorder = None
         finalize_stats(stats, cache, base_hits, base_misses, base_invalidated,
                        0, started)
         return EngineReport(results=list(results), stats=stats)
@@ -694,7 +759,7 @@ def _distributed_with_cache(
         cache, scheduler, secrets.token_hex(16),
         counterexample_search=counterexample_search,
         solver=solver, registry=registry if self_lease else None,
-        board=board)
+        board=board, recorder=recorder)
 
     listener = None
     processes: List = []
@@ -766,6 +831,13 @@ def _distributed_with_cache(
     _merge_run(results, pending, plan, scheduler, coordinator, cache, stats,
                counterexample_search, timings_dir, kwargs_fn,
                shard_threshold=shard_threshold)
+
+    if recorder is not None:
+        try:
+            recorder.finalize_and_save()
+        except Exception:
+            pass
+        cache.recorder = None
 
     cluster_info["workers"] = coordinator.workers_seen
     cluster_info["remote_units"] = coordinator.remote_units
@@ -855,6 +927,31 @@ def _merge_run_traced(results, pending, plan, scheduler, coordinator, cache,
     for unit in plan.units:
         units_by_index.setdefault(unit.index, []).append(unit)
 
+    # Canonical store accounting is fed here — not at absorb time — so the
+    # facts that reach the recorder are exactly the facts that reach the
+    # report: one accounting source per pass, chosen the same way the
+    # result is.  Complete unit sets feed from their messages (shards
+    # partition a pass's subgoal work, so the sum matches a whole-pass
+    # run); passes the cluster never finished feed from the local re-prove
+    # instead.  ``fed_indices`` keeps the two sources exclusive when a
+    # failing split pass is re-proved locally just for its counterexample.
+    recorder = coordinator.recorder
+    fed_indices: set = set()
+
+    def feed_unit_messages(index, messages) -> None:
+        if recorder is None:
+            return
+        try:
+            for message in messages:
+                recorder.note_unit(
+                    message.get("subgoal_hit_keys") or [],
+                    (message.get("new_subgoals") or {}).keys())
+                recorder.note_certificates(
+                    (message.get("new_certificates") or {}).keys())
+            fed_indices.add(index)
+        except Exception:
+            pass
+
     timing_updates: Dict[str, float] = {}
     local_entries = list(plan.local)
     for entry in pending:
@@ -879,8 +976,14 @@ def _merge_run_traced(results, pending, plan, scheduler, coordinator, cache,
         # re-prove it whole so the report matches single-process output.
         if units[0].kind == "shard" and not merged["verified"] \
                 and counterexample_search:
+            # The shards are a complete accounting of the pass's subgoal
+            # work; the local re-prove only recovers the counterexample
+            # (its table is warm with the shard-proved subgoals, so its
+            # own accounting would read all-hits — a cluster artifact).
+            feed_unit_messages(index, payloads)
             local_entries.append(entry)
             continue
+        feed_unit_messages(index, payloads)
         results[index] = payload_to_result(merged)
         if cache is not None:
             with coordinator._store_lock:
@@ -931,8 +1034,17 @@ def _merge_run_traced(results, pending, plan, scheduler, coordinator, cache,
                                      worker="local-fallback",
                                      prove_seconds=round(
                                          result.time_seconds, 6),
-                                     transport_seconds=0.0):
+                                     transport_seconds=0.0,
+                                     queue_wait=round(
+                                         scheduler.queue_wait(unit.unit_id),
+                                         6)):
                         pass
+        if recorder is not None and index not in fed_indices:
+            try:
+                recorder.note_unit(acct.hit_keys, acct.new_subgoals.keys())
+                recorder.note_certificates(acct.new_certificates.keys())
+            except Exception:
+                pass
         results[index] = result
         stats.subgoal_hits += acct.hits
         stats.subgoal_misses += acct.misses

@@ -25,11 +25,12 @@ import os
 import threading
 import time
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 __all__ = [
     "RUN_STATUS_SCHEMA_VERSION",
     "RunStatusBoard",
+    "health_problems",
     "read_run_status",
     "run_status_path",
 ]
@@ -173,6 +174,41 @@ class RunStatusBoard:
             _write_private(run_status_path(self.cache_dir), text)
         except OSError:
             pass  # telemetry must never fail the run
+
+
+def health_problems(status: Dict, *, stale_after: float = 10.0,
+                    max_rss_bytes: Optional[int] = None) -> List[str]:
+    """Operator-actionable defects in one board snapshot.
+
+    Backs ``repro top --once --fail-unhealthy`` (the CI-able form of the
+    runbook's health checklist).  A worker is *stale* when the board was
+    written ``stale_after`` seconds after its last heartbeat while the run
+    was still live — dead workers stop heartbeating but the coordinator
+    keeps writing progress.  ``max_rss_bytes`` flags any worker above the
+    threshold regardless of run state.  Returns human-readable problem
+    lines, empty when healthy.
+    """
+    problems: List[str] = []
+    updated_at = float(status.get("updated_at") or 0.0)
+    live = not status.get("done")
+    for owner, row in sorted((status.get("workers") or {}).items()):
+        if not isinstance(row, dict):
+            continue
+        last_seen = float(row.get("last_seen") or 0.0)
+        if live and updated_at - last_seen > float(stale_after):
+            problems.append(
+                f"worker {owner} is stale: last heartbeat "
+                f"{updated_at - last_seen:.1f}s before the latest board "
+                f"write (threshold {float(stale_after):.1f}s)")
+        rss = row.get("rss_bytes")
+        if max_rss_bytes is not None and isinstance(rss, (int, float)) \
+                and rss > max_rss_bytes:
+            problems.append(
+                f"worker {owner} rss {int(rss)} bytes exceeds the "
+                f"{int(max_rss_bytes)}-byte threshold")
+    if live and status.get("failures"):
+        problems.append(f"{status['failures']} unit(s) failed permanently")
+    return problems
 
 
 def read_run_status(cache_dir: os.PathLike) -> Optional[Dict]:

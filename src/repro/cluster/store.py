@@ -23,6 +23,8 @@ else (and make the store usable as a drop-in ``cache=`` for
 
 from __future__ import annotations
 
+import json
+from time import perf_counter
 from typing import Dict, List, Optional
 
 from repro.engine.cache import CacheStats
@@ -56,6 +58,21 @@ _WRITE_OPS = {"store.put_pass", "store.put_subgoal", "store.put_deps",
 
 def is_store_op(message: Dict) -> bool:
     return message.get("op") in _STORE_OPS
+
+
+def _entry_bytes(entry: Optional[dict]) -> int:
+    """Approximate payload size of a fetched entry for io accounting.
+
+    The entry just crossed the wire as JSON, so the canonical dump length
+    is a faithful proxy; the dump cost is dwarfed by the roundtrip it
+    accounts for.
+    """
+    if entry is None:
+        return 0
+    try:
+        return len(json.dumps(entry, sort_keys=True))
+    except (TypeError, ValueError):
+        return 0
 
 
 def serve_store_op(cache, message: Dict, allow_writes: bool = True) -> Dict:
@@ -109,6 +126,28 @@ class RemoteProofStore:
         self._connection = connection
         self.active_fingerprint = active_fingerprint
         self.stats = CacheStats()
+        # Per-tier io counters for store analytics: the worker attaches the
+        # per-unit delta to result messages and the coordinator merges it
+        # into the run's StatsRecorder (non-canonical — timings differ
+        # between runs, so they live in the "local" half of the payload).
+        self._io: Dict[str, Dict[str, float]] = {}
+
+    def _note_io(self, tier: str, *, hit: bool, seconds: float,
+                 nbytes: int = 0) -> None:
+        row = self._io.setdefault(
+            tier, {"gets": 0, "hits": 0, "misses": 0,
+                   "seconds": 0.0, "bytes": 0})
+        row["gets"] += 1
+        row["hits" if hit else "misses"] += 1
+        row["seconds"] += seconds
+        row["bytes"] += nbytes
+
+    def io_totals(self) -> Dict[str, Dict[str, float]]:
+        """Accumulated per-tier io counters since the last reset."""
+        return {tier: dict(row) for tier, row in self._io.items()}
+
+    def reset_io(self) -> None:
+        self._io.clear()
 
     def _call(self, op: str, *args):
         self._connection.send({"op": op, "args": list(args)})
@@ -133,7 +172,11 @@ class RemoteProofStore:
         if key is None:
             self.stats.pass_misses += 1
             return None
+        started = perf_counter()
         entry = self._call("store.get_pass", key)
+        self._note_io("pass", hit=entry is not None,
+                      seconds=perf_counter() - started,
+                      nbytes=_entry_bytes(entry))
         if entry is None:
             self.stats.pass_misses += 1
         else:
@@ -150,7 +193,11 @@ class RemoteProofStore:
     # Subgoal-level entries
     # ------------------------------------------------------------------ #
     def get_subgoal(self, key: str) -> Optional[dict]:
+        started = perf_counter()
         entry = self._call("store.get_subgoal", key)
+        self._note_io("subgoal", hit=entry is not None,
+                      seconds=perf_counter() - started,
+                      nbytes=_entry_bytes(entry))
         if entry is None:
             self.stats.subgoal_misses += 1
         else:
@@ -176,7 +223,12 @@ class RemoteProofStore:
     # Certificate tier
     # ------------------------------------------------------------------ #
     def get_certificate(self, key: str) -> Optional[dict]:
-        return self._call("store.get_certificate", key)
+        started = perf_counter()
+        entry = self._call("store.get_certificate", key)
+        self._note_io("certificate", hit=entry is not None,
+                      seconds=perf_counter() - started,
+                      nbytes=_entry_bytes(entry))
+        return entry
 
     def put_certificate(self, key: str, value: dict) -> None:
         self._call("store.put_certificate", key, value)

@@ -238,8 +238,15 @@ def run_worker(address: str, token: str, *,
             subgoal_table.update(message.get("subgoal_updates") or {})
             unit = message["unit"]
             inflight = str(unit.get("unit_id") or "?")
+            store.reset_io()
             reply = execute_unit(unit, registry, subgoal_table,
                                  store=store)
+            store_io = store.io_totals()
+            if store_io:
+                # Per-unit remote-store io rides back on the result so the
+                # coordinator can fold it into the run's store analytics
+                # (additive field; older coordinators ignore it).
+                reply["store_io"] = store_io
             inflight = None
             prove_seconds += float(reply.get("wall_seconds") or 0.0)
             try:

@@ -52,6 +52,11 @@ class CacheStats:
     corrupt_lines: int = 0    # unreadable lines skipped while loading
     evicted: int = 0          # entries dropped by LRU pruning
     deps_reclaimed: int = 0   # dependency-sidecar rows dropped by gc/prune
+    # Reclaimed payload bytes per tier (serialized-value sizes), so
+    # ``repro cache prune|gc`` can report what the eviction actually bought.
+    proof_bytes_reclaimed: int = 0
+    cert_bytes_reclaimed: int = 0
+    dep_bytes_reclaimed: int = 0
     # The certificate tier keeps its own accounting (it used to shadow the
     # subgoal tier's counters, which made its behaviour invisible).
     cert_hits: int = 0
@@ -151,8 +156,21 @@ class ProofCache:
         self.directory = Path(directory) if directory is not None else None
         self.active_fingerprint = active_fingerprint or toolchain_fingerprint()
         self.stats = CacheStats()
+        #: Optional :class:`repro.telemetry.stats.StatsRecorder`; the driver
+        #: attaches one per run.  Every hook site guards on ``None`` so the
+        #: disabled path costs one attribute read per access.
+        self.recorder = None
         self._passes: Dict[str, dict] = {}
         self._subgoals: Dict[str, dict] = {}
+        #: Accumulated per-key hit counters, persisted across sessions (the
+        #: sqlite tier has had these since the shared store landed; without
+        #: them the default backend under-reports every key as cold).
+        self._hits: Dict[Tuple[str, str], int] = {}
+        #: Totals already durable in the file (loaded, or appended this
+        #: session); close() re-appends only the keys that advanced.
+        self._hits_written: Dict[Tuple[str, str], int] = {}
+        self._cert_hits: Dict[str, int] = {}
+        self._cert_hits_dirty = False
         #: Combined recency order over both tables; earliest = least recently
         #: used.  Values are unused (an ordered set, spelled as a dict).
         self._lru: Dict[Tuple[str, str], None] = {}
@@ -220,13 +238,19 @@ class ProofCache:
                     entry = json.loads(line)
                     kind = entry["kind"]
                     if kind == "touch":
-                        # Recency marker appended by an earlier session's
-                        # close(): reorder, don't insert.
+                        # Recency marker appended by an earlier session:
+                        # reorder, don't insert.  Since the hit counters
+                        # became durable the record also carries the key's
+                        # accumulated total (absolute, last write wins).
                         ref, key = entry["ref"], entry["key"]
                         ref = "pass" if ref == "pass" else "subgoal"
                         table = self._passes if ref == "pass" else self._subgoals
                         if key in table:
                             self._touch(ref, key)
+                            hits = entry.get("hits")
+                            if isinstance(hits, int):
+                                self._hits[(ref, key)] = hits
+                                self._hits_written[(ref, key)] = hits
                         self._dead_lines += 1
                         continue
                     key, fingerprint = entry["key"], entry["fp"]
@@ -242,7 +266,14 @@ class ProofCache:
                 if key in table:
                     self._dead_lines += 1
                 table[key] = value
-                self._touch(kind if kind == "pass" else "subgoal", key)
+                kind = kind if kind == "pass" else "subgoal"
+                self._touch(kind, key)
+                hits = entry.get("hits")
+                if isinstance(hits, int):
+                    # Compaction folds the accumulated total into the entry
+                    # record itself (there are no touch records after one).
+                    self._hits[(kind, key)] = hits
+                    self._hits_written[(kind, key)] = hits
 
     def _load_deps(self) -> None:
         self._deps, self._deps_dead, corrupt = _read_deps_file(self.deps_path)
@@ -271,6 +302,9 @@ class ProofCache:
                     self._certs_dead += 1
                 self._certs[key] = value
                 self._touch_cert(key)
+                hits = record.get("hits")
+                if isinstance(hits, int):
+                    self._cert_hits[key] = hits
 
     def _append(self, kind: str, key: str, value: dict) -> None:
         if self._handle is None:
@@ -292,6 +326,7 @@ class ProofCache:
         """
         if self._handle is None:
             return
+        self._flush_hit_counters()
         live = len(self._passes) + len(self._subgoals)
         if self._dead_lines > max(64, live):
             self.compact()
@@ -303,10 +338,31 @@ class ProofCache:
             self._deps_handle.close()
             self._deps_handle = None
         if self._certs_handle is not None:
-            if self._certs_dead > max(16, len(self._certs)):
+            if self._certs_dead > max(16, len(self._certs)) \
+                    or self._cert_hits_dirty:
                 self._compact_certs()
             self._certs_handle.close()
             self._certs_handle = None
+
+    def _flush_hit_counters(self) -> None:
+        """Re-append touch records for keys whose hit total advanced.
+
+        The first hit per key per session rode its own touch record; later
+        hits only moved the in-memory counter.  Appending the final totals
+        in LRU order keeps the loader's recency reconstruction intact.  A
+        crash between sessions loses at most this tail — an acceptable
+        trade for never rewriting the file on the hot path.
+        """
+        if self._handle is None:
+            return
+        for kind, key in list(self._lru):
+            count = self._hits.get((kind, key), 0)
+            if count > self._hits_written.get((kind, key), 0):
+                record = {"kind": "touch", "ref": kind, "key": key,
+                          "hits": count}
+                self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+                self._hits_written[(kind, key)] = count
+                self._dead_lines += 1
 
     def compact(self) -> None:
         """Rewrite the file keeping only live, current-fingerprint entries.
@@ -326,10 +382,16 @@ class ProofCache:
                     continue
                 record = {"kind": kind, "key": key,
                           "fp": self.active_fingerprint, "value": table[key]}
+                hits = self._hits.get((kind, key), 0)
+                if hits:
+                    record["hits"] = hits
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
         os.replace(tmp_path, self.path)
         self._dead_lines = 0
         self._touched.clear()   # recency is now encoded in the file order
+        self._hits = {pair: count for pair, count in self._hits.items()
+                      if pair in self._lru}
+        self._hits_written = dict(self._hits)
         self._handle = open(self.path, "a", encoding="utf-8")
 
     def __enter__(self) -> "ProofCache":
@@ -347,14 +409,30 @@ class ProofCache:
         self._lru[(kind, key)] = None
 
     def _note_touch(self, kind: str, key: str) -> None:
-        """Record a reuse, appending a durable touch record once per session."""
+        """Record a reuse: bump the durable hit counter and recency.
+
+        The first reuse per key per session appends a touch record carrying
+        the new absolute total; later reuses only advance the in-memory
+        counter (close() re-appends the totals that moved).
+        """
         self._touch(kind, key)
+        self._hits[(kind, key)] = self._hits.get((kind, key), 0) + 1
         if (kind, key) in self._touched or self._handle is None:
             return
         self._touched[(kind, key)] = None
-        record = {"kind": "touch", "ref": kind, "key": key}
+        record = {"kind": "touch", "ref": kind, "key": key,
+                  "hits": self._hits[(kind, key)]}
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._hits_written[(kind, key)] = self._hits[(kind, key)]
         self._dead_lines += 1
+
+    def hit_count(self, kind: str, key: str) -> int:
+        """Accumulated (cross-session) hits recorded for one entry."""
+        return self._hits.get((kind, key), 0)
+
+    def accumulated_hits(self) -> int:
+        """Total recorded reuse across the proof tables."""
+        return sum(self._hits.values())
 
     def prune(self, max_entries: int) -> int:
         """Evict least-recently-used entries beyond ``max_entries``.
@@ -365,17 +443,28 @@ class ProofCache:
         """
         max_entries = max(0, int(max_entries))
         evicted = 0
+        journal = []
         while len(self._lru) > max_entries:
             kind, key = next(iter(self._lru))
             del self._lru[(kind, key)]
             table = self._passes if kind == "pass" else self._subgoals
-            if table.pop(key, None) is not None:
+            value = table.pop(key, None)
+            if value is not None:
                 evicted += 1
+                journal.append((kind, key))
+                self.stats.proof_bytes_reclaimed += \
+                    len(json.dumps(value, sort_keys=True))
+            self._hits.pop((kind, key), None)
+            self._hits_written.pop((kind, key), None)
         # Certificates live and die with their subgoal entry.
         orphaned = [key for key in self._certs if key not in self._subgoals]
         for key in orphaned:
+            self.stats.cert_bytes_reclaimed += \
+                len(json.dumps(self._certs[key], sort_keys=True))
+            journal.append(("certificate", key))
             del self._certs[key]
             self._certs_lru.pop(key, None)
+            self._cert_hits.pop(key, None)
             self._certs_dead += 1
         self.stats.certs_evicted += len(orphaned)
         if orphaned and self._certs_handle is not None:
@@ -384,7 +473,19 @@ class ProofCache:
             self.stats.evicted += evicted
             if self.directory is not None:
                 self.compact()
+        self._journal_evictions(journal)
         return evicted
+
+    def _journal_evictions(self, journal) -> None:
+        """Best-effort eviction journal for wasted-eviction accounting."""
+        if not journal or self.directory is None:
+            return
+        from repro.telemetry.stats import append_evictions
+
+        try:
+            append_evictions(self.directory, journal)
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------ #
     # Pass-level entries
@@ -399,6 +500,8 @@ class ProofCache:
         else:
             self.stats.pass_hits += 1
             self._note_touch("pass", key)
+        if self.recorder is not None:
+            self.recorder.note_io("pass", hit=entry is not None)
         return entry
 
     def put_pass(self, key: Optional[str], value: dict) -> None:
@@ -421,6 +524,8 @@ class ProofCache:
         else:
             self.stats.subgoal_hits += 1
             self._note_touch("subgoal", key)
+        if self.recorder is not None:
+            self.recorder.note_io("subgoal", hit=entry is not None)
         return entry
 
     def has_subgoal(self, key: str) -> bool:
@@ -465,8 +570,16 @@ class ProofCache:
             self.stats.cert_misses += 1
         else:
             self.stats.cert_hits += 1
+            self._cert_hits[key] = self._cert_hits.get(key, 0) + 1
+            self._cert_hits_dirty = True
             self._touch_cert(key)
+        if self.recorder is not None:
+            self.recorder.note_io("certificate", hit=entry is not None)
         return entry
+
+    def cert_hit_count(self, key: str) -> int:
+        """Accumulated (cross-session) hits for one certificate."""
+        return self._cert_hits.get(key, 0)
 
     def put_certificate(self, key: str, value: dict) -> None:
         """Record one subgoal's proof certificate, durably.
@@ -503,12 +616,14 @@ class ProofCache:
         ordered.extend(key for key in self._certs if key not in self._certs_lru)
         with open(tmp_path, "w", encoding="utf-8") as handle:
             for key in ordered:
-                handle.write(json.dumps(
-                    {"key": key, "fp": self.active_fingerprint,
-                     "value": self._certs[key]},
-                    sort_keys=True) + "\n")
+                record = {"key": key, "fp": self.active_fingerprint,
+                          "value": self._certs[key]}
+                if self._cert_hits.get(key):
+                    record["hits"] = self._cert_hits[key]
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
         os.replace(tmp_path, self.certs_path)
         self._certs_dead = 0
+        self._cert_hits_dirty = False
         self._certs_handle = open(self.certs_path, "a", encoding="utf-8")
 
     # ------------------------------------------------------------------ #
@@ -551,6 +666,8 @@ class ProofCache:
         live = set(live_keys)
         doomed = [key for key in self._deps if key not in live]
         for key in doomed:
+            self.stats.dep_bytes_reclaimed += \
+                len(json.dumps(self._deps[key], sort_keys=True))
             del self._deps[key]
             self._deps_dead += 1
         if doomed and self._deps_handle is not None:

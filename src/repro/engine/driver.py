@@ -44,6 +44,7 @@ from repro.engine.fingerprint import (
     subgoal_fingerprint,
 )
 from repro.engine.scheduler import WorkerPool, default_jobs
+from repro.telemetry import stats as store_stats
 from repro.telemetry import trace as _trace
 from repro.verify.counterexample import CounterExample
 from repro.verify.discharge import DischargeResult, Discharger, discharge
@@ -784,7 +785,7 @@ def verify_passes(
 def resolve_pending(
     pass_classes, stats, cache, kwargs_fn,
     changed_paths=None, record_deps=True, deferred_deps=None,
-    solver: str = DEFAULT_SOLVER,
+    solver: str = DEFAULT_SOLVER, recorder=None,
 ) -> Tuple[List[Optional[VerificationResult]], List[Tuple[int, Type, Optional[Dict], Optional[str]]]]:
     """Phase 1 of a batch run: serve what the cache can, collect the rest.
 
@@ -803,6 +804,13 @@ def resolve_pending(
     record later with :func:`record_deferred_deps`.  The cluster
     coordinator uses this to overlap dependency recording with worker
     proof time.
+
+    ``recorder`` (a :class:`~repro.telemetry.stats.StatsRecorder`) receives
+    the canonical pass-tier outcome for every requested key: ``hit``
+    (served from the cache), ``stale`` (invalidated incrementally and
+    re-proved), or ``miss`` (cold).  This phase runs on the coordinating
+    process in every mode, so the recorded outcomes are identical at any
+    worker count.
 
     ``solver`` is the resolved backend name the run discharges with; it
     joins every derived fingerprint, and dependency entries recorded under
@@ -844,6 +852,7 @@ def resolve_pending(
         pass_kwargs = kwargs_fn(pass_class)
         ident = None
         probed_key = None
+        stale_pass = False
         if incremental or track_deps:
             ident = identity_key(pass_class, pass_kwargs)
         if incremental:
@@ -859,6 +868,8 @@ def resolve_pending(
                 if cached is not None:
                     results[index] = payload_to_result(
                         cached, from_cache=True, time_seconds=0.0)
+                    if recorder is not None:
+                        recorder.note_pass(probed_key, "hit")
                     if tracer is not None:
                         tracer.event("pass.cache", kind="cache", outcome="hit",
                                      target=pass_class.__name__,
@@ -867,6 +878,7 @@ def resolve_pending(
             # No dependency entry, a changed dependency file, or an evicted
             # proof: take the full fingerprint-and-verify path.
             stats.stale_passes += 1
+            stale_pass = True
             if tracer is not None:
                 tracer.event("pass.cache", kind="cache", outcome="stale",
                              target=pass_class.__name__)
@@ -893,11 +905,17 @@ def resolve_pending(
             entry = cache.get_pass(key) if cache is not None else None
         if entry is not None:
             results[index] = payload_to_result(entry, from_cache=True, time_seconds=0.0)
+            if recorder is not None:
+                recorder.note_pass(key, "hit")
             if tracer is not None:
                 tracer.event("pass.cache", kind="cache", outcome="hit",
                              target=pass_class.__name__)
         else:
             pending.append((index, pass_class, pass_kwargs, key))
+            if recorder is not None:
+                # "stale" = invalidated incrementally and re-proved; a cold
+                # miss stays "miss" so the two are separable in the table.
+                recorder.note_pass(key, "stale" if stale_pass else "miss")
             if tracer is not None:
                 tracer.event("pass.cache", kind="cache", outcome="miss",
                              target=pass_class.__name__)
@@ -949,10 +967,24 @@ def _verify_passes_with_cache(
     base_misses = cache.stats.pass_misses if cache is not None else 0
     discharger = discharger or Discharger(DEFAULT_SOLVER)
 
+    # Store analytics ride along on every cached run: the recorder collects
+    # the canonical per-key facts (plus backend io via the cache hook) and
+    # persists store-stats.json beside the cache.  Strictly best-effort —
+    # a recorder failure must never fail a verification run.
+    recorder = None
+    if cache is not None and store_stats.enabled():
+        try:
+            recorder = store_stats.StatsRecorder(
+                cache.directory, backend=getattr(cache, "backend", None),
+                workers=stats.jobs)
+            cache.recorder = recorder
+        except Exception:
+            recorder = None
+
     results, pending = resolve_pending(
         pass_classes, stats, cache, kwargs_fn,
         changed_paths=changed_paths, record_deps=record_deps,
-        solver=discharger.solver_name,
+        solver=discharger.solver_name, recorder=recorder,
     )
 
     tracer = _trace.current()
@@ -987,6 +1019,11 @@ def _verify_passes_with_cache(
                 results[index] = payload_to_result(output["result"])
                 stats.subgoal_hits += output["subgoal_hits"]
                 stats.subgoal_misses += output["subgoal_misses"]
+                if recorder is not None:
+                    recorder.note_unit(output["subgoal_hit_keys"],
+                                       output["new_subgoals"].keys())
+                    recorder.note_certificates(
+                        (output.get("new_certificates") or {}).keys())
                 if tracer is not None and output.get("spans"):
                     tracer.absorb(output["spans"])
                 if cache is not None:
@@ -1015,6 +1052,9 @@ def _verify_passes_with_cache(
                 results[index] = result
                 stats.subgoal_hits += acct.hits
                 stats.subgoal_misses += acct.misses
+                if recorder is not None:
+                    recorder.note_unit(acct.hit_keys, acct.new_subgoals.keys())
+                    recorder.note_certificates(acct.new_certificates.keys())
                 if cache is not None:
                     cache.put_pass(key, result_to_payload(result))
                     for sub_key, value in acct.new_subgoals.items():
@@ -1030,6 +1070,12 @@ def _verify_passes_with_cache(
         if callable(stats_fn):
             tracer.event("prover.stats", kind="prover",
                          solver=discharger.solver_name, **stats_fn())
+    if recorder is not None:
+        try:
+            recorder.finalize_and_save()
+        except Exception:
+            pass
+        cache.recorder = None
     finalize_stats(stats, cache, base_hits, base_misses, base_invalidated,
                    len(pending), started)
     return EngineReport(results=list(results), stats=stats)

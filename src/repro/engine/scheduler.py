@@ -88,6 +88,15 @@ class WorkerPool:
 
     def _map(self, worker, payloads, span_attrs):
         self.used_processes = False
+        # Queue-time attribution: stamp dict payloads with the submission
+        # instant so workers can report enqueue->start wait on their own
+        # spans.  ``setdefault`` keeps an upstream stamp (e.g. a scheduler
+        # layered above this one) authoritative; non-dict payloads simply
+        # go unstamped.
+        submitted = time.perf_counter()
+        for payload in payloads:
+            if isinstance(payload, dict):
+                payload.setdefault("submitted_at", submitted)
         if self.jobs <= 1 or len(payloads) <= 1:
             return self._run_in_process(worker, payloads)
         # Validate picklability up front: a worker or payload that cannot

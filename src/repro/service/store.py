@@ -121,6 +121,9 @@ class SqliteProofCache:
         self.active_fingerprint = active_fingerprint or toolchain_fingerprint()
         self.max_entries = max_entries
         self.stats = CacheStats()
+        #: Optional :class:`repro.telemetry.stats.StatsRecorder`; attached
+        #: per run by the driver, guarded on ``None`` at every hook site.
+        self.recorder = None
         self._lock = threading.RLock()
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -221,27 +224,36 @@ class SqliteProofCache:
     # Reads / writes
     # ------------------------------------------------------------------ #
     def _get(self, kind: str, key: str) -> Optional[dict]:
+        recorder = self.recorder
+        started = time.perf_counter() if recorder is not None else 0.0
+        entry, nbytes = self._get_inner(kind, key)
+        if recorder is not None:
+            recorder.note_io(kind, hit=entry is not None, nbytes=nbytes,
+                             seconds=time.perf_counter() - started)
+        return entry
+
+    def _get_inner(self, kind: str, key: str) -> Tuple[Optional[dict], int]:
         with self._lock:
             row = self._conn.execute(
                 "SELECT fp, value FROM proofs WHERE kind = ? AND key = ?",
                 (kind, key),
             ).fetchone()
             if row is None:
-                return None
+                return None, 0
             fingerprint, value = row
             if fingerprint != self.active_fingerprint:
                 self.stats.invalidated += 1
-                return None
+                return None, 0
             self._conn.execute(
                 "UPDATE proofs SET hits = hits + 1, last_used_at = ? "
                 "WHERE kind = ? AND key = ?",
                 (time.time(), kind, key),
             )
             try:
-                return json.loads(value)
+                return json.loads(value), len(value)
             except json.JSONDecodeError:
                 self.stats.corrupt_lines += 1
-                return None
+                return None, 0
 
     def _put(self, kind: str, key: str, value: dict) -> None:
         now = time.time()
@@ -340,12 +352,17 @@ class SqliteProofCache:
         the store, and counted in this handle's ``stats`` separately from
         the subgoal tier's counters.
         """
+        recorder = self.recorder
+        started = time.perf_counter() if recorder is not None else 0.0
         with self._lock:
             row = self._conn.execute(
                 "SELECT fp, value FROM certs WHERE key = ?", (key,),
             ).fetchone()
             if row is None or row[0] != self.active_fingerprint:
                 self.stats.cert_misses += 1
+                if recorder is not None:
+                    recorder.note_io("certificate", hit=False,
+                                     seconds=time.perf_counter() - started)
                 return None
             self._conn.execute(
                 "UPDATE certs SET hits = hits + 1, last_used_at = ? "
@@ -353,6 +370,9 @@ class SqliteProofCache:
                 (time.time(), key),
             )
         self.stats.cert_hits += 1
+        if recorder is not None:
+            recorder.note_io("certificate", hit=True, nbytes=len(row[1]),
+                             seconds=time.perf_counter() - started)
         try:
             return json.loads(row[1])
         except json.JSONDecodeError:
@@ -458,14 +478,16 @@ class SqliteProofCache:
         """
         live = set(live_keys)
         with self._lock:
-            rows = self._conn.execute("SELECT key FROM deps").fetchall()
-            doomed = [key for (key,) in rows if key not in live]
+            rows = self._conn.execute(
+                "SELECT key, LENGTH(value) FROM deps").fetchall()
+            doomed = [(key, size) for key, size in rows if key not in live]
             if doomed:
                 self._conn.executemany(
                     "DELETE FROM deps WHERE key = ?",
-                    [(key,) for key in doomed],
+                    [(key,) for key, _ in doomed],
                 )
         self.stats.deps_reclaimed += len(doomed)
+        self.stats.dep_bytes_reclaimed += sum(size or 0 for _, size in doomed)
         return len(doomed)
 
     # ------------------------------------------------------------------ #
@@ -479,33 +501,63 @@ class SqliteProofCache:
         evicted.
         """
         max_entries = max(0, int(max_entries))
+        journal = []
         with self._lock:
             cursor = self._conn.cursor()
             cursor.execute("BEGIN IMMEDIATE")
             try:
                 from repro.incremental.deps import DEPS_SCHEMA_VERSION
 
+                # Each category SELECTs its doomed rows first so eviction
+                # can report reclaimed bytes per tier and journal the
+                # LRU-evicted keys for wasted-eviction accounting.
+                dep_bytes = cursor.execute(
+                    "SELECT COALESCE(SUM(LENGTH(value)), 0) FROM deps "
+                    "WHERE schema != ?", (DEPS_SCHEMA_VERSION,),
+                ).fetchone()[0]
                 cursor.execute("DELETE FROM deps WHERE schema != ?",
                                (DEPS_SCHEMA_VERSION,))
                 deps_reclaimed = cursor.rowcount
+                proof_bytes = cursor.execute(
+                    "SELECT COALESCE(SUM(LENGTH(value)), 0) FROM proofs "
+                    "WHERE fp != ?", (self.active_fingerprint,),
+                ).fetchone()[0]
                 cursor.execute("DELETE FROM proofs WHERE fp != ?",
                                (self.active_fingerprint,))
                 evicted = cursor.rowcount
-                cursor.execute(
-                    "DELETE FROM proofs WHERE (kind, key) IN ("
-                    "  SELECT kind, key FROM proofs "
-                    "  ORDER BY last_used_at DESC, kind, key "
-                    "  LIMIT -1 OFFSET ?)",
+                overflow = cursor.execute(
+                    "SELECT kind, key, LENGTH(value) FROM proofs "
+                    "ORDER BY last_used_at DESC, kind, key "
+                    "LIMIT -1 OFFSET ?",
                     (max_entries,),
-                )
-                evicted += cursor.rowcount
-                # Certificates live and die with their subgoal entry.
-                cursor.execute(
-                    "DELETE FROM certs WHERE fp != ? OR key NOT IN ("
+                ).fetchall()
+                if overflow:
+                    cursor.executemany(
+                        "DELETE FROM proofs WHERE kind = ? AND key = ?",
+                        [(kind, key) for kind, key, _ in overflow],
+                    )
+                    evicted += len(overflow)
+                    proof_bytes += sum(size or 0 for _, _, size in overflow)
+                    journal.extend((kind, key) for kind, key, _ in overflow)
+                # Certificates live and die with their subgoal entry; only
+                # orphans of a *live* fingerprint were evicted too eagerly,
+                # so only those enter the journal.
+                doomed_certs = cursor.execute(
+                    "SELECT key, fp, LENGTH(value) FROM certs "
+                    "WHERE fp != ? OR key NOT IN ("
                     "  SELECT key FROM proofs WHERE kind = 'subgoal')",
                     (self.active_fingerprint,),
-                )
-                certs_evicted = cursor.rowcount
+                ).fetchall()
+                if doomed_certs:
+                    cursor.executemany(
+                        "DELETE FROM certs WHERE key = ?",
+                        [(key,) for key, _, _ in doomed_certs],
+                    )
+                certs_evicted = len(doomed_certs)
+                cert_bytes = sum(size or 0 for _, _, size in doomed_certs)
+                journal.extend(
+                    ("certificate", key) for key, fp, _ in doomed_certs
+                    if fp == self.active_fingerprint)
                 cursor.execute("COMMIT")
             except BaseException:
                 cursor.execute("ROLLBACK")
@@ -515,6 +567,16 @@ class SqliteProofCache:
         # Dep rows reaped for schema staleness are reported separately so
         # ``repro cache prune`` can say what the sidecar reclaimed.
         self.stats.deps_reclaimed += max(0, deps_reclaimed)
+        self.stats.proof_bytes_reclaimed += int(proof_bytes or 0)
+        self.stats.cert_bytes_reclaimed += int(cert_bytes or 0)
+        self.stats.dep_bytes_reclaimed += int(dep_bytes or 0)
+        if journal and self.directory is not None:
+            from repro.telemetry.stats import append_evictions
+
+            try:
+                append_evictions(self.directory, journal)
+            except OSError:
+                pass
         return evicted
 
     def compact(self) -> None:
@@ -548,6 +610,14 @@ class SqliteProofCache:
                 "SELECT COUNT(*), SUM(hits) FROM certs WHERE fp = ?",
                 (self.active_fingerprint,),
             ).fetchone()
+            payload_bytes = self._conn.execute(
+                "SELECT COALESCE(SUM(LENGTH(value)), 0) FROM proofs "
+                "WHERE fp = ?", (self.active_fingerprint,),
+            ).fetchone()[0]
+            cert_payload_bytes = self._conn.execute(
+                "SELECT COALESCE(SUM(LENGTH(value)), 0) FROM certs "
+                "WHERE fp = ?", (self.active_fingerprint,),
+            ).fetchone()[0]
         return {
             "backend": self.backend,
             "path": str(self.path) if self.path is not None else None,
@@ -559,6 +629,8 @@ class SqliteProofCache:
             "accumulated_hits": int(hits or 0),
             "cert_entries": int(certs or 0),
             "cert_accumulated_hits": int(cert_hits or 0),
+            "payload_bytes": int(payload_bytes or 0),
+            "cert_payload_bytes": int(cert_payload_bytes or 0),
             "schema_version": SCHEMA_VERSION,
         }
 
@@ -615,6 +687,7 @@ def migrate_jsonl(directory: os.PathLike,
     # JSONL is append-only with last-write-wins, so fold the file into a map
     # first; insertion order then preserves the file's recency order.
     entries: Dict[Tuple[str, str], Tuple[str, dict]] = {}
+    hit_counts: Dict[Tuple[str, str], int] = {}
     corrupt = 0
     with open(jsonl_path, "r", encoding="utf-8") as handle:
         for line in handle:
@@ -627,11 +700,15 @@ def migrate_jsonl(directory: os.PathLike,
                 if kind == "touch":
                     # Recency marker appended by a warm JSONL session:
                     # replay the reorder so the migrated rows inherit the
-                    # file's true LRU order.
+                    # file's true LRU order (and the accumulated hit total
+                    # the record carries, if any — absolute, last write
+                    # wins, same as the JSONL loader reads it).
                     ref = "pass" if entry["ref"] == "pass" else "subgoal"
                     reused = entries.pop((ref, entry["key"]), None)
                     if reused is not None:
                         entries[(ref, entry["key"])] = reused
+                        if isinstance(entry.get("hits"), int):
+                            hit_counts[(ref, entry["key"])] = entry["hits"]
                     continue
                 key, fingerprint = entry["key"], entry["fp"]
                 value = entry["value"]
@@ -640,6 +717,8 @@ def migrate_jsonl(directory: os.PathLike,
                 continue
             entries.pop((kind, key), None)
             entries[(kind, key)] = (fingerprint, value)
+            if isinstance(entry.get("hits"), int):
+                hit_counts[(kind, key)] = entry["hits"]
     migrated = 0
     now = time.time()
     try:
@@ -649,9 +728,10 @@ def migrate_jsonl(directory: os.PathLike,
                 cursor = store._conn.execute(
                     "INSERT OR IGNORE INTO proofs "
                     "(kind, key, fp, value, created_at, last_used_at, hits) "
-                    "VALUES (?, ?, ?, ?, ?, ?, 0)",
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
                     (kind, key, fingerprint, json.dumps(value, sort_keys=True),
-                     now, now + offset * 1e-6),
+                     now, now + offset * 1e-6,
+                     hit_counts.get((kind, key), 0)),
                 )
                 migrated += cursor.rowcount
     finally:

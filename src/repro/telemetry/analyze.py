@@ -152,7 +152,8 @@ def summarize_trace(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
         attrs = span.get("attrs", {})
         owner = attrs.get("worker") or span.get("node") or "?"
         entry = workers.setdefault(owner, {
-            "units": 0, "seconds": 0.0, "transport_seconds": 0.0})
+            "units": 0, "seconds": 0.0, "transport_seconds": 0.0,
+            "queue_seconds": 0.0})
         entry["units"] += 1
         entry["seconds"] = round(
             entry["seconds"] + float(attrs.get("prove_seconds")
@@ -160,6 +161,23 @@ def summarize_trace(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
         entry["transport_seconds"] = round(
             entry["transport_seconds"]
             + float(attrs.get("transport_seconds") or 0.0), 6)
+        entry["queue_seconds"] = round(
+            entry["queue_seconds"]
+            + float(attrs.get("queue_wait") or 0.0), 6)
+    for entry in workers.values():
+        # Utilisation = the share of a worker's attributed time spent
+        # proving, as opposed to its units waiting in queue or in flight.
+        busy = entry["seconds"] + entry["transport_seconds"] \
+            + entry["queue_seconds"]
+        entry["utilisation"] = round(entry["seconds"] / busy, 4) \
+            if busy > 0 else None
+
+    # Queue wait lives on unit spans (cluster runs) and on pass spans (the
+    # in-process pool stamps submission time); no span carries both.
+    queue_seconds = sum(float(span.get("attrs", {}).get("queue_wait") or 0.0)
+                        for span in unit_spans)
+    queue_seconds += sum(float(span.get("attrs", {}).get("queue_wait") or 0.0)
+                         for span in pass_spans)
 
     merge_seconds = sum(float(span.get("dur", 0.0))
                         for span in _spans(records, "merge"))
@@ -191,6 +209,7 @@ def summarize_trace(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
         "solvers": dict(sorted(solvers.items())),
         "cache": dict(sorted(cache.items())),
         "workers": dict(sorted(workers.items())),
+        "queue_seconds": round(queue_seconds, 6),
         "merge_seconds": round(merge_seconds, 6),
         "critical_path_seconds": critical_path,
         "planned_units": planned_units,
@@ -260,14 +279,29 @@ def render_summary(summary: Dict[str, Any], top: int = 10) -> List[str]:
         lines.append("")
         lines.append("worker attribution:")
         for owner, entry in summary["workers"].items():
+            queue = entry.get("queue_seconds", 0.0)
+            utilisation = entry.get("utilisation")
+            utilisation_text = (f"  ({utilisation * 100:.0f}% proving)"
+                                if utilisation is not None else "")
             lines.append(
                 f"  {owner:24s} {entry['units']:4d} units "
                 f"{entry['seconds']:9.4f}s prove "
-                f"{entry['transport_seconds']:9.4f}s transport")
+                f"{queue:9.4f}s queued "
+                f"{entry['transport_seconds']:9.4f}s transport"
+                f"{utilisation_text}")
         if summary.get("critical_path_seconds") is not None:
             lines.append(f"  critical path estimate: "
                          f"{summary['critical_path_seconds']:.4f}s "
                          f"(busiest worker + {summary['merge_seconds']:.4f}s merge)")
+
+    if summary.get("queue_seconds"):
+        prove = sum(entry["seconds"]
+                    for entry in summary["workers"].values()) \
+            if summary["workers"] else \
+            sum(item["seconds"] for item in summary["passes"])
+        lines.append("")
+        lines.append(f"queue/prove split: {summary['queue_seconds']:.4f}s "
+                     f"queued vs {prove:.4f}s proving")
 
     planned = summary.get("planned_units") or []
     if planned:

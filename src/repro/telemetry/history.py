@@ -54,8 +54,9 @@ __all__ = [
 _DB_NAME = "history.sqlite"
 
 #: Bump when the table layout changes incompatibly; mismatched stores are
-#: rebuilt from scratch on open.
-HISTORY_SCHEMA_VERSION = 1
+#: rebuilt from scratch on open.  Version 2 added the ``store_stats`` table
+#: (per-run proof-store analytics from ``repro.telemetry.stats``).
+HISTORY_SCHEMA_VERSION = 2
 
 #: Runs kept after auto-pruning.  At one summary row per traced run this
 #: is months of history for a busy repo, and a few MB on disk.
@@ -92,6 +93,15 @@ CREATE TABLE IF NOT EXISTS run_passes (
     PRIMARY KEY (run_id, name)
 );
 CREATE INDEX IF NOT EXISTS run_passes_name ON run_passes (name);
+CREATE TABLE IF NOT EXISTS store_stats (
+    run_id           INTEGER PRIMARY KEY REFERENCES runs (id) ON DELETE CASCADE,
+    pass_hits        INTEGER NOT NULL,
+    pass_misses      INTEGER NOT NULL,
+    subgoal_hits     INTEGER NOT NULL,
+    subgoal_misses   INTEGER NOT NULL,
+    wasted_evictions INTEGER NOT NULL,
+    payload          TEXT NOT NULL
+);
 """
 
 _CORRUPTION_SIGNS = ("not a database", "malformed", "file is encrypted")
@@ -193,6 +203,7 @@ class TelemetryHistory:
         elif row[0] != str(HISTORY_SCHEMA_VERSION):
             cursor.execute("DROP TABLE IF EXISTS runs")
             cursor.execute("DROP TABLE IF EXISTS run_passes")
+            cursor.execute("DROP TABLE IF EXISTS store_stats")
             cursor.execute("DELETE FROM meta")
             cursor.executescript(_SCHEMA)
             cursor.execute(
@@ -224,6 +235,7 @@ class TelemetryHistory:
     # Writes
     # ------------------------------------------------------------------ #
     def record_run(self, summary: Dict, *, stats: Optional[Dict] = None,
+                   store_stats: Optional[Dict] = None,
                    label: Optional[str] = None,
                    node: Optional[str] = None,
                    toolchain: Optional[str] = None,
@@ -235,9 +247,12 @@ class TelemetryHistory:
         ``summary`` is the :func:`~repro.telemetry.analyze.summarize_trace`
         digest; the whole thing is stored verbatim (JSON) and the headline
         figures are denormalised into columns for listing and per-pass
-        queries.  ``wall_seconds`` defaults to the sum of pass-span
-        durations when the caller did not measure an engine wall.
-        Auto-prunes to ``max_runs`` afterwards.
+        queries.  ``store_stats`` is the run's canonical proof-store
+        aggregate (:meth:`repro.telemetry.stats.StatsRecorder.canonical`),
+        stored in its own table keyed by the run id so tier hit ratios
+        trend across runs.  ``wall_seconds`` defaults to the sum of
+        pass-span durations when the caller did not measure an engine
+        wall.  Auto-prunes to ``max_runs`` afterwards.
         """
         passes = summary.get("passes") or []
         solvers = summary.get("solvers") or {}
@@ -272,6 +287,23 @@ class TelemetryHistory:
                   int(p.get("subgoals") or 0), p.get("solver"))
                  for p in passes if p.get("name")],
             )
+            if store_stats:
+                tiers = store_stats.get("tiers") or {}
+                pass_tier = tiers.get("pass") or {}
+                subgoal_tier = tiers.get("subgoal") or {}
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO store_stats (run_id, pass_hits, "
+                    "pass_misses, subgoal_hits, subgoal_misses, "
+                    "wasted_evictions, payload) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (run_id,
+                     int(pass_tier.get("hits") or 0),
+                     int(pass_tier.get("misses") or 0)
+                     + int(pass_tier.get("stale") or 0),
+                     int(subgoal_tier.get("hits") or 0),
+                     int(subgoal_tier.get("misses") or 0),
+                     int(store_stats.get("wasted_evictions") or 0),
+                     json.dumps(store_stats, sort_keys=True)),
+                )
             if self.max_runs is not None:
                 self._prune_locked(self.max_runs)
         return run_id
@@ -286,6 +318,9 @@ class TelemetryHistory:
         doomed = [row[0] for row in rows]
         self._conn.executemany(
             "DELETE FROM run_passes WHERE run_id = ?",
+            [(run_id,) for run_id in doomed])
+        self._conn.executemany(
+            "DELETE FROM store_stats WHERE run_id = ?",
             [(run_id,) for run_id in doomed])
         self._conn.executemany(
             "DELETE FROM runs WHERE id = ?",
@@ -368,6 +403,54 @@ class TelemetryHistory:
             rows = self._conn.execute(sql, args).fetchall()
         return [{"run_id": r[0], "seconds": r[1], "subgoals": r[2],
                  "solver": r[3]} for r in rows]
+
+    def store_stats_series(self, limit: Optional[int] = None) -> List[Dict]:
+        """Oldest-first per-run store analytics for tier-ratio trends.
+
+        Rows carry the denormalised counters plus the run's ``created_at``
+        so the dashboard can plot hit-ratio evolution without parsing every
+        payload; ``payload`` holds the full canonical aggregate.
+        """
+        sql = ("SELECT s.run_id, r.created_at, s.pass_hits, s.pass_misses, "
+               "s.subgoal_hits, s.subgoal_misses, s.wasted_evictions, "
+               "s.payload FROM store_stats s JOIN runs r ON r.id = s.run_id "
+               "ORDER BY s.run_id DESC")
+        args = ()
+        if limit is not None:
+            sql += " LIMIT ?"
+            args = (int(limit),)
+        with self._lock:
+            rows = self._conn.execute(sql, args).fetchall()
+        series = []
+        for row in reversed(rows):
+            try:
+                payload = json.loads(row[7])
+            except (TypeError, json.JSONDecodeError):
+                payload = None
+            series.append({
+                "run_id": row[0], "created_at": row[1],
+                "pass_hits": row[2], "pass_misses": row[3],
+                "subgoal_hits": row[4], "subgoal_misses": row[5],
+                "wasted_evictions": row[6], "payload": payload,
+            })
+        return series
+
+    def get_store_stats(self, run_id) -> Optional[Dict]:
+        """One run's canonical store aggregate, or ``None``."""
+        run = self.get_run(run_id)
+        if run is None:
+            return None
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM store_stats WHERE run_id = ?",
+                (run["id"],),
+            ).fetchone()
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except (TypeError, json.JSONDecodeError):
+            return None
 
     def regressions(self, *, baseline=None, candidate="latest",
                     noise_pct: float = DEFAULT_NOISE_PCT,

@@ -99,3 +99,62 @@ def test_wait_returns_on_completion():
 
     threading.Timer(0.05, finish).start()
     assert scheduler.wait(5.0) is True
+
+
+# --------------------------------------------------------------------------- #
+# Queue-time attribution
+# --------------------------------------------------------------------------- #
+def test_queue_wait_fixed_at_first_lease():
+    import time
+
+    scheduler = UnitScheduler(_units(1), steal_after=60.0)
+    time.sleep(0.02)
+    _, unit = scheduler.lease("w1")
+    waited = scheduler.queue_wait(unit.unit_id)
+    assert waited >= 0.02
+    time.sleep(0.02)
+    # The wait was measured at lease time; asking later must not grow it.
+    assert scheduler.queue_wait(unit.unit_id) == waited
+
+
+def test_steal_does_not_remeasure_queue_wait():
+    import time
+
+    scheduler = UnitScheduler(_units(1), steal_after=0.0)
+    _, unit = scheduler.lease("w1")
+    waited = scheduler.queue_wait(unit.unit_id)
+    time.sleep(0.02)
+    kind, stolen = scheduler.lease("w2")          # steal re-leases u0
+    assert kind == "unit" and stolen.unit_id == unit.unit_id
+    assert scheduler.queue_wait(unit.unit_id) == waited
+
+
+def test_requeue_restarts_the_queue_clock():
+    import time
+
+    scheduler = UnitScheduler(_units(1), steal_after=60.0, max_attempts=3)
+    _, unit = scheduler.lease("w1")
+    first_wait = scheduler.queue_wait(unit.unit_id)
+    scheduler.complete(unit.unit_id, _failed(unit.unit_id))   # requeued
+    time.sleep(0.03)
+    _, retried = scheduler.lease("w2")
+    assert retried.unit_id == unit.unit_id
+    # The retry waited ~30ms in queue; the old measurement is replaced.
+    assert scheduler.queue_wait(unit.unit_id) >= 0.03 > first_wait
+
+
+def test_connection_loss_requeue_also_restarts_the_clock():
+    import time
+
+    scheduler = UnitScheduler(_units(1), steal_after=60.0)
+    _, unit = scheduler.lease("w1")
+    scheduler.release("w1")
+    time.sleep(0.02)
+    _, again = scheduler.lease("w2")
+    assert again.unit_id == unit.unit_id
+    assert scheduler.queue_wait(unit.unit_id) >= 0.02
+
+
+def test_queue_wait_of_unknown_unit_is_zero():
+    scheduler = UnitScheduler(_units(1))
+    assert scheduler.queue_wait("nonsense") == 0.0

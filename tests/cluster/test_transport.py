@@ -172,3 +172,45 @@ def test_read_only_store_rejects_writes_but_serves_reads(tmp_path):
                              allow_writes=False)
     assert "error" not in touched
     cache.close()
+
+
+def test_remote_store_io_counters_reset_per_unit(tmp_path):
+    """Workers reset the per-tier io counters before each unit and ship
+    the non-empty delta on the result message; the tier names and reset
+    semantics here are what the coordinator's merge relies on."""
+    cache = SqliteProofCache(tmp_path)
+    cache.put_pass("warm", {"verified": True})
+    with Listener(f"unix:{tmp_path}/store.sock") as listener:
+        def server():
+            conn = listener.accept(timeout=5)
+            while True:
+                message = conn.recv()
+                if message is None:
+                    break
+                conn.send(serve_store_op(cache, message))
+
+        thread = threading.Thread(target=server, daemon=True)
+        thread.start()
+        client = connect(listener.address, timeout=5)
+        store = RemoteProofStore(client)
+
+        assert store.io_totals() == {}
+        store.get_pass("warm")
+        store.get_pass("cold-miss")
+        store.get_subgoal("nothing")
+        io = store.io_totals()
+        assert io["pass"]["gets"] == 2
+        assert io["pass"]["hits"] == 1 and io["pass"]["misses"] == 1
+        assert io["pass"]["bytes"] > 0            # the hit was measured
+        assert io["pass"]["seconds"] > 0.0
+        assert io["subgoal"] == {"gets": 1, "hits": 0, "misses": 1,
+                                 "seconds": io["subgoal"]["seconds"],
+                                 "bytes": 0}
+        # Totals are a snapshot, not a live view.
+        io["pass"]["gets"] = 999
+        assert store.io_totals()["pass"]["gets"] == 2
+        store.reset_io()
+        assert store.io_totals() == {}
+        client.close()
+        thread.join(timeout=5)
+    cache.close()

@@ -102,7 +102,8 @@ def test_prune_recency_survives_reopen(tmp_path):
 
 def test_warm_reads_append_touch_records_without_rewriting(tmp_path):
     """Recency must be durable *and* cheap: a warm run appends small touch
-    records (once per key) instead of rewriting the file, so concurrent
+    records (at most twice per key — once at first hit, once at close when
+    the hit total advanced) instead of rewriting the file, so concurrent
     appenders are never clobbered by a read-mostly client's close."""
     with ProofCache(tmp_path) as cache:
         cache.put_pass("a", {"n": 0})
@@ -110,12 +111,23 @@ def test_warm_reads_append_touch_records_without_rewriting(tmp_path):
     before = (tmp_path / "proofs.jsonl").read_text()
     with ProofCache(tmp_path) as cache:
         cache.get_pass("a")
-        cache.get_pass("a")               # second hit: no extra record
+        cache.get_pass("a")       # second hit: no record until close
+        cache.flush()
+        mid = (tmp_path / "proofs.jsonl").read_text()
+        assert len(mid[len(before):].strip().splitlines()) == 1
     after = (tmp_path / "proofs.jsonl").read_text()
     assert after.startswith(before)       # append-only, original lines intact
-    added = after[len(before):].strip().splitlines()
-    assert len(added) == 1
-    assert json.loads(added[0]) == {"kind": "touch", "key": "a", "ref": "pass"}
+    added = [json.loads(line) for line in
+             after[len(before):].strip().splitlines()]
+    # First hit journals recency immediately; close flushes the advanced
+    # hit total as one more record (absolute count, last write wins).
+    assert added == [
+        {"kind": "touch", "key": "a", "ref": "pass", "hits": 1},
+        {"kind": "touch", "key": "a", "ref": "pass", "hits": 2},
+    ]
+    with ProofCache(tmp_path) as cache:
+        assert cache.hit_count("pass", "a") == 2
+        assert cache.hit_count("pass", "b") == 0
 
 
 def test_touch_subgoals_refreshes_snapshot_served_entries(tmp_path):
@@ -205,3 +217,43 @@ def test_default_cache_dir_honours_env(monkeypatch, tmp_path):
     monkeypatch.delenv("REPRO_CACHE_DIR")
     monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
     assert default_cache_dir() == tmp_path / "xdg" / "repro"
+
+
+def test_hit_counts_survive_compaction(tmp_path):
+    """Compaction folds the touch journal's totals into the entry records;
+    the counter must read the same before and after the rewrite."""
+    with ProofCache(tmp_path) as cache:
+        cache.put_pass("a", {"n": 0})
+    with ProofCache(tmp_path) as cache:
+        for _ in range(3):
+            cache.get_pass("a")
+    with ProofCache(tmp_path) as cache:
+        assert cache.hit_count("pass", "a") == 3
+        cache.compact()
+        assert cache.hit_count("pass", "a") == 3
+    with ProofCache(tmp_path) as cache:
+        assert cache.hit_count("pass", "a") == 3
+        assert cache.accumulated_hits() == 3
+
+
+def test_prune_reports_reclaimed_bytes_and_journals_evictions(tmp_path):
+    from repro.telemetry.stats import load_evictions
+
+    with ProofCache(tmp_path) as cache:
+        for index in range(4):
+            cache.put_pass(f"p{index}", {"payload": "x" * 50, "i": index})
+        evicted = cache.prune(2)
+        assert evicted == 2
+        assert cache.stats.proof_bytes_reclaimed > 100   # two fat entries
+        journaled = load_evictions(tmp_path)
+        assert {entry["key"] for entry in journaled} == {"p0", "p1"}
+        assert all(entry["tier"] == "pass" for entry in journaled)
+
+
+def test_gc_deps_reports_reclaimed_bytes(tmp_path):
+    with ProofCache(tmp_path) as cache:
+        cache.put_deps("cfg-old", {"files": {"src/a.py": "h1"}})
+        cache.put_deps("cfg-live", {"files": {"src/b.py": "h2"}})
+        removed = cache.gc_deps({"cfg-live"})
+        assert removed == 1
+        assert cache.stats.dep_bytes_reclaimed > 0

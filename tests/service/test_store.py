@@ -262,3 +262,42 @@ def test_existing_sqlite_rows_win_over_migrated(tmp_path):
         store.put_pass("pk", {"source": "sqlite"})
         assert migrate_jsonl(tmp_path, store=store) == 0
         assert store.get_pass("pk") == {"source": "sqlite"}
+
+
+def test_prune_reports_reclaimed_bytes_per_tier(tmp_path):
+    from repro.telemetry.stats import load_evictions
+
+    with SqliteProofCache(tmp_path, active_fingerprint=FP) as cache:
+        for index in range(4):
+            cache.put_pass(f"p{index}", {"payload": "x" * 50, "i": index})
+        evicted = cache.prune(2)
+        assert evicted == 2
+        assert cache.stats.proof_bytes_reclaimed > 100
+        journaled = load_evictions(tmp_path)
+        assert {entry["key"] for entry in journaled} == {"p0", "p1"}
+
+
+def test_summary_measures_payload_bytes(tmp_path):
+    with SqliteProofCache(tmp_path, active_fingerprint=FP) as cache:
+        cache.put_pass("pk", {"payload": "x" * 100})
+        cache.put_certificate("ck", {"cert": "y" * 50})
+        summary = cache.summary()
+        assert summary["payload_bytes"] > 100
+        assert summary["cert_payload_bytes"] > 50
+
+
+def test_migrate_carries_hit_counters_over(tmp_path):
+    """The JSONL tier's accumulated hit counts must survive the one-shot
+    import — LRU decisions after a migration would otherwise treat every
+    hot key as never used."""
+    with ProofCache(tmp_path) as cache:
+        cache.put_pass("hot", {"verified": True})
+        cache.put_pass("cold", {"verified": True})
+    with ProofCache(tmp_path) as cache:
+        cache.get_pass("hot")
+        cache.get_pass("hot")
+    migrated = migrate_jsonl(tmp_path)
+    assert migrated == 2
+    with SqliteProofCache(tmp_path) as store:
+        assert store.hit_count("pass", "hot") == 2
+        assert store.hit_count("pass", "cold") == 0

@@ -208,3 +208,68 @@ def test_git_describe_in_a_repo_and_outside(tmp_path):
     described = git_describe()  # the test run's cwd is the repo
     assert described is None or isinstance(described, str)
     assert git_describe(cwd=tmp_path) is None  # not a repository
+
+
+# --------------------------------------------------------------------- #
+# Store analytics (schema v2)
+# --------------------------------------------------------------------- #
+
+def _store_stats(pass_hits=3, pass_misses=1, pass_stale=1,
+                 subgoal_hits=10, subgoal_misses=2, wasted=1):
+    return {
+        "schema": 1,
+        "tiers": {
+            "pass": {"hits": pass_hits, "misses": pass_misses,
+                     "stale": pass_stale, "ratio": None},
+            "subgoal": {"hits": subgoal_hits, "misses": subgoal_misses,
+                        "keys": subgoal_hits + subgoal_misses,
+                        "ratio": None},
+            "certificate": {"stored": 4},
+        },
+        "hot_keys": [],
+        "wasted_evictions": wasted,
+    }
+
+
+def test_store_stats_roundtrip_and_series(tmp_path):
+    with TelemetryHistory(tmp_path) as history:
+        first = history.record_run(_summary([("A", 0.1)]),
+                                   store_stats=_store_stats(wasted=0))
+        second = history.record_run(_summary([("A", 0.1)]),
+                                    store_stats=_store_stats(subgoal_hits=20))
+        # A run recorded without analytics simply has no store_stats row.
+        third = history.record_run(_summary([("A", 0.1)]))
+
+        assert history.get_store_stats(first)["wasted_evictions"] == 0
+        assert history.get_store_stats(third) is None
+
+        series = history.store_stats_series()
+        assert [row["run_id"] for row in series] == [first, second]
+        # Oldest first, stale folded into the denormalised miss column.
+        assert series[0]["pass_hits"] == 3
+        assert series[0]["pass_misses"] == 2       # misses + stale
+        assert series[1]["subgoal_hits"] == 20
+        assert series[1]["payload"]["tiers"]["certificate"]["stored"] == 4
+
+
+def test_store_stats_rows_pruned_with_their_runs(tmp_path):
+    with TelemetryHistory(tmp_path, max_runs=None) as history:
+        doomed = history.record_run(_summary([("A", 0.1)]),
+                                    store_stats=_store_stats())
+        kept = history.record_run(_summary([("A", 0.1)]),
+                                  store_stats=_store_stats())
+        assert history.prune(1) == 1
+        assert history.get_store_stats(kept) is not None
+        rows = history._conn.execute(
+            "SELECT run_id FROM store_stats").fetchall()
+        assert rows == [(kept,)]
+
+
+def test_store_stats_survive_reopen(tmp_path):
+    with TelemetryHistory(tmp_path) as history:
+        run_id = history.record_run(_summary([("A", 0.1)]),
+                                    store_stats=_store_stats())
+    with TelemetryHistory(tmp_path) as history:
+        payload = history.get_store_stats(run_id)
+        assert payload["tiers"]["pass"]["hits"] == 3
+        assert history.store_stats_series(limit=5)[0]["run_id"] == run_id

@@ -116,10 +116,38 @@ def check_telemetry(fresh: Dict, recorded: Dict, *,
     return errors
 
 
+def check_stats(fresh: Dict, recorded: Dict, *,
+                max_overhead_pct: float) -> List[str]:
+    errors = []
+    if fresh.get("verdicts_identical") is not True:
+        errors.append("stats: store accounting changed verdicts")
+    if fresh.get("aggregates_identical") is not True:
+        errors.append("stats: canonical aggregates differed between "
+                      "enabled warm runs (determinism promise broken)")
+    if fresh.get("passes") != recorded.get("passes"):
+        errors.append(
+            f"stats: suite size {fresh.get('passes')} != recorded "
+            f"{recorded.get('passes')}")
+    # Warm-run tier counters are deterministic on any machine; drift means
+    # the accounting itself changed and the baseline must be re-recorded.
+    for key in ("pass_hits", "subgoal_hits"):
+        if fresh.get(key) != recorded.get(key):
+            errors.append(
+                f"stats: {key} {fresh.get(key)!r} drifted from recorded "
+                f"{recorded.get(key)!r}")
+    overhead = float(fresh.get("overhead_pct", 0.0))
+    if exceeds_ratio(100.0 + overhead, 100.0, max_pct=max_overhead_pct):
+        errors.append(
+            f"stats: accounting overhead {overhead:+.1f}% exceeds the "
+            f"{max_overhead_pct}% CI bound (recorded: "
+            f"{recorded.get('overhead_pct'):+.1f}%)")
+    return errors
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kind", required=True,
-                        choices=("solver", "telemetry"),
+                        choices=("solver", "telemetry", "stats"),
                         help="which bench the fresh JSON came from")
     parser.add_argument("--fresh", required=True, metavar="PATH",
                         help="JSON written by `repro bench <kind> --record`")
@@ -131,7 +159,7 @@ def main(argv=None) -> int:
                         help="solver: e-matching speedup floor")
     parser.add_argument("--max-overhead-pct", type=float,
                         default=DEFAULT_MAX_OVERHEAD_PCT,
-                        help="telemetry: tracing overhead ceiling (%%)")
+                        help="telemetry/stats: overhead ceiling (%%)")
     args = parser.parse_args(argv)
 
     recorded_path = Path(args.recorded) if args.recorded else \
@@ -141,6 +169,9 @@ def main(argv=None) -> int:
 
     if args.kind == "solver":
         errors = check_solver(fresh, recorded, min_speedup=args.min_speedup)
+    elif args.kind == "stats":
+        errors = check_stats(fresh, recorded,
+                             max_overhead_pct=args.max_overhead_pct)
     else:
         errors = check_telemetry(fresh, recorded,
                                  max_overhead_pct=args.max_overhead_pct)
