@@ -9,6 +9,7 @@ from repro.bench.qasmbench import (
     qasmbench_suite,
     small_suite,
 )
+from repro.bench.kernel import run_kernel_bench
 from repro.bench.solver import run_solver_bench
 from repro.bench.table2 import Table2Row, pass_kwargs_for, rule_usage_report, run_table2
 
@@ -24,6 +25,7 @@ __all__ = [
     "rule_usage_report",
     "run_case_studies",
     "run_figure11",
+    "run_kernel_bench",
     "run_solver_bench",
     "run_table2",
     "small_suite",

@@ -125,15 +125,17 @@ def run_solver_bench(pass_classes: Optional[Sequence] = None,
                      solvers: Sequence[str] = ()) -> Dict[str, object]:
     """Measure the E-matching component and cold stateless suite runs.
 
-    Always measures ``builtin`` (indexed) and ``builtin-linear`` (the seed
-    scan); ``solvers`` adds further backends (e.g. ``bounded``, or ``z3``
-    where installed) to the same record.
+    Always measures ``builtin`` (indexed), ``builtin-linear`` (the seed
+    scan), and ``portfolio`` (per-subgoal escalation — its verdicts must
+    match builtin's by construction, and this is where that is enforced);
+    ``solvers`` adds further backends (e.g. ``bounded``, or ``z3`` where
+    installed) to the same record.
     """
     from repro.prover import SolverUnavailable, resolve_solver
 
     suite = _suite(pass_classes)
     ematch = ematch_bench()
-    names = ["builtin", "builtin-linear"]
+    names = ["builtin", "builtin-linear", "portfolio"]
     skipped: Dict[str, str] = {}
     for name in solvers:
         if name in names:

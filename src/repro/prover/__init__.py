@@ -26,9 +26,15 @@ from repro.prover.backend import (
     reset_solver_state,
     resolve_solver,
 )
-from repro.prover import boundedbackend, builtin, z3backend  # noqa: F401  (registration)
+from repro.prover import (  # noqa: F401  (registration)
+    boundedbackend,
+    builtin,
+    portfolio,
+    z3backend,
+)
 from repro.prover.boundedbackend import BoundedBackend
 from repro.prover.builtin import BuiltinBackend
+from repro.prover.portfolio import PortfolioBackend
 from repro.prover.certificate import (
     CERTIFICATE_VERSION,
     ProofCertificate,
@@ -44,6 +50,7 @@ __all__ = [
     "BuiltinBackend",
     "CERTIFICATE_VERSION",
     "DischargeResult",
+    "PortfolioBackend",
     "ProofCertificate",
     "ReplayOutcome",
     "RuleBase",

@@ -39,9 +39,15 @@ class BuiltinBackend(SolverBackend):
 
     name = "builtin"
 
-    def __init__(self, indexed: bool = True, memoize: bool = True) -> None:
+    def __init__(self, indexed: bool = True, memoize: bool = True,
+                 kernel: str = "arena") -> None:
         self.indexed = indexed
         self.memoize = memoize
+        #: Which congruence-closure kernel backs the checks: ``"arena"``
+        #: (slot arena + integer union-find, the production kernel) or
+        #: ``"object"`` (one Python object per term — the differential
+        #: oracle).  Both are deterministic and produce identical results.
+        self.kernel = kernel
         self._memo: Dict[Tuple, CheckResult] = {}
         # Plain ints: always maintained, cheap enough to never gate.
         self.memo_hits = 0
@@ -56,6 +62,7 @@ class BuiltinBackend(SolverBackend):
             "memo_misses": self.memo_misses,
             "memo_entries": len(self._memo),
             "indexed": self.indexed,
+            "kernel": self.kernel,
         }
 
     # ------------------------------------------------------------------ #
@@ -81,7 +88,7 @@ class BuiltinBackend(SolverBackend):
         # check (same loading, instantiation, and atom-proving code), just
         # wrapped in memoisation and the discharge engine's round budget.
         context = Context(rules=rules, max_rounds=MAX_ROUNDS,
-                          indexed=self.indexed)
+                          indexed=self.indexed, kernel=self.kernel)
         for fact in assumptions:
             context.assume(fact)
         result = context.check(goal)
@@ -98,3 +105,8 @@ register_backend("builtin", BuiltinBackend)
 #: before/after honestly.  Not part of SOLVER_CHOICES.
 register_backend("builtin-linear",
                  lambda: BuiltinBackend(indexed=False, memoize=False))
+#: Differential-oracle alias: the object kernel (per-Term union-find), kept
+#: resolvable so the kernel bench and the differential harness can compare
+#: the two kernels end to end.  Not part of SOLVER_CHOICES.
+register_backend("builtin-object",
+                 lambda: BuiltinBackend(kernel="object"))

@@ -1,0 +1,286 @@
+"""The adaptive solver portfolio: per-subgoal escalation across backends.
+
+One register-term goal rarely needs the most powerful decision procedure
+available.  Most subgoals in the suite are syntactically trivial (both
+sides encode to the same hash-consed term) or fall to the builtin
+congruence closure in well under a millisecond; only a residue benefits
+from bounded rewriting or the real z3.  This backend runs that escalation
+per subgoal:
+
+1. **syntactic** — a free structural fast path: every goal atom is a
+   reflexive equality, a true literal, or a disequality between distinct
+   literals.  Sound under any assumptions, costs one walk of the goal.
+2. **builtin** — the congruence-closure backend (arena kernel, memoised).
+   Always runs; it decides the overwhelming majority of the suite.
+3. **bounded** — bidirectional bounded rewriting, tried on the residue
+   when its expected cost fits the per-subgoal time budget.
+4. **z3** — the real solver, tried on whatever remains whenever the
+   optional ``z3-solver`` package is installed.
+
+Verdicts are identical to the builtin backend *by construction* on the
+supported suite: escalation only ever runs on goals builtin failed, and
+the solver-matrix CI job asserts all shipped backends agree there, so a
+later tier proving a goal the builtin missed would already be a CI
+failure.  When every tier fails, the builtin's failure result is returned
+verbatim, preserving the backend-independent ``could not derive {atom!r}``
+reason format.
+
+Each result carries ``via`` — the registry name of the tier that produced
+it — which the discharge layer threads into the proof certificate's
+``backend`` field, so certificates record the proving tier per subgoal
+and replay resolves the exact tier that proved it.
+
+Time budgets are *seeded* from the recorded per-solver timings in
+``benchmarks/recorded/bench-solver.json`` (wall seconds per subgoal, with
+generous headroom for slower machines) and *refined online* from observed
+check times (exponential moving average), optionally warm-started from the
+latest run's per-method timings in the telemetry history store
+(``history.sqlite``).  A tier whose expected cost exceeds its budget is
+skipped — escalation outcome counters in :meth:`stats` make the skips
+visible in ``repro stats`` and ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.prover.backend import (
+    SolverBackend,
+    SolverUnavailable,
+    register_backend,
+    resolve_solver,
+)
+from repro.smt.solver import CheckResult, goal_atoms
+from repro.smt.terms import Rule, Term
+
+#: Recorded solver bench used to seed the per-subgoal budgets.
+_RECORDED_BENCH = (Path(__file__).resolve().parents[3]
+                   / "benchmarks" / "recorded" / "bench-solver.json")
+
+#: Budget headroom over the recorded per-subgoal wall time: recorded
+#: numbers come from an idle bench machine, production runs share cores.
+_HEADROOM = 25.0
+
+#: Fallback per-subgoal budgets (seconds) when no recording is readable.
+_DEFAULT_BUDGETS = {"builtin": 0.25, "bounded": 0.25, "z3": 1.0}
+
+#: EMA smoothing for online refinement of observed per-tier costs.
+_EMA_ALPHA = 0.2
+
+#: Process-wide escalation outcomes, accumulated across every
+#: :class:`PortfolioBackend` instance.  The daemon's ``/metrics`` surface
+#: reads these the same way it reads the kernel counters in
+#: :mod:`repro.smt.arena`: backends are resolved per request, so only a
+#: module-level accumulator survives long enough to be scraped.
+_ESCALATIONS: Dict[str, int] = {}
+
+
+def portfolio_stats() -> Dict[str, int]:
+    """Cumulative per-tier escalation outcomes for this process."""
+    return dict(sorted(_ESCALATIONS.items()))
+
+
+def reset_portfolio_counters() -> None:
+    """Zero the process-wide escalation counters (tests, bench resets)."""
+    _ESCALATIONS.clear()
+
+
+def _syntactically_true(goal: Term) -> bool:
+    """Is every goal atom true by structure alone (no solving needed)?
+
+    Terms are hash-consed, so "both sides are the same term" is object
+    identity; distinct literals of one sort are distinct by the literal
+    axiom.  Anything else is left to the solving tiers.
+    """
+    for atom in goal_atoms(goal):
+        if atom.op == "=":
+            if atom.args[0] is atom.args[1]:
+                continue
+            return False
+        if atom.op == "lit":
+            if bool(atom.payload):
+                continue
+            return False
+        if atom.op == "not" and atom.args and atom.args[0].op == "=":
+            left, right = atom.args[0].args
+            if (left.is_literal() and right.is_literal()
+                    and left is not right
+                    and left.payload != right.payload):
+                continue
+            return False
+        return False
+    return True
+
+
+def seed_budgets(recorded_path: Optional[Path] = None) -> Dict[str, float]:
+    """Per-subgoal tier budgets from the recorded solver bench."""
+    budgets = dict(_DEFAULT_BUDGETS)
+    path = recorded_path if recorded_path is not None else _RECORDED_BENCH
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            recorded = json.load(handle)
+    except (OSError, ValueError):
+        return budgets
+    for tier, run in (recorded.get("runs") or {}).items():
+        try:
+            subgoals = float(run["subgoals"])
+            wall = float(run["wall_seconds"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        if tier in budgets and subgoals > 0:
+            budgets[tier] = (wall / subgoals) * _HEADROOM
+    return budgets
+
+
+def history_method_seconds(directory=None) -> Dict[str, float]:
+    """Observed per-call method seconds from the latest recorded run.
+
+    Best-effort: any missing store, schema drift, or corrupt row simply
+    yields ``{}`` — the portfolio then relies on the recorded bench seed
+    and its own online observations.
+    """
+    try:
+        from repro.telemetry.history import TelemetryHistory
+
+        with TelemetryHistory(directory) as history:
+            runs = history.runs(limit=1)
+        if not runs:
+            return {}
+        methods = (runs[0].get("summary") or {}).get("methods") or {}
+        out: Dict[str, float] = {}
+        for name, entry in methods.items():
+            count = float(entry.get("count") or 0)
+            if count > 0:
+                out[name] = float(entry.get("seconds") or 0.0) / count
+        return out
+    except Exception:
+        return {}
+
+
+class PortfolioBackend(SolverBackend):
+    """Escalating multi-backend solver with learned per-tier budgets."""
+
+    name = "portfolio"
+
+    #: Escalation order after the syntactic fast path.  ``builtin`` always
+    #: runs (it is the verdict baseline); ``bounded`` is budget-gated;
+    #: ``z3`` runs on the final residue whenever it is installed.
+    TIERS = ("builtin", "bounded", "z3")
+
+    def __init__(self, budgets: Optional[Dict[str, float]] = None,
+                 history_directory=None) -> None:
+        self.budgets = dict(budgets) if budgets is not None else seed_budgets()
+        # Warm-start the cost model from the history store: the builtin
+        # tier surfaces as the "congruence closure" discharge method.
+        self._ema: Dict[str, float] = {}
+        observed = history_method_seconds(history_directory)
+        if "congruence closure" in observed:
+            self._ema["builtin"] = observed["congruence closure"]
+        #: Outcome counters: ``proved_<tier>``, ``skipped_<tier>``,
+        #: ``failed`` (every tier ran or was skipped, no tier proved).
+        self.escalations: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def available(self) -> bool:
+        return True  # the builtin tier is always present
+
+    def reset(self) -> None:
+        # Budgets and learned costs survive interning resets (they hold no
+        # terms); delegated backends reset through their own registration.
+        pass
+
+    def stats(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            f"escalation_{key}": value
+            for key, value in sorted(self.escalations.items())
+        }
+        out["budgets_ms"] = {
+            tier: round(budget * 1000.0, 3)
+            for tier, budget in sorted(self.budgets.items())
+        }
+        return out
+
+    # ------------------------------------------------------------------ #
+    def _count(self, outcome: str) -> None:
+        self.escalations[outcome] = self.escalations.get(outcome, 0) + 1
+        _ESCALATIONS[outcome] = _ESCALATIONS.get(outcome, 0) + 1
+
+    def _observe(self, tier: str, seconds: float) -> None:
+        previous = self._ema.get(tier)
+        self._ema[tier] = seconds if previous is None else (
+            _EMA_ALPHA * seconds + (1.0 - _EMA_ALPHA) * previous)
+
+    def _within_budget(self, tier: str) -> bool:
+        expected = self._ema.get(tier)
+        if expected is None:
+            return True  # never observed: trying it is how we learn
+        return expected <= self.budgets.get(tier, float("inf"))
+
+    def check(self, goal: Term, rules: Sequence[Rule],
+              assumptions: Sequence[Term] = ()) -> CheckResult:
+        import time
+
+        if _syntactically_true(goal):
+            self._count("proved_syntactic")
+            return CheckResult(True, goal,
+                               reason="syntactically identical sides",
+                               via="portfolio-syntactic")
+
+        failure: Optional[CheckResult] = None
+        for tier in self.TIERS:
+            try:
+                backend = resolve_solver(tier)
+            except SolverUnavailable:
+                self._count(f"unavailable_{tier}")
+                continue
+            if tier != "builtin" and not self._within_budget(tier):
+                self._count(f"skipped_{tier}")
+                continue
+            started = time.perf_counter()
+            result = backend.check(goal, rules, assumptions)
+            self._observe(tier, time.perf_counter() - started)
+            if result.proved:
+                self._count(f"proved_{tier}")
+                # Memoised backends share result objects across calls;
+                # never mutate them in place.
+                return replace(result, via=tier)
+            if failure is None:
+                failure = result
+        self._count("failed")
+        if failure is None:  # unreachable: builtin is always available
+            return CheckResult(False, goal, reason="no solver tier available")
+        # The builtin failure carries the canonical backend-independent
+        # ``could not derive {atom!r}`` reason; return it unchanged.
+        return replace(failure, via="builtin")
+
+
+class _SyntacticTier(SolverBackend):
+    """The portfolio's syntactic fast path as a replayable backend.
+
+    Certificates record the tier that proved each subgoal; replay resolves
+    that name through the registry, so the syntactic tier must exist as a
+    backend in its own right.  It proves exactly what the fast path
+    proves and fails everything else.
+    """
+
+    name = "portfolio-syntactic"
+
+    def check(self, goal: Term, rules: Sequence[Rule],
+              assumptions: Sequence[Term] = ()) -> CheckResult:
+        if _syntactically_true(goal):
+            return CheckResult(True, goal,
+                               reason="syntactically identical sides",
+                               via="portfolio-syntactic")
+        for atom in goal_atoms(goal):
+            if not _syntactically_true(atom):
+                return CheckResult(False, goal,
+                                   reason=f"could not derive {atom!r}",
+                                   failed_atom=atom)
+        return CheckResult(False, goal, reason="could not derive goal")
+
+
+register_backend("portfolio", PortfolioBackend)
+register_backend("portfolio-syntactic", _SyntacticTier)

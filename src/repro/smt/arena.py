@@ -1,0 +1,577 @@
+"""The slot-arena proving kernel: terms as integers, closure over flat arrays.
+
+:mod:`repro.smt.terms` hash-conses one Python object per term node and
+:mod:`repro.smt.congruence` runs union-find over ``Dict[Term, ...]``
+structures — every find is a dict probe that re-enters ``Term.__hash__``,
+every signature a tuple of objects.  This module is the native-speed
+re-layout of the same kernel:
+
+* :class:`TermArena` — a process-global **slot arena**.  A term is an
+  ``int``; the node's fields live in parallel arrays (``op_ids``,
+  ``sort_ids``, ``payload_refs``, and the flattened ``arg_starts`` /
+  ``arg_ids`` child table) with a precomputed structural hash per node.
+  Hash-consing is O(1): one probe of an int-keyed index.  Interning a
+  whole subgoal's term DAG is a single iterative pass
+  (:meth:`TermArena.intern_term`) memoised on the hash-consed
+  ``Term.term_id``, so re-encountering a shared subterm costs one dict
+  lookup, not a walk.
+* :class:`ArenaCongruenceClosure` — the same congruence-closure algorithm
+  as the object kernel, run over **local integer ids**: union-find over
+  ``array('i')`` parents with path halving and union-by-rank, uses-lists
+  of ints, and an int-tuple signature table.
+
+The arena closure is a drop-in replacement for
+:class:`~repro.smt.congruence.CongruenceClosure`: the public surface
+(``add_term``/``merge``/``equal``/``find``/``assert_disequal``/
+``inconsistent``/``terms``/``classes``) accepts and returns the same
+hash-consed :class:`~repro.smt.terms.Term` objects, so E-matching, the
+rulebase index, proof certificates, and every fingerprint are unchanged
+byte for byte.  Determinism is mirrored operation-for-operation with the
+object kernel — same registration order, same union-by-rank tie-breaks,
+same uses-list processing order — which is what lets the differential
+harness (``tests/smt/test_kernel_differential.py``) demand *identical*
+check results from the two kernels, not merely equal verdicts.
+
+The arena is process-global (like the ``Term`` interning table) and is
+cleared by :func:`repro.smt.terms.reset_interning` through a reset hook;
+:func:`kernel_stats` exposes its size and the union/find operation counts
+the telemetry layer reports.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from repro.smt.terms import Term, on_reset_interning
+
+
+class TermArena:
+    """A slot-based term store: one integer id per distinct term node."""
+
+    __slots__ = (
+        "op_ids", "sort_ids", "payload_refs", "arg_starts", "arg_ids",
+        "hashes", "head_ids", "lit_flags", "terms",
+        "_ops", "_sorts", "_payloads", "_heads", "_index", "_term_memo",
+        "_postorder", "stats",
+    )
+
+    def __init__(self) -> None:
+        # Parallel per-node arrays; index = node id.
+        self.op_ids = array("i")
+        self.sort_ids = array("i")
+        self.payload_refs = array("i")
+        #: Prefix offsets into ``arg_ids``: node ``i``'s children are
+        #: ``arg_ids[arg_starts[i]:arg_starts[i + 1]]``.
+        self.arg_starts = array("i", [0])
+        self.arg_ids = array("i")
+        #: Precomputed structural hash per node (the hash-consing key's).
+        self.hashes: List[int] = []
+        #: Interned ``(op, payload)`` head id per node: two nodes have the
+        #: same head id iff their operator and payload compare equal — the
+        #: signature table and literal-distinctness checks compare these.
+        self.head_ids = array("i")
+        #: 1 where the node is a literal constant (``op == "lit"``).
+        self.lit_flags = array("b")
+        #: The hash-consed ``Term`` for each node (boundary conversion).
+        self.terms: List[Term] = []
+        # Interning tables for the scalar columns.
+        self._ops: Dict[str, int] = {}
+        self._sorts: Dict[str, int] = {}
+        self._payloads: Dict[object, int] = {}
+        self._heads: Dict[Tuple[int, int], int] = {}
+        # Hash-consing index: structural key -> node id.
+        self._index: Dict[Tuple, int] = {}
+        # Term.term_id -> node id (the batched-canonicalisation memo).
+        self._term_memo: Dict[int, int] = {}
+        # Cached first-encounter post-order (children before parents, left
+        # to right) of each root's DAG; lets a closure register a whole
+        # subgoal with one flat scan instead of a stack walk per call.
+        self._postorder: Dict[int, Tuple[int, ...]] = {}
+        self.stats = {"hits": 0, "misses": 0, "resets": 0}
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    # ------------------------------------------------------------------ #
+    def _intern_scalar(self, table: Dict, value) -> int:
+        ref = table.get(value)
+        if ref is None:
+            ref = len(table)
+            table[value] = ref
+        return ref
+
+    def _node(self, op: str, arg_nids: Tuple[int, ...], sort: str,
+              payload, term: Term) -> int:
+        """Hash-cons one node whose children already have ids."""
+        op_id = self._intern_scalar(self._ops, op)
+        sort_id = self._intern_scalar(self._sorts, sort)
+        payload_ref = self._intern_scalar(self._payloads, payload)
+        key = (op_id, sort_id, payload_ref) + arg_nids
+        nid = self._index.get(key)
+        if nid is not None:
+            self.stats["hits"] += 1
+            return nid
+        self.stats["misses"] += 1
+        nid = len(self.terms)
+        self._index[key] = nid
+        self.op_ids.append(op_id)
+        self.sort_ids.append(sort_id)
+        self.payload_refs.append(payload_ref)
+        self.head_ids.append(self._intern_scalar(self._heads,
+                                                 (op_id, payload_ref)))
+        self.lit_flags.append(1 if op == "lit" else 0)
+        self.arg_ids.extend(arg_nids)
+        self.arg_starts.append(len(self.arg_ids))
+        self.hashes.append(hash(key))
+        self.terms.append(term)
+        return nid
+
+    def intern_term(self, term: Term) -> int:
+        """Intern ``term`` and its whole DAG; returns the node id.
+
+        One iterative post-order pass, memoised on ``term_id`` — the
+        batched subgoal canonicalisation: interning a subgoal's goal term
+        registers every shared subterm exactly once.
+        """
+        memo = self._term_memo
+        nid = memo.get(term.term_id)
+        if nid is not None:
+            return nid
+        stack: List[Tuple[Term, bool]] = [(term, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.term_id in memo:
+                continue
+            if expanded:
+                arg_nids = tuple(memo[arg.term_id] for arg in node.args)
+                memo[node.term_id] = self._node(
+                    node.op, arg_nids, node.sort, node.payload, node)
+            else:
+                stack.append((node, True))
+                for arg in reversed(node.args):
+                    if arg.term_id not in memo:
+                        stack.append((arg, False))
+        return memo[term.term_id]
+
+    def postorder(self, nid: int) -> Tuple[int, ...]:
+        """First-encounter post-order of the node's DAG (cached per root).
+
+        Because a closure's registered set is always closed under
+        subterms, registering from a root is exactly "scan this list,
+        skip what is already registered" — skipped nodes never hide an
+        unregistered descendant.
+        """
+        order = self._postorder.get(nid)
+        if order is not None:
+            return order
+        arg_starts, arg_ids = self.arg_starts, self.arg_ids
+        seen: Dict[int, None] = {}
+        out: List[int] = []
+        stack: List[int] = [nid]
+        while stack:
+            node = stack.pop()
+            if node >= 0:
+                if node in seen:
+                    continue
+                seen[node] = None
+                stack.append(~node)
+                for position in range(arg_starts[node + 1] - 1,
+                                      arg_starts[node] - 1, -1):
+                    child = arg_ids[position]
+                    if child not in seen:
+                        stack.append(child)
+            else:
+                out.append(~node)
+        order = tuple(out)
+        self._postorder[nid] = order
+        return order
+
+    def args_of(self, nid: int) -> array:
+        start, stop = self.arg_starts[nid], self.arg_starts[nid + 1]
+        return self.arg_ids[start:stop]
+
+    def is_literal(self, nid: int) -> bool:
+        return bool(self.lit_flags[nid])
+
+    def reset(self) -> int:
+        """Drop every node; returns how many were dropped."""
+        dropped = len(self.terms)
+        self.__init__()  # re-run field initialisation in place
+        self.stats["resets"] += 1
+        return dropped
+
+
+# --------------------------------------------------------------------------- #
+# Process-global arena + kernel counters
+# --------------------------------------------------------------------------- #
+_GLOBAL_ARENA: Optional[TermArena] = None
+
+#: Cumulative union/find operation counts, folded in from finished
+#: closures (see :meth:`ArenaCongruenceClosure.fold_counters`) so the hot
+#: loops only bump cheap instance attributes.
+_COUNTERS = {"find_ops": 0, "union_ops": 0, "closures": 0}
+_TOTAL_RESETS = 0
+
+
+def global_arena() -> TermArena:
+    """The process-global arena (lazily created, reset with interning)."""
+    global _GLOBAL_ARENA
+    if _GLOBAL_ARENA is None:
+        _GLOBAL_ARENA = TermArena()
+    return _GLOBAL_ARENA
+
+
+def _reset_global_arena() -> None:
+    global _TOTAL_RESETS
+    if _GLOBAL_ARENA is not None:
+        _GLOBAL_ARENA.reset()
+        _TOTAL_RESETS += 1
+
+
+# The arena holds Term references (``TermArena.terms``); it must die with
+# the interning table or a reloading daemon would resurrect stale objects.
+on_reset_interning(_reset_global_arena)
+
+
+def kernel_stats() -> Dict[str, int]:
+    """Observability for the arena kernel (size, consing, op counts)."""
+    arena = _GLOBAL_ARENA
+    return {
+        "interned_nodes": 0 if arena is None else len(arena),
+        "intern_hits": 0 if arena is None else arena.stats["hits"],
+        "intern_misses": 0 if arena is None else arena.stats["misses"],
+        "find_ops": _COUNTERS["find_ops"],
+        "union_ops": _COUNTERS["union_ops"],
+        "closures": _COUNTERS["closures"],
+        "resets": _TOTAL_RESETS,
+    }
+
+
+def reset_kernel_counters() -> None:
+    """Zero the cumulative union/find counters (tests, bench isolation)."""
+    _COUNTERS["find_ops"] = 0
+    _COUNTERS["union_ops"] = 0
+    _COUNTERS["closures"] = 0
+
+
+class ArenaCongruenceClosure:
+    """Congruence closure over arena ids: the production proving kernel.
+
+    Same algorithm, same determinism, same public API as
+    :class:`~repro.smt.congruence.CongruenceClosure`; every internal
+    structure is an int array or an int-keyed dict.  Node ids are *local*
+    (dense, allocated in registration order) so a closure over a handful
+    of terms stays small even when the process-global arena has interned
+    millions of nodes.
+    """
+
+    __slots__ = (
+        "arena", "_memo", "_lid", "_gid", "_terms_l", "_parent", "_rank",
+        "_args_l", "_head_l", "_uses", "_signatures", "_diseq",
+        "_literal_lids", "find_ops", "union_ops",
+    )
+
+    def __init__(self, arena: Optional[TermArena] = None) -> None:
+        self.arena = arena if arena is not None else global_arena()
+        # Direct handle on the arena's Term.term_id -> node id memo: the
+        # Term-facing API crosses this boundary on every call, and one
+        # dict probe beats an intern_term call for already-interned terms.
+        self._memo = self.arena._term_memo
+        self._lid: Dict[int, int] = {}      # arena node id -> local id
+        self._gid: List[int] = []           # local id -> arena node id
+        self._terms_l: List[Term] = []      # local id -> Term (for terms())
+        self._parent = array("i")
+        self._rank = array("i")
+        self._args_l: List[Tuple[int, ...]] = []
+        self._head_l = array("i")           # arena head id per local id
+        # Per-root users, allocated lazily (None until the class is used).
+        self._uses: List[Optional[Dict[int, None]]] = []
+        self._signatures: Dict[Tuple, int] = {}
+        self._diseq: List[Tuple[int, int]] = []
+        self._literal_lids: List[int] = []
+        self.find_ops = 0
+        self.union_ops = 0
+
+    def fold_counters(self) -> None:
+        """Fold this closure's op counts into the process-global totals."""
+        if self.find_ops or self.union_ops:
+            _COUNTERS["find_ops"] += self.find_ops
+            _COUNTERS["union_ops"] += self.union_ops
+            _COUNTERS["closures"] += 1
+            self.find_ops = 0
+            self.union_ops = 0
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def add_term(self, term: Term) -> None:
+        """Register a term and all of its sub-terms (iterative, batched)."""
+        nid = self._memo.get(term.term_id)
+        if nid is None:
+            nid = self.arena.intern_term(term)
+        if nid in self._lid:
+            return
+        self._register(nid)
+
+    def _register(self, nid: int) -> None:
+        # The registration hot loop: one flat scan of the cached post-order
+        # (children always precede parents; already-registered nodes are
+        # skipped — safe because the registered set is subterm-closed),
+        # everything bound to locals, the admit step inlined.  Proof
+        # obligations re-register thousands of already-interned nodes per
+        # closure, so this is where batched canonicalisation pays.
+        lid_of = self._lid
+        arena = self.arena
+        arg_starts, arg_ids = arena.arg_starts, arena.arg_ids
+        lit_flags, head_ids = arena.lit_flags, arena.head_ids
+        arena_terms = arena.terms
+        gid, parent, rank = self._gid, self._parent, self._rank
+        args_l_table, head_l, uses = self._args_l, self._head_l, self._uses
+        terms_l = self._terms_l
+        for node in arena.postorder(nid):
+            if node in lid_of:
+                continue
+            lid = len(gid)
+            lid_of[node] = lid
+            gid.append(node)
+            terms_l.append(arena_terms[node])
+            parent.append(lid)
+            rank.append(0)
+            start, stop = arg_starts[node], arg_starts[node + 1]
+            if start == stop:
+                args_l_table.append(())
+                head_l.append(head_ids[node])
+                uses.append(None)
+                if lit_flags[node]:
+                    self._literal_lids.append(lid)
+                continue
+            if stop - start == 1:
+                args_l = (lid_of[arg_ids[start]],)
+            else:
+                args_l = tuple(lid_of[arg_ids[i]]
+                               for i in range(start, stop))
+            args_l_table.append(args_l)
+            head_l.append(head_ids[node])
+            uses.append(None)
+            if lit_flags[node]:
+                self._literal_lids.append(lid)
+            self.find_ops += len(args_l)
+            for root in args_l:
+                p = parent[root]
+                while p != root:
+                    g = parent[p]
+                    parent[root] = g
+                    root, p = g, parent[g]
+                used_by = uses[root]
+                if used_by is None:
+                    used_by = uses[root] = {}
+                used_by[lid] = None
+            self._insert_signature(lid)
+
+    # ------------------------------------------------------------------ #
+    # Union-find (path halving + union by rank)
+    # ------------------------------------------------------------------ #
+    def _find(self, lid: int) -> int:
+        parent = self._parent
+        self.find_ops += 1
+        p = parent[lid]
+        while p != lid:
+            g = parent[p]
+            parent[lid] = g
+            lid, p = g, parent[g]
+        return lid
+
+    def _signature(self, lid: int) -> Optional[Tuple]:
+        args_l = self._args_l[lid]
+        arity = len(args_l)
+        # Arity-specialised with the path-halving loop inlined: almost
+        # every application the verifier emits is unary or binary, and on
+        # those the call into _find costs more than the walk itself.
+        parent = self._parent
+        if arity == 1:
+            self.find_ops += 1
+            a = args_l[0]
+            p = parent[a]
+            while p != a:
+                g = parent[p]
+                parent[a] = g
+                a, p = g, parent[g]
+            return (self._head_l[lid], a)
+        if arity == 2:
+            self.find_ops += 2
+            a = args_l[0]
+            p = parent[a]
+            while p != a:
+                g = parent[p]
+                parent[a] = g
+                a, p = g, parent[g]
+            b = args_l[1]
+            p = parent[b]
+            while p != b:
+                g = parent[p]
+                parent[b] = g
+                b, p = g, parent[g]
+            return (self._head_l[lid], a, b)
+        if arity == 0:
+            return None
+        find = self._find
+        return (self._head_l[lid],) + tuple(find(arg) for arg in args_l)
+
+    def _insert_signature(self, lid: int) -> None:
+        signature = self._signature(lid)
+        if signature is None:
+            return
+        existing = self._signatures.get(signature)
+        if existing is None:
+            self._signatures[signature] = lid
+        elif self._find(existing) != self._find(lid):
+            self._merge_lids(existing, lid)
+
+    def _merge_lids(self, left: int, right: int) -> None:
+        # The congruence cascade, fully inlined.  A collision is merged
+        # the moment its signature clashes — the same depth-first order
+        # the object kernel's recursive cascade produces — but the
+        # recursion is an explicit ``[pending, index]`` frame stack and
+        # the union + path-halving steps run without a function call.
+        # ``left = -1`` marks "no union queued" (lids are non-negative).
+        parent, rank, uses = self._parent, self._rank, self._uses
+        signatures = self._signatures
+        signature_of = self._signature
+        frames: List[List] = []
+        while True:
+            if left >= 0:
+                self.find_ops += 2
+                root_left = left
+                p = parent[root_left]
+                while p != root_left:
+                    g = parent[p]
+                    parent[root_left] = g
+                    root_left, p = g, parent[g]
+                root_right = right
+                p = parent[root_right]
+                while p != root_right:
+                    g = parent[p]
+                    parent[root_right] = g
+                    root_right, p = g, parent[g]
+                left = -1
+                if root_left != root_right:
+                    if rank[root_left] < rank[root_right]:
+                        root_left, root_right = root_right, root_left
+                    parent[root_right] = root_left
+                    if rank[root_left] == rank[root_right]:
+                        rank[root_left] += 1
+                    self.union_ops += 1
+                    uses_right = uses[root_right]
+                    if uses_right:
+                        pending = list(uses_right)
+                        uses_left = uses[root_left]
+                        if uses_left is None:
+                            uses[root_left] = dict(uses_right)
+                        else:
+                            uses_left.update(uses_right)
+                        uses_right.clear()
+                        frames.append([pending, 0])
+            if not frames:
+                return
+            frame = frames[-1]
+            pending, i = frame
+            if i >= len(pending):
+                frames.pop()
+                continue
+            frame[1] = i + 1
+            user = pending[i]
+            signature = signature_of(user)
+            if signature is None:
+                continue
+            existing = signatures.get(signature)
+            if existing is None:
+                signatures[signature] = user
+                continue
+            self.find_ops += 2
+            a = existing
+            p = parent[a]
+            while p != a:
+                g = parent[p]
+                parent[a] = g
+                a, p = g, parent[g]
+            b = user
+            p = parent[b]
+            while p != b:
+                g = parent[p]
+                parent[b] = g
+                b, p = g, parent[g]
+            if a != b:
+                left, right = existing, user
+
+    # ------------------------------------------------------------------ #
+    # Term-level API (mirrors the object kernel)
+    # ------------------------------------------------------------------ #
+    def _lid_for(self, term: Term) -> int:
+        nid = self._memo.get(term.term_id)
+        if nid is None:
+            nid = self.arena.intern_term(term)
+        lid = self._lid.get(nid)
+        if lid is None:
+            self._register(nid)
+            lid = self._lid[nid]
+        return lid
+
+    def find(self, term: Term) -> Term:
+        """Representative of the term's equivalence class."""
+        # Hot in E-matching: the memo probe + path halving are inlined so
+        # the common already-registered case costs one call, not three.
+        nid = self._memo.get(term.term_id)
+        if nid is None:
+            nid = self.arena.intern_term(term)
+        lid = self._lid.get(nid)
+        if lid is None:
+            self._register(nid)
+            lid = self._lid[nid]
+        self.find_ops += 1
+        parent = self._parent
+        p = parent[lid]
+        while p != lid:
+            g = parent[p]
+            parent[lid] = g
+            lid, p = g, parent[g]
+        return self._terms_l[lid]
+
+    def merge(self, left: Term, right: Term) -> None:
+        """Assert that two terms are equal."""
+        self._merge_lids(self._lid_for(left), self._lid_for(right))
+
+    def assert_disequal(self, left: Term, right: Term) -> None:
+        """Assert that two terms must differ (for contradiction checks)."""
+        self._diseq.append((self._lid_for(left), self._lid_for(right)))
+
+    def equal(self, left: Term, right: Term) -> bool:
+        """Are the two terms known to be equal?"""
+        return self._find(self._lid_for(left)) == self._find(self._lid_for(right))
+
+    def inconsistent(self) -> bool:
+        """Is some asserted disequality violated (or two literals merged)?"""
+        for left, right in self._diseq:
+            if self._find(left) == self._find(right):
+                return True
+        head_l = self._head_l
+        literal_classes: Dict[int, int] = {}
+        for lid in self._literal_lids:
+            root = self._find(lid)
+            other = literal_classes.get(root)
+            if other is not None and head_l[other] != head_l[lid]:
+                return True
+            literal_classes[root] = lid
+        return False
+
+    def terms(self) -> List[Term]:
+        """Every registered term, in registration order (the E-matching bank)."""
+        return list(self._terms_l)
+
+    def classes(self) -> Dict[Term, List[Term]]:
+        """Representative -> members mapping, mostly for debugging and tests."""
+        terms_l = self._terms_l
+        out: Dict[Term, List[Term]] = {}
+        for lid, term in enumerate(terms_l):
+            out.setdefault(terms_l[self._find(lid)], []).append(term)
+        return out

@@ -1,4 +1,4 @@
-"""Congruence closure over hash-consed terms.
+"""Congruence closure over hash-consed terms (the *object* kernel).
 
 This is the classic union-find + congruence-table algorithm (Nelson-Oppen /
 Downey-Sethi-Tarjan style): ground equalities are merged into equivalence
@@ -6,12 +6,30 @@ classes, and whenever two applications of the same function symbol have
 pairwise-congruent arguments their classes are merged as well.  Together with
 bounded quantifier instantiation (:mod:`repro.smt.ematch`) this decides the
 fragment of proof obligations the Giallar verifier emits.
+
+Two kernels implement this interface:
+
+* this module — one Python object per term, dict-based union-find; the
+  reference implementation and the differential oracle;
+* :mod:`repro.smt.arena` — the production kernel: terms interned into a
+  slot arena and the same algorithm run over integer ids and flat arrays.
+
+Both kernels are **deterministic**: every container that influences
+iteration order is insertion-ordered (dicts, never sets), so two runs —
+and the two kernels — visit terms, uses-lists, and signature collisions in
+exactly the same order.  That is what makes the arena/object differential
+harness able to demand byte-identical check results, not just equal
+verdicts.
+
+Term registration is iterative (an explicit worklist): proof obligations
+over deep canonical subgoals produce argument chains far past Python's
+recursion limit, and ``add_term`` must absorb them without blowing the
+stack.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.smt.terms import Term
 
@@ -23,27 +41,48 @@ class CongruenceClosure:
         self._parent: Dict[Term, Term] = {}
         self._rank: Dict[Term, int] = {}
         # For each known term, the terms that use it as a direct argument.
-        self._uses: Dict[Term, Set[Term]] = defaultdict(set)
+        # Insertion-ordered (dict-as-set): merge processes users in the
+        # order they were first recorded, deterministically.
+        self._uses: Dict[Term, Dict[Term, None]] = {}
         # Signature table: (op, arg representatives) -> a known application.
         self._signatures: Dict[tuple, Term] = {}
         # Asserted disequalities as pairs of representatives.
         self._disequalities: List[Tuple[Term, Term]] = []
-        self._terms: Set[Term] = set()
+        # Registered terms in registration order (dict-as-set).
+        self._terms: Dict[Term, None] = {}
 
     # ------------------------------------------------------------------ #
     # Union-find
     # ------------------------------------------------------------------ #
     def add_term(self, term: Term) -> None:
-        """Register a term and all of its sub-terms."""
+        """Register a term and all of its sub-terms.
+
+        Iterative post-order (arguments before the application, left to
+        right — the same order the old recursive walk produced), so deep
+        argument chains never hit the recursion limit.
+        """
         if term in self._terms:
             return
-        for arg in term.args:
-            self.add_term(arg)
-        self._terms.add(term)
+        stack: List[Tuple[Term, bool]] = [(term, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in self._terms:
+                continue
+            if expanded:
+                self._admit(node)
+            else:
+                stack.append((node, True))
+                for arg in reversed(node.args):
+                    if arg not in self._terms:
+                        stack.append((arg, False))
+
+    def _admit(self, term: Term) -> None:
+        """Register one term whose arguments are already registered."""
+        self._terms[term] = None
         self._parent[term] = term
         self._rank[term] = 0
         for arg in term.args:
-            self._uses[self.find(arg)].add(term)
+            self._uses.setdefault(self.find(arg), {})[term] = None
         self._insert_signature(term)
 
     def find(self, term: Term) -> Term:
@@ -82,6 +121,22 @@ class CongruenceClosure:
         self._merge(left, right)
 
     def _merge(self, left: Term, right: Term) -> None:
+        # Congruence propagation cascades (merging one class can make its
+        # users congruent, recursively); a chain of n nested applications
+        # collapsing onto one class cascades n deep, so drive the cascade
+        # with an explicit stack of in-progress steps.  Each collision is
+        # processed *immediately* (depth-first) — the exact order the old
+        # recursive implementation produced.
+        stack = [self._merge_step(left, right)]
+        while stack:
+            follow_up = next(stack[-1], None)
+            if follow_up is None:
+                stack.pop()
+            else:
+                stack.append(self._merge_step(*follow_up))
+
+    def _merge_step(self, left: Term, right: Term):
+        """One union; lazily yields (existing, user) collisions to merge."""
         root_left, root_right = self.find(left), self.find(right)
         if root_left is root_right:
             return
@@ -91,9 +146,12 @@ class CongruenceClosure:
         if self._rank[root_left] == self._rank[root_right]:
             self._rank[root_left] += 1
         # Users of the absorbed class may now be congruent to other terms.
-        pending = list(self._uses[root_right])
-        self._uses[root_left].update(self._uses[root_right])
-        self._uses[root_right].clear()
+        uses_right = self._uses.get(root_right)
+        if not uses_right:
+            return
+        pending = list(uses_right)
+        self._uses.setdefault(root_left, {}).update(uses_right)
+        uses_right.clear()
         for user in pending:
             signature = self._signature(user)
             if signature is None:
@@ -102,7 +160,7 @@ class CongruenceClosure:
             if existing is None:
                 self._signatures[signature] = user
             elif self.find(existing) is not self.find(user):
-                self._merge(existing, user)
+                yield existing, user
 
     def assert_disequal(self, left: Term, right: Term) -> None:
         """Assert that two terms must differ (used for contradiction checks)."""
@@ -139,12 +197,12 @@ class CongruenceClosure:
         return False
 
     def terms(self) -> List[Term]:
-        """Every registered term (the E-matching term bank)."""
+        """Every registered term, in registration order (the E-matching bank)."""
         return list(self._terms)
 
     def classes(self) -> Dict[Term, List[Term]]:
         """Representative -> members mapping, mostly for debugging and tests."""
-        out: Dict[Term, List[Term]] = defaultdict(list)
+        out: Dict[Term, List[Term]] = {}
         for term in self._terms:
-            out[self.find(term)].append(term)
-        return dict(out)
+            out.setdefault(self.find(term), []).append(term)
+        return out

@@ -41,6 +41,9 @@ class CheckResult:
     #: Names of the rules that actually fired during instantiation (only
     #: populated on the indexed path; the reference scan does not track it).
     rules_fired: Tuple[str, ...] = ()
+    #: Which proving tier produced this result (set by the portfolio
+    #: backend; ``None`` means "whatever backend ran the check").
+    via: Optional[str] = None
 
     def __bool__(self) -> bool:
         return self.proved
@@ -90,12 +93,24 @@ class Context:
     """A logical context with assumptions, rewrite rules, and check support."""
 
     def __init__(self, rules: Sequence[Rule] = (), max_rounds: int = 4,
-                 indexed: bool = True) -> None:
+                 indexed: bool = True, kernel: str = "arena") -> None:
+        if kernel not in ("arena", "object"):
+            raise SolverError(f"unknown proving kernel {kernel!r} "
+                              f"(expected 'arena' or 'object')")
         self._assumptions: List[Term] = []
         self._rules: List[Rule] = list(rules)
         self._max_rounds = max_rounds
         self._indexed = indexed
+        self._kernel = kernel
         self._frames: List[int] = []
+
+    def _new_closure(self) -> CongruenceClosure:
+        if self._kernel == "arena":
+            # Imported lazily so the object kernel has no arena dependency.
+            from repro.smt.arena import ArenaCongruenceClosure
+
+            return ArenaCongruenceClosure()
+        return CongruenceClosure()
 
     # ------------------------------------------------------------------ #
     # Assumption management
@@ -142,38 +157,51 @@ class Context:
         verifier treats as a potential bug and investigates by concretising a
         counterexample.
         """
-        closure = CongruenceClosure()
+        closure = self._new_closure()
         for fact in self._assumptions:
             load_fact(closure, fact)
-        # Make sure the goal's terms participate in instantiation.
+        # Make sure the goal's terms participate in instantiation.  One
+        # add_term call registers the atom's whole DAG (batched, iterative)
+        # in the same post-order the old per-subterm loop produced.
         atoms = goal_atoms(goal)
         for atom in atoms:
-            for sub in atom.subterms():
-                closure.add_term(sub)
+            closure.add_term(atom)
         rules = list(self._rules) + list(extra_rules)
         fired: Tuple[str, ...] = ()
-        if self._indexed:
-            # Imported lazily: the prover layer builds on the smt substrate,
-            # and this is the one place the dependency points back up.
-            from repro.prover.rulebase import RuleBase
+        try:
+            if self._indexed:
+                # Imported lazily: the prover layer builds on the smt
+                # substrate, and this is the one place the dependency
+                # points back up.
+                from repro.prover.rulebase import RuleBase
 
-            instantiations, fired = RuleBase(rules).instantiate(
-                closure, max_rounds=self._max_rounds)
-        else:
-            instantiations = instantiate_rules(
-                rules, closure, max_rounds=self._max_rounds)
-        if closure.inconsistent():
-            return CheckResult(True, goal, reason="assumptions are contradictory",
-                               instantiations=instantiations, rules_fired=fired)
-        for atom in atoms:
-            if not prove_atom(closure, atom):
-                return CheckResult(
-                    False,
-                    goal,
-                    reason=f"could not derive {atom!r}",
-                    instantiations=instantiations,
-                    failed_atom=atom,
-                    rules_fired=fired,
-                )
-        return CheckResult(True, goal, reason="derived by congruence closure",
-                           instantiations=instantiations, rules_fired=fired)
+                instantiations, fired = RuleBase(rules).instantiate(
+                    closure, max_rounds=self._max_rounds)
+            else:
+                instantiations = instantiate_rules(
+                    rules, closure, max_rounds=self._max_rounds)
+            if closure.inconsistent():
+                return CheckResult(True, goal,
+                                   reason="assumptions are contradictory",
+                                   instantiations=instantiations,
+                                   rules_fired=fired)
+            for atom in atoms:
+                if not prove_atom(closure, atom):
+                    return CheckResult(
+                        False,
+                        goal,
+                        reason=f"could not derive {atom!r}",
+                        instantiations=instantiations,
+                        failed_atom=atom,
+                        rules_fired=fired,
+                    )
+            return CheckResult(True, goal,
+                               reason="derived by congruence closure",
+                               instantiations=instantiations,
+                               rules_fired=fired)
+        finally:
+            # Arena closures accumulate union/find counts; fold them into
+            # the process-global kernel counters the telemetry layer reads.
+            fold = getattr(closure, "fold_counters", None)
+            if fold is not None:
+                fold()

@@ -79,10 +79,16 @@ class Discharger:
             from repro.engine.fingerprint import canonical_rule_names
 
             fired = canonical_rule_names(subgoal, fired)
+        solver_backend = None
+        if backend_used:
+            # The portfolio sets solver_via to the tier that decided the
+            # goal; certificates record that tier so replay resolves the
+            # exact prover that produced the verdict.
+            solver_backend = result.solver_via or self.backend.name
         result.certificate = ProofCertificate(
             proved=result.proved,
             method=result.method,
-            backend=self.backend.name if backend_used else None,
+            backend=solver_backend,
             rules_fired=fired,
             instantiations=result.instantiations,
             wall_seconds=time.perf_counter() - started,
@@ -93,7 +99,7 @@ class Discharger:
             tracer.event(
                 "discharge", kind="method",
                 method=result.method,
-                backend=self.backend.name if backend_used else None,
+                backend=solver_backend,
                 proved=result.proved,
                 rules_fired=len(fired),
                 wall=round(result.certificate.wall_seconds, 6),

@@ -1,0 +1,166 @@
+"""The adaptive solver portfolio: tiers, budgets, certificates, parity."""
+
+import json
+
+import pytest
+
+from repro.prover import SolverUnavailable, available_solvers, resolve_solver
+from repro.prover.portfolio import (
+    PortfolioBackend,
+    _syntactically_true,
+    portfolio_stats,
+    reset_portfolio_counters,
+    seed_budgets,
+)
+from repro.smt.terms import QUBIT, app, eq, lit, ne, var
+from repro.verify import Fact, Subgoal, VerificationSession
+from repro.verify import facts as F
+from repro.verify.discharge import Discharger
+
+
+def _cx_pair_subgoal(with_same_qubits=True):
+    session = VerificationSession()
+    session.begin_path(())
+    first, second = session.fresh_gate("a"), session.fresh_gate("b")
+    facts = [
+        (Fact(F.IS_CX, (first.uid,)), True),
+        (Fact(F.IS_CX, (second.uid,)), True),
+    ]
+    if with_same_qubits:
+        facts.append((Fact(F.SAME_QUBITS, (first.uid, second.uid)), True))
+    return Subgoal(kind="equivalence", description="cx pair",
+                   lhs=(first, second), rhs=(), path_facts=tuple(facts))
+
+
+# --------------------------------------------------------------------------- #
+# Resolution and registry hygiene
+# --------------------------------------------------------------------------- #
+def test_portfolio_resolves_and_is_always_available():
+    backend = resolve_solver("portfolio")
+    assert backend.name == "portfolio"
+    assert backend.available()
+
+
+def test_internal_tier_backends_are_hidden_from_the_public_list():
+    names = {name for name, _ in available_solvers()}
+    assert "portfolio" in names
+    assert "portfolio-syntactic" not in names
+    assert "builtin-object" not in names
+    # ...but certificate replay can still resolve the tier by name.
+    assert resolve_solver("portfolio-syntactic").name == "portfolio-syntactic"
+
+
+# --------------------------------------------------------------------------- #
+# The syntactic fast path
+# --------------------------------------------------------------------------- #
+def test_syntactic_tier_recognises_structural_truth():
+    x = var("x", QUBIT)
+    assert _syntactically_true(eq(x, x))
+    assert _syntactically_true(ne(lit(1, QUBIT), lit(2, QUBIT)))
+    assert not _syntactically_true(eq(x, var("y", QUBIT)))
+
+
+def test_trivial_goal_is_proved_without_solving():
+    backend = PortfolioBackend()
+    x = var("x", QUBIT)
+    result = backend.check(eq(x, x), rules=())
+    assert result.proved
+    assert result.via == "portfolio-syntactic"
+    assert backend.escalations.get("proved_syntactic") == 1
+
+
+# --------------------------------------------------------------------------- #
+# Escalation, failure parity, counters
+# --------------------------------------------------------------------------- #
+def test_portfolio_verdict_and_tier_on_a_real_subgoal():
+    result = Discharger("portfolio")(_cx_pair_subgoal())
+    assert result.proved
+    assert result.certificate is not None
+    # The certificate records the proving tier, and replay resolves it.
+    assert result.certificate.backend == "builtin"
+    assert any("cancel" in name for name in result.certificate.rules_fired)
+
+
+def test_portfolio_failure_matches_builtin_byte_for_byte():
+    import itertools
+
+    from repro.verify import symvalues
+
+    # Pin the symbolic-uid counter so both runs name their gates alike.
+    symvalues._uid_counter = itertools.count()
+    portfolio = Discharger("portfolio")(_cx_pair_subgoal(with_same_qubits=False))
+    symvalues._uid_counter = itertools.count()
+    builtin = Discharger("builtin")(_cx_pair_subgoal(with_same_qubits=False))
+    assert not portfolio.proved and not builtin.proved
+    assert portfolio.reason == builtin.reason
+    assert portfolio.reason.startswith("could not derive ")
+
+
+def test_escalation_counters_accumulate_per_instance_and_process():
+    reset_portfolio_counters()
+    backend = PortfolioBackend()
+    x, y = var("x", QUBIT), var("y", QUBIT)
+    backend.check(eq(x, x), rules=())
+    backend.check(eq(x, y), rules=())  # unprovable: every tier fails
+    assert backend.escalations["proved_syntactic"] == 1
+    assert backend.escalations["failed"] == 1
+    process = portfolio_stats()
+    assert process["proved_syntactic"] >= 1
+    assert process["failed"] >= 1
+    stats = backend.stats()
+    assert stats["escalation_failed"] == 1
+    assert isinstance(stats["budgets_ms"], dict)
+
+
+def test_z3_tier_degrades_gracefully_when_not_installed():
+    backend = PortfolioBackend()
+    x, y = var("x", QUBIT), var("y", QUBIT)
+    result = backend.check(eq(x, y), rules=())
+    assert not result.proved
+    try:
+        import z3  # noqa: F401
+    except ImportError:
+        assert backend.escalations.get("unavailable_z3", 0) >= 1
+    else:
+        pytest.skip("z3 installed: the z3 tier runs instead of being skipped")
+
+
+# --------------------------------------------------------------------------- #
+# Budget seeding
+# --------------------------------------------------------------------------- #
+def test_budgets_seed_from_the_recorded_bench():
+    budgets = seed_budgets()
+    assert set(budgets) == {"builtin", "bounded", "z3"}
+    assert all(value > 0 for value in budgets.values())
+    # The recorded suite discharges hundreds of subgoals in well under a
+    # second, so even with headroom the per-subgoal budget is tiny.
+    assert budgets["builtin"] < 1.0
+
+
+def test_budgets_fall_back_without_a_recording(tmp_path):
+    missing = tmp_path / "nope.json"
+    assert seed_budgets(missing) == {"builtin": 0.25, "bounded": 0.25,
+                                     "z3": 1.0}
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json", encoding="utf-8")
+    assert seed_budgets(corrupt)["builtin"] == 0.25
+
+
+def test_budget_gate_skips_a_tier_priced_out_of_budget():
+    backend = PortfolioBackend(budgets={"builtin": 1.0, "bounded": 0.0,
+                                        "z3": 0.0})
+    backend._ema["bounded"] = 1.0  # "observed" cost far above the budget
+    x, y = var("x", QUBIT), var("y", QUBIT)
+    result = backend.check(eq(x, y), rules=())
+    assert not result.proved
+    assert backend.escalations.get("skipped_bounded") == 1
+
+
+def test_budget_seed_matches_recorded_numbers():
+    from repro.prover.portfolio import _HEADROOM, _RECORDED_BENCH
+
+    with open(_RECORDED_BENCH, "r", encoding="utf-8") as handle:
+        recorded = json.load(handle)
+    run = recorded["runs"]["builtin"]
+    expected = (run["wall_seconds"] / run["subgoals"]) * _HEADROOM
+    assert seed_budgets()["builtin"] == pytest.approx(expected)

@@ -1,0 +1,161 @@
+"""The slot-arena term store: interning, stats, reset hooks, pickling."""
+
+import pickle
+import sys
+
+import pytest
+
+from repro.smt.arena import (
+    ArenaCongruenceClosure,
+    TermArena,
+    global_arena,
+    kernel_stats,
+    reset_kernel_counters,
+)
+from repro.smt.congruence import CongruenceClosure
+from repro.smt.terms import QUBIT, app, lit, reset_interning, var
+
+
+# --------------------------------------------------------------------------- #
+# Interning
+# --------------------------------------------------------------------------- #
+def test_interning_is_hash_consed_and_counted():
+    arena = TermArena()
+    term = app("f", var("x", QUBIT), lit(1, QUBIT), sort=QUBIT)
+    first = arena.intern_term(term)
+    assert arena.stats["misses"] == 3  # f-node, variable, literal
+    assert arena.stats["hits"] == 0
+    # Same term again: the term_id memo answers without touching _node.
+    assert arena.intern_term(term) == first
+    # A structurally overlapping term re-conses only the new node.
+    wrapped = app("g", term, sort=QUBIT)
+    arena.intern_term(wrapped)
+    assert arena.stats["misses"] == 4
+    assert len(arena) == 4
+
+
+def test_interned_columns_describe_the_node():
+    arena = TermArena()
+    one = lit(1, QUBIT)
+    term = app("f", var("x", QUBIT), one, sort=QUBIT)
+    nid = arena.intern_term(term)
+    assert arena.terms[nid] is term
+    assert not arena.is_literal(nid)
+    assert arena.is_literal(arena.intern_term(one))
+    children = list(arena.args_of(nid))
+    assert [arena.terms[child] for child in children] == list(term.args)
+
+
+def test_postorder_lists_children_before_parents():
+    arena = TermArena()
+    x = var("x", QUBIT)
+    inner = app("g", x, sort=QUBIT)
+    outer = app("f", inner, inner, sort=QUBIT)
+    nid = arena.intern_term(outer)
+    order = arena.postorder(nid)
+    positions = {node: index for index, node in enumerate(order)}
+    assert len(order) == 3  # shared subterm appears once
+    assert positions[arena.intern_term(x)] < positions[arena.intern_term(inner)]
+    assert positions[arena.intern_term(inner)] < positions[nid]
+
+
+# --------------------------------------------------------------------------- #
+# Reset hooks and kernel counters
+# --------------------------------------------------------------------------- #
+def test_reset_interning_clears_the_global_arena():
+    term = app("f", var("x", QUBIT), sort=QUBIT)
+    arena = global_arena()
+    arena.intern_term(term)
+    assert len(arena) > 0
+    before = kernel_stats()["resets"]
+    reset_interning()
+    assert len(global_arena()) == 0
+    assert kernel_stats()["interned_nodes"] == 0
+    assert kernel_stats()["resets"] == before + 1
+
+
+def test_closure_ops_fold_into_kernel_counters():
+    reset_kernel_counters()
+    closure = ArenaCongruenceClosure()
+    a, b = var("a", QUBIT), var("b", QUBIT)
+    closure.merge(a, b)
+    assert closure.equal(a, b)
+    assert closure.union_ops >= 1
+    assert closure.find_ops >= 2
+    closure.fold_counters()
+    stats = kernel_stats()
+    assert stats["union_ops"] >= 1
+    assert stats["find_ops"] >= 2
+    assert stats["closures"] == 1
+    # Folding is idempotent: the instance counters were consumed.
+    closure.fold_counters()
+    assert kernel_stats()["closures"] == 1
+
+
+def test_kernel_stats_shape():
+    stats = kernel_stats()
+    assert set(stats) == {"interned_nodes", "intern_hits", "intern_misses",
+                          "find_ops", "union_ops", "closures", "resets"}
+    assert all(isinstance(value, int) for value in stats.values())
+
+
+# --------------------------------------------------------------------------- #
+# Pickling round-trips
+# --------------------------------------------------------------------------- #
+def test_terms_pickle_through_the_arena_boundary():
+    term = app("f", var("x", QUBIT), lit(1, QUBIT), sort=QUBIT)
+    nid = global_arena().intern_term(term)
+    clone = pickle.loads(pickle.dumps(term))
+    # Unpickling re-interns: same object, same arena node.
+    assert clone is term
+    assert global_arena().intern_term(clone) == nid
+
+
+def test_closure_equalities_survive_worker_style_pickling():
+    """Rules/terms ship to workers by pickle; a closure rebuilt from the
+    pickled terms must reach the same conclusions."""
+    x, y = var("x", QUBIT), var("y", QUBIT)
+    fx, fy = app("f", x, sort=QUBIT), app("f", y, sort=QUBIT)
+    shipped = pickle.loads(pickle.dumps((x, y, fx, fy)))
+    closure = ArenaCongruenceClosure()
+    closure.add_term(shipped[2])
+    closure.add_term(shipped[3])
+    closure.merge(shipped[0], shipped[1])
+    assert closure.equal(shipped[2], shipped[3])  # congruence fired
+    assert closure.equal(fx, fy)  # the originals are the same objects
+
+
+# --------------------------------------------------------------------------- #
+# Drop-in behaviour vs the object kernel
+# --------------------------------------------------------------------------- #
+def _kernels():
+    return [CongruenceClosure(), ArenaCongruenceClosure()]
+
+
+@pytest.mark.parametrize("closure", _kernels(),
+                         ids=["object", "arena"])
+def test_deep_chain_beyond_the_recursion_limit(closure):
+    """Registration and the merge cascade are iterative in both kernels."""
+    depth = sys.getrecursionlimit() + 500
+    x = var("x", QUBIT)
+    term = x
+    for _ in range(depth):
+        term = app("f", term, sort=QUBIT)
+    closure.add_term(term)
+    closure.merge(x, app("f", x, sort=QUBIT))
+    assert closure.equal(x, term)
+
+
+def test_find_and_classes_mirror_the_object_kernel():
+    x, y, z = (var(name, QUBIT) for name in "xyz")
+    pairs = [(x, y)]
+    banks = []
+    for closure in _kernels():
+        for term in (x, y, z, app("f", x, sort=QUBIT), app("f", y, sort=QUBIT)):
+            closure.add_term(term)
+        for left, right in pairs:
+            closure.merge(left, right)
+        banks.append((closure.terms(), closure.find(x), closure.classes()))
+    assert banks[0][0] == banks[1][0]
+    assert banks[0][1] is banks[1][1]
+    assert banks[0][2] == banks[1][2]
